@@ -1,0 +1,68 @@
+// Reproduces paper Figures 10 & 23 (time cost of generating Gk, EFF vs RAN
+// vs FSIM, k = 2..6) and Figures 11 & 24 (number of noise edges in Gk).
+// Expected shapes: all three strategies cost about the same (the strategy
+// only changes the LCT, not the transform), and noise edges grow roughly
+// linearly with k.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "cloud/data_owner.h"
+
+namespace ppsm::bench {
+namespace {
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  std::cout << "[bench_gk_generation] scale=" << scale << "\n\n";
+  const Method methods[] = {Method::kEff, Method::kRan, Method::kFsim};
+
+  for (const BenchDataset& dataset : StandardDatasets(scale)) {
+    auto graph = GenerateDataset(dataset.config);
+    if (!graph.ok()) {
+      std::cerr << "dataset " << dataset.name << ": "
+                << graph.status() << "\n";
+      return;
+    }
+    Table time_table(
+        "Figure 10/23: time generating Gk (s) on " + dataset.name +
+            " (|V|=" + std::to_string(graph->NumVertices()) +
+            ", |E|=" + std::to_string(graph->NumEdges()) + ")",
+        {"k", "EFF", "RAN", "FSIM"});
+    Table noise_table("Figure 11/24: noise edges in Gk on " + dataset.name,
+                      {"k", "EFF", "RAN", "FSIM"});
+    for (const uint32_t k : kAllKs) {
+      std::vector<std::string> time_row{std::to_string(k)};
+      std::vector<std::string> noise_row{std::to_string(k)};
+      for (const Method method : methods) {
+        SystemConfig config;
+        config.method = method;
+        config.k = k;
+        auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+        if (!system.ok()) {
+          std::cerr << system.status() << "\n";
+          return;
+        }
+        const SetupStats& stats = system->setup_stats();
+        // "Generating Gk" = label combination + anonymization + transform.
+        const double seconds =
+            (stats.lct_ms + stats.anonymize_ms + stats.kauto_ms) / 1e3;
+        time_row.push_back(Table::Num(seconds, 3));
+        noise_row.push_back(std::to_string(stats.noise_edges));
+      }
+      time_table.AddRow(time_row);
+      noise_table.AddRow(noise_row);
+    }
+    const std::string stem = dataset.name.substr(0, dataset.name.find('*'));
+    Emit(time_table, "fig10_gk_time_" + stem);
+    Emit(noise_table, "fig11_noise_edges_" + stem);
+  }
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() {
+  ppsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Figure 12: |E(Go)| and |E(Gk)| for k = 2..6 using EFF.
+// Expected shape: |E(Go)| well below |E(Gk)| (roughly a 1/k slice plus the
+// boundary), approaching |E(G)| for small k.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace ppsm::bench {
+namespace {
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  std::cout << "[bench_go_size] scale=" << scale << "\n\n";
+
+  Table table("Figure 12: number of edges in Go and Gk (EFF)",
+              {"dataset", "|E(G)|", "metric", "k=2", "k=3", "k=4", "k=5",
+               "k=6"});
+  for (const BenchDataset& dataset : StandardDatasets(scale)) {
+    auto graph = GenerateDataset(dataset.config);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return;
+    }
+    std::vector<std::string> go_row{dataset.name,
+                                    std::to_string(graph->NumEdges()),
+                                    "|E(Go)|"};
+    std::vector<std::string> gk_row{dataset.name,
+                                    std::to_string(graph->NumEdges()),
+                                    "|E(Gk)|"};
+    for (const uint32_t k : kAllKs) {
+      SystemConfig config;
+      config.method = Method::kEff;
+      config.k = k;
+      auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+      if (!system.ok()) {
+        std::cerr << system.status() << "\n";
+        return;
+      }
+      go_row.push_back(std::to_string(system->setup_stats().go_edges));
+      gk_row.push_back(std::to_string(system->setup_stats().gk_edges));
+    }
+    table.AddRow(go_row);
+    table.AddRow(gk_row);
+  }
+  Emit(table, "fig12_go_gk_edges");
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() {
+  ppsm::bench::Run();
+  return 0;
+}

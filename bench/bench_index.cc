@@ -1,0 +1,55 @@
+// Reproduces paper Figure 13: index size (a) and index construction time
+// (b) per dataset for k = 2..6 (EFF). Expected shape: both DECREASE as k
+// grows, because the index covers only B1's ceil(|V(Gk)|/k) centers.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace ppsm::bench {
+namespace {
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  std::cout << "[bench_index] scale=" << scale << "\n\n";
+
+  Table size_table("Figure 13a: index size (KB) (EFF)",
+                   {"dataset", "k=2", "k=3", "k=4", "k=5", "k=6"});
+  Table time_table("Figure 13b: index construction time (ms) (EFF)",
+                   {"dataset", "k=2", "k=3", "k=4", "k=5", "k=6"});
+  for (const BenchDataset& dataset : StandardDatasets(scale)) {
+    auto graph = GenerateDataset(dataset.config);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return;
+    }
+    std::vector<std::string> size_row{dataset.name};
+    std::vector<std::string> time_row{dataset.name};
+    for (const uint32_t k : kAllKs) {
+      SystemConfig config;
+      config.method = Method::kEff;
+      config.k = k;
+      auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+      if (!system.ok()) {
+        std::cerr << system.status() << "\n";
+        return;
+      }
+      size_row.push_back(Table::Num(
+          static_cast<double>(system->cloud().IndexMemoryBytes()) / 1024.0,
+          1));
+      time_row.push_back(Table::Num(system->cloud().IndexBuildMillis(), 2));
+    }
+    size_table.AddRow(size_row);
+    time_table.AddRow(time_row);
+  }
+  Emit(size_table, "fig13a_index_size");
+  Emit(time_table, "fig13b_index_time");
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() {
+  ppsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,167 @@
+// google-benchmark microbenchmarks for the hot paths: bit-vector ops, index
+// construction, candidate shortlisting, star matching, result join,
+// automorphic expansion, client filtering, and serialization.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "anonymize/grouping.h"
+#include "cloud/cloud_server.h"
+#include "cloud/data_owner.h"
+#include "graph/generators.h"
+#include "graph/query_extractor.h"
+#include "graph/serialize.h"
+#include "match/result_join.h"
+#include "match/star_matcher.h"
+#include "match/subgraph_matcher.h"
+#include "util/bitvector.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace ppsm {
+namespace {
+
+void BM_BitVectorAnd(benchmark::State& state) {
+  const size_t bits = state.range(0);
+  Rng rng(1);
+  BitVector a(bits), b(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.Chance(0.3)) a.Set(i);
+    if (rng.Chance(0.3)) b.Set(i);
+  }
+  for (auto _ : state) {
+    BitVector c = a;
+    c &= b;
+    benchmark::DoNotOptimize(c.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_BitVectorAnd)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_BitVectorContains(benchmark::State& state) {
+  const size_t bits = state.range(0);
+  Rng rng(2);
+  BitVector big(bits), small(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.Chance(0.4)) big.Set(i);
+  }
+  for (size_t i = 0; i < bits; ++i) {
+    if (big.Test(i) && rng.Chance(0.5)) small.Set(i);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(big.Contains(small));
+}
+BENCHMARK(BM_BitVectorContains)->Arg(1024)->Arg(262144);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf(state.range(0), 1.0);
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.Sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
+
+/// Shared fixture pieces built once per benchmark binary run. Owner and
+/// server are factory-built, so hold them behind pointers.
+struct Fixture {
+  AttributedGraph g;
+  std::unique_ptr<DataOwner> owner;
+  std::unique_ptr<CloudServer> server;
+  std::vector<AttributedGraph> queries;
+
+  static Fixture& Get() {
+    static Fixture* fixture = [] {
+      auto* f = new Fixture();
+      DatasetConfig config = DbpediaLike(0.05);
+      auto g = GenerateDataset(config);
+      PPSM_CHECK_OK(g);
+      f->g = std::move(g).value();
+      DataOwnerOptions options;
+      options.k = 3;
+      auto owner = DataOwner::Create(f->g, f->g.schema(), options);
+      PPSM_CHECK_OK(owner);
+      f->owner = std::make_unique<DataOwner>(std::move(owner).value());
+      auto server = CloudServer::Host(f->owner->upload_bytes());
+      PPSM_CHECK_OK(server);
+      f->server = std::make_unique<CloudServer>(std::move(server).value());
+      Rng rng(11);
+      for (int i = 0; i < 16; ++i) {
+        auto extracted = ExtractQuery(f->g, 6, rng);
+        PPSM_CHECK_OK(extracted);
+        f->queries.push_back(std::move(extracted->query));
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_GraphSerialize(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeGraph(f.g).size());
+  }
+}
+BENCHMARK(BM_GraphSerialize);
+
+void BM_GraphDeserialize(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const auto bytes = SerializeGraph(f.g);
+  for (auto _ : state) {
+    auto g = DeserializeGraph(bytes, nullptr);
+    benchmark::DoNotOptimize(g.ok());
+  }
+}
+BENCHMARK(BM_GraphDeserialize);
+
+void BM_CloudAnswerQuery(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto request =
+        f.owner->AnonymizeQueryToRequest(f.queries[i % f.queries.size()]);
+    auto answer = f.server->AnswerQuery(*request);
+    benchmark::DoNotOptimize(answer.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_CloudAnswerQuery);
+
+void BM_ClientProcessResponse(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const AttributedGraph& query = f.queries.front();
+  const auto request = f.owner->AnonymizeQueryToRequest(query);
+  const auto answer = f.server->AnswerQuery(*request);
+  for (auto _ : state) {
+    auto results = f.owner->ProcessResponse(query, answer->response_payload);
+    benchmark::DoNotOptimize(results.ok());
+  }
+}
+BENCHMARK(BM_ClientProcessResponse);
+
+void BM_GenericMatcher(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const AttributedGraph& query = f.queries.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FindSubgraphMatches(query, f.g).NumMatches());
+  }
+}
+BENCHMARK(BM_GenericMatcher);
+
+void BM_LctBuildEff(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  GroupingOptions options;
+  options.theta = 2;
+  for (auto _ : state) {
+    auto lct = BuildLct(GroupingStrategy::kCostModel, *f.g.schema(), f.g,
+                        options);
+    benchmark::DoNotOptimize(lct.ok());
+  }
+}
+BENCHMARK(BM_LctBuildEff);
+
+}  // namespace
+}  // namespace ppsm
+
+BENCHMARK_MAIN();

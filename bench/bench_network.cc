@@ -1,0 +1,73 @@
+// Reproduces paper Figure 33: network transmission time for the query
+// results (simulated link, see cloud/channel.h), k = 2..6, |E(Q)| in
+// {6, 12}, all four methods. Expected shape: EFF transmits only Rin and
+// beats BAS (full R(Qo,Gk)) by roughly k; RAN/FSIM sit between EFF and BAS
+// because their looser grouping inflates |Rin|.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace ppsm::bench {
+namespace {
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  const size_t queries = QueriesFromEnv(8);
+  std::cout << "[bench_network] scale=" << scale
+            << " queries/config=" << queries << "\n\n";
+  const size_t qsizes[] = {6, 12};
+
+  Table time_table("Figure 33: network transmission time (ms)",
+                   {"dataset", "method", "k=2 q6", "k=2 q12", "k=3 q6",
+                    "k=3 q12", "k=4 q6", "k=4 q12", "k=5 q6", "k=5 q12",
+                    "k=6 q6", "k=6 q12"});
+  Table bytes_table("Figure 33 (companion): response payload (bytes)",
+                    {"dataset", "method", "k=2 q6", "k=2 q12", "k=3 q6",
+                     "k=3 q12", "k=4 q6", "k=4 q12", "k=5 q6", "k=5 q12",
+                     "k=6 q6", "k=6 q12"});
+
+  for (const BenchDataset& dataset : StandardDatasets(scale)) {
+    auto graph = GenerateDataset(dataset.config);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return;
+    }
+    for (const Method method : kAllMethods) {
+      std::vector<std::string> time_row{dataset.name, MethodName(method)};
+      std::vector<std::string> bytes_row{dataset.name, MethodName(method)};
+      for (const uint32_t k : kAllKs) {
+        SystemConfig config;
+        config.method = method;
+        config.k = k;
+        auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+        if (!system.ok()) {
+          std::cerr << system.status() << "\n";
+          return;
+        }
+        for (const size_t qsize : qsizes) {
+          auto agg = RunQueryBatch(*system, *graph, qsize, queries,
+                                   /*seed=*/qsize * 7 + k);
+          if (!agg.ok()) {
+            std::cerr << agg.status() << "\n";
+            return;
+          }
+          time_row.push_back(Table::Num(agg->network_ms, 3));
+          bytes_row.push_back(Table::Num(agg->response_bytes, 0));
+        }
+      }
+      time_table.AddRow(time_row);
+      bytes_table.AddRow(bytes_row);
+    }
+  }
+  Emit(time_table, "fig33_network_time");
+  Emit(bytes_table, "fig33_response_bytes");
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() {
+  ppsm::bench::Run();
+  return 0;
+}

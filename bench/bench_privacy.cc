@@ -1,0 +1,75 @@
+// Privacy-strength comparison bench (the §7 related-work argument, made
+// quantitative): k-degree anonymity [Liu & Terzi, ref 13] vs k-automorphism
+// [Zou et al., ref 26] on noise cost and on resistance to two simulated
+// structural attacks:
+//   * degree attack      — adversary knows the target's exact degree;
+//   * neighborhood attack — adversary knows the target's degree and the
+//     multiset of its neighbors' degrees (a weak form of the 1-neighbor
+//     graph attack of ref [24]).
+// A method "withstands" an attack when every signature class has >= k
+// members (candidate set never smaller than k).
+
+#include <iostream>
+
+#include "anonymize/degree_anonymity.h"
+#include "bench/bench_common.h"
+#include "kauto/kautomorphism.h"
+
+namespace ppsm::bench {
+namespace {
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  std::cout << "[bench_privacy] scale=" << scale << "\n\n";
+
+  Table table("Privacy comparison: k-degree anonymity vs k-automorphism",
+              {"dataset", "k", "method", "noise edges", "degree-attack k",
+               "nbrhd-attack k", "withstands nbrhd?"});
+  for (const BenchDataset& dataset : StandardDatasets(scale)) {
+    auto graph = GenerateDataset(dataset.config);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return;
+    }
+    for (const uint32_t k : {2u, 4u, 6u}) {
+      DegreeAnonymityOptions degree_options;
+      degree_options.k = k;
+      auto degree = AnonymizeDegrees(*graph, degree_options);
+      if (!degree.ok()) {
+        std::cerr << degree.status() << "\n";
+        return;
+      }
+      const size_t degree_nbrhd = NeighborhoodAnonymityLevel(degree->graph);
+      table.AddRowValues(dataset.name, k, "k-degree",
+                         degree->noise_edges,
+                         DegreeAnonymityLevel(degree->graph), degree_nbrhd,
+                         degree_nbrhd >= k ? "yes" : "NO");
+
+      KAutomorphismOptions kauto_options;
+      kauto_options.k = k;
+      auto kauto = BuildKAutomorphicGraph(*graph, kauto_options);
+      if (!kauto.ok()) {
+        std::cerr << kauto.status() << "\n";
+        return;
+      }
+      const size_t kauto_nbrhd = NeighborhoodAnonymityLevel(kauto->gk);
+      table.AddRowValues(dataset.name, k, "k-automorphism",
+                         kauto->NumNoiseEdges(),
+                         DegreeAnonymityLevel(kauto->gk), kauto_nbrhd,
+                         kauto_nbrhd >= k ? "yes" : "NO");
+    }
+  }
+  Emit(table, "privacy_comparison");
+  std::cout << "Expected shape: k-degree anonymity is far cheaper but its "
+               "neighborhood-attack column collapses below k; "
+               "k-automorphism holds >= k under both attacks (this is why "
+               "the paper builds on it).\n";
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() {
+  ppsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Query-shape ablation (extension bench, not a paper figure): how the cloud
+// query time and |Rin| vary across query topologies — paths, stars, cycles,
+// trees and the paper's unconstrained random walks — at fixed |E(Q)|.
+// Stars stress the star matcher directly (one big star), cycles stress the
+// join (every vertex is shared by two stars), paths/trees sit between.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "graph/query_shapes.h"
+
+namespace ppsm::bench {
+namespace {
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  const size_t queries = QueriesFromEnv(8);
+  std::cout << "[bench_shapes] scale=" << scale
+            << " queries/config=" << queries << "\n\n";
+  const QueryShape shapes[] = {QueryShape::kPath, QueryShape::kStar,
+                               QueryShape::kCycle, QueryShape::kTree,
+                               QueryShape::kRandomWalk};
+  const size_t query_edges = 6;
+
+  for (const BenchDataset& dataset : StandardDatasets(scale)) {
+    auto graph = GenerateDataset(dataset.config);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return;
+    }
+    Table table("Shape ablation on " + dataset.name +
+                    " (EFF, k=3, |E(Q)|=6)",
+                {"shape", "cloud ms", "|RS|", "|Rin|", "answers",
+                 "answered"});
+    SystemConfig config;
+    config.method = Method::kEff;
+    config.k = 3;
+    auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+    if (!system.ok()) {
+      std::cerr << system.status() << "\n";
+      return;
+    }
+    for (const QueryShape shape : shapes) {
+      Rng rng(static_cast<uint64_t>(shape) * 100 + 1);
+      double cloud_ms = 0.0;
+      double rs = 0.0;
+      double rin = 0.0;
+      double answers = 0.0;
+      size_t done = 0;
+      for (size_t i = 0; i < queries; ++i) {
+        auto extracted =
+            ExtractShapedQuery(*graph, shape, query_edges, rng);
+        if (!extracted.ok()) continue;
+        auto outcome = system->Query(extracted->query);
+        if (!outcome.ok()) continue;
+        cloud_ms += outcome->cloud.total_ms;
+        rs += static_cast<double>(outcome->cloud.rs_size);
+        rin += static_cast<double>(outcome->cloud.result_rows);
+        answers += static_cast<double>(outcome->results.NumMatches());
+        ++done;
+      }
+      const double denom = done > 0 ? static_cast<double>(done) : 1.0;
+      table.AddRowValues(QueryShapeName(shape),
+                         Table::Num(cloud_ms / denom, 3),
+                         Table::Num(rs / denom, 1),
+                         Table::Num(rin / denom, 1),
+                         Table::Num(answers / denom, 1),
+                         std::to_string(done) + "/" +
+                             std::to_string(queries));
+    }
+    const std::string stem = dataset.name.substr(0, dataset.name.find('*'));
+    Emit(table, "shape_ablation_" + stem);
+  }
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() {
+  ppsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Privacy audit: what does the cloud actually see, and how hard is
+// re-identification?
+//
+// Plays the adversary of the paper's threat model (§1, §2.2): an
+// honest-but-curious cloud that knows a target's exact structural signature
+// (degree + generalized attributes) tries to locate it inside the uploaded
+// artifacts. k-automorphism guarantees at least k equally-plausible
+// candidates for every target; label generalization hides every attribute
+// value inside a >= theta group.
+//
+//   ./privacy_audit [k]   (default 4)
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "cloud/data_owner.h"
+#include "graph/generators.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ppsm;
+
+  const uint32_t k = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 4;
+
+  DatasetConfig dataset = DbpediaLike(1.0);
+  dataset.num_vertices = 3000;
+  auto graph = GenerateDataset(dataset);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+
+  DataOwnerOptions options;
+  options.k = k;
+  options.grouping.theta = 2;
+  auto owner = DataOwner::Create(*graph, graph->schema(), options);
+  if (!owner.ok()) {
+    std::cerr << owner.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Original graph: " << graph->NumVertices() << " vertices; "
+            << "published Gk: " << owner->kag().gk.NumVertices()
+            << " vertices (k=" << k << ")\n\n";
+
+  // --- Attack 1: degree + generalized-attribute census over Gk. ---
+  const AttributedGraph& gk = owner->kag().gk;
+  std::map<std::tuple<size_t, std::vector<VertexTypeId>, std::vector<LabelId>>,
+           size_t>
+      census;
+  for (VertexId v = 0; v < gk.NumVertices(); ++v) {
+    census[{gk.Degree(v),
+            {gk.Types(v).begin(), gk.Types(v).end()},
+            {gk.Labels(v).begin(), gk.Labels(v).end()}}]++;
+  }
+  size_t weakest = SIZE_MAX;
+  double total = 0.0;
+  for (const auto& [sig, count] : census) {
+    weakest = std::min(weakest, count);
+    total += static_cast<double>(count);
+  }
+  Table attack("Structural attack: candidates per target signature",
+               {"metric", "value"});
+  attack.AddRowValues("distinct signatures", census.size());
+  attack.AddRowValues("weakest signature class size", weakest);
+  attack.AddRowValues("guaranteed lower bound (k)", k);
+  attack.AddRowValues("avg candidates per signature",
+                      Table::Num(total / static_cast<double>(census.size()),
+                                 1));
+  attack.Print();
+  if (weakest < k) {
+    std::cerr << "PRIVACY VIOLATION: a signature class is smaller than k!\n";
+    return 1;
+  }
+  std::cout << "=> best-case re-identification probability 1/"
+            << weakest << " (bound promised by the paper: 1/" << k << ")\n\n";
+
+  // --- Attack 2: reading attribute values off the upload. ---
+  const Lct& lct = owner->lct();
+  Table groups("What the cloud sees: label groups (first 8)",
+               {"group id", "hides labels", "group size"});
+  for (GroupId g = 0; g < std::min<GroupId>(8, lct.NumGroups()); ++g) {
+    std::string names;
+    for (const LabelId l : lct.LabelsInGroup(g)) {
+      if (!names.empty()) names += " | ";
+      names += graph->schema()->LabelName(l);
+    }
+    groups.AddRowValues(g, names, lct.LabelsInGroup(g).size());
+  }
+  groups.Print();
+  std::cout << "The upload carries only the group ids in column 1; the "
+               "mapping to real values (column 2) never leaves the data "
+               "owner.\n";
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "anonymize/degree_anonymity.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace ppsm {
+
+Result<std::vector<size_t>> AnonymizeDegreeSequence(
+    const std::vector<size_t>& d, uint32_t k) {
+  const size_t n = d.size();
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (n == 0) return std::vector<size_t>{};
+  if (k > n) {
+    return Status::InvalidArgument(
+        "k exceeds the number of vertices; no k-anonymous sequence exists");
+  }
+  for (size_t i = 1; i < n; ++i) {
+    if (d[i] > d[i - 1]) {
+      return Status::InvalidArgument("degree sequence must be descending");
+    }
+  }
+  if (k == 1) return d;  // Everything is 1-anonymous.
+
+  // prefix[i] = d[0] + ... + d[i-1] for O(1) group costs.
+  std::vector<size_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + d[i];
+  // Cost of raising group [i..j] to d[i] (the group max, since descending).
+  const auto group_cost = [&](size_t i, size_t j) {
+    return d[i] * (j - i + 1) - (prefix[j + 1] - prefix[i]);
+  };
+
+  constexpr size_t kInf = std::numeric_limits<size_t>::max();
+  std::vector<size_t> best(n, kInf);       // best[j]: prefix [0..j].
+  std::vector<size_t> group_start(n, 0);   // Start of j's group in the opt.
+  for (size_t j = 0; j < n; ++j) {
+    if (j + 1 < 2 * k) {
+      // Too short to split: one group [0..j] (only valid once size >= k).
+      if (j + 1 >= k) {
+        best[j] = group_cost(0, j);
+        group_start[j] = 0;
+      }
+      continue;
+    }
+    // Liu-Terzi window: the last group has size in [k, 2k-1] — larger
+    // groups never help since splitting them is never worse.
+    best[j] = group_cost(0, j);
+    group_start[j] = 0;
+    const size_t lo = j >= 2 * k - 1 ? j - (2 * k - 1) + 1 : 0;
+    for (size_t start = lo; start + k <= j + 1; ++start) {
+      if (start == 0 || best[start - 1] == kInf) continue;
+      const size_t candidate = best[start - 1] + group_cost(start, j);
+      if (candidate < best[j]) {
+        best[j] = candidate;
+        group_start[j] = start;
+      }
+    }
+  }
+  if (best[n - 1] == kInf) {
+    return Status::Internal("degree anonymization DP failed");
+  }
+
+  // Reconstruct group boundaries and emit targets.
+  std::vector<size_t> targets(n);
+  size_t j = n - 1;
+  while (true) {
+    const size_t start = group_start[j];
+    for (size_t t = start; t <= j; ++t) targets[t] = d[start];
+    if (start == 0) break;
+    j = start - 1;
+  }
+  return targets;
+}
+
+size_t DegreeAnonymityLevel(const AttributedGraph& graph) {
+  if (graph.NumVertices() == 0) return std::numeric_limits<size_t>::max();
+  std::map<size_t, size_t> census;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ++census[graph.Degree(v)];
+  }
+  size_t level = std::numeric_limits<size_t>::max();
+  for (const auto& [degree, count] : census) level = std::min(level, count);
+  return level;
+}
+
+size_t NeighborhoodAnonymityLevel(const AttributedGraph& graph) {
+  if (graph.NumVertices() == 0) return std::numeric_limits<size_t>::max();
+  std::map<std::vector<size_t>, size_t> census;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    std::vector<size_t> signature;
+    signature.reserve(graph.Degree(v) + 1);
+    signature.push_back(graph.Degree(v));
+    for (const VertexId u : graph.Neighbors(v)) {
+      signature.push_back(graph.Degree(u));
+    }
+    std::sort(signature.begin() + 1, signature.end());
+    ++census[signature];
+  }
+  size_t level = std::numeric_limits<size_t>::max();
+  for (const auto& [signature, count] : census) {
+    level = std::min(level, count);
+  }
+  return level;
+}
+
+Result<DegreeAnonymityResult> AnonymizeDegrees(
+    const AttributedGraph& graph, const DegreeAnonymityOptions& options) {
+  const size_t n = graph.NumVertices();
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.k > n) {
+    return Status::InvalidArgument("k exceeds the number of vertices");
+  }
+
+  // Working copy in a builder (types/labels preserved verbatim).
+  GraphBuilder builder(graph.schema());
+  builder.ReserveVertices(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto types = graph.Types(v);
+    const auto labels = graph.Labels(v);
+    builder.AddVertex(std::vector<VertexTypeId>(types.begin(), types.end()),
+                      std::vector<LabelId>(labels.begin(), labels.end()));
+  }
+  std::vector<size_t> degree(n, 0);
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    builder.AddEdgeUnchecked(u, v);
+    ++degree[u];
+    ++degree[v];
+  });
+
+  Rng rng(options.seed);
+  DegreeAnonymityResult result;
+  for (result.rounds = 0; result.rounds < options.max_rounds;
+       ++result.rounds) {
+    // Phase 1: optimal k-anonymous targets for the current sequence.
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&degree](VertexId a, VertexId b) {
+      return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+    });
+    std::vector<size_t> sorted_degrees(n);
+    for (size_t i = 0; i < n; ++i) sorted_degrees[i] = degree[order[i]];
+    PPSM_ASSIGN_OR_RETURN(const std::vector<size_t> targets,
+                          AnonymizeDegreeSequence(sorted_degrees, options.k));
+
+    // Phase 2: wire deficits together, largest first.
+    std::vector<size_t> deficit(n, 0);
+    size_t total_deficit = 0;
+    for (size_t i = 0; i < n; ++i) {
+      deficit[order[i]] = targets[i] - sorted_degrees[i];
+      total_deficit += deficit[order[i]];
+    }
+    if (total_deficit == 0) break;  // Already anonymous.
+
+    auto add_edge = [&](VertexId u, VertexId v) {
+      builder.AddEdgeUnchecked(u, v);
+      ++degree[u];
+      ++degree[v];
+      ++result.noise_edges;
+    };
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      // u: the most deficient vertex.
+      VertexId u = kInvalidVertex;
+      for (VertexId v = 0; v < n; ++v) {
+        if (deficit[v] > 0 &&
+            (u == kInvalidVertex || deficit[v] > deficit[u])) {
+          u = v;
+        }
+      }
+      if (u == kInvalidVertex) break;
+      // v: the most deficient non-neighbor of u.
+      VertexId best = kInvalidVertex;
+      for (VertexId v = 0; v < n; ++v) {
+        if (v == u || deficit[v] == 0 || builder.HasEdge(u, v)) continue;
+        if (best == kInvalidVertex || deficit[v] > deficit[best]) best = v;
+      }
+      if (best != kInvalidVertex) {
+        add_edge(u, best);
+        --deficit[u];
+        --deficit[best];
+        progress = true;
+        continue;
+      }
+      // Stuck: u's remaining deficit cannot pair with another deficient
+      // vertex. Spill one edge onto a random non-deficient non-neighbor;
+      // the next round's DP absorbs the bump.
+      std::vector<VertexId> candidates;
+      for (VertexId v = 0; v < n; ++v) {
+        if (v != u && !builder.HasEdge(u, v)) candidates.push_back(v);
+      }
+      if (candidates.empty()) break;  // u is universal; nothing to do.
+      add_edge(u, candidates[rng.Below(candidates.size())]);
+      --deficit[u];
+      progress = true;
+    }
+  }
+
+  PPSM_ASSIGN_OR_RETURN(result.graph, builder.Build());
+  result.achieved_k = std::min<size_t>(DegreeAnonymityLevel(result.graph),
+                                       result.graph.NumVertices());
+  result.converged = result.achieved_k >= options.k;
+  return result;
+}
+
+}  // namespace ppsm

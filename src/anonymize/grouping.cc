@@ -1,0 +1,160 @@
+#include "anonymize/grouping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace ppsm {
+
+namespace {
+
+/// Group boundaries for a permutation of `n` labels cut into runs of
+/// `theta`, mirroring Lct::FromPermutations (the last short run is absorbed
+/// into the previous group). Returns (start, size) pairs.
+std::vector<std::pair<size_t, size_t>> GroupRuns(size_t n, size_t theta) {
+  std::vector<std::pair<size_t, size_t>> runs;
+  size_t index = 0;
+  while (index < n) {
+    size_t take = std::min(theta, n - index);
+    const size_t leftover = n - index - take;
+    if (leftover > 0 && leftover < theta) take += leftover;
+    runs.emplace_back(index, take);
+    index += take;
+  }
+  return runs;
+}
+
+/// EFF's inner loop (§5.2 Fig. 9): sequential improving swaps of two labels
+/// in different groups until a full pass finds none.
+void SwapDescent(std::vector<LabelId>* perm, size_t theta,
+                 const LabelDistribution& graph_dist,
+                 const LabelDistribution& star_dist, int max_passes) {
+  const size_t n = perm->size();
+  const auto runs = GroupRuns(n, theta);
+  if (runs.size() <= 1) return;
+
+  // group_of[i] = index of the run containing position i.
+  std::vector<size_t> group_of(n);
+  for (size_t g = 0; g < runs.size(); ++g) {
+    for (size_t i = runs[g].first; i < runs[g].first + runs[g].second; ++i) {
+      group_of[i] = g;
+    }
+  }
+
+  // Per-group partial sums A_g = sum F^l_G, B_g = sum F^l_Savg.
+  std::vector<double> a(runs.size(), 0.0);
+  std::vector<double> b(runs.size(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    a[group_of[i]] += graph_dist.label_freq[(*perm)[i]];
+    b[group_of[i]] += star_dist.label_freq[(*perm)[i]];
+  }
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const size_t gi = group_of[i];
+        const size_t gj = group_of[j];
+        if (gi == gj) continue;
+        const double fa_i = graph_dist.label_freq[(*perm)[i]];
+        const double fb_i = star_dist.label_freq[(*perm)[i]];
+        const double fa_j = graph_dist.label_freq[(*perm)[j]];
+        const double fb_j = star_dist.label_freq[(*perm)[j]];
+        const double before = a[gi] * b[gi] + a[gj] * b[gj];
+        const double ai = a[gi] - fa_i + fa_j;
+        const double bi = b[gi] - fb_i + fb_j;
+        const double aj = a[gj] - fa_j + fa_i;
+        const double bj = b[gj] - fb_j + fb_i;
+        const double after = ai * bi + aj * bj;
+        if (after + 1e-12 < before) {
+          std::swap((*perm)[i], (*perm)[j]);
+          a[gi] = ai;
+          b[gi] = bi;
+          a[gj] = aj;
+          b[gj] = bj;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+}  // namespace
+
+const char* GroupingStrategyName(GroupingStrategy strategy) {
+  switch (strategy) {
+    case GroupingStrategy::kRandom:
+      return "RAN";
+    case GroupingStrategy::kFrequencySimilar:
+      return "FSIM";
+    case GroupingStrategy::kCostModel:
+      return "EFF";
+  }
+  return "?";
+}
+
+double LabelCombinationCost(const std::vector<LabelId>& permutation,
+                            size_t theta, const LabelDistribution& graph_dist,
+                            const LabelDistribution& star_dist) {
+  double cost = 0.0;
+  for (const auto& [start, size] : GroupRuns(permutation.size(), theta)) {
+    double a = 0.0;
+    double b = 0.0;
+    for (size_t i = start; i < start + size; ++i) {
+      a += graph_dist.label_freq[permutation[i]];
+      b += star_dist.label_freq[permutation[i]];
+    }
+    cost += a * b;
+  }
+  return cost;
+}
+
+Result<Lct> BuildLct(GroupingStrategy strategy, const Schema& schema,
+                     const AttributedGraph& graph,
+                     const GroupingOptions& options) {
+  if (options.theta == 0) {
+    return Status::InvalidArgument("theta must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  std::vector<std::vector<LabelId>> permutations(schema.NumAttributes());
+  for (AttributeId at = 0; at < schema.NumAttributes(); ++at) {
+    permutations[at] = schema.LabelsOfAttribute(at);
+  }
+
+  switch (strategy) {
+    case GroupingStrategy::kRandom: {
+      for (auto& perm : permutations) rng.Shuffle(perm);
+      break;
+    }
+    case GroupingStrategy::kFrequencySimilar: {
+      const LabelDistribution dist = ComputeGraphDistribution(graph, schema);
+      for (auto& perm : permutations) {
+        std::sort(perm.begin(), perm.end(), [&](LabelId x, LabelId y) {
+          if (dist.label_freq[x] != dist.label_freq[y]) {
+            return dist.label_freq[x] < dist.label_freq[y];
+          }
+          return x < y;
+        });
+      }
+      break;
+    }
+    case GroupingStrategy::kCostModel: {
+      const LabelDistribution graph_dist =
+          ComputeGraphDistribution(graph, schema);
+      const LabelDistribution star_dist = ComputeAverageStarDistribution(
+          graph, schema, options.star_samples, options.seed ^ 0xabcdef);
+      for (auto& perm : permutations) {
+        rng.Shuffle(perm);  // Random initial combination (§5.2).
+        SwapDescent(&perm, options.theta, graph_dist, star_dist,
+                    options.max_passes);
+      }
+      break;
+    }
+  }
+  return Lct::FromPermutations(schema, permutations, options.theta);
+}
+
+}  // namespace ppsm

@@ -1,0 +1,53 @@
+#ifndef PPSM_ANONYMIZE_GROUPING_H_
+#define PPSM_ANONYMIZE_GROUPING_H_
+
+#include <cstdint>
+
+#include "anonymize/label_stats.h"
+#include "anonymize/lct.h"
+#include "graph/attributed_graph.h"
+#include "graph/schema.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Label-generalization strategies evaluated in the paper (§6.1 SETUP).
+enum class GroupingStrategy {
+  /// RAN: random label combination.
+  kRandom,
+  /// FSIM: labels with similar data-graph frequencies share a group.
+  kFrequencySimilar,
+  /// EFF: cost-model-driven combination (§5.2) — iterative pairwise swaps
+  /// minimizing Def. 7's cost(P).
+  kCostModel,
+};
+
+const char* GroupingStrategyName(GroupingStrategy strategy);
+
+struct GroupingOptions {
+  /// Labels per group (θ). The paper's default is 2 (§6.2).
+  size_t theta = 2;
+  uint64_t seed = 13;
+  /// Star-workload sample size for the F_Savg terms (EFF only).
+  size_t star_samples = 256;
+  /// Swap-descent pass cap (EFF only; the paper reports convergence within
+  /// ~10 iterations).
+  int max_passes = 24;
+};
+
+/// Builds an LCT for `graph` under the chosen strategy. `graph` must carry
+/// raw labels consistent with `schema`.
+Result<Lct> BuildLct(GroupingStrategy strategy, const Schema& schema,
+                     const AttributedGraph& graph,
+                     const GroupingOptions& options);
+
+/// Def. 7: the label-combination cost of one attribute's permutation, given
+/// the data-graph and average-star label frequencies. Exposed for tests and
+/// for the ablation bench (EFF vs RAN vs FSIM cost).
+double LabelCombinationCost(const std::vector<LabelId>& permutation,
+                            size_t theta, const LabelDistribution& graph_dist,
+                            const LabelDistribution& star_dist);
+
+}  // namespace ppsm
+
+#endif  // PPSM_ANONYMIZE_GROUPING_H_

@@ -1,0 +1,86 @@
+#include "anonymize/label_stats.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace ppsm {
+
+LabelDistribution ComputeGraphDistribution(const AttributedGraph& graph,
+                                           const Schema& schema) {
+  LabelDistribution dist;
+  dist.type_freq.assign(schema.NumTypes(), 0.0);
+  dist.label_freq.assign(schema.NumLabels(), 0.0);
+  if (graph.NumVertices() == 0) return dist;
+
+  std::vector<size_t> type_count(schema.NumTypes(), 0);
+  std::vector<size_t> label_count(schema.NumLabels(), 0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const VertexTypeId t : graph.Types(v)) ++type_count[t];
+    for (const LabelId l : graph.Labels(v)) ++label_count[l];
+  }
+  for (VertexTypeId t = 0; t < schema.NumTypes(); ++t) {
+    dist.type_freq[t] = static_cast<double>(type_count[t]) /
+                        static_cast<double>(graph.NumVertices());
+  }
+  for (LabelId l = 0; l < schema.NumLabels(); ++l) {
+    const size_t owner_count = type_count[schema.TypeOfLabel(l)];
+    dist.label_freq[l] =
+        owner_count == 0 ? 0.0
+                         : static_cast<double>(label_count[l]) /
+                               static_cast<double>(owner_count);
+  }
+  return dist;
+}
+
+LabelDistribution ComputeAverageStarDistribution(const AttributedGraph& graph,
+                                                 const Schema& schema,
+                                                 size_t num_samples,
+                                                 uint64_t seed) {
+  LabelDistribution dist;
+  dist.type_freq.assign(schema.NumTypes(), 0.0);
+  dist.label_freq.assign(schema.NumLabels(), 0.0);
+  if (graph.NumVertices() == 0 || num_samples == 0) return dist;
+
+  Rng rng(seed);
+  std::vector<size_t> type_count(schema.NumTypes(), 0);
+  std::vector<size_t> label_count(schema.NumLabels(), 0);
+  double degree_sum = 0.0;
+  std::vector<VertexId> star;
+
+  for (size_t sample = 0; sample < num_samples; ++sample) {
+    const auto center =
+        static_cast<VertexId>(rng.Below(graph.NumVertices()));
+    star.clear();
+    star.push_back(center);
+    const auto neighbors = graph.Neighbors(center);
+    star.insert(star.end(), neighbors.begin(), neighbors.end());
+    degree_sum += static_cast<double>(neighbors.size());
+
+    std::fill(type_count.begin(), type_count.end(), 0);
+    std::fill(label_count.begin(), label_count.end(), 0);
+    for (const VertexId v : star) {
+      for (const VertexTypeId t : graph.Types(v)) ++type_count[t];
+      for (const LabelId l : graph.Labels(v)) ++label_count[l];
+    }
+    for (VertexTypeId t = 0; t < schema.NumTypes(); ++t) {
+      dist.type_freq[t] += static_cast<double>(type_count[t]) /
+                           static_cast<double>(star.size());
+    }
+    for (LabelId l = 0; l < schema.NumLabels(); ++l) {
+      const size_t owner = type_count[schema.TypeOfLabel(l)];
+      if (owner > 0) {
+        dist.label_freq[l] += static_cast<double>(label_count[l]) /
+                              static_cast<double>(owner);
+      }
+    }
+  }
+
+  const auto denom = static_cast<double>(num_samples);
+  for (double& f : dist.type_freq) f /= denom;
+  for (double& f : dist.label_freq) f /= denom;
+  dist.avg_center_degree = degree_sum / denom;
+  return dist;
+}
+
+}  // namespace ppsm

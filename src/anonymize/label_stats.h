@@ -1,0 +1,42 @@
+#ifndef PPSM_ANONYMIZE_LABEL_STATS_H_
+#define PPSM_ANONYMIZE_LABEL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/schema.h"
+
+namespace ppsm {
+
+/// The frequency terms of the paper's cost model (§5.1 Eq. 1):
+///  * type_freq[j]  = F(j):    P(vertex has type j);
+///  * label_freq[l] = F^l(j,i): P(vertex of l's owning type carries l).
+/// Computed either over the data graph G (F_G terms) or as the average over
+/// a sampled star-query workload (F_Savg terms, §5.2).
+struct LabelDistribution {
+  std::vector<double> type_freq;   // Indexed by VertexTypeId.
+  std::vector<double> label_freq;  // Indexed by LabelId.
+  /// Average number of neighbors of a star center, Dc(Savg). Only filled by
+  /// the star-workload variant; 0 for plain graph distributions.
+  double avg_center_degree = 0.0;
+};
+
+/// Exact distribution over the vertices of `graph` (the F_G terms of
+/// Def. 7). `graph` must carry raw labels consistent with `schema`.
+LabelDistribution ComputeGraphDistribution(const AttributedGraph& graph,
+                                           const Schema& schema);
+
+/// Average-case star-query distribution (the F_Savg terms): samples
+/// `num_samples` stars — a uniformly random center plus all its neighbors —
+/// and averages each per-star distribution, mirroring §5.2's S_set. A star
+/// without type-j vertices contributes 0 to type j's terms. Deterministic in
+/// `seed`.
+LabelDistribution ComputeAverageStarDistribution(const AttributedGraph& graph,
+                                                 const Schema& schema,
+                                                 size_t num_samples,
+                                                 uint64_t seed);
+
+}  // namespace ppsm
+
+#endif  // PPSM_ANONYMIZE_LABEL_STATS_H_

@@ -1,0 +1,202 @@
+#include "anonymize/lct.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/serialize.h"
+
+namespace ppsm {
+
+namespace {
+constexpr uint32_t kLctMagic = 0x3154434c;  // "LCT1"
+}  // namespace
+
+Result<Lct> Lct::FromPermutations(
+    const Schema& schema,
+    const std::vector<std::vector<LabelId>>& permutations, size_t theta) {
+  if (theta == 0) return Status::InvalidArgument("theta must be >= 1");
+  if (permutations.size() != schema.NumAttributes()) {
+    return Status::InvalidArgument(
+        "need exactly one permutation per attribute");
+  }
+
+  Lct lct;
+  lct.theta_ = theta;
+  lct.group_of_label_.assign(schema.NumLabels(), UINT32_MAX);
+
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    const std::vector<LabelId>& canonical = schema.LabelsOfAttribute(a);
+    const std::vector<LabelId>& perm = permutations[a];
+    if (perm.size() != canonical.size()) {
+      return Status::InvalidArgument("permutation size mismatch for attribute " +
+                                     schema.AttributeName(a));
+    }
+    // Verify it is a permutation of exactly this attribute's labels.
+    std::vector<LabelId> sorted_perm = perm;
+    std::sort(sorted_perm.begin(), sorted_perm.end());
+    std::vector<LabelId> sorted_canonical = canonical;
+    std::sort(sorted_canonical.begin(), sorted_canonical.end());
+    if (sorted_perm != sorted_canonical) {
+      return Status::InvalidArgument(
+          "permutation is not a permutation of attribute " +
+          schema.AttributeName(a) + "'s labels");
+    }
+
+    // Sequential cut into groups of theta; the final short run (fewer than
+    // theta leftovers) is merged into the previous group so every group
+    // keeps >= theta members whenever the attribute has >= theta labels.
+    const size_t n = perm.size();
+    size_t index = 0;
+    while (index < n) {
+      size_t take = std::min(theta, n - index);
+      const size_t leftover_after = n - index - take;
+      if (leftover_after > 0 && leftover_after < theta) {
+        take += leftover_after;  // Absorb the remainder.
+      }
+      const auto group = static_cast<GroupId>(lct.group_members_.size());
+      lct.group_members_.emplace_back(perm.begin() + index,
+                                      perm.begin() + index + take);
+      lct.attribute_of_group_.push_back(a);
+      lct.type_of_group_.push_back(schema.TypeOfAttribute(a));
+      for (size_t i = index; i < index + take; ++i) {
+        lct.group_of_label_[perm[i]] = group;
+      }
+      index += take;
+    }
+  }
+  return lct;
+}
+
+GroupId Lct::GroupOfLabel(LabelId label) const {
+  assert(label < group_of_label_.size());
+  return group_of_label_[label];
+}
+
+std::span<const LabelId> Lct::LabelsInGroup(GroupId group) const {
+  assert(group < group_members_.size());
+  return group_members_[group];
+}
+
+AttributeId Lct::AttributeOfGroup(GroupId group) const {
+  assert(group < attribute_of_group_.size());
+  return attribute_of_group_[group];
+}
+
+std::vector<GroupId> Lct::GeneralizeLabels(
+    std::span<const LabelId> labels) const {
+  std::vector<GroupId> groups;
+  groups.reserve(labels.size());
+  for (const LabelId l : labels) groups.push_back(GroupOfLabel(l));
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+Result<AttributedGraph> Lct::AnonymizeGraph(
+    const AttributedGraph& graph) const {
+  GraphBuilder builder;  // Schema-less on purpose: labels become group ids.
+  builder.ReserveVertices(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const LabelId l : graph.Labels(v)) {
+      if (l >= group_of_label_.size()) {
+        return Status::InvalidArgument(
+            "graph carries label id unknown to the LCT");
+      }
+    }
+    const auto types = graph.Types(v);
+    builder.AddVertex(std::vector<VertexTypeId>(types.begin(), types.end()),
+                      GeneralizeLabels(graph.Labels(v)));
+  }
+  Status status = Status::OK();
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    if (status.ok()) status = builder.AddEdge(u, v);
+  });
+  PPSM_RETURN_IF_ERROR(status);
+  return builder.Build();
+}
+
+std::vector<uint8_t> Lct::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(kLctMagic);
+  writer.PutVarint(theta_);
+  writer.PutVarint(group_members_.size());
+  for (GroupId g = 0; g < group_members_.size(); ++g) {
+    writer.PutVarint(group_members_[g].size());
+    for (const LabelId l : group_members_[g]) writer.PutVarint(l);
+  }
+  return writer.TakeBytes();
+}
+
+Result<Lct> Lct::Deserialize(std::span<const uint8_t> bytes,
+                             const Schema& schema) {
+  BinaryReader reader(bytes);
+  PPSM_ASSIGN_OR_RETURN(const uint32_t magic, reader.GetU32());
+  if (magic != kLctMagic) return Status::InvalidArgument("bad LCT magic");
+  PPSM_ASSIGN_OR_RETURN(const uint64_t theta, reader.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_groups, reader.GetVarint());
+  if (theta == 0) return Status::InvalidArgument("bad LCT theta");
+
+  Lct lct;
+  lct.theta_ = theta;
+  lct.group_of_label_.assign(schema.NumLabels(), UINT32_MAX);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    PPSM_ASSIGN_OR_RETURN(const uint64_t size, reader.GetVarint());
+    if (size == 0 || size > reader.remaining()) {
+      return Status::InvalidArgument("bad LCT group size");
+    }
+    std::vector<LabelId> members;
+    members.reserve(size);
+    AttributeId attribute = kInvalidAttribute;
+    for (uint64_t i = 0; i < size; ++i) {
+      PPSM_ASSIGN_OR_RETURN(const uint64_t label, reader.GetVarint());
+      if (!schema.IsValidLabel(static_cast<LabelId>(label))) {
+        return Status::InvalidArgument("LCT references unknown label");
+      }
+      const auto l = static_cast<LabelId>(label);
+      if (lct.group_of_label_[l] != UINT32_MAX) {
+        return Status::InvalidArgument("LCT assigns a label twice");
+      }
+      const AttributeId owner = schema.AttributeOfLabel(l);
+      if (attribute == kInvalidAttribute) attribute = owner;
+      if (owner != attribute) {
+        return Status::InvalidArgument("LCT group mixes attributes");
+      }
+      lct.group_of_label_[l] = static_cast<GroupId>(g);
+      members.push_back(l);
+    }
+    lct.group_members_.push_back(std::move(members));
+    lct.attribute_of_group_.push_back(attribute);
+    lct.type_of_group_.push_back(schema.TypeOfAttribute(attribute));
+  }
+  PPSM_RETURN_IF_ERROR(lct.Validate(schema));
+  return lct;
+}
+
+Status Lct::Validate(const Schema& schema) const {
+  for (GroupId g = 0; g < group_members_.size(); ++g) {
+    const size_t attribute_labels =
+        schema.LabelsOfAttribute(attribute_of_group_[g]).size();
+    const size_t floor = std::min(theta_, attribute_labels);
+    if (group_members_[g].size() < floor) {
+      return Status::FailedPrecondition(
+          "label group below the theta privacy floor");
+    }
+    for (const LabelId l : group_members_[g]) {
+      if (schema.AttributeOfLabel(l) != attribute_of_group_[g]) {
+        return Status::FailedPrecondition(
+            "group mixes labels of different attributes");
+      }
+      if (group_of_label_[l] != g) {
+        return Status::Internal("LCT inverse map disagrees");
+      }
+    }
+  }
+  for (LabelId l = 0; l < group_of_label_.size(); ++l) {
+    if (group_of_label_[l] == UINT32_MAX) {
+      return Status::FailedPrecondition("label not covered by any group");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ppsm

@@ -1,0 +1,79 @@
+#ifndef PPSM_ANONYMIZE_LCT_H_
+#define PPSM_ANONYMIZE_LCT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/schema.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Identifier of a label group (generalized label). Group ids live in their
+/// own dense id space, disjoint from LabelId.
+using GroupId = uint32_t;
+
+/// Label Correspondence Table (paper §3, Fig. 2): the mapping between label
+/// groups and vertex labels. Each attribute's labels are partitioned into
+/// groups of at least θ labels (exactly θ, except the last group of an
+/// attribute absorbs the remainder; attributes with fewer than θ labels form
+/// a single group).
+///
+/// The LCT is private to the data owner: the cloud only ever sees group ids
+/// on Go and Qo, never the mapping back to labels.
+class Lct {
+ public:
+  Lct() = default;
+
+  /// Builds an LCT from per-attribute label permutations: `permutations[a]`
+  /// must be a permutation of schema.LabelsOfAttribute(a); consecutive runs
+  /// of θ labels become one group (this is exactly the paper's "divide P
+  /// sequentially into groups", §5.2). Fails if a permutation is malformed
+  /// or theta == 0.
+  static Result<Lct> FromPermutations(
+      const Schema& schema,
+      const std::vector<std::vector<LabelId>>& permutations, size_t theta);
+
+  size_t theta() const { return theta_; }
+  size_t NumGroups() const { return group_members_.size(); }
+  size_t NumLabels() const { return group_of_label_.size(); }
+
+  GroupId GroupOfLabel(LabelId label) const;
+  std::span<const LabelId> LabelsInGroup(GroupId group) const;
+  AttributeId AttributeOfGroup(GroupId group) const;
+  /// Owning type of a group (through its attribute).
+  VertexTypeId TypeOfGroup(GroupId group) const { return type_of_group_[group]; }
+
+  /// Maps a label set to its sorted, deduplicated group-id set.
+  std::vector<GroupId> GeneralizeLabels(std::span<const LabelId> labels) const;
+
+  /// Returns a copy of `graph` whose label sets are replaced by group-id
+  /// sets (types untouched). This is G -> G' (paper §3) and also Q -> Qo
+  /// (§4.2). The result is schema-less: its "labels" are group ids.
+  Result<AttributedGraph> AnonymizeGraph(const AttributedGraph& graph) const;
+
+  /// Checks the privacy floor: every group has >= min(theta, labels of its
+  /// attribute) members.
+  Status Validate(const Schema& schema) const;
+
+  /// Owner-side persistence: an anonymization is only reproducible if the
+  /// same LCT is reused, so the owner can store it alongside the graph.
+  /// (The serialized form never goes to the cloud — it IS the secret
+  /// mapping.) Deserialize validates against the schema.
+  std::vector<uint8_t> Serialize() const;
+  static Result<Lct> Deserialize(std::span<const uint8_t> bytes,
+                                 const Schema& schema);
+
+ private:
+  size_t theta_ = 0;
+  std::vector<GroupId> group_of_label_;            // Indexed by LabelId.
+  std::vector<std::vector<LabelId>> group_members_;  // Indexed by GroupId.
+  std::vector<AttributeId> attribute_of_group_;
+  std::vector<VertexTypeId> type_of_group_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_ANONYMIZE_LCT_H_

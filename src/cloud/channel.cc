@@ -1,0 +1,22 @@
+#include "cloud/channel.h"
+
+namespace ppsm {
+
+double SimulatedChannel::Transfer(size_t bytes,
+                                  const std::string& description) {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / (config_.bandwidth_mbps * 1e6);
+  const double millis = config_.latency_ms + seconds * 1e3;
+  total_bytes_ += bytes;
+  total_millis_ += millis;
+  log_.push_back(Record{description, bytes, millis});
+  return millis;
+}
+
+void SimulatedChannel::Reset() {
+  total_bytes_ = 0;
+  total_millis_ = 0.0;
+  log_.clear();
+}
+
+}  // namespace ppsm

@@ -1,0 +1,54 @@
+#ifndef PPSM_CLOUD_CHANNEL_H_
+#define PPSM_CLOUD_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppsm {
+
+/// Link model for the client <-> cloud connection. The paper's testbed put
+/// the client on a PC and the cloud on Azure; our substitute charges each
+/// serialized message `latency + bytes / bandwidth` of simulated wall time,
+/// which reproduces the paper's network-overhead comparisons (Fig. 33) —
+/// they depend only on payload sizes, not on real sockets.
+struct ChannelConfig {
+  double bandwidth_mbps = 100.0;  // Megabits per second.
+  double latency_ms = 1.0;        // Per-message one-way latency.
+};
+
+/// Byte- and time-accounting channel. Not a transport: callers move the
+/// bytes themselves; the channel just records what a real link would have
+/// cost.
+class SimulatedChannel {
+ public:
+  SimulatedChannel() = default;
+  explicit SimulatedChannel(ChannelConfig config) : config_(config) {}
+
+  /// Records a message of `bytes` and returns its simulated transfer time in
+  /// milliseconds.
+  double Transfer(size_t bytes, const std::string& description);
+
+  size_t total_bytes() const { return total_bytes_; }
+  double total_millis() const { return total_millis_; }
+  size_t num_messages() const { return log_.size(); }
+
+  struct Record {
+    std::string description;
+    size_t bytes;
+    double millis;
+  };
+  const std::vector<Record>& log() const { return log_; }
+
+  void Reset();
+
+ private:
+  ChannelConfig config_;
+  size_t total_bytes_ = 0;
+  double total_millis_ = 0.0;
+  std::vector<Record> log_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_CLOUD_CHANNEL_H_

@@ -1,0 +1,130 @@
+#include "cloud/cloud_server.h"
+
+#include <numeric>
+
+#include "match/decomposition.h"
+#include "match/result_join.h"
+#include "match/star_matcher.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace ppsm {
+
+namespace {
+/// Per-phase intermediate-row budget. A star or join state larger than this
+/// means the (anonymized) query is degenerate for exact answering; the cloud
+/// refuses with ResourceExhausted rather than exhausting memory.
+constexpr size_t kMaxRows = 2'000'000;
+}  // namespace
+
+Result<CloudServer> CloudServer::Host(std::span<const uint8_t> package_bytes) {
+  PPSM_ASSIGN_OR_RETURN(UploadPackage package,
+                        UploadPackage::Deserialize(package_bytes));
+  return Host(std::move(package));
+}
+
+Result<CloudServer> CloudServer::Host(UploadPackage package) {
+  CloudServer server;
+  const size_t num_types = package.num_types;
+  const size_t num_groups = package.type_of_group.size();
+
+  size_t num_centers = 0;
+  if (package.IsBaseline()) {
+    server.baseline_ = true;
+    server.data_ = std::move(*package.full_gk);
+    num_centers = server.data_.NumVertices();
+    server.to_gk_.resize(num_centers);
+    std::iota(server.to_gk_.begin(), server.to_gk_.end(), 0);
+    // Identity table: k = 1 makes every automorphic function the identity,
+    // so the join below degenerates to a plain natural join over Gk.
+    server.avt_ = Avt(1, static_cast<uint32_t>(num_centers));
+    for (uint32_t v = 0; v < num_centers; ++v) server.avt_.Place(v, 0, v);
+    server.stats_ = ComputeGraphStatistics(server.data_, package.k, num_types,
+                                           std::move(package.type_of_group));
+  } else {
+    if (!package.go.has_value() || !package.avt.has_value()) {
+      return Status::InvalidArgument("optimized upload lacks Go or AVT");
+    }
+    if (package.avt->k() != package.k) {
+      return Status::InvalidArgument("AVT k disagrees with package k");
+    }
+    if (package.go->num_b1 != package.avt->num_rows()) {
+      return Status::InvalidArgument("Go block size disagrees with AVT rows");
+    }
+    for (const VertexId gk_id : package.go->to_gk) {
+      if (!package.avt->Contains(gk_id)) {
+        return Status::InvalidArgument("Go references vertex outside AVT");
+      }
+    }
+    server.stats_ = ComputeGkStatistics(*package.go, num_types,
+                                        std::move(package.type_of_group));
+    num_centers = package.go->num_b1;
+    server.to_gk_ = std::move(package.go->to_gk);
+    server.data_ = std::move(package.go->graph);
+    server.avt_ = std::move(*package.avt);
+  }
+
+  WallTimer timer;
+  server.index_ =
+      CloudIndex::Build(server.data_, num_centers, num_types, num_groups);
+  server.index_build_ms_ = timer.ElapsedMillis();
+  return server;
+}
+
+Result<CloudServer::Answer> CloudServer::AnswerQuery(
+    std::span<const uint8_t> qo_bytes) const {
+  PPSM_ASSIGN_OR_RETURN(const AttributedGraph qo,
+                        DeserializeQueryRequest(qo_bytes));
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("empty query");
+  }
+
+  Answer answer;
+  WallTimer total_timer;
+
+  // Phase 1: cost-model query decomposition (exact ILP), candidate-aware
+  // so hub-rooted stars with astronomic match sets are avoided.
+  WallTimer phase_timer;
+  PPSM_ASSIGN_OR_RETURN(const StarDecomposition decomposition,
+                        DecomposeQuery(qo, stats_, data_, index_));
+  answer.stats.decomposition_ms = phase_timer.ElapsedMillis();
+  answer.stats.num_stars = decomposition.centers.size();
+
+  // Phase 2: star matching over the hosted graph (Algorithm 1), bounded by
+  // the row cap so pathological queries fail with ResourceExhausted instead
+  // of exhausting the machine.
+  phase_timer.Restart();
+  std::vector<StarMatches> stars(decomposition.centers.size());
+  ParallelFor(num_threads_, decomposition.centers.size(), [&](size_t i) {
+    stars[i] = MatchStar(data_, index_, qo, decomposition.centers[i],
+                         kMaxRows);
+  });
+  // Translate to Gk ids so the join can apply the automorphic functions.
+  for (StarMatches& star : stars) {
+    MatchSet translated(star.matches.arity());
+    std::vector<VertexId> row(star.matches.arity());
+    for (size_t r = 0; r < star.matches.NumMatches(); ++r) {
+      const auto local = star.matches.Get(r);
+      for (size_t i = 0; i < local.size(); ++i) row[i] = to_gk_[local[i]];
+      translated.Append(row);
+    }
+    star.matches = std::move(translated);
+    answer.stats.rs_size += star.matches.NumMatches();
+  }
+  answer.stats.star_matching_ms = phase_timer.ElapsedMillis();
+
+  // Phase 3: result join (Algorithm 2) -> Rin (or R(Qo,Gk) for baseline).
+  phase_timer.Restart();
+  PPSM_ASSIGN_OR_RETURN(
+      const MatchSet rin,
+      JoinStarMatches(stars, avt_, qo.NumVertices(), /*diagnostics=*/nullptr,
+                      kMaxRows));
+  answer.stats.join_ms = phase_timer.ElapsedMillis();
+
+  answer.stats.result_rows = rin.NumMatches();
+  answer.response_payload = rin.Serialize();
+  answer.stats.total_ms = total_timer.ElapsedMillis();
+  return answer;
+}
+
+}  // namespace ppsm

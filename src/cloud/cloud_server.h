@@ -1,0 +1,85 @@
+#ifndef PPSM_CLOUD_CLOUD_SERVER_H_
+#define PPSM_CLOUD_CLOUD_SERVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cloud/messages.h"
+#include "graph/attributed_graph.h"
+#include "kauto/avt.h"
+#include "match/index.h"
+#include "match/statistics.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Timing/size breakdown of one query evaluation in the cloud (the columns
+/// of the paper's Figs. 18, 19, 22).
+struct CloudQueryStats {
+  double decomposition_ms = 0.0;
+  double star_matching_ms = 0.0;
+  double join_ms = 0.0;
+  double total_ms = 0.0;
+  size_t num_stars = 0;
+  /// |RS| = total star matches across the decomposition (paper Fig. 19).
+  size_t rs_size = 0;
+  /// Rows returned (|Rin| for the optimized path, |R(Qo,Gk)| for BAS).
+  size_t result_rows = 0;
+};
+
+/// The honest-but-curious cloud. It only ever sees anonymized artifacts:
+/// the upload package (Go+AVT, or Gk for the baseline) and per-query Qo
+/// graphs whose labels are opaque group ids. Query evaluation follows
+/// §4.2.1: cost-model query decomposition (exact ILP), VBV/LBV-indexed star
+/// matching, then the result join. On the optimized path the join expands
+/// star matches with the automorphic functions and returns Rin; the baseline
+/// path hosts all of Gk, joins without expansion, and returns R(Qo,Gk).
+class CloudServer {
+ public:
+  /// Ingests a serialized upload package and builds the offline index.
+  static Result<CloudServer> Host(std::span<const uint8_t> package_bytes);
+  /// Same, from an in-memory package (tests).
+  static Result<CloudServer> Host(UploadPackage package);
+
+  /// Evaluates a serialized Qo. `response_payload` is the serialized match
+  /// set that would travel back to the client.
+  struct Answer {
+    std::vector<uint8_t> response_payload;
+    CloudQueryStats stats;
+  };
+  Result<Answer> AnswerQuery(std::span<const uint8_t> qo_bytes) const;
+
+  /// Worker threads for star matching (paper §4.2.1 notes the star phase
+  /// parallelizes; stars are independent). Default 1 (serial).
+  void SetNumThreads(size_t num_threads) {
+    num_threads_ = num_threads == 0 ? 1 : num_threads;
+  }
+  size_t num_threads() const { return num_threads_; }
+
+  bool IsBaseline() const { return baseline_; }
+  uint32_t k() const { return avt_.k(); }
+  size_t IndexMemoryBytes() const { return index_.MemoryBytes(); }
+  double IndexBuildMillis() const { return index_build_ms_; }
+  /// Number of vertices the index treats as candidate star centers.
+  size_t NumCenters() const { return index_.num_centers(); }
+  /// Number of edges stored in the hosted graph (|E(Go)| or |E(Gk)|).
+  size_t HostedEdges() const { return data_.NumEdges(); }
+  const GkStatistics& statistics() const { return stats_; }
+
+ private:
+  CloudServer() = default;
+
+  bool baseline_ = false;
+  AttributedGraph data_;           // Go (compact ids) or Gk.
+  std::vector<VertexId> to_gk_;    // Identity for baseline.
+  Avt avt_;                        // Identity table for baseline.
+  CloudIndex index_;
+  GkStatistics stats_;
+  double index_build_ms_ = 0.0;
+  size_t num_threads_ = 1;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_CLOUD_CLOUD_SERVER_H_

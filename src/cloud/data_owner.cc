@@ -1,0 +1,196 @@
+#include "cloud/data_owner.h"
+
+#include "kauto/outsourced_graph.h"
+#include "match/result_join.h"
+#include "util/timer.h"
+
+namespace ppsm {
+
+Result<DataOwner> DataOwner::Create(AttributedGraph graph,
+                                    std::shared_ptr<const Schema> schema,
+                                    const DataOwnerOptions& options) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("data owner needs the schema");
+  }
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  DataOwner owner;
+  owner.graph_ = std::move(graph);
+  owner.schema_ = std::move(schema);
+  owner.baseline_ = options.baseline_upload;
+
+  WallTimer total_timer;
+  WallTimer phase_timer;
+
+  // Label combination (§5.2) and LCT construction.
+  PPSM_ASSIGN_OR_RETURN(owner.lct_,
+                        BuildLct(options.strategy, *owner.schema_,
+                                 owner.graph_, options.grouping));
+  owner.setup_stats_.lct_ms = phase_timer.ElapsedMillis();
+
+  // G -> G': rewrite labels to group ids (§3).
+  phase_timer.Restart();
+  PPSM_ASSIGN_OR_RETURN(const AttributedGraph generalized,
+                        owner.lct_.AnonymizeGraph(owner.graph_));
+  owner.setup_stats_.anonymize_ms = phase_timer.ElapsedMillis();
+
+  // G' -> Gk (+AVT).
+  phase_timer.Restart();
+  KAutomorphismOptions kauto = options.kauto;
+  kauto.k = options.k;
+  PPSM_ASSIGN_OR_RETURN(owner.kag_,
+                        BuildKAutomorphicGraph(generalized, kauto));
+  owner.setup_stats_.kauto_ms = phase_timer.ElapsedMillis();
+  owner.setup_stats_.gk_vertices = owner.kag_.gk.NumVertices();
+  owner.setup_stats_.gk_edges = owner.kag_.gk.NumEdges();
+  owner.setup_stats_.noise_vertices = owner.kag_.NumNoiseVertices();
+  owner.setup_stats_.noise_edges = owner.kag_.NumNoiseEdges();
+
+  // Upload package and client-side filter index.
+  phase_timer.Restart();
+  PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex());
+  owner.setup_stats_.go_ms = phase_timer.ElapsedMillis();
+  owner.setup_stats_.total_ms = total_timer.ElapsedMillis();
+  return owner;
+}
+
+Result<DataOwner> DataOwner::Restore(AttributedGraph graph,
+                                     std::shared_ptr<const Schema> schema,
+                                     Lct lct, KAutomorphicGraph kag,
+                                     bool baseline_upload) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("data owner needs the schema");
+  }
+  PPSM_RETURN_IF_ERROR(lct.Validate(*schema));
+  PPSM_RETURN_IF_ERROR(kag.avt.Validate());
+  if (kag.num_original_vertices != graph.NumVertices()) {
+    return Status::InvalidArgument(
+        "Gk original-vertex count disagrees with the graph");
+  }
+  if (kag.gk.NumVertices() !=
+      static_cast<size_t>(kag.avt.k()) * kag.avt.num_rows()) {
+    return Status::InvalidArgument("AVT does not cover Gk");
+  }
+  if (kag.num_original_edges > kag.gk.NumEdges() ||
+      kag.num_original_edges != graph.NumEdges()) {
+    return Status::InvalidArgument(
+        "Gk original-edge count disagrees with the graph");
+  }
+
+  DataOwner owner;
+  owner.graph_ = std::move(graph);
+  owner.schema_ = std::move(schema);
+  owner.lct_ = std::move(lct);
+  owner.kag_ = std::move(kag);
+  owner.baseline_ = baseline_upload;
+  owner.setup_stats_.gk_vertices = owner.kag_.gk.NumVertices();
+  owner.setup_stats_.gk_edges = owner.kag_.gk.NumEdges();
+  owner.setup_stats_.noise_vertices = owner.kag_.NumNoiseVertices();
+  owner.setup_stats_.noise_edges = owner.kag_.NumNoiseEdges();
+  PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex());
+  return owner;
+}
+
+Status DataOwner::BuildUploadAndIndex() {
+  UploadPackage package;
+  package.k = kag_.avt.k();
+  package.num_types = static_cast<uint32_t>(schema_->NumTypes());
+  package.type_of_group.reserve(lct_.NumGroups());
+  for (GroupId g = 0; g < lct_.NumGroups(); ++g) {
+    package.type_of_group.push_back(lct_.TypeOfGroup(g));
+  }
+  if (baseline_) {
+    package.full_gk = kag_.gk;
+    setup_stats_.go_vertices = kag_.gk.NumVertices();
+    setup_stats_.go_edges = kag_.gk.NumEdges();
+  } else {
+    PPSM_ASSIGN_OR_RETURN(OutsourcedGraph go, BuildOutsourcedGraph(kag_));
+    setup_stats_.go_vertices = go.graph.NumVertices();
+    setup_stats_.go_edges = go.graph.NumEdges();
+    package.go = std::move(go);
+    package.avt = kag_.avt;
+  }
+  upload_bytes_ = package.Serialize();
+  setup_stats_.upload_bytes = upload_bytes_.size();
+
+  // The client-side O(1) edge filter (§4.2.2).
+  edge_keys_.clear();
+  edge_keys_.reserve(graph_.NumEdges() * 2);
+  graph_.ForEachEdge([this](VertexId u, VertexId v) {
+    edge_keys_.insert(UndirectedEdgeKey(u, v));
+  });
+  return Status::OK();
+}
+
+Result<AttributedGraph> DataOwner::AnonymizeQuery(
+    const AttributedGraph& query) const {
+  return lct_.AnonymizeGraph(query);
+}
+
+Result<std::vector<uint8_t>> DataOwner::AnonymizeQueryToRequest(
+    const AttributedGraph& query) const {
+  PPSM_ASSIGN_OR_RETURN(const AttributedGraph qo, AnonymizeQuery(query));
+  return SerializeQueryRequest(qo);
+}
+
+Result<MatchSet> DataOwner::ProcessResponse(
+    const AttributedGraph& query, std::span<const uint8_t> response_payload,
+    ClientStats* stats) const {
+  WallTimer total_timer;
+  PPSM_ASSIGN_OR_RETURN(const MatchSet rin,
+                        MatchSet::Deserialize(response_payload));
+  if (rin.arity() != query.NumVertices()) {
+    return Status::InvalidArgument(
+        "response arity disagrees with the query");
+  }
+
+  // Lines 1-5: R(Qo,Gk) = Rin ∪ F_1(Rin) ∪ ... ∪ F_{k-1}(Rin). The baseline
+  // response is R(Qo,Gk) already.
+  WallTimer phase_timer;
+  MatchSet candidates =
+      baseline_ ? rin : ExpandByAutomorphisms(rin, kag_.avt);
+  const double expand_ms = phase_timer.ElapsedMillis();
+
+  // Lines 6-23: drop matches with vertices/edges missing from G or labels
+  // that do not satisfy the original query.
+  phase_timer.Restart();
+  MatchSet results(query.NumVertices());
+  const size_t original_vertices = kag_.num_original_vertices;
+  for (size_t r = 0; r < candidates.NumMatches(); ++r) {
+    const auto match = candidates.Get(r);
+    bool keep = !MatchSet::HasDuplicateVertices(match);
+    for (size_t q = 0; keep && q < match.size(); ++q) {
+      const VertexId v = match[q];
+      if (v >= original_vertices) {
+        keep = false;  // Noise vertex (or id outside G).
+        break;
+      }
+      if (!graph_.TypesContainAll(v, query.Types(static_cast<VertexId>(q))) ||
+          !graph_.LabelsContainAll(v,
+                                   query.Labels(static_cast<VertexId>(q)))) {
+        keep = false;
+      }
+    }
+    if (keep) {
+      query.ForEachEdge([&](VertexId a, VertexId b) {
+        if (keep &&
+            !edge_keys_.contains(UndirectedEdgeKey(match[a], match[b]))) {
+          keep = false;
+        }
+      });
+    }
+    if (keep) results.Append(match);
+  }
+  results.SortDedup();
+
+  if (stats != nullptr) {
+    stats->expand_ms = expand_ms;
+    stats->filter_ms = phase_timer.ElapsedMillis();
+    stats->candidates = candidates.NumMatches();
+    stats->results = results.NumMatches();
+    stats->total_ms = total_timer.ElapsedMillis();
+  }
+  return results;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,124 @@
+#ifndef PPSM_CLOUD_DATA_OWNER_H_
+#define PPSM_CLOUD_DATA_OWNER_H_
+
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "anonymize/grouping.h"
+#include "anonymize/lct.h"
+#include "cloud/messages.h"
+#include "graph/attributed_graph.h"
+#include "kauto/kautomorphism.h"
+#include "match/match_set.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Data-owner / client configuration (one per §6.1 method: EFF, RAN, FSIM
+/// choose a grouping strategy with baseline_upload=false; BAS uses the EFF
+/// grouping with baseline_upload=true).
+struct DataOwnerOptions {
+  uint32_t k = 2;
+  GroupingStrategy strategy = GroupingStrategy::kCostModel;
+  /// BAS: upload the whole Gk instead of Go (+AVT).
+  bool baseline_upload = false;
+  GroupingOptions grouping;
+  KAutomorphismOptions kauto;  // .k is overridden with `k`.
+};
+
+/// Wall time and size accounting for the offline anonymization pipeline
+/// (paper Figs. 10-12).
+struct SetupStats {
+  double lct_ms = 0.0;        // Label-combination search.
+  double anonymize_ms = 0.0;  // G -> G' label rewrite.
+  double kauto_ms = 0.0;      // Partition + alignment + edge copy.
+  double go_ms = 0.0;         // Outsourced-graph extraction.
+  double total_ms = 0.0;
+  size_t gk_vertices = 0;
+  size_t gk_edges = 0;
+  size_t go_vertices = 0;
+  size_t go_edges = 0;  // |E(Gk)| for the baseline upload.
+  size_t noise_vertices = 0;
+  size_t noise_edges = 0;
+  size_t upload_bytes = 0;
+};
+
+/// The trusted side of the system (paper §2.3): owns G, builds the LCT and
+/// the k-automorphic artifacts, anonymizes queries, and turns the cloud's
+/// Rin back into exact answers (Algorithm 3).
+class DataOwner {
+ public:
+  /// Runs the full offline pipeline: LCT construction (chosen strategy),
+  /// label generalization G -> G', k-automorphism G' -> Gk (+AVT), Go
+  /// extraction, and upload-package serialization.
+  static Result<DataOwner> Create(AttributedGraph graph,
+                                  std::shared_ptr<const Schema> schema,
+                                  const DataOwnerOptions& options);
+
+  /// Rebuilds an owner from previously persisted artifacts (see
+  /// cloud/owner_store.h) without re-running the anonymization pipeline.
+  /// Validates the pieces against each other and re-derives the outsourced
+  /// graph, upload package and client-side hash index (all deterministic
+  /// functions of the inputs). Timing fields of setup_stats() stay zero.
+  static Result<DataOwner> Restore(AttributedGraph graph,
+                                   std::shared_ptr<const Schema> schema,
+                                   Lct lct, KAutomorphicGraph kag,
+                                   bool baseline_upload);
+
+  /// The serialized upload package destined for the cloud.
+  const std::vector<uint8_t>& upload_bytes() const { return upload_bytes_; }
+  const SetupStats& setup_stats() const { return setup_stats_; }
+
+  /// Q -> Qo: replaces each query label with its group (§4.2). The result
+  /// keeps Q's vertex ids and topology.
+  Result<AttributedGraph> AnonymizeQuery(const AttributedGraph& query) const;
+  /// Serialized Qo request for the wire.
+  Result<std::vector<uint8_t>> AnonymizeQueryToRequest(
+      const AttributedGraph& query) const;
+
+  struct ClientStats {
+    double expand_ms = 0.0;  // Rout computation (skipped for baseline).
+    double filter_ms = 0.0;  // False-positive elimination against G.
+    double total_ms = 0.0;
+    size_t candidates = 0;  // |R(Qo,Gk)| examined.
+    size_t results = 0;     // |R(Q,G)|.
+  };
+
+  /// Algorithm 3: expands Rin with the automorphic functions (unless the
+  /// upload was the baseline, whose response is already R(Qo,Gk)), then
+  /// filters matches whose vertices, edges or labels do not exist in G.
+  /// `query` must be the original (un-anonymized) Q the response answers.
+  Result<MatchSet> ProcessResponse(const AttributedGraph& query,
+                                   std::span<const uint8_t> response_payload,
+                                   ClientStats* stats = nullptr) const;
+
+  const AttributedGraph& graph() const { return graph_; }
+  const Lct& lct() const { return lct_; }
+  const KAutomorphicGraph& kag() const { return kag_; }
+  bool IsBaselineUpload() const { return baseline_; }
+  uint32_t k() const { return kag_.avt.k(); }
+
+ private:
+  DataOwner() = default;
+
+  /// Shared tail of Create/Restore: builds the upload package from the
+  /// already-populated members and the client-side edge index.
+  Status BuildUploadAndIndex();
+
+  AttributedGraph graph_;
+  std::shared_ptr<const Schema> schema_;
+  Lct lct_;
+  KAutomorphicGraph kag_;
+  bool baseline_ = false;
+  std::vector<uint8_t> upload_bytes_;
+  SetupStats setup_stats_;
+  /// O(1) edge-existence filter over E(G) (§4.2.2's hash index).
+  std::unordered_set<uint64_t, EdgeKeyHash> edge_keys_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_CLOUD_DATA_OWNER_H_

@@ -1,0 +1,109 @@
+#include "cloud/messages.h"
+
+#include "graph/serialize.h"
+
+namespace ppsm {
+
+namespace {
+
+constexpr uint32_t kUploadMagic = 0x31504c55;  // "ULP1"
+constexpr uint8_t kShapeOptimized = 0;
+constexpr uint8_t kShapeBaseline = 1;
+
+void PutBlob(BinaryWriter* writer, const std::vector<uint8_t>& blob) {
+  writer->PutVarint(blob.size());
+  for (const uint8_t b : blob) writer->PutU8(b);
+}
+
+Result<std::vector<uint8_t>> GetBlob(BinaryReader* reader) {
+  PPSM_ASSIGN_OR_RETURN(const uint64_t size, reader->GetVarint());
+  if (size > reader->remaining()) {
+    return Status::OutOfRange("truncated blob");
+  }
+  std::vector<uint8_t> blob;
+  blob.reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    PPSM_ASSIGN_OR_RETURN(const uint8_t b, reader->GetU8());
+    blob.push_back(b);
+  }
+  return blob;
+}
+
+}  // namespace
+
+std::vector<uint8_t> UploadPackage::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(kUploadMagic);
+  writer.PutU8(IsBaseline() ? kShapeBaseline : kShapeOptimized);
+  writer.PutVarint(k);
+  writer.PutVarint(num_types);
+  writer.PutVarint(type_of_group.size());
+  for (const VertexTypeId t : type_of_group) writer.PutVarint(t);
+  if (IsBaseline()) {
+    PutBlob(&writer, SerializeGraph(*full_gk));
+  } else {
+    PutBlob(&writer, go->Serialize());
+    PutBlob(&writer, avt->Serialize());
+  }
+  return writer.TakeBytes();
+}
+
+Result<UploadPackage> UploadPackage::Deserialize(
+    std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  PPSM_ASSIGN_OR_RETURN(const uint32_t magic, reader.GetU32());
+  if (magic != kUploadMagic) {
+    return Status::InvalidArgument("bad upload magic");
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint8_t shape, reader.GetU8());
+  UploadPackage package;
+  PPSM_ASSIGN_OR_RETURN(const uint64_t k, reader.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_types, reader.GetVarint());
+  if (k == 0 || k > UINT32_MAX || num_types > UINT32_MAX) {
+    return Status::InvalidArgument("bad upload header");
+  }
+  package.k = static_cast<uint32_t>(k);
+  package.num_types = static_cast<uint32_t>(num_types);
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_groups, reader.GetVarint());
+  if (num_groups > reader.remaining()) {
+    return Status::OutOfRange("group table exceeds payload");
+  }
+  package.type_of_group.reserve(num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    PPSM_ASSIGN_OR_RETURN(const uint64_t t, reader.GetVarint());
+    if (t >= package.num_types) {
+      return Status::InvalidArgument("group owner type out of range");
+    }
+    package.type_of_group.push_back(static_cast<VertexTypeId>(t));
+  }
+  if (shape == kShapeBaseline) {
+    PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> blob, GetBlob(&reader));
+    PPSM_ASSIGN_OR_RETURN(AttributedGraph gk,
+                          DeserializeGraph(blob, /*schema=*/nullptr));
+    package.full_gk = std::move(gk);
+  } else if (shape == kShapeOptimized) {
+    PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> go_blob,
+                          GetBlob(&reader));
+    PPSM_ASSIGN_OR_RETURN(OutsourcedGraph go,
+                          OutsourcedGraph::Deserialize(go_blob));
+    package.go = std::move(go);
+    PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> avt_blob,
+                          GetBlob(&reader));
+    PPSM_ASSIGN_OR_RETURN(Avt avt, Avt::Deserialize(avt_blob));
+    package.avt = std::move(avt);
+  } else {
+    return Status::InvalidArgument("unknown upload shape");
+  }
+  return package;
+}
+
+std::vector<uint8_t> SerializeQueryRequest(const AttributedGraph& qo) {
+  return SerializeGraph(qo);
+}
+
+Result<AttributedGraph> DeserializeQueryRequest(
+    std::span<const uint8_t> bytes) {
+  return DeserializeGraph(bytes, /*schema=*/nullptr);
+}
+
+}  // namespace ppsm

@@ -1,0 +1,51 @@
+#ifndef PPSM_CLOUD_MESSAGES_H_
+#define PPSM_CLOUD_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "kauto/avt.h"
+#include "kauto/outsourced_graph.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// The data owner's one-time upload to the cloud. Two shapes (paper §3 vs
+/// §4.1):
+///  * optimized (EFF/RAN/FSIM): the outsourced graph Go plus the AVT — the
+///    cloud reconstructs any part of Gk it needs through the automorphic
+///    functions;
+///  * baseline (BAS): the entire k-automorphic graph Gk, no AVT.
+/// Both carry the non-sensitive vocabulary dimensions the cloud's cost model
+/// needs: the number of vertex types and each label group's owning type.
+/// Nothing in the package maps group ids back to labels — the LCT stays with
+/// the owner.
+struct UploadPackage {
+  uint32_t k = 1;
+  uint32_t num_types = 0;
+  std::vector<VertexTypeId> type_of_group;
+
+  /// Optimized shape; engaged iff full_gk is empty.
+  std::optional<OutsourcedGraph> go;
+  std::optional<Avt> avt;
+  /// Baseline shape.
+  std::optional<AttributedGraph> full_gk;
+
+  bool IsBaseline() const { return full_gk.has_value(); }
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<UploadPackage> Deserialize(std::span<const uint8_t> bytes);
+};
+
+/// Per-query request: just the anonymized query graph Qo (its "labels" are
+/// group ids; the cloud learns nothing beyond generalized structure).
+std::vector<uint8_t> SerializeQueryRequest(const AttributedGraph& qo);
+Result<AttributedGraph> DeserializeQueryRequest(
+    std::span<const uint8_t> bytes);
+
+}  // namespace ppsm
+
+#endif  // PPSM_CLOUD_MESSAGES_H_

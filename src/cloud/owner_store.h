@@ -1,0 +1,39 @@
+#ifndef PPSM_CLOUD_OWNER_STORE_H_
+#define PPSM_CLOUD_OWNER_STORE_H_
+
+#include <string>
+
+#include "cloud/data_owner.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Durable storage for a data owner's anonymization state. The offline
+/// pipeline (partitioning + alignment + label combination) is the expensive
+/// part of the system and — more importantly — must be REUSED verbatim:
+/// re-anonymizing the same graph with a fresh random seed would publish a
+/// second, differently-noised Gk, and intersecting two published versions
+/// weakens the k-automorphism guarantee. Persisting the exact artifacts
+/// avoids both problems.
+///
+/// Layout under `directory` (created if missing):
+///   schema.bin   vocabulary (types/attributes/labels with names)
+///   graph.bin    the original G
+///   lct.bin      the secret label-correspondence table
+///   gk.bin       the k-automorphic graph Gk
+///   avt.bin      the alignment vertex table
+///   meta.bin     k, baseline flag, original-size counters
+///
+/// Everything here is OWNER-side secret material; none of it is meant for
+/// the cloud (the cloud only ever receives DataOwner::upload_bytes()).
+Status SaveDataOwner(const DataOwner& owner, const std::string& directory);
+
+/// Restores a DataOwner saved by SaveDataOwner. Re-derives the outsourced
+/// graph, upload package and client-side hash index deterministically from
+/// the stored artifacts; the restored owner produces byte-identical uploads
+/// and identical query post-processing.
+Result<DataOwner> LoadDataOwner(const std::string& directory);
+
+}  // namespace ppsm
+
+#endif  // PPSM_CLOUD_OWNER_STORE_H_

@@ -1,0 +1,86 @@
+#include "core/ppsm_system.h"
+
+namespace ppsm {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kEff:
+      return "EFF";
+    case Method::kRan:
+      return "RAN";
+    case Method::kFsim:
+      return "FSIM";
+    case Method::kBas:
+      return "BAS";
+  }
+  return "?";
+}
+
+Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
+                                     std::shared_ptr<const Schema> schema,
+                                     const SystemConfig& config) {
+  DataOwnerOptions options;
+  options.k = config.k;
+  options.grouping.theta = config.theta;
+  options.grouping.seed = config.seed;
+  options.kauto = config.kauto;
+  switch (config.method) {
+    case Method::kEff:
+      options.strategy = GroupingStrategy::kCostModel;
+      break;
+    case Method::kRan:
+      options.strategy = GroupingStrategy::kRandom;
+      break;
+    case Method::kFsim:
+      options.strategy = GroupingStrategy::kFrequencySimilar;
+      break;
+    case Method::kBas:
+      options.strategy = GroupingStrategy::kCostModel;
+      options.baseline_upload = true;
+      break;
+  }
+
+  PpsmSystem system;
+  system.config_ = config;
+  system.channel_ = SimulatedChannel(config.channel);
+
+  PPSM_ASSIGN_OR_RETURN(
+      DataOwner owner,
+      DataOwner::Create(std::move(graph), std::move(schema), options));
+  system.owner_ = std::make_unique<DataOwner>(std::move(owner));
+
+  system.upload_ms_ = system.channel_.Transfer(
+      system.owner_->upload_bytes().size(), "upload");
+
+  PPSM_ASSIGN_OR_RETURN(CloudServer cloud,
+                        CloudServer::Host(system.owner_->upload_bytes()));
+  system.cloud_ = std::make_unique<CloudServer>(std::move(cloud));
+  system.cloud_->SetNumThreads(config.cloud_threads);
+  return system;
+}
+
+Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) {
+  QueryOutcome outcome;
+
+  PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> request,
+                        owner_->AnonymizeQueryToRequest(query));
+  outcome.request_bytes = request.size();
+  outcome.network_ms += channel_.Transfer(request.size(), "query request");
+
+  PPSM_ASSIGN_OR_RETURN(const CloudServer::Answer answer,
+                        cloud_->AnswerQuery(request));
+  outcome.cloud = answer.stats;
+  outcome.response_bytes = answer.response_payload.size();
+  outcome.network_ms +=
+      channel_.Transfer(answer.response_payload.size(), "query response");
+
+  PPSM_ASSIGN_OR_RETURN(
+      outcome.results,
+      owner_->ProcessResponse(query, answer.response_payload,
+                              &outcome.client));
+  outcome.total_ms =
+      outcome.cloud.total_ms + outcome.network_ms + outcome.client.total_ms;
+  return outcome;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,83 @@
+#ifndef PPSM_CORE_PPSM_SYSTEM_H_
+#define PPSM_CORE_PPSM_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "cloud/channel.h"
+#include "cloud/cloud_server.h"
+#include "cloud/data_owner.h"
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// The four evaluated methods (paper §6.1 SETUP).
+enum class Method {
+  kEff,   // Cost-model label combination + Go upload (all optimizations).
+  kRan,   // Random label combination + Go upload.
+  kFsim,  // Frequency-similar combination + Go upload.
+  kBas,   // Cost-model combination + full-Gk upload (the §3 baseline).
+};
+
+const char* MethodName(Method method);
+
+/// End-to-end configuration of one deployment.
+struct SystemConfig {
+  Method method = Method::kEff;
+  uint32_t k = 2;
+  size_t theta = 2;
+  ChannelConfig channel;
+  uint64_t seed = 13;
+  /// Worker threads for the cloud's star-matching phase (1 = serial).
+  size_t cloud_threads = 1;
+  /// Forwarded to the k-automorphism builder (alignment strategy etc.).
+  KAutomorphismOptions kauto;
+};
+
+/// One privacy-preserving subgraph query, end to end (paper Fig. 22's
+/// decomposition: cloud time + network time + client time).
+struct QueryOutcome {
+  MatchSet results;  // Exact R(Q,G).
+  CloudQueryStats cloud;
+  DataOwner::ClientStats client;
+  double network_ms = 0.0;  // Simulated request + response transfer.
+  double total_ms = 0.0;    // cloud + network + client.
+  size_t request_bytes = 0;
+  size_t response_bytes = 0;
+};
+
+/// Facade wiring a DataOwner, a SimulatedChannel and a CloudServer into the
+/// paper's full workflow: Setup() runs the offline pipeline and "uploads"
+/// (serializing through the channel); Query() anonymizes Q, ships Qo, runs
+/// the cloud evaluation, ships the response, and post-processes to exact
+/// answers.
+class PpsmSystem {
+ public:
+  static Result<PpsmSystem> Setup(AttributedGraph graph,
+                                  std::shared_ptr<const Schema> schema,
+                                  const SystemConfig& config);
+
+  Result<QueryOutcome> Query(const AttributedGraph& query);
+
+  const SetupStats& setup_stats() const { return owner_->setup_stats(); }
+  const DataOwner& owner() const { return *owner_; }
+  const CloudServer& cloud() const { return *cloud_; }
+  const SimulatedChannel& channel() const { return channel_; }
+  const SystemConfig& config() const { return config_; }
+  /// Simulated upload transfer time (the one-time outsourcing cost).
+  double upload_ms() const { return upload_ms_; }
+
+ private:
+  PpsmSystem() = default;
+
+  SystemConfig config_;
+  std::unique_ptr<DataOwner> owner_;
+  std::unique_ptr<CloudServer> cloud_;
+  SimulatedChannel channel_;
+  double upload_ms_ = 0.0;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_CORE_PPSM_SYSTEM_H_

@@ -1,0 +1,224 @@
+#include "graph/attributed_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppsm {
+
+namespace {
+
+template <typename T>
+void SortUnique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+template <typename T>
+bool SortedContains(std::span<const T> haystack, T needle) {
+  return std::binary_search(haystack.begin(), haystack.end(), needle);
+}
+
+}  // namespace
+
+std::span<const VertexTypeId> AttributedGraph::Types(VertexId v) const {
+  assert(IsValidVertex(v));
+  return types_[v];
+}
+
+VertexTypeId AttributedGraph::PrimaryType(VertexId v) const {
+  assert(IsValidVertex(v));
+  assert(!types_[v].empty());
+  return types_[v].front();
+}
+
+std::span<const LabelId> AttributedGraph::Labels(VertexId v) const {
+  assert(IsValidVertex(v));
+  return labels_[v];
+}
+
+bool AttributedGraph::HasType(VertexId v, VertexTypeId t) const {
+  return SortedContains(Types(v), t);
+}
+
+bool AttributedGraph::HasLabel(VertexId v, LabelId l) const {
+  return SortedContains(Labels(v), l);
+}
+
+bool AttributedGraph::LabelsContainAll(VertexId v,
+                                       std::span<const LabelId> labels) const {
+  const auto mine = Labels(v);
+  return std::includes(mine.begin(), mine.end(), labels.begin(), labels.end());
+}
+
+bool AttributedGraph::TypesContainAll(
+    VertexId v, std::span<const VertexTypeId> types) const {
+  const auto mine = Types(v);
+  return std::includes(mine.begin(), mine.end(), types.begin(), types.end());
+}
+
+std::span<const VertexId> AttributedGraph::Neighbors(VertexId v) const {
+  assert(IsValidVertex(v));
+  return adjacency_[v];
+}
+
+bool AttributedGraph::HasEdge(VertexId u, VertexId v) const {
+  if (!IsValidVertex(u) || !IsValidVertex(v)) return false;
+  // Search the shorter list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  return SortedContains(Neighbors(u), v);
+}
+
+double AttributedGraph::AverageDegree() const {
+  if (NumVertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(NumVertices());
+}
+
+size_t AttributedGraph::MaxDegree() const {
+  size_t max_degree = 0;
+  for (const auto& adj : adjacency_) max_degree = std::max(max_degree, adj.size());
+  return max_degree;
+}
+
+void AttributedGraph::ForEachEdge(
+    const std::function<void(VertexId, VertexId)>& fn) const {
+  for (VertexId u = 0; u < adjacency_.size(); ++u) {
+    for (const VertexId v : adjacency_[u]) {
+      if (u < v) fn(u, v);
+    }
+  }
+}
+
+size_t AttributedGraph::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& v : types_) bytes += v.capacity() * sizeof(VertexTypeId);
+  for (const auto& v : labels_) bytes += v.capacity() * sizeof(LabelId);
+  for (const auto& v : adjacency_) bytes += v.capacity() * sizeof(VertexId);
+  bytes += (types_.capacity() + labels_.capacity()) *
+               sizeof(std::vector<uint32_t>) +
+           adjacency_.capacity() * sizeof(std::vector<VertexId>);
+  return bytes;
+}
+
+GraphBuilder::GraphBuilder(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {}
+
+void GraphBuilder::ReserveVertices(size_t n) {
+  types_.reserve(n);
+  labels_.reserve(n);
+  adjacency_.reserve(n);
+}
+
+VertexId GraphBuilder::AddVertex(VertexTypeId type,
+                                 std::vector<LabelId> labels) {
+  return AddVertex(std::vector<VertexTypeId>{type}, std::move(labels));
+}
+
+VertexId GraphBuilder::AddVertex(std::vector<VertexTypeId> types,
+                                 std::vector<LabelId> labels) {
+  const auto id = static_cast<VertexId>(adjacency_.size());
+  types_.push_back(std::move(types));
+  labels_.push_back(std::move(labels));
+  adjacency_.emplace_back();
+  return id;
+}
+
+Status GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not allowed");
+  if (HasEdge(u, v)) return Status::AlreadyExists("duplicate edge");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+bool GraphBuilder::TryAddEdge(VertexId u, VertexId v) {
+  assert(u < adjacency_.size() && v < adjacency_.size());
+  if (u == v || HasEdge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+void GraphBuilder::AddEdgeUnchecked(VertexId u, VertexId v) {
+  assert(u < adjacency_.size() && v < adjacency_.size());
+  assert(u != v);
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool GraphBuilder::HasEdge(VertexId u, VertexId v) const {
+  assert(u < adjacency_.size() && v < adjacency_.size());
+  // Probe the shorter of the two (unsorted) lists.
+  const auto& list =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const VertexId other = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(list.begin(), list.end(), other) != list.end();
+}
+
+void GraphBuilder::SetLabels(VertexId v, std::vector<LabelId> labels) {
+  assert(v < labels_.size());
+  labels_[v] = std::move(labels);
+}
+
+void GraphBuilder::SetTypes(VertexId v, std::vector<VertexTypeId> types) {
+  assert(v < types_.size());
+  types_[v] = std::move(types);
+}
+
+Result<AttributedGraph> GraphBuilder::Build() {
+  for (VertexId v = 0; v < adjacency_.size(); ++v) {
+    SortUnique(types_[v]);
+    SortUnique(labels_[v]);
+    std::sort(adjacency_[v].begin(), adjacency_[v].end());
+    if (types_[v].empty()) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " has no vertex type");
+    }
+    if (schema_ != nullptr) {
+      for (const VertexTypeId t : types_[v]) {
+        if (!schema_->IsValidType(t)) {
+          return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                         " references unknown type id " +
+                                         std::to_string(t));
+        }
+      }
+      for (const LabelId l : labels_[v]) {
+        if (!schema_->IsValidLabel(l)) {
+          return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                         " references unknown label id " +
+                                         std::to_string(l));
+        }
+        const VertexTypeId owner = schema_->TypeOfLabel(l);
+        if (std::find(types_[v].begin(), types_[v].end(), owner) ==
+            types_[v].end()) {
+          return Status::InvalidArgument(
+              "vertex " + std::to_string(v) + " carries label '" +
+              schema_->LabelName(l) + "' owned by type '" +
+              schema_->TypeName(owner) + "' which is not among its types");
+        }
+      }
+    }
+  }
+
+  AttributedGraph graph;
+  graph.schema_ = std::move(schema_);
+  graph.types_ = std::move(types_);
+  graph.labels_ = std::move(labels_);
+  graph.adjacency_ = std::move(adjacency_);
+  graph.num_edges_ = num_edges_;
+
+  types_.clear();
+  labels_.clear();
+  adjacency_.clear();
+  num_edges_ = 0;
+  return graph;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,141 @@
+#ifndef PPSM_GRAPH_ATTRIBUTED_GRAPH_H_
+#define PPSM_GRAPH_ATTRIBUTED_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/schema.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+using VertexId = uint32_t;
+inline constexpr VertexId kInvalidVertex = UINT32_MAX;
+
+/// An immutable undirected attributed graph (paper §2.1 Def. 1). Used for
+/// the original graph G, the k-automorphic graph Gk, the outsourced graph Go
+/// and query graphs Q / Qo alike.
+///
+/// Each vertex carries:
+///  * a sorted set of vertex types — a singleton in any original graph; in an
+///    anonymized graph a symmetric vertex group exposes the union of its
+///    members' types (see DESIGN.md, "Vertex types under symmetry");
+///  * a sorted set of labels — raw attribute values in an original graph, or
+///    label-group ids (from the LCT) in an anonymized graph.
+///
+/// Adjacency lists are sorted, enabling O(log d) edge tests; instances are
+/// produced by GraphBuilder and never mutated afterwards, so matching code
+/// can hold spans into them safely.
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  size_t NumVertices() const { return adjacency_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  bool IsValidVertex(VertexId v) const { return v < adjacency_.size(); }
+
+  /// Sorted type set of `v` (singleton for original graphs).
+  std::span<const VertexTypeId> Types(VertexId v) const;
+  /// The primary (first) type of `v`. Every vertex has at least one type.
+  VertexTypeId PrimaryType(VertexId v) const;
+  /// Sorted label set of `v` (raw labels or label-group ids).
+  std::span<const LabelId> Labels(VertexId v) const;
+
+  bool HasType(VertexId v, VertexTypeId t) const;
+  bool HasLabel(VertexId v, LabelId l) const;
+  /// True iff every id in `labels` (sorted) appears in Labels(v).
+  bool LabelsContainAll(VertexId v, std::span<const LabelId> labels) const;
+  /// True iff every id in `types` (sorted) appears in Types(v).
+  bool TypesContainAll(VertexId v, std::span<const VertexTypeId> types) const;
+
+  /// Sorted neighbor list of `v`.
+  std::span<const VertexId> Neighbors(VertexId v) const;
+  size_t Degree(VertexId v) const { return Neighbors(v).size(); }
+  /// O(log d) undirected edge test.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// 2|E| / |V|; the D(Gk) term of the cost model (paper §5.1).
+  double AverageDegree() const;
+  size_t MaxDegree() const;
+
+  /// Invokes `fn(u, v)` once per undirected edge, with u < v.
+  void ForEachEdge(const std::function<void(VertexId, VertexId)>& fn) const;
+
+  /// Shared vocabulary; may be null for schema-less test graphs.
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+
+  /// Approximate heap footprint in bytes (storage-cost accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::shared_ptr<const Schema> schema_;
+  std::vector<std::vector<VertexTypeId>> types_;   // Sorted per vertex.
+  std::vector<std::vector<LabelId>> labels_;       // Sorted per vertex.
+  std::vector<std::vector<VertexId>> adjacency_;   // Sorted per vertex.
+  size_t num_edges_ = 0;
+};
+
+/// Accumulates vertices and edges, then validates and freezes them into an
+/// AttributedGraph. Self-loops are rejected eagerly; duplicate edges are
+/// rejected by AddEdge but tolerated by TryAddEdge (which generators use).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  /// `schema` may be null; if present, Build() validates every vertex's
+  /// types and labels against it.
+  explicit GraphBuilder(std::shared_ptr<const Schema> schema);
+
+  /// Pre-allocates vertex storage.
+  void ReserveVertices(size_t n);
+
+  /// Adds a vertex with a single type.
+  VertexId AddVertex(VertexTypeId type, std::vector<LabelId> labels);
+  /// Adds a vertex with a type set (used when building anonymized graphs).
+  VertexId AddVertex(std::vector<VertexTypeId> types,
+                     std::vector<LabelId> labels);
+
+  /// Adds an undirected edge. Fails on self-loops, unknown endpoints, or
+  /// duplicates.
+  Status AddEdge(VertexId u, VertexId v);
+  /// Adds an undirected edge if absent; returns true iff it was added.
+  /// Self-loops return false. Endpoints must exist.
+  bool TryAddEdge(VertexId u, VertexId v);
+  /// Appends an edge without the duplicate probe. For bulk loads whose edge
+  /// list was already deduplicated (the k-automorphism builder sorts edge
+  /// keys first); inserting an actual duplicate corrupts the graph.
+  void AddEdgeUnchecked(VertexId u, VertexId v);
+  /// O(d) duplicate probe against the under-construction adjacency.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  size_t NumVertices() const { return adjacency_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Replaces the label set of an existing vertex (the anonymizer rewrites
+  /// labels to group ids in place before freezing).
+  void SetLabels(VertexId v, std::vector<LabelId> labels);
+  /// Replaces the type set of an existing vertex.
+  void SetTypes(VertexId v, std::vector<VertexTypeId> types);
+
+  /// Validates, sorts and freezes. The builder is left empty afterwards.
+  /// Fails with InvalidArgument if a vertex has no type, or (when a schema is
+  /// attached) references unknown type/label ids or labels whose owning type
+  /// is not among the vertex's types.
+  Result<AttributedGraph> Build();
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<std::vector<VertexTypeId>> types_;
+  std::vector<std::vector<LabelId>> labels_;
+  std::vector<std::vector<VertexId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_ATTRIBUTED_GRAPH_H_

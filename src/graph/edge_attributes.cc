@@ -1,0 +1,60 @@
+#include "graph/edge_attributes.h"
+
+namespace ppsm {
+
+EdgeAttributedGraphBuilder::EdgeAttributedGraphBuilder(
+    std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {}
+
+VertexId EdgeAttributedGraphBuilder::AddVertex(VertexTypeId type,
+                                               std::vector<LabelId> labels) {
+  types_.push_back(type);
+  labels_.push_back(std::move(labels));
+  return static_cast<VertexId>(num_real_vertices_++);
+}
+
+Status EdgeAttributedGraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u >= num_real_vertices_ || v >= num_real_vertices_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not allowed");
+  plain_edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+Status EdgeAttributedGraphBuilder::AddAttributedEdge(
+    VertexId u, VertexId v, VertexTypeId edge_type,
+    std::vector<LabelId> labels) {
+  if (u >= num_real_vertices_ || v >= num_real_vertices_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not allowed");
+  attributed_edges_.push_back(
+      PendingEdge{u, v, edge_type, std::move(labels)});
+  return Status::OK();
+}
+
+Result<EdgeAttributedGraphBuilder::Reified>
+EdgeAttributedGraphBuilder::Build() {
+  GraphBuilder builder(schema_);
+  builder.ReserveVertices(num_real_vertices_ + attributed_edges_.size());
+  for (size_t v = 0; v < num_real_vertices_; ++v) {
+    builder.AddVertex(types_[v], labels_[v]);
+  }
+  for (const auto& [u, v] : plain_edges_) {
+    PPSM_RETURN_IF_ERROR(builder.AddEdge(u, v));
+  }
+
+  Reified reified;
+  reified.num_real_vertices = num_real_vertices_;
+  for (PendingEdge& edge : attributed_edges_) {
+    const VertexId x = builder.AddVertex(edge.type, std::move(edge.labels));
+    reified.edge_vertices.push_back(x);
+    PPSM_RETURN_IF_ERROR(builder.AddEdge(edge.u, x));
+    PPSM_RETURN_IF_ERROR(builder.AddEdge(x, edge.v));
+  }
+  PPSM_ASSIGN_OR_RETURN(reified.graph, builder.Build());
+  return reified;
+}
+
+}  // namespace ppsm

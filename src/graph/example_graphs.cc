@@ -1,0 +1,103 @@
+#include "graph/example_graphs.h"
+
+#include "util/logging.h"
+
+namespace ppsm {
+
+RunningExample MakeRunningExample() {
+  auto schema = std::make_shared<Schema>();
+
+  const auto individual = schema->AddType("Individual");
+  const auto company = schema->AddType("Company");
+  const auto school = schema->AddType("School");
+  PPSM_CHECK_OK(individual);
+  PPSM_CHECK_OK(company);
+  PPSM_CHECK_OK(school);
+
+  const auto gender = schema->AddAttribute(individual.value(), "GENDER");
+  const auto occupation =
+      schema->AddAttribute(individual.value(), "OCCUPATION");
+  const auto company_type =
+      schema->AddAttribute(company.value(), "COMPANY TYPE");
+  const auto state = schema->AddAttribute(company.value(), "STATE");
+  const auto located_in = schema->AddAttribute(school.value(), "LOCATEDIN");
+  PPSM_CHECK_OK(gender);
+  PPSM_CHECK_OK(occupation);
+  PPSM_CHECK_OK(company_type);
+  PPSM_CHECK_OK(state);
+  PPSM_CHECK_OK(located_in);
+
+  auto add_label = [&schema](const Result<AttributeId>& attr,
+                             const char* name) {
+    const auto label = schema->AddLabel(attr.value(), name);
+    PPSM_CHECK_OK(label);
+    return label.value();
+  };
+
+  const LabelId male = add_label(gender, "Male");
+  const LabelId female = add_label(gender, "Female");
+  const LabelId engineer = add_label(occupation, "Engineer");
+  const LabelId hr = add_label(occupation, "HR");
+  const LabelId accountant = add_label(occupation, "Accountant");
+  const LabelId manager = add_label(occupation, "Manager");
+  const LabelId internet = add_label(company_type, "Internet");
+  const LabelId software = add_label(company_type, "Software");
+  const LabelId california = add_label(state, "California");
+  const LabelId washington = add_label(state, "Washington");
+  const LabelId illinois = add_label(located_in, "Illinois");
+  const LabelId massachusetts = add_label(located_in, "Massachusetts");
+
+  RunningExample ex;
+  ex.schema = schema;
+  ex.individual_type = individual.value();
+  ex.company_type = company.value();
+  ex.school_type = school.value();
+
+  // Data graph G (Figure 1).
+  GraphBuilder g(schema);
+  ex.p1 = g.AddVertex(individual.value(), {male, engineer});     // Tom
+  ex.p2 = g.AddVertex(individual.value(), {female, hr});         // Lucy
+  ex.p3 = g.AddVertex(individual.value(), {female, accountant});  // Alice
+  ex.p4 = g.AddVertex(individual.value(), {male, manager});      // David
+  ex.c1 = g.AddVertex(company.value(), {internet, california});  // Google
+  ex.c2 = g.AddVertex(company.value(), {software, washington});  // Microsoft
+  ex.s1 = g.AddVertex(school.value(), {illinois});               // UIUC
+  ex.s2 = g.AddVertex(school.value(), {massachusetts});          // MIT
+
+  PPSM_CHECK_OK(g.AddEdge(ex.p1, ex.p2));  // Spouse.
+  PPSM_CHECK_OK(g.AddEdge(ex.p3, ex.p4));  // Spouse.
+  PPSM_CHECK_OK(g.AddEdge(ex.p1, ex.c1));  // Works at.
+  PPSM_CHECK_OK(g.AddEdge(ex.p2, ex.c1));
+  PPSM_CHECK_OK(g.AddEdge(ex.p3, ex.c2));
+  PPSM_CHECK_OK(g.AddEdge(ex.p4, ex.c2));
+  PPSM_CHECK_OK(g.AddEdge(ex.p1, ex.s1));  // Graduated from.
+  PPSM_CHECK_OK(g.AddEdge(ex.p2, ex.s1));
+  PPSM_CHECK_OK(g.AddEdge(ex.p3, ex.s1));
+  PPSM_CHECK_OK(g.AddEdge(ex.p4, ex.s2));
+
+  auto graph = g.Build();
+  PPSM_CHECK_OK(graph);
+  ex.graph = std::move(graph).value();
+
+  // Query Q (Figure 1): q1 = Internet company, q2 = individual, q3 = school
+  // located in Illinois, q5 = individual, q4 = Software company, on a path
+  // q1 - q2 - q3 - q5 - q4. It has exactly two matches over G
+  // ((p1,c1,s1,p3,c2) and (p2,c1,s1,p3,c2), as the paper states).
+  GraphBuilder q(schema);
+  const VertexId q1 = q.AddVertex(company.value(), {internet});
+  const VertexId q2 = q.AddVertex(individual.value(), {});
+  const VertexId q3 = q.AddVertex(school.value(), {illinois});
+  const VertexId q4 = q.AddVertex(company.value(), {software});
+  const VertexId q5 = q.AddVertex(individual.value(), {});
+  PPSM_CHECK_OK(q.AddEdge(q1, q2));
+  PPSM_CHECK_OK(q.AddEdge(q2, q3));
+  PPSM_CHECK_OK(q.AddEdge(q3, q5));
+  PPSM_CHECK_OK(q.AddEdge(q5, q4));
+
+  auto query = q.Build();
+  PPSM_CHECK_OK(query);
+  ex.query = std::move(query).value();
+  return ex;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,33 @@
+#ifndef PPSM_GRAPH_EXAMPLE_GRAPHS_H_
+#define PPSM_GRAPH_EXAMPLE_GRAPHS_H_
+
+#include <memory>
+
+#include "graph/attributed_graph.h"
+#include "graph/schema.h"
+
+namespace ppsm {
+
+/// The paper's running example (Figure 1): a professional social network
+/// with Individual / Company / School entities. Vertex ids match the paper:
+///   0..3 = p1..p4 (individuals), 4..5 = c1..c2 (companies),
+///   6..7 = s1..s2 (schools).
+/// Edges: spouse p1-p2, p3-p4; work-at p1-c1, p2-c1, p3-c2, p4-c2;
+/// graduate-from p1-s1, p2-s1, p3-s1, p4-s2.
+struct RunningExample {
+  std::shared_ptr<const Schema> schema;
+  AttributedGraph graph;  // The data graph G of Figure 1.
+  AttributedGraph query;  // The query Q of Figure 1 (5 vertices, 5 edges).
+
+  // Handy ids for assertions/examples.
+  VertexId p1, p2, p3, p4, c1, c2, s1, s2;
+  VertexTypeId individual_type, company_type, school_type;
+};
+
+/// Builds the Figure 1 graph + query. Aborts on internal inconsistency (the
+/// data is hard-coded), so the return value is always usable.
+RunningExample MakeRunningExample();
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_EXAMPLE_GRAPHS_H_

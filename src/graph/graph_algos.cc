@@ -1,0 +1,97 @@
+#include "graph/graph_algos.h"
+
+#include <cassert>
+#include <deque>
+
+namespace ppsm {
+
+std::vector<VertexId> BfsOrder(const AttributedGraph& graph, VertexId start) {
+  assert(graph.IsValidVertex(start));
+  std::vector<bool> visited(graph.NumVertices(), false);
+  std::vector<VertexId> order;
+  order.reserve(graph.NumVertices());
+  std::deque<VertexId> queue{start};
+  visited[start] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (const VertexId v : graph.Neighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> ConnectedComponents(const AttributedGraph& graph) {
+  std::vector<uint32_t> component(graph.NumVertices(), UINT32_MAX);
+  uint32_t next_component = 0;
+  for (VertexId seed = 0; seed < graph.NumVertices(); ++seed) {
+    if (component[seed] != UINT32_MAX) continue;
+    const uint32_t id = next_component++;
+    std::deque<VertexId> queue{seed};
+    component[seed] = id;
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (const VertexId v : graph.Neighbors(u)) {
+        if (component[v] == UINT32_MAX) {
+          component[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+size_t NumConnectedComponents(const AttributedGraph& graph) {
+  const auto component = ConnectedComponents(graph);
+  uint32_t max_id = 0;
+  bool any = false;
+  for (const uint32_t c : component) {
+    max_id = std::max(max_id, c);
+    any = true;
+  }
+  return any ? max_id + 1 : 0;
+}
+
+bool IsConnected(const AttributedGraph& graph) {
+  return NumConnectedComponents(graph) <= 1;
+}
+
+std::vector<size_t> DegreeHistogram(const AttributedGraph& graph) {
+  std::vector<size_t> histogram(graph.MaxDegree() + 1, 0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ++histogram[graph.Degree(v)];
+  }
+  return histogram;
+}
+
+bool IsAutomorphism(const AttributedGraph& graph,
+                    const std::vector<VertexId>& perm) {
+  if (perm.size() != graph.NumVertices()) return false;
+  // Bijectivity.
+  std::vector<bool> hit(perm.size(), false);
+  for (const VertexId image : perm) {
+    if (image >= perm.size() || hit[image]) return false;
+    hit[image] = true;
+  }
+  // Degree preservation is implied by edge preservation but checking it first
+  // fails fast on large graphs.
+  for (VertexId v = 0; v < perm.size(); ++v) {
+    if (graph.Degree(v) != graph.Degree(perm[v])) return false;
+  }
+  bool ok = true;
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    if (!graph.HasEdge(perm[u], perm[v])) ok = false;
+  });
+  // Edge count is preserved by bijectivity, so E -> E injective on edges
+  // implies surjective; one direction suffices.
+  return ok;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,37 @@
+#ifndef PPSM_GRAPH_GRAPH_ALGOS_H_
+#define PPSM_GRAPH_GRAPH_ALGOS_H_
+
+#include <vector>
+
+#include "graph/attributed_graph.h"
+
+namespace ppsm {
+
+/// BFS visit order from `start`; contains only vertices reachable from
+/// `start`. Neighbors are visited in sorted (ascending id) order, so the
+/// result is deterministic.
+std::vector<VertexId> BfsOrder(const AttributedGraph& graph, VertexId start);
+
+/// Component id per vertex (0-based, assigned in ascending order of the
+/// smallest vertex id in the component).
+std::vector<uint32_t> ConnectedComponents(const AttributedGraph& graph);
+
+/// Number of connected components.
+size_t NumConnectedComponents(const AttributedGraph& graph);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+bool IsConnected(const AttributedGraph& graph);
+
+/// degree -> number of vertices with that degree; index = degree.
+std::vector<size_t> DegreeHistogram(const AttributedGraph& graph);
+
+/// True iff `perm` (a bijection V -> V given as a vector) is a graph
+/// automorphism of `graph`: (u,v) in E <=> (perm[u],perm[v]) in E. Used by
+/// the k-automorphism property tests. Label/type preservation is checked
+/// separately because anonymized graphs make rows uniform by construction.
+bool IsAutomorphism(const AttributedGraph& graph,
+                    const std::vector<VertexId>& perm);
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_GRAPH_ALGOS_H_

@@ -1,0 +1,109 @@
+#include "graph/query_extractor.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace ppsm {
+
+namespace {
+
+/// One extraction attempt; returns false if the walk gets stuck before
+/// reaching `num_edges`.
+bool TryExtract(const AttributedGraph& graph, size_t num_edges, Rng& rng,
+                std::vector<VertexId>* data_vertices,
+                std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  data_vertices->clear();
+  edges->clear();
+
+  // Locate a random first edge.
+  VertexId u = kInvalidVertex;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const auto candidate =
+        static_cast<VertexId>(rng.Below(graph.NumVertices()));
+    if (graph.Degree(candidate) > 0) {
+      u = candidate;
+      break;
+    }
+  }
+  if (u == kInvalidVertex) return false;
+  const auto neighbors = graph.Neighbors(u);
+  const VertexId v = neighbors[rng.Below(neighbors.size())];
+
+  std::unordered_map<VertexId, uint32_t> query_id;  // data -> query vertex.
+  std::unordered_set<uint64_t, EdgeKeyHash> used_edges;
+  auto map_vertex = [&](VertexId data) {
+    const auto it = query_id.find(data);
+    if (it != query_id.end()) return it->second;
+    const auto id = static_cast<uint32_t>(data_vertices->size());
+    query_id.emplace(data, id);
+    data_vertices->push_back(data);
+    return id;
+  };
+
+  used_edges.insert(UndirectedEdgeKey(u, v));
+  edges->emplace_back(map_vertex(u), map_vertex(v));
+
+  size_t stuck = 0;
+  const size_t stuck_limit = 64 * (num_edges + 1);
+  while (edges->size() < num_edges) {
+    if (++stuck > stuck_limit) return false;
+    // Random-walk step: a random already-selected data vertex, then a random
+    // incident data edge.
+    const VertexId from = (*data_vertices)[rng.Below(data_vertices->size())];
+    const auto from_neighbors = graph.Neighbors(from);
+    if (from_neighbors.empty()) continue;
+    const VertexId to = from_neighbors[rng.Below(from_neighbors.size())];
+    const uint64_t key = UndirectedEdgeKey(from, to);
+    if (used_edges.contains(key)) continue;
+    used_edges.insert(key);
+    edges->emplace_back(map_vertex(from), map_vertex(to));
+    stuck = 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExtractedQuery> ExtractQuery(const AttributedGraph& graph,
+                                    size_t num_edges, Rng& rng,
+                                    int max_restarts) {
+  if (num_edges == 0) {
+    return Status::InvalidArgument("query must have at least one edge");
+  }
+  if (graph.NumEdges() < num_edges) {
+    return Status::FailedPrecondition(
+        "data graph has fewer edges than requested query size");
+  }
+
+  std::vector<VertexId> data_vertices;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  bool success = false;
+  for (int attempt = 0; attempt < max_restarts; ++attempt) {
+    if (TryExtract(graph, num_edges, rng, &data_vertices, &edges)) {
+      success = true;
+      break;
+    }
+  }
+  if (!success) {
+    return Status::FailedPrecondition(
+        "could not extract a connected query of the requested size");
+  }
+
+  GraphBuilder builder(graph.schema());
+  for (const VertexId data : data_vertices) {
+    const auto types = graph.Types(data);
+    const auto labels = graph.Labels(data);
+    builder.AddVertex(
+        std::vector<VertexTypeId>(types.begin(), types.end()),
+        std::vector<LabelId>(labels.begin(), labels.end()));
+  }
+  for (const auto& [a, b] : edges) {
+    PPSM_RETURN_IF_ERROR(builder.AddEdge(a, b));
+  }
+  PPSM_ASSIGN_OR_RETURN(AttributedGraph query, builder.Build());
+  return ExtractedQuery{std::move(query), std::move(data_vertices)};
+}
+
+}  // namespace ppsm

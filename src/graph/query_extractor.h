@@ -1,0 +1,35 @@
+#ifndef PPSM_GRAPH_QUERY_EXTRACTOR_H_
+#define PPSM_GRAPH_QUERY_EXTRACTOR_H_
+
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// A query graph extracted from a data graph, together with the data
+/// vertices it was carved from (so tests know at least one match exists).
+struct ExtractedQuery {
+  AttributedGraph query;
+  /// planted[i] = the data vertex that query vertex i was copied from.
+  std::vector<VertexId> planted;
+};
+
+/// Generates a connected query graph with exactly `num_edges` edges by the
+/// paper's §6.3 procedure: "randomly locate the first edge e from the data
+/// graph G and set E(Q) = {e}. We then expand the current query graph Q
+/// through a random walk over G iteratively until it reaches N edges."
+/// Query vertices inherit the type and the full label set of their source
+/// data vertex.
+///
+/// Fails with FailedPrecondition if the graph cannot host such a query
+/// (e.g. too small) after `max_restarts` attempts.
+Result<ExtractedQuery> ExtractQuery(const AttributedGraph& graph,
+                                    size_t num_edges, Rng& rng,
+                                    int max_restarts = 64);
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_QUERY_EXTRACTOR_H_

@@ -1,0 +1,203 @@
+#include "graph/query_shapes.h"
+
+#include <unordered_set>
+
+namespace ppsm {
+
+namespace {
+
+/// Copies the selected data vertices (with their types/labels) and local
+/// edges into a query graph.
+Result<ExtractedQuery> Materialize(
+    const AttributedGraph& graph, std::vector<VertexId> data_vertices,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  GraphBuilder builder(graph.schema());
+  for (const VertexId data : data_vertices) {
+    const auto types = graph.Types(data);
+    const auto labels = graph.Labels(data);
+    builder.AddVertex(std::vector<VertexTypeId>(types.begin(), types.end()),
+                      std::vector<LabelId>(labels.begin(), labels.end()));
+  }
+  for (const auto& [a, b] : edges) {
+    PPSM_RETURN_IF_ERROR(builder.AddEdge(a, b));
+  }
+  PPSM_ASSIGN_OR_RETURN(AttributedGraph query, builder.Build());
+  return ExtractedQuery{std::move(query), std::move(data_vertices)};
+}
+
+/// A simple path (or open walk for kTree) over distinct vertices.
+bool TryDistinctWalk(const AttributedGraph& graph, size_t num_edges,
+                     Rng& rng, bool tree_branching,
+                     std::vector<VertexId>* vertices,
+                     std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  vertices->clear();
+  edges->clear();
+  std::unordered_set<VertexId> used;
+  const auto start = static_cast<VertexId>(rng.Below(graph.NumVertices()));
+  vertices->push_back(start);
+  used.insert(start);
+  while (edges->size() < num_edges) {
+    // Path: always extend from the tail. Tree: extend from any vertex.
+    const uint32_t from_local =
+        tree_branching
+            ? static_cast<uint32_t>(rng.Below(vertices->size()))
+            : static_cast<uint32_t>(vertices->size() - 1);
+    const VertexId from = (*vertices)[from_local];
+    // Collect unvisited neighbors.
+    std::vector<VertexId> fresh;
+    for (const VertexId nb : graph.Neighbors(from)) {
+      if (!used.contains(nb)) fresh.push_back(nb);
+    }
+    if (fresh.empty()) {
+      if (!tree_branching) return false;  // Path dead end.
+      // Tree: some other vertex may still have fresh neighbors; probe a few
+      // times before giving up.
+      bool found = false;
+      for (int probe = 0; probe < 16 && !found; ++probe) {
+        const auto local =
+            static_cast<uint32_t>(rng.Below(vertices->size()));
+        for (const VertexId nb : graph.Neighbors((*vertices)[local])) {
+          if (!used.contains(nb)) {
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) return false;
+      continue;
+    }
+    const VertexId to = fresh[rng.Below(fresh.size())];
+    used.insert(to);
+    vertices->push_back(to);
+    edges->emplace_back(from_local,
+                        static_cast<uint32_t>(vertices->size() - 1));
+  }
+  return true;
+}
+
+bool TryStar(const AttributedGraph& graph, size_t num_edges, Rng& rng,
+             std::vector<VertexId>* vertices,
+             std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  vertices->clear();
+  edges->clear();
+  const auto center = static_cast<VertexId>(rng.Below(graph.NumVertices()));
+  const auto neighbors = graph.Neighbors(center);
+  if (neighbors.size() < num_edges) return false;
+  vertices->push_back(center);
+  // Sample num_edges distinct neighbors (partial Fisher-Yates over a copy).
+  std::vector<VertexId> pool(neighbors.begin(), neighbors.end());
+  for (size_t i = 0; i < num_edges; ++i) {
+    const size_t j = i + rng.Below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    vertices->push_back(pool[i]);
+    edges->emplace_back(0, static_cast<uint32_t>(i + 1));
+  }
+  return true;
+}
+
+/// Randomized bounded DFS for a simple cycle through `path->front()`:
+/// extends a distinct path and closes it when `remaining` hits zero.
+bool DfsCycle(const AttributedGraph& graph, size_t remaining,
+              std::unordered_set<VertexId>* used,
+              std::vector<VertexId>* path, Rng& rng, size_t* budget) {
+  if (*budget == 0) return false;
+  --*budget;
+  const VertexId current = path->back();
+  if (remaining == 0) return graph.HasEdge(current, path->front());
+  std::vector<VertexId> candidates(graph.Neighbors(current).begin(),
+                                   graph.Neighbors(current).end());
+  rng.Shuffle(candidates);
+  for (const VertexId nb : candidates) {
+    if (used->contains(nb)) continue;
+    used->insert(nb);
+    path->push_back(nb);
+    if (DfsCycle(graph, remaining - 1, used, path, rng, budget)) return true;
+    path->pop_back();
+    used->erase(nb);
+  }
+  return false;
+}
+
+bool TryCycle(const AttributedGraph& graph, size_t num_edges, Rng& rng,
+              std::vector<VertexId>* vertices,
+              std::vector<std::pair<uint32_t, uint32_t>>* edges) {
+  vertices->clear();
+  edges->clear();
+  const auto start = static_cast<VertexId>(rng.Below(graph.NumVertices()));
+  std::unordered_set<VertexId> used{start};
+  std::vector<VertexId> path{start};
+  size_t budget = 4096;
+  if (!DfsCycle(graph, num_edges - 1, &used, &path, rng, &budget)) {
+    return false;
+  }
+  *vertices = std::move(path);
+  for (uint32_t i = 0; i + 1 < vertices->size(); ++i) {
+    edges->emplace_back(i, i + 1);
+  }
+  edges->emplace_back(static_cast<uint32_t>(vertices->size() - 1), 0);
+  return true;
+}
+
+}  // namespace
+
+const char* QueryShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kPath:
+      return "path";
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kCycle:
+      return "cycle";
+    case QueryShape::kTree:
+      return "tree";
+    case QueryShape::kRandomWalk:
+      return "random-walk";
+  }
+  return "?";
+}
+
+Result<ExtractedQuery> ExtractShapedQuery(const AttributedGraph& graph,
+                                          QueryShape shape, size_t num_edges,
+                                          Rng& rng, int max_restarts) {
+  if (num_edges == 0) {
+    return Status::InvalidArgument("query must have at least one edge");
+  }
+  if (graph.NumVertices() == 0) {
+    return Status::FailedPrecondition("empty data graph");
+  }
+  if (shape == QueryShape::kCycle && num_edges < 3) {
+    return Status::InvalidArgument("a cycle needs at least 3 edges");
+  }
+  if (shape == QueryShape::kRandomWalk) {
+    return ExtractQuery(graph, num_edges, rng, max_restarts);
+  }
+
+  std::vector<VertexId> vertices;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (int attempt = 0; attempt < max_restarts; ++attempt) {
+    bool ok = false;
+    switch (shape) {
+      case QueryShape::kPath:
+        ok = TryDistinctWalk(graph, num_edges, rng, false, &vertices,
+                             &edges);
+        break;
+      case QueryShape::kTree:
+        ok = TryDistinctWalk(graph, num_edges, rng, true, &vertices, &edges);
+        break;
+      case QueryShape::kStar:
+        ok = TryStar(graph, num_edges, rng, &vertices, &edges);
+        break;
+      case QueryShape::kCycle:
+        ok = TryCycle(graph, num_edges, rng, &vertices, &edges);
+        break;
+      case QueryShape::kRandomWalk:
+        break;  // Handled above.
+    }
+    if (ok) return Materialize(graph, std::move(vertices), edges);
+  }
+  return Status::FailedPrecondition(
+      std::string("could not extract a ") + QueryShapeName(shape) +
+      " query of the requested size");
+}
+
+}  // namespace ppsm

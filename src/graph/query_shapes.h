@@ -1,0 +1,38 @@
+#ifndef PPSM_GRAPH_QUERY_SHAPES_H_
+#define PPSM_GRAPH_QUERY_SHAPES_H_
+
+#include "graph/query_extractor.h"
+
+namespace ppsm {
+
+/// Shape-controlled query extraction. The paper's workload (§6.3) is the
+/// unconstrained random walk of ExtractQuery; real query logs skew toward
+/// specific topologies (SPARQL is famously star/path-heavy), so the shape
+/// ablation bench and tests use these extractors. Every shape is carved out
+/// of the data graph, so at least one match is always planted.
+enum class QueryShape {
+  /// A simple path: v0 - v1 - ... - vn.
+  kPath,
+  /// One center plus `num_edges` leaves (requires a vertex of sufficient
+  /// degree).
+  kStar,
+  /// A simple cycle of `num_edges` vertices (requires one in the graph).
+  kCycle,
+  /// A random spanning-tree-style walk that never closes cycles.
+  kTree,
+  /// The paper's unconstrained random walk (may contain cycles).
+  kRandomWalk,
+};
+
+const char* QueryShapeName(QueryShape shape);
+
+/// Extracts a connected query of `shape` with exactly `num_edges` edges.
+/// Fails with FailedPrecondition when the graph contains no such shape
+/// reachable within `max_restarts` random attempts (e.g. kCycle on a tree).
+Result<ExtractedQuery> ExtractShapedQuery(const AttributedGraph& graph,
+                                          QueryShape shape, size_t num_edges,
+                                          Rng& rng, int max_restarts = 64);
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_QUERY_SHAPES_H_

@@ -1,0 +1,113 @@
+#include "graph/schema.h"
+
+#include <cassert>
+
+namespace ppsm {
+
+Result<VertexTypeId> Schema::AddType(const std::string& name) {
+  if (types_by_name_.contains(name)) {
+    return Status::AlreadyExists("vertex type '" + name + "' already exists");
+  }
+  const auto id = static_cast<VertexTypeId>(types_.size());
+  types_.push_back(TypeEntry{name, {}, {}});
+  types_by_name_.emplace(name, id);
+  return id;
+}
+
+Result<AttributeId> Schema::AddAttribute(VertexTypeId type,
+                                         const std::string& name) {
+  if (!IsValidType(type)) {
+    return Status::InvalidArgument("unknown vertex type id");
+  }
+  TypeEntry& entry = types_[type];
+  if (entry.attributes_by_name.contains(name)) {
+    return Status::AlreadyExists("attribute '" + name +
+                                 "' already exists on type '" + entry.name +
+                                 "'");
+  }
+  const auto id = static_cast<AttributeId>(attributes_.size());
+  attributes_.push_back(AttributeEntry{name, type, {}, {}});
+  entry.attributes.push_back(id);
+  entry.attributes_by_name.emplace(name, id);
+  return id;
+}
+
+Result<LabelId> Schema::AddLabel(AttributeId attribute,
+                                 const std::string& name) {
+  if (!IsValidAttribute(attribute)) {
+    return Status::InvalidArgument("unknown attribute id");
+  }
+  AttributeEntry& entry = attributes_[attribute];
+  if (entry.labels_by_name.contains(name)) {
+    return Status::AlreadyExists("label '" + name +
+                                 "' already exists on attribute '" +
+                                 entry.name + "'");
+  }
+  const auto id = static_cast<LabelId>(labels_.size());
+  labels_.push_back(LabelEntry{name, attribute});
+  entry.labels.push_back(id);
+  entry.labels_by_name.emplace(name, id);
+  return id;
+}
+
+const std::string& Schema::TypeName(VertexTypeId t) const {
+  assert(IsValidType(t));
+  return types_[t].name;
+}
+
+const std::string& Schema::AttributeName(AttributeId a) const {
+  assert(IsValidAttribute(a));
+  return attributes_[a].name;
+}
+
+const std::string& Schema::LabelName(LabelId l) const {
+  assert(IsValidLabel(l));
+  return labels_[l].name;
+}
+
+VertexTypeId Schema::TypeOfAttribute(AttributeId a) const {
+  assert(IsValidAttribute(a));
+  return attributes_[a].type;
+}
+
+AttributeId Schema::AttributeOfLabel(LabelId l) const {
+  assert(IsValidLabel(l));
+  return labels_[l].attribute;
+}
+
+VertexTypeId Schema::TypeOfLabel(LabelId l) const {
+  return TypeOfAttribute(AttributeOfLabel(l));
+}
+
+const std::vector<AttributeId>& Schema::AttributesOfType(VertexTypeId t) const {
+  assert(IsValidType(t));
+  return types_[t].attributes;
+}
+
+const std::vector<LabelId>& Schema::LabelsOfAttribute(AttributeId a) const {
+  assert(IsValidAttribute(a));
+  return attributes_[a].labels;
+}
+
+VertexTypeId Schema::FindType(const std::string& name) const {
+  const auto it = types_by_name_.find(name);
+  return it == types_by_name_.end() ? kInvalidType : it->second;
+}
+
+AttributeId Schema::FindAttribute(VertexTypeId type,
+                                  const std::string& name) const {
+  if (!IsValidType(type)) return kInvalidAttribute;
+  const auto& by_name = types_[type].attributes_by_name;
+  const auto it = by_name.find(name);
+  return it == by_name.end() ? kInvalidAttribute : it->second;
+}
+
+LabelId Schema::FindLabel(AttributeId attribute,
+                          const std::string& name) const {
+  if (!IsValidAttribute(attribute)) return kInvalidLabel;
+  const auto& by_name = attributes_[attribute].labels_by_name;
+  const auto it = by_name.find(name);
+  return it == by_name.end() ? kInvalidLabel : it->second;
+}
+
+}  // namespace ppsm

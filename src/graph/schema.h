@@ -1,0 +1,98 @@
+#ifndef PPSM_GRAPH_SCHEMA_H_
+#define PPSM_GRAPH_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppsm {
+
+using VertexTypeId = uint32_t;
+using AttributeId = uint32_t;
+using LabelId = uint32_t;
+
+inline constexpr VertexTypeId kInvalidType = UINT32_MAX;
+inline constexpr AttributeId kInvalidAttribute = UINT32_MAX;
+inline constexpr LabelId kInvalidLabel = UINT32_MAX;
+
+/// The vocabulary (T, Γ, L) of the attributed graph model (paper §2.1
+/// Def. 1): a set of vertex types, each type owning one or more attributes,
+/// each attribute owning one or more labels (attribute values). Ids are
+/// dense, globally unique, and assigned in registration order, which lets
+/// graphs and indexes store plain integer vectors.
+///
+/// Invariants enforced at registration time:
+///  * names are unique within their scope (types globally, attributes within
+///    a type, labels within an attribute);
+///  * every attribute belongs to exactly one type, every label to exactly
+///    one attribute (so "different vertex types have different vertex
+///    attributes" holds by construction).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a vertex type. Fails with AlreadyExists on duplicate name.
+  Result<VertexTypeId> AddType(const std::string& name);
+  /// Registers an attribute under `type`. Fails if `type` is unknown or the
+  /// name is already used by that type.
+  Result<AttributeId> AddAttribute(VertexTypeId type, const std::string& name);
+  /// Registers a label (attribute value) under `attribute`.
+  Result<LabelId> AddLabel(AttributeId attribute, const std::string& name);
+
+  size_t NumTypes() const { return types_.size(); }
+  size_t NumAttributes() const { return attributes_.size(); }
+  size_t NumLabels() const { return labels_.size(); }
+
+  const std::string& TypeName(VertexTypeId t) const;
+  const std::string& AttributeName(AttributeId a) const;
+  const std::string& LabelName(LabelId l) const;
+
+  /// Owning type of an attribute / owning attribute of a label.
+  VertexTypeId TypeOfAttribute(AttributeId a) const;
+  AttributeId AttributeOfLabel(LabelId l) const;
+  /// Owning type of a label (through its attribute).
+  VertexTypeId TypeOfLabel(LabelId l) const;
+
+  /// Attribute ids owned by `type`, in registration order.
+  const std::vector<AttributeId>& AttributesOfType(VertexTypeId t) const;
+  /// Label ids owned by `attribute`, in registration order.
+  const std::vector<LabelId>& LabelsOfAttribute(AttributeId a) const;
+
+  /// Name lookups; return kInvalid* when absent.
+  VertexTypeId FindType(const std::string& name) const;
+  AttributeId FindAttribute(VertexTypeId type, const std::string& name) const;
+  LabelId FindLabel(AttributeId attribute, const std::string& name) const;
+
+  bool IsValidType(VertexTypeId t) const { return t < types_.size(); }
+  bool IsValidAttribute(AttributeId a) const { return a < attributes_.size(); }
+  bool IsValidLabel(LabelId l) const { return l < labels_.size(); }
+
+ private:
+  struct TypeEntry {
+    std::string name;
+    std::vector<AttributeId> attributes;
+    std::unordered_map<std::string, AttributeId> attributes_by_name;
+  };
+  struct AttributeEntry {
+    std::string name;
+    VertexTypeId type = kInvalidType;
+    std::vector<LabelId> labels;
+    std::unordered_map<std::string, LabelId> labels_by_name;
+  };
+  struct LabelEntry {
+    std::string name;
+    AttributeId attribute = kInvalidAttribute;
+  };
+
+  std::vector<TypeEntry> types_;
+  std::vector<AttributeEntry> attributes_;
+  std::vector<LabelEntry> labels_;
+  std::unordered_map<std::string, VertexTypeId> types_by_name_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_SCHEMA_H_

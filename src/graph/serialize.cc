@@ -1,0 +1,238 @@
+#include "graph/serialize.h"
+
+#include <cassert>
+
+namespace ppsm {
+
+namespace {
+
+constexpr uint32_t kGraphMagic = 0x4d535050;  // "PPSM"
+constexpr uint8_t kGraphVersion = 1;
+constexpr uint32_t kSchemaMagic = 0x48435350;  // "PSCH"
+constexpr uint8_t kSchemaVersion = 1;
+
+}  // namespace
+
+void BinaryWriter::PutU32(uint32_t value) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back((value >> (8 * i)) & 0xff);
+}
+
+void BinaryWriter::PutU64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back((value >> (8 * i)) & 0xff);
+}
+
+void BinaryWriter::PutVarint(uint64_t value) {
+  while (value >= 0x80) {
+    bytes_.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  bytes_.push_back(static_cast<uint8_t>(value));
+}
+
+void BinaryWriter::PutString(const std::string& value) {
+  PutVarint(value.size());
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+void BinaryWriter::PutSortedIds(std::span<const uint32_t> sorted_ids) {
+  PutVarint(sorted_ids.size());
+  uint32_t previous = 0;
+  for (size_t i = 0; i < sorted_ids.size(); ++i) {
+    assert(i == 0 || sorted_ids[i] >= sorted_ids[i - 1]);
+    PutVarint(sorted_ids[i] - previous);
+    previous = sorted_ids[i];
+  }
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  if (remaining() < 1) return Status::OutOfRange("truncated input (u8)");
+  return bytes_[position_++];
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  if (remaining() < 4) return Status::OutOfRange("truncated input (u32)");
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(bytes_[position_++]) << (8 * i);
+  }
+  return value;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  if (remaining() < 8) return Status::OutOfRange("truncated input (u64)");
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(bytes_[position_++]) << (8 * i);
+  }
+  return value;
+}
+
+Result<uint64_t> BinaryReader::GetVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) return Status::OutOfRange("truncated varint");
+    if (shift >= 64) return Status::OutOfRange("varint overflow");
+    const uint8_t byte = bytes_[position_++];
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  PPSM_ASSIGN_OR_RETURN(const uint64_t length, GetVarint());
+  if (remaining() < length) return Status::OutOfRange("truncated string");
+  std::string value(reinterpret_cast<const char*>(&bytes_[position_]),
+                    length);
+  position_ += length;
+  return value;
+}
+
+Result<std::vector<uint32_t>> BinaryReader::GetSortedIds() {
+  PPSM_ASSIGN_OR_RETURN(const uint64_t count, GetVarint());
+  if (count > remaining()) {
+    // Each id needs at least one byte; reject absurd counts before
+    // allocating.
+    return Status::OutOfRange("id list count exceeds remaining bytes");
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    PPSM_ASSIGN_OR_RETURN(const uint64_t delta, GetVarint());
+    previous += delta;
+    if (previous > UINT32_MAX) return Status::OutOfRange("id overflow");
+    ids.push_back(static_cast<uint32_t>(previous));
+  }
+  return ids;
+}
+
+std::vector<uint8_t> SerializeGraph(const AttributedGraph& graph) {
+  BinaryWriter writer;
+  writer.PutU32(kGraphMagic);
+  writer.PutU8(kGraphVersion);
+  writer.PutVarint(graph.NumVertices());
+  writer.PutVarint(graph.NumEdges());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    writer.PutSortedIds(graph.Types(v));
+    writer.PutSortedIds(graph.Labels(v));
+  }
+  // Forward adjacency only (neighbors > v), delta-encoded.
+  std::vector<uint32_t> forward;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    forward.clear();
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (u > v) forward.push_back(u);
+    }
+    writer.PutSortedIds(forward);
+  }
+  return writer.TakeBytes();
+}
+
+Result<AttributedGraph> DeserializeGraph(
+    std::span<const uint8_t> bytes, std::shared_ptr<const Schema> schema) {
+  BinaryReader reader(bytes);
+  PPSM_ASSIGN_OR_RETURN(const uint32_t magic, reader.GetU32());
+  if (magic != kGraphMagic) {
+    return Status::InvalidArgument("bad graph magic");
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint8_t version, reader.GetU8());
+  if (version != kGraphVersion) {
+    return Status::InvalidArgument("unsupported graph version " +
+                                   std::to_string(version));
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_vertices, reader.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_edges, reader.GetVarint());
+  // Every vertex costs at least two bytes (its type and label counts);
+  // reject forged headers before reserving memory for them.
+  if (num_vertices > reader.remaining() / 2 + 1) {
+    return Status::OutOfRange("vertex count exceeds payload size");
+  }
+
+  GraphBuilder builder(std::move(schema));
+  builder.ReserveVertices(num_vertices);
+  std::vector<std::vector<uint32_t>> pending_labels;
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    PPSM_ASSIGN_OR_RETURN(std::vector<uint32_t> types, reader.GetSortedIds());
+    PPSM_ASSIGN_OR_RETURN(std::vector<uint32_t> labels, reader.GetSortedIds());
+    builder.AddVertex(std::move(types), std::move(labels));
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    PPSM_ASSIGN_OR_RETURN(std::vector<uint32_t> neighbors,
+                          reader.GetSortedIds());
+    for (const uint32_t u : neighbors) {
+      if (u >= num_vertices) {
+        return Status::InvalidArgument("edge endpoint out of range");
+      }
+      PPSM_RETURN_IF_ERROR(
+          builder.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(u)));
+    }
+  }
+  if (builder.NumEdges() != num_edges) {
+    return Status::InvalidArgument("edge count mismatch in graph payload");
+  }
+  return builder.Build();
+}
+
+std::vector<uint8_t> SerializeSchema(const Schema& schema) {
+  BinaryWriter writer;
+  writer.PutU32(kSchemaMagic);
+  writer.PutU8(kSchemaVersion);
+  writer.PutVarint(schema.NumTypes());
+  for (VertexTypeId t = 0; t < schema.NumTypes(); ++t) {
+    writer.PutString(schema.TypeName(t));
+  }
+  writer.PutVarint(schema.NumAttributes());
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    writer.PutString(schema.AttributeName(a));
+    writer.PutVarint(schema.TypeOfAttribute(a));
+  }
+  writer.PutVarint(schema.NumLabels());
+  for (LabelId l = 0; l < schema.NumLabels(); ++l) {
+    writer.PutString(schema.LabelName(l));
+    writer.PutVarint(schema.AttributeOfLabel(l));
+  }
+  return writer.TakeBytes();
+}
+
+Result<Schema> DeserializeSchema(std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  PPSM_ASSIGN_OR_RETURN(const uint32_t magic, reader.GetU32());
+  if (magic != kSchemaMagic) {
+    return Status::InvalidArgument("bad schema magic");
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint8_t version, reader.GetU8());
+  if (version != kSchemaVersion) {
+    return Status::InvalidArgument("unsupported schema version");
+  }
+  Schema schema;
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_types, reader.GetVarint());
+  for (uint64_t t = 0; t < num_types; ++t) {
+    PPSM_ASSIGN_OR_RETURN(const std::string name, reader.GetString());
+    PPSM_ASSIGN_OR_RETURN(const VertexTypeId id, schema.AddType(name));
+    if (id != t) return Status::Internal("type id mismatch");
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_attributes, reader.GetVarint());
+  for (uint64_t a = 0; a < num_attributes; ++a) {
+    PPSM_ASSIGN_OR_RETURN(const std::string name, reader.GetString());
+    PPSM_ASSIGN_OR_RETURN(const uint64_t type, reader.GetVarint());
+    PPSM_ASSIGN_OR_RETURN(
+        const AttributeId id,
+        schema.AddAttribute(static_cast<VertexTypeId>(type), name));
+    if (id != a) return Status::Internal("attribute id mismatch");
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_labels, reader.GetVarint());
+  for (uint64_t l = 0; l < num_labels; ++l) {
+    PPSM_ASSIGN_OR_RETURN(const std::string name, reader.GetString());
+    PPSM_ASSIGN_OR_RETURN(const uint64_t attribute, reader.GetVarint());
+    PPSM_ASSIGN_OR_RETURN(
+        const LabelId id,
+        schema.AddLabel(static_cast<AttributeId>(attribute), name));
+    if (id != l) return Status::Internal("label id mismatch");
+  }
+  return schema;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,78 @@
+#ifndef PPSM_GRAPH_SERIALIZE_H_
+#define PPSM_GRAPH_SERIALIZE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/schema.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Append-only little-endian byte sink with LEB128 varints. All
+/// client <-> cloud messages are encoded through this writer so the
+/// simulated channel can charge realistic byte counts (paper §6.4 reports
+/// bytes transferred).
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t value) { bytes_.push_back(value); }
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  /// LEB128; 1 byte for values < 128, which most ids/deltas are.
+  void PutVarint(uint64_t value);
+  /// Varint length prefix + raw bytes.
+  void PutString(const std::string& value);
+  /// Varint count + delta-encoded sorted ids (requires ascending input), the
+  /// standard inverted-list trick: deltas are small, so varints stay short.
+  void PutSortedIds(std::span<const uint32_t> sorted_ids);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Cursor over an encoded buffer; every accessor validates bounds and
+/// returns OutOfRange on truncated input (malformed network input must not
+/// crash the cloud).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<std::string> GetString();
+  Result<std::vector<uint32_t>> GetSortedIds();
+
+  size_t remaining() const { return bytes_.size() - position_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t position_ = 0;
+};
+
+/// Encodes the graph structure (types, labels, adjacency) without schema
+/// names. Deterministic: equal graphs produce equal bytes.
+std::vector<uint8_t> SerializeGraph(const AttributedGraph& graph);
+
+/// Inverse of SerializeGraph. `schema` is attached to the result (may be
+/// null — anonymized graphs travel schema-less).
+Result<AttributedGraph> DeserializeGraph(std::span<const uint8_t> bytes,
+                                         std::shared_ptr<const Schema> schema);
+
+/// Encodes the full vocabulary with names.
+std::vector<uint8_t> SerializeSchema(const Schema& schema);
+Result<Schema> DeserializeSchema(std::span<const uint8_t> bytes);
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_SERIALIZE_H_

@@ -1,0 +1,262 @@
+#include "graph/text_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace ppsm {
+
+namespace {
+
+/// Splits off up to `numbers` leading whitespace-separated integer fields;
+/// the remainder (trimmed) is the name. Returns false on malformed input.
+bool ParseFields(const std::string& line, size_t start, size_t numbers,
+                 std::vector<uint64_t>* values, std::string* name) {
+  std::istringstream stream(line.substr(start));
+  values->clear();
+  for (size_t i = 0; i < numbers; ++i) {
+    uint64_t v = 0;
+    if (!(stream >> v)) return false;
+    values->push_back(v);
+  }
+  if (name != nullptr) {
+    std::getline(stream, *name);
+    const size_t begin = name->find_first_not_of(" \t");
+    if (begin == std::string::npos) {
+      name->clear();
+    } else {
+      *name = name->substr(begin);
+      const size_t end = name->find_last_not_of(" \t\r");
+      *name = name->substr(0, end + 1);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteGraphText(const AttributedGraph& graph, std::ostream& out) {
+  const auto& schema = graph.schema();
+  if (schema == nullptr) {
+    return Status::FailedPrecondition(
+        "graph has no schema; the text format is self-describing and needs "
+        "one");
+  }
+  out << "ppsm-graph 1\n";
+  for (VertexTypeId t = 0; t < schema->NumTypes(); ++t) {
+    out << "T " << schema->TypeName(t) << "\n";
+  }
+  for (AttributeId a = 0; a < schema->NumAttributes(); ++a) {
+    out << "A " << schema->TypeOfAttribute(a) << " "
+        << schema->AttributeName(a) << "\n";
+  }
+  for (LabelId l = 0; l < schema->NumLabels(); ++l) {
+    out << "L " << schema->AttributeOfLabel(l) << " " << schema->LabelName(l)
+        << "\n";
+  }
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    out << "V " << graph.PrimaryType(v);
+    for (const LabelId l : graph.Labels(v)) out << " " << l;
+    out << "\n";
+  }
+  bool ok = true;
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    out << "E " << u << " " << v << "\n";
+    if (!out) ok = false;
+  });
+  if (!out || !ok) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status WriteGraphTextFile(const AttributedGraph& graph,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for write");
+  return WriteGraphText(graph, out);
+}
+
+Result<AttributedGraph> ReadGraphText(std::istream& in) {
+  std::string line;
+  size_t line_number = 0;
+  auto error = [&line_number](const std::string& message) {
+    return Status::InvalidArgument(message + " (line " +
+                                   std::to_string(line_number) + ")");
+  };
+
+  bool header_seen = false;
+  auto schema = std::make_shared<Schema>();
+  GraphBuilder builder;
+  bool builder_has_schema = false;
+  std::vector<uint64_t> numbers;
+  std::string name;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    if (!header_seen) {
+      if (line.substr(begin, 12) != "ppsm-graph 1") {
+        return error("missing 'ppsm-graph 1' header");
+      }
+      header_seen = true;
+      continue;
+    }
+    const char directive = line[begin];
+    switch (directive) {
+      case 'T': {
+        if (!ParseFields(line, begin + 1, 0, &numbers, &name) ||
+            name.empty()) {
+          return error("malformed T directive");
+        }
+        PPSM_RETURN_IF_ERROR(GetStatus(schema->AddType(name)));
+        break;
+      }
+      case 'A': {
+        if (!ParseFields(line, begin + 1, 1, &numbers, &name) ||
+            name.empty()) {
+          return error("malformed A directive");
+        }
+        PPSM_RETURN_IF_ERROR(GetStatus(schema->AddAttribute(
+            static_cast<VertexTypeId>(numbers[0]), name)));
+        break;
+      }
+      case 'L': {
+        if (!ParseFields(line, begin + 1, 1, &numbers, &name) ||
+            name.empty()) {
+          return error("malformed L directive");
+        }
+        PPSM_RETURN_IF_ERROR(GetStatus(
+            schema->AddLabel(static_cast<AttributeId>(numbers[0]), name)));
+        break;
+      }
+      case 'V': {
+        if (!builder_has_schema) {
+          // Freeze the schema at the first vertex.
+          builder = GraphBuilder(schema);
+          builder_has_schema = true;
+        }
+        std::istringstream stream(line.substr(begin + 1));
+        uint64_t type = 0;
+        if (!(stream >> type)) return error("malformed V directive");
+        std::vector<LabelId> labels;
+        uint64_t label = 0;
+        while (stream >> label) labels.push_back(static_cast<LabelId>(label));
+        builder.AddVertex(static_cast<VertexTypeId>(type), std::move(labels));
+        break;
+      }
+      case 'E': {
+        if (!ParseFields(line, begin + 1, 2, &numbers, nullptr)) {
+          return error("malformed E directive");
+        }
+        if (numbers[0] >= builder.NumVertices() ||
+            numbers[1] >= builder.NumVertices()) {
+          return error("edge endpoint out of range");
+        }
+        const Status added =
+            builder.AddEdge(static_cast<VertexId>(numbers[0]),
+                            static_cast<VertexId>(numbers[1]));
+        if (!added.ok()) return error(added.message());
+        break;
+      }
+      default:
+        return error("unknown directive '" + std::string(1, directive) +
+                     "'");
+    }
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("empty input: missing header");
+  }
+  if (!builder_has_schema) builder = GraphBuilder(schema);
+  return builder.Build();
+}
+
+Result<AttributedGraph> ReadGraphTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return ReadGraphText(in);
+}
+
+Result<AttributedGraph> ReadEdgeList(std::istream& in) {
+  auto schema = std::make_shared<Schema>();
+  PPSM_RETURN_IF_ERROR(GetStatus(schema->AddType("node")));
+  GraphBuilder builder(schema);
+  std::unordered_map<uint64_t, VertexId> compact;
+  auto intern = [&](uint64_t raw) {
+    const auto it = compact.find(raw);
+    if (it != compact.end()) return it->second;
+    const VertexId id = builder.AddVertex(0, {});
+    compact.emplace(raw, id);
+    return id;
+  };
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    if (line[begin] == '#' || line[begin] == '%') continue;
+    std::istringstream stream(line.substr(begin));
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (!(stream >> u >> v)) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(line_number));
+    }
+    // Intern both endpoints first so an isolated self-loop still registers
+    // its vertex; the loop edge itself is dropped (the model forbids them).
+    const VertexId cu = intern(u);
+    const VertexId cv = intern(v);
+    if (cu == cv) continue;
+    builder.TryAddEdge(cu, cv);  // Dedup quietly.
+  }
+  return builder.Build();
+}
+
+Result<AttributedGraph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return ReadEdgeList(in);
+}
+
+Result<AttributedGraph> AttachSyntheticAttributes(
+    const AttributedGraph& topology, const DatasetConfig& vocab,
+    uint64_t seed) {
+  if (vocab.num_types == 0 || vocab.attributes_per_type == 0 ||
+      vocab.labels_per_attribute == 0) {
+    return Status::InvalidArgument("vocabulary dimensions must be > 0");
+  }
+  const std::shared_ptr<const Schema> schema = BuildSchemaFor(vocab);
+  Rng rng(seed);
+  const ZipfDistribution type_dist(vocab.num_types, vocab.type_zipf_skew);
+  const ZipfDistribution label_dist(vocab.labels_per_attribute,
+                                    vocab.label_zipf_skew);
+
+  GraphBuilder builder(schema);
+  builder.ReserveVertices(topology.NumVertices());
+  for (VertexId v = 0; v < topology.NumVertices(); ++v) {
+    const auto type = static_cast<VertexTypeId>(type_dist.Sample(rng));
+    std::vector<LabelId> labels;
+    for (const AttributeId attr : schema->AttributesOfType(type)) {
+      const auto& attr_labels = schema->LabelsOfAttribute(attr);
+      labels.push_back(attr_labels[label_dist.Sample(rng)]);
+      if (rng.Chance(vocab.multi_label_probability)) {
+        labels.push_back(attr_labels[label_dist.Sample(rng)]);
+      }
+    }
+    builder.AddVertex(type, std::move(labels));
+  }
+  Status status = Status::OK();
+  topology.ForEachEdge([&](VertexId u, VertexId v) {
+    if (status.ok()) status = builder.AddEdge(u, v);
+  });
+  PPSM_RETURN_IF_ERROR(status);
+  return builder.Build();
+}
+
+}  // namespace ppsm

@@ -1,0 +1,53 @@
+#ifndef PPSM_GRAPH_TEXT_IO_H_
+#define PPSM_GRAPH_TEXT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/attributed_graph.h"
+#include "graph/generators.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Line-based, human-editable text format for attributed graphs, carrying
+/// the schema inline. Directives (one per line, '#' starts a comment):
+///
+///   ppsm-graph 1            header (required first directive)
+///   T <name>                declare a vertex type   (ids by order: 0,1,..)
+///   A <type-id> <name>      declare an attribute    (name = rest of line)
+///   L <attr-id> <name>      declare a label/value   (name = rest of line)
+///   V <type-id> [label-id ...]   declare a vertex
+///   E <u> <v>               declare an undirected edge
+///
+/// Names may contain spaces (everything after the numeric fields belongs to
+/// the name). Deterministic output: WriteGraphText then ReadGraphText
+/// reproduces the graph and schema exactly.
+Status WriteGraphText(const AttributedGraph& graph, std::ostream& out);
+Status WriteGraphTextFile(const AttributedGraph& graph,
+                          const std::string& path);
+
+Result<AttributedGraph> ReadGraphText(std::istream& in);
+Result<AttributedGraph> ReadGraphTextFile(const std::string& path);
+
+/// Loads a bare edge list ("u v" per line, '#'/'%' comments — the SNAP
+/// format the paper's Web-NotreDame/UK-2002 ship in). Vertex ids are
+/// compacted to 0..n-1 in first-appearance order; self-loops and duplicate
+/// edges are dropped. Every vertex gets type 0 with no labels, ready for
+/// AttachSyntheticAttributes.
+Result<AttributedGraph> ReadEdgeList(std::istream& in);
+Result<AttributedGraph> ReadEdgeListFile(const std::string& path);
+
+/// Decorates a bare topology with a synthetic vocabulary: builds the schema
+/// described by `vocab` (num_types / attributes_per_type /
+/// labels_per_attribute / Zipf skews) and samples types and labels per
+/// vertex exactly like GenerateDataset, but keeps `topology`'s edges.
+/// This is how a real downloaded graph (e.g. SNAP Web-NotreDame) becomes an
+/// attributed data graph comparable to the paper's setup.
+Result<AttributedGraph> AttachSyntheticAttributes(
+    const AttributedGraph& topology, const DatasetConfig& vocab,
+    uint64_t seed);
+
+}  // namespace ppsm
+
+#endif  // PPSM_GRAPH_TEXT_IO_H_

@@ -1,0 +1,228 @@
+#include "ilp/cover_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ppsm {
+
+namespace {
+
+Status ValidateModel(const CoverIlp& model) {
+  for (const double c : model.cost) {
+    if (c < 0.0 || !std::isfinite(c)) {
+      return Status::InvalidArgument("costs must be finite and >= 0");
+    }
+  }
+  for (const auto& constraint : model.constraints) {
+    if (constraint.empty()) {
+      return Status::InvalidArgument("infeasible: empty constraint");
+    }
+    for (const uint32_t var : constraint) {
+      if (var >= model.cost.size()) {
+        return Status::InvalidArgument("constraint references unknown "
+                                       "variable");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Greedy warm start: repeatedly satisfy uncovered constraints with the
+/// cheapest-per-coverage variable. Gives the B&B a finite incumbent.
+std::vector<bool> GreedyCover(const CoverIlp& model) {
+  const size_t n = model.cost.size();
+  std::vector<bool> selected(n, false);
+  std::vector<bool> covered(model.constraints.size(), false);
+  size_t uncovered = model.constraints.size();
+  while (uncovered > 0) {
+    // coverage[i] = number of currently uncovered constraints var i hits.
+    std::vector<size_t> coverage(n, 0);
+    for (size_t c = 0; c < model.constraints.size(); ++c) {
+      if (covered[c]) continue;
+      for (const uint32_t var : model.constraints[c]) ++coverage[var];
+    }
+    size_t best = n;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (selected[i] || coverage[i] == 0) continue;
+      const double ratio = model.cost[i] / static_cast<double>(coverage[i]);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    selected[best] = true;
+    for (size_t c = 0; c < model.constraints.size(); ++c) {
+      if (covered[c]) continue;
+      for (const uint32_t var : model.constraints[c]) {
+        if (var == best) {
+          covered[c] = true;
+          --uncovered;
+          break;
+        }
+      }
+    }
+  }
+  return selected;
+}
+
+double Objective(const CoverIlp& model, const std::vector<bool>& selected) {
+  double total = 0.0;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (selected[i]) total += model.cost[i];
+  }
+  return total;
+}
+
+bool IsFeasible(const CoverIlp& model, const std::vector<bool>& selected) {
+  for (const auto& constraint : model.constraints) {
+    bool hit = false;
+    for (const uint32_t var : constraint) {
+      if (selected[var]) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+/// Depth-first branch-and-bound over constraint branching. Variable states:
+/// 0 = free, 1 = selected, 2 = forbidden.
+class BranchAndBound {
+ public:
+  BranchAndBound(const CoverIlp& model, size_t node_limit)
+      : model_(model), node_limit_(node_limit),
+        state_(model.cost.size(), 0) {
+    best_selected_ = GreedyCover(model);
+    best_cost_ = Objective(model, best_selected_);
+  }
+
+  Status Run() {
+    Recurse(0.0);
+    if (nodes_ >= node_limit_) {
+      return Status::ResourceExhausted("ILP node limit exceeded");
+    }
+    return Status::OK();
+  }
+
+  CoverSolution TakeSolution() {
+    CoverSolution solution;
+    solution.selected = std::move(best_selected_);
+    solution.objective = best_cost_;
+    solution.proven_optimal = nodes_ < node_limit_;
+    solution.nodes_explored = nodes_;
+    return solution;
+  }
+
+ private:
+  /// Smallest uncovered constraint (fewest free vars) for strong branching;
+  /// returns SIZE_MAX when all are covered, and flags infeasible subtrees
+  /// (a constraint with no selected and no free variable).
+  size_t PickConstraint(bool* infeasible) const {
+    *infeasible = false;
+    size_t best = SIZE_MAX;
+    size_t best_free = SIZE_MAX;
+    for (size_t c = 0; c < model_.constraints.size(); ++c) {
+      bool satisfied = false;
+      size_t free_vars = 0;
+      for (const uint32_t var : model_.constraints[c]) {
+        if (state_[var] == 1) {
+          satisfied = true;
+          break;
+        }
+        if (state_[var] == 0) ++free_vars;
+      }
+      if (satisfied) continue;
+      if (free_vars == 0) {
+        *infeasible = true;
+        return SIZE_MAX;
+      }
+      if (free_vars < best_free) {
+        best_free = free_vars;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  void Recurse(double current_cost) {
+    if (++nodes_ >= node_limit_) return;
+    if (current_cost >= best_cost_) return;  // Bound.
+    bool infeasible = false;
+    const size_t c = PickConstraint(&infeasible);
+    if (infeasible) return;
+    if (c == SIZE_MAX) {
+      // All constraints covered: new incumbent.
+      best_cost_ = current_cost;
+      for (size_t i = 0; i < state_.size(); ++i) {
+        best_selected_[i] = state_[i] == 1;
+      }
+      return;
+    }
+    // Branch: the i-th child selects the i-th free var of the constraint
+    // and forbids the earlier ones (partitioning the solution space).
+    std::vector<uint32_t> free_vars;
+    for (const uint32_t var : model_.constraints[c]) {
+      if (state_[var] == 0) free_vars.push_back(var);
+    }
+    // Cheapest-first exploration tightens the bound quickly.
+    std::sort(free_vars.begin(), free_vars.end(),
+              [this](uint32_t a, uint32_t b) {
+                return model_.cost[a] < model_.cost[b];
+              });
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      state_[free_vars[i]] = 1;
+      Recurse(current_cost + model_.cost[free_vars[i]]);
+      state_[free_vars[i]] = 2;
+      if (nodes_ >= node_limit_) break;
+    }
+    for (const uint32_t var : free_vars) state_[var] = 0;
+  }
+
+  const CoverIlp& model_;
+  const size_t node_limit_;
+  std::vector<uint8_t> state_;
+  std::vector<bool> best_selected_;
+  double best_cost_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+Result<CoverSolution> SolveCoverIlp(const CoverIlp& model,
+                                    const CoverSolverOptions& options) {
+  PPSM_RETURN_IF_ERROR(ValidateModel(model));
+  BranchAndBound solver(model, options.node_limit);
+  PPSM_RETURN_IF_ERROR(solver.Run());
+  return solver.TakeSolution();
+}
+
+Result<CoverSolution> SolveCoverByEnumeration(const CoverIlp& model) {
+  PPSM_RETURN_IF_ERROR(ValidateModel(model));
+  const size_t n = model.cost.size();
+  if (n > 24) {
+    return Status::InvalidArgument("enumeration limited to 24 variables");
+  }
+  CoverSolution best;
+  best.objective = std::numeric_limits<double>::infinity();
+  std::vector<bool> selected(n);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    for (size_t i = 0; i < n; ++i) selected[i] = (mask >> i) & 1;
+    if (!IsFeasible(model, selected)) continue;
+    const double objective = Objective(model, selected);
+    if (objective < best.objective) {
+      best.objective = objective;
+      best.selected = selected;
+    }
+  }
+  if (!std::isfinite(best.objective)) {
+    return Status::FailedPrecondition("model is infeasible");
+  }
+  best.proven_optimal = true;
+  return best;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,54 @@
+#ifndef PPSM_ILP_COVER_SOLVER_H_
+#define PPSM_ILP_COVER_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppsm {
+
+/// A 0/1 integer program of the covering form the paper's query
+/// decomposition reduces to (§4.2.1):
+///
+///   minimize    sum_i cost[i] * x_i
+///   subject to  for every constraint C: sum_{i in C} x_i >= 1
+///               x_i in {0, 1}
+///
+/// With one variable per query vertex, cost[i] = est |R(S(v_i))| and one
+/// constraint {u, v} per query edge, this is exactly the paper's weighted
+/// vertex cover ILP. The solver is our stand-in for Gurobi: exact
+/// branch-and-bound over constraint branching — query graphs are tiny, so
+/// exact search is microseconds (the paper makes the same argument).
+struct CoverIlp {
+  std::vector<double> cost;  // One entry per variable; must be >= 0.
+  /// Each constraint lists the variables of which at least one must be 1.
+  std::vector<std::vector<uint32_t>> constraints;
+};
+
+struct CoverSolution {
+  std::vector<bool> selected;  // One entry per variable.
+  double objective = 0.0;
+  /// True when the search ran to completion (always, unless node_limit hit).
+  bool proven_optimal = false;
+  size_t nodes_explored = 0;
+};
+
+struct CoverSolverOptions {
+  /// Abort with ResourceExhausted beyond this many branch-and-bound nodes.
+  size_t node_limit = 1u << 22;
+};
+
+/// Solves the covering ILP exactly. Fails with InvalidArgument on negative
+/// costs, empty constraints, or out-of-range variable indices;
+/// ResourceExhausted if the node limit is hit before optimality is proven.
+Result<CoverSolution> SolveCoverIlp(const CoverIlp& model,
+                                    const CoverSolverOptions& options = {});
+
+/// Exhaustive reference solver (2^n enumeration) for testing the
+/// branch-and-bound. Requires cost.size() <= 24.
+Result<CoverSolution> SolveCoverByEnumeration(const CoverIlp& model);
+
+}  // namespace ppsm
+
+#endif  // PPSM_ILP_COVER_SOLVER_H_

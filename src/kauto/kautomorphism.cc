@@ -1,0 +1,192 @@
+#include "kauto/kautomorphism.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+
+#include "util/hash.h"
+
+namespace ppsm {
+
+namespace {
+
+/// Orders a block's members by (primary type, degree desc, id): hubs align
+/// with hubs of the same type across blocks.
+std::vector<VertexId> OrderByTypeDegree(const AttributedGraph& graph,
+                                        std::vector<VertexId> members) {
+  std::sort(members.begin(), members.end(), [&](VertexId a, VertexId b) {
+    const VertexTypeId ta = graph.PrimaryType(a);
+    const VertexTypeId tb = graph.PrimaryType(b);
+    if (ta != tb) return ta < tb;
+    if (graph.Degree(a) != graph.Degree(b)) {
+      return graph.Degree(a) > graph.Degree(b);
+    }
+    return a < b;
+  });
+  return members;
+}
+
+/// Orders a block by BFS over intra-block edges, rooted at the
+/// highest-degree member; remaining components are seeded by degree.
+std::vector<VertexId> OrderByBfs(const AttributedGraph& graph,
+                                 const std::vector<uint32_t>& part,
+                                 uint32_t block,
+                                 std::vector<VertexId> members) {
+  std::sort(members.begin(), members.end(), [&](VertexId a, VertexId b) {
+    if (graph.Degree(a) != graph.Degree(b)) {
+      return graph.Degree(a) > graph.Degree(b);
+    }
+    return a < b;
+  });
+  std::vector<bool> visited(graph.NumVertices(), false);
+  std::vector<VertexId> order;
+  order.reserve(members.size());
+  for (const VertexId seed : members) {
+    if (visited[seed]) continue;
+    std::deque<VertexId> queue{seed};
+    visited[seed] = true;
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (const VertexId v : graph.Neighbors(u)) {
+        if (!visited[v] && part[v] == block) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<KAutomorphicGraph> BuildKAutomorphicGraph(
+    const AttributedGraph& graph, const KAutomorphismOptions& options) {
+  const uint32_t k = options.k;
+  const size_t n = graph.NumVertices();
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (n == 0) return Status::InvalidArgument("cannot anonymize empty graph");
+  if (k > n) {
+    return Status::InvalidArgument(
+        "k exceeds the number of vertices; every block would need noise "
+        "rows");
+  }
+
+  // --- Step 1: partition into k blocks of size <= ceil(n/k). ---
+  PartitionOptions popts = options.partition;
+  popts.num_parts = k;
+  PPSM_ASSIGN_OR_RETURN(const Partitioning partitioning,
+                        PartitionGraph(graph, popts));
+
+  const auto rows = static_cast<uint32_t>((n + k - 1) / k);
+  const size_t total_vertices = static_cast<size_t>(rows) * k;
+
+  std::vector<std::vector<VertexId>> blocks(k);
+  for (VertexId v = 0; v < n; ++v) {
+    blocks[partitioning.part[v]].push_back(v);
+  }
+
+  // --- Step 2: order each block and pad with noise vertices. ---
+  for (uint32_t b = 0; b < k; ++b) {
+    switch (options.alignment) {
+      case AlignmentOrder::kTypeDegree:
+        blocks[b] = OrderByTypeDegree(graph, std::move(blocks[b]));
+        break;
+      case AlignmentOrder::kBfs:
+        blocks[b] = OrderByBfs(graph, partitioning.part, b,
+                               std::move(blocks[b]));
+        break;
+    }
+  }
+  auto next_noise = static_cast<VertexId>(n);
+  for (uint32_t b = 0; b < k; ++b) {
+    if (blocks[b].size() > rows) {
+      return Status::Internal("partitioner produced an oversized block");
+    }
+    while (blocks[b].size() < rows) blocks[b].push_back(next_noise++);
+  }
+  assert(next_noise == total_vertices);
+
+  Avt avt(k, rows);
+  for (uint32_t b = 0; b < k; ++b) {
+    for (uint32_t r = 0; r < rows; ++r) avt.Place(r, b, blocks[b][r]);
+  }
+  PPSM_RETURN_IF_ERROR(avt.Validate());
+
+  // --- Step 3+4: block alignment and edge copy, as an orbit closure. ---
+  // Intra-block edges become row patterns shared by all blocks; crossing
+  // edges are replicated under all k shifts. Both are "close the original
+  // edge set under F_1", expressed so each original edge costs O(k) keys.
+  std::vector<uint64_t> intra_patterns;  // (r1 << 32 | r2), r1 < r2.
+  std::vector<uint64_t> edge_keys;
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    if (partitioning.part[u] == partitioning.part[v]) {
+      const uint32_t r1 = avt.RowOf(u);
+      const uint32_t r2 = avt.RowOf(v);
+      intra_patterns.push_back(UndirectedEdgeKey(std::min(r1, r2),
+                                                 std::max(r1, r2)));
+    } else {
+      for (uint32_t m = 0; m < k; ++m) {
+        edge_keys.push_back(
+            UndirectedEdgeKey(avt.Apply(u, m), avt.Apply(v, m)));
+      }
+    }
+  });
+  std::sort(intra_patterns.begin(), intra_patterns.end());
+  intra_patterns.erase(
+      std::unique(intra_patterns.begin(), intra_patterns.end()),
+      intra_patterns.end());
+  for (const uint64_t pattern : intra_patterns) {
+    const auto r1 = static_cast<uint32_t>(pattern >> 32);
+    const auto r2 = static_cast<uint32_t>(pattern);
+    for (uint32_t b = 0; b < k; ++b) {
+      edge_keys.push_back(UndirectedEdgeKey(avt.At(r1, b), avt.At(r2, b)));
+    }
+  }
+  std::sort(edge_keys.begin(), edge_keys.end());
+  edge_keys.erase(std::unique(edge_keys.begin(), edge_keys.end()),
+                  edge_keys.end());
+
+  // --- Step 5: attribute union per AVT row (noise members contribute
+  // nothing; every row has at least one real member since there are at most
+  // k-1 noise vertices in total). ---
+  GraphBuilder builder;  // Schema-less: Gk rows mix types, labels may be
+                         // group ids after anonymization.
+  builder.ReserveVertices(total_vertices);
+  std::vector<std::vector<VertexTypeId>> row_types(rows);
+  std::vector<std::vector<LabelId>> row_labels(rows);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t b = 0; b < k; ++b) {
+      const VertexId v = avt.At(r, b);
+      if (v >= n) continue;  // Noise vertex.
+      const auto types = graph.Types(v);
+      const auto labels = graph.Labels(v);
+      row_types[r].insert(row_types[r].end(), types.begin(), types.end());
+      row_labels[r].insert(row_labels[r].end(), labels.begin(), labels.end());
+    }
+    if (row_types[r].empty()) {
+      return Status::Internal("AVT row with no original member");
+    }
+  }
+  for (VertexId v = 0; v < total_vertices; ++v) {
+    const uint32_t r = avt.RowOf(v);
+    builder.AddVertex(row_types[r], row_labels[r]);  // Build() dedups/sorts.
+  }
+  for (const uint64_t key : edge_keys) {
+    builder.AddEdgeUnchecked(static_cast<VertexId>(key >> 32),
+                             static_cast<VertexId>(key));
+  }
+
+  PPSM_ASSIGN_OR_RETURN(AttributedGraph gk, builder.Build());
+  KAutomorphicGraph result;
+  result.gk = std::move(gk);
+  result.avt = std::move(avt);
+  result.num_original_vertices = n;
+  result.num_original_edges = graph.NumEdges();
+  return result;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,75 @@
+#ifndef PPSM_KAUTO_KAUTOMORPHISM_H_
+#define PPSM_KAUTO_KAUTOMORPHISM_H_
+
+#include <cstdint>
+
+#include "graph/attributed_graph.h"
+#include "kauto/avt.h"
+#include "partition/multilevel_partitioner.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// How vertices inside each block are ordered into AVT rows during block
+/// alignment. The ordering decides which vertices become symmetric, which
+/// drives both the noise-edge count and how uniform each row's type/label
+/// signature is.
+enum class AlignmentOrder {
+  /// Sort by (primary type, degree desc, id): aligns same-type hubs with
+  /// hubs. Default; keeps type sets near-singleton.
+  kTypeDegree,
+  /// BFS from the block's highest-degree vertex over intra-block edges
+  /// (the "BFS strategy" the paper mentions in §6.2), grouping structurally
+  /// close vertices.
+  kBfs,
+};
+
+struct KAutomorphismOptions {
+  /// The privacy parameter k >= 1 (k = 1 means "no anonymization").
+  uint32_t k = 2;
+  AlignmentOrder alignment = AlignmentOrder::kTypeDegree;
+  /// Options for the METIS-substitute partitioner; num_parts is overridden
+  /// with k.
+  PartitionOptions partition;
+};
+
+/// The output of the k-automorphism transform: Gk, its AVT, and provenance
+/// counters. Vertex ids 0..num_original_vertices-1 in Gk are exactly the
+/// vertices of G (no vertex or edge of G is ever dropped — Theorem 1 depends
+/// on G being a subgraph of Gk); ids beyond that are noise vertices added to
+/// equalize block sizes.
+struct KAutomorphicGraph {
+  AttributedGraph gk;
+  Avt avt;
+  size_t num_original_vertices = 0;
+  size_t num_original_edges = 0;
+
+  size_t NumNoiseVertices() const {
+    return gk.NumVertices() - num_original_vertices;
+  }
+  size_t NumNoiseEdges() const { return gk.NumEdges() - num_original_edges; }
+  bool IsOriginalVertex(VertexId v) const {
+    return v < num_original_vertices;
+  }
+};
+
+/// Transforms `graph` into a k-automorphic graph (paper §2.2, reimplementing
+/// Zou et al.'s KM algorithm [26]):
+///   1. partition V(G) into k blocks (METIS substitute);
+///   2. pad blocks with noise vertices to exactly ceil(|V(Gk)|/k) rows and
+///      align them row-by-row into the AVT;
+///   3. block alignment: every block receives the union of all blocks'
+///      intra-block edge patterns (in row coordinates);
+///   4. edge copy: every crossing edge is replicated under all k block
+///      shifts;
+///   5. each AVT row's vertices receive the union of the row's type sets and
+///      label sets (so symmetric vertices are indistinguishable — see
+///      DESIGN.md on type sets).
+/// The result satisfies: every F_m is an automorphism of Gk, G ⊆ Gk, and
+/// every row is attribute-uniform.
+Result<KAutomorphicGraph> BuildKAutomorphicGraph(
+    const AttributedGraph& graph, const KAutomorphismOptions& options);
+
+}  // namespace ppsm
+
+#endif  // PPSM_KAUTO_KAUTOMORPHISM_H_

@@ -1,0 +1,119 @@
+#include "kauto/outsourced_graph.h"
+
+#include <algorithm>
+
+#include "graph/serialize.h"
+
+namespace ppsm {
+
+namespace {
+constexpr uint32_t kGoMagic = 0x316f4750;  // "PGo1"
+}  // namespace
+
+Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag) {
+  const AttributedGraph& gk = kag.gk;
+  const Avt& avt = kag.avt;
+  const uint32_t k = avt.k();
+
+  OutsourcedGraph go;
+  go.k = k;
+  std::vector<VertexId> gk_to_local(gk.NumVertices(), kInvalidVertex);
+
+  // B1 first, in row order (so VBV bit positions are stable/deterministic).
+  for (uint32_t r = 0; r < avt.num_rows(); ++r) {
+    const VertexId v = avt.At(r, /*block=*/0);
+    gk_to_local[v] = static_cast<VertexId>(go.to_gk.size());
+    go.to_gk.push_back(v);
+  }
+  go.num_b1 = go.to_gk.size();
+
+  // One-hop neighbors of B1 outside B1, in ascending Gk id order.
+  std::vector<VertexId> n1;
+  for (size_t local = 0; local < go.num_b1; ++local) {
+    for (const VertexId u : gk.Neighbors(go.to_gk[local])) {
+      if (avt.BlockOf(u) != 0) n1.push_back(u);
+    }
+  }
+  std::sort(n1.begin(), n1.end());
+  n1.erase(std::unique(n1.begin(), n1.end()), n1.end());
+  for (const VertexId u : n1) {
+    gk_to_local[u] = static_cast<VertexId>(go.to_gk.size());
+    go.to_gk.push_back(u);
+  }
+
+  GraphBuilder builder;
+  builder.ReserveVertices(go.to_gk.size());
+  for (const VertexId gk_id : go.to_gk) {
+    const auto types = gk.Types(gk_id);
+    const auto labels = gk.Labels(gk_id);
+    builder.AddVertex(
+        std::vector<VertexTypeId>(types.begin(), types.end()),
+        std::vector<LabelId>(labels.begin(), labels.end()));
+  }
+  // Edges incident to B1 only. Iterate B1 members; add each edge once.
+  for (size_t local = 0; local < go.num_b1; ++local) {
+    const VertexId v = go.to_gk[local];
+    for (const VertexId u : gk.Neighbors(v)) {
+      const bool u_in_b1 = avt.BlockOf(u) == 0;
+      if (u_in_b1 && u < v) continue;  // B1-B1 edge handled from the lower id.
+      builder.AddEdgeUnchecked(static_cast<VertexId>(local), gk_to_local[u]);
+    }
+  }
+  PPSM_ASSIGN_OR_RETURN(go.graph, builder.Build());
+  return go;
+}
+
+std::vector<uint8_t> OutsourcedGraph::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(kGoMagic);
+  writer.PutVarint(k);
+  writer.PutVarint(num_b1);
+  writer.PutVarint(to_gk.size());
+  for (const VertexId v : to_gk) writer.PutVarint(v);
+  const std::vector<uint8_t> graph_bytes = SerializeGraph(graph);
+  writer.PutVarint(graph_bytes.size());
+  for (const uint8_t b : graph_bytes) writer.PutU8(b);
+  return writer.TakeBytes();
+}
+
+Result<OutsourcedGraph> OutsourcedGraph::Deserialize(
+    std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  PPSM_ASSIGN_OR_RETURN(const uint32_t magic, reader.GetU32());
+  if (magic != kGoMagic) return Status::InvalidArgument("bad Go magic");
+  OutsourcedGraph go;
+  PPSM_ASSIGN_OR_RETURN(const uint64_t k, reader.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_b1, reader.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_vertices, reader.GetVarint());
+  if (k == 0 || num_b1 > num_vertices ||
+      num_vertices > reader.remaining()) {
+    // Each id costs at least one byte; forged counts must not reserve.
+    return Status::InvalidArgument("bad Go header");
+  }
+  go.k = static_cast<uint32_t>(k);
+  go.num_b1 = num_b1;
+  go.to_gk.reserve(num_vertices);
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    PPSM_ASSIGN_OR_RETURN(const uint64_t v, reader.GetVarint());
+    if (v > UINT32_MAX) return Status::InvalidArgument("Gk id overflow");
+    go.to_gk.push_back(static_cast<VertexId>(v));
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint64_t graph_len, reader.GetVarint());
+  if (graph_len > reader.remaining()) {
+    return Status::OutOfRange("truncated Go graph payload");
+  }
+  std::vector<uint8_t> graph_bytes;
+  graph_bytes.reserve(graph_len);
+  for (uint64_t i = 0; i < graph_len; ++i) {
+    PPSM_ASSIGN_OR_RETURN(const uint8_t b, reader.GetU8());
+    graph_bytes.push_back(b);
+  }
+  PPSM_ASSIGN_OR_RETURN(go.graph,
+                        DeserializeGraph(graph_bytes, /*schema=*/nullptr));
+  if (go.graph.NumVertices() != go.to_gk.size()) {
+    return Status::InvalidArgument("Go id map size mismatch");
+  }
+  return go;
+}
+
+}  // namespace ppsm

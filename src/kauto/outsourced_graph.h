@@ -1,0 +1,43 @@
+#ifndef PPSM_KAUTO_OUTSOURCED_GRAPH_H_
+#define PPSM_KAUTO_OUTSOURCED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kauto/kautomorphism.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// The outsourced graph Go (paper §4.1 Def. 5): the first block B1 of Gk
+/// together with the one-hop neighbors of its vertices, carrying exactly the
+/// Gk edges incident to B1 (within B1 or between B1 and N1 — never inside
+/// N1). This is what actually travels to the cloud: roughly a 1/k fraction
+/// of Gk, yet sufficient to recover all of Gk through the automorphic
+/// functions.
+///
+/// Vertices are stored compactly: local ids [0, num_b1) are the B1 vertices
+/// in AVT row order; N1 vertices follow. `to_gk` maps local ids back to Gk
+/// ids, which the cloud needs to apply the AVT's automorphic functions to
+/// star matches.
+struct OutsourcedGraph {
+  AttributedGraph graph;        // Compact local ids.
+  std::vector<VertexId> to_gk;  // local id -> Gk id.
+  size_t num_b1 = 0;            // Local ids < num_b1 are block-B1 vertices.
+  uint32_t k = 0;               // The privacy parameter of the source Gk.
+
+  bool InB1(VertexId local) const { return local < num_b1; }
+  VertexId ToGk(VertexId local) const { return to_gk[local]; }
+
+  /// Wire format (graph + id map + metadata).
+  std::vector<uint8_t> Serialize() const;
+  static Result<OutsourcedGraph> Deserialize(std::span<const uint8_t> bytes);
+};
+
+/// Extracts Go from a built k-automorphic graph.
+Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag);
+
+}  // namespace ppsm
+
+#endif  // PPSM_KAUTO_OUTSOURCED_GRAPH_H_

@@ -1,0 +1,83 @@
+#include "match/decomposition.h"
+
+#include <algorithm>
+
+#include "ilp/cover_solver.h"
+
+namespace ppsm {
+
+namespace {
+
+/// Shared ILP assembly + solve once per-vertex costs are known.
+Result<StarDecomposition> DecomposeWithCosts(const AttributedGraph& qo,
+                                             CoverIlp model) {
+  qo.ForEachEdge([&model](VertexId u, VertexId v) {
+    model.constraints.push_back({u, v});
+  });
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    if (qo.Degree(v) == 0) model.constraints.push_back({v});
+  }
+
+  PPSM_ASSIGN_OR_RETURN(const CoverSolution solution, SolveCoverIlp(model));
+
+  StarDecomposition decomposition;
+  decomposition.ilp_nodes = solution.nodes_explored;
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    if (solution.selected[v]) {
+      decomposition.centers.push_back(v);
+      decomposition.estimates.push_back(model.cost[v]);
+      decomposition.total_cost += model.cost[v];
+    }
+  }
+  return decomposition;
+}
+
+}  // namespace
+
+Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
+                                         const GkStatistics& stats) {
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("query has no vertices");
+  }
+  CoverIlp model;
+  model.cost.reserve(qo.NumVertices());
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    model.cost.push_back(EstimateStarCardinality(stats, qo, v));
+  }
+  return DecomposeWithCosts(qo, std::move(model));
+}
+
+Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
+                                         const GkStatistics& stats,
+                                         const AttributedGraph& data,
+                                         const CloudIndex& index) {
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("query has no vertices");
+  }
+  CoverIlp model;
+  model.cost.reserve(qo.NumVertices());
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    model.cost.push_back(
+        EstimateStarCardinalityCandidateAware(stats, data, index, qo, v));
+  }
+  return DecomposeWithCosts(qo, std::move(model));
+}
+
+bool IsValidDecomposition(const AttributedGraph& qo,
+                          const std::vector<VertexId>& centers) {
+  std::vector<bool> selected(qo.NumVertices(), false);
+  for (const VertexId c : centers) {
+    if (c >= qo.NumVertices()) return false;
+    selected[c] = true;
+  }
+  bool covered = true;
+  qo.ForEachEdge([&](VertexId u, VertexId v) {
+    if (!selected[u] && !selected[v]) covered = false;
+  });
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    if (qo.Degree(v) == 0 && !selected[v]) covered = false;
+  }
+  return covered;
+}
+
+}  // namespace ppsm

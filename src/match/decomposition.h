@@ -1,0 +1,50 @@
+#ifndef PPSM_MATCH_DECOMPOSITION_H_
+#define PPSM_MATCH_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "match/statistics.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// A star decomposition of the outsourced query Qo (paper §4.2.1): a set of
+/// star roots covering every edge of Qo, chosen to minimize the estimated
+/// total star-match count (Def. 6) via the weighted-vertex-cover ILP.
+struct StarDecomposition {
+  /// Query vertex ids of the selected star roots.
+  std::vector<VertexId> centers;
+  /// Estimated |R(S(center))| per selected center (aligned with `centers`).
+  std::vector<double> estimates;
+  /// Sum of estimates — the Def. 6 decomposition cost.
+  double total_cost = 0.0;
+  /// Branch-and-bound nodes the ILP explored (diagnostics).
+  size_t ilp_nodes = 0;
+};
+
+/// Solves the paper's decomposition ILP exactly:
+///   minimize sum est|R(S(v))| x_v  s.t.  x_u + x_v >= 1 per edge uv.
+/// Isolated query vertices get their own unit constraint {v} so the
+/// decomposition always covers every query vertex. Star cardinalities come
+/// from the §5.1 cost model over `stats`.
+Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
+                                         const GkStatistics& stats);
+
+/// Same ILP, but star cardinalities come from the candidate-aware estimator
+/// (EstimateStarCardinalityCandidateAware) evaluated against the hosted
+/// graph and its index. This is what the cloud server uses: on power-law
+/// graphs it reliably steers the cover away from hub-rooted stars whose
+/// materialized match sets would be astronomically large.
+Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
+                                         const GkStatistics& stats,
+                                         const AttributedGraph& data,
+                                         const CloudIndex& index);
+
+/// Checks that `centers` covers every edge of `qo` (tests / invariants).
+bool IsValidDecomposition(const AttributedGraph& qo,
+                          const std::vector<VertexId>& centers);
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_DECOMPOSITION_H_

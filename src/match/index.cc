@@ -1,0 +1,95 @@
+#include "match/index.h"
+
+#include <cassert>
+
+namespace ppsm {
+
+CloudIndex CloudIndex::Build(const AttributedGraph& graph, size_t num_centers,
+                             size_t num_types, size_t num_groups) {
+  assert(num_centers <= graph.NumVertices());
+  CloudIndex index;
+  index.num_centers_ = num_centers;
+  index.group_vbv_.assign(num_groups, BitVector(num_centers));
+  index.type_vbv_.assign(num_types, BitVector(num_centers));
+  index.neighbor_groups_.assign(num_centers, BitVector(num_groups));
+  index.neighbor_types_.assign(num_centers, BitVector(num_types));
+
+  for (VertexId v = 0; v < num_centers; ++v) {
+    for (const LabelId g : graph.Labels(v)) {
+      if (g < num_groups) index.group_vbv_[g].Set(v);
+    }
+    for (const VertexTypeId t : graph.Types(v)) {
+      if (t < num_types) index.type_vbv_[t].Set(v);
+    }
+    for (const VertexId u : graph.Neighbors(v)) {
+      for (const LabelId g : graph.Labels(u)) {
+        if (g < num_groups) index.neighbor_groups_[v].Set(g);
+      }
+      for (const VertexTypeId t : graph.Types(u)) {
+        if (t < num_types) index.neighbor_types_[v].Set(t);
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<VertexId> CloudIndex::CandidateCenters(const AttributedGraph& qo,
+                                                   VertexId q) const {
+  // alpha := AND of the type VBVs and group VBVs required by q (line 4).
+  BitVector alpha(num_centers_);
+  bool initialized = false;
+  auto intersect = [&](const BitVector& bv) {
+    if (!initialized) {
+      alpha = bv;
+      initialized = true;
+    } else {
+      alpha &= bv;
+    }
+  };
+  for (const VertexTypeId t : qo.Types(q)) {
+    if (t >= type_vbv_.size()) return {};  // Type absent from data: no match.
+    intersect(type_vbv_[t]);
+  }
+  for (const LabelId g : qo.Labels(q)) {
+    if (g >= group_vbv_.size()) return {};
+    intersect(group_vbv_[g]);
+  }
+  if (!initialized) {
+    // Unconstrained center (no type? cannot happen, but stay safe): all.
+    for (size_t i = 0; i < num_centers_; ++i) alpha.Set(i);
+  }
+
+  // Required neighborhood signature of q (line 6's LBV(vi)).
+  BitVector required_groups(num_groups());
+  BitVector required_types(num_types());
+  for (const VertexId nq : qo.Neighbors(q)) {
+    for (const LabelId g : qo.Labels(nq)) {
+      if (g >= num_groups()) return {};
+      required_groups.Set(g);
+    }
+    for (const VertexTypeId t : qo.Types(nq)) {
+      if (t >= num_types()) return {};
+      required_types.Set(t);
+    }
+  }
+
+  std::vector<VertexId> candidates;
+  alpha.ForEachSetBit([&](size_t va) {
+    if (neighbor_groups_[va].Contains(required_groups) &&
+        neighbor_types_[va].Contains(required_types)) {
+      candidates.push_back(static_cast<VertexId>(va));
+    }
+  });
+  return candidates;
+}
+
+size_t CloudIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& bv : group_vbv_) bytes += bv.MemoryBytes();
+  for (const auto& bv : type_vbv_) bytes += bv.MemoryBytes();
+  for (const auto& bv : neighbor_groups_) bytes += bv.MemoryBytes();
+  for (const auto& bv : neighbor_types_) bytes += bv.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,74 @@
+#ifndef PPSM_MATCH_INDEX_H_
+#define PPSM_MATCH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "util/bitvector.h"
+
+namespace ppsm {
+
+/// The cloud's offline query index (paper §4.2.1, Fig. 7), two bit-vector
+/// families over the candidate star centers:
+///
+///  * VBV (Vertex Bit Vector): one bit vector per label group — bit i is set
+///    iff center i carries that group. ANDing the center's required groups
+///    yields the candidate vector α of Algorithm 1 line 4. We additionally
+///    keep one VBV per vertex *type* (the paper folds the type check into
+///    "share the same vertex type"; a bit vector makes it the same AND).
+///
+///  * LBV (Neighbor Label Bit Vector): per center, a bit vector over group
+///    ids — bit g set iff some neighbor of the center carries group g — plus
+///    its type-space twin. Line 6's subset test LBV(va) ⊇ LBV(vi) prunes
+///    centers whose neighborhoods cannot host the star's leaves.
+///
+/// Centers are ids [0, num_centers): for Go that is the B1 prefix (paper:
+/// "the corresponding bit in the VBV for a vertex v ∈ B1"); for the BAS
+/// baseline it is all of Gk. Neighbor scans cover the whole graph, so N1
+/// vertices still contribute to LBVs.
+class CloudIndex {
+ public:
+  CloudIndex() = default;
+
+  /// Builds the index. `num_types` / `num_groups` size the bit spaces;
+  /// vertex types and labels (= group ids) beyond those bounds are ignored.
+  static CloudIndex Build(const AttributedGraph& graph, size_t num_centers,
+                          size_t num_types, size_t num_groups);
+
+  size_t num_centers() const { return num_centers_; }
+  size_t num_types() const { return type_vbv_.size(); }
+  size_t num_groups() const { return group_vbv_.size(); }
+
+  const BitVector& GroupVbv(LabelId group) const { return group_vbv_[group]; }
+  const BitVector& TypeVbv(VertexTypeId type) const {
+    return type_vbv_[type];
+  }
+  /// Neighbor group/type coverage of center `v`.
+  const BitVector& NeighborGroups(VertexId center) const {
+    return neighbor_groups_[center];
+  }
+  const BitVector& NeighborTypes(VertexId center) const {
+    return neighbor_types_[center];
+  }
+
+  /// Candidate centers for a star rooted at query vertex `q` of `qo`:
+  /// alpha = TypeVbv(all q's types) ∧ VBV(all q's groups), then filtered by
+  /// the LBV subset tests against q's neighborhood (Algorithm 1 lines 4-6).
+  std::vector<VertexId> CandidateCenters(const AttributedGraph& qo,
+                                         VertexId q) const;
+
+  /// Total index footprint in bytes (paper Fig. 13 reports index size).
+  size_t MemoryBytes() const;
+
+ private:
+  size_t num_centers_ = 0;
+  std::vector<BitVector> group_vbv_;        // [group] -> bits over centers.
+  std::vector<BitVector> type_vbv_;         // [type]  -> bits over centers.
+  std::vector<BitVector> neighbor_groups_;  // [center] -> bits over groups.
+  std::vector<BitVector> neighbor_types_;   // [center] -> bits over types.
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_INDEX_H_

@@ -1,0 +1,213 @@
+#include "match/result_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace ppsm {
+
+namespace {
+
+/// Working state of the incremental join: a column list (query vertex ids)
+/// plus rows over those columns.
+struct Intermediate {
+  std::vector<VertexId> columns;
+  MatchSet rows;
+};
+
+uint64_t KeyOf(std::span<const VertexId> row,
+               const std::vector<size_t>& positions) {
+  uint64_t key = 0x9ae16a3b2f90404fULL;
+  for (const size_t p : positions) key = HashCombine(key, row[p]);
+  return key;
+}
+
+/// Joins `current` with one star's Gk-expanded matches on their shared query
+/// vertices.
+/// Sets *overflow when max_rows (non-zero) is exceeded.
+Intermediate JoinStep(const Intermediate& current,
+                      const std::vector<VertexId>& star_columns,
+                      const MatchSet& star_rows,
+                      JoinDiagnostics* diagnostics, size_t max_rows,
+                      bool* overflow) {
+  // Column bookkeeping: positions of shared columns on both sides, and the
+  // star columns that are new.
+  std::vector<size_t> shared_current;  // Positions in current.columns.
+  std::vector<size_t> shared_star;     // Positions in star_columns.
+  std::vector<size_t> new_star;        // Star positions appended to output.
+  for (size_t sp = 0; sp < star_columns.size(); ++sp) {
+    const auto it = std::find(current.columns.begin(), current.columns.end(),
+                              star_columns[sp]);
+    if (it != current.columns.end()) {
+      shared_current.push_back(
+          static_cast<size_t>(it - current.columns.begin()));
+      shared_star.push_back(sp);
+    } else {
+      new_star.push_back(sp);
+    }
+  }
+
+  Intermediate next;
+  next.columns = current.columns;
+  for (const size_t sp : new_star) next.columns.push_back(star_columns[sp]);
+  next.rows = MatchSet(next.columns.size());
+
+  // Hash the star side on the shared key (empty key = cross product).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> star_index;
+  star_index.reserve(star_rows.NumMatches() * 2);
+  for (size_t r = 0; r < star_rows.NumMatches(); ++r) {
+    star_index[KeyOf(star_rows.Get(r), shared_star)].push_back(
+        static_cast<uint32_t>(r));
+  }
+
+  std::vector<VertexId> combined(next.columns.size());
+  for (size_t cr = 0; cr < current.rows.NumMatches(); ++cr) {
+    const auto current_row = current.rows.Get(cr);
+    const auto it = star_index.find(KeyOf(current_row, shared_current));
+    if (it == star_index.end()) continue;
+    for (const uint32_t sr : it->second) {
+      const auto star_row = star_rows.Get(sr);
+      // Verify shared equality (hash collisions must not fabricate rows).
+      bool consistent = true;
+      for (size_t i = 0; i < shared_star.size(); ++i) {
+        if (star_row[shared_star[i]] != current_row[shared_current[i]]) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) continue;
+      std::copy(current_row.begin(), current_row.end(), combined.begin());
+      for (size_t i = 0; i < new_star.size(); ++i) {
+        combined[current_row.size() + i] = star_row[new_star[i]];
+      }
+      if (MatchSet::HasDuplicateVertices(combined)) {
+        if (diagnostics != nullptr) ++diagnostics->injectivity_drops;
+        continue;
+      }
+      if (max_rows != 0 && next.rows.NumMatches() >= max_rows) {
+        *overflow = true;
+        return next;
+      }
+      next.rows.Append(combined);
+    }
+  }
+  if (diagnostics != nullptr) {
+    diagnostics->peak_rows =
+        std::max(diagnostics->peak_rows, next.rows.NumMatches());
+  }
+  return next;
+}
+
+}  // namespace
+
+MatchSet ExpandByAutomorphisms(const MatchSet& matches, const Avt& avt) {
+  MatchSet expanded(matches.arity());
+  for (uint32_t m = 0; m < avt.k(); ++m) {
+    for (size_t r = 0; r < matches.NumMatches(); ++r) {
+      expanded.Append(avt.ApplyToMatch(matches.Get(r), m));
+    }
+  }
+  expanded.SortDedup();
+  return expanded;
+}
+
+Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
+                                 const Avt& avt, size_t num_query_vertices,
+                                 JoinDiagnostics* diagnostics,
+                                 size_t max_rows) {
+  if (stars.empty()) {
+    return Status::InvalidArgument("join needs at least one star");
+  }
+  for (const StarMatches& star : stars) {
+    if (star.truncated) {
+      return Status::ResourceExhausted(
+          "star match set was truncated; join would be incomplete");
+    }
+  }
+
+  // Anchor: the star with the fewest matches (Algorithm 2 line 1). Its rows
+  // are NOT expanded — the anchor center staying in B1 is what defines Rin.
+  size_t anchor = 0;
+  for (size_t i = 1; i < stars.size(); ++i) {
+    if (stars[i].matches.NumMatches() <
+        stars[anchor].matches.NumMatches()) {
+      anchor = i;
+    }
+  }
+
+  Intermediate current{stars[anchor].columns, stars[anchor].matches};
+  // Drop rows where the star itself repeats a vertex (leaf == leaf cannot
+  // happen within MatchStar, but stay defensive for external callers).
+  if (diagnostics != nullptr) {
+    diagnostics->peak_rows =
+        std::max(diagnostics->peak_rows, current.rows.NumMatches());
+  }
+
+  std::vector<bool> joined(stars.size(), false);
+  joined[anchor] = true;
+  for (size_t step = 1; step < stars.size(); ++step) {
+    // Next star: overlapping with the current columns, fewest matches
+    // (Algorithm 2 line 4); fall back to fewest overall (cross product) for
+    // disconnected queries.
+    size_t next = SIZE_MAX;
+    bool next_overlaps = false;
+    for (size_t i = 0; i < stars.size(); ++i) {
+      if (joined[i]) continue;
+      bool overlaps = false;
+      for (const VertexId column : stars[i].columns) {
+        if (std::find(current.columns.begin(), current.columns.end(),
+                      column) != current.columns.end()) {
+          overlaps = true;
+          break;
+        }
+      }
+      const bool better =
+          next == SIZE_MAX || (overlaps && !next_overlaps) ||
+          (overlaps == next_overlaps &&
+           stars[i].matches.NumMatches() < stars[next].matches.NumMatches());
+      if (better) {
+        next = i;
+        next_overlaps = overlaps;
+      }
+    }
+    joined[next] = true;
+    const MatchSet expanded =
+        ExpandByAutomorphisms(stars[next].matches, avt);  // Lines 5-8.
+    bool overflow = false;
+    current = JoinStep(current, stars[next].columns, expanded, diagnostics,
+                       max_rows, &overflow);
+    if (overflow) {
+      return Status::ResourceExhausted(
+          "join intermediate exceeded the row cap");
+    }
+    if (current.rows.NumMatches() == 0) {
+      return MatchSet(num_query_vertices);  // Rin is empty.
+    }
+  }
+
+  // Canonicalize columns to query order 0..m-1.
+  if (current.columns.size() != num_query_vertices) {
+    return Status::Internal(
+        "star decomposition did not cover every query vertex");
+  }
+  std::vector<size_t> position(num_query_vertices, SIZE_MAX);
+  for (size_t p = 0; p < current.columns.size(); ++p) {
+    if (current.columns[p] >= num_query_vertices ||
+        position[current.columns[p]] != SIZE_MAX) {
+      return Status::Internal("join produced malformed columns");
+    }
+    position[current.columns[p]] = p;
+  }
+  MatchSet canonical(num_query_vertices);
+  std::vector<VertexId> row(num_query_vertices);
+  for (size_t r = 0; r < current.rows.NumMatches(); ++r) {
+    const auto source = current.rows.Get(r);
+    for (size_t q = 0; q < num_query_vertices; ++q) row[q] = source[position[q]];
+    canonical.Append(row);
+  }
+  canonical.SortDedup();
+  return canonical;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,48 @@
+#ifndef PPSM_MATCH_RESULT_JOIN_H_
+#define PPSM_MATCH_RESULT_JOIN_H_
+
+#include <vector>
+
+#include "kauto/avt.h"
+#include "match/star_matcher.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Diagnostics from a join run (the benches report these).
+struct JoinDiagnostics {
+  /// Peak intermediate row count across join steps.
+  size_t peak_rows = 0;
+  /// Rows discarded by the duplicate-vertex (injectivity) filter.
+  size_t injectivity_drops = 0;
+};
+
+/// Algorithm 2 (result join): combines per-star match sets over Go into Rin,
+/// the anchored fraction of R(Qo,Gk).
+///
+///  * The anchor star — the one with the fewest matches — is used as-is: its
+///    center column stays inside B1, which is what makes the output "Rin".
+///  * Every other star is first expanded from R(S,Go) to R(S,Gk) by applying
+///    all k automorphic functions (lines 5-8), then natural-joined on the
+///    shared query vertices (line 9), discarding rows that map two query
+///    vertices to one data vertex (lines 10-12).
+///  * Overlapping stars are preferred (smallest first); disconnected query
+///    components fall back to a cross product.
+///
+/// Input star matches must already be translated to Gk vertex ids. Output
+/// columns are canonical (query vertex 0..m-1); rows are deduplicated.
+/// `max_rows` (0 = unlimited) caps every intermediate row count; exceeding
+/// it returns ResourceExhausted instead of exhausting memory.
+Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
+                                 const Avt& avt, size_t num_query_vertices,
+                                 JoinDiagnostics* diagnostics = nullptr,
+                                 size_t max_rows = 0);
+
+/// Expands a Go-side match set to its Gk closure: union of F_m(matches) for
+/// m = 0..k-1, deduplicated. Shared by the join (per star) and by the
+/// client's Rout computation (Algorithm 3 lines 1-5).
+MatchSet ExpandByAutomorphisms(const MatchSet& matches, const Avt& avt);
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_RESULT_JOIN_H_

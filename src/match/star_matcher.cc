@@ -1,0 +1,95 @@
+#include "match/star_matcher.h"
+
+#include <algorithm>
+
+namespace ppsm {
+
+namespace {
+
+/// Leaf-vertex compatibility: type sets and label groups only (Def. 2's
+/// containment conditions; deliberately no degree check — see header).
+bool LeafCompatible(const AttributedGraph& qo, VertexId leaf,
+                    const AttributedGraph& data, VertexId v) {
+  return data.TypesContainAll(v, qo.Types(leaf)) &&
+         data.LabelsContainAll(v, qo.Labels(leaf));
+}
+
+/// Enumerates injective assignments of `leaves[depth..]` to neighbors of the
+/// candidate center, appending complete rows to `out`.
+/// Returns false when the row cap was hit (enumeration aborted).
+bool AssignLeaves(const AttributedGraph& data, const AttributedGraph& qo,
+                  const std::vector<VertexId>& leaves, size_t depth,
+                  std::span<const VertexId> center_neighbors,
+                  std::vector<VertexId>* row, std::vector<bool>* used,
+                  size_t max_rows, MatchSet* out) {
+  if (depth == leaves.size()) {
+    if (max_rows != 0 && out->NumMatches() >= max_rows) return false;
+    out->Append(*row);
+    return true;
+  }
+  const VertexId leaf = leaves[depth];
+  for (const VertexId v : center_neighbors) {
+    if ((*used)[v]) continue;
+    if (!LeafCompatible(qo, leaf, data, v)) continue;
+    (*used)[v] = true;
+    (*row)[depth + 1] = v;
+    const bool ok = AssignLeaves(data, qo, leaves, depth + 1,
+                                 center_neighbors, row, used, max_rows, out);
+    (*used)[v] = false;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, VertexId center,
+                      size_t max_rows) {
+  StarMatches result;
+  result.center = center;
+  result.columns.push_back(center);
+
+  // Most-constrained leaves first: more labels, then rarer placement.
+  std::vector<VertexId> leaves(qo.Neighbors(center).begin(),
+                               qo.Neighbors(center).end());
+  std::sort(leaves.begin(), leaves.end(), [&qo](VertexId a, VertexId b) {
+    if (qo.Labels(a).size() != qo.Labels(b).size()) {
+      return qo.Labels(a).size() > qo.Labels(b).size();
+    }
+    return a < b;
+  });
+  result.columns.insert(result.columns.end(), leaves.begin(), leaves.end());
+  result.matches = MatchSet(result.columns.size());
+
+  std::vector<bool> used(data.NumVertices(), false);
+  std::vector<VertexId> row(result.columns.size());
+  for (const VertexId va : index.CandidateCenters(qo, center)) {
+    row[0] = va;
+    used[va] = true;  // The center cannot double as one of its leaves.
+    const bool ok = AssignLeaves(data, qo, leaves, 0, data.Neighbors(va),
+                                 &row, &used, max_rows, &result.matches);
+    used[va] = false;
+    if (!ok) {
+      result.truncated = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<StarMatches> MatchStars(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<VertexId>& centers,
+                                    size_t max_rows) {
+  std::vector<StarMatches> all;
+  all.reserve(centers.size());
+  for (const VertexId center : centers) {
+    all.push_back(MatchStar(data, index, qo, center, max_rows));
+    if (all.back().truncated) break;  // The caller aborts anyway.
+  }
+  return all;
+}
+
+}  // namespace ppsm

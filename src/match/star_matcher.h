@@ -1,0 +1,51 @@
+#ifndef PPSM_MATCH_STAR_MATCHER_H_
+#define PPSM_MATCH_STAR_MATCHER_H_
+
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "match/index.h"
+#include "match/match_set.h"
+
+namespace ppsm {
+
+/// Matches of one star of the query decomposition. `columns[i]` names the
+/// query vertex each match column binds: columns[0] is the star's center,
+/// the rest its query neighbors (leaves). Match vertex ids are in whatever
+/// id space `data` uses (Go-local in the cloud; the caller translates to Gk
+/// ids before joining).
+struct StarMatches {
+  VertexId center = kInvalidVertex;
+  std::vector<VertexId> columns;
+  MatchSet matches;
+  /// True when enumeration stopped at the row cap; the match set is then
+  /// incomplete and must not be used for exact answering.
+  bool truncated = false;
+};
+
+/// Algorithm 1 (star matching): finds all matches of the star rooted at
+/// query vertex `center` over `data`, using the VBV/LBV index to shortlist
+/// candidate centers, then enumerating injective leaf assignments among each
+/// candidate's neighbors. Leaf compatibility is type-set + label-group
+/// containment only — a leaf's extra query edges are the join's concern, and
+/// leaf degrees in Go understate their Gk degrees, so no degree pruning
+/// here.
+/// `max_rows` caps the materialized match count (0 = unlimited); hitting it
+/// sets StarMatches::truncated — the cloud turns that into a
+/// ResourceExhausted error instead of exhausting memory on pathological
+/// queries.
+StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, VertexId center,
+                      size_t max_rows = 0);
+
+/// Runs MatchStar for every center of a decomposition (the algorithm's S*
+/// loop). Output order follows `centers`.
+std::vector<StarMatches> MatchStars(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<VertexId>& centers,
+                                    size_t max_rows = 0);
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_STAR_MATCHER_H_

@@ -1,0 +1,70 @@
+#ifndef PPSM_MATCH_STATISTICS_H_
+#define PPSM_MATCH_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "kauto/outsourced_graph.h"
+#include "match/index.h"
+
+namespace ppsm {
+
+/// The summary statistics the cloud needs to evaluate the paper's cost model
+/// (§5.1 Expression 4): |V(Gk)|, D(Gk), F_Gk(j) and F^g_Gk(j,i). Built from
+/// the outsourced graph's B1 block, whose distribution equals Gk's by the
+/// symmetry of the k-automorphic graph (every block is an automorphic image
+/// of B1) — the cloud never needs Gk itself.
+struct GkStatistics {
+  size_t num_gk_vertices = 0;  // |V(Gk)| = k * |B1|.
+  double avg_degree = 0.0;     // D(Gk); B1 degrees in Go are full Gk degrees.
+  uint32_t k = 1;
+  /// F_Gk(j): fraction of vertices whose type set contains type j.
+  std::vector<double> type_freq;
+  /// F^g_Gk(j, i): among vertices with group i's owning type, the fraction
+  /// carrying group i. Indexed by group id.
+  std::vector<double> group_freq;
+  /// Owning type of each group id (shipped with the upload; types and
+  /// attributes are non-sensitive per §2.3).
+  std::vector<VertexTypeId> type_of_group;
+};
+
+/// Builds statistics from Go's B1 portion. `type_of_group[g]` gives each
+/// group id's owning type; `num_types` sizes the type-frequency table.
+GkStatistics ComputeGkStatistics(const OutsourcedGraph& go, size_t num_types,
+                                 std::vector<VertexTypeId> type_of_group);
+
+/// Same statistics computed over a full graph (used by the BAS baseline,
+/// whose cloud holds Gk itself). `k` scales the estimator's B1 term.
+GkStatistics ComputeGraphStatistics(const AttributedGraph& graph, uint32_t k,
+                                    size_t num_types,
+                                    std::vector<VertexTypeId> type_of_group);
+
+/// Expression 4: estimated |R(S)| for the star of `qo` rooted at `center`.
+/// First factor: expected number of B1 vertices type- and group-compatible
+/// with the center; second: D(Gk)^Dc discounted by the neighbors'
+/// compatibility probability. Never returns less than a small positive
+/// epsilon so ILP costs stay meaningful.
+double EstimateStarCardinality(const GkStatistics& stats,
+                               const AttributedGraph& qo, VertexId center);
+
+/// Candidate-aware refinement of Expression 4. The paper approximates the
+/// candidate center's degree with D(Gk) ("we use the average degree of
+/// vertices in Gk to estimate the degree of vertex v", §5.1); on power-law
+/// graphs that underestimates hub-rooted stars by orders of magnitude, so
+/// here the second factor is summed over the *actual* VBV candidate set
+/// with each candidate's true degree:
+///   est = sum_{va in alpha(center)} prod_{l=1..Dc} max(deg(va)-l, 0) * p_l
+/// where p_l is leaf l's per-neighbor compatibility probability from the
+/// group/type frequencies. Costs one index shortlist per query vertex —
+/// negligible for query-sized graphs — and keeps the decomposition ILP away
+/// from stars that would materialize astronomically many rows.
+double EstimateStarCardinalityCandidateAware(const GkStatistics& stats,
+                                             const AttributedGraph& data,
+                                             const CloudIndex& index,
+                                             const AttributedGraph& qo,
+                                             VertexId center);
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_STATISTICS_H_

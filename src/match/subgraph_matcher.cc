@@ -1,0 +1,155 @@
+#include "match/subgraph_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace ppsm {
+
+bool VertexCompatible(const AttributedGraph& query, VertexId q,
+                      const AttributedGraph& data, VertexId v) {
+  return data.TypesContainAll(v, query.Types(q)) &&
+         data.LabelsContainAll(v, query.Labels(q)) &&
+         data.Degree(v) >= query.Degree(q);
+}
+
+namespace {
+
+/// Chooses a matching order: start from the most constrained vertex (most
+/// labels, then highest degree), grow by connectivity, preferring vertices
+/// with the most already-ordered neighbors (maximum pruning). Disconnected
+/// queries start fresh roots.
+std::vector<VertexId> MatchingOrder(const AttributedGraph& query) {
+  const size_t m = query.NumVertices();
+  std::vector<bool> ordered(m, false);
+  std::vector<size_t> ordered_neighbors(m, 0);
+  std::vector<VertexId> order;
+  order.reserve(m);
+
+  const auto root_score = [&](VertexId q) {
+    return query.Labels(q).size() * 1000 + query.Degree(q);
+  };
+  while (order.size() < m) {
+    // Next vertex: any with ordered neighbors, preferring more connections;
+    // otherwise a fresh root by constraint score.
+    VertexId best = kInvalidVertex;
+    bool best_connected = false;
+    for (VertexId q = 0; q < m; ++q) {
+      if (ordered[q]) continue;
+      const bool connected = ordered_neighbors[q] > 0;
+      if (best == kInvalidVertex) {
+        best = q;
+        best_connected = connected;
+        continue;
+      }
+      if (connected != best_connected) {
+        if (connected) {
+          best = q;
+          best_connected = true;
+        }
+        continue;
+      }
+      if (connected) {
+        if (ordered_neighbors[q] > ordered_neighbors[best] ||
+            (ordered_neighbors[q] == ordered_neighbors[best] &&
+             root_score(q) > root_score(best))) {
+          best = q;
+        }
+      } else if (root_score(q) > root_score(best)) {
+        best = q;
+      }
+    }
+    ordered[best] = true;
+    order.push_back(best);
+    for (const VertexId u : query.Neighbors(best)) ++ordered_neighbors[u];
+  }
+  return order;
+}
+
+class Backtracker {
+ public:
+  Backtracker(const AttributedGraph& query, const AttributedGraph& data,
+              size_t max_matches)
+      : query_(query),
+        data_(data),
+        max_matches_(max_matches == 0 ? std::numeric_limits<size_t>::max()
+                                      : max_matches),
+        order_(MatchingOrder(query)),
+        assignment_(query.NumVertices(), kInvalidVertex),
+        used_(data.NumVertices(), false),
+        results_(query.NumVertices()) {}
+
+  MatchSet Run() {
+    if (query_.NumVertices() == 0) return std::move(results_);
+    Recurse(0);
+    return std::move(results_);
+  }
+
+ private:
+  void Recurse(size_t depth) {
+    if (results_.NumMatches() >= max_matches_) return;
+    if (depth == order_.size()) {
+      results_.Append(assignment_);
+      return;
+    }
+    const VertexId q = order_[depth];
+
+    // Anchor on an already-matched query neighbor with the smallest data
+    // neighborhood; fall back to a full scan for fresh components.
+    VertexId anchor = kInvalidVertex;
+    for (const VertexId nq : query_.Neighbors(q)) {
+      if (assignment_[nq] == kInvalidVertex) continue;
+      if (anchor == kInvalidVertex ||
+          data_.Degree(assignment_[nq]) < data_.Degree(assignment_[anchor])) {
+        anchor = nq;
+      }
+    }
+
+    if (anchor != kInvalidVertex) {
+      for (const VertexId v : data_.Neighbors(assignment_[anchor])) {
+        TryExtend(depth, q, v);
+        if (results_.NumMatches() >= max_matches_) return;
+      }
+    } else {
+      for (VertexId v = 0; v < data_.NumVertices(); ++v) {
+        TryExtend(depth, q, v);
+        if (results_.NumMatches() >= max_matches_) return;
+      }
+    }
+  }
+
+  void TryExtend(size_t depth, VertexId q, VertexId v) {
+    if (used_[v]) return;
+    if (!VertexCompatible(query_, q, data_, v)) return;
+    // Every matched query neighbor must already be data-adjacent.
+    for (const VertexId nq : query_.Neighbors(q)) {
+      const VertexId nv = assignment_[nq];
+      if (nv != kInvalidVertex && !data_.HasEdge(v, nv)) return;
+    }
+    assignment_[q] = v;
+    used_[v] = true;
+    Recurse(depth + 1);
+    used_[v] = false;
+    assignment_[q] = kInvalidVertex;
+  }
+
+  const AttributedGraph& query_;
+  const AttributedGraph& data_;
+  const size_t max_matches_;
+  const std::vector<VertexId> order_;
+  std::vector<VertexId> assignment_;
+  std::vector<bool> used_;
+  MatchSet results_;
+};
+
+}  // namespace
+
+MatchSet FindSubgraphMatches(const AttributedGraph& query,
+                             const AttributedGraph& data,
+                             const MatcherOptions& options) {
+  Backtracker backtracker(query, data, options.max_matches);
+  return backtracker.Run();
+}
+
+}  // namespace ppsm

@@ -1,0 +1,40 @@
+#ifndef PPSM_MATCH_SUBGRAPH_MATCHER_H_
+#define PPSM_MATCH_SUBGRAPH_MATCHER_H_
+
+#include <cstddef>
+
+#include "graph/attributed_graph.h"
+#include "match/match_set.h"
+
+namespace ppsm {
+
+/// Vertex compatibility under Def. 2 extended with type sets: data vertex v
+/// can host query vertex q iff Types(q) ⊆ Types(v) and Labels(q) ⊆
+/// Labels(v). For original graphs this degenerates to exact type equality
+/// plus label containment; for anonymized graphs "labels" are group ids and
+/// "types" may be row-union type sets.
+bool VertexCompatible(const AttributedGraph& query, VertexId q,
+                      const AttributedGraph& data, VertexId v);
+
+struct MatcherOptions {
+  /// Stop after this many matches (0 = unlimited). Lets callers do cheap
+  /// existence checks.
+  size_t max_matches = 0;
+};
+
+/// Generic backtracking subgraph-isomorphism engine (Ullmann/VF2-style
+/// candidate propagation over connected query orders). This is the reference
+/// matcher: it computes ground-truth R(Q,G) for the client-side exactness
+/// tests and powers the BAS baseline, which runs a subgraph query directly
+/// over the full Gk in the cloud (§3).
+///
+/// Result columns follow query vertex ids: row[i] = g(query vertex i).
+/// Handles disconnected queries (each new component's root scans all data
+/// vertices).
+MatchSet FindSubgraphMatches(const AttributedGraph& query,
+                             const AttributedGraph& data,
+                             const MatcherOptions& options = {});
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_SUBGRAPH_MATCHER_H_

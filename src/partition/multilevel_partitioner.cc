@@ -1,0 +1,356 @@
+#include "partition/multilevel_partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace ppsm {
+
+namespace {
+
+/// A weighted graph at one level of the multilevel hierarchy. Vertex
+/// weights are the number of original vertices contracted into each node;
+/// edge weights the number of original edges crossing between them.
+struct LevelGraph {
+  std::vector<int64_t> vertex_weight;
+  std::vector<std::vector<std::pair<uint32_t, int64_t>>> adj;
+
+  size_t NumVertices() const { return vertex_weight.size(); }
+  int64_t TotalWeight() const {
+    return std::accumulate(vertex_weight.begin(), vertex_weight.end(),
+                           int64_t{0});
+  }
+};
+
+LevelGraph FromAttributedGraph(const AttributedGraph& graph) {
+  LevelGraph level;
+  level.vertex_weight.assign(graph.NumVertices(), 1);
+  level.adj.resize(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    level.adj[v].reserve(graph.Degree(v));
+    for (const VertexId u : graph.Neighbors(v)) {
+      level.adj[v].emplace_back(u, 1);
+    }
+  }
+  return level;
+}
+
+/// Heavy-edge matching: each vertex pairs with its heaviest unmatched
+/// neighbor. Returns fine->coarse mapping and the number of coarse
+/// vertices.
+uint32_t HeavyEdgeMatching(const LevelGraph& level, Rng& rng,
+                           std::vector<uint32_t>* fine_to_coarse) {
+  const size_t n = level.NumVertices();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  constexpr uint32_t kUnmatched = UINT32_MAX;
+  std::vector<uint32_t> match(n, kUnmatched);
+  fine_to_coarse->assign(n, kUnmatched);
+  uint32_t next_coarse = 0;
+  for (const uint32_t u : order) {
+    if (match[u] != kUnmatched) continue;
+    uint32_t best = kUnmatched;
+    int64_t best_weight = -1;
+    for (const auto& [v, w] : level.adj[u]) {
+      if (match[v] == kUnmatched && v != u && w > best_weight) {
+        best = v;
+        best_weight = w;
+      }
+    }
+    if (best != kUnmatched) {
+      match[u] = best;
+      match[best] = u;
+      (*fine_to_coarse)[u] = next_coarse;
+      (*fine_to_coarse)[best] = next_coarse;
+    } else {
+      match[u] = u;
+      (*fine_to_coarse)[u] = next_coarse;
+    }
+    ++next_coarse;
+  }
+  return next_coarse;
+}
+
+LevelGraph Contract(const LevelGraph& level,
+                    const std::vector<uint32_t>& fine_to_coarse,
+                    uint32_t num_coarse) {
+  LevelGraph coarse;
+  coarse.vertex_weight.assign(num_coarse, 0);
+  coarse.adj.resize(num_coarse);
+  for (size_t v = 0; v < level.NumVertices(); ++v) {
+    coarse.vertex_weight[fine_to_coarse[v]] += level.vertex_weight[v];
+  }
+  std::unordered_map<uint32_t, int64_t> accumulator;
+  // Group fine vertices by coarse id for cache-friendly accumulation.
+  std::vector<std::vector<uint32_t>> members(num_coarse);
+  for (size_t v = 0; v < level.NumVertices(); ++v) {
+    members[fine_to_coarse[v]].push_back(static_cast<uint32_t>(v));
+  }
+  for (uint32_t c = 0; c < num_coarse; ++c) {
+    accumulator.clear();
+    for (const uint32_t v : members[c]) {
+      for (const auto& [u, w] : level.adj[v]) {
+        const uint32_t cu = fine_to_coarse[u];
+        if (cu != c) accumulator[cu] += w;
+      }
+    }
+    coarse.adj[c].assign(accumulator.begin(), accumulator.end());
+  }
+  return coarse;
+}
+
+/// Greedy region growing: BFS-grow each part up to the target weight.
+std::vector<uint32_t> InitialPartition(const LevelGraph& level, uint32_t k,
+                                       int64_t cap, Rng& rng) {
+  const size_t n = level.NumVertices();
+  constexpr uint32_t kUnassigned = UINT32_MAX;
+  std::vector<uint32_t> part(n, kUnassigned);
+  std::vector<int64_t> part_weight(k, 0);
+  const int64_t target =
+      (level.TotalWeight() + static_cast<int64_t>(k) - 1) /
+      static_cast<int64_t>(k);
+
+  std::vector<uint32_t> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), 0);
+  rng.Shuffle(seeds);
+  size_t seed_cursor = 0;
+
+  for (uint32_t p = 0; p + 1 < k; ++p) {
+    // Find an unassigned seed.
+    while (seed_cursor < n && part[seeds[seed_cursor]] != kUnassigned) {
+      ++seed_cursor;
+    }
+    if (seed_cursor >= n) break;
+    std::deque<uint32_t> frontier{seeds[seed_cursor]};
+    while (!frontier.empty() && part_weight[p] < target) {
+      const uint32_t v = frontier.front();
+      frontier.pop_front();
+      if (part[v] != kUnassigned) continue;
+      if (part_weight[p] + level.vertex_weight[v] > cap) continue;
+      part[v] = p;
+      part_weight[p] += level.vertex_weight[v];
+      for (const auto& [u, w] : level.adj[v]) {
+        (void)w;
+        if (part[u] == kUnassigned) frontier.push_back(u);
+      }
+    }
+  }
+  // Everything left goes to the lightest part that can take it.
+  for (size_t v = 0; v < n; ++v) {
+    if (part[v] != kUnassigned) continue;
+    uint32_t best = 0;
+    for (uint32_t p = 1; p < k; ++p) {
+      if (part_weight[p] < part_weight[best]) best = p;
+    }
+    part[v] = best;
+    part_weight[best] += level.vertex_weight[v];
+  }
+  return part;
+}
+
+/// One FM-style boundary sweep. Moves a vertex to the neighbor part with
+/// the highest positive gain (cut-weight reduction) subject to the cap;
+/// zero-gain moves are taken only when they improve balance. Returns the
+/// number of moves made.
+size_t RefinePass(const LevelGraph& level, uint32_t k, int64_t cap,
+                  std::vector<uint32_t>* part,
+                  std::vector<int64_t>* part_weight, Rng& rng) {
+  const size_t n = level.NumVertices();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<int64_t> link(k, 0);
+  size_t moves = 0;
+  for (const uint32_t v : order) {
+    const uint32_t from = (*part)[v];
+    bool boundary = false;
+    std::fill(link.begin(), link.end(), 0);
+    for (const auto& [u, w] : level.adj[v]) {
+      link[(*part)[u]] += w;
+      if ((*part)[u] != from) boundary = true;
+    }
+    if (!boundary) continue;
+    // Best feasible destination by (gain, then lighter target weight).
+    uint32_t best = from;
+    int64_t best_gain = INT64_MIN;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (p == from) continue;
+      if ((*part_weight)[p] + level.vertex_weight[v] > cap) continue;
+      const int64_t gain = link[p] - link[from];
+      if (gain > best_gain ||
+          (gain == best_gain && best != from &&
+           (*part_weight)[p] < (*part_weight)[best])) {
+        best = p;
+        best_gain = gain;
+      }
+    }
+    // Positive-gain moves always; zero-gain moves only if they improve
+    // balance (strictly lighter destination).
+    const bool take =
+        best != from &&
+        (best_gain > 0 ||
+         (best_gain == 0 && (*part_weight)[best] + level.vertex_weight[v] <
+                                (*part_weight)[from]));
+    if (take) {
+      (*part)[v] = best;
+      (*part_weight)[from] -= level.vertex_weight[v];
+      (*part_weight)[best] += level.vertex_weight[v];
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+std::vector<int64_t> ComputePartWeights(const LevelGraph& level,
+                                        const std::vector<uint32_t>& part,
+                                        uint32_t k) {
+  std::vector<int64_t> weight(k, 0);
+  for (size_t v = 0; v < level.NumVertices(); ++v) {
+    weight[part[v]] += level.vertex_weight[v];
+  }
+  return weight;
+}
+
+/// Enforces the hard per-part cap at the finest level (unit weights) by
+/// evicting minimum-cut-damage vertices from over-full parts into
+/// under-full ones.
+void EnforceHardCap(const LevelGraph& level, uint32_t k, int64_t cap,
+                    std::vector<uint32_t>* part) {
+  std::vector<int64_t> weight = ComputePartWeights(level, *part, k);
+  std::vector<int64_t> link(k, 0);
+  for (uint32_t from = 0; from < k; ++from) {
+    while (weight[from] > cap) {
+      // Pick the member whose best feasible move damages the cut least.
+      uint32_t best_vertex = UINT32_MAX;
+      uint32_t best_target = UINT32_MAX;
+      int64_t best_gain = INT64_MIN;
+      for (size_t v = 0; v < level.NumVertices(); ++v) {
+        if ((*part)[v] != from) continue;
+        std::fill(link.begin(), link.end(), 0);
+        for (const auto& [u, w] : level.adj[v]) link[(*part)[u]] += w;
+        for (uint32_t p = 0; p < k; ++p) {
+          if (p == from || weight[p] >= cap) continue;
+          const int64_t gain = link[p] - link[from];
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_vertex = static_cast<uint32_t>(v);
+            best_target = p;
+          }
+        }
+      }
+      assert(best_vertex != UINT32_MAX && "cap infeasible");
+      (*part)[best_vertex] = best_target;
+      weight[from] -= level.vertex_weight[best_vertex];
+      weight[best_target] += level.vertex_weight[best_vertex];
+    }
+  }
+}
+
+}  // namespace
+
+Result<Partitioning> PartitionGraph(const AttributedGraph& graph,
+                                    const PartitionOptions& options) {
+  const size_t n = graph.NumVertices();
+  const uint32_t k = options.num_parts;
+  if (k == 0) return Status::InvalidArgument("num_parts must be >= 1");
+  if (n == 0) return Status::InvalidArgument("cannot partition empty graph");
+  if (k > n) {
+    return Status::InvalidArgument(
+        "num_parts exceeds the number of vertices");
+  }
+
+  Partitioning result;
+  result.num_parts = k;
+  if (k == 1) {
+    result.part.assign(n, 0);
+    result.edge_cut = 0;
+    return result;
+  }
+
+  Rng rng(options.seed);
+  const auto hard_cap = static_cast<int64_t>((n + k - 1) / k);
+  const auto soft_cap = std::max<int64_t>(
+      hard_cap,
+      static_cast<int64_t>(std::ceil(static_cast<double>(hard_cap) *
+                                     (1.0 + options.imbalance))));
+
+  // Coarsening phase.
+  std::vector<LevelGraph> levels;
+  std::vector<std::vector<uint32_t>> mappings;  // mappings[i]: level i -> i+1.
+  levels.push_back(FromAttributedGraph(graph));
+  const size_t coarsen_target =
+      std::max<size_t>(static_cast<size_t>(options.coarsen_to_factor) * k, 64);
+  while (levels.back().NumVertices() > coarsen_target) {
+    std::vector<uint32_t> fine_to_coarse;
+    const uint32_t num_coarse =
+        HeavyEdgeMatching(levels.back(), rng, &fine_to_coarse);
+    // Stop when matching stalls (< 10% reduction), e.g. on star graphs.
+    if (num_coarse >
+        levels.back().NumVertices() -
+            std::max<size_t>(1, levels.back().NumVertices() / 10)) {
+      break;
+    }
+    LevelGraph coarse = Contract(levels.back(), fine_to_coarse, num_coarse);
+    mappings.push_back(std::move(fine_to_coarse));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial partition on the coarsest level.
+  std::vector<uint32_t> part =
+      InitialPartition(levels.back(), k, soft_cap, rng);
+
+  // Uncoarsening with refinement at every level.
+  for (size_t li = levels.size(); li-- > 0;) {
+    const LevelGraph& level = levels[li];
+    std::vector<int64_t> weight = ComputePartWeights(level, part, k);
+    for (int pass = 0; pass < options.refinement_passes; ++pass) {
+      if (RefinePass(level, k, soft_cap, &part, &weight, rng) == 0) break;
+    }
+    if (li > 0) {
+      // Project to the next finer level.
+      const std::vector<uint32_t>& mapping = mappings[li - 1];
+      std::vector<uint32_t> finer(mapping.size());
+      for (size_t v = 0; v < mapping.size(); ++v) finer[v] = part[mapping[v]];
+      part = std::move(finer);
+    }
+  }
+
+  // Final hard-cap enforcement + one tightening sweep under the hard cap.
+  EnforceHardCap(levels.front(), k, hard_cap, &part);
+  std::vector<int64_t> weight = ComputePartWeights(levels.front(), part, k);
+  for (int pass = 0; pass < options.refinement_passes; ++pass) {
+    if (RefinePass(levels.front(), k, hard_cap, &part, &weight, rng) == 0) {
+      break;
+    }
+  }
+
+  result.part = std::move(part);
+  result.edge_cut = ComputeEdgeCut(graph, result.part);
+  return result;
+}
+
+size_t ComputeEdgeCut(const AttributedGraph& graph,
+                      const std::vector<uint32_t>& part) {
+  size_t cut = 0;
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
+    if (part[u] != part[v]) ++cut;
+  });
+  return cut;
+}
+
+std::vector<size_t> PartSizes(const std::vector<uint32_t>& part,
+                              uint32_t num_parts) {
+  std::vector<size_t> sizes(num_parts, 0);
+  for (const uint32_t p : part) ++sizes[p];
+  return sizes;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,57 @@
+#ifndef PPSM_PARTITION_MULTILEVEL_PARTITIONER_H_
+#define PPSM_PARTITION_MULTILEVEL_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Options for the multilevel k-way partitioner. This is our from-scratch
+/// substitute for METIS [Karypis & Kumar], which the paper uses to split G
+/// into k blocks before the k-automorphism transform (§2.2). Same scheme:
+/// heavy-edge-matching coarsening, greedy region-growing initial partition,
+/// FM-style boundary refinement during uncoarsening.
+struct PartitionOptions {
+  /// Number of blocks k; must be >= 1 and <= |V|.
+  uint32_t num_parts = 2;
+  /// Relative imbalance tolerated while refining interior levels. The final
+  /// result always obeys the hard cap `ceil(|V| / k)` per part, which is
+  /// what the k-automorphism construction needs.
+  double imbalance = 0.05;
+  /// Coarsening stops once the contracted graph has at most
+  /// max(coarsen_to_factor * k, 64) vertices.
+  uint32_t coarsen_to_factor = 16;
+  /// Boundary-refinement sweeps per level.
+  int refinement_passes = 6;
+  uint64_t seed = 7;
+};
+
+/// Result of a partitioning run.
+struct Partitioning {
+  /// part[v] in [0, num_parts) for every vertex.
+  std::vector<uint32_t> part;
+  uint32_t num_parts = 0;
+  /// Number of edges whose endpoints land in different parts.
+  size_t edge_cut = 0;
+};
+
+/// Partitions `graph` into `options.num_parts` blocks, each of size at most
+/// `ceil(|V| / num_parts)`, minimizing the edge cut heuristically.
+/// Deterministic in options.seed.
+Result<Partitioning> PartitionGraph(const AttributedGraph& graph,
+                                    const PartitionOptions& options);
+
+/// Recomputes the edge cut of an assignment (for tests / verification).
+size_t ComputeEdgeCut(const AttributedGraph& graph,
+                      const std::vector<uint32_t>& part);
+
+/// Number of vertices per part.
+std::vector<size_t> PartSizes(const std::vector<uint32_t>& part,
+                              uint32_t num_parts);
+
+}  // namespace ppsm
+
+#endif  // PPSM_PARTITION_MULTILEVEL_PARTITIONER_H_

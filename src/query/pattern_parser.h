@@ -1,0 +1,56 @@
+#ifndef PPSM_QUERY_PATTERN_PARSER_H_
+#define PPSM_QUERY_PATTERN_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/schema.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// A small textual pattern language for subgraph-matching queries, in the
+/// spirit of the Cypher/SPARQL front ends the paper cites as consumers of
+/// subgraph matching (§1). A pattern declares typed, attribute-constrained
+/// vertices and undirected edges:
+///
+///   (p1:Individual {GENDER=Male})
+///   (c:Company {"COMPANY TYPE"="Internet"})
+///   (s:School {LOCATEDIN=Illinois})
+///   p1 -- c
+///   p1 -- s
+///
+/// Grammar (comments start with '#', newlines are whitespace):
+///   pattern    := statement*
+///   statement  := node | edge
+///   node       := '(' var ':' name ( '{' prop (',' prop)* '}' )? ')'
+///   prop       := name '=' name
+///   edge       := var '--' var
+///   name       := bare word [A-Za-z0-9_./-]+ or double-quoted string
+///
+/// Names are resolved against the schema: the node's type, then each
+/// property's attribute within that type, then the value within that
+/// attribute. Every variable must be declared before use; duplicate
+/// variables, unknown names and malformed syntax yield InvalidArgument with
+/// a line/column position.
+struct ParsedPattern {
+  AttributedGraph query;
+  /// Variable name per query vertex id (query vertex i was declared as
+  /// variables[i]).
+  std::vector<std::string> variables;
+};
+
+/// Parses `text` into a query graph over `schema`.
+Result<ParsedPattern> ParsePattern(const std::string& text,
+                                   const Schema& schema);
+
+/// Renders a query graph back into pattern text (inverse of ParsePattern up
+/// to formatting). `variables` may be empty, in which case vertices are
+/// named v0, v1, ...
+std::string FormatPattern(const AttributedGraph& query, const Schema& schema,
+                          const std::vector<std::string>& variables = {});
+
+}  // namespace ppsm
+
+#endif  // PPSM_QUERY_PATTERN_PARSER_H_

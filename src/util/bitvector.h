@@ -1,0 +1,81 @@
+#ifndef PPSM_UTIL_BITVECTOR_H_
+#define PPSM_UTIL_BITVECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ppsm {
+
+/// Fixed-width bit vector backing the VBV / LBV index structures (paper
+/// §4.2.1 Fig. 7). Sized at construction; supports the bulk bitwise ops the
+/// star-matching algorithm needs (AND, subset test, set-bit scan) at
+/// word-at-a-time speed.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// All-zero vector of `num_bits` bits.
+  explicit BitVector(size_t num_bits);
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Sets bit `i` (to `value`). `i` must be < size().
+  void Set(size_t i, bool value = true);
+  /// Reads bit `i`. `i` must be < size().
+  bool Test(size_t i) const;
+  /// Clears all bits.
+  void Reset();
+
+  /// Number of set bits.
+  size_t Count() const;
+  /// True iff no bit is set.
+  bool None() const { return Count() == 0; }
+  /// True iff at least one bit is set.
+  bool Any() const { return !None(); }
+
+  /// this &= other. Sizes must match.
+  BitVector& operator&=(const BitVector& other);
+  /// this |= other. Sizes must match.
+  BitVector& operator|=(const BitVector& other);
+
+  /// True iff every set bit of `other` is also set in *this
+  /// (i.e. (*this & other) == other — line 6 of Algorithm 1).
+  bool Contains(const BitVector& other) const;
+
+  /// Invokes `fn(i)` for every set bit i, ascending.
+  void ForEachSetBit(const std::function<void(size_t)>& fn) const;
+
+  /// Set bits as a vector, ascending.
+  std::vector<size_t> ToIndices() const;
+
+  /// Heap footprint in bytes (for index-size accounting, paper Fig. 13).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// "0101..." string, LSB (bit 0) first. For tests and debugging.
+  std::string ToString() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  friend BitVector operator&(BitVector a, const BitVector& b) {
+    a &= b;
+    return a;
+  }
+  friend BitVector operator|(BitVector a, const BitVector& b) {
+    a |= b;
+    return a;
+  }
+
+ private:
+  static constexpr size_t kWordBits = 64;
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_BITVECTOR_H_

@@ -1,0 +1,90 @@
+#ifndef PPSM_UTIL_LOGGING_H_
+#define PPSM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace ppsm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded. Defaults to
+/// kInfo. Benchmarks raise it to kWarning to keep table output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line: flushes "[LEVEL] message\n" to stderr on
+/// destruction if `level` passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after flushing. Used by PPSM_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ppsm
+
+#define PPSM_LOG(level)                                              \
+  ::ppsm::internal_logging::LogMessage(::ppsm::LogLevel::k##level, \
+                                       __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds. Use for conditions whose
+/// violation means corrupted state that must not propagate (the DB-engine
+/// convention: crash early rather than serve wrong answers).
+#define PPSM_CHECK(condition)                                            \
+  for (bool _ppsm_ok = static_cast<bool>(condition); !_ppsm_ok;          \
+       _ppsm_ok = true)                                                  \
+  ::ppsm::internal_logging::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+/// Aborts (with the embedded Status message) if a Status/Result expression
+/// is not OK. For call sites where failure is a programming error, not an
+/// input error.
+#define PPSM_CHECK_OK(expr)                                                 \
+  do {                                                                      \
+    const auto& _ppsm_check_ok_value = (expr);                              \
+    if (!_ppsm_check_ok_value.ok()) {                                       \
+      ::ppsm::internal_logging::FatalLogMessage(__FILE__, __LINE__, #expr)  \
+          << ::ppsm::GetStatus(_ppsm_check_ok_value).ToString();            \
+    }                                                                       \
+  } while (false)
+
+#endif  // PPSM_UTIL_LOGGING_H_

@@ -1,0 +1,37 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ppsm {
+
+size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ParallelFor(size_t num_threads, size_t num_items,
+                 const std::function<void(size_t)>& fn) {
+  if (num_items == 0) return;
+  if (num_threads <= 1 || num_items == 1) {
+    for (size_t i = 0; i < num_items; ++i) fn(i);
+    return;
+  }
+  const size_t workers = std::min(num_threads, num_items);
+  std::atomic<size_t> next{0};
+  auto worker = [&next, num_items, &fn] {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_items) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
+  worker();  // The calling thread participates.
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace ppsm

@@ -1,0 +1,22 @@
+#ifndef PPSM_UTIL_PARALLEL_H_
+#define PPSM_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace ppsm {
+
+/// Number of hardware threads (>= 1).
+size_t HardwareThreads();
+
+/// Runs fn(0) .. fn(num_items-1) across up to `num_threads` worker threads
+/// (atomic work-stealing counter, so uneven item costs balance out — star
+/// match sets vary wildly in size). Blocks until every item completed.
+/// num_threads <= 1 or num_items <= 1 degrades to a serial loop. `fn` must
+/// be safe to invoke concurrently on distinct indices and must not throw.
+void ParallelFor(size_t num_threads, size_t num_items,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_PARALLEL_H_

@@ -1,0 +1,50 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ppsm {
+
+void RunningStats::Add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+double RunningStats::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double RunningStats::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double s : samples_) ss += (s - mean) * (s - mean);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double RunningStats::Percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace ppsm

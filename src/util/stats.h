@@ -1,0 +1,34 @@
+#ifndef PPSM_UTIL_STATS_H_
+#define PPSM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ppsm {
+
+/// Streaming summary of a sequence of samples (times, sizes, counts). The
+/// benchmark harnesses average 100 queries per configuration exactly like
+/// the paper (§6.3 "We used 100 queries and report the average").
+class RunningStats {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double StdDev() const;
+  /// Linear-interpolated percentile; `p` in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_STATS_H_

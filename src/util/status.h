@@ -1,0 +1,163 @@
+#ifndef PPSM_UTIL_STATUS_H_
+#define PPSM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ppsm {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-engine status taxonomy (RocksDB/Arrow style) so call sites can
+/// branch on coarse error classes without string matching.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for `code` ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, exception-free error carrier. Functions that can fail return
+/// `Status` (or `Result<T>`, below) instead of throwing; `ok()` gates the
+/// happy path. An OK status stores no message and never allocates.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code_ != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Value-or-error result, the return type of fallible factories. Either holds
+/// a `T` (then `ok()` is true) or a non-OK `Status`.
+///
+///   Result<Graph> r = Graph::Load(path);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return my_t;` in a Result-returning
+  /// function.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from a non-OK status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result must not be constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+/// Uniform access to the Status of a Status or a Result<T>; lets macros work
+/// on both.
+inline const Status& GetStatus(const Status& status) { return status; }
+template <typename T>
+const Status& GetStatus(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace ppsm
+
+/// Evaluates `expr` (a Status expression) and early-returns it on failure.
+#define PPSM_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ppsm::Status _ppsm_status = (expr);       \
+    if (!_ppsm_status.ok()) return _ppsm_status; \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); on failure returns its status,
+/// otherwise assigns the value into `lhs`.
+#define PPSM_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  PPSM_ASSIGN_OR_RETURN_IMPL(                   \
+      PPSM_STATUS_CONCAT(_ppsm_result, __LINE__), lhs, rexpr)
+
+#define PPSM_STATUS_CONCAT_INNER(a, b) a##b
+#define PPSM_STATUS_CONCAT(a, b) PPSM_STATUS_CONCAT_INNER(a, b)
+#define PPSM_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#endif  // PPSM_UTIL_STATUS_H_

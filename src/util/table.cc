@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+namespace ppsm {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  oss << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      oss << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+          << cells[c];
+    }
+    oss << '\n';
+  };
+  emit_row(columns_);
+  size_t rule = 0;
+  for (size_t w : widths) rule += w + 2;
+  oss << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream oss;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) oss << ',';
+    oss << CsvEscape(columns_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) oss << ',';
+      oss << CsvEscape(row[c]);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void Table::Print() const { std::cout << ToString() << std::endl; }
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+std::string Table::Num(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+}  // namespace ppsm

@@ -1,0 +1,70 @@
+#ifndef PPSM_UTIL_TABLE_H_
+#define PPSM_UTIL_TABLE_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ppsm {
+
+/// Builds the aligned console tables and CSV files that the benchmark
+/// harnesses emit — one table per paper figure/table, with the same row and
+/// column structure the paper reports.
+class Table {
+ public:
+  /// `title` is printed above the table (e.g. "Figure 12: |E(Go)| and
+  /// |E(Gk)| using EFF").
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row. Must have exactly as many cells as there are columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    AddRow({FormatCell(values)...});
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Console rendering with padded columns.
+  std::string ToString() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+  /// Writes ToCsv() to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string Num(double value, int precision = 2);
+
+ private:
+  template <typename T>
+  static std::string FormatCell(const T& value);
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Implementation details only below here.
+
+template <typename T>
+std::string Table::FormatCell(const T& value) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return value;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(value);
+  } else {
+    std::ostringstream oss;
+    oss << value;
+    return oss.str();
+  }
+}
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_TABLE_H_

@@ -1,0 +1,52 @@
+#ifndef PPSM_UTIL_TIMER_H_
+#define PPSM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ppsm {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses to report
+/// the same time columns the paper's tables use (milliseconds end-to-end).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double (milliseconds) on destruction.
+/// Useful to attribute wall time to pipeline stages without littering the
+/// code with timer bookkeeping.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double* sink) : sink_(sink) {}
+  ~ScopedTimerMs() { *sink_ += timer_.ElapsedMillis(); }
+
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_TIMER_H_

@@ -1,0 +1,33 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ppsm {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double skew)
+    : n_(n), skew_(skew), cdf_(n) {
+  assert(n >= 1);
+  assert(skew >= 0.0);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_.back() = 1.0;  // Guard against accumulated rounding.
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t i) const {
+  assert(i < n_);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace ppsm

@@ -1,0 +1,39 @@
+#ifndef PPSM_UTIL_ZIPF_H_
+#define PPSM_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ppsm {
+
+/// Samples ranks 0..n-1 with P(rank i) proportional to 1/(i+1)^s.
+///
+/// The paper observes (§6.1) that vertex-label frequencies on all three of
+/// its datasets roughly obey Zipf's law; the synthetic dataset generators use
+/// this sampler to reproduce that skew. Sampling is O(log n) per draw via
+/// binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `skew` >= 0 (0 degenerates to uniform).
+  ZipfDistribution(uint64_t n, double skew);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `i`.
+  double Pmf(uint64_t i) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_.back() == 1.
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_ZIPF_H_

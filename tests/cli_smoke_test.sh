@@ -1,0 +1,39 @@
+#!/bin/sh
+# Smoke test for the ppsm_cli tool: generate -> stats -> anonymize -> query
+# round trip in a temp directory. First argument: path to the ppsm_cli
+# binary.
+set -e
+
+CLI="$1"
+[ -x "$CLI" ] || { echo "usage: $0 <path-to-ppsm_cli>"; exit 2; }
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate --preset dbp --scale 0.01 --out "$DIR/g.graph" --seed 7
+
+"$CLI" stats --in "$DIR/g.graph" | grep -q "vertices"
+
+"$CLI" anonymize --in "$DIR/g.graph" --k 3 --theta 2 \
+    --upload-out "$DIR/upload.bin" | grep -q "noise edges"
+[ -s "$DIR/upload.bin" ] || { echo "upload package missing"; exit 1; }
+
+printf '(a:type0)\n(b:type1)\na -- b\n' > "$DIR/q.pat"
+"$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
+    | grep -q "match(es):"
+
+# Edge-list import path.
+printf '# comment\n0 1\n1 2\n2 0\n' > "$DIR/edges.txt"
+"$CLI" attach --edges "$DIR/edges.txt" --out "$DIR/attached.graph" \
+    --types 2 --attrs 1 --labels 4
+"$CLI" stats --in "$DIR/attached.graph" | grep -q "vertices"
+
+# Error paths exit non-zero.
+if "$CLI" stats --in /nonexistent 2>/dev/null; then
+  echo "expected failure on missing file"; exit 1
+fi
+if "$CLI" generate --preset bogus --out "$DIR/x" 2>/dev/null; then
+  echo "expected failure on bad preset"; exit 1
+fi
+
+echo "cli smoke test passed"

@@ -1,0 +1,183 @@
+// Tests for the PpsmSystem facade: configuration handling, channel
+// accounting, determinism and cross-method agreement.
+
+#include "core/ppsm_system.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/query_extractor.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+TEST(PpsmSystem, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kEff), "EFF");
+  EXPECT_STREQ(MethodName(Method::kRan), "RAN");
+  EXPECT_STREQ(MethodName(Method::kFsim), "FSIM");
+  EXPECT_STREQ(MethodName(Method::kBas), "BAS");
+}
+
+TEST(PpsmSystem, ChannelChargesUploadAndQueries) {
+  const RunningExample ex = MakeRunningExample();
+  SystemConfig config;
+  config.k = 2;
+  auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(system->channel().num_messages(), 1u);  // The upload.
+  EXPECT_EQ(system->channel().total_bytes(),
+            system->owner().upload_bytes().size());
+  EXPECT_GT(system->upload_ms(), 0.0);
+
+  auto outcome = system->Query(ex.query);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(system->channel().num_messages(), 3u);  // + request + response.
+  EXPECT_EQ(outcome->request_bytes + outcome->response_bytes +
+                system->owner().upload_bytes().size(),
+            system->channel().total_bytes());
+  EXPECT_GT(outcome->network_ms, 0.0);
+  EXPECT_GE(outcome->total_ms,
+            outcome->network_ms);  // Total includes network.
+}
+
+TEST(PpsmSystem, CustomChannelConfigChangesNetworkTime) {
+  const RunningExample ex = MakeRunningExample();
+  SystemConfig fast;
+  fast.k = 2;
+  fast.channel.bandwidth_mbps = 10000.0;
+  fast.channel.latency_ms = 0.01;
+  SystemConfig slow = fast;
+  slow.channel.bandwidth_mbps = 0.1;
+  slow.channel.latency_ms = 50.0;
+  auto fast_system = PpsmSystem::Setup(ex.graph, ex.schema, fast);
+  auto slow_system = PpsmSystem::Setup(ex.graph, ex.schema, slow);
+  ASSERT_TRUE(fast_system.ok());
+  ASSERT_TRUE(slow_system.ok());
+  auto fast_outcome = fast_system->Query(ex.query);
+  auto slow_outcome = slow_system->Query(ex.query);
+  ASSERT_TRUE(fast_outcome.ok());
+  ASSERT_TRUE(slow_outcome.ok());
+  EXPECT_GT(slow_outcome->network_ms, 100.0 * fast_outcome->network_ms);
+}
+
+TEST(PpsmSystem, DeterministicResultsForFixedSeed) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  SystemConfig config;
+  config.k = 3;
+  config.seed = 99;
+  auto a = PpsmSystem::Setup(*g, g->schema(), config);
+  auto b = PpsmSystem::Setup(*g, g->schema(), config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->owner().upload_bytes(), b->owner().upload_bytes());
+  Rng rng(5);
+  auto extracted = ExtractQuery(*g, 5, rng);
+  ASSERT_TRUE(extracted.ok());
+  auto oa = a->Query(extracted->query);
+  auto ob = b->Query(extracted->query);
+  ASSERT_TRUE(oa.ok());
+  ASSERT_TRUE(ob.ok());
+  EXPECT_TRUE(oa->results == ob->results);
+}
+
+TEST(PpsmSystem, AllMethodsAgreeOnResults) {
+  const auto g = GenerateDataset(DbpediaLike(0.008));
+  ASSERT_TRUE(g.ok());
+  Rng rng(6);
+  auto extracted = ExtractQuery(*g, 4, rng);
+  ASSERT_TRUE(extracted.ok());
+
+  MatchSet reference;
+  bool first = true;
+  for (const Method method :
+       {Method::kEff, Method::kRan, Method::kFsim, Method::kBas}) {
+    SystemConfig config;
+    config.method = method;
+    config.k = 3;
+    auto system = PpsmSystem::Setup(*g, g->schema(), config);
+    ASSERT_TRUE(system.ok()) << MethodName(method);
+    auto outcome = system->Query(extracted->query);
+    ASSERT_TRUE(outcome.ok()) << MethodName(method);
+    if (first) {
+      reference = outcome->results;
+      first = false;
+    } else {
+      EXPECT_TRUE(MatchSet::EquivalentUnordered(reference, outcome->results))
+          << MethodName(method);
+    }
+  }
+}
+
+TEST(PpsmSystem, ThetaVariants) {
+  const auto g = GenerateDataset(DbpediaLike(0.008));
+  ASSERT_TRUE(g.ok());
+  Rng rng(7);
+  auto extracted = ExtractQuery(*g, 4, rng);
+  ASSERT_TRUE(extracted.ok());
+  for (const size_t theta : {1u, 2u, 3u, 4u}) {
+    SystemConfig config;
+    config.k = 2;
+    config.theta = theta;
+    auto system = PpsmSystem::Setup(*g, g->schema(), config);
+    ASSERT_TRUE(system.ok()) << "theta=" << theta;
+    auto outcome = system->Query(extracted->query);
+    ASSERT_TRUE(outcome.ok()) << "theta=" << theta;
+    EXPECT_GE(outcome->client.candidates, outcome->results.NumMatches());
+  }
+}
+
+TEST(PpsmSystem, BfsAlignmentVariant) {
+  const auto g = GenerateDataset(NotreDameLike(0.01));
+  ASSERT_TRUE(g.ok());
+  SystemConfig config;
+  config.k = 3;
+  config.kauto.alignment = AlignmentOrder::kBfs;
+  auto system = PpsmSystem::Setup(*g, g->schema(), config);
+  ASSERT_TRUE(system.ok());
+  Rng rng(8);
+  auto extracted = ExtractQuery(*g, 4, rng);
+  ASSERT_TRUE(extracted.ok());
+  auto outcome = system->Query(extracted->query);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->results.NumMatches(), 1u);
+}
+
+TEST(PpsmSystem, RejectsDegenerateSetups) {
+  const RunningExample ex = MakeRunningExample();
+  SystemConfig config;
+  config.k = 0;
+  EXPECT_FALSE(PpsmSystem::Setup(ex.graph, ex.schema, config).ok());
+  config.k = 2;
+  config.theta = 0;
+  EXPECT_FALSE(PpsmSystem::Setup(ex.graph, ex.schema, config).ok());
+  GraphBuilder empty;
+  config.theta = 2;
+  EXPECT_FALSE(
+      PpsmSystem::Setup(empty.Build().value(), ex.schema, config).ok());
+}
+
+TEST(PpsmSystem, CloudStatsAreConsistent) {
+  const RunningExample ex = MakeRunningExample();
+  SystemConfig config;
+  config.k = 2;
+  auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
+  ASSERT_TRUE(system.ok());
+  auto outcome = system->Query(ex.query);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->cloud.total_ms, 0.0);
+  EXPECT_GT(outcome->cloud.num_stars, 0u);
+  EXPECT_GE(outcome->cloud.rs_size, outcome->cloud.num_stars == 0 ? 0u : 1u);
+  EXPECT_EQ(outcome->cloud.result_rows * 0 + outcome->results.NumMatches(),
+            outcome->results.NumMatches());
+  // Candidates seen by the client = k * |Rin| at most (expansion), and at
+  // least |Rin|.
+  EXPECT_GE(outcome->client.candidates, outcome->cloud.result_rows);
+  EXPECT_LE(outcome->client.candidates,
+            outcome->cloud.result_rows * config.k);
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,159 @@
+#include "match/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/query_extractor.h"
+#include "ilp/cover_solver.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+GkStatistics UniformStats() {
+  GkStatistics stats;
+  stats.num_gk_vertices = 1000;
+  stats.k = 2;
+  stats.avg_degree = 5.0;
+  stats.type_freq = {1.0};
+  stats.group_freq = {0.5, 0.5, 0.5, 0.5};
+  stats.type_of_group = {0, 0, 0, 0};
+  return stats;
+}
+
+AttributedGraph PathQuery(size_t n) {
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) b.AddVertex(0, {});
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(b.AddEdge(static_cast<VertexId>(i),
+                          static_cast<VertexId>(i + 1)).ok());
+  }
+  return b.Build().value();
+}
+
+TEST(Decomposition, CoversEveryEdge) {
+  const GkStatistics stats = UniformStats();
+  Rng rng(91);
+  const auto g = GenerateUniformRandomGraph(60, 180, 4, 11);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    auto extracted = ExtractQuery(*g, 3 + trial % 8, rng);
+    ASSERT_TRUE(extracted.ok());
+    auto decomposition = DecomposeQuery(extracted->query, stats);
+    ASSERT_TRUE(decomposition.ok()) << decomposition.status();
+    EXPECT_TRUE(
+        IsValidDecomposition(extracted->query, decomposition->centers));
+    EXPECT_GT(decomposition->centers.size(), 0u);
+    EXPECT_EQ(decomposition->centers.size(),
+              decomposition->estimates.size());
+  }
+}
+
+TEST(Decomposition, PathCoverIsOptimalUnderTheCostModel) {
+  // Path 0-1-2-3-4. Under the cost model endpoints (Dc=1) are much cheaper
+  // than interior vertices (Dc=2), so the optimum is {0,2,4}, beating the
+  // cardinality-minimal cover {1,3}.
+  const GkStatistics stats = UniformStats();
+  const AttributedGraph q = PathQuery(5);
+  auto decomposition = DecomposeQuery(q, stats);
+  ASSERT_TRUE(decomposition.ok());
+  EXPECT_TRUE(IsValidDecomposition(q, decomposition->centers));
+  const double interior = EstimateStarCardinality(stats, q, 1);
+  EXPECT_LE(decomposition->total_cost, 2.0 * interior + 1e-9)
+      << "must not be worse than the {1,3} cover";
+  EXPECT_EQ(decomposition->centers, (std::vector<VertexId>{0, 2, 4}));
+}
+
+TEST(Decomposition, StarQueryPicksTheCenter) {
+  // A star query on a sparse graph: one hub star (whose D^Dc term stays
+  // small at low average degree) beats four leaf stars.
+  GkStatistics stats = UniformStats();
+  stats.avg_degree = 1.2;
+  GraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.AddVertex(0, {0});
+  for (int i = 1; i < 5; ++i) ASSERT_TRUE(b.AddEdge(0, i).ok());
+  const AttributedGraph q = b.Build().value();
+  auto decomposition = DecomposeQuery(q, stats);
+  ASSERT_TRUE(decomposition.ok());
+  ASSERT_EQ(decomposition->centers.size(), 1u);
+  EXPECT_EQ(decomposition->centers[0], 0u);
+}
+
+TEST(Decomposition, TotalCostIsOptimalVsEnumeration) {
+  const GkStatistics stats = UniformStats();
+  Rng rng(92);
+  const auto g = GenerateUniformRandomGraph(40, 120, 4, 12);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    auto extracted = ExtractQuery(*g, 5, rng);
+    ASSERT_TRUE(extracted.ok());
+    const AttributedGraph& q = extracted->query;
+
+    auto decomposition = DecomposeQuery(q, stats);
+    ASSERT_TRUE(decomposition.ok());
+
+    // Reference: brute-force the same ILP.
+    CoverIlp model;
+    for (VertexId v = 0; v < q.NumVertices(); ++v) {
+      model.cost.push_back(EstimateStarCardinality(stats, q, v));
+    }
+    q.ForEachEdge([&model](VertexId u, VertexId v) {
+      model.constraints.push_back({u, v});
+    });
+    auto brute = SolveCoverByEnumeration(model);
+    ASSERT_TRUE(brute.ok());
+    EXPECT_NEAR(decomposition->total_cost, brute->objective, 1e-6);
+  }
+}
+
+TEST(Decomposition, IsolatedVerticesGetOwnStars) {
+  const GkStatistics stats = UniformStats();
+  GraphBuilder b;
+  b.AddVertex(0, {0});
+  b.AddVertex(0, {1});
+  b.AddVertex(0, {2});  // Isolated.
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const AttributedGraph q = b.Build().value();
+  auto decomposition = DecomposeQuery(q, stats);
+  ASSERT_TRUE(decomposition.ok());
+  EXPECT_TRUE(IsValidDecomposition(q, decomposition->centers));
+  bool isolated_covered = false;
+  for (const VertexId c : decomposition->centers) {
+    if (c == 2) isolated_covered = true;
+  }
+  EXPECT_TRUE(isolated_covered);
+}
+
+TEST(Decomposition, RejectsEmptyQuery) {
+  const GkStatistics stats = UniformStats();
+  GraphBuilder b;
+  const AttributedGraph q = b.Build().value();
+  EXPECT_FALSE(DecomposeQuery(q, stats).ok());
+}
+
+TEST(Decomposition, SelectiveLabelsShiftTheCover) {
+  // Two adjacent vertices, one with a rare group, one with a common group:
+  // the ILP should root the star at the rarer (cheaper) vertex.
+  GkStatistics stats = UniformStats();
+  stats.group_freq = {0.01, 0.9};
+  GraphBuilder b;
+  b.AddVertex(0, {0});  // Rare.
+  b.AddVertex(0, {1});  // Common.
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const AttributedGraph q = b.Build().value();
+  auto decomposition = DecomposeQuery(q, stats);
+  ASSERT_TRUE(decomposition.ok());
+  ASSERT_EQ(decomposition->centers.size(), 1u);
+  EXPECT_EQ(decomposition->centers[0], 0u);
+}
+
+TEST(IsValidDecomposition, DetectsBadCovers) {
+  const AttributedGraph q = PathQuery(4);
+  EXPECT_TRUE(IsValidDecomposition(q, {0, 2}));
+  EXPECT_TRUE(IsValidDecomposition(q, {1, 3}));
+  EXPECT_FALSE(IsValidDecomposition(q, {0, 3}));  // Edge 1-2 uncovered.
+  EXPECT_FALSE(IsValidDecomposition(q, {9}));     // Out of range.
+}
+
+}  // namespace
+}  // namespace ppsm

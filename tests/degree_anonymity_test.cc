@@ -1,0 +1,152 @@
+#include "anonymize/degree_anonymity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "kauto/kautomorphism.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+TEST(DegreeSequenceDp, HandExamples) {
+  // Already 2-anonymous.
+  auto r = AnonymizeDegreeSequence({3, 3, 2, 2}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<size_t>{3, 3, 2, 2}));
+
+  // Classic: {4,3,2,1} with k=2 -> {4,4,2,2} (cost 2) beats {4,4,4,4} and
+  // one-group {4,4,4,4} (cost 6) / {4,3->4...}.
+  r = AnonymizeDegreeSequence({4, 3, 2, 1}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<size_t>{4, 4, 2, 2}));
+
+  // k = n forces one group at the max.
+  r = AnonymizeDegreeSequence({5, 2, 1}, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<size_t>{5, 5, 5}));
+}
+
+TEST(DegreeSequenceDp, RejectsBadInput) {
+  EXPECT_FALSE(AnonymizeDegreeSequence({1, 2}, 2).ok());  // Not descending.
+  EXPECT_FALSE(AnonymizeDegreeSequence({1}, 2).ok());     // k > n.
+  EXPECT_FALSE(AnonymizeDegreeSequence({1}, 0).ok());
+  auto r = AnonymizeDegreeSequence({}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(DegreeSequenceDp, PropertiesOnRandomSequences) {
+  Rng rng(71);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 5 + rng.Below(60);
+    const auto k = static_cast<uint32_t>(2 + rng.Below(5));
+    if (k > n) continue;
+    std::vector<size_t> d(n);
+    for (auto& x : d) x = rng.Below(20);
+    std::sort(d.rbegin(), d.rend());
+    auto targets = AnonymizeDegreeSequence(d, k);
+    ASSERT_TRUE(targets.ok());
+    // Monotone raise, descending, k-anonymous.
+    std::map<size_t, size_t> census;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_GE((*targets)[i], d[i]);
+      if (i > 0) {
+        EXPECT_LE((*targets)[i], (*targets)[i - 1]);
+      }
+      ++census[(*targets)[i]];
+    }
+    for (const auto& [value, count] : census) EXPECT_GE(count, k);
+  }
+}
+
+TEST(DegreeAnonymity, AnonymizesRealGraphs) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  for (const uint32_t k : {2u, 4u, 6u}) {
+    DegreeAnonymityOptions options;
+    options.k = k;
+    auto result = AnonymizeDegrees(*g, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->converged) << "k=" << k;
+    EXPECT_GE(result->achieved_k, k);
+    EXPECT_GE(DegreeAnonymityLevel(result->graph), k);
+    // Supergraph: same vertices, all original edges present.
+    EXPECT_EQ(result->graph.NumVertices(), g->NumVertices());
+    bool all_edges = true;
+    g->ForEachEdge([&](VertexId u, VertexId v) {
+      if (!result->graph.HasEdge(u, v)) all_edges = false;
+    });
+    EXPECT_TRUE(all_edges);
+    EXPECT_EQ(result->noise_edges,
+              result->graph.NumEdges() - g->NumEdges());
+    // Attributes untouched.
+    for (VertexId v = 0; v < g->NumVertices(); ++v) {
+      EXPECT_TRUE(std::ranges::equal(result->graph.Labels(v), g->Labels(v)));
+    }
+  }
+}
+
+TEST(DegreeAnonymity, CheaperButWeakerThanKAutomorphism) {
+  // The §7 comparison: k-degree anonymity adds far fewer noise edges than
+  // k-automorphism, but its neighborhood-signature anonymity collapses,
+  // while the k-automorphic graph keeps >= k twins under both attacks.
+  const auto g = GenerateDataset(NotreDameLike(0.01));
+  ASSERT_TRUE(g.ok());
+  const uint32_t k = 4;
+
+  DegreeAnonymityOptions degree_options;
+  degree_options.k = k;
+  auto degree_result = AnonymizeDegrees(*g, degree_options);
+  ASSERT_TRUE(degree_result.ok());
+  ASSERT_TRUE(degree_result->converged);
+
+  KAutomorphismOptions kauto_options;
+  kauto_options.k = k;
+  auto kauto_result = BuildKAutomorphicGraph(*g, kauto_options);
+  ASSERT_TRUE(kauto_result.ok());
+
+  // Cost: the baseline is much cheaper.
+  EXPECT_LT(degree_result->noise_edges, kauto_result->NumNoiseEdges() / 2);
+  // Strength: both defeat degree attacks...
+  EXPECT_GE(DegreeAnonymityLevel(degree_result->graph), k);
+  EXPECT_GE(DegreeAnonymityLevel(kauto_result->gk), k);
+  // ...but only k-automorphism survives the 1-neighborhood attack.
+  EXPECT_LT(NeighborhoodAnonymityLevel(degree_result->graph), k);
+  EXPECT_GE(NeighborhoodAnonymityLevel(kauto_result->gk), k);
+}
+
+TEST(DegreeAnonymity, RejectsBadArguments) {
+  const RunningExample ex = MakeRunningExample();
+  DegreeAnonymityOptions options;
+  options.k = 0;
+  EXPECT_FALSE(AnonymizeDegrees(ex.graph, options).ok());
+  options.k = 100;
+  EXPECT_FALSE(AnonymizeDegrees(ex.graph, options).ok());
+  GraphBuilder empty;
+  options.k = 2;
+  EXPECT_FALSE(AnonymizeDegrees(empty.Build().value(), options).ok());
+}
+
+TEST(AnonymityLevels, HandComputed) {
+  // Path 0-1-2-3: degrees 1,2,2,1 -> degree level 2; neighborhood
+  // signatures: (1,[2]) x2, (2,[1,2]) x2 -> level 2.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0, {});
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(b.AddEdge(i, i + 1).ok());
+  const AttributedGraph path = b.Build().value();
+  EXPECT_EQ(DegreeAnonymityLevel(path), 2u);
+  EXPECT_EQ(NeighborhoodAnonymityLevel(path), 2u);
+
+  // Star 0-(1,2,3): degrees 3,1,1,1 -> degree level 1 (the hub is unique).
+  GraphBuilder s;
+  for (int i = 0; i < 4; ++i) s.AddVertex(0, {});
+  for (int i = 1; i < 4; ++i) ASSERT_TRUE(s.AddEdge(0, i).ok());
+  const AttributedGraph star = s.Build().value();
+  EXPECT_EQ(DegreeAnonymityLevel(star), 1u);
+  EXPECT_EQ(NeighborhoodAnonymityLevel(star), 1u);
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,125 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.h"
+#include "graph/serialize.h"
+
+namespace ppsm {
+namespace {
+
+TEST(Generators, DeterministicInSeed) {
+  DatasetConfig config;
+  config.num_vertices = 500;
+  config.seed = 99;
+  const auto a = GenerateDataset(config);
+  const auto b = GenerateDataset(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeGraph(*a), SerializeGraph(*b));
+  config.seed = 100;
+  const auto c = GenerateDataset(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(SerializeGraph(*a), SerializeGraph(*c));
+}
+
+TEST(Generators, ProducesConnectedGraph) {
+  DatasetConfig config;
+  config.num_vertices = 300;
+  config.edges_per_vertex = 2;
+  const auto g = GenerateDataset(config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsConnected(*g));
+  EXPECT_EQ(g->NumVertices(), 300u);
+  EXPECT_GE(g->NumEdges(), 299u);
+}
+
+TEST(Generators, EveryVertexHasValidTypeAndLabels) {
+  DatasetConfig config;
+  config.num_vertices = 200;
+  config.num_types = 5;
+  config.attributes_per_type = 2;
+  config.labels_per_attribute = 4;
+  const auto g = GenerateDataset(config);
+  ASSERT_TRUE(g.ok());
+  const auto& schema = g->schema();
+  ASSERT_NE(schema, nullptr);
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    ASSERT_EQ(g->Types(v).size(), 1u);
+    const VertexTypeId t = g->PrimaryType(v);
+    EXPECT_LT(t, schema->NumTypes());
+    EXPECT_GE(g->Labels(v).size(), schema->AttributesOfType(t).size());
+    for (const LabelId l : g->Labels(v)) {
+      EXPECT_EQ(schema->TypeOfLabel(l), t);
+    }
+  }
+}
+
+TEST(Generators, DegreeDistributionIsSkewed) {
+  DatasetConfig config;
+  config.num_vertices = 2000;
+  config.edges_per_vertex = 3;
+  const auto g = GenerateDataset(config);
+  ASSERT_TRUE(g.ok());
+  // Preferential attachment: the max degree should far exceed the average.
+  EXPECT_GT(static_cast<double>(g->MaxDegree()), 4.0 * g->AverageDegree());
+}
+
+TEST(Generators, LabelFrequenciesAreSkewed) {
+  DatasetConfig config;
+  config.num_vertices = 2000;
+  config.num_types = 1;
+  config.attributes_per_type = 1;
+  config.labels_per_attribute = 20;
+  config.label_zipf_skew = 1.0;
+  const auto g = GenerateDataset(config);
+  ASSERT_TRUE(g.ok());
+  std::vector<size_t> counts(g->schema()->NumLabels(), 0);
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    for (const LabelId l : g->Labels(v)) ++counts[l];
+  }
+  // Zipf head should dominate the tail.
+  EXPECT_GT(counts[0], 5 * std::max<size_t>(counts[19], 1));
+}
+
+TEST(Generators, RejectsDegenerateConfigs) {
+  DatasetConfig config;
+  config.num_vertices = 0;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+  config.num_vertices = 10;
+  config.num_types = 0;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+}
+
+TEST(Generators, PresetsMatchPaperVocabularyShape) {
+  const DatasetConfig nd = NotreDameLike(0.01);
+  EXPECT_EQ(nd.num_types, 1u);           // Paper Table 2: 1 type.
+  EXPECT_EQ(nd.labels_per_attribute, 200u);  // 200 labels.
+  const DatasetConfig dbp = DbpediaLike(0.01);
+  EXPECT_GT(dbp.num_types, 10u);  // Many-typed knowledge graph.
+  const DatasetConfig uk = Uk2002Like(0.01);
+  EXPECT_GT(uk.edges_per_vertex, dbp.edges_per_vertex);  // Densest preset.
+}
+
+TEST(Generators, PresetScaleControlsSize) {
+  const auto small = GenerateDataset(NotreDameLike(0.005));
+  const auto larger = GenerateDataset(NotreDameLike(0.02));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(larger.ok());
+  EXPECT_LT(small->NumVertices(), larger->NumVertices());
+}
+
+TEST(Generators, UniformRandomGraphHitsEdgeTarget) {
+  const auto g = GenerateUniformRandomGraph(50, 200, 5, 7);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 50u);
+  EXPECT_EQ(g->NumEdges(), 200u);
+}
+
+TEST(Generators, UniformRandomGraphRejectsImpossible) {
+  EXPECT_FALSE(GenerateUniformRandomGraph(3, 10, 2, 1).ok());
+  EXPECT_FALSE(GenerateUniformRandomGraph(0, 0, 2, 1).ok());
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,112 @@
+#include "graph/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/example_graphs.h"
+
+namespace ppsm {
+namespace {
+
+AttributedGraph PathGraph(size_t n) {
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) b.AddVertex(0, {});
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(b.AddEdge(static_cast<VertexId>(i),
+                          static_cast<VertexId>(i + 1)).ok());
+  }
+  return b.Build().value();
+}
+
+AttributedGraph TwoTriangles() {
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(0, {});
+  for (const auto& [u, v] : std::vector<std::pair<int, int>>{
+           {0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}) {
+    EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  return b.Build().value();
+}
+
+TEST(BfsOrder, VisitsReachableInLevelOrder) {
+  const AttributedGraph g = PathGraph(5);
+  EXPECT_EQ(BfsOrder(g, 0), (std::vector<VertexId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(BfsOrder(g, 2), (std::vector<VertexId>{2, 1, 3, 0, 4}));
+}
+
+TEST(BfsOrder, StopsAtComponentBoundary) {
+  const AttributedGraph g = TwoTriangles();
+  EXPECT_EQ(BfsOrder(g, 0).size(), 3u);
+  EXPECT_EQ(BfsOrder(g, 4).size(), 3u);
+}
+
+TEST(ConnectedComponents, LabelsComponents) {
+  const AttributedGraph g = TwoTriangles();
+  const auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(NumConnectedComponents(g), 2u);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ConnectedComponents, ConnectedGraph) {
+  const AttributedGraph g = PathGraph(10);
+  EXPECT_EQ(NumConnectedComponents(g), 1u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  GraphBuilder b;
+  const AttributedGraph g = b.Build().value();
+  EXPECT_EQ(NumConnectedComponents(g), 0u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DegreeHistogram, CountsPerDegree) {
+  const AttributedGraph g = PathGraph(4);  // Degrees 1,2,2,1.
+  const auto hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 2u);
+}
+
+TEST(IsAutomorphism, IdentityAlwaysWorks) {
+  const RunningExample ex = MakeRunningExample();
+  std::vector<VertexId> identity(ex.graph.NumVertices());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_TRUE(IsAutomorphism(ex.graph, identity));
+}
+
+TEST(IsAutomorphism, DetectsRealSymmetry) {
+  // A 4-cycle: rotation by 2 is an automorphism.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(0, {});
+  for (const auto& [u, v] :
+       std::vector<std::pair<int, int>>{{0, 1}, {1, 2}, {2, 3}, {3, 0}}) {
+    EXPECT_TRUE(b.AddEdge(u, v).ok());
+  }
+  const AttributedGraph cycle = b.Build().value();
+  EXPECT_TRUE(IsAutomorphism(cycle, {2, 3, 0, 1}));
+  EXPECT_TRUE(IsAutomorphism(cycle, {1, 2, 3, 0}));
+  EXPECT_TRUE(IsAutomorphism(cycle, {1, 0, 3, 2}));  // Reflection.
+}
+
+TEST(IsAutomorphism, RejectsNonAutomorphism) {
+  const AttributedGraph g = PathGraph(3);  // 0-1-2; swapping 0,1 breaks it.
+  EXPECT_FALSE(IsAutomorphism(g, {1, 0, 2}));
+  EXPECT_TRUE(IsAutomorphism(g, {2, 1, 0}));  // Reversal is fine.
+}
+
+TEST(IsAutomorphism, RejectsNonBijections) {
+  const AttributedGraph g = PathGraph(3);
+  EXPECT_FALSE(IsAutomorphism(g, {0, 0, 2}));      // Not injective.
+  EXPECT_FALSE(IsAutomorphism(g, {0, 1}));          // Wrong size.
+  EXPECT_FALSE(IsAutomorphism(g, {0, 1, 7}));       // Out of range.
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,183 @@
+// Tests for the label statistics and the RAN / FSIM / EFF grouping
+// strategies, including the §5.2 swap-descent behaviour.
+
+#include "anonymize/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+
+namespace ppsm {
+namespace {
+
+TEST(LabelStats, GraphDistributionOnRunningExample) {
+  const RunningExample ex = MakeRunningExample();
+  const LabelDistribution dist =
+      ComputeGraphDistribution(ex.graph, *ex.schema);
+  // 4 individuals, 2 companies, 2 schools out of 8 vertices.
+  EXPECT_DOUBLE_EQ(dist.type_freq[ex.individual_type], 0.5);
+  EXPECT_DOUBLE_EQ(dist.type_freq[ex.company_type], 0.25);
+  EXPECT_DOUBLE_EQ(dist.type_freq[ex.school_type], 0.25);
+  // Male: 2 of 4 individuals. Engineer: 1 of 4. Internet: 1 of 2 companies.
+  const LabelId male = ex.schema->FindLabel(0, "Male");
+  const LabelId engineer = ex.schema->FindLabel(1, "Engineer");
+  EXPECT_DOUBLE_EQ(dist.label_freq[male], 0.5);
+  EXPECT_DOUBLE_EQ(dist.label_freq[engineer], 0.25);
+}
+
+TEST(LabelStats, FrequenciesAreProbabilities) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  const LabelDistribution dist = ComputeGraphDistribution(*g, *g->schema());
+  double type_total = 0.0;
+  for (const double f : dist.type_freq) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    type_total += f;
+  }
+  EXPECT_NEAR(type_total, 1.0, 1e-9);  // Singleton types in original graphs.
+  for (const double f : dist.label_freq) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.5);  // Multi-label attributes can push above 1 per label
+                        // only in aggregate, never individually above 1 +
+                        // multi-label share.
+  }
+}
+
+TEST(LabelStats, StarDistributionDeterministicAndBounded) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  const LabelDistribution a =
+      ComputeAverageStarDistribution(*g, *g->schema(), 64, 9);
+  const LabelDistribution b =
+      ComputeAverageStarDistribution(*g, *g->schema(), 64, 9);
+  EXPECT_EQ(a.type_freq, b.type_freq);
+  EXPECT_EQ(a.label_freq, b.label_freq);
+  EXPECT_GT(a.avg_center_degree, 0.0);
+  for (const double f : a.type_freq) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(Grouping, AllStrategiesProduceValidLcts) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  for (const auto strategy :
+       {GroupingStrategy::kRandom, GroupingStrategy::kFrequencySimilar,
+        GroupingStrategy::kCostModel}) {
+    GroupingOptions options;
+    options.theta = 2;
+    auto lct = BuildLct(strategy, *g->schema(), *g, options);
+    ASSERT_TRUE(lct.ok()) << GroupingStrategyName(strategy);
+    EXPECT_TRUE(lct->Validate(*g->schema()).ok())
+        << GroupingStrategyName(strategy);
+  }
+}
+
+class GroupingTheta : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GroupingTheta, GroupFloorsHold) {
+  const size_t theta = GetParam();
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  GroupingOptions options;
+  options.theta = theta;
+  auto lct = BuildLct(GroupingStrategy::kRandom, *g->schema(), *g, options);
+  ASSERT_TRUE(lct.ok());
+  for (GroupId group = 0; group < lct->NumGroups(); ++group) {
+    const size_t attribute_labels =
+        g->schema()->LabelsOfAttribute(lct->AttributeOfGroup(group)).size();
+    EXPECT_GE(lct->LabelsInGroup(group).size(),
+              std::min(theta, attribute_labels));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, GroupingTheta, ::testing::Values(1, 2, 3, 4));
+
+TEST(Grouping, Def7CostMatchesHandComputation) {
+  LabelDistribution graph_dist;
+  graph_dist.label_freq = {0.5, 0.3, 0.1, 0.1};
+  LabelDistribution star_dist;
+  star_dist.label_freq = {0.4, 0.4, 0.1, 0.1};
+  // Permutation (0,1 | 2,3): (0.8)(0.8) + (0.2)(0.2) = 0.68.
+  EXPECT_NEAR(LabelCombinationCost({0, 1, 2, 3}, 2, graph_dist, star_dist),
+              0.68, 1e-12);
+  // Permutation (0,2 | 1,3): (0.6)(0.5) + (0.4)(0.5) = 0.5.
+  EXPECT_NEAR(LabelCombinationCost({0, 2, 1, 3}, 2, graph_dist, star_dist),
+              0.50, 1e-12);
+}
+
+TEST(Grouping, EffBeatsRandomOnDef7Cost) {
+  // EFF's swap descent must reach a cost no worse than RAN's random
+  // grouping and FSIM's frequency grouping, measured by Def. 7 on each
+  // attribute (here: the dominant single-type dataset).
+  DatasetConfig config = NotreDameLike(0.01);
+  const auto g = GenerateDataset(config);
+  ASSERT_TRUE(g.ok());
+  const auto& schema = *g->schema();
+  const LabelDistribution graph_dist = ComputeGraphDistribution(*g, schema);
+  const LabelDistribution star_dist =
+      ComputeAverageStarDistribution(*g, schema, 256, 3);
+
+  GroupingOptions options;
+  options.theta = 2;
+  auto cost_of = [&](GroupingStrategy strategy) {
+    auto lct = BuildLct(strategy, schema, *g, options);
+    EXPECT_TRUE(lct.ok());
+    // Reconstruct each attribute's permutation from the group order.
+    double total = 0.0;
+    for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+      std::vector<LabelId> perm;
+      for (GroupId group = 0; group < lct->NumGroups(); ++group) {
+        if (lct->AttributeOfGroup(group) != a) continue;
+        const auto members = lct->LabelsInGroup(group);
+        perm.insert(perm.end(), members.begin(), members.end());
+      }
+      total += LabelCombinationCost(perm, options.theta, graph_dist,
+                                    star_dist);
+    }
+    return total;
+  };
+
+  const double eff = cost_of(GroupingStrategy::kCostModel);
+  const double ran = cost_of(GroupingStrategy::kRandom);
+  const double fsim = cost_of(GroupingStrategy::kFrequencySimilar);
+  EXPECT_LE(eff, ran + 1e-9);
+  EXPECT_LE(eff, fsim + 1e-9);
+}
+
+TEST(Grouping, SwapDescentIsDeterministic) {
+  const auto g = GenerateDataset(DbpediaLike(0.008));
+  ASSERT_TRUE(g.ok());
+  GroupingOptions options;
+  options.theta = 2;
+  options.seed = 4;
+  auto a = BuildLct(GroupingStrategy::kCostModel, *g->schema(), *g, options);
+  auto b = BuildLct(GroupingStrategy::kCostModel, *g->schema(), *g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (LabelId l = 0; l < a->NumLabels(); ++l) {
+    EXPECT_EQ(a->GroupOfLabel(l), b->GroupOfLabel(l));
+  }
+}
+
+TEST(Grouping, RejectsZeroTheta) {
+  const RunningExample ex = MakeRunningExample();
+  GroupingOptions options;
+  options.theta = 0;
+  EXPECT_FALSE(
+      BuildLct(GroupingStrategy::kRandom, *ex.schema, ex.graph, options)
+          .ok());
+}
+
+TEST(Grouping, StrategyNames) {
+  EXPECT_STREQ(GroupingStrategyName(GroupingStrategy::kRandom), "RAN");
+  EXPECT_STREQ(GroupingStrategyName(GroupingStrategy::kFrequencySimilar),
+               "FSIM");
+  EXPECT_STREQ(GroupingStrategyName(GroupingStrategy::kCostModel), "EFF");
+}
+
+}  // namespace
+}  // namespace ppsm

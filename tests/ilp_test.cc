@@ -1,0 +1,175 @@
+#include "ilp/cover_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+bool Covers(const CoverIlp& model, const std::vector<bool>& selected) {
+  for (const auto& constraint : model.constraints) {
+    bool hit = false;
+    for (const uint32_t var : constraint) hit = hit || selected[var];
+    if (!hit) return false;
+  }
+  return true;
+}
+
+TEST(CoverSolver, TrivialNoConstraints) {
+  CoverIlp model;
+  model.cost = {1.0, 2.0};
+  const auto solution = SolveCoverIlp(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->objective, 0.0);
+  EXPECT_FALSE(solution->selected[0]);
+  EXPECT_FALSE(solution->selected[1]);
+  EXPECT_TRUE(solution->proven_optimal);
+}
+
+TEST(CoverSolver, PicksCheaperEndpoint) {
+  CoverIlp model;
+  model.cost = {10.0, 1.0};
+  model.constraints = {{0, 1}};
+  const auto solution = SolveCoverIlp(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->objective, 1.0);
+  EXPECT_TRUE(solution->selected[1]);
+}
+
+TEST(CoverSolver, PathGraphVertexCover) {
+  // Path 0-1-2-3-4 with unit costs: optimal weighted cover is {1,3} = 2.
+  CoverIlp model;
+  model.cost = {1, 1, 1, 1, 1};
+  model.constraints = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const auto solution = SolveCoverIlp(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->objective, 2.0);
+  EXPECT_TRUE(Covers(model, solution->selected));
+}
+
+TEST(CoverSolver, WeightsChangeTheAnswer) {
+  // Star center covers everything but is expensive.
+  CoverIlp model;
+  model.cost = {100, 1, 1, 1};
+  model.constraints = {{0, 1}, {0, 2}, {0, 3}};
+  const auto solution = SolveCoverIlp(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->objective, 3.0);  // Take the three leaves.
+  model.cost = {2, 100, 100, 100};
+  const auto solution2 = SolveCoverIlp(model);
+  ASSERT_TRUE(solution2.ok());
+  EXPECT_DOUBLE_EQ(solution2->objective, 2.0);  // Take the center.
+}
+
+TEST(CoverSolver, UnitConstraintForcesVariable) {
+  CoverIlp model;
+  model.cost = {5.0, 1.0};
+  model.constraints = {{0}};
+  const auto solution = SolveCoverIlp(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->selected[0]);
+  EXPECT_FALSE(solution->selected[1]);
+}
+
+TEST(CoverSolver, ZeroCostsHandled) {
+  CoverIlp model;
+  model.cost = {0.0, 0.0, 1.0};
+  model.constraints = {{0, 1}, {1, 2}};
+  const auto solution = SolveCoverIlp(model);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->objective, 0.0);
+  EXPECT_TRUE(Covers(model, solution->selected));
+}
+
+TEST(CoverSolver, RejectsMalformedModels) {
+  CoverIlp negative;
+  negative.cost = {-1.0};
+  negative.constraints = {{0}};
+  EXPECT_FALSE(SolveCoverIlp(negative).ok());
+
+  CoverIlp empty_constraint;
+  empty_constraint.cost = {1.0};
+  empty_constraint.constraints = {{}};
+  EXPECT_FALSE(SolveCoverIlp(empty_constraint).ok());
+
+  CoverIlp out_of_range;
+  out_of_range.cost = {1.0};
+  out_of_range.constraints = {{3}};
+  EXPECT_FALSE(SolveCoverIlp(out_of_range).ok());
+}
+
+TEST(CoverSolver, MatchesEnumerationOnRandomInstances) {
+  Rng rng(41);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 2 + rng.Below(10);
+    CoverIlp model;
+    for (size_t i = 0; i < n; ++i) {
+      model.cost.push_back(static_cast<double>(rng.Below(50)) / 7.0);
+    }
+    const size_t m = 1 + rng.Below(2 * n);
+    for (size_t c = 0; c < m; ++c) {
+      const auto u = static_cast<uint32_t>(rng.Below(n));
+      auto v = static_cast<uint32_t>(rng.Below(n));
+      if (v == u) v = (v + 1) % n;
+      model.constraints.push_back({u, v});
+    }
+    const auto bnb = SolveCoverIlp(model);
+    const auto brute = SolveCoverByEnumeration(model);
+    ASSERT_TRUE(bnb.ok());
+    ASSERT_TRUE(brute.ok());
+    EXPECT_NEAR(bnb->objective, brute->objective, 1e-9) << "trial " << trial;
+    EXPECT_TRUE(Covers(model, bnb->selected));
+  }
+}
+
+TEST(CoverSolver, WiderConstraintsAlsoOptimal) {
+  Rng rng(43);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 3 + rng.Below(8);
+    CoverIlp model;
+    for (size_t i = 0; i < n; ++i) {
+      model.cost.push_back(1.0 + static_cast<double>(rng.Below(9)));
+    }
+    for (size_t c = 0; c < 1 + rng.Below(6); ++c) {
+      std::vector<uint32_t> constraint;
+      const size_t width = 1 + rng.Below(std::min<size_t>(n, 4));
+      for (size_t i = 0; i < width; ++i) {
+        constraint.push_back(static_cast<uint32_t>(rng.Below(n)));
+      }
+      model.constraints.push_back(constraint);
+    }
+    const auto bnb = SolveCoverIlp(model);
+    const auto brute = SolveCoverByEnumeration(model);
+    ASSERT_TRUE(bnb.ok());
+    ASSERT_TRUE(brute.ok());
+    EXPECT_NEAR(bnb->objective, brute->objective, 1e-9);
+  }
+}
+
+TEST(CoverSolver, NodeLimitSurfacesAsError) {
+  // A dense instance with an absurdly low node budget must refuse rather
+  // than return silently-suboptimal output.
+  CoverIlp model;
+  for (int i = 0; i < 16; ++i) model.cost.push_back(1.0 + i % 3);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = i + 1; j < 16; ++j) {
+      model.constraints.push_back({static_cast<uint32_t>(i),
+                                   static_cast<uint32_t>(j)});
+    }
+  }
+  CoverSolverOptions options;
+  options.node_limit = 3;
+  const auto solution = SolveCoverIlp(model, options);
+  EXPECT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Enumeration, RejectsTooManyVariables) {
+  CoverIlp model;
+  model.cost.assign(30, 1.0);
+  EXPECT_FALSE(SolveCoverByEnumeration(model).ok());
+}
+
+}  // namespace
+}  // namespace ppsm

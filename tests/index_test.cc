@@ -1,0 +1,153 @@
+#include "match/index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+/// Data graph mirroring the paper's Figure 7 discussion: vertices with
+/// group-id labels, index over a prefix of "centers".
+AttributedGraph Fig7LikeGraph() {
+  // Groups: A=0,B=1,C=2,D=3,E=4,F=5 (paper's letters).
+  GraphBuilder b;
+  b.AddVertex(0, {2, 4});     // p1-like: C,E.       (center 0)
+  b.AddVertex(0, {2, 3});     // p2-like: C,D.       (center 1)
+  b.AddVertex(1, {0, 1});     // c1-like: A,B.       (center 2)
+  b.AddVertex(2, {5});        // s1-like: F.         (center 3)
+  b.AddVertex(0, {2, 3});     // N1-ish extra vertex (not a center).
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());  // p1 - c1.
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());  // p2 - c1.
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());  // p1 - p2.
+  EXPECT_TRUE(b.AddEdge(0, 3).ok());  // p1 - s1.
+  EXPECT_TRUE(b.AddEdge(1, 3).ok());  // p2 - s1.
+  EXPECT_TRUE(b.AddEdge(3, 4).ok());  // s1 - extra.
+  return b.Build().value();
+}
+
+TEST(CloudIndex, VbvBitsMatchVertexGroups) {
+  const AttributedGraph g = Fig7LikeGraph();
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  EXPECT_EQ(index.num_centers(), 4u);
+  // Group C (=2) is carried by centers 0 and 1.
+  EXPECT_EQ(index.GroupVbv(2).ToIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(index.GroupVbv(0).ToIndices(), (std::vector<size_t>{2}));
+  EXPECT_EQ(index.GroupVbv(5).ToIndices(), (std::vector<size_t>{3}));
+  // Type VBVs.
+  EXPECT_EQ(index.TypeVbv(0).ToIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(index.TypeVbv(1).ToIndices(), (std::vector<size_t>{2}));
+  EXPECT_EQ(index.TypeVbv(2).ToIndices(), (std::vector<size_t>{3}));
+}
+
+TEST(CloudIndex, LbvBitsMatchNeighborCoverage) {
+  const AttributedGraph g = Fig7LikeGraph();
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  // Center 0 (p1) neighbors: c1 {A,B}, p2 {C,D}, s1 {F} -> groups 0,1,2,3,5.
+  EXPECT_EQ(index.NeighborGroups(0).ToIndices(),
+            (std::vector<size_t>{0, 1, 2, 3, 5}));
+  // Paper's point: E (=4) is NOT in p1's neighbor label set.
+  EXPECT_FALSE(index.NeighborGroups(0).Test(4));
+  // Center 3 (s1) neighbors: p1 {C,E}, p2 {C,D}, extra {C,D}.
+  EXPECT_EQ(index.NeighborGroups(3).ToIndices(),
+            (std::vector<size_t>{2, 3, 4}));
+  // Neighbor types of center 2 (c1): both neighbors are type 0.
+  EXPECT_EQ(index.NeighborTypes(2).ToIndices(), (std::vector<size_t>{0}));
+}
+
+TEST(CloudIndex, CandidateCentersLine46Semantics) {
+  const AttributedGraph g = Fig7LikeGraph();
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+
+  // Query star: center type 0 with group C, neighbors requiring groups
+  // {A} (type 1) and {F} (type 2) — the Figure 6 S1 star shape.
+  GraphBuilder q;
+  q.AddVertex(0, {2});
+  q.AddVertex(1, {0});
+  q.AddVertex(2, {5});
+  ASSERT_TRUE(q.AddEdge(0, 1).ok());
+  ASSERT_TRUE(q.AddEdge(0, 2).ok());
+  const AttributedGraph qo = q.Build().value();
+  // Both p1 (0) and p2 (1) carry C and have neighbors covering {A,F}.
+  EXPECT_EQ(index.CandidateCenters(qo, 0), (std::vector<VertexId>{0, 1}));
+
+  // A center that additionally requires group E among neighbors: none.
+  GraphBuilder q2;
+  q2.AddVertex(0, {2});
+  q2.AddVertex(0, {4});  // Neighbor with E.
+  ASSERT_TRUE(q2.AddEdge(0, 1).ok());
+  const AttributedGraph qo2 = q2.Build().value();
+  EXPECT_EQ(index.CandidateCenters(qo2, 0), (std::vector<VertexId>{1}));
+  // p2's neighbor p1 carries E, so only center 1 qualifies; p1's own
+  // neighbors (c1, p2, s1) never carry E.
+}
+
+TEST(CloudIndex, OutOfRangeQueryIdsYieldNoCandidates) {
+  const AttributedGraph g = Fig7LikeGraph();
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  GraphBuilder q;
+  q.AddVertex(9, {});  // Unknown type.
+  EXPECT_TRUE(index.CandidateCenters(q.Build().value(), 0).empty());
+  GraphBuilder q2;
+  q2.AddVertex(0, {77});  // Unknown group.
+  EXPECT_TRUE(index.CandidateCenters(q2.Build().value(), 0).empty());
+}
+
+TEST(CloudIndex, CandidatesAgainstBruteForceOnRandomGraphs) {
+  Rng rng(66);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = GenerateUniformRandomGraph(60, 150, 6, 1000 + trial);
+    ASSERT_TRUE(g.ok());
+    const size_t centers = 40;
+    const CloudIndex index = CloudIndex::Build(*g, centers, 1, 6);
+
+    // Random star query from the data graph itself.
+    const auto center =
+        static_cast<VertexId>(rng.Below(g->NumVertices()));
+    GraphBuilder qb;
+    const auto center_labels = g->Labels(center);
+    qb.AddVertex(0, std::vector<LabelId>(center_labels.begin(),
+                                         center_labels.end()));
+    size_t leaf_count = 0;
+    for (const VertexId nb : g->Neighbors(center)) {
+      if (leaf_count++ >= 3) break;
+      const auto labels = g->Labels(nb);
+      const VertexId leaf = qb.AddVertex(
+          0, std::vector<LabelId>(labels.begin(), labels.end()));
+      ASSERT_TRUE(qb.AddEdge(0, leaf).ok());
+    }
+    const AttributedGraph qo = qb.Build().value();
+    const std::vector<VertexId> fast = index.CandidateCenters(qo, 0);
+
+    // Brute force the line 4-6 semantics.
+    std::vector<VertexId> slow;
+    for (VertexId va = 0; va < centers; ++va) {
+      if (!g->LabelsContainAll(va, qo.Labels(0))) continue;
+      bool lbv_ok = true;
+      for (const VertexId leaf : qo.Neighbors(0)) {
+        for (const LabelId l : qo.Labels(leaf)) {
+          bool found = false;
+          for (const VertexId nb : g->Neighbors(va)) {
+            if (g->HasLabel(nb, l)) found = true;
+          }
+          if (!found) lbv_ok = false;
+        }
+      }
+      if (lbv_ok) slow.push_back(va);
+    }
+    EXPECT_EQ(fast, slow) << "trial " << trial;
+  }
+}
+
+TEST(CloudIndex, MemoryAccountingNonZero) {
+  const AttributedGraph g = Fig7LikeGraph();
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+  // More centers -> larger index.
+  const CloudIndex bigger = CloudIndex::Build(g, 5, 3, 6);
+  EXPECT_GE(bigger.MemoryBytes(), index.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,188 @@
+// Property tests for the k-automorphism transform — the §2.2 privacy
+// invariants that make everything downstream sound.
+
+#include "kauto/kautomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+
+namespace ppsm {
+namespace {
+
+/// The full §2.2 contract: F_m are automorphisms, blocks are equal-sized,
+/// rows are attribute-uniform, and G ⊆ Gk.
+void ExpectKAutomorphic(const AttributedGraph& g, const KAutomorphicGraph& kag,
+                        uint32_t k) {
+  const Avt& avt = kag.avt;
+  EXPECT_EQ(avt.k(), k);
+  EXPECT_TRUE(avt.Validate().ok());
+
+  // |V(Gk)| = k * ceil(|V(G)|/k); at most k-1 noise vertices.
+  const size_t rows = (g.NumVertices() + k - 1) / k;
+  EXPECT_EQ(kag.gk.NumVertices(), rows * k);
+  EXPECT_EQ(avt.num_rows(), rows);
+  EXPECT_LT(kag.NumNoiseVertices(), static_cast<size_t>(k));
+  EXPECT_EQ(kag.num_original_vertices, g.NumVertices());
+
+  // Every F_m is a graph automorphism of Gk.
+  for (uint32_t m = 0; m < k; ++m) {
+    std::vector<VertexId> perm(kag.gk.NumVertices());
+    for (VertexId v = 0; v < kag.gk.NumVertices(); ++v) {
+      perm[v] = avt.Apply(v, m);
+    }
+    EXPECT_TRUE(IsAutomorphism(kag.gk, perm)) << "F_" << m;
+  }
+
+  // G is a subgraph of Gk: same vertex ids, all original edges present, and
+  // every original vertex's types/labels are preserved (possibly enlarged).
+  bool edges_present = true;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    if (!kag.gk.HasEdge(u, v)) edges_present = false;
+  });
+  EXPECT_TRUE(edges_present);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_TRUE(kag.gk.TypesContainAll(v, g.Types(v)));
+    EXPECT_TRUE(kag.gk.LabelsContainAll(v, g.Labels(v)));
+  }
+
+  // Attribute uniformity: all k vertices of a row share type and label sets
+  // (this is what makes symmetric vertices indistinguishable).
+  for (uint32_t r = 0; r < avt.num_rows(); ++r) {
+    const VertexId first = avt.At(r, 0);
+    for (uint32_t b = 1; b < k; ++b) {
+      const VertexId other = avt.At(r, b);
+      EXPECT_TRUE(std::ranges::equal(kag.gk.Types(first),
+                                     kag.gk.Types(other)));
+      EXPECT_TRUE(std::ranges::equal(kag.gk.Labels(first),
+                                     kag.gk.Labels(other)));
+      EXPECT_EQ(kag.gk.Degree(first), kag.gk.Degree(other));
+    }
+  }
+}
+
+struct KAndAlignment {
+  uint32_t k;
+  AlignmentOrder order;
+};
+
+class KAutomorphism : public ::testing::TestWithParam<KAndAlignment> {};
+
+TEST_P(KAutomorphism, InvariantsHoldOnPowerLawGraph) {
+  const auto [k, order] = GetParam();
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  KAutomorphismOptions options;
+  options.k = k;
+  options.alignment = order;
+  const auto kag = BuildKAutomorphicGraph(*g, options);
+  ASSERT_TRUE(kag.ok()) << kag.status();
+  ExpectKAutomorphic(*g, *kag, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KsAndOrders, KAutomorphism,
+    ::testing::Values(KAndAlignment{2, AlignmentOrder::kTypeDegree},
+                      KAndAlignment{3, AlignmentOrder::kTypeDegree},
+                      KAndAlignment{4, AlignmentOrder::kTypeDegree},
+                      KAndAlignment{5, AlignmentOrder::kTypeDegree},
+                      KAndAlignment{6, AlignmentOrder::kTypeDegree},
+                      KAndAlignment{2, AlignmentOrder::kBfs},
+                      KAndAlignment{4, AlignmentOrder::kBfs},
+                      KAndAlignment{6, AlignmentOrder::kBfs}),
+    [](const auto& info) {
+      return std::string("k") + std::to_string(info.param.k) +
+             (info.param.order == AlignmentOrder::kBfs ? "_bfs" : "_typedeg");
+    });
+
+TEST(KAutomorphism, RunningExampleK2) {
+  const RunningExample ex = MakeRunningExample();
+  KAutomorphismOptions options;
+  options.k = 2;
+  const auto kag = BuildKAutomorphicGraph(ex.graph, options);
+  ASSERT_TRUE(kag.ok()) << kag.status();
+  ExpectKAutomorphic(ex.graph, *kag, 2);
+  EXPECT_EQ(kag->gk.NumVertices(), 8u);  // 8 divides by 2: no noise vertices.
+  EXPECT_EQ(kag->NumNoiseVertices(), 0u);
+  EXPECT_GE(kag->NumNoiseEdges(), 1u);  // Figure 3 adds noise edges.
+}
+
+TEST(KAutomorphism, K1IsOriginalGraphPlusTrivialAvt) {
+  const RunningExample ex = MakeRunningExample();
+  KAutomorphismOptions options;
+  options.k = 1;
+  const auto kag = BuildKAutomorphicGraph(ex.graph, options);
+  ASSERT_TRUE(kag.ok());
+  EXPECT_EQ(kag->gk.NumVertices(), ex.graph.NumVertices());
+  EXPECT_EQ(kag->gk.NumEdges(), ex.graph.NumEdges());
+  EXPECT_EQ(kag->NumNoiseEdges(), 0u);
+  for (VertexId v = 0; v < ex.graph.NumVertices(); ++v) {
+    EXPECT_EQ(kag->avt.Apply(v, 0), v);
+  }
+}
+
+TEST(KAutomorphism, NoiseVerticesPadIndivisibleSizes) {
+  const auto g = GenerateUniformRandomGraph(10, 20, 3, 5);
+  ASSERT_TRUE(g.ok());
+  KAutomorphismOptions options;
+  options.k = 3;  // ceil(10/3)=4 rows -> 12 vertices, 2 noise.
+  const auto kag = BuildKAutomorphicGraph(*g, options);
+  ASSERT_TRUE(kag.ok());
+  EXPECT_EQ(kag->gk.NumVertices(), 12u);
+  EXPECT_EQ(kag->NumNoiseVertices(), 2u);
+  ExpectKAutomorphic(*g, *kag, 3);
+}
+
+TEST(KAutomorphism, NoiseEdgesGrowWithK) {
+  const auto g = GenerateDataset(NotreDameLike(0.02));
+  ASSERT_TRUE(g.ok());
+  size_t previous = 0;
+  for (const uint32_t k : {2u, 4u, 6u}) {
+    KAutomorphismOptions options;
+    options.k = k;
+    const auto kag = BuildKAutomorphicGraph(*g, options);
+    ASSERT_TRUE(kag.ok());
+    EXPECT_GT(kag->NumNoiseEdges(), previous)
+        << "noise edges should grow with k (paper Fig. 11)";
+    previous = kag->NumNoiseEdges();
+  }
+}
+
+TEST(KAutomorphism, RejectsBadArguments) {
+  const RunningExample ex = MakeRunningExample();
+  KAutomorphismOptions options;
+  options.k = 0;
+  EXPECT_FALSE(BuildKAutomorphicGraph(ex.graph, options).ok());
+  options.k = 100;  // k > |V|.
+  EXPECT_FALSE(BuildKAutomorphicGraph(ex.graph, options).ok());
+  GraphBuilder empty;
+  const AttributedGraph eg = empty.Build().value();
+  options.k = 2;
+  EXPECT_FALSE(BuildKAutomorphicGraph(eg, options).ok());
+}
+
+TEST(KAutomorphism, AnonymityMultiplicity) {
+  // Every structural signature (degree, type set, label set) appears at
+  // least k times in Gk — no vertex can be pinned below probability 1/k.
+  const auto g = GenerateDataset(NotreDameLike(0.01));
+  ASSERT_TRUE(g.ok());
+  for (const uint32_t k : {2u, 5u}) {
+    KAutomorphismOptions options;
+    options.k = k;
+    const auto kag = BuildKAutomorphicGraph(*g, options);
+    ASSERT_TRUE(kag.ok());
+    for (VertexId v = 0; v < kag->gk.NumVertices(); ++v) {
+      size_t twins = 0;
+      for (uint32_t m = 0; m < k; ++m) {
+        const VertexId image = kag->avt.Apply(v, m);
+        if (kag->gk.Degree(image) == kag->gk.Degree(v)) ++twins;
+      }
+      EXPECT_EQ(twins, k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,160 @@
+#include "anonymize/lct.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/example_graphs.h"
+
+namespace ppsm {
+namespace {
+
+/// Identity permutations (labels in schema order).
+std::vector<std::vector<LabelId>> IdentityPerms(const Schema& schema) {
+  std::vector<std::vector<LabelId>> perms(schema.NumAttributes());
+  for (AttributeId a = 0; a < schema.NumAttributes(); ++a) {
+    perms[a] = schema.LabelsOfAttribute(a);
+  }
+  return perms;
+}
+
+TEST(Lct, GroupsOfThetaWithinAttributes) {
+  const RunningExample ex = MakeRunningExample();
+  auto lct = Lct::FromPermutations(*ex.schema, IdentityPerms(*ex.schema), 2);
+  ASSERT_TRUE(lct.ok()) << lct.status();
+  EXPECT_TRUE(lct->Validate(*ex.schema).ok());
+  EXPECT_EQ(lct->theta(), 2u);
+  // Figure 2's LCT has 6 groups (A..F); our schema has the same 12 labels in
+  // 5 attributes: gender(2), occupation(4), company type(2), state(2),
+  // locatedin(2) -> 1+2+1+1+1 = 6 groups.
+  EXPECT_EQ(lct->NumGroups(), 6u);
+  for (GroupId g = 0; g < lct->NumGroups(); ++g) {
+    EXPECT_EQ(lct->LabelsInGroup(g).size(), 2u);
+    for (const LabelId l : lct->LabelsInGroup(g)) {
+      EXPECT_EQ(lct->GroupOfLabel(l), g);
+      EXPECT_EQ(ex.schema->AttributeOfLabel(l), lct->AttributeOfGroup(g));
+    }
+    EXPECT_EQ(lct->TypeOfGroup(g),
+              ex.schema->TypeOfAttribute(lct->AttributeOfGroup(g)));
+  }
+}
+
+TEST(Lct, RemainderAbsorbedIntoLastGroup) {
+  Schema schema;
+  const auto t = schema.AddType("T").value();
+  const auto a = schema.AddAttribute(t, "a").value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(schema.AddLabel(a, "l" + std::to_string(i)).ok());
+  }
+  auto lct = Lct::FromPermutations(schema, IdentityPerms(schema), 2);
+  ASSERT_TRUE(lct.ok());
+  // 5 labels, theta=2 -> groups of 2 and 3 (the last absorbs the odd one).
+  ASSERT_EQ(lct->NumGroups(), 2u);
+  EXPECT_EQ(lct->LabelsInGroup(0).size(), 2u);
+  EXPECT_EQ(lct->LabelsInGroup(1).size(), 3u);
+  EXPECT_TRUE(lct->Validate(schema).ok());
+}
+
+TEST(Lct, AttributeSmallerThanThetaFormsOneGroup) {
+  Schema schema;
+  const auto t = schema.AddType("T").value();
+  const auto a = schema.AddAttribute(t, "a").value();
+  ASSERT_TRUE(schema.AddLabel(a, "only").ok());
+  auto lct = Lct::FromPermutations(schema, IdentityPerms(schema), 3);
+  ASSERT_TRUE(lct.ok());
+  EXPECT_EQ(lct->NumGroups(), 1u);
+  EXPECT_EQ(lct->LabelsInGroup(0).size(), 1u);
+  EXPECT_TRUE(lct->Validate(schema).ok());  // Floor is min(theta, |labels|).
+}
+
+TEST(Lct, RejectsBadPermutations) {
+  const RunningExample ex = MakeRunningExample();
+  auto perms = IdentityPerms(*ex.schema);
+  perms[0].pop_back();  // Wrong size.
+  EXPECT_FALSE(Lct::FromPermutations(*ex.schema, perms, 2).ok());
+
+  perms = IdentityPerms(*ex.schema);
+  perms[0][0] = perms[1][0];  // Foreign label.
+  EXPECT_FALSE(Lct::FromPermutations(*ex.schema, perms, 2).ok());
+
+  EXPECT_FALSE(
+      Lct::FromPermutations(*ex.schema, IdentityPerms(*ex.schema), 0).ok());
+  EXPECT_FALSE(Lct::FromPermutations(*ex.schema, {}, 2).ok());
+}
+
+TEST(Lct, GeneralizeLabelsMapsAndDedups) {
+  const RunningExample ex = MakeRunningExample();
+  auto lct = Lct::FromPermutations(*ex.schema, IdentityPerms(*ex.schema), 2);
+  ASSERT_TRUE(lct.ok());
+  // Male=0 and Female=1 share a gender group.
+  const std::vector<LabelId> labels{0, 1};
+  const auto groups = lct->GeneralizeLabels(labels);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], lct->GroupOfLabel(0));
+}
+
+TEST(Lct, AnonymizeGraphPreservesTopology) {
+  const RunningExample ex = MakeRunningExample();
+  auto lct = Lct::FromPermutations(*ex.schema, IdentityPerms(*ex.schema), 2);
+  ASSERT_TRUE(lct.ok());
+  auto anonymized = lct->AnonymizeGraph(ex.graph);
+  ASSERT_TRUE(anonymized.ok()) << anonymized.status();
+  EXPECT_EQ(anonymized->NumVertices(), ex.graph.NumVertices());
+  EXPECT_EQ(anonymized->NumEdges(), ex.graph.NumEdges());
+  ex.graph.ForEachEdge([&](VertexId u, VertexId v) {
+    EXPECT_TRUE(anonymized->HasEdge(u, v));
+  });
+  for (VertexId v = 0; v < ex.graph.NumVertices(); ++v) {
+    // Types survive; labels become group ids.
+    EXPECT_TRUE(std::ranges::equal(anonymized->Types(v), ex.graph.Types(v)));
+    for (const LabelId l : ex.graph.Labels(v)) {
+      EXPECT_TRUE(anonymized->HasLabel(v, lct->GroupOfLabel(l)));
+    }
+  }
+}
+
+TEST(Lct, SerializeRoundTrip) {
+  const RunningExample ex = MakeRunningExample();
+  auto lct = Lct::FromPermutations(*ex.schema, IdentityPerms(*ex.schema), 2);
+  ASSERT_TRUE(lct.ok());
+  const auto bytes = lct->Serialize();
+  auto restored = Lct::Deserialize(bytes, *ex.schema);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->theta(), lct->theta());
+  EXPECT_EQ(restored->NumGroups(), lct->NumGroups());
+  for (LabelId l = 0; l < lct->NumLabels(); ++l) {
+    EXPECT_EQ(restored->GroupOfLabel(l), lct->GroupOfLabel(l));
+  }
+  EXPECT_TRUE(restored->Validate(*ex.schema).ok());
+}
+
+TEST(Lct, DeserializeRejectsCorruption) {
+  const RunningExample ex = MakeRunningExample();
+  auto lct = Lct::FromPermutations(*ex.schema, IdentityPerms(*ex.schema), 2);
+  ASSERT_TRUE(lct.ok());
+  auto bytes = lct->Serialize();
+  bytes.resize(bytes.size() - 3);  // Truncate.
+  EXPECT_FALSE(Lct::Deserialize(bytes, *ex.schema).ok());
+  EXPECT_FALSE(
+      Lct::Deserialize(std::vector<uint8_t>{1, 2, 3, 4}, *ex.schema).ok());
+  // Wrong schema: fewer labels than the LCT references.
+  Schema tiny;
+  const auto t = tiny.AddType("t").value();
+  const auto a = tiny.AddAttribute(t, "a").value();
+  ASSERT_TRUE(tiny.AddLabel(a, "only").ok());
+  EXPECT_FALSE(Lct::Deserialize(lct->Serialize(), tiny).ok());
+}
+
+TEST(Lct, AnonymizeGraphRejectsUnknownLabels) {
+  Schema small;
+  const auto t = small.AddType("T").value();
+  const auto a = small.AddAttribute(t, "a").value();
+  ASSERT_TRUE(small.AddLabel(a, "x").ok());
+  auto lct = Lct::FromPermutations(small, IdentityPerms(small), 1);
+  ASSERT_TRUE(lct.ok());
+  GraphBuilder b;
+  b.AddVertex(0, {7});  // Label id 7 does not exist in the LCT.
+  const AttributedGraph g = b.Build().value();
+  EXPECT_FALSE(lct->AnonymizeGraph(g).ok());
+}
+
+}  // namespace
+}  // namespace ppsm

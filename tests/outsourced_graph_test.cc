@@ -1,0 +1,122 @@
+#include "kauto/outsourced_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+
+namespace ppsm {
+namespace {
+
+KAutomorphicGraph MakeKag(const AttributedGraph& g, uint32_t k) {
+  KAutomorphismOptions options;
+  options.k = k;
+  auto kag = BuildKAutomorphicGraph(g, options);
+  EXPECT_TRUE(kag.ok()) << kag.status();
+  return std::move(kag).value();
+}
+
+TEST(OutsourcedGraph, B1PrefixInRowOrder) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  const KAutomorphicGraph kag = MakeKag(*g, 3);
+  const auto go = BuildOutsourcedGraph(kag);
+  ASSERT_TRUE(go.ok()) << go.status();
+  EXPECT_EQ(go->k, 3u);
+  EXPECT_EQ(go->num_b1, kag.avt.num_rows());
+  for (uint32_t r = 0; r < kag.avt.num_rows(); ++r) {
+    EXPECT_EQ(go->to_gk[r], kag.avt.At(r, 0));
+    EXPECT_TRUE(go->InB1(r));
+  }
+  EXPECT_FALSE(go->InB1(static_cast<VertexId>(go->num_b1)));
+}
+
+TEST(OutsourcedGraph, ContainsExactlyEdgesIncidentToB1) {
+  const auto g = GenerateDataset(NotreDameLike(0.01));
+  ASSERT_TRUE(g.ok());
+  const KAutomorphicGraph kag = MakeKag(*g, 4);
+  const auto go = BuildOutsourcedGraph(kag);
+  ASSERT_TRUE(go.ok());
+
+  // Reference: count Gk edges with >= 1 endpoint in block 0.
+  size_t expected = 0;
+  kag.gk.ForEachEdge([&](VertexId u, VertexId v) {
+    if (kag.avt.BlockOf(u) == 0 || kag.avt.BlockOf(v) == 0) ++expected;
+  });
+  EXPECT_EQ(go->graph.NumEdges(), expected);
+
+  // Every Go edge maps to a Gk edge and touches B1.
+  go->graph.ForEachEdge([&](VertexId lu, VertexId lv) {
+    const VertexId gu = go->ToGk(lu);
+    const VertexId gv = go->ToGk(lv);
+    EXPECT_TRUE(kag.gk.HasEdge(gu, gv));
+    EXPECT_TRUE(kag.avt.BlockOf(gu) == 0 || kag.avt.BlockOf(gv) == 0);
+  });
+}
+
+TEST(OutsourcedGraph, B1DegreesEqualGkDegrees) {
+  // All Gk edges incident to B1 are kept, so B1 vertices keep their full
+  // degree — the property the cloud's D(Gk) estimate relies on.
+  const auto g = GenerateDataset(DbpediaLike(0.008));
+  ASSERT_TRUE(g.ok());
+  const KAutomorphicGraph kag = MakeKag(*g, 3);
+  const auto go = BuildOutsourcedGraph(kag);
+  ASSERT_TRUE(go.ok());
+  for (size_t local = 0; local < go->num_b1; ++local) {
+    EXPECT_EQ(go->graph.Degree(static_cast<VertexId>(local)),
+              kag.gk.Degree(go->ToGk(static_cast<VertexId>(local))));
+  }
+}
+
+TEST(OutsourcedGraph, LabelsAndTypesCopiedFromGk) {
+  const RunningExample ex = MakeRunningExample();
+  const KAutomorphicGraph kag = MakeKag(ex.graph, 2);
+  const auto go = BuildOutsourcedGraph(kag);
+  ASSERT_TRUE(go.ok());
+  for (VertexId local = 0; local < go->graph.NumVertices(); ++local) {
+    const VertexId gk_id = go->ToGk(local);
+    EXPECT_TRUE(std::ranges::equal(go->graph.Types(local),
+                                   kag.gk.Types(gk_id)));
+    EXPECT_TRUE(std::ranges::equal(go->graph.Labels(local),
+                                   kag.gk.Labels(gk_id)));
+  }
+}
+
+TEST(OutsourcedGraph, MuchSmallerThanGkForLargeK) {
+  const auto g = GenerateDataset(NotreDameLike(0.02));
+  ASSERT_TRUE(g.ok());
+  const KAutomorphicGraph kag = MakeKag(*g, 5);
+  const auto go = BuildOutsourcedGraph(kag);
+  ASSERT_TRUE(go.ok());
+  // Paper Fig. 12: |E(Go)| well below |E(Gk)|.
+  EXPECT_LT(go->graph.NumEdges(), kag.gk.NumEdges() / 2);
+}
+
+TEST(OutsourcedGraph, SerializeRoundTrip) {
+  const RunningExample ex = MakeRunningExample();
+  const KAutomorphicGraph kag = MakeKag(ex.graph, 2);
+  const auto go = BuildOutsourcedGraph(kag);
+  ASSERT_TRUE(go.ok());
+  const auto bytes = go->Serialize();
+  auto restored = OutsourcedGraph::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->k, go->k);
+  EXPECT_EQ(restored->num_b1, go->num_b1);
+  EXPECT_EQ(restored->to_gk, go->to_gk);
+  EXPECT_EQ(restored->graph.NumEdges(), go->graph.NumEdges());
+}
+
+TEST(OutsourcedGraph, DeserializeRejectsCorruption) {
+  const RunningExample ex = MakeRunningExample();
+  const KAutomorphicGraph kag = MakeKag(ex.graph, 2);
+  const auto go = BuildOutsourcedGraph(kag);
+  ASSERT_TRUE(go.ok());
+  auto bytes = go->Serialize();
+  bytes.resize(bytes.size() / 3);
+  EXPECT_FALSE(OutsourcedGraph::Deserialize(bytes).ok());
+  EXPECT_FALSE(
+      OutsourcedGraph::Deserialize(std::vector<uint8_t>{0, 1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,157 @@
+#include "partition/multilevel_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+void ExpectValidPartition(const AttributedGraph& g, const Partitioning& p,
+                          uint32_t k) {
+  EXPECT_EQ(p.num_parts, k);
+  ASSERT_EQ(p.part.size(), g.NumVertices());
+  const size_t cap = (g.NumVertices() + k - 1) / k;
+  const auto sizes = PartSizes(p.part, k);
+  size_t total = 0;
+  for (uint32_t b = 0; b < k; ++b) {
+    EXPECT_LE(sizes[b], cap) << "part " << b << " over hard cap";
+    total += sizes[b];
+  }
+  EXPECT_EQ(total, g.NumVertices());
+  EXPECT_EQ(p.edge_cut, ComputeEdgeCut(g, p.part));
+}
+
+class PartitionerK : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PartitionerK, BalancedOnPowerLawGraph) {
+  const uint32_t k = GetParam();
+  const auto g = GenerateDataset(NotreDameLike(0.02));  // ~600 vertices.
+  ASSERT_TRUE(g.ok());
+  PartitionOptions options;
+  options.num_parts = k;
+  const auto p = PartitionGraph(*g, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  ExpectValidPartition(*g, *p, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperKs, PartitionerK,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const auto g = GenerateUniformRandomGraph(50, 100, 2, 1);
+  ASSERT_TRUE(g.ok());
+  PartitionOptions options;
+  options.num_parts = 1;
+  const auto p = PartitionGraph(*g, options);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->edge_cut, 0u);
+  for (const uint32_t b : p->part) EXPECT_EQ(b, 0u);
+}
+
+TEST(Partitioner, KEqualsN) {
+  const auto g = GenerateUniformRandomGraph(8, 12, 2, 2);
+  ASSERT_TRUE(g.ok());
+  PartitionOptions options;
+  options.num_parts = 8;
+  const auto p = PartitionGraph(*g, options);
+  ASSERT_TRUE(p.ok());
+  ExpectValidPartition(*g, *p, 8);  // Every part gets exactly one vertex.
+}
+
+TEST(Partitioner, RejectsBadArguments) {
+  const auto g = GenerateUniformRandomGraph(5, 4, 2, 3);
+  ASSERT_TRUE(g.ok());
+  PartitionOptions options;
+  options.num_parts = 0;
+  EXPECT_FALSE(PartitionGraph(*g, options).ok());
+  options.num_parts = 6;  // More parts than vertices.
+  EXPECT_FALSE(PartitionGraph(*g, options).ok());
+  GraphBuilder empty;
+  const AttributedGraph eg = empty.Build().value();
+  options.num_parts = 2;
+  EXPECT_FALSE(PartitionGraph(eg, options).ok());
+}
+
+TEST(Partitioner, CutBeatsRandomAssignment) {
+  // On a graph with clear community structure the multilevel partitioner
+  // should find a far better cut than a round-robin split.
+  GraphBuilder b;
+  const int community = 40;
+  for (int i = 0; i < 2 * community; ++i) b.AddVertex(0, {});
+  Rng rng(31);
+  // Dense inside each community.
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < community; ++i) {
+      for (int j = i + 1; j < community; ++j) {
+        if (rng.Chance(0.3)) {
+          b.TryAddEdge(c * community + i, c * community + j);
+        }
+      }
+    }
+  }
+  // Sparse across.
+  for (int i = 0; i < 10; ++i) {
+    b.TryAddEdge(rng.Below(community),
+                 community + rng.Below(community));
+  }
+  const AttributedGraph g = b.Build().value();
+
+  PartitionOptions options;
+  options.num_parts = 2;
+  const auto p = PartitionGraph(g, options);
+  ASSERT_TRUE(p.ok());
+  ExpectValidPartition(g, *p, 2);
+
+  std::vector<uint32_t> round_robin(g.NumVertices());
+  for (size_t v = 0; v < g.NumVertices(); ++v) round_robin[v] = v % 2;
+  EXPECT_LT(p->edge_cut, ComputeEdgeCut(g, round_robin) / 4);
+  // With only 10 cross edges the ideal cut is tiny.
+  EXPECT_LE(p->edge_cut, 10u);
+}
+
+TEST(Partitioner, DeterministicInSeed) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  PartitionOptions options;
+  options.num_parts = 4;
+  options.seed = 17;
+  const auto a = PartitionGraph(*g, options);
+  const auto b = PartitionGraph(*g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->part, b->part);
+}
+
+TEST(Partitioner, HandlesDisconnectedGraph) {
+  GraphBuilder b;
+  for (int i = 0; i < 30; ++i) b.AddVertex(0, {});
+  for (int i = 0; i < 10; ++i) {
+    for (int j = i + 1; j < 10; ++j) b.TryAddEdge(i, j);
+  }
+  for (int i = 10; i < 20; ++i) b.TryAddEdge(i, i + 10 < 30 ? i + 10 : 29);
+  const AttributedGraph g = b.Build().value();
+  PartitionOptions options;
+  options.num_parts = 3;
+  const auto p = PartitionGraph(g, options);
+  ASSERT_TRUE(p.ok());
+  ExpectValidPartition(g, *p, 3);
+}
+
+TEST(Partitioner, StarGraphDoesNotStallCoarsening) {
+  // Heavy-edge matching stalls on stars; the partitioner must still finish.
+  GraphBuilder b;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) b.AddVertex(0, {});
+  for (int i = 1; i < n; ++i) EXPECT_TRUE(b.AddEdge(0, i).ok());
+  const AttributedGraph g = b.Build().value();
+  PartitionOptions options;
+  options.num_parts = 4;
+  const auto p = PartitionGraph(g, options);
+  ASSERT_TRUE(p.ok());
+  ExpectValidPartition(g, *p, 4);
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,144 @@
+#include "query/pattern_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/example_graphs.h"
+#include "match/subgraph_matcher.h"
+
+namespace ppsm {
+namespace {
+
+const char* kFigure1Query = R"(
+# The paper's Figure 1 query: two individuals who graduated from the same
+# Illinois school, one at an Internet company, one at a Software company.
+(c1:Company {"COMPANY TYPE"=Internet})
+(p1:Individual)
+(s:School {LOCATEDIN=Illinois})
+(c2:Company {"COMPANY TYPE"=Software})
+(p2:Individual)
+c1 -- p1
+p1 -- s
+s -- p2
+p2 -- c2
+)";
+
+TEST(PatternParser, ParsesFigure1Query) {
+  const RunningExample ex = MakeRunningExample();
+  auto parsed = ParsePattern(kFigure1Query, *ex.schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->query.NumVertices(), 5u);
+  EXPECT_EQ(parsed->query.NumEdges(), 4u);
+  EXPECT_EQ(parsed->variables,
+            (std::vector<std::string>{"c1", "p1", "s", "c2", "p2"}));
+  // Semantically identical to the hand-built query: same matches over G.
+  const MatchSet via_text = FindSubgraphMatches(parsed->query, ex.graph);
+  EXPECT_EQ(via_text.NumMatches(), 2u);
+}
+
+TEST(PatternParser, EdgeWithoutSpaces) {
+  const RunningExample ex = MakeRunningExample();
+  auto parsed = ParsePattern(
+      "(a:Individual) (b:Individual) a--b", *ex.schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->query.NumEdges(), 1u);
+}
+
+TEST(PatternParser, MultiplePropertiesAndQuoting) {
+  const RunningExample ex = MakeRunningExample();
+  auto parsed = ParsePattern(
+      "(a:Individual {GENDER=Male, OCCUPATION=\"Engineer\"})", *ex.schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->query.Labels(0).size(), 2u);
+}
+
+TEST(PatternParser, SingleVertexPattern) {
+  const RunningExample ex = MakeRunningExample();
+  auto parsed = ParsePattern("(only:School)", *ex.schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.NumVertices(), 1u);
+  EXPECT_EQ(parsed->query.NumEdges(), 0u);
+}
+
+TEST(PatternParser, ErrorsCarryPositions) {
+  const RunningExample ex = MakeRunningExample();
+  struct Case {
+    const char* text;
+    StatusCode code;
+    const char* fragment;
+  };
+  const Case cases[] = {
+      {"(a:Alien)", StatusCode::kNotFound, "unknown vertex type"},
+      {"(a:Individual {HEIGHT=tall})", StatusCode::kNotFound,
+       "no attribute"},
+      {"(a:Individual {GENDER=Purple})", StatusCode::kNotFound, "no value"},
+      {"(a:Individual) (a:School)", StatusCode::kInvalidArgument,
+       "declared twice"},
+      {"a -- b", StatusCode::kNotFound, "undeclared variable"},
+      {"(a:Individual", StatusCode::kInvalidArgument, "expected"},
+      {"(a:Individual) (b:School) a -- b a -- b",
+       StatusCode::kAlreadyExists, "duplicate"},
+      {"(a:Individual) a -- a", StatusCode::kInvalidArgument, "self-loop"},
+      {"", StatusCode::kInvalidArgument, "no vertices"},
+      {"(a:Individual) @", StatusCode::kInvalidArgument, "unexpected"},
+      {"(a:Individual {GENDER=\"Male)", StatusCode::kInvalidArgument,
+       "unterminated"},
+  };
+  for (const Case& c : cases) {
+    auto parsed = ParsePattern(c.text, *ex.schema);
+    ASSERT_FALSE(parsed.ok()) << c.text;
+    EXPECT_EQ(parsed.status().code(), c.code) << c.text;
+    EXPECT_NE(parsed.status().message().find(c.fragment), std::string::npos)
+        << c.text << " -> " << parsed.status();
+  }
+}
+
+TEST(PatternParser, CommentsAndWhitespaceIgnored) {
+  const RunningExample ex = MakeRunningExample();
+  auto parsed = ParsePattern(
+      "# leading comment\n  (a:School)   # trailing\n\n", *ex.schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query.NumVertices(), 1u);
+}
+
+TEST(PatternParser, FormatRoundTrips) {
+  const RunningExample ex = MakeRunningExample();
+  auto parsed = ParsePattern(kFigure1Query, *ex.schema);
+  ASSERT_TRUE(parsed.ok());
+  const std::string text =
+      FormatPattern(parsed->query, *ex.schema, parsed->variables);
+  auto reparsed = ParsePattern(text, *ex.schema);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  EXPECT_EQ(reparsed->query.NumVertices(), parsed->query.NumVertices());
+  EXPECT_EQ(reparsed->query.NumEdges(), parsed->query.NumEdges());
+  for (VertexId v = 0; v < parsed->query.NumVertices(); ++v) {
+    EXPECT_TRUE(std::ranges::equal(reparsed->query.Labels(v),
+                                   parsed->query.Labels(v)));
+    EXPECT_TRUE(std::ranges::equal(reparsed->query.Types(v),
+                                   parsed->query.Types(v)));
+    EXPECT_TRUE(std::ranges::equal(reparsed->query.Neighbors(v),
+                                   parsed->query.Neighbors(v)));
+  }
+}
+
+TEST(PatternParser, FormatQuotesNamesWithSpaces) {
+  const RunningExample ex = MakeRunningExample();
+  auto parsed =
+      ParsePattern("(c:Company {\"COMPANY TYPE\"=Internet})", *ex.schema);
+  ASSERT_TRUE(parsed.ok());
+  const std::string text = FormatPattern(parsed->query, *ex.schema);
+  EXPECT_NE(text.find("\"COMPANY TYPE\""), std::string::npos);
+  auto reparsed = ParsePattern(text, *ex.schema);
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status();
+}
+
+TEST(PatternParser, DefaultVariableNamesInFormat) {
+  const RunningExample ex = MakeRunningExample();
+  const std::string text = FormatPattern(ex.query, *ex.schema);
+  EXPECT_NE(text.find("(v0:"), std::string::npos);
+  auto reparsed = ParsePattern(text, *ex.schema);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->query.NumEdges(), ex.query.NumEdges());
+}
+
+}  // namespace
+}  // namespace ppsm

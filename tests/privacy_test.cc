@@ -1,0 +1,154 @@
+// Privacy property tests: what the honest-but-curious cloud actually sees,
+// and whether the k-automorphism + label-generalization guarantees hold on
+// the artifacts that leave the data owner.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cloud/data_owner.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+
+namespace ppsm {
+namespace {
+
+DataOwner MakeOwner(const AttributedGraph& g,
+                    std::shared_ptr<const Schema> schema, uint32_t k,
+                    size_t theta = 2) {
+  DataOwnerOptions options;
+  options.k = k;
+  options.grouping.theta = theta;
+  auto owner = DataOwner::Create(g, std::move(schema), options);
+  EXPECT_TRUE(owner.ok()) << owner.status();
+  return std::move(owner).value();
+}
+
+TEST(Privacy, EveryUploadedLabelIsAGroupId) {
+  // The cloud must never see raw label ids — only LCT group ids.
+  const auto g = GenerateDataset(DbpediaLike(0.008));
+  ASSERT_TRUE(g.ok());
+  const DataOwner owner = MakeOwner(*g, g->schema(), 3);
+  auto package = UploadPackage::Deserialize(owner.upload_bytes());
+  ASSERT_TRUE(package.ok());
+  const AttributedGraph& uploaded = package->go->graph;
+  for (VertexId v = 0; v < uploaded.NumVertices(); ++v) {
+    for (const LabelId label : uploaded.Labels(v)) {
+      EXPECT_LT(label, owner.lct().NumGroups());
+    }
+  }
+}
+
+TEST(Privacy, GroupsHideAtLeastThetaLabels) {
+  const auto g = GenerateDataset(DbpediaLike(0.008));
+  ASSERT_TRUE(g.ok());
+  for (const size_t theta : {2u, 3u}) {
+    const DataOwner owner = MakeOwner(*g, g->schema(), 2, theta);
+    const Lct& lct = owner.lct();
+    for (GroupId group = 0; group < lct.NumGroups(); ++group) {
+      const size_t available =
+          g->schema()->LabelsOfAttribute(lct.AttributeOfGroup(group)).size();
+      EXPECT_GE(lct.LabelsInGroup(group).size(),
+                std::min(theta, available));
+    }
+  }
+}
+
+TEST(Privacy, SymmetricVerticesIndistinguishableInGk) {
+  // Each AVT row's k vertices agree on type set, label-group set, degree,
+  // and even the multiset of neighbor signatures — an adversary with full
+  // 1-neighborhood knowledge cannot beat probability 1/k.
+  const auto g = GenerateDataset(NotreDameLike(0.01));
+  ASSERT_TRUE(g.ok());
+  const uint32_t k = 4;
+  const DataOwner owner = MakeOwner(*g, g->schema(), k);
+  const KAutomorphicGraph& kag = owner.kag();
+
+  auto signature = [&](VertexId v) {
+    std::multiset<std::pair<size_t, size_t>> neighbor_sigs;
+    for (const VertexId u : kag.gk.Neighbors(v)) {
+      neighbor_sigs.emplace(kag.gk.Degree(u), kag.gk.Labels(u).size());
+    }
+    return neighbor_sigs;
+  };
+
+  for (uint32_t r = 0; r < kag.avt.num_rows(); ++r) {
+    const VertexId first = kag.avt.At(r, 0);
+    const auto first_sig = signature(first);
+    for (uint32_t b2 = 1; b2 < k; ++b2) {
+      const VertexId other = kag.avt.At(r, b2);
+      EXPECT_EQ(kag.gk.Degree(first), kag.gk.Degree(other));
+      EXPECT_TRUE(std::ranges::equal(kag.gk.Types(first),
+                                     kag.gk.Types(other)));
+      EXPECT_TRUE(std::ranges::equal(kag.gk.Labels(first),
+                                     kag.gk.Labels(other)));
+      EXPECT_EQ(first_sig, signature(other));
+    }
+  }
+}
+
+TEST(Privacy, StructuralAttackFindsAtLeastKCandidates) {
+  // Simulated structural attack: the adversary knows a target's exact
+  // degree and label-group signature in Gk and counts matching vertices.
+  // k-automorphism guarantees at least k candidates for every target.
+  const auto g = GenerateDataset(DbpediaLike(0.008));
+  ASSERT_TRUE(g.ok());
+  for (const uint32_t k : {2u, 5u}) {
+    const DataOwner owner = MakeOwner(*g, g->schema(), k);
+    const AttributedGraph& gk = owner.kag().gk;
+    std::map<std::tuple<size_t, std::vector<VertexTypeId>,
+                        std::vector<LabelId>>,
+             size_t>
+        census;
+    for (VertexId v = 0; v < gk.NumVertices(); ++v) {
+      census[{gk.Degree(v),
+              {gk.Types(v).begin(), gk.Types(v).end()},
+              {gk.Labels(v).begin(), gk.Labels(v).end()}}]++;
+    }
+    for (const auto& [sig, count] : census) {
+      EXPECT_GE(count, k) << "a signature class smaller than k would let an "
+                             "adversary beat the 1/k bound";
+    }
+  }
+}
+
+TEST(Privacy, OutsourcedQueriesCarryOnlyGroups) {
+  const RunningExample ex = MakeRunningExample();
+  const DataOwner owner = MakeOwner(ex.graph, ex.schema, 2);
+  auto qo = owner.AnonymizeQuery(ex.query);
+  ASSERT_TRUE(qo.ok());
+  for (VertexId v = 0; v < qo->NumVertices(); ++v) {
+    for (const LabelId label : qo->Labels(v)) {
+      EXPECT_LT(label, owner.lct().NumGroups());
+    }
+  }
+}
+
+TEST(Privacy, NoOriginalEdgeEverDeleted) {
+  // Unlike edge-deletion anonymization schemes (the paper's §7 critique),
+  // k-automorphism only adds: G ⊆ Gk always.
+  const auto g = GenerateDataset(Uk2002Like(0.003));
+  ASSERT_TRUE(g.ok());
+  const DataOwner owner = MakeOwner(*g, g->schema(), 3);
+  bool all_present = true;
+  g->ForEachEdge([&](VertexId u, VertexId v) {
+    if (!owner.kag().gk.HasEdge(u, v)) all_present = false;
+  });
+  EXPECT_TRUE(all_present);
+}
+
+TEST(Privacy, UploadOmitsLctMapping) {
+  // The serialized upload must not contain the schema's label names (the
+  // LCT mapping stays with the owner; names would leak attribute values).
+  const RunningExample ex = MakeRunningExample();
+  const DataOwner owner = MakeOwner(ex.graph, ex.schema, 2);
+  const std::vector<uint8_t>& bytes = owner.upload_bytes();
+  const std::string blob(bytes.begin(), bytes.end());
+  for (const char* secret : {"Engineer", "Male", "Internet", "Illinois"}) {
+    EXPECT_EQ(blob.find(secret), std::string::npos) << secret;
+  }
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,101 @@
+#include "graph/query_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "match/subgraph_matcher.h"
+
+namespace ppsm {
+namespace {
+
+class QueryExtractorSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(QueryExtractorSizes, ExtractsConnectedQueryOfExactSize) {
+  const size_t num_edges = GetParam();
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) {
+    auto extracted = ExtractQuery(*g, num_edges, rng);
+    ASSERT_TRUE(extracted.ok()) << extracted.status();
+    EXPECT_EQ(extracted->query.NumEdges(), num_edges);
+    EXPECT_TRUE(IsConnected(extracted->query));
+    EXPECT_EQ(extracted->planted.size(), extracted->query.NumVertices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, QueryExtractorSizes,
+                         ::testing::Values(1, 4, 6, 8, 10, 12));
+
+TEST(QueryExtractor, PlantedMappingIsAMatch) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  Rng rng(22);
+  for (int i = 0; i < 20; ++i) {
+    auto extracted = ExtractQuery(*g, 6, rng);
+    ASSERT_TRUE(extracted.ok());
+    const AttributedGraph& q = extracted->query;
+    // The planted assignment satisfies Def. 2 by construction.
+    for (VertexId a = 0; a < q.NumVertices(); ++a) {
+      const VertexId da = extracted->planted[a];
+      EXPECT_TRUE(g->TypesContainAll(da, q.Types(a)));
+      EXPECT_TRUE(g->LabelsContainAll(da, q.Labels(a)));
+    }
+    bool edges_ok = true;
+    q.ForEachEdge([&](VertexId a, VertexId b) {
+      if (!g->HasEdge(extracted->planted[a], extracted->planted[b])) {
+        edges_ok = false;
+      }
+    });
+    EXPECT_TRUE(edges_ok);
+  }
+}
+
+TEST(QueryExtractor, GroundTruthContainsPlanted) {
+  const auto g = GenerateDataset(DbpediaLike(0.005));
+  ASSERT_TRUE(g.ok());
+  Rng rng(23);
+  auto extracted = ExtractQuery(*g, 5, rng);
+  ASSERT_TRUE(extracted.ok());
+  const MatchSet matches = FindSubgraphMatches(extracted->query, *g);
+  bool found = false;
+  for (size_t r = 0; r < matches.NumMatches(); ++r) {
+    const auto row = matches.Get(r);
+    if (std::equal(row.begin(), row.end(), extracted->planted.begin())) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryExtractor, RejectsZeroEdges) {
+  const auto g = GenerateUniformRandomGraph(10, 15, 2, 1);
+  ASSERT_TRUE(g.ok());
+  Rng rng(24);
+  EXPECT_EQ(ExtractQuery(*g, 0, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryExtractor, RejectsOversizedRequest) {
+  const auto g = GenerateUniformRandomGraph(5, 4, 2, 1);
+  ASSERT_TRUE(g.ok());
+  Rng rng(25);
+  EXPECT_EQ(ExtractQuery(*g, 100, rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryExtractor, WorksOnTinyGraph) {
+  GraphBuilder b;
+  b.AddVertex(0, {});
+  b.AddVertex(0, {});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const AttributedGraph g = b.Build().value();
+  Rng rng(26);
+  auto extracted = ExtractQuery(g, 1, rng);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted->query.NumVertices(), 2u);
+}
+
+}  // namespace
+}  // namespace ppsm

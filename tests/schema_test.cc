@@ -1,0 +1,106 @@
+#include "graph/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsm {
+namespace {
+
+Schema MakeSmallSchema() {
+  Schema schema;
+  const auto person = schema.AddType("Person").value();
+  const auto city = schema.AddType("City").value();
+  const auto age = schema.AddAttribute(person, "age").value();
+  const auto job = schema.AddAttribute(person, "job").value();
+  const auto region = schema.AddAttribute(city, "region").value();
+  schema.AddLabel(age, "young").value();
+  schema.AddLabel(age, "old").value();
+  schema.AddLabel(job, "engineer").value();
+  schema.AddLabel(region, "north").value();
+  return schema;
+}
+
+TEST(Schema, CountsAndNames) {
+  const Schema schema = MakeSmallSchema();
+  EXPECT_EQ(schema.NumTypes(), 2u);
+  EXPECT_EQ(schema.NumAttributes(), 3u);
+  EXPECT_EQ(schema.NumLabels(), 4u);
+  EXPECT_EQ(schema.TypeName(0), "Person");
+  EXPECT_EQ(schema.AttributeName(1), "job");
+  EXPECT_EQ(schema.LabelName(3), "north");
+}
+
+TEST(Schema, OwnershipChains) {
+  const Schema schema = MakeSmallSchema();
+  EXPECT_EQ(schema.TypeOfAttribute(0), 0u);
+  EXPECT_EQ(schema.TypeOfAttribute(2), 1u);
+  EXPECT_EQ(schema.AttributeOfLabel(0), 0u);
+  EXPECT_EQ(schema.AttributeOfLabel(2), 1u);
+  EXPECT_EQ(schema.TypeOfLabel(2), 0u);
+  EXPECT_EQ(schema.TypeOfLabel(3), 1u);
+}
+
+TEST(Schema, GroupedAccessors) {
+  const Schema schema = MakeSmallSchema();
+  EXPECT_EQ(schema.AttributesOfType(0), (std::vector<AttributeId>{0, 1}));
+  EXPECT_EQ(schema.AttributesOfType(1), (std::vector<AttributeId>{2}));
+  EXPECT_EQ(schema.LabelsOfAttribute(0), (std::vector<LabelId>{0, 1}));
+  EXPECT_EQ(schema.LabelsOfAttribute(2), (std::vector<LabelId>{3}));
+}
+
+TEST(Schema, FindByName) {
+  const Schema schema = MakeSmallSchema();
+  EXPECT_EQ(schema.FindType("City"), 1u);
+  EXPECT_EQ(schema.FindType("Galaxy"), kInvalidType);
+  EXPECT_EQ(schema.FindAttribute(0, "job"), 1u);
+  EXPECT_EQ(schema.FindAttribute(1, "job"), kInvalidAttribute);
+  EXPECT_EQ(schema.FindLabel(0, "old"), 1u);
+  EXPECT_EQ(schema.FindLabel(0, "ancient"), kInvalidLabel);
+}
+
+TEST(Schema, DuplicateTypeRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddType("T").ok());
+  const auto dup = schema.AddType("T");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Schema, DuplicateAttributeOnlyWithinType) {
+  Schema schema;
+  const auto a = schema.AddType("A").value();
+  const auto b = schema.AddType("B").value();
+  ASSERT_TRUE(schema.AddAttribute(a, "x").ok());
+  EXPECT_FALSE(schema.AddAttribute(a, "x").ok());
+  EXPECT_TRUE(schema.AddAttribute(b, "x").ok());  // Different type is fine.
+}
+
+TEST(Schema, DuplicateLabelOnlyWithinAttribute) {
+  Schema schema;
+  const auto t = schema.AddType("T").value();
+  const auto a1 = schema.AddAttribute(t, "a1").value();
+  const auto a2 = schema.AddAttribute(t, "a2").value();
+  ASSERT_TRUE(schema.AddLabel(a1, "v").ok());
+  EXPECT_FALSE(schema.AddLabel(a1, "v").ok());
+  EXPECT_TRUE(schema.AddLabel(a2, "v").ok());
+}
+
+TEST(Schema, InvalidParentsRejected) {
+  Schema schema;
+  EXPECT_EQ(schema.AddAttribute(0, "a").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.AddLabel(0, "l").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Schema, ValidityPredicates) {
+  const Schema schema = MakeSmallSchema();
+  EXPECT_TRUE(schema.IsValidType(1));
+  EXPECT_FALSE(schema.IsValidType(2));
+  EXPECT_TRUE(schema.IsValidAttribute(2));
+  EXPECT_FALSE(schema.IsValidAttribute(3));
+  EXPECT_TRUE(schema.IsValidLabel(3));
+  EXPECT_FALSE(schema.IsValidLabel(4));
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,74 @@
+// Randomized soak: the strongest end-to-end property — pipeline output
+// equals ground truth R(Q,G) — across randomly drawn graph shapes, privacy
+// parameters and methods. Every trial uses fresh topology, vocabulary,
+// k, theta, query sizes and a different method.
+
+#include <gtest/gtest.h>
+
+#include "core/ppsm_system.h"
+#include "graph/generators.h"
+#include "graph/query_extractor.h"
+#include "match/subgraph_matcher.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+class RandomizedSoak : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedSoak, PipelineEqualsGroundTruth) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  DatasetConfig dataset;
+  dataset.name = "soak";
+  dataset.num_vertices = 150 + rng.Below(500);
+  dataset.edges_per_vertex = 2 + rng.Below(3);
+  dataset.extra_edge_fraction = rng.NextDouble() * 0.2;
+  dataset.num_types = 1 + rng.Below(8);
+  dataset.attributes_per_type = 1 + rng.Below(3);
+  dataset.labels_per_attribute = 4 + rng.Below(20);
+  dataset.type_zipf_skew = rng.NextDouble();
+  dataset.label_zipf_skew = 0.5 + rng.NextDouble();
+  dataset.multi_label_probability = rng.NextDouble() * 0.3;
+  dataset.seed = seed * 31 + 7;
+  auto graph = GenerateDataset(dataset);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+
+  SystemConfig config;
+  config.k = 2 + static_cast<uint32_t>(rng.Below(5));
+  config.theta = 1 + rng.Below(3);
+  config.seed = seed;
+  const Method methods[] = {Method::kEff, Method::kRan, Method::kFsim,
+                            Method::kBas};
+  config.method = methods[rng.Below(4)];
+  auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+  ASSERT_TRUE(system.ok()) << system.status() << " k=" << config.k;
+
+  for (int q = 0; q < 4; ++q) {
+    const size_t query_edges = 1 + rng.Below(7);
+    auto extracted = ExtractQuery(*graph, query_edges, rng);
+    ASSERT_TRUE(extracted.ok()) << extracted.status();
+
+    auto outcome = system->Query(extracted->query);
+    if (!outcome.ok() &&
+        outcome.status().code() == StatusCode::kResourceExhausted) {
+      continue;  // Row-cap guard: legal refusal, nothing to compare.
+    }
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+    const MatchSet truth = FindSubgraphMatches(extracted->query, *graph);
+    EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, truth))
+        << "seed=" << seed << " method=" << MethodName(config.method)
+        << " k=" << config.k << " theta=" << config.theta
+        << " |E(Q)|=" << query_edges << " got "
+        << outcome->results.NumMatches() << " want " << truth.NumMatches();
+    EXPECT_GE(truth.NumMatches(), 1u);  // The planted match exists.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSoak,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,92 @@
+// End-to-end exactness: the privacy-preserving pipeline must return exactly
+// R(Q,G) — the paper's core correctness claim (Theorems 1 and 3 plus
+// Algorithm 3) — for every method, k, and θ.
+
+#include <gtest/gtest.h>
+
+#include "core/ppsm_system.h"
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/query_extractor.h"
+#include "match/subgraph_matcher.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+TEST(SystemRunningExample, EffReturnsTheTwoPaperMatches) {
+  RunningExample ex = MakeRunningExample();
+
+  SystemConfig config;
+  config.method = Method::kEff;
+  config.k = 2;
+  config.theta = 2;
+  auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
+  ASSERT_TRUE(system.ok()) << system.status();
+
+  const MatchSet expected = FindSubgraphMatches(ex.query, ex.graph);
+  EXPECT_EQ(expected.NumMatches(), 2u);  // The paper's Figure 1 claim.
+
+  auto outcome = system->Query(ex.query);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, expected));
+}
+
+struct MethodK {
+  Method method;
+  uint32_t k;
+};
+
+class SystemExactness : public ::testing::TestWithParam<MethodK> {};
+
+TEST_P(SystemExactness, MatchesGroundTruthOnRandomQueries) {
+  const auto [method, k] = GetParam();
+
+  DatasetConfig dataset = DbpediaLike(0.02);  // ~960 vertices.
+  dataset.seed = 77;
+  auto graph = GenerateDataset(dataset);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  const auto schema = BuildSchemaFor(dataset);
+
+  SystemConfig config;
+  config.method = method;
+  config.k = k;
+  config.theta = 2;
+  config.seed = 5;
+  auto system = PpsmSystem::Setup(*graph, schema, config);
+  ASSERT_TRUE(system.ok()) << system.status();
+
+  Rng rng(4242);
+  for (const size_t query_edges : {2u, 4u, 6u}) {
+    for (int i = 0; i < 3; ++i) {
+      auto extracted = ExtractQuery(*graph, query_edges, rng);
+      ASSERT_TRUE(extracted.ok()) << extracted.status();
+      const AttributedGraph& query = extracted->query;
+
+      const MatchSet expected = FindSubgraphMatches(query, *graph);
+      ASSERT_GE(expected.NumMatches(), 1u);  // The planted match at least.
+
+      auto outcome = system->Query(query);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, expected))
+          << MethodName(method) << " k=" << k << " |E(Q)|=" << query_edges
+          << " got " << outcome->results.NumMatches() << " expected "
+          << expected.NumMatches();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAllK, SystemExactness,
+    ::testing::Values(MethodK{Method::kEff, 2}, MethodK{Method::kEff, 3},
+                      MethodK{Method::kEff, 5}, MethodK{Method::kRan, 2},
+                      MethodK{Method::kRan, 4}, MethodK{Method::kFsim, 3},
+                      MethodK{Method::kFsim, 5}, MethodK{Method::kBas, 2},
+                      MethodK{Method::kBas, 3}, MethodK{Method::kBas, 4}),
+    [](const ::testing::TestParamInfo<MethodK>& info) {
+      return std::string(MethodName(info.param.method)) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace ppsm

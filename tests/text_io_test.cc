@@ -1,0 +1,163 @@
+#include "graph/text_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/example_graphs.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/serialize.h"
+
+namespace ppsm {
+namespace {
+
+TEST(TextIo, RoundTripsRunningExample) {
+  const RunningExample ex = MakeRunningExample();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphText(ex.graph, out).ok());
+  std::istringstream in(out.str());
+  auto restored = ReadGraphText(in);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->NumVertices(), ex.graph.NumVertices());
+  EXPECT_EQ(restored->NumEdges(), ex.graph.NumEdges());
+  // Schema names survive (including names with spaces).
+  EXPECT_EQ(restored->schema()->FindType("Individual"), 0u);
+  const AttributeId ct = restored->schema()->FindAttribute(
+      restored->schema()->FindType("Company"), "COMPANY TYPE");
+  EXPECT_NE(ct, kInvalidAttribute);
+  EXPECT_NE(restored->schema()->FindLabel(ct, "Internet"), kInvalidLabel);
+  // Structure is bit-identical through the binary serializer.
+  EXPECT_EQ(SerializeGraph(*restored), SerializeGraph(ex.graph));
+}
+
+TEST(TextIo, RoundTripsGeneratedDataset) {
+  const auto g = GenerateDataset(DbpediaLike(0.005));
+  ASSERT_TRUE(g.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphText(*g, out).ok());
+  std::istringstream in(out.str());
+  auto restored = ReadGraphText(in);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(SerializeGraph(*restored), SerializeGraph(*g));
+}
+
+TEST(TextIo, RejectsSchemalessGraphs) {
+  GraphBuilder b;
+  b.AddVertex(0, {});
+  const AttributedGraph g = b.Build().value();
+  std::ostringstream out;
+  EXPECT_EQ(WriteGraphText(g, out).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TextIo, ReadRejectsMalformedInput) {
+  const char* cases[] = {
+      "",                                  // No header.
+      "not-a-header\n",                    // Bad header.
+      "ppsm-graph 1\nX nonsense\n",        // Unknown directive.
+      "ppsm-graph 1\nT t\nA 5 attr\n",     // Attribute for unknown type.
+      "ppsm-graph 1\nT t\nV 0\nE 0 3\n",   // Edge endpoint out of range.
+      "ppsm-graph 1\nT t\nV abc\n",        // Non-numeric vertex type.
+      "ppsm-graph 1\nT t\nV 0\nV 0\nE 0 1\nE 0 1\n",  // Duplicate edge.
+  };
+  for (const char* text : cases) {
+    std::istringstream in(text);
+    EXPECT_FALSE(ReadGraphText(in).ok()) << text;
+  }
+}
+
+TEST(TextIo, ReadSkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# comment\nppsm-graph 1\n\nT thing\n# another\nV 0\nV 0\nE 0 1\n");
+  auto g = ReadGraphText(in);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumVertices(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(EdgeList, ParsesSnapStyleInput) {
+  std::istringstream in(
+      "# Directed graph: web-NotreDame-ish\n"
+      "% matrix-market comment too\n"
+      "0 1\n"
+      "1 2\n"
+      "2 0\n"
+      "2 0\n"   // Duplicate: dropped.
+      "3 3\n"   // Self-loop: dropped.
+      "10 2\n"  // Sparse ids get compacted.
+  );
+  auto g = ReadEdgeList(in);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumVertices(), 5u);  // 0,1,2,3,10 -> five distinct ids.
+  EXPECT_EQ(g->NumEdges(), 4u);
+  EXPECT_TRUE(g->schema() != nullptr);
+}
+
+TEST(EdgeList, RejectsGarbageLines) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_FALSE(ReadEdgeList(in).ok());
+}
+
+TEST(EdgeList, FileNotFound) {
+  EXPECT_EQ(ReadEdgeListFile("/definitely/not/here.txt").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ReadGraphTextFile("/definitely/not/here.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AttachSyntheticAttributes, DecoratesTopology) {
+  std::istringstream in("0 1\n1 2\n2 3\n3 0\n0 2\n");
+  auto topology = ReadEdgeList(in);
+  ASSERT_TRUE(topology.ok());
+
+  DatasetConfig vocab;
+  vocab.num_types = 3;
+  vocab.attributes_per_type = 2;
+  vocab.labels_per_attribute = 4;
+  auto attributed = AttachSyntheticAttributes(*topology, vocab, 5);
+  ASSERT_TRUE(attributed.ok()) << attributed.status();
+  EXPECT_EQ(attributed->NumVertices(), topology->NumVertices());
+  EXPECT_EQ(attributed->NumEdges(), topology->NumEdges());
+  // Same topology.
+  topology->ForEachEdge([&](VertexId u, VertexId v) {
+    EXPECT_TRUE(attributed->HasEdge(u, v));
+  });
+  // Every vertex got labels for each of its type's attributes.
+  for (VertexId v = 0; v < attributed->NumVertices(); ++v) {
+    EXPECT_GE(attributed->Labels(v).size(), 2u);
+  }
+}
+
+TEST(AttachSyntheticAttributes, DeterministicInSeed) {
+  const auto g = GenerateUniformRandomGraph(30, 60, 2, 9);
+  ASSERT_TRUE(g.ok());
+  DatasetConfig vocab;
+  auto a = AttachSyntheticAttributes(*g, vocab, 7);
+  auto b = AttachSyntheticAttributes(*g, vocab, 7);
+  auto c = AttachSyntheticAttributes(*g, vocab, 8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(SerializeGraph(*a), SerializeGraph(*b));
+  EXPECT_NE(SerializeGraph(*a), SerializeGraph(*c));
+}
+
+TEST(AttachSyntheticAttributes, RejectsEmptyVocabulary) {
+  const auto g = GenerateUniformRandomGraph(5, 4, 2, 9);
+  ASSERT_TRUE(g.ok());
+  DatasetConfig vocab;
+  vocab.num_types = 0;
+  EXPECT_FALSE(AttachSyntheticAttributes(*g, vocab, 1).ok());
+}
+
+TEST(TextIo, FileRoundTrip) {
+  const RunningExample ex = MakeRunningExample();
+  const std::string path = ::testing::TempDir() + "/ppsm_text_io_test.graph";
+  ASSERT_TRUE(WriteGraphTextFile(ex.graph, path).ok());
+  auto restored = ReadGraphTextFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(SerializeGraph(*restored), SerializeGraph(ex.graph));
+}
+
+}  // namespace
+}  // namespace ppsm

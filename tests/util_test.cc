@@ -1,0 +1,186 @@
+// Unit tests for the small utilities: PRNG, Zipf sampler, running stats,
+// table writer, hashing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/zipf.h"
+
+namespace ppsm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(1), b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(3);
+  for (const uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values hit.
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // Within 10% relative.
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfDistribution zipf(50, 1.0);
+  double total = 0.0;
+  for (uint64_t i = 0; i < 50; ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  const ZipfDistribution zipf(4, 0.0);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_NEAR(zipf.Pmf(i), 0.25, 1e-12);
+}
+
+TEST(Zipf, LowerRanksMoreLikely) {
+  const ZipfDistribution zipf(20, 1.2);
+  for (uint64_t i = 0; i + 1 < 20; ++i) {
+    EXPECT_GT(zipf.Pmf(i), zipf.Pmf(i + 1));
+  }
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  const ZipfDistribution zipf(8, 1.0);
+  Rng rng(9);
+  std::vector<int> counts(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, zipf.Pmf(i), 0.01);
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  const ZipfDistribution zipf(1, 1.5);
+  Rng rng(10);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(RunningStats, Percentiles) {
+  RunningStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Add(i);
+  EXPECT_NEAR(stats.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(stats.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(stats.Percentile(100), 100.0, 1e-9);
+}
+
+TEST(RunningStats, EmptyMeanIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.StdDev(), 0.0);
+}
+
+TEST(Table, RendersAlignedColumnsAndCsv) {
+  Table table("demo", {"name", "value"});
+  table.AddRowValues("alpha", 12);
+  table.AddRowValues("b", 3.5);
+  EXPECT_EQ(table.num_rows(), 2u);
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  const std::string csv = table.ToCsv();
+  EXPECT_EQ(csv, "name,value\nalpha,12\nb,3.5\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table table("t", {"a"});
+  table.AddRow({"x,y"});
+  table.AddRow({"say \"hi\""});
+  EXPECT_EQ(table.ToCsv(), "a\n\"x,y\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(Hash, EdgeKeyIsOrderInsensitive) {
+  EXPECT_EQ(UndirectedEdgeKey(3, 9), UndirectedEdgeKey(9, 3));
+  EXPECT_NE(UndirectedEdgeKey(3, 9), UndirectedEdgeKey(3, 8));
+}
+
+TEST(Hash, Mix64SpreadsSequentialKeys) {
+  std::set<uint64_t> low_bytes;
+  for (uint64_t i = 0; i < 256; ++i) low_bytes.insert(Mix64(i) & 0xff);
+  EXPECT_GT(low_bytes.size(), 150u);  // Far from the 1-value degenerate case.
+}
+
+}  // namespace
+}  // namespace ppsm

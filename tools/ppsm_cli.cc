@@ -1,0 +1,275 @@
+// ppsm_cli — command-line front end for the library.
+//
+//   ppsm_cli generate --preset nd|dbp|uk --scale 0.05 --out g.graph
+//   ppsm_cli attach   --edges edges.txt --out g.graph [--types N]
+//                     [--attrs N] [--labels N] [--seed S]
+//   ppsm_cli stats    --in g.graph
+//   ppsm_cli anonymize --in g.graph --k 4 [--theta 2]
+//                      [--strategy eff|ran|fsim] [--baseline]
+//                      [--upload-out pkg.bin]
+//   ppsm_cli query    --in g.graph --pattern q.pat --k 4
+//                     [--method eff|ran|fsim|bas] [--theta 2]
+//
+// `generate` writes a synthetic dataset in the ppsm text format; `attach`
+// turns a SNAP-style edge list into an attributed graph; `stats` summarizes
+// a graph; `anonymize` runs the offline pipeline and reports the paper's
+// setup metrics; `query` deploys an in-process cloud and answers a pattern
+// (see query/pattern_parser.h for the pattern syntax).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/ppsm_system.h"
+#include "graph/generators.h"
+#include "graph/graph_algos.h"
+#include "graph/text_io.h"
+#include "query/pattern_parser.h"
+#include "util/table.h"
+
+namespace ppsm::cli {
+namespace {
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        error_ = "expected a --flag, got '" + std::string(argv[i]) + "'";
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - start) % 2 != 0) {
+      error_ = "flag '" + std::string(argv[argc - 1]) + "' is missing a value";
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  bool Has(const std::string& key) const { return values_.contains(key); }
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    return Has(key) ? std::atof(Get(key).c_str()) : def;
+  }
+  long GetInt(const std::string& key, long def) const {
+    return Has(key) ? std::atol(Get(key).c_str()) : def;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+int Generate(const Args& args) {
+  const std::string preset = args.Get("preset", "dbp");
+  const double scale = args.GetDouble("scale", 0.05);
+  DatasetConfig config;
+  if (preset == "nd") {
+    config = NotreDameLike(scale);
+  } else if (preset == "dbp") {
+    config = DbpediaLike(scale);
+  } else if (preset == "uk") {
+    config = Uk2002Like(scale);
+  } else {
+    return Fail("unknown preset '" + preset + "' (want nd|dbp|uk)");
+  }
+  if (args.Has("seed")) config.seed = args.GetInt("seed", 0);
+  auto graph = GenerateDataset(config);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("--out is required");
+  const Status written = WriteGraphTextFile(*graph, out);
+  if (!written.ok()) return Fail(written.ToString());
+  std::cout << "wrote " << graph->NumVertices() << " vertices / "
+            << graph->NumEdges() << " edges (" << config.name << ") to "
+            << out << "\n";
+  return 0;
+}
+
+int Attach(const Args& args) {
+  const std::string edges = args.Get("edges");
+  if (edges.empty()) return Fail("--edges is required");
+  auto topology = ReadEdgeListFile(edges);
+  if (!topology.ok()) return Fail(topology.status().ToString());
+  DatasetConfig vocab;
+  vocab.num_types = static_cast<size_t>(args.GetInt("types", 4));
+  vocab.attributes_per_type = static_cast<size_t>(args.GetInt("attrs", 2));
+  vocab.labels_per_attribute =
+      static_cast<size_t>(args.GetInt("labels", 16));
+  auto graph = AttachSyntheticAttributes(
+      *topology, vocab, static_cast<uint64_t>(args.GetInt("seed", 42)));
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("--out is required");
+  const Status written = WriteGraphTextFile(*graph, out);
+  if (!written.ok()) return Fail(written.ToString());
+  std::cout << "attached attributes to " << graph->NumVertices()
+            << " vertices; wrote " << out << "\n";
+  return 0;
+}
+
+int Stats(const Args& args) {
+  const std::string in = args.Get("in");
+  if (in.empty()) return Fail("--in is required");
+  auto graph = ReadGraphTextFile(in);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  Table table("graph statistics: " + in, {"metric", "value"});
+  table.AddRowValues("vertices", graph->NumVertices());
+  table.AddRowValues("edges", graph->NumEdges());
+  table.AddRowValues("avg degree", Table::Num(graph->AverageDegree(), 2));
+  table.AddRowValues("max degree", graph->MaxDegree());
+  table.AddRowValues("connected components",
+                     NumConnectedComponents(*graph));
+  table.AddRowValues("vertex types", graph->schema()->NumTypes());
+  table.AddRowValues("attributes", graph->schema()->NumAttributes());
+  table.AddRowValues("labels", graph->schema()->NumLabels());
+  table.Print();
+  return 0;
+}
+
+Result<Method> ParseMethod(const std::string& name) {
+  if (name == "eff") return Method::kEff;
+  if (name == "ran") return Method::kRan;
+  if (name == "fsim") return Method::kFsim;
+  if (name == "bas") return Method::kBas;
+  return Status::InvalidArgument("unknown method '" + name +
+                                 "' (want eff|ran|fsim|bas)");
+}
+
+int Anonymize(const Args& args) {
+  const std::string in = args.Get("in");
+  if (in.empty()) return Fail("--in is required");
+  auto graph = ReadGraphTextFile(in);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+
+  SystemConfig config;
+  config.k = static_cast<uint32_t>(args.GetInt("k", 2));
+  config.theta = static_cast<size_t>(args.GetInt("theta", 2));
+  auto method = ParseMethod(args.Get("strategy", "eff"));
+  if (!method.ok()) return Fail(method.status().ToString());
+  config.method =
+      args.Has("baseline") ? Method::kBas : method.value();
+
+  auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+  if (!system.ok()) return Fail(system.status().ToString());
+  const SetupStats& stats = system->setup_stats();
+  Table table("anonymization report (k=" + std::to_string(config.k) +
+                  ", theta=" + std::to_string(config.theta) + ", " +
+                  MethodName(config.method) + ")",
+              {"metric", "value"});
+  table.AddRowValues("|V(Gk)|", stats.gk_vertices);
+  table.AddRowValues("|E(Gk)|", stats.gk_edges);
+  table.AddRowValues("noise vertices", stats.noise_vertices);
+  table.AddRowValues("noise edges", stats.noise_edges);
+  table.AddRowValues("|V(Go)| uploaded", stats.go_vertices);
+  table.AddRowValues("|E(Go)| uploaded", stats.go_edges);
+  table.AddRowValues("upload bytes", stats.upload_bytes);
+  table.AddRowValues("LCT build ms", Table::Num(stats.lct_ms, 2));
+  table.AddRowValues("k-automorphism ms", Table::Num(stats.kauto_ms, 2));
+  table.AddRowValues("total setup ms", Table::Num(stats.total_ms, 2));
+  table.Print();
+
+  const std::string upload_out = args.Get("upload-out");
+  if (!upload_out.empty()) {
+    std::ofstream out(upload_out, std::ios::binary);
+    if (!out) return Fail("cannot open '" + upload_out + "'");
+    const auto& bytes = system->owner().upload_bytes();
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::cout << "wrote upload package (" << bytes.size() << " bytes) to "
+              << upload_out << "\n";
+  }
+  return 0;
+}
+
+int Query(const Args& args) {
+  const std::string in = args.Get("in");
+  const std::string pattern_path = args.Get("pattern");
+  if (in.empty() || pattern_path.empty()) {
+    return Fail("--in and --pattern are required");
+  }
+  auto graph = ReadGraphTextFile(in);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+
+  std::ifstream pattern_file(pattern_path);
+  if (!pattern_file) return Fail("cannot open '" + pattern_path + "'");
+  std::string pattern_text((std::istreambuf_iterator<char>(pattern_file)),
+                           std::istreambuf_iterator<char>());
+  auto parsed = ParsePattern(pattern_text, *graph->schema());
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+
+  SystemConfig config;
+  config.k = static_cast<uint32_t>(args.GetInt("k", 2));
+  config.theta = static_cast<size_t>(args.GetInt("theta", 2));
+  auto method = ParseMethod(args.Get("method", "eff"));
+  if (!method.ok()) return Fail(method.status().ToString());
+  config.method = method.value();
+
+  auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+  if (!system.ok()) return Fail(system.status().ToString());
+  auto outcome = system->Query(parsed->query);
+  if (!outcome.ok()) return Fail(outcome.status().ToString());
+
+  std::cout << outcome->results.NumMatches() << " match(es):\n";
+  const size_t show = std::min<size_t>(outcome->results.NumMatches(), 20);
+  for (size_t r = 0; r < show; ++r) {
+    const auto row = outcome->results.Get(r);
+    std::cout << "  ";
+    for (size_t q = 0; q < row.size(); ++q) {
+      std::cout << parsed->variables[q] << "=" << row[q] << " ";
+    }
+    std::cout << "\n";
+  }
+  if (show < outcome->results.NumMatches()) {
+    std::cout << "  ... (" << outcome->results.NumMatches() - show
+              << " more)\n";
+  }
+  std::cout << "cloud " << Table::Num(outcome->cloud.total_ms, 3)
+            << "ms | network " << Table::Num(outcome->network_ms, 3)
+            << "ms | client " << Table::Num(outcome->client.total_ms, 3)
+            << "ms\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage: ppsm_cli <command> [--flag value ...]\n"
+      "  generate  --preset nd|dbp|uk --scale S --out FILE [--seed S]\n"
+      "  attach    --edges FILE --out FILE [--types N] [--attrs N]\n"
+      "            [--labels N] [--seed S]\n"
+      "  stats     --in FILE\n"
+      "  anonymize --in FILE --k K [--theta T] [--strategy eff|ran|fsim]\n"
+      "            [--baseline 1] [--upload-out FILE]\n"
+      "  query     --in FILE --pattern FILE --k K [--theta T]\n"
+      "            [--method eff|ran|fsim|bas]\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.error().empty()) return Fail(args.error());
+  if (command == "generate") return Generate(args);
+  if (command == "attach") return Attach(args);
+  if (command == "stats") return Stats(args);
+  if (command == "anonymize") return Anonymize(args);
+  if (command == "query") return Query(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ppsm::cli
+
+int main(int argc, char** argv) { return ppsm::cli::Main(argc, argv); }
