@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "graph/query_extractor.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 
 namespace ppsm::bench {
@@ -48,6 +50,20 @@ void Emit(const Table& table, const std::string& stem) {
     if (!table.WriteCsv(path)) {
       std::cerr << "warning: could not write " << path << "\n";
     }
+  }
+  if (std::getenv("PPSM_BENCH_NO_METRICS") == nullptr) {
+    DumpMetricsJson(stem);
+  }
+}
+
+void DumpMetricsJson(const std::string& stem) {
+  const std::string dir = OutDir();
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + stem + ".metrics.json";
+  const Status written =
+      WriteStringToFile(path, ExportMetricsJson(MetricsRegistry::Global()));
+  if (!written.ok()) {
+    std::cerr << "warning: " << written.ToString() << "\n";
   }
 }
 

@@ -32,8 +32,14 @@ size_t QueriesFromEnv(size_t def = 20);
 /// created if missing. Returns "" (and CSVs are skipped) on failure.
 std::string OutDir();
 
-/// Prints the table and, if OutDir() is usable, writes `<stem>.csv` there.
+/// Prints the table and, if OutDir() is usable, writes `<stem>.csv` there
+/// along with `<stem>.metrics.json` — the global MetricsRegistry as flat
+/// JSON, so perf PRs can diff where the cloud/network/client time went
+/// (set PPSM_BENCH_NO_METRICS=1 to skip the dump).
 void Emit(const Table& table, const std::string& stem);
+
+/// Writes the global registry to `<OutDir()>/<stem>.metrics.json`.
+void DumpMetricsJson(const std::string& stem);
 
 /// Averaged per-query measurements across a batch of random queries of one
 /// size, mirroring the paper's reporting (§6.3: 100 random queries,

@@ -1,6 +1,39 @@
 #include "cloud/channel.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ppsm {
+
+namespace {
+
+struct ChannelMetrics {
+  MetricsRegistry::Counter messages;
+  MetricsRegistry::Counter bytes;
+  MetricsRegistry::Histogram message_bytes;
+  MetricsRegistry::Histogram transfer_ms;
+
+  static const ChannelMetrics& Get() {
+    static const ChannelMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      ChannelMetrics metrics;
+      metrics.messages = r.counter("ppsm_network_messages_total",
+                                   "Messages over the simulated link");
+      metrics.bytes = r.counter("ppsm_network_bytes_total",
+                                "Payload bytes over the simulated link");
+      metrics.message_bytes =
+          r.histogram("ppsm_network_message_bytes", DefaultSizeBuckets(),
+                      "Per-message payload size");
+      metrics.transfer_ms =
+          r.histogram("ppsm_network_transfer_ms", DefaultLatencyBucketsMs(),
+                      "Per-message simulated transfer time");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 double SimulatedChannel::Transfer(size_t bytes,
                                   const std::string& description) {
@@ -9,13 +42,24 @@ double SimulatedChannel::Transfer(size_t bytes,
   const double millis = config_.latency_ms + seconds * 1e3;
   total_bytes_ += bytes;
   total_millis_ += millis;
-  log_.push_back(Record{description, bytes, millis});
+  ++num_messages_;
+  if (config_.max_log_records > 0) {
+    while (log_.size() >= config_.max_log_records) log_.pop_front();
+    log_.push_back(Record{description, bytes, millis});
+  }
+  const ChannelMetrics& metrics = ChannelMetrics::Get();
+  metrics.messages.Increment();
+  metrics.bytes.Increment(bytes);
+  metrics.message_bytes.Observe(static_cast<double>(bytes));
+  metrics.transfer_ms.Observe(millis);
+  Tracer::Global().Instant("channel.transfer: " + description, "network");
   return millis;
 }
 
 void SimulatedChannel::Reset() {
   total_bytes_ = 0;
   total_millis_ = 0.0;
+  num_messages_ = 0;
   log_.clear();
 }
 

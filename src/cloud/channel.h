@@ -2,8 +2,8 @@
 #define PPSM_CLOUD_CHANNEL_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 namespace ppsm {
 
@@ -15,6 +15,11 @@ namespace ppsm {
 struct ChannelConfig {
   double bandwidth_mbps = 100.0;  // Megabits per second.
   double latency_ms = 1.0;        // Per-message one-way latency.
+  /// Per-message records retained in log(). Totals (bytes/millis/messages)
+  /// stay exact past the cap; only the oldest records are evicted, so
+  /// million-query soak runs do not grow memory without bound. 0 disables
+  /// record keeping entirely.
+  size_t max_log_records = 4096;
 };
 
 /// Byte- and time-accounting channel. Not a transport: callers move the
@@ -31,14 +36,16 @@ class SimulatedChannel {
 
   size_t total_bytes() const { return total_bytes_; }
   double total_millis() const { return total_millis_; }
-  size_t num_messages() const { return log_.size(); }
+  /// Messages ever transferred — exact even after log eviction.
+  size_t num_messages() const { return num_messages_; }
 
   struct Record {
     std::string description;
     size_t bytes;
     double millis;
   };
-  const std::vector<Record>& log() const { return log_; }
+  /// The most recent messages (up to config.max_log_records), oldest first.
+  const std::deque<Record>& log() const { return log_; }
 
   void Reset();
 
@@ -46,7 +53,8 @@ class SimulatedChannel {
   ChannelConfig config_;
   size_t total_bytes_ = 0;
   double total_millis_ = 0.0;
-  std::vector<Record> log_;
+  size_t num_messages_ = 0;
+  std::deque<Record> log_;
 };
 
 }  // namespace ppsm

@@ -5,6 +5,8 @@
 #include "match/decomposition.h"
 #include "match/result_join.h"
 #include "match/star_matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -15,6 +17,62 @@ namespace {
 /// means the (anonymized) query is degenerate for exact answering; the cloud
 /// refuses with ResourceExhausted rather than exhausting memory.
 constexpr size_t kMaxRows = 2'000'000;
+
+/// Handles into the global registry, resolved once. CloudQueryStats stays
+/// the per-query view returned to callers; these accumulate across queries
+/// for export (DESIGN.md "Observability").
+struct CloudMetrics {
+  MetricsRegistry::Counter queries;
+  MetricsRegistry::Counter stars;
+  MetricsRegistry::Counter rs_rows;
+  MetricsRegistry::Counter result_rows;
+  MetricsRegistry::Histogram decomposition_ms;
+  MetricsRegistry::Histogram star_matching_ms;
+  MetricsRegistry::Histogram join_ms;
+  MetricsRegistry::Histogram query_ms;
+  MetricsRegistry::Histogram star_rows;
+  MetricsRegistry::Gauge index_memory_bytes;
+  MetricsRegistry::Gauge index_build_ms;
+  MetricsRegistry::Gauge hosted_edges;
+
+  static const CloudMetrics& Get() {
+    static const CloudMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      CloudMetrics metrics;
+      metrics.queries =
+          r.counter("ppsm_cloud_queries_total", "Queries answered");
+      metrics.stars = r.counter("ppsm_cloud_stars_total",
+                                "Stars across all decompositions");
+      metrics.rs_rows =
+          r.counter("ppsm_cloud_rs_rows_total", "Star matches |RS|");
+      metrics.result_rows =
+          r.counter("ppsm_cloud_result_rows_total", "Joined rows returned");
+      metrics.decomposition_ms =
+          r.histogram("ppsm_cloud_decomposition_ms", DefaultLatencyBucketsMs(),
+                      "Query decomposition time");
+      metrics.star_matching_ms =
+          r.histogram("ppsm_cloud_star_matching_ms", DefaultLatencyBucketsMs(),
+                      "Star matching phase time");
+      metrics.join_ms = r.histogram("ppsm_cloud_join_ms",
+                                    DefaultLatencyBucketsMs(),
+                                    "Result join time");
+      metrics.query_ms = r.histogram("ppsm_cloud_query_ms",
+                                     DefaultLatencyBucketsMs(),
+                                     "Cloud query evaluation time");
+      metrics.star_rows =
+          r.histogram("ppsm_cloud_star_match_rows", DefaultCountBuckets(),
+                      "Matches per star (recorded by the worker threads)");
+      metrics.index_memory_bytes = r.gauge("ppsm_cloud_index_memory_bytes",
+                                           "VBV/LBV index footprint");
+      metrics.index_build_ms =
+          r.gauge("ppsm_cloud_index_build_ms", "Offline index build time");
+      metrics.hosted_edges =
+          r.gauge("ppsm_cloud_hosted_edges", "|E| of the hosted graph");
+      return metrics;
+    }();
+    return m;
+  }
+};
 }  // namespace
 
 Result<CloudServer> CloudServer::Host(std::span<const uint8_t> package_bytes) {
@@ -65,9 +123,17 @@ Result<CloudServer> CloudServer::Host(UploadPackage package) {
   }
 
   WallTimer timer;
-  server.index_ =
-      CloudIndex::Build(server.data_, num_centers, num_types, num_groups);
+  {
+    PPSM_TRACE_SPAN_CAT("cloud.index_build", "setup");
+    server.index_ =
+        CloudIndex::Build(server.data_, num_centers, num_types, num_groups);
+  }
   server.index_build_ms_ = timer.ElapsedMillis();
+  const CloudMetrics& metrics = CloudMetrics::Get();
+  metrics.index_memory_bytes.Set(
+      static_cast<double>(server.index_.MemoryBytes()));
+  metrics.index_build_ms.Set(server.index_build_ms_);
+  metrics.hosted_edges.Set(static_cast<double>(server.data_.NumEdges()));
   return server;
 }
 
@@ -81,24 +147,38 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
 
   Answer answer;
   WallTimer total_timer;
+  PPSM_TRACE_SPAN_CAT("cloud.answer_query", "query");
+  const CloudMetrics& metrics = CloudMetrics::Get();
 
   // Phase 1: cost-model query decomposition (exact ILP), candidate-aware
   // so hub-rooted stars with astronomic match sets are avoided.
   WallTimer phase_timer;
+  Result<StarDecomposition> decomposition_or = [&] {
+    PPSM_TRACE_SPAN_CAT("cloud.decompose", "query");
+    return DecomposeQuery(qo, stats_, data_, index_);
+  }();
   PPSM_ASSIGN_OR_RETURN(const StarDecomposition decomposition,
-                        DecomposeQuery(qo, stats_, data_, index_));
+                        std::move(decomposition_or));
   answer.stats.decomposition_ms = phase_timer.ElapsedMillis();
   answer.stats.num_stars = decomposition.centers.size();
+  metrics.decomposition_ms.Observe(answer.stats.decomposition_ms);
+  metrics.stars.Increment(decomposition.centers.size());
 
   // Phase 2: star matching over the hosted graph (Algorithm 1), bounded by
   // the row cap so pathological queries fail with ResourceExhausted instead
   // of exhausting the machine.
   phase_timer.Restart();
   std::vector<StarMatches> stars(decomposition.centers.size());
-  ParallelFor(num_threads_, decomposition.centers.size(), [&](size_t i) {
-    stars[i] = MatchStar(data_, index_, qo, decomposition.centers[i],
-                         kMaxRows);
-  });
+  {
+    PPSM_TRACE_SPAN_CAT("cloud.star_match", "query");
+    ParallelFor(num_threads_, decomposition.centers.size(), [&](size_t i) {
+      PPSM_TRACE_SPAN_CAT("cloud.star_match.star", "query");
+      stars[i] = MatchStar(data_, index_, qo, decomposition.centers[i],
+                           kMaxRows);
+      metrics.star_rows.Observe(
+          static_cast<double>(stars[i].matches.NumMatches()));
+    });
+  }
   // Translate to Gk ids so the join can apply the automorphic functions.
   for (StarMatches& star : stars) {
     MatchSet translated(star.matches.arity());
@@ -112,18 +192,26 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
     answer.stats.rs_size += star.matches.NumMatches();
   }
   answer.stats.star_matching_ms = phase_timer.ElapsedMillis();
+  metrics.star_matching_ms.Observe(answer.stats.star_matching_ms);
+  metrics.rs_rows.Increment(answer.stats.rs_size);
 
   // Phase 3: result join (Algorithm 2) -> Rin (or R(Qo,Gk) for baseline).
   phase_timer.Restart();
-  PPSM_ASSIGN_OR_RETURN(
-      const MatchSet rin,
-      JoinStarMatches(stars, avt_, qo.NumVertices(), /*diagnostics=*/nullptr,
-                      kMaxRows));
+  Result<MatchSet> rin_or = [&] {
+    PPSM_TRACE_SPAN_CAT("cloud.join", "query");
+    return JoinStarMatches(stars, avt_, qo.NumVertices(),
+                           /*diagnostics=*/nullptr, kMaxRows);
+  }();
+  PPSM_ASSIGN_OR_RETURN(const MatchSet rin, std::move(rin_or));
   answer.stats.join_ms = phase_timer.ElapsedMillis();
+  metrics.join_ms.Observe(answer.stats.join_ms);
 
   answer.stats.result_rows = rin.NumMatches();
   answer.response_payload = rin.Serialize();
   answer.stats.total_ms = total_timer.ElapsedMillis();
+  metrics.result_rows.Increment(answer.stats.result_rows);
+  metrics.query_ms.Observe(answer.stats.total_ms);
+  metrics.queries.Increment();
   return answer;
 }
 

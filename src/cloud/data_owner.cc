@@ -2,9 +2,83 @@
 
 #include "kauto/outsourced_graph.h"
 #include "match/result_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace ppsm {
+
+namespace {
+
+/// Registry handles for the offline pipeline and the client post-process.
+/// SetupStats / ClientStats remain the per-call views; these accumulate for
+/// export (DESIGN.md "Observability").
+struct OwnerMetrics {
+  MetricsRegistry::Counter setups;
+  MetricsRegistry::Counter responses;
+  MetricsRegistry::Counter candidates;
+  MetricsRegistry::Counter results;
+  MetricsRegistry::Histogram lct_ms;
+  MetricsRegistry::Histogram anonymize_ms;
+  MetricsRegistry::Histogram kauto_ms;
+  MetricsRegistry::Histogram go_ms;
+  MetricsRegistry::Histogram setup_total_ms;
+  MetricsRegistry::Histogram expand_ms;
+  MetricsRegistry::Histogram filter_ms;
+  MetricsRegistry::Histogram client_total_ms;
+  MetricsRegistry::Gauge upload_bytes;
+  MetricsRegistry::Gauge noise_vertices;
+  MetricsRegistry::Gauge noise_edges;
+
+  static const OwnerMetrics& Get() {
+    static const OwnerMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      OwnerMetrics metrics;
+      metrics.setups =
+          r.counter("ppsm_setup_runs_total", "Offline pipeline executions");
+      metrics.responses = r.counter("ppsm_client_responses_total",
+                                    "Cloud responses post-processed");
+      metrics.candidates = r.counter("ppsm_client_candidates_total",
+                                     "|R(Qo,Gk)| rows examined (Alg. 3)");
+      metrics.results =
+          r.counter("ppsm_client_results_total", "Exact |R(Q,G)| rows kept");
+      metrics.lct_ms = r.histogram("ppsm_setup_lct_ms",
+                                   DefaultLatencyBucketsMs(),
+                                   "Label-combination search time");
+      metrics.anonymize_ms =
+          r.histogram("ppsm_setup_anonymize_ms", DefaultLatencyBucketsMs(),
+                      "G -> G' label rewrite time");
+      metrics.kauto_ms = r.histogram("ppsm_setup_kauto_ms",
+                                     DefaultLatencyBucketsMs(),
+                                     "k-automorphism construction time");
+      metrics.go_ms = r.histogram("ppsm_setup_go_ms",
+                                  DefaultLatencyBucketsMs(),
+                                  "Go extraction + upload packaging time");
+      metrics.setup_total_ms =
+          r.histogram("ppsm_setup_total_ms", DefaultLatencyBucketsMs(),
+                      "Offline pipeline end-to-end time");
+      metrics.expand_ms = r.histogram("ppsm_client_expand_ms",
+                                      DefaultLatencyBucketsMs(),
+                                      "Automorphic expansion time (Alg. 3)");
+      metrics.filter_ms =
+          r.histogram("ppsm_client_filter_ms", DefaultLatencyBucketsMs(),
+                      "False-positive elimination time (Alg. 3)");
+      metrics.client_total_ms =
+          r.histogram("ppsm_client_post_process_ms", DefaultLatencyBucketsMs(),
+                      "Client post-processing end-to-end time");
+      metrics.upload_bytes =
+          r.gauge("ppsm_setup_upload_bytes", "Serialized upload package size");
+      metrics.noise_vertices =
+          r.gauge("ppsm_setup_noise_vertices", "Noise vertices added to Gk");
+      metrics.noise_edges =
+          r.gauge("ppsm_setup_noise_edges", "Noise edges added to Gk");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<DataOwner> DataOwner::Create(AttributedGraph graph,
                                     std::shared_ptr<const Schema> schema,
@@ -21,26 +95,41 @@ Result<DataOwner> DataOwner::Create(AttributedGraph graph,
 
   WallTimer total_timer;
   WallTimer phase_timer;
+  PPSM_TRACE_SPAN_CAT("setup.data_owner", "setup");
+  const OwnerMetrics& metrics = OwnerMetrics::Get();
 
   // Label combination (§5.2) and LCT construction.
-  PPSM_ASSIGN_OR_RETURN(owner.lct_,
-                        BuildLct(options.strategy, *owner.schema_,
-                                 owner.graph_, options.grouping));
+  {
+    PPSM_TRACE_SPAN_CAT("setup.lct", "setup");
+    PPSM_ASSIGN_OR_RETURN(owner.lct_,
+                          BuildLct(options.strategy, *owner.schema_,
+                                   owner.graph_, options.grouping));
+  }
   owner.setup_stats_.lct_ms = phase_timer.ElapsedMillis();
+  metrics.lct_ms.Observe(owner.setup_stats_.lct_ms);
 
   // G -> G': rewrite labels to group ids (§3).
   phase_timer.Restart();
+  Result<AttributedGraph> generalized_or = [&] {
+    PPSM_TRACE_SPAN_CAT("setup.label_generalization", "setup");
+    return owner.lct_.AnonymizeGraph(owner.graph_);
+  }();
   PPSM_ASSIGN_OR_RETURN(const AttributedGraph generalized,
-                        owner.lct_.AnonymizeGraph(owner.graph_));
+                        std::move(generalized_or));
   owner.setup_stats_.anonymize_ms = phase_timer.ElapsedMillis();
+  metrics.anonymize_ms.Observe(owner.setup_stats_.anonymize_ms);
 
   // G' -> Gk (+AVT).
   phase_timer.Restart();
   KAutomorphismOptions kauto = options.kauto;
   kauto.k = options.k;
-  PPSM_ASSIGN_OR_RETURN(owner.kag_,
-                        BuildKAutomorphicGraph(generalized, kauto));
+  {
+    PPSM_TRACE_SPAN_CAT("setup.kauto", "setup");
+    PPSM_ASSIGN_OR_RETURN(owner.kag_,
+                          BuildKAutomorphicGraph(generalized, kauto));
+  }
   owner.setup_stats_.kauto_ms = phase_timer.ElapsedMillis();
+  metrics.kauto_ms.Observe(owner.setup_stats_.kauto_ms);
   owner.setup_stats_.gk_vertices = owner.kag_.gk.NumVertices();
   owner.setup_stats_.gk_edges = owner.kag_.gk.NumEdges();
   owner.setup_stats_.noise_vertices = owner.kag_.NumNoiseVertices();
@@ -48,9 +137,20 @@ Result<DataOwner> DataOwner::Create(AttributedGraph graph,
 
   // Upload package and client-side filter index.
   phase_timer.Restart();
-  PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex());
+  {
+    PPSM_TRACE_SPAN_CAT("setup.upload_build", "setup");
+    PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex());
+  }
   owner.setup_stats_.go_ms = phase_timer.ElapsedMillis();
   owner.setup_stats_.total_ms = total_timer.ElapsedMillis();
+  metrics.go_ms.Observe(owner.setup_stats_.go_ms);
+  metrics.setup_total_ms.Observe(owner.setup_stats_.total_ms);
+  metrics.upload_bytes.Set(
+      static_cast<double>(owner.setup_stats_.upload_bytes));
+  metrics.noise_vertices.Set(
+      static_cast<double>(owner.setup_stats_.noise_vertices));
+  metrics.noise_edges.Set(static_cast<double>(owner.setup_stats_.noise_edges));
+  metrics.setups.Increment();
   return owner;
 }
 
@@ -137,6 +237,7 @@ Result<MatchSet> DataOwner::ProcessResponse(
     const AttributedGraph& query, std::span<const uint8_t> response_payload,
     ClientStats* stats) const {
   WallTimer total_timer;
+  PPSM_TRACE_SPAN_CAT("client.process_response", "query");
   PPSM_ASSIGN_OR_RETURN(const MatchSet rin,
                         MatchSet::Deserialize(response_payload));
   if (rin.arity() != query.NumVertices()) {
@@ -147,13 +248,16 @@ Result<MatchSet> DataOwner::ProcessResponse(
   // Lines 1-5: R(Qo,Gk) = Rin ∪ F_1(Rin) ∪ ... ∪ F_{k-1}(Rin). The baseline
   // response is R(Qo,Gk) already.
   WallTimer phase_timer;
-  MatchSet candidates =
-      baseline_ ? rin : ExpandByAutomorphisms(rin, kag_.avt);
+  MatchSet candidates = [&] {
+    PPSM_TRACE_SPAN_CAT("client.expand", "query");
+    return baseline_ ? rin : ExpandByAutomorphisms(rin, kag_.avt);
+  }();
   const double expand_ms = phase_timer.ElapsedMillis();
 
   // Lines 6-23: drop matches with vertices/edges missing from G or labels
   // that do not satisfy the original query.
   phase_timer.Restart();
+  PPSM_TRACE_SPAN_CAT("client.filter", "query");
   MatchSet results(query.NumVertices());
   const size_t original_vertices = kag_.num_original_vertices;
   for (size_t r = 0; r < candidates.NumMatches(); ++r) {
@@ -183,12 +287,21 @@ Result<MatchSet> DataOwner::ProcessResponse(
   }
   results.SortDedup();
 
+  const double filter_ms = phase_timer.ElapsedMillis();
+  const double total_ms = total_timer.ElapsedMillis();
+  const OwnerMetrics& metrics = OwnerMetrics::Get();
+  metrics.expand_ms.Observe(expand_ms);
+  metrics.filter_ms.Observe(filter_ms);
+  metrics.client_total_ms.Observe(total_ms);
+  metrics.candidates.Increment(candidates.NumMatches());
+  metrics.results.Increment(results.NumMatches());
+  metrics.responses.Increment();
   if (stats != nullptr) {
     stats->expand_ms = expand_ms;
-    stats->filter_ms = phase_timer.ElapsedMillis();
+    stats->filter_ms = filter_ms;
     stats->candidates = candidates.NumMatches();
     stats->results = results.NumMatches();
-    stats->total_ms = total_timer.ElapsedMillis();
+    stats->total_ms = total_ms;
   }
   return results;
 }

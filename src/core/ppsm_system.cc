@@ -1,6 +1,48 @@
 #include "core/ppsm_system.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace ppsm {
+
+namespace {
+
+/// End-to-end metrics (the paper Fig. 22 decomposition: cloud + network +
+/// client). Cloud-internal and client-internal phases record their own
+/// metrics in cloud_server.cc / data_owner.cc.
+struct SystemMetrics {
+  MetricsRegistry::Counter queries;
+  MetricsRegistry::Histogram total_ms;
+  MetricsRegistry::Histogram network_ms;
+  MetricsRegistry::Histogram anonymize_ms;
+  MetricsRegistry::Gauge upload_ms;
+
+  static const SystemMetrics& Get() {
+    static const SystemMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      SystemMetrics metrics;
+      metrics.queries =
+          r.counter("ppsm_queries_total", "End-to-end queries answered");
+      metrics.total_ms =
+          r.histogram("ppsm_query_total_ms", DefaultLatencyBucketsMs(),
+                      "End-to-end query time (cloud + network + client)");
+      metrics.network_ms =
+          r.histogram("ppsm_query_network_ms", DefaultLatencyBucketsMs(),
+                      "Simulated request + response transfer per query");
+      metrics.anonymize_ms =
+          r.histogram("ppsm_query_anonymize_ms", DefaultLatencyBucketsMs(),
+                      "Q -> Qo anonymization + serialization time");
+      metrics.upload_ms =
+          r.gauge("ppsm_setup_upload_transfer_ms",
+                  "Simulated one-time upload transfer time");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* MethodName(Method method) {
   switch (method) {
@@ -40,6 +82,7 @@ Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
       break;
   }
 
+  PPSM_TRACE_SPAN_CAT("setup", "setup");
   PpsmSystem system;
   system.config_ = config;
   system.channel_ = SimulatedChannel(config.channel);
@@ -51,19 +94,31 @@ Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
 
   system.upload_ms_ = system.channel_.Transfer(
       system.owner_->upload_bytes().size(), "upload");
+  SystemMetrics::Get().upload_ms.Set(system.upload_ms_);
 
-  PPSM_ASSIGN_OR_RETURN(CloudServer cloud,
-                        CloudServer::Host(system.owner_->upload_bytes()));
-  system.cloud_ = std::make_unique<CloudServer>(std::move(cloud));
+  {
+    PPSM_TRACE_SPAN_CAT("setup.cloud_host", "setup");
+    PPSM_ASSIGN_OR_RETURN(CloudServer cloud,
+                          CloudServer::Host(system.owner_->upload_bytes()));
+    system.cloud_ = std::make_unique<CloudServer>(std::move(cloud));
+  }
   system.cloud_->SetNumThreads(config.cloud_threads);
   return system;
 }
 
 Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) {
   QueryOutcome outcome;
+  PPSM_TRACE_SPAN_CAT("query", "query");
+  const SystemMetrics& metrics = SystemMetrics::Get();
 
+  WallTimer anonymize_timer;
+  Result<std::vector<uint8_t>> request_or = [&] {
+    PPSM_TRACE_SPAN_CAT("query.anonymize", "query");
+    return owner_->AnonymizeQueryToRequest(query);
+  }();
   PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> request,
-                        owner_->AnonymizeQueryToRequest(query));
+                        std::move(request_or));
+  metrics.anonymize_ms.Observe(anonymize_timer.ElapsedMillis());
   outcome.request_bytes = request.size();
   outcome.network_ms += channel_.Transfer(request.size(), "query request");
 
@@ -80,6 +135,9 @@ Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) {
                               &outcome.client));
   outcome.total_ms =
       outcome.cloud.total_ms + outcome.network_ms + outcome.client.total_ms;
+  metrics.network_ms.Observe(outcome.network_ms);
+  metrics.total_ms.Observe(outcome.total_ms);
+  metrics.queries.Increment();
   return outcome;
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/hash.h"
 
 namespace ppsm {
@@ -78,8 +79,12 @@ Result<KAutomorphicGraph> BuildKAutomorphicGraph(
   // --- Step 1: partition into k blocks of size <= ceil(n/k). ---
   PartitionOptions popts = options.partition;
   popts.num_parts = k;
+  Result<Partitioning> partitioning_or = [&] {
+    PPSM_TRACE_SPAN_CAT("setup.kauto.partition", "setup");
+    return PartitionGraph(graph, popts);
+  }();
   PPSM_ASSIGN_OR_RETURN(const Partitioning partitioning,
-                        PartitionGraph(graph, popts));
+                        std::move(partitioning_or));
 
   const auto rows = static_cast<uint32_t>((n + k - 1) / k);
   const size_t total_vertices = static_cast<size_t>(rows) * k;
@@ -90,6 +95,7 @@ Result<KAutomorphicGraph> BuildKAutomorphicGraph(
   }
 
   // --- Step 2: order each block and pad with noise vertices. ---
+  PPSM_TRACE_SPAN_CAT("setup.kauto.align_and_copy", "setup");
   for (uint32_t b = 0; b < k; ++b) {
     switch (options.alignment) {
       case AlignmentOrder::kTypeDegree:

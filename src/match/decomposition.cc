@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ilp/cover_solver.h"
+#include "obs/trace.h"
 
 namespace ppsm {
 
@@ -18,7 +19,12 @@ Result<StarDecomposition> DecomposeWithCosts(const AttributedGraph& qo,
     if (qo.Degree(v) == 0) model.constraints.push_back({v});
   }
 
-  PPSM_ASSIGN_OR_RETURN(const CoverSolution solution, SolveCoverIlp(model));
+  Result<CoverSolution> solution_or = [&] {
+    PPSM_TRACE_SPAN_CAT("cloud.decompose.ilp", "query");
+    return SolveCoverIlp(model);
+  }();
+  PPSM_ASSIGN_OR_RETURN(const CoverSolution solution,
+                        std::move(solution_or));
 
   StarDecomposition decomposition;
   decomposition.ilp_nodes = solution.nodes_explored;

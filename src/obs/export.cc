@@ -1,0 +1,206 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ppsm {
+
+namespace {
+
+/// Shortest round-trip-safe JSON number for a double. %.17g always
+/// round-trips but prints noise like 0.10000000000000001, so try increasing
+/// precision until the value parses back exactly.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // Metrics never produce these.
+  char buffer[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+/// JSON string escaping for metric/span names (quotes, backslashes, control
+/// characters; everything else passes through).
+std::string JsonString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
+  out->append("{\"count\": ");
+  out->append(std::to_string(h.count));
+  out->append(", \"sum\": ");
+  out->append(JsonNumber(h.sum));
+  out->append(", \"mean\": ");
+  out->append(JsonNumber(h.count == 0 ? 0.0
+                                      : h.sum / static_cast<double>(h.count)));
+  out->append(", \"buckets\": [");
+  for (size_t b = 0; b < h.counts.size(); ++b) {
+    if (b > 0) out->append(", ");
+    out->append("{\"le\": ");
+    if (b < h.bounds.size()) {
+      out->append(JsonNumber(h.bounds[b]));
+    } else {
+      out->append("\"+Inf\"");
+    }
+    out->append(", \"count\": ");
+    out->append(std::to_string(h.counts[b]));
+    out->append("}");
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+std::string ExportMetricsJson(const MetricsRegistry& registry) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != MetricKind::kCounter) continue;
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n    ").append(JsonString(m.name)).append(": ");
+    out.append(std::to_string(static_cast<uint64_t>(m.value)));
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != MetricKind::kGauge) continue;
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n    ").append(JsonString(m.name)).append(": ");
+    out.append(JsonNumber(m.value));
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != MetricKind::kHistogram) continue;
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n    ").append(JsonString(m.name)).append(": ");
+    AppendHistogramJson(m.histogram, &out);
+  }
+  out.append(first ? "}\n" : "\n  }\n");
+  out.append("}\n");
+  return out;
+}
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  const std::vector<TraceEvent> events = tracer.Events();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n  {\"name\": ").append(JsonString(event.name));
+    out.append(", \"cat\": ")
+        .append(JsonString(event.category.empty() ? "ppsm" : event.category));
+    out.append(", \"ph\": ").append(event.instant ? "\"i\"" : "\"X\"");
+    out.append(", \"ts\": ").append(JsonNumber(event.ts_us));
+    if (!event.instant) {
+      out.append(", \"dur\": ").append(JsonNumber(event.dur_us));
+    } else {
+      out.append(", \"s\": \"t\"");  // Instant scope: thread.
+    }
+    out.append(", \"pid\": 1, \"tid\": ");
+    out.append(std::to_string(event.thread_id));
+    out.append(", \"args\": {\"depth\": ");
+    out.append(std::to_string(event.depth));
+    out.append("}}");
+  }
+  out.append(first ? "]}\n" : "\n]}\n");
+  return out;
+}
+
+std::string ExportPrometheusText(const MetricsRegistry& registry) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  std::string out;
+  for (const MetricSnapshot& m : snapshot) {
+    if (!m.help.empty()) {
+      out.append("# HELP ").append(m.name).append(" ").append(m.help);
+      out.append("\n");
+    }
+    out.append("# TYPE ").append(m.name).append(" ");
+    out.append(MetricKindName(m.kind)).append("\n");
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out.append(m.name).append(" ");
+        out.append(std::to_string(static_cast<uint64_t>(m.value)));
+        out.append("\n");
+        break;
+      case MetricKind::kGauge:
+        out.append(m.name).append(" ").append(JsonNumber(m.value));
+        out.append("\n");
+        break;
+      case MetricKind::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < m.histogram.counts.size(); ++b) {
+          cumulative += m.histogram.counts[b];
+          out.append(m.name).append("_bucket{le=\"");
+          if (b < m.histogram.bounds.size()) {
+            out.append(JsonNumber(m.histogram.bounds[b]));
+          } else {
+            out.append("+Inf");
+          }
+          out.append("\"} ").append(std::to_string(cumulative)).append("\n");
+        }
+        out.append(m.name).append("_sum ");
+        out.append(JsonNumber(m.histogram.sum)).append("\n");
+        out.append(m.name).append("_count ");
+        out.append(std::to_string(m.histogram.count)).append("\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  file.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!file) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ppsm

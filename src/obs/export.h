@@ -1,0 +1,37 @@
+#ifndef PPSM_OBS_EXPORT_H_
+#define PPSM_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Flat JSON dump of every metric, grouped by kind:
+///   {"counters": {name: value, ...},
+///    "gauges": {name: value, ...},
+///    "histograms": {name: {"count": N, "sum": S, "mean": S/N,
+///                          "buckets": [{"le": bound, "count": n}, ...]}}}
+/// Bucket counts are per-bucket (not cumulative); the final bucket's "le"
+/// is the string "+Inf". Stable key order (registration order) so two runs
+/// diff cleanly.
+std::string ExportMetricsJson(const MetricsRegistry& registry);
+
+/// Chrome trace-event JSON (the {"traceEvents": [...]} wrapper), loadable
+/// in chrome://tracing and Perfetto. Spans are complete ("ph":"X") events;
+/// instants are "ph":"i". Timestamps/durations are microseconds.
+std::string ExportChromeTrace(const Tracer& tracer);
+
+/// Prometheus text exposition format (version 0.0.4): TYPE/HELP comments,
+/// `_bucket{le="..."}` cumulative histogram series plus `_sum` and `_count`.
+std::string ExportPrometheusText(const MetricsRegistry& registry);
+
+/// Writes `content` to `path` (truncating). Used by the CLI flags and the
+/// bench harness to land exports next to the CSVs.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace ppsm
+
+#endif  // PPSM_OBS_EXPORT_H_

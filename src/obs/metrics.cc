@@ -1,0 +1,292 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ppsm {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5,  1,    2.5,  5,   10,
+      25,   50,    100,  250, 500,  1000, 2500, 5000, 10000};
+  return kBuckets;
+}
+
+const std::vector<double>& DefaultSizeBuckets() {
+  static const std::vector<double> kBuckets = [] {
+    std::vector<double> bounds;
+    for (double b = 64.0; b <= 256.0 * 1024 * 1024; b *= 4.0) {
+      bounds.push_back(b);
+    }
+    return bounds;
+  }();
+  return kBuckets;
+}
+
+const std::vector<double>& DefaultCountBuckets() {
+  static const std::vector<double> kBuckets = [] {
+    std::vector<double> bounds;
+    for (double decade = 1.0; decade <= 1e7; decade *= 10.0) {
+      bounds.push_back(decade);
+      bounds.push_back(decade * 2.0);
+      bounds.push_back(decade * 5.0);
+    }
+    return bounds;
+  }();
+  return kBuckets;
+}
+
+struct MetricsRegistry::Def {
+  std::string name;
+  std::string help;
+  MetricKind kind;
+  std::vector<double> bounds;  // Histograms only.
+  size_t id;                   // Index into shard cell arrays.
+};
+
+namespace {
+
+/// One metric's slot inside one thread's shard. Only the owning thread
+/// writes; Snapshot/Reset read under the shard lock. Fields are relaxed
+/// atomics so the cross-thread read is race-free without slowing the writer.
+struct Cell {
+  std::atomic<uint64_t> count{0};  // Counter total / histogram sample count.
+  std::atomic<double> sum{0.0};    // Histogram sample sum.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // Histograms only.
+};
+
+}  // namespace
+
+/// One thread's private slice of a registry. `cells` is a deque so growth
+/// never relocates a cell another reference points at; growth happens under
+/// `mu` because a concurrent Snapshot may be iterating.
+struct MetricsRegistry::Shard {
+  mutable std::mutex mu;
+  std::deque<Cell> cells;
+
+  /// Owner-thread only: only the owner mutates `cells`, so the unlocked
+  /// size/buckets checks cannot race with anything but themselves.
+  Cell& EnsureCell(const Def& def) {
+    if (def.id >= cells.size()) {
+      std::lock_guard<std::mutex> lock(mu);
+      while (cells.size() <= def.id) cells.emplace_back();
+    }
+    Cell& cell = cells[def.id];
+    if (def.kind == MetricKind::kHistogram && cell.buckets == nullptr) {
+      // +1 for the implicit +Inf bucket. Published under the lock because a
+      // snapshot reader probes `buckets` concurrently.
+      auto buckets =
+          std::make_unique<std::atomic<uint64_t>[]>(def.bounds.size() + 1);
+      for (size_t i = 0; i <= def.bounds.size(); ++i) buckets[i] = 0;
+      std::lock_guard<std::mutex> lock(mu);
+      cell.buckets = std::move(buckets);
+    }
+    return cell;
+  }
+};
+
+namespace {
+
+std::atomic<uint64_t> g_next_registry_uid{1};
+
+/// Per-thread cache mapping registry uid -> that thread's shard. Linear scan
+/// is fine: a process holds a handful of registries (the global one plus
+/// test-local ones). Entries for destroyed registries are never matched
+/// again (uids are unique) and simply linger.
+struct TlsShardEntry {
+  uint64_t uid;
+  MetricsRegistry::Shard* shard;
+};
+thread_local std::vector<TlsShardEntry> tls_shards;
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static auto* registry = new MetricsRegistry();  // Leaked on purpose.
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() : uid_(g_next_registry_uid.fetch_add(1)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::ShardForThisThread() {
+  for (const TlsShardEntry& entry : tls_shards) {
+    if (entry.uid == uid_) return entry.shard;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  tls_shards.push_back({uid_, shard});
+  return shard;
+}
+
+const MetricsRegistry::Def* MetricsRegistry::GetOrCreate(
+    const std::string& name, MetricKind kind, std::vector<double> bounds,
+    const std::string& help) {
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    PPSM_CHECK(bounds[i - 1] < bounds[i])
+        << "histogram '" << name << "' bounds must be strictly increasing";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    const Def& existing = defs_[it->second];
+    PPSM_CHECK(existing.kind == kind)
+        << "metric '" << name << "' already registered as "
+        << MetricKindName(existing.kind);
+    return &existing;
+  }
+  const size_t id = defs_.size();
+  defs_.push_back(Def{name, help, kind, std::move(bounds), id});
+  by_name_.emplace(name, id);
+  if (kind == MetricKind::kGauge) {
+    while (gauges_.size() <= id) gauges_.emplace_back();
+  }
+  return &defs_.back();
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(const std::string& name,
+                                                  const std::string& help) {
+  return Counter(this, GetOrCreate(name, MetricKind::kCounter, {}, help));
+}
+
+MetricsRegistry::Gauge MetricsRegistry::gauge(const std::string& name,
+                                              const std::string& help) {
+  const Def* def = GetOrCreate(name, MetricKind::kGauge, {}, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  return Gauge(&gauges_[def->id]);
+}
+
+MetricsRegistry::Histogram MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> bounds,
+    const std::string& help) {
+  PPSM_CHECK(!bounds.empty()) << "histogram '" << name << "' needs buckets";
+  return Histogram(
+      this, GetOrCreate(name, MetricKind::kHistogram, std::move(bounds), help));
+}
+
+void MetricsRegistry::Counter::Increment(uint64_t delta) const {
+  if (registry_ == nullptr) return;
+  registry_->ShardForThisThread()->EnsureCell(*def_).count.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Gauge::Set(double value) const {
+  if (cell_ != nullptr) cell_->store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Gauge::Add(double delta) const {
+  if (cell_ != nullptr) cell_->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Histogram::Observe(double sample) const {
+  if (registry_ == nullptr || std::isnan(sample)) return;
+  Cell& cell = registry_->ShardForThisThread()->EnsureCell(*def_);
+  size_t bucket = def_->bounds.size();  // +Inf by default.
+  for (size_t i = 0; i < def_->bounds.size(); ++i) {
+    if (sample <= def_->bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  cell.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(sample, std::memory_order_relaxed);  // C++20.
+}
+
+void MetricsRegistry::MergeInto(const Def& def, MetricSnapshot* out) const {
+  out->name = def.name;
+  out->help = def.help;
+  out->kind = def.kind;
+  switch (def.kind) {
+    case MetricKind::kGauge:
+      out->value = gauges_[def.id].load(std::memory_order_relaxed);
+      return;
+    case MetricKind::kCounter: {
+      uint64_t total = 0;
+      for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        if (def.id < shard->cells.size()) {
+          total += shard->cells[def.id].count.load(std::memory_order_relaxed);
+        }
+      }
+      out->value = static_cast<double>(total);
+      return;
+    }
+    case MetricKind::kHistogram: {
+      HistogramSnapshot& h = out->histogram;
+      h.bounds = def.bounds;
+      h.counts.assign(def.bounds.size() + 1, 0);
+      for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        if (def.id >= shard->cells.size()) continue;
+        const Cell& cell = shard->cells[def.id];
+        h.count += cell.count.load(std::memory_order_relaxed);
+        h.sum += cell.sum.load(std::memory_order_relaxed);
+        if (cell.buckets != nullptr) {
+          for (size_t b = 0; b < h.counts.size(); ++b) {
+            h.counts[b] += cell.buckets[b].load(std::memory_order_relaxed);
+          }
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> result(defs_.size());
+  for (size_t id = 0; id < defs_.size(); ++id) {
+    MergeInto(defs_[id], &result[id]);
+  }
+  return result;
+}
+
+bool MetricsRegistry::Find(const std::string& name,
+                           MetricSnapshot* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return false;
+  MergeInto(defs_[it->second], out);
+  return true;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& gauge : gauges_) gauge.store(0.0, std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (size_t id = 0; id < shard->cells.size(); ++id) {
+      Cell& cell = shard->cells[id];
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum.store(0.0, std::memory_order_relaxed);
+      if (cell.buckets != nullptr && id < defs_.size()) {
+        for (size_t b = 0; b <= defs_[id].bounds.size(); ++b) {
+          cell.buckets[b].store(0, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return defs_.size();
+}
+
+}  // namespace ppsm

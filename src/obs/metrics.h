@@ -1,0 +1,149 @@
+#ifndef PPSM_OBS_METRICS_H_
+#define PPSM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ppsm {
+
+/// What a metric measures. Counters only go up (events, bytes); gauges hold
+/// the latest value (index memory, upload size); histograms bucket samples
+/// against fixed upper bounds (latencies, row counts).
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+/// Bucket upper bounds for millisecond latencies: 10us .. 10s, roughly a
+/// 1-2.5-5 decade ladder. The implicit +Inf bucket catches the rest.
+const std::vector<double>& DefaultLatencyBucketsMs();
+/// Bucket upper bounds for byte sizes: 64B .. 256MiB in powers of four.
+const std::vector<double>& DefaultSizeBuckets();
+/// Bucket upper bounds for row/result counts: 1 .. 50M, 1-2-5 ladder.
+const std::vector<double>& DefaultCountBuckets();
+
+/// Point-in-time view of one histogram. `counts[i]` is the number of samples
+/// in (bounds[i-1], bounds[i]]; the final entry (counts.size() ==
+/// bounds.size() + 1) is the +Inf overflow bucket. Counts are NOT cumulative;
+/// the Prometheus exporter accumulates them itself.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  uint64_t count = 0;
+};
+
+/// Point-in-time view of one metric, merged across all recording threads.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter total or gauge value; histograms use `histogram` instead.
+  double value = 0.0;
+  HistogramSnapshot histogram;
+};
+
+/// Process-wide metric store. Registration hands out cheap copyable handles;
+/// recording through a handle touches only the calling thread's shard (plus
+/// one registry lock the first time a given thread records into a given
+/// registry), so the parallel star-matching workers never contend with each
+/// other. Readers merge the shards under a lock — the slow path by design.
+///
+/// Names follow the Prometheus convention ([a-zA-Z_][a-zA-Z0-9_]*, unit
+/// suffixes like `_ms`, `_bytes`, `_total`). Registering an existing name
+/// with the same kind returns a handle to the existing metric; a kind
+/// mismatch aborts (a programming error, caught in tests).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the pipeline instrumentation records into.
+  /// Never destroyed (leaked on purpose) so shutdown order is a non-issue.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  struct Def;
+
+  class Counter {
+   public:
+    Counter() = default;
+    void Increment(uint64_t delta = 1) const;
+
+   private:
+    friend class MetricsRegistry;
+    Counter(MetricsRegistry* registry, const Def* def)
+        : registry_(registry), def_(def) {}
+    MetricsRegistry* registry_ = nullptr;
+    const Def* def_ = nullptr;
+  };
+
+  class Gauge {
+   public:
+    Gauge() = default;
+    void Set(double value) const;
+    void Add(double delta) const;
+
+   private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+    std::atomic<double>* cell_ = nullptr;
+  };
+
+  class Histogram {
+   public:
+    Histogram() = default;
+    /// Records one sample. NaN samples are dropped.
+    void Observe(double sample) const;
+
+   private:
+    friend class MetricsRegistry;
+    Histogram(MetricsRegistry* registry, const Def* def)
+        : registry_(registry), def_(def) {}
+    MetricsRegistry* registry_ = nullptr;
+    const Def* def_ = nullptr;
+  };
+
+  Counter counter(const std::string& name, const std::string& help = "");
+  Gauge gauge(const std::string& name, const std::string& help = "");
+  /// `bounds` must be non-empty and strictly increasing; the +Inf bucket is
+  /// implicit.
+  Histogram histogram(const std::string& name, std::vector<double> bounds,
+                      const std::string& help = "");
+
+  /// Merged view of every registered metric, in registration order.
+  std::vector<MetricSnapshot> Snapshot() const;
+  /// Snapshot of a single metric by name; false if never registered.
+  bool Find(const std::string& name, MetricSnapshot* out) const;
+
+  /// Zeroes every cell in every shard. Definitions (and handed-out handles)
+  /// stay valid. Meant for tests and bench warmup boundaries.
+  void Reset();
+
+  size_t NumMetrics() const;
+
+  struct Shard;
+
+ private:
+  Shard* ShardForThisThread();
+  void MergeInto(const Def& def, MetricSnapshot* out) const;
+  const Def* GetOrCreate(const std::string& name, MetricKind kind,
+                         std::vector<double> bounds, const std::string& help);
+
+  const uint64_t uid_;  // Distinguishes registry instances in thread caches.
+  mutable std::mutex mu_;
+  std::deque<Def> defs_;  // Deque: handles keep stable Def pointers.
+  std::unordered_map<std::string, size_t> by_name_;
+  std::deque<std::atomic<double>> gauges_;  // Central, not sharded.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_OBS_METRICS_H_

@@ -1,0 +1,126 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <utility>
+
+namespace ppsm {
+
+namespace {
+
+std::atomic<uint32_t> g_next_thread_id{0};
+thread_local uint32_t tls_thread_id = UINT32_MAX;
+thread_local uint32_t tls_span_depth = 0;
+
+}  // namespace
+
+uint32_t TraceThreadId() {
+  if (tls_thread_id == UINT32_MAX) {
+    tls_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
+Tracer& Tracer::Global() {
+  static auto* tracer = new Tracer();  // Leaked on purpose.
+  return *tracer;
+}
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  size_ = 0;
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    next_ = ring_.size() % capacity_;
+    size_ = ring_.size();
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::Instant(std::string name, std::string category) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.thread_id = TraceThreadId();
+  event.depth = tls_span_depth;
+  event.ts_us = MicrosSinceEpoch(std::chrono::steady_clock::now());
+  event.instant = true;
+  Record(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  if (ring_.size() < capacity_) {
+    events = ring_;  // Not yet wrapped: ring_ is already oldest-first.
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      events.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return events;
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+uint64_t Tracer::NumDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+TraceSpan::TraceSpan(Tracer& tracer, std::string name, std::string category) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  name_ = std::move(name);
+  category_ = std::move(category);
+  depth_ = tls_span_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  --tls_span_depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.thread_id = TraceThreadId();
+  event.depth = depth_;
+  event.ts_us = tracer_->MicrosSinceEpoch(start_);
+  event.dur_us = std::chrono::duration<double, std::micro>(end - start_).count();
+  tracer_->Record(std::move(event));
+}
+
+}  // namespace ppsm

@@ -1,12 +1,49 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cstring>
 
 namespace ppsm {
 
 namespace {
 
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+/// Parses PPSM_LOG_LEVEL (DEBUG/INFO/WARNING/ERROR, case-sensitive).
+/// Returns true and sets `*out` when the variable is present and valid.
+bool LogLevelFromEnv(LogLevel* out) {
+  const char* value = std::getenv("PPSM_LOG_LEVEL");
+  if (value == nullptr) return false;
+  if (std::strcmp(value, "DEBUG") == 0) {
+    *out = LogLevel::kDebug;
+  } else if (std::strcmp(value, "INFO") == 0) {
+    *out = LogLevel::kInfo;
+  } else if (std::strcmp(value, "WARNING") == 0 ||
+             std::strcmp(value, "WARN") == 0) {
+    *out = LogLevel::kWarning;
+  } else if (std::strcmp(value, "ERROR") == 0) {
+    *out = LogLevel::kError;
+  } else {
+    std::cerr << "[WARN] ignoring unrecognized PPSM_LOG_LEVEL='" << value
+              << "' (want DEBUG|INFO|WARNING|ERROR)" << std::endl;
+    return false;
+  }
+  return true;
+}
+
+/// Environment wins over programmatic SetLogLevel so a user can turn on
+/// DEBUG without recompiling even when a bench pins kWarning. Read exactly
+/// once, at first use.
+struct EnvLevel {
+  LogLevel level = LogLevel::kInfo;
+  bool pinned = false;
+  EnvLevel() { pinned = LogLevelFromEnv(&level); }
+};
+
+const EnvLevel& GetEnvLevel() {
+  static const EnvLevel env;
+  return env;
+}
+
+std::atomic<LogLevel> g_log_level{GetEnvLevel().level};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,7 +61,10 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+void SetLogLevel(LogLevel level) {
+  if (GetEnvLevel().pinned) return;  // PPSM_LOG_LEVEL takes precedence.
+  g_log_level.store(level);
+}
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
 namespace internal_logging {

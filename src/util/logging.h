@@ -14,6 +14,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are discarded. Defaults to
 /// kInfo. Benchmarks raise it to kWarning to keep table output clean.
+/// The PPSM_LOG_LEVEL environment variable (DEBUG|INFO|WARNING|ERROR, read
+/// once at first use) overrides both the default and any SetLogLevel call,
+/// so verbosity is controllable without recompiling.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

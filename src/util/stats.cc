@@ -9,6 +9,7 @@ namespace ppsm {
 void RunningStats::Add(double sample) {
   samples_.push_back(sample);
   sum_ += sample;
+  sorted_valid_ = false;
 }
 
 double RunningStats::min() const {
@@ -37,14 +38,17 @@ double RunningStats::StdDev() const {
 double RunningStats::Percentile(double p) const {
   assert(!samples_.empty());
   assert(p >= 0.0 && p <= 100.0);
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted[0];
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
 }  // namespace ppsm

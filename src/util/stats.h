@@ -20,13 +20,19 @@ class RunningStats {
   double Mean() const;
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   double StdDev() const;
-  /// Linear-interpolated percentile; `p` in [0, 100].
+  /// Linear-interpolated percentile; `p` in [0, 100]. The sorted order is
+  /// cached and invalidated by Add, so bench loops asking for p50/p95/p99
+  /// after every iteration pay one sort per Add, not one per percentile.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 
  private:
   std::vector<double> samples_;
   double sum_ = 0.0;
+  /// Percentile cache: `sorted_` mirrors `samples_` in ascending order and
+  /// is rebuilt lazily when `sorted_valid_` is false.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = true;  // Vacuously valid while empty.
 };
 
 }  // namespace ppsm

@@ -22,6 +22,17 @@ printf '(a:type0)\n(b:type1)\na -- b\n' > "$DIR/q.pat"
 "$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
     | grep -q "match(es):"
 
+# Observability exports (--flag=value form) alongside a query.
+"$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
+    --metrics-out="$DIR/m.json" --trace-out="$DIR/t.json" \
+    --metrics-prom="$DIR/m.prom" > /dev/null
+grep -q '"ppsm_cloud_star_matching_ms"' "$DIR/m.json" \
+    || { echo "metrics json missing star matching histogram"; exit 1; }
+grep -q '"traceEvents"' "$DIR/t.json" \
+    || { echo "trace json missing traceEvents"; exit 1; }
+grep -q 'ppsm_network_bytes_total' "$DIR/m.prom" \
+    || { echo "prometheus dump missing network bytes"; exit 1; }
+
 # Edge-list import path.
 printf '# comment\n0 1\n1 2\n2 0\n' > "$DIR/edges.txt"
 "$CLI" attach --edges "$DIR/edges.txt" --out "$DIR/attached.graph" \

@@ -1,0 +1,194 @@
+// MetricsRegistry semantics: counter/gauge/histogram behavior, merge-on-read
+// across thread-local shards, reset, and concurrent recording (the test the
+// TSan CI job gates on).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace ppsm {
+namespace {
+
+TEST(MetricsRegistry, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  auto counter = registry.counter("test_total");
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("test_total", &snap));
+  EXPECT_EQ(snap.kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap.value, 0.0);
+
+  counter.Increment();
+  counter.Increment(41);
+  ASSERT_TRUE(registry.Find("test_total", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, 42.0);
+}
+
+TEST(MetricsRegistry, ReRegistrationSharesTheMetric) {
+  MetricsRegistry registry;
+  auto a = registry.counter("shared_total");
+  auto b = registry.counter("shared_total");
+  a.Increment(2);
+  b.Increment(3);
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("shared_total", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, 5.0);
+  EXPECT_EQ(registry.NumMetrics(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  auto gauge = registry.gauge("test_bytes");
+  gauge.Set(100.0);
+  gauge.Add(-25.0);
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("test_bytes", &snap));
+  EXPECT_EQ(snap.kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snap.value, 75.0);
+  gauge.Set(7.0);  // Set overwrites, last writer wins.
+  ASSERT_TRUE(registry.Find("test_bytes", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, 7.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsSumAndCount) {
+  MetricsRegistry registry;
+  auto hist = registry.histogram("test_ms", {1.0, 2.0, 5.0});
+  hist.Observe(0.5);   // <= 1   -> bucket 0.
+  hist.Observe(1.0);   // <= 1   -> bucket 0 (upper bound inclusive).
+  hist.Observe(1.5);   // <= 2   -> bucket 1.
+  hist.Observe(4.0);   // <= 5   -> bucket 2.
+  hist.Observe(100.0); // +Inf   -> bucket 3.
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("test_ms", &snap));
+  EXPECT_EQ(snap.kind, MetricKind::kHistogram);
+  const HistogramSnapshot& h = snap.histogram;
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 107.0);
+}
+
+TEST(MetricsRegistry, HistogramDropsNaN) {
+  MetricsRegistry registry;
+  auto hist = registry.histogram("nan_ms", {1.0});
+  hist.Observe(std::numeric_limits<double>::quiet_NaN());
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("nan_ms", &snap));
+  EXPECT_EQ(snap.histogram.count, 0u);
+}
+
+TEST(MetricsRegistry, FindUnknownNameFails) {
+  MetricsRegistry registry;
+  MetricSnapshot snap;
+  EXPECT_FALSE(registry.Find("never_registered", &snap));
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsDefinitions) {
+  MetricsRegistry registry;
+  auto counter = registry.counter("reset_total");
+  auto gauge = registry.gauge("reset_gauge");
+  auto hist = registry.histogram("reset_ms", {1.0});
+  counter.Increment(9);
+  gauge.Set(3.0);
+  hist.Observe(0.5);
+  registry.Reset();
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("reset_total", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, 0.0);
+  ASSERT_TRUE(registry.Find("reset_gauge", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, 0.0);
+  ASSERT_TRUE(registry.Find("reset_ms", &snap));
+  EXPECT_EQ(snap.histogram.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.histogram.sum, 0.0);
+  // Handles stay live after Reset.
+  counter.Increment();
+  ASSERT_TRUE(registry.Find("reset_total", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, 1.0);
+}
+
+TEST(MetricsRegistry, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.counter("first");
+  registry.gauge("second");
+  registry.histogram("third", {1.0});
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "first");
+  EXPECT_EQ(snapshot[1].name, "second");
+  EXPECT_EQ(snapshot[2].name, "third");
+}
+
+TEST(MetricsRegistry, MergesShardsAcrossExplicitThreads) {
+  MetricsRegistry registry;
+  auto counter = registry.counter("threads_total");
+  auto hist = registry.histogram("threads_ms", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        hist.Observe(static_cast<double>(t));  // All land in bucket 0.
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("threads_total", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, kThreads * kPerThread);
+  ASSERT_TRUE(registry.Find("threads_ms", &snap));
+  EXPECT_EQ(snap.histogram.count,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.histogram.counts[0],
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingWithSnapshots) {
+  // Snapshot while writers are live: totals read afterwards must be exact,
+  // and TSan must stay quiet. This mirrors the parallel star matcher
+  // recording while an exporter reads.
+  MetricsRegistry registry;
+  auto counter = registry.counter("live_total");
+  auto hist = registry.histogram("live_ms", DefaultLatencyBucketsMs());
+  constexpr size_t kItems = 2000;
+  ParallelFor(8, kItems, [&](size_t i) {
+    counter.Increment();
+    hist.Observe(static_cast<double>(i % 50));
+    if (i % 64 == 0) {
+      MetricSnapshot snap;
+      ASSERT_TRUE(registry.Find("live_total", &snap));
+      EXPECT_GE(snap.value, 0.0);
+    }
+  });
+  MetricSnapshot snap;
+  ASSERT_TRUE(registry.Find("live_total", &snap));
+  EXPECT_DOUBLE_EQ(snap.value, static_cast<double>(kItems));
+  ASSERT_TRUE(registry.Find("live_ms", &snap));
+  EXPECT_EQ(snap.histogram.count, kItems);
+  uint64_t bucket_total = 0;
+  for (const uint64_t c : snap.histogram.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, kItems);
+}
+
+TEST(MetricsRegistry, DefaultBucketLaddersAreStrictlyIncreasing) {
+  for (const auto* buckets :
+       {&DefaultLatencyBucketsMs(), &DefaultSizeBuckets(),
+        &DefaultCountBuckets()}) {
+    ASSERT_FALSE(buckets->empty());
+    for (size_t i = 1; i < buckets->size(); ++i) {
+      EXPECT_LT((*buckets)[i - 1], (*buckets)[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,155 @@
+// Golden-output tests for the three exporters (flat JSON, Chrome trace
+// events, Prometheus text) plus WriteStringToFile. Inputs use a local
+// registry/tracer with fixed bounds and hand-stamped events so the expected
+// strings are exact.
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppsm {
+namespace {
+
+// MetricsRegistry is neither copyable nor movable, so populate in place.
+void Populate(MetricsRegistry& registry) {
+  auto counter = registry.counter("ppsm_test_total", "events seen");
+  auto gauge = registry.gauge("ppsm_test_bytes");
+  auto hist = registry.histogram("ppsm_test_ms", {1.0, 2.0, 5.0}, "latency");
+  counter.Increment(7);
+  gauge.Set(2.5);
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(1.5);
+  hist.Observe(10.0);
+}
+
+TEST(ExportMetricsJson, GoldenOutput) {
+  MetricsRegistry registry;
+  Populate(registry);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"ppsm_test_total\": 7\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"ppsm_test_bytes\": 2.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"ppsm_test_ms\": {\"count\": 4, \"sum\": 13.5, \"mean\": 3.375, "
+      "\"buckets\": [{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 2}, "
+      "{\"le\": 5, \"count\": 0}, {\"le\": \"+Inf\", \"count\": 1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(ExportMetricsJson(registry), expected);
+}
+
+TEST(ExportMetricsJson, EmptyRegistry) {
+  MetricsRegistry registry;
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {},\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {}\n"
+      "}\n";
+  EXPECT_EQ(ExportMetricsJson(registry), expected);
+}
+
+TEST(ExportPrometheusText, GoldenOutput) {
+  MetricsRegistry registry;
+  Populate(registry);
+  const std::string expected =
+      "# HELP ppsm_test_total events seen\n"
+      "# TYPE ppsm_test_total counter\n"
+      "ppsm_test_total 7\n"
+      "# TYPE ppsm_test_bytes gauge\n"
+      "ppsm_test_bytes 2.5\n"
+      "# HELP ppsm_test_ms latency\n"
+      "# TYPE ppsm_test_ms histogram\n"
+      "ppsm_test_ms_bucket{le=\"1\"} 1\n"
+      "ppsm_test_ms_bucket{le=\"2\"} 3\n"
+      "ppsm_test_ms_bucket{le=\"5\"} 3\n"
+      "ppsm_test_ms_bucket{le=\"+Inf\"} 4\n"
+      "ppsm_test_ms_sum 13.5\n"
+      "ppsm_test_ms_count 4\n";
+  EXPECT_EQ(ExportPrometheusText(registry), expected);
+}
+
+TEST(ExportChromeTrace, GoldenOutput) {
+  Tracer tracer(8);
+  TraceEvent span;
+  span.name = "cloud.star_match";
+  span.category = "query";
+  span.thread_id = 2;
+  span.depth = 1;
+  span.ts_us = 100.0;
+  span.dur_us = 250.5;
+  tracer.Record(span);
+  TraceEvent instant;
+  instant.name = "channel.transfer";
+  instant.thread_id = 0;
+  instant.ts_us = 400.0;
+  instant.instant = true;
+  tracer.Record(instant);
+  const std::string expected =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      "  {\"name\": \"cloud.star_match\", \"cat\": \"query\", \"ph\": \"X\", "
+      "\"ts\": 100, \"dur\": 250.5, \"pid\": 1, \"tid\": 2, "
+      "\"args\": {\"depth\": 1}},\n"
+      "  {\"name\": \"channel.transfer\", \"cat\": \"ppsm\", \"ph\": \"i\", "
+      "\"ts\": 400, \"s\": \"t\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"depth\": 0}}\n"
+      "]}\n";
+  EXPECT_EQ(ExportChromeTrace(tracer), expected);
+}
+
+TEST(ExportChromeTrace, EmptyTracer) {
+  Tracer tracer(8);
+  EXPECT_EQ(ExportChromeTrace(tracer),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": []}\n");
+}
+
+TEST(ExportMetricsJson, EscapesSpecialCharactersInNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\ttabs");
+  const std::string json = ExportMetricsJson(registry);
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\ttabs\": 0"),
+            std::string::npos);
+}
+
+TEST(ExportMetricsJson, NumbersRoundTrip) {
+  MetricsRegistry registry;
+  auto gauge = registry.gauge("precise");
+  gauge.Set(0.1);  // Classic non-representable decimal.
+  const std::string json = ExportMetricsJson(registry);
+  // Shortest form, not 0.10000000000000001 noise.
+  EXPECT_NE(json.find("\"precise\": 0.1\n"), std::string::npos);
+}
+
+TEST(WriteStringToFile, RoundTripsContent) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_test_write.txt";
+  const std::string content = "line one\nline two\n";
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), content);
+  std::remove(path.c_str());
+}
+
+TEST(WriteStringToFile, FailsOnUnwritablePath) {
+  const Status status =
+      WriteStringToFile("/nonexistent_dir_ppsm/out.json", "x");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -1,0 +1,144 @@
+// Tracer + TraceSpan semantics: event fields, nesting depth, ring-buffer
+// eviction, instants, and the disabled fast path.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppsm {
+namespace {
+
+TEST(Tracer, SpanRecordsOneCompleteEvent) {
+  Tracer tracer(16);
+  {
+    TraceSpan span(tracer, "phase_a", "setup");
+  }
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "phase_a");
+  EXPECT_EQ(events[0].category, "setup");
+  EXPECT_FALSE(events[0].instant);
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_GE(events[0].ts_us, 0.0);
+}
+
+TEST(Tracer, NestedSpansTrackDepthAndContainment) {
+  Tracer tracer(16);
+  {
+    TraceSpan outer(tracer, "outer");
+    {
+      TraceSpan inner(tracer, "inner");
+    }
+  }
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The outer span's interval contains the inner one.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST(Tracer, InstantRecordsZeroDurationEvent) {
+  Tracer tracer(16);
+  tracer.Instant("marker", "network");
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].instant);
+  EXPECT_EQ(events[0].name, "marker");
+  EXPECT_EQ(events[0].category, "network");
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 0.0);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent event;
+    event.name = "e" + std::to_string(i);
+    event.ts_us = static_cast<double>(i);
+    tracer.Record(std::move(event));
+  }
+  EXPECT_EQ(tracer.NumEvents(), 3u);
+  EXPECT_EQ(tracer.NumDropped(), 2u);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first order after wraparound: e2, e3, e4 survive.
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer(16);
+  tracer.SetEnabled(false);
+  {
+    TraceSpan span(tracer, "ignored");
+  }
+  tracer.Instant("also_ignored");
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  tracer.SetEnabled(true);
+  {
+    TraceSpan span(tracer, "kept");
+  }
+  ASSERT_EQ(tracer.NumEvents(), 1u);
+  EXPECT_EQ(tracer.Events()[0].name, "kept");
+}
+
+TEST(Tracer, SetCapacityDropsExistingEvents) {
+  Tracer tracer(8);
+  tracer.Instant("before");
+  tracer.SetCapacity(4);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  tracer.Instant("after");
+  EXPECT_EQ(tracer.NumEvents(), 1u);
+}
+
+TEST(Tracer, ClearEmptiesTheRing) {
+  Tracer tracer(8);
+  tracer.Instant("a");
+  tracer.Instant("b");
+  tracer.Clear();
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST(Tracer, ThreadsGetDistinctStableIds) {
+  const uint32_t main_id = TraceThreadId();
+  EXPECT_EQ(TraceThreadId(), main_id);  // Stable per thread.
+  uint32_t worker_id = main_id;
+  std::thread worker([&] { worker_id = TraceThreadId(); });
+  worker.join();
+  EXPECT_NE(worker_id, main_id);
+}
+
+TEST(Tracer, ConcurrentSpansAllLand) {
+  Tracer tracer(4096);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span(tracer, "work");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracer.NumEvents(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(tracer.NumDropped(), 0u);
+}
+
+}  // namespace
+}  // namespace ppsm

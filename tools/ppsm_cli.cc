@@ -16,6 +16,7 @@
 // setup metrics; `query` deploys an in-process cloud and answers a pattern
 // (see query/pattern_parser.h for the pattern syntax).
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,25 +27,33 @@
 #include "graph/generators.h"
 #include "graph/graph_algos.h"
 #include "graph/text_io.h"
+#include "obs/export.h"
 #include "query/pattern_parser.h"
 #include "util/table.h"
 
 namespace ppsm::cli {
 namespace {
 
-/// Minimal --flag value parser; flags may appear in any order.
+/// Minimal flag parser; flags may appear in any order, as either
+/// `--flag value` pairs or single `--flag=value` tokens.
 class Args {
  public:
   Args(int argc, char** argv, int start) {
-    for (int i = start; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        error_ = "expected a --flag, got '" + std::string(argv[i]) + "'";
+    for (int i = start; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        error_ = "expected a --flag, got '" + std::string(arg) + "'";
         return;
       }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - start) % 2 != 0) {
-      error_ = "flag '" + std::string(argv[argc - 1]) + "' is missing a value";
+      const char* eq = std::strchr(arg + 2, '=');
+      if (eq != nullptr) {
+        values_[std::string(arg + 2, eq)] = eq + 1;
+      } else if (i + 1 < argc) {
+        values_[arg + 2] = argv[++i];
+      } else {
+        error_ = "flag '" + std::string(arg) + "' is missing a value";
+        return;
+      }
     }
   }
 
@@ -215,6 +224,8 @@ int Query(const Args& args) {
   auto method = ParseMethod(args.Get("method", "eff"));
   if (!method.ok()) return Fail(method.status().ToString());
   config.method = method.value();
+  config.cloud_threads =
+      static_cast<size_t>(std::max(1L, args.GetInt("threads", 1)));
 
   auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
   if (!system.ok()) return Fail(system.status().ToString());
@@ -244,7 +255,7 @@ int Query(const Args& args) {
 
 int Usage() {
   std::cerr <<
-      "usage: ppsm_cli <command> [--flag value ...]\n"
+      "usage: ppsm_cli <command> [--flag value | --flag=value ...]\n"
       "  generate  --preset nd|dbp|uk --scale S --out FILE [--seed S]\n"
       "  attach    --edges FILE --out FILE [--types N] [--attrs N]\n"
       "            [--labels N] [--seed S]\n"
@@ -252,8 +263,48 @@ int Usage() {
       "  anonymize --in FILE --k K [--theta T] [--strategy eff|ran|fsim]\n"
       "            [--baseline 1] [--upload-out FILE]\n"
       "  query     --in FILE --pattern FILE --k K [--theta T]\n"
-      "            [--method eff|ran|fsim|bas]\n";
+      "            [--method eff|ran|fsim|bas] [--threads N]\n"
+      "observability (any command):\n"
+      "  --metrics-out FILE   flat JSON metrics dump\n"
+      "  --metrics-prom FILE  Prometheus text metrics dump\n"
+      "  --trace-out FILE     Chrome trace-event JSON (chrome://tracing)\n";
   return 2;
+}
+
+/// Lands the --metrics-out / --metrics-prom / --trace-out exports, if
+/// requested. Runs after the command so the files capture everything it did.
+int DumpObservability(const Args& args) {
+  const std::string metrics_out = args.Get("metrics-out");
+  if (!metrics_out.empty()) {
+    const Status written = WriteStringToFile(
+        metrics_out, ExportMetricsJson(MetricsRegistry::Global()));
+    if (!written.ok()) return Fail(written.ToString());
+    std::cerr << "metrics json written to " << metrics_out << "\n";
+  }
+  const std::string metrics_prom = args.Get("metrics-prom");
+  if (!metrics_prom.empty()) {
+    const Status written = WriteStringToFile(
+        metrics_prom, ExportPrometheusText(MetricsRegistry::Global()));
+    if (!written.ok()) return Fail(written.ToString());
+    std::cerr << "prometheus metrics written to " << metrics_prom << "\n";
+  }
+  const std::string trace_out = args.Get("trace-out");
+  if (!trace_out.empty()) {
+    const Status written =
+        WriteStringToFile(trace_out, ExportChromeTrace(Tracer::Global()));
+    if (!written.ok()) return Fail(written.ToString());
+    std::cerr << "chrome trace written to " << trace_out << "\n";
+  }
+  return 0;
+}
+
+int Dispatch(const std::string& command, const Args& args) {
+  if (command == "generate") return Generate(args);
+  if (command == "attach") return Attach(args);
+  if (command == "stats") return Stats(args);
+  if (command == "anonymize") return Anonymize(args);
+  if (command == "query") return Query(args);
+  return Usage();
 }
 
 int Main(int argc, char** argv) {
@@ -261,12 +312,9 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
   if (!args.error().empty()) return Fail(args.error());
-  if (command == "generate") return Generate(args);
-  if (command == "attach") return Attach(args);
-  if (command == "stats") return Stats(args);
-  if (command == "anonymize") return Anonymize(args);
-  if (command == "query") return Query(args);
-  return Usage();
+  const int code = Dispatch(command, args);
+  if (code != 0) return code;
+  return DumpObservability(args);
 }
 
 }  // namespace
