@@ -1,0 +1,124 @@
+// Concurrent serving study for the PR 2 query-service redesign: one hosted
+// system answers the same workload twice — serially (concurrency 1) and
+// concurrently (PPSM_BENCH_CONCURRENCY in-flight, default 4) — and the
+// table reports throughput, the speedup, tail latency, and the plan-cache
+// hit rate. The concurrent pass replays queries the serial pass already
+// planned, so its hit rate should approach 100%; speedup needs real cores
+// (on a 1-CPU container the two passes tie).
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/query_extractor.h"
+#include "obs/metrics.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace ppsm::bench {
+namespace {
+
+size_t ConcurrencyFromEnv(size_t def) {
+  const char* raw = std::getenv("PPSM_BENCH_CONCURRENCY");
+  if (raw == nullptr) return def;
+  const long parsed = std::atol(raw);
+  return parsed >= 1 ? static_cast<size_t>(parsed) : def;
+}
+
+double CounterValue(const std::string& name) {
+  MetricSnapshot snap;
+  if (!MetricsRegistry::Global().Find(name, &snap)) return 0.0;
+  return snap.value;
+}
+
+void Run() {
+  const double scale = ScaleFromEnv();
+  const size_t distinct = QueriesFromEnv(8);
+  const size_t repeat = 4;  // Each distinct query appears this many times.
+  const size_t concurrency = ConcurrencyFromEnv(4);
+  std::cout << "[bench_serving] scale=" << scale << " distinct=" << distinct
+            << " repeat=" << repeat << " concurrency=" << concurrency
+            << " pool_threads=" << DefaultPoolThreads() << "\n\n";
+
+  Table table("Concurrent serving: batch replay, serial vs concurrent",
+              {"dataset", "mode", "queries", "ok", "qps", "p50 ms", "p95 ms",
+               "cache hit %", "speedup"});
+
+  for (const BenchDataset& dataset : StandardDatasets(scale)) {
+    auto graph = GenerateDataset(dataset.config);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return;
+    }
+    SystemConfig config;
+    config.k = 3;
+    config.cloud.num_threads = 1;  // Isolate inter-query concurrency.
+    config.cloud.max_inflight = concurrency;
+    auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+    if (!system.ok()) {
+      std::cerr << system.status() << "\n";
+      return;
+    }
+
+    // distinct queries x repeat copies, interleaved so cache hits spread
+    // across the replay instead of clustering at the end.
+    std::vector<AttributedGraph> workload;
+    {
+      Rng rng(29);
+      std::vector<AttributedGraph> base;
+      for (size_t i = 0; i < distinct; ++i) {
+        auto extracted = ExtractQuery(*graph, 4 + i % 5, rng);
+        if (!extracted.ok()) {
+          std::cerr << extracted.status() << "\n";
+          return;
+        }
+        base.push_back(extracted->query);
+      }
+      for (size_t r = 0; r < repeat; ++r) {
+        for (const AttributedGraph& q : base) workload.push_back(q);
+      }
+    }
+
+    double serial_qps = 0.0;
+    for (const size_t mode_concurrency : {size_t{1}, concurrency}) {
+      const double hits_before =
+          CounterValue("ppsm_cloud_plan_cache_hits_total");
+      const double misses_before =
+          CounterValue("ppsm_cloud_plan_cache_misses_total");
+      const BatchOutcome batch =
+          system->QueryBatch(workload, mode_concurrency);
+      const double hits =
+          CounterValue("ppsm_cloud_plan_cache_hits_total") - hits_before;
+      const double misses =
+          CounterValue("ppsm_cloud_plan_cache_misses_total") - misses_before;
+      const double lookups = hits + misses;
+      if (mode_concurrency == 1) {
+        serial_qps = batch.summary.queries_per_second;
+      }
+      const double speedup =
+          serial_qps > 0.0 ? batch.summary.queries_per_second / serial_qps
+                           : 0.0;
+      table.AddRowValues(
+          dataset.name,
+          mode_concurrency == 1
+              ? "serial"
+              : "concurrent x" + std::to_string(mode_concurrency),
+          batch.summary.queries, batch.summary.succeeded,
+          Table::Num(batch.summary.queries_per_second, 1),
+          Table::Num(batch.summary.p50_ms, 3),
+          Table::Num(batch.summary.p95_ms, 3),
+          lookups > 0.0 ? Table::Num(100.0 * hits / lookups, 1) : "-",
+          Table::Num(speedup, 2));
+    }
+  }
+  Emit(table, "serving");
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() {
+  ppsm::bench::Run();
+  return 0;
+}

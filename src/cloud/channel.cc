@@ -36,16 +36,19 @@ struct ChannelMetrics {
 }  // namespace
 
 double SimulatedChannel::Transfer(size_t bytes,
-                                  const std::string& description) {
+                                  const std::string& description) const {
   const double seconds =
       static_cast<double>(bytes) * 8.0 / (config_.bandwidth_mbps * 1e6);
   const double millis = config_.latency_ms + seconds * 1e3;
-  total_bytes_ += bytes;
-  total_millis_ += millis;
-  ++num_messages_;
-  if (config_.max_log_records > 0) {
-    while (log_.size() >= config_.max_log_records) log_.pop_front();
-    log_.push_back(Record{description, bytes, millis});
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    total_bytes_ += bytes;
+    total_millis_ += millis;
+    ++num_messages_;
+    if (config_.max_log_records > 0) {
+      while (log_.size() >= config_.max_log_records) log_.pop_front();
+      log_.push_back(Record{description, bytes, millis});
+    }
   }
   const ChannelMetrics& metrics = ChannelMetrics::Get();
   metrics.messages.Increment();
@@ -57,6 +60,7 @@ double SimulatedChannel::Transfer(size_t bytes,
 }
 
 void SimulatedChannel::Reset() {
+  std::lock_guard<std::mutex> lock(*mu_);
   total_bytes_ = 0;
   total_millis_ = 0.0;
   num_messages_ = 0;

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 
 namespace ppsm {
@@ -25,19 +27,27 @@ struct ChannelConfig {
 /// Byte- and time-accounting channel. Not a transport: callers move the
 /// bytes themselves; the channel just records what a real link would have
 /// cost.
+///
+/// Thread-safe: concurrent queries (PpsmSystem::QueryBatch) account their
+/// request/response transfers through one shared channel, so the totals and
+/// the log are guarded by an internal mutex. Exception: the reference
+/// returned by log() is only safe to read while no Transfer runs.
 class SimulatedChannel {
  public:
-  SimulatedChannel() = default;
-  explicit SimulatedChannel(ChannelConfig config) : config_(config) {}
+  SimulatedChannel() : mu_(std::make_unique<std::mutex>()) {}
+  explicit SimulatedChannel(ChannelConfig config)
+      : config_(config), mu_(std::make_unique<std::mutex>()) {}
 
   /// Records a message of `bytes` and returns its simulated transfer time in
-  /// milliseconds.
-  double Transfer(size_t bytes, const std::string& description);
+  /// milliseconds. Thread-safe; const because concurrent accounting must run
+  /// under PpsmSystem::Query() const (the bookkeeping is observability, not
+  /// logical channel state).
+  double Transfer(size_t bytes, const std::string& description) const;
 
-  size_t total_bytes() const { return total_bytes_; }
-  double total_millis() const { return total_millis_; }
+  size_t total_bytes() const { return Locked(total_bytes_); }
+  double total_millis() const { return Locked(total_millis_); }
   /// Messages ever transferred — exact even after log eviction.
-  size_t num_messages() const { return num_messages_; }
+  size_t num_messages() const { return Locked(num_messages_); }
 
   struct Record {
     std::string description;
@@ -45,16 +55,24 @@ class SimulatedChannel {
     double millis;
   };
   /// The most recent messages (up to config.max_log_records), oldest first.
+  /// Only valid while no concurrent Transfer runs.
   const std::deque<Record>& log() const { return log_; }
 
   void Reset();
 
  private:
+  template <typename T>
+  T Locked(const T& field) const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return field;
+  }
+
   ChannelConfig config_;
-  size_t total_bytes_ = 0;
-  double total_millis_ = 0.0;
-  size_t num_messages_ = 0;
-  std::deque<Record> log_;
+  std::unique_ptr<std::mutex> mu_;  // Pointer keeps the channel movable.
+  mutable size_t total_bytes_ = 0;
+  mutable double total_millis_ = 0.0;
+  mutable size_t num_messages_ = 0;
+  mutable std::deque<Record> log_;
 };
 
 }  // namespace ppsm

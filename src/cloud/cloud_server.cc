@@ -1,12 +1,17 @@
 #include "cloud/cloud_server.h"
 
+#include <atomic>
+#include <mutex>
 #include <numeric>
+#include <optional>
+#include <string>
 
 #include "match/decomposition.h"
 #include "match/result_join.h"
 #include "match/star_matcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/lru_cache.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -18,6 +23,8 @@ namespace {
 /// refuses with ResourceExhausted rather than exhausting memory.
 constexpr size_t kMaxRows = 2'000'000;
 
+using SteadyClock = std::chrono::steady_clock;
+
 /// Handles into the global registry, resolved once. CloudQueryStats stays
 /// the per-query view returned to callers; these accumulate across queries
 /// for export (DESIGN.md "Observability").
@@ -26,6 +33,9 @@ struct CloudMetrics {
   MetricsRegistry::Counter stars;
   MetricsRegistry::Counter rs_rows;
   MetricsRegistry::Counter result_rows;
+  MetricsRegistry::Counter plan_cache_hits;
+  MetricsRegistry::Counter plan_cache_misses;
+  MetricsRegistry::Counter deadline_exceeded;
   MetricsRegistry::Histogram decomposition_ms;
   MetricsRegistry::Histogram star_matching_ms;
   MetricsRegistry::Histogram join_ms;
@@ -34,6 +44,7 @@ struct CloudMetrics {
   MetricsRegistry::Gauge index_memory_bytes;
   MetricsRegistry::Gauge index_build_ms;
   MetricsRegistry::Gauge hosted_edges;
+  MetricsRegistry::Gauge plan_cache_entries;
 
   static const CloudMetrics& Get() {
     static const CloudMetrics m = [] {
@@ -47,6 +58,15 @@ struct CloudMetrics {
           r.counter("ppsm_cloud_rs_rows_total", "Star matches |RS|");
       metrics.result_rows =
           r.counter("ppsm_cloud_result_rows_total", "Joined rows returned");
+      metrics.plan_cache_hits =
+          r.counter("ppsm_cloud_plan_cache_hits_total",
+                    "Decompositions served from the plan cache");
+      metrics.plan_cache_misses =
+          r.counter("ppsm_cloud_plan_cache_misses_total",
+                    "Decompositions that ran the ILP solver");
+      metrics.deadline_exceeded =
+          r.counter("ppsm_cloud_deadline_exceeded_total",
+                    "Queries abandoned at their deadline");
       metrics.decomposition_ms =
           r.histogram("ppsm_cloud_decomposition_ms", DefaultLatencyBucketsMs(),
                       "Query decomposition time");
@@ -68,21 +88,56 @@ struct CloudMetrics {
           r.gauge("ppsm_cloud_index_build_ms", "Offline index build time");
       metrics.hosted_edges =
           r.gauge("ppsm_cloud_hosted_edges", "|E| of the hosted graph");
+      metrics.plan_cache_entries =
+          r.gauge("ppsm_cloud_plan_cache_entries",
+                  "Plan-cache occupancy (last hosted server)");
       return metrics;
     }();
     return m;
   }
 };
+
+Status MakeDeadlineExceeded(const char* phase) {
+  CloudMetrics::Get().deadline_exceeded.Increment();
+  return Status::DeadlineExceeded(std::string("query deadline exceeded (") +
+                                  phase + ")");
+}
 }  // namespace
 
-Result<CloudServer> CloudServer::Host(std::span<const uint8_t> package_bytes) {
+/// The decomposition memo: ILP plans keyed by canonical Qo signature. The
+/// only mutable state of a hosted server, guarded by `mu` so AnswerQuery
+/// stays const and thread-safe. Heap-allocated because std::mutex pins the
+/// address and CloudServer is moved out of Host().
+struct CloudServer::PlanCache {
+  explicit PlanCache(size_t capacity) : plans(capacity) {}
+
+  std::mutex mu;
+  LruCache<std::string, StarDecomposition> plans;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+CloudServer::~CloudServer() = default;
+CloudServer::CloudServer(CloudServer&&) noexcept = default;
+CloudServer& CloudServer::operator=(CloudServer&&) noexcept = default;
+
+Result<CloudServer> CloudServer::Host(std::span<const uint8_t> package_bytes,
+                                      const CloudConfig& config) {
   PPSM_ASSIGN_OR_RETURN(UploadPackage package,
                         UploadPackage::Deserialize(package_bytes));
-  return Host(std::move(package));
+  return Host(std::move(package), config);
 }
 
-Result<CloudServer> CloudServer::Host(UploadPackage package) {
+Result<CloudServer> CloudServer::Host(UploadPackage package,
+                                      const CloudConfig& config) {
   CloudServer server;
+  server.config_ = config;
+  if (server.config_.num_threads == 0) server.config_.num_threads = 1;
+  if (server.config_.max_inflight == 0) server.config_.max_inflight = 1;
+  if (config.plan_cache_entries > 0) {
+    server.plan_cache_ =
+        std::make_unique<PlanCache>(config.plan_cache_entries);
+  }
   const size_t num_types = package.num_types;
   const size_t num_groups = package.type_of_group.size();
 
@@ -134,11 +189,38 @@ Result<CloudServer> CloudServer::Host(UploadPackage package) {
       static_cast<double>(server.index_.MemoryBytes()));
   metrics.index_build_ms.Set(server.index_build_ms_);
   metrics.hosted_edges.Set(static_cast<double>(server.data_.NumEdges()));
+  metrics.plan_cache_entries.Set(0.0);
   return server;
+}
+
+PlanCacheStats CloudServer::plan_cache_stats() const {
+  PlanCacheStats stats;
+  if (plan_cache_ == nullptr) return stats;
+  std::lock_guard<std::mutex> lock(plan_cache_->mu);
+  stats.hits = plan_cache_->hits;
+  stats.misses = plan_cache_->misses;
+  stats.entries = plan_cache_->plans.size();
+  stats.capacity = plan_cache_->plans.capacity();
+  return stats;
 }
 
 Result<CloudServer::Answer> CloudServer::AnswerQuery(
     std::span<const uint8_t> qo_bytes) const {
+  const auto deadline =
+      config_.query_deadline_ms == 0
+          ? SteadyClock::time_point::max()
+          : SteadyClock::now() +
+                std::chrono::milliseconds(config_.query_deadline_ms);
+  return AnswerQuery(qo_bytes, deadline);
+}
+
+Result<CloudServer::Answer> CloudServer::AnswerQuery(
+    std::span<const uint8_t> qo_bytes,
+    SteadyClock::time_point deadline) const {
+  const bool has_deadline = deadline != SteadyClock::time_point::max();
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return MakeDeadlineExceeded("on admission");
+  }
   PPSM_ASSIGN_OR_RETURN(const AttributedGraph qo,
                         DeserializeQueryRequest(qo_bytes));
   if (qo.NumVertices() == 0) {
@@ -151,33 +233,73 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
   const CloudMetrics& metrics = CloudMetrics::Get();
 
   // Phase 1: cost-model query decomposition (exact ILP), candidate-aware
-  // so hub-rooted stars with astronomic match sets are avoided.
+  // so hub-rooted stars with astronomic match sets are avoided. The ILP is
+  // pure in (Qo, hosted index), so repeated workload shapes hit the plan
+  // cache and skip the solver entirely.
   WallTimer phase_timer;
-  Result<StarDecomposition> decomposition_or = [&] {
-    PPSM_TRACE_SPAN_CAT("cloud.decompose", "query");
-    return DecomposeQuery(qo, stats_, data_, index_);
-  }();
-  PPSM_ASSIGN_OR_RETURN(const StarDecomposition decomposition,
-                        std::move(decomposition_or));
+  std::optional<StarDecomposition> cached;
+  std::string signature;
+  if (plan_cache_ != nullptr) {
+    signature = QoSignature(qo);
+    std::lock_guard<std::mutex> lock(plan_cache_->mu);
+    cached = plan_cache_->plans.Get(signature);
+    if (cached.has_value()) {
+      ++plan_cache_->hits;
+    } else {
+      ++plan_cache_->misses;
+    }
+  }
+  StarDecomposition decomposition;
+  if (cached.has_value()) {
+    decomposition = *std::move(cached);
+    answer.stats.plan_cache_hit = true;
+    metrics.plan_cache_hits.Increment();
+  } else {
+    Result<StarDecomposition> decomposition_or = [&] {
+      PPSM_TRACE_SPAN_CAT("cloud.decompose", "query");
+      return DecomposeQuery(qo, stats_, data_, index_);
+    }();
+    PPSM_ASSIGN_OR_RETURN(decomposition, std::move(decomposition_or));
+    if (plan_cache_ != nullptr) {
+      metrics.plan_cache_misses.Increment();
+      std::lock_guard<std::mutex> lock(plan_cache_->mu);
+      plan_cache_->plans.Put(std::move(signature), decomposition);
+      metrics.plan_cache_entries.Set(
+          static_cast<double>(plan_cache_->plans.size()));
+    }
+  }
   answer.stats.decomposition_ms = phase_timer.ElapsedMillis();
   answer.stats.num_stars = decomposition.centers.size();
   metrics.decomposition_ms.Observe(answer.stats.decomposition_ms);
   metrics.stars.Increment(decomposition.centers.size());
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return MakeDeadlineExceeded("after decomposition");
+  }
 
   // Phase 2: star matching over the hosted graph (Algorithm 1), bounded by
   // the row cap so pathological queries fail with ResourceExhausted instead
-  // of exhausting the machine.
+  // of exhausting the machine. An expired deadline makes the remaining
+  // workers skip their stars, so the query stops within one star of expiry.
   phase_timer.Restart();
   std::vector<StarMatches> stars(decomposition.centers.size());
+  std::atomic<bool> expired{false};
   {
     PPSM_TRACE_SPAN_CAT("cloud.star_match", "query");
-    ParallelFor(num_threads_, decomposition.centers.size(), [&](size_t i) {
+    ParallelFor(config_.num_threads, decomposition.centers.size(),
+                [&](size_t i) {
+      if (has_deadline && SteadyClock::now() >= deadline) {
+        expired.store(true, std::memory_order_relaxed);
+      }
+      if (expired.load(std::memory_order_relaxed)) return;
       PPSM_TRACE_SPAN_CAT("cloud.star_match.star", "query");
       stars[i] = MatchStar(data_, index_, qo, decomposition.centers[i],
                            kMaxRows);
       metrics.star_rows.Observe(
           static_cast<double>(stars[i].matches.NumMatches()));
     });
+  }
+  if (expired.load(std::memory_order_relaxed)) {
+    return MakeDeadlineExceeded("during star matching");
   }
   // Translate to Gk ids so the join can apply the automorphic functions.
   for (StarMatches& star : stars) {
@@ -194,6 +316,9 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
   answer.stats.star_matching_ms = phase_timer.ElapsedMillis();
   metrics.star_matching_ms.Observe(answer.stats.star_matching_ms);
   metrics.rs_rows.Increment(answer.stats.rs_size);
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return MakeDeadlineExceeded("before join");
+  }
 
   // Phase 3: result join (Algorithm 2) -> Rin (or R(Qo,Gk) for baseline).
   phase_timer.Restart();

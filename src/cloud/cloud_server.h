@@ -1,7 +1,9 @@
 #ifndef PPSM_CLOUD_CLOUD_SERVER_H_
 #define PPSM_CLOUD_CLOUD_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -13,6 +15,26 @@
 #include "util/status.h"
 
 namespace ppsm {
+
+/// Serving-side configuration, fixed at Host() time. Replaces the old
+/// mutable SetNumThreads setter so a hosted server is immutable and every
+/// AnswerQuery is safe to run concurrently.
+struct CloudConfig {
+  /// Worker threads for the star-matching phase of one query (paper §4.2.1:
+  /// stars are independent). Drawn from the shared ThreadPool; 0 clamps
+  /// to 1 (serial).
+  size_t num_threads = 1;
+  /// Capacity of the decomposition plan cache (LRU over canonical Qo
+  /// signatures; see match/decomposition.h QoSignature). 0 disables caching.
+  size_t plan_cache_entries = 128;
+  /// QueryService admission bound: queries executing simultaneously. Further
+  /// arrivals wait in a queue bounded at 2 * max_inflight, beyond which they
+  /// are refused with ResourceExhausted. Must be >= 1 (0 clamps to 1).
+  size_t max_inflight = 16;
+  /// Per-query wall-clock budget, measured from admission (queue wait
+  /// included). Expiry surfaces as Status::DeadlineExceeded. 0 = no deadline.
+  uint64_t query_deadline_ms = 0;
+};
 
 /// Timing/size breakdown of one query evaluation in the cloud (the columns
 /// of the paper's Figs. 18, 19, 22).
@@ -26,21 +48,45 @@ struct CloudQueryStats {
   size_t rs_size = 0;
   /// Rows returned (|Rin| for the optimized path, |R(Qo,Gk)| for BAS).
   size_t result_rows = 0;
+  /// True when the decomposition came out of the plan cache (ILP skipped).
+  bool plan_cache_hit = false;
+};
+
+/// Point-in-time plan-cache accounting for one server (the global
+/// ppsm_cloud_plan_cache_* metrics aggregate across servers).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
 };
 
 /// The honest-but-curious cloud. It only ever sees anonymized artifacts:
 /// the upload package (Go+AVT, or Gk for the baseline) and per-query Qo
 /// graphs whose labels are opaque group ids. Query evaluation follows
-/// §4.2.1: cost-model query decomposition (exact ILP), VBV/LBV-indexed star
-/// matching, then the result join. On the optimized path the join expands
-/// star matches with the automorphic functions and returns Rin; the baseline
-/// path hosts all of Gk, joins without expansion, and returns R(Qo,Gk).
+/// §4.2.1: cost-model query decomposition (exact ILP, memoized in the plan
+/// cache), VBV/LBV-indexed star matching, then the result join. On the
+/// optimized path the join expands star matches with the automorphic
+/// functions and returns Rin; the baseline path hosts all of Gk, joins
+/// without expansion, and returns R(Qo,Gk).
+///
+/// Thread-safety: a hosted server is immutable — AnswerQuery is const and
+/// any number of threads may call it concurrently (the plan cache is the
+/// only shared mutable state and sits behind its own mutex). Concurrent
+/// admission control and batching live in cloud/query_service.h.
 class CloudServer {
  public:
+  // Movable, not copyable. Out-of-line because PlanCache is incomplete here.
+  ~CloudServer();
+  CloudServer(CloudServer&&) noexcept;
+  CloudServer& operator=(CloudServer&&) noexcept;
+
   /// Ingests a serialized upload package and builds the offline index.
-  static Result<CloudServer> Host(std::span<const uint8_t> package_bytes);
+  static Result<CloudServer> Host(std::span<const uint8_t> package_bytes,
+                                  const CloudConfig& config = {});
   /// Same, from an in-memory package (tests).
-  static Result<CloudServer> Host(UploadPackage package);
+  static Result<CloudServer> Host(UploadPackage package,
+                                  const CloudConfig& config = {});
 
   /// Evaluates a serialized Qo. `response_payload` is the serialized match
   /// set that would travel back to the client.
@@ -48,14 +94,22 @@ class CloudServer {
     std::vector<uint8_t> response_payload;
     CloudQueryStats stats;
   };
+  /// Thread-safe; applies config().query_deadline_ms from call entry.
   Result<Answer> AnswerQuery(std::span<const uint8_t> qo_bytes) const;
+  /// Same with an explicit absolute deadline (steady clock). The deadline is
+  /// checked between phases and per star, so an expired query stops within
+  /// one star-match of the expiry instead of running to completion.
+  /// time_point::max() disables the check.
+  Result<Answer> AnswerQuery(
+      std::span<const uint8_t> qo_bytes,
+      std::chrono::steady_clock::time_point deadline) const;
 
-  /// Worker threads for star matching (paper §4.2.1 notes the star phase
-  /// parallelizes; stars are independent). Default 1 (serial).
-  void SetNumThreads(size_t num_threads) {
-    num_threads_ = num_threads == 0 ? 1 : num_threads;
-  }
-  size_t num_threads() const { return num_threads_; }
+  const CloudConfig& config() const { return config_; }
+  /// Star-matching workers per query (config().num_threads, clamped >= 1).
+  size_t num_threads() const { return config_.num_threads; }
+
+  /// Hit/miss/occupancy counters of this server's plan cache.
+  PlanCacheStats plan_cache_stats() const;
 
   bool IsBaseline() const { return baseline_; }
   uint32_t k() const { return avt_.k(); }
@@ -68,6 +122,8 @@ class CloudServer {
   const GkStatistics& statistics() const { return stats_; }
 
  private:
+  struct PlanCache;  // Mutex + LRU, behind a pointer so the server moves.
+
   CloudServer() = default;
 
   bool baseline_ = false;
@@ -77,7 +133,8 @@ class CloudServer {
   CloudIndex index_;
   GkStatistics stats_;
   double index_build_ms_ = 0.0;
-  size_t num_threads_ = 1;
+  CloudConfig config_;
+  std::unique_ptr<PlanCache> plan_cache_;  // Null when caching disabled.
 };
 
 }  // namespace ppsm

@@ -1,0 +1,133 @@
+#include "cloud/query_service.h"
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ppsm {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+
+struct ServiceMetrics {
+  MetricsRegistry::Counter admitted;
+  MetricsRegistry::Counter rejected;
+  MetricsRegistry::Histogram queue_wait_ms;
+  MetricsRegistry::Gauge inflight;
+  MetricsRegistry::Gauge pool_queue_depth;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      ServiceMetrics metrics;
+      metrics.admitted = r.counter("ppsm_cloud_admitted_total",
+                                   "Queries admitted past the gate");
+      metrics.rejected =
+          r.counter("ppsm_cloud_admission_rejected_total",
+                    "Queries refused at the gate (queue full or expired)");
+      metrics.queue_wait_ms =
+          r.histogram("ppsm_cloud_queue_wait_ms", DefaultLatencyBucketsMs(),
+                      "Admission-queue wait per admitted query");
+      metrics.inflight = r.gauge("ppsm_cloud_inflight_queries",
+                                 "Queries currently executing");
+      metrics.pool_queue_depth =
+          r.gauge("ppsm_pool_queue_depth",
+                  "Shared worker-pool backlog, sampled per admission");
+      return metrics;
+    }();
+    return m;
+  }
+};
+}  // namespace
+
+AdmissionGate::AdmissionGate(size_t max_inflight, size_t queue_limit)
+    : max_inflight_(max_inflight == 0 ? 1 : max_inflight),
+      queue_limit_(queue_limit) {}
+
+Status AdmissionGate::Acquire(SteadyClock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < max_inflight_ && waiting_ == 0) {
+    ++inflight_;
+    return Status::OK();
+  }
+  if (waiting_ >= queue_limit_) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(waiting_) + " waiting, " +
+        std::to_string(max_inflight_) + " in flight)");
+  }
+  ++waiting_;
+  const bool has_deadline = deadline != SteadyClock::time_point::max();
+  bool admitted;
+  if (has_deadline) {
+    admitted = cv_.wait_until(lock, deadline, [this] {
+      return inflight_ < max_inflight_;
+    });
+  } else {
+    cv_.wait(lock, [this] { return inflight_ < max_inflight_; });
+    admitted = true;
+  }
+  --waiting_;
+  if (!admitted) {
+    return Status::DeadlineExceeded("query expired in the admission queue");
+  }
+  ++inflight_;
+  return Status::OK();
+}
+
+void AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+size_t AdmissionGate::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t AdmissionGate::Queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+QueryService::QueryService(const CloudServer* server)
+    : server_(server),
+      gate_(std::make_unique<AdmissionGate>(
+          server->config().max_inflight,
+          /*queue_limit=*/2 * server->config().max_inflight)) {}
+
+Result<CloudServer::Answer> QueryService::Execute(
+    std::span<const uint8_t> qo_bytes) const {
+  const uint64_t budget_ms = server_->config().query_deadline_ms;
+  const auto deadline =
+      budget_ms == 0 ? SteadyClock::time_point::max()
+                     : SteadyClock::now() + std::chrono::milliseconds(
+                                                budget_ms);
+  return Execute(qo_bytes, deadline);
+}
+
+Result<CloudServer::Answer> QueryService::Execute(
+    std::span<const uint8_t> qo_bytes,
+    SteadyClock::time_point deadline) const {
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  WallTimer wait_timer;
+  const Status admitted = gate_->Acquire(deadline);
+  if (!admitted.ok()) {
+    metrics.rejected.Increment();
+    return admitted;
+  }
+  metrics.queue_wait_ms.Observe(wait_timer.ElapsedMillis());
+  metrics.admitted.Increment();
+  metrics.pool_queue_depth.Set(
+      static_cast<double>(ThreadPool::Shared().QueueDepth()));
+  Result<CloudServer::Answer> answer = [&] {
+    ScopedGaugeDelta inflight(metrics.inflight);
+    return server_->AnswerQuery(qo_bytes, deadline);
+  }();
+  gate_->Release();
+  return answer;
+}
+
+}  // namespace ppsm

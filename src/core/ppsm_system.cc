@@ -1,7 +1,11 @@
 #include "core/ppsm_system.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/parallel.h"
+#include "util/stats.h"
 #include "util/timer.h"
 
 namespace ppsm {
@@ -98,15 +102,16 @@ Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
 
   {
     PPSM_TRACE_SPAN_CAT("setup.cloud_host", "setup");
-    PPSM_ASSIGN_OR_RETURN(CloudServer cloud,
-                          CloudServer::Host(system.owner_->upload_bytes()));
+    PPSM_ASSIGN_OR_RETURN(
+        CloudServer cloud,
+        CloudServer::Host(system.owner_->upload_bytes(), config.cloud));
     system.cloud_ = std::make_unique<CloudServer>(std::move(cloud));
   }
-  system.cloud_->SetNumThreads(config.cloud_threads);
+  system.service_ = std::make_unique<QueryService>(system.cloud_.get());
   return system;
 }
 
-Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) {
+Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) const {
   QueryOutcome outcome;
   PPSM_TRACE_SPAN_CAT("query", "query");
   const SystemMetrics& metrics = SystemMetrics::Get();
@@ -122,8 +127,11 @@ Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) {
   outcome.request_bytes = request.size();
   outcome.network_ms += channel_.Transfer(request.size(), "query request");
 
+  // Admission control, deadline and the plan cache all live behind the
+  // service — a single in-process caller takes the same path a loaded
+  // multi-client deployment would.
   PPSM_ASSIGN_OR_RETURN(const CloudServer::Answer answer,
-                        cloud_->AnswerQuery(request));
+                        service_->Execute(request));
   outcome.cloud = answer.stats;
   outcome.response_bytes = answer.response_payload.size();
   outcome.network_ms +=
@@ -139,6 +147,60 @@ Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) {
   metrics.total_ms.Observe(outcome.total_ms);
   metrics.queries.Increment();
   return outcome;
+}
+
+BatchOutcome PpsmSystem::QueryBatch(std::span<const AttributedGraph> queries,
+                                    size_t concurrency) const {
+  BatchOutcome batch;
+  batch.summary.queries = queries.size();
+  if (queries.empty()) {
+    batch.summary.plan_cache = cloud_->plan_cache_stats();
+    return batch;
+  }
+  // Cap at the admission bound: pushing more workers than the gate admits
+  // would only fill the bounded queue and turn surplus queries into
+  // ResourceExhausted refusals.
+  if (concurrency == 0 || concurrency > config_.cloud.max_inflight) {
+    concurrency = config_.cloud.max_inflight;
+  }
+
+  // Result<T> has no default constructor, so the workers fill optional
+  // slots; per-query wall times feed the exact percentile summary.
+  std::vector<std::optional<Result<QueryOutcome>>> slots(queries.size());
+  std::vector<double> wall_ms(queries.size(), 0.0);
+  WallTimer batch_timer;
+  {
+    PPSM_TRACE_SPAN_CAT("query_batch", "query");
+    ParallelFor(concurrency, queries.size(), [&](size_t i) {
+      WallTimer query_timer;
+      slots[i].emplace(Query(queries[i]));
+      wall_ms[i] = query_timer.ElapsedMillis();
+    });
+  }
+  batch.summary.wall_ms = batch_timer.ElapsedMillis();
+
+  RunningStats latencies;
+  batch.outcomes.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (slots[i]->ok()) {
+      ++batch.summary.succeeded;
+      latencies.Add(wall_ms[i]);
+    } else {
+      ++batch.summary.failed;
+    }
+    batch.outcomes.push_back(*std::move(slots[i]));
+  }
+  if (batch.summary.wall_ms > 0.0) {
+    batch.summary.queries_per_second =
+        static_cast<double>(batch.summary.succeeded) /
+        (batch.summary.wall_ms / 1000.0);
+  }
+  if (latencies.count() > 0) {
+    batch.summary.p50_ms = latencies.Percentile(50.0);
+    batch.summary.p95_ms = latencies.Percentile(95.0);
+  }
+  batch.summary.plan_cache = cloud_->plan_cache_stats();
+  return batch;
 }
 
 }  // namespace ppsm

@@ -2,11 +2,15 @@
 #define PPSM_CORE_PPSM_SYSTEM_H_
 
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "cloud/channel.h"
 #include "cloud/cloud_server.h"
 #include "cloud/data_owner.h"
+#include "cloud/query_service.h"
 #include "graph/attributed_graph.h"
 #include "util/status.h"
 
@@ -29,8 +33,9 @@ struct SystemConfig {
   size_t theta = 2;
   ChannelConfig channel;
   uint64_t seed = 13;
-  /// Worker threads for the cloud's star-matching phase (1 = serial).
-  size_t cloud_threads = 1;
+  /// Serving-side knobs: star-matching threads, plan cache, admission bound,
+  /// per-query deadline. Fixed at Setup (the hosted server is immutable).
+  CloudConfig cloud;
   /// Forwarded to the k-automorphism builder (alignment strategy etc.).
   KAutomorphismOptions kauto;
 };
@@ -47,22 +52,60 @@ struct QueryOutcome {
   size_t response_bytes = 0;
 };
 
+/// Aggregate view of one QueryBatch run. Latency percentiles are exact
+/// (computed from the per-query wall times of this batch, not the bucketed
+/// registry histograms); throughput is wall-clock queries per second over
+/// the whole batch.
+struct BatchSummary {
+  size_t queries = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;  // Refused, expired or errored (see outcomes[i]).
+  double wall_ms = 0.0;
+  double queries_per_second = 0.0;
+  double p50_ms = 0.0;  // Per-query wall latency, successful queries.
+  double p95_ms = 0.0;
+  /// Plan-cache counters of the hosted server after the batch (cumulative
+  /// over the server's lifetime, not just this batch).
+  PlanCacheStats plan_cache;
+};
+
+/// Per-query results plus the aggregate. outcomes[i] corresponds to
+/// queries[i] of the QueryBatch call.
+struct BatchOutcome {
+  std::vector<Result<QueryOutcome>> outcomes;
+  BatchSummary summary;
+};
+
 /// Facade wiring a DataOwner, a SimulatedChannel and a CloudServer into the
 /// paper's full workflow: Setup() runs the offline pipeline and "uploads"
 /// (serializing through the channel); Query() anonymizes Q, ships Qo, runs
 /// the cloud evaluation, ships the response, and post-processes to exact
 /// answers.
+///
+/// Thread-safety: after Setup, the system is immutable. Query() and
+/// QueryBatch() are const and safe to call from any number of threads
+/// concurrently; every query passes through the cloud's QueryService, so
+/// SystemConfig::cloud.max_inflight and .query_deadline_ms apply uniformly.
 class PpsmSystem {
  public:
   static Result<PpsmSystem> Setup(AttributedGraph graph,
                                   std::shared_ptr<const Schema> schema,
                                   const SystemConfig& config);
 
-  Result<QueryOutcome> Query(const AttributedGraph& query);
+  /// One query end to end. Thread-safe.
+  Result<QueryOutcome> Query(const AttributedGraph& query) const;
+
+  /// Runs a workload concurrently: up to `concurrency` queries in flight at
+  /// once (0 = config().cloud.max_inflight), drawing workers from the shared
+  /// ThreadPool. Per-query failures (refusal, deadline, row cap) land in the
+  /// corresponding outcomes slot; the batch itself always completes.
+  BatchOutcome QueryBatch(std::span<const AttributedGraph> queries,
+                          size_t concurrency = 0) const;
 
   const SetupStats& setup_stats() const { return owner_->setup_stats(); }
   const DataOwner& owner() const { return *owner_; }
   const CloudServer& cloud() const { return *cloud_; }
+  const QueryService& service() const { return *service_; }
   const SimulatedChannel& channel() const { return channel_; }
   const SystemConfig& config() const { return config_; }
   /// Simulated upload transfer time (the one-time outsourcing cost).
@@ -74,6 +117,7 @@ class PpsmSystem {
   SystemConfig config_;
   std::unique_ptr<DataOwner> owner_;
   std::unique_ptr<CloudServer> cloud_;
+  std::unique_ptr<QueryService> service_;
   SimulatedChannel channel_;
   double upload_ms_ = 0.0;
 };

@@ -69,6 +69,28 @@ Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
   return DecomposeWithCosts(qo, std::move(model));
 }
 
+std::string QoSignature(const AttributedGraph& qo) {
+  std::string sig;
+  // |V| + per vertex three length-prefixed id lists; ~4 bytes per id.
+  sig.reserve(4 + qo.NumVertices() * 24);
+  const auto append_u32 = [&sig](uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      sig.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  };
+  const auto append_list = [&](const auto& ids) {
+    append_u32(static_cast<uint32_t>(ids.size()));
+    for (const auto id : ids) append_u32(static_cast<uint32_t>(id));
+  };
+  append_u32(static_cast<uint32_t>(qo.NumVertices()));
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    append_list(qo.Types(v));
+    append_list(qo.Labels(v));
+    append_list(qo.Neighbors(v));
+  }
+  return sig;
+}
+
 bool IsValidDecomposition(const AttributedGraph& qo,
                           const std::vector<VertexId>& centers) {
   std::vector<bool> selected(qo.NumVertices(), false);

@@ -1,6 +1,7 @@
 #ifndef PPSM_MATCH_DECOMPOSITION_H_
 #define PPSM_MATCH_DECOMPOSITION_H_
 
+#include <string>
 #include <vector>
 
 #include "graph/attributed_graph.h"
@@ -40,6 +41,17 @@ Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
                                          const GkStatistics& stats,
                                          const AttributedGraph& data,
                                          const CloudIndex& index);
+
+/// Canonical signature of an outsourced query, the cloud's plan-cache key.
+/// Two queries share a signature iff they have identical vertex ids, type
+/// sets, label(-group) sets and adjacency — exactly the inputs DecomposeQuery
+/// reads from `qo` (the remaining inputs, statistics and the hosted index,
+/// are fixed for the lifetime of a CloudServer), so equal signatures imply
+/// equal decompositions and the ILP solve can be skipped. The encoding is a
+/// compact byte string: |V|, then per vertex its sorted types, labels and
+/// neighbors, each length-prefixed; every field is serialized
+/// little-endian-u32 so the signature is deterministic across platforms.
+std::string QoSignature(const AttributedGraph& qo);
 
 /// Checks that `centers` covers every edge of `qo` (tests / invariants).
 bool IsValidDecomposition(const AttributedGraph& qo,

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -47,6 +48,31 @@ const std::vector<double>& DefaultCountBuckets() {
     return bounds;
   }();
   return kBuckets;
+}
+
+double HistogramPercentile(const HistogramSnapshot& histogram, double p) {
+  if (histogram.count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double rank = p / 100.0 * static_cast<double>(histogram.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.counts.size(); ++i) {
+    const uint64_t in_bucket = histogram.counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= histogram.bounds.size()) {
+        // +Inf bucket: clamp to the largest finite bound.
+        return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : histogram.bounds[i - 1];
+      const double upper = histogram.bounds[i];
+      const double into =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+    }
+    cumulative += in_bucket;
+  }
+  return histogram.bounds.empty() ? 0.0 : histogram.bounds.back();
 }
 
 struct MetricsRegistry::Def {

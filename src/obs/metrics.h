@@ -38,6 +38,14 @@ struct HistogramSnapshot {
   uint64_t count = 0;
 };
 
+/// Estimated p-th percentile (p in [0, 100]) of a histogram by linear
+/// interpolation inside the owning bucket, the standard Prometheus
+/// `histogram_quantile` scheme. Samples in the +Inf bucket clamp to the
+/// largest finite bound. Returns 0 for an empty histogram. Exact percentiles
+/// need the raw samples (RunningStats); this is the best a serving system
+/// can report from its always-on bucketed metrics.
+double HistogramPercentile(const HistogramSnapshot& histogram, double p);
+
 /// Point-in-time view of one metric, merged across all recording threads.
 struct MetricSnapshot {
   std::string name;
@@ -142,6 +150,25 @@ class MetricsRegistry {
   std::unordered_map<std::string, size_t> by_name_;
   std::deque<std::atomic<double>> gauges_;  // Central, not sharded.
   std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII +delta/-delta pair on a gauge: construction adds `delta`, destruction
+/// subtracts it. Backs "currently in flight" style gauges (admission control)
+/// where every exit path must undo the increment.
+class ScopedGaugeDelta {
+ public:
+  ScopedGaugeDelta(MetricsRegistry::Gauge gauge, double delta = 1.0)
+      : gauge_(gauge), delta_(delta) {
+    gauge_.Add(delta_);
+  }
+  ~ScopedGaugeDelta() { gauge_.Add(-delta_); }
+
+  ScopedGaugeDelta(const ScopedGaugeDelta&) = delete;
+  ScopedGaugeDelta& operator=(const ScopedGaugeDelta&) = delete;
+
+ private:
+  MetricsRegistry::Gauge gauge_;
+  double delta_;
 };
 
 }  // namespace ppsm

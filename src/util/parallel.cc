@@ -1,8 +1,12 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace ppsm {
 
@@ -14,24 +18,67 @@ size_t HardwareThreads() {
 void ParallelFor(size_t num_threads, size_t num_items,
                  const std::function<void(size_t)>& fn) {
   if (num_items == 0) return;
-  if (num_threads <= 1 || num_items == 1) {
+  // Serial degradation: trivial shapes, and any call from inside a pool
+  // task. A worker that blocked waiting for pool capacity it is itself
+  // occupying could deadlock a saturated pool; running its loop serially is
+  // always safe and leaves the query-level parallelism in charge.
+  if (num_threads <= 1 || num_items == 1 || ThreadPool::InWorkerThread()) {
     for (size_t i = 0; i < num_items; ++i) fn(i);
     return;
   }
-  const size_t workers = std::min(num_threads, num_items);
-  std::atomic<size_t> next{0};
-  auto worker = [&next, num_items, &fn] {
+
+  ThreadPool& pool = ThreadPool::Shared();
+  // The calling thread participates, so only workers-1 helpers are needed;
+  // more helpers than pool threads would just queue behind each other.
+  const size_t helpers =
+      std::min(std::min(num_threads, num_items) - 1, pool.num_threads());
+
+  // Shared between the caller and the helper tasks. Heap-allocated because
+  // a helper may outlive the caller's *loop* (never its frame: the caller
+  // blocks below until every helper finished).
+  struct State {
+    std::atomic<size_t> next{0};
+    size_t completed = 0;  // Helpers done, guarded by mu.
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+
+  const auto drain = [&state, num_items, &fn] {
     while (true) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_items) break;
       fn(i);
     }
   };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
-  worker();  // The calling thread participates.
-  for (std::thread& thread : threads) thread.join();
+  for (size_t t = 0; t < helpers; ++t) {
+    pool.Submit([state, &drain] {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->completed;
+      }
+      state->cv.notify_one();
+    });
+  }
+
+  drain();
+
+  // Wait for the helpers — they may still be mid-item, and `fn` references
+  // the caller's stack. While any helper is still *queued* (stuck behind
+  // unrelated pool work, e.g. other queries' tasks), steal and run pending
+  // tasks instead of sleeping; once the queues are empty every helper has
+  // started and will signal completion.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->completed == helpers) return;
+    }
+    if (pool.TryRunPendingTask()) continue;
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->completed == helpers; });
+    return;
+  }
 }
 
 }  // namespace ppsm

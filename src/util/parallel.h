@@ -9,11 +9,14 @@ namespace ppsm {
 /// Number of hardware threads (>= 1).
 size_t HardwareThreads();
 
-/// Runs fn(0) .. fn(num_items-1) across up to `num_threads` worker threads
-/// (atomic work-stealing counter, so uneven item costs balance out — star
+/// Runs fn(0) .. fn(num_items-1) across up to `num_threads` workers drawn
+/// from ThreadPool::Shared() — no per-call thread spawn/join. Items are
+/// claimed from an atomic counter, so uneven item costs balance out (star
 /// match sets vary wildly in size). Blocks until every item completed.
-/// num_threads <= 1 or num_items <= 1 degrades to a serial loop. `fn` must
-/// be safe to invoke concurrently on distinct indices and must not throw.
+/// Degrades to a serial loop when num_threads <= 1, num_items <= 1, or when
+/// called from inside a pool task (nested parallelism must not block pool
+/// capacity the caller itself occupies). `fn` must be safe to invoke
+/// concurrently on distinct indices and must not throw.
 void ParallelFor(size_t num_threads, size_t num_items,
                  const std::function<void(size_t)>& fn);
 

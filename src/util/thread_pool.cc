@@ -1,0 +1,131 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace ppsm {
+
+namespace {
+thread_local bool t_in_pool_worker = false;
+
+/// RAII flip of the worker flag around task execution, so tasks stolen via
+/// TryRunPendingTask get the same nested-parallelism guard as tasks running
+/// on a real worker thread.
+class ScopedWorkerFlag {
+ public:
+  ScopedWorkerFlag() : previous_(t_in_pool_worker) { t_in_pool_worker = true; }
+  ~ScopedWorkerFlag() { t_in_pool_worker = previous_; }
+
+ private:
+  bool previous_;
+};
+}  // namespace
+
+size_t DefaultPoolThreads() {
+  if (const char* env = std::getenv("PPSM_POOL_THREADS")) {
+    const long n = std::atol(env);
+    if (n >= 1) return static_cast<size_t>(n);
+  }
+  return HardwareThreads();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(DefaultPoolThreads());
+  return *pool;
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads),
+      queues_(num_threads_) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      if (!started_) {
+        started_ = true;
+        workers_.reserve(num_threads_);
+        for (size_t i = 0; i < num_threads_; ++i) {
+          workers_.emplace_back([this, i] { WorkerLoop(i); });
+        }
+      }
+      queues_[next_queue_].push_back(std::move(task));
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      ++pending_;
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Shutting down: run inline rather than dropping the task.
+  ScopedWorkerFlag flag;
+  task();
+}
+
+bool ThreadPool::PopTaskLocked(size_t worker_index,
+                               std::function<void()>* task) {
+  // Own queue first (front: oldest first, keeps ParallelFor helpers timely),
+  // then steal round-robin from the siblings.
+  for (size_t offset = 0; offset < queues_.size(); ++offset) {
+    const size_t q = (worker_index + offset) % queues_.size();
+    if (!queues_[q].empty()) {
+      *task = std::move(queues_[q].front());
+      queues_[q].pop_front();
+      --pending_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunPendingTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!PopTaskLocked(/*worker_index=*/0, &task)) return false;
+  }
+  ScopedWorkerFlag flag;
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  ScopedWorkerFlag flag;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    std::function<void()> task;
+    if (PopTaskLocked(worker_index, &task)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // Release captures before re-acquiring the lock.
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;  // Queues drained; graceful exit.
+    cv_.wait(lock);
+  }
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+bool ThreadPool::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+
+}  // namespace ppsm

@@ -1,0 +1,94 @@
+#ifndef PPSM_UTIL_THREAD_POOL_H_
+#define PPSM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppsm {
+
+/// Persistent worker pool shared by ParallelFor and the cloud serving layer.
+/// Replaces the per-call std::thread spawn/join the star-matching phase used
+/// to pay on every query.
+///
+/// Scheduling: each worker owns a queue; Submit distributes tasks
+/// round-robin; a worker drains its own queue first and then steals from its
+/// siblings, so a burst landing on one queue spreads across the pool. Tasks
+/// are coarse (a whole query, or one ParallelFor helper loop), so a single
+/// lock over the queues is not a bottleneck.
+///
+/// Contracts:
+///  * Tasks must not throw — the library is exception-free (Status/Result
+///    carry errors) and an escaping exception would std::terminate inside a
+///    worker with no caller to report to.
+///  * Tasks must not block waiting for *other pool tasks* to be scheduled
+///    (that can deadlock a saturated pool). ParallelFor observes this by
+///    degrading to a serial loop when invoked from a worker thread, and by
+///    stealing pending tasks while it waits for its helpers.
+///  * Lazy start: threads are spawned on the first Submit, so merely linking
+///    the pool (or constructing one in a test) costs nothing.
+///  * Graceful shutdown: the destructor finishes every queued task, then
+///    joins the workers.
+class ThreadPool {
+ public:
+  /// The process-wide pool, sized DefaultPoolThreads(). Never destroyed
+  /// (leaked on purpose, like MetricsRegistry::Global) so shutdown order is
+  /// a non-issue.
+  static ThreadPool& Shared();
+
+  /// True while the calling thread is executing a pool task (including a
+  /// task stolen by TryRunPendingTask). Nested-parallelism guard.
+  static bool InWorkerThread();
+
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Thread-safe. Spawns the workers on first use. Tasks
+  /// submitted after shutdown began run inline on the calling thread (only
+  /// reachable from a task scheduled during destruction).
+  void Submit(std::function<void()> task);
+
+  /// Pops one pending (not yet started) task and runs it on the calling
+  /// thread; returns false if every queue was empty. Lets a thread blocked
+  /// on pool work make progress instead of sleeping behind the backlog.
+  bool TryRunPendingTask();
+
+  size_t num_threads() const { return num_threads_; }
+  /// Tasks submitted but not yet started. Point-in-time; exported as the
+  /// ppsm_pool_queue_depth gauge by the serving layer.
+  size_t QueueDepth() const;
+  /// True once the lazy first Submit has spawned the workers.
+  bool started() const;
+
+ private:
+  void WorkerLoop(size_t worker_index);
+  /// Pops the next task with `mu_` held: own queue front first, then steals
+  /// from the other queues. `worker_index` == num_threads_ means "external
+  /// thief" (TryRunPendingTask) with no own queue.
+  bool PopTaskLocked(size_t worker_index, std::function<void()>* task);
+
+  const size_t num_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // One per worker.
+  std::vector<std::thread> workers_;
+  size_t next_queue_ = 0;  // Round-robin Submit target.
+  size_t pending_ = 0;     // Submitted, not yet started.
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+/// Pool size for ThreadPool::Shared(): PPSM_POOL_THREADS if set (>=1), else
+/// HardwareThreads(). The env override matters on small CI containers where
+/// hardware_concurrency() underreports the useful concurrency of tests.
+size_t DefaultPoolThreads();
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_THREAD_POOL_H_

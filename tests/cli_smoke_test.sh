@@ -22,6 +22,16 @@ printf '(a:type0)\n(b:type1)\na -- b\n' > "$DIR/q.pat"
 "$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
     | grep -q "match(es):"
 
+# Concurrent workload replay: 8 copies of the pattern, 4 in flight. The
+# replay prints a throughput table (plus plan-cache counters) instead of
+# match rows.
+"$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
+    --cloud-threads 2 --concurrency 4 --repeat 8 > "$DIR/replay.txt"
+grep -q "throughput q/s" "$DIR/replay.txt" \
+    || { echo "replay output missing throughput"; exit 1; }
+grep -q "plan cache hits" "$DIR/replay.txt" \
+    || { echo "replay output missing plan cache counters"; exit 1; }
+
 # Observability exports (--flag=value form) alongside a query.
 "$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
     --metrics-out="$DIR/m.json" --trace-out="$DIR/t.json" \

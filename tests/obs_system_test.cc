@@ -141,7 +141,7 @@ TEST(ObservabilityE2e, ParallelAndSerialRecordIdenticalStarHistograms) {
     MetricsRegistry::Global().Reset();
     SystemConfig config;
     config.k = 3;
-    config.cloud_threads = threads;
+    config.cloud.num_threads = threads;
     auto system = PpsmSystem::Setup(*g, g->schema(), config);
     EXPECT_TRUE(system.ok());
     auto outcome = system->Query(extracted->query);

@@ -51,11 +51,12 @@ TEST(ParallelCloud, SameAnswersAsSerial) {
   auto owner = DataOwner::Create(*g, g->schema(), options);
   ASSERT_TRUE(owner.ok());
 
+  CloudConfig parallel_config;
+  parallel_config.num_threads = 4;
   auto serial = CloudServer::Host(owner->upload_bytes());
-  auto parallel = CloudServer::Host(owner->upload_bytes());
+  auto parallel = CloudServer::Host(owner->upload_bytes(), parallel_config);
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
-  parallel->SetNumThreads(4);
   EXPECT_EQ(parallel->num_threads(), 4u);
 
   Rng rng(33);
@@ -80,7 +81,7 @@ TEST(ParallelCloud, FacadeConfigThreadsGiveExactAnswers) {
   SystemConfig serial_config;
   serial_config.k = 3;
   SystemConfig parallel_config = serial_config;
-  parallel_config.cloud_threads = 4;
+  parallel_config.cloud.num_threads = 4;
   auto serial = PpsmSystem::Setup(*g, g->schema(), serial_config);
   auto parallel = PpsmSystem::Setup(*g, g->schema(), parallel_config);
   ASSERT_TRUE(serial.ok());
@@ -105,10 +106,13 @@ TEST(ParallelCloud, ZeroThreadsClampsToOne) {
   options.k = 2;
   auto owner = DataOwner::Create(*g, g->schema(), options);
   ASSERT_TRUE(owner.ok());
-  auto server = CloudServer::Host(owner->upload_bytes());
+  CloudConfig config;
+  config.num_threads = 0;
+  config.max_inflight = 0;
+  auto server = CloudServer::Host(owner->upload_bytes(), config);
   ASSERT_TRUE(server.ok());
-  server->SetNumThreads(0);
   EXPECT_EQ(server->num_threads(), 1u);
+  EXPECT_EQ(server->config().max_inflight, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// ThreadPool contract tests: lazy start, graceful shutdown, task stealing,
+// and the nested-parallelism degradation ParallelFor relies on. The pool's
+// tasks must not throw (the library is exception-free; an escaping exception
+// would std::terminate a worker), so every task here communicates through
+// atomics instead.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace ppsm {
+namespace {
+
+TEST(ThreadPool, LazyStartSpawnsNoThreadsUntilFirstSubmit) {
+  ThreadPool pool(3);
+  EXPECT_FALSE(pool.started());
+  EXPECT_EQ(pool.num_threads(), 3u);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_TRUE(pool.started());
+  while (ran.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsEveryQueuedTask) {
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    // A slow first task backs up the queues so destruction races real work.
+    pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      ran.fetch_add(1);
+    });
+    for (int i = 1; i < kTasks; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // Graceful shutdown: drain, then join.
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, InWorkerThreadOnlyInsideTasks) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(1);
+  std::atomic<bool> inside{false};
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    inside.store(ThreadPool::InWorkerThread());
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPool, TryRunPendingTaskExecutesInline) {
+  ThreadPool pool(1);
+  // Park the only worker so submitted tasks stay pending. Wait until the
+  // worker has actually *started* the parking task — otherwise this thread's
+  // TryRunPendingTask below could steal it and block on the cv itself.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> parked{false};
+  pool.Submit([&] {
+    parked.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!parked.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  while (pool.QueueDepth() == 0) std::this_thread::yield();
+
+  // The stolen task runs on *this* thread, and counts as pool work.
+  EXPECT_TRUE(pool.TryRunPendingTask());
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  EXPECT_FALSE(pool.TryRunPendingTask());  // Queues empty again.
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(ThreadPool, SharedPoolIsSingletonAndUsable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<bool> done{false};
+  a.Submit([&done] { done.store(true); });
+  while (!done.load()) std::this_thread::yield();
+}
+
+TEST(ThreadPool, DefaultPoolThreadsIsPositive) {
+  EXPECT_GE(DefaultPoolThreads(), 1u);
+}
+
+TEST(ThreadPool, ManyProducersAllTasksRun) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.Submit([&ran] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  while (ran.load() < kProducers * kPerProducer) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+}
+
+// ParallelFor now draws helpers from the shared pool; it must still cover
+// every index exactly once when many callers overlap on the same pool.
+TEST(PoolParallelFor, ConcurrentCallersEachCoverTheirRange) {
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 500;
+  std::vector<std::thread> callers;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kItems);
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &hits] {
+      ParallelFor(4, kItems, [c, &hits](size_t i) { hits[c][i].fetch_add(1); });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(hits[c][i].load(), 1) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+// Nested ParallelFor degrades to a serial loop inside pool workers instead
+// of deadlocking a saturated pool: for any outer item that ran on a worker
+// thread, every inner iteration ran on that same thread.
+TEST(PoolParallelFor, NestedCallDegradesToSerialInWorkers) {
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 8;
+  std::vector<std::atomic<int>> inner_hits(kOuter * kInner);
+  std::vector<std::atomic<bool>> outer_on_worker(kOuter);
+  std::vector<std::atomic<bool>> inner_same_thread(kOuter);
+  for (auto& flag : inner_same_thread) flag.store(true);
+
+  ParallelFor(4, kOuter, [&](size_t o) {
+    outer_on_worker[o].store(ThreadPool::InWorkerThread());
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    const bool on_worker = ThreadPool::InWorkerThread();
+    ParallelFor(4, kInner, [&, o, outer_thread, on_worker](size_t i) {
+      inner_hits[o * kInner + i].fetch_add(1);
+      if (on_worker && std::this_thread::get_id() != outer_thread) {
+        inner_same_thread[o].store(false);
+      }
+    });
+  });
+
+  for (size_t i = 0; i < kOuter * kInner; ++i) {
+    EXPECT_EQ(inner_hits[i].load(), 1) << "inner index " << i;
+  }
+  for (size_t o = 0; o < kOuter; ++o) {
+    if (outer_on_worker[o].load()) {
+      EXPECT_TRUE(inner_same_thread[o].load())
+          << "outer item " << o
+          << " ran on a pool worker but its inner loop escaped the thread";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -9,6 +9,7 @@
 //                      [--upload-out pkg.bin]
 //   ppsm_cli query    --in g.graph --pattern q.pat --k 4
 //                     [--method eff|ran|fsim|bas] [--theta 2]
+//                     [--cloud-threads N] [--repeat N] [--concurrency N]
 //
 // `generate` writes a synthetic dataset in the ppsm text format; `attach`
 // turns a SNAP-style edge list into an attributed graph; `stats` summarizes
@@ -22,8 +23,10 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/ppsm_system.h"
+#include "obs/metrics.h"
 #include "graph/generators.h"
 #include "graph/graph_algos.h"
 #include "graph/text_io.h"
@@ -224,11 +227,61 @@ int Query(const Args& args) {
   auto method = ParseMethod(args.Get("method", "eff"));
   if (!method.ok()) return Fail(method.status().ToString());
   config.method = method.value();
-  config.cloud_threads =
-      static_cast<size_t>(std::max(1L, args.GetInt("threads", 1)));
+  // --threads is the deprecated spelling of --cloud-threads.
+  config.cloud.num_threads = static_cast<size_t>(std::max(
+      1L, args.GetInt("cloud-threads", args.GetInt("threads", 1))));
+  config.cloud.query_deadline_ms =
+      static_cast<uint64_t>(std::max(0L, args.GetInt("deadline-ms", 0)));
+  const size_t repeat =
+      static_cast<size_t>(std::max(1L, args.GetInt("repeat", 1)));
+  const size_t concurrency =
+      static_cast<size_t>(std::max(1L, args.GetInt("concurrency", 1)));
+  if (concurrency > config.cloud.max_inflight) {
+    config.cloud.max_inflight = concurrency;
+  }
 
   auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
   if (!system.ok()) return Fail(system.status().ToString());
+
+  // Concurrent replay: the same pattern `repeat` times, `concurrency` in
+  // flight. Per-query outcomes are identical by construction, so report the
+  // serving aggregates instead of the match rows.
+  if (repeat > 1 || concurrency > 1) {
+    const std::vector<AttributedGraph> workload(repeat, parsed->query);
+    const BatchOutcome batch = system->QueryBatch(workload, concurrency);
+    for (const auto& outcome : batch.outcomes) {
+      if (!outcome.ok()) {
+        std::cerr << "query failed: " << outcome.status() << "\n";
+      }
+    }
+    Table table("workload replay (repeat=" + std::to_string(repeat) +
+                    ", concurrency=" + std::to_string(concurrency) + ")",
+                {"metric", "value"});
+    table.AddRowValues("queries", batch.summary.queries);
+    table.AddRowValues("succeeded", batch.summary.succeeded);
+    table.AddRowValues("failed", batch.summary.failed);
+    table.AddRowValues("wall ms", Table::Num(batch.summary.wall_ms, 3));
+    table.AddRowValues("throughput q/s",
+                       Table::Num(batch.summary.queries_per_second, 1));
+    // Latency percentiles from the always-on registry histogram — what a
+    // deployed server would report — alongside the exact batch percentiles.
+    MetricSnapshot cloud_ms;
+    if (MetricsRegistry::Global().Find("ppsm_cloud_query_ms", &cloud_ms)) {
+      table.AddRowValues(
+          "cloud p50 ms (registry)",
+          Table::Num(HistogramPercentile(cloud_ms.histogram, 50.0), 3));
+      table.AddRowValues(
+          "cloud p95 ms (registry)",
+          Table::Num(HistogramPercentile(cloud_ms.histogram, 95.0), 3));
+    }
+    table.AddRowValues("p50 ms (batch)", Table::Num(batch.summary.p50_ms, 3));
+    table.AddRowValues("p95 ms (batch)", Table::Num(batch.summary.p95_ms, 3));
+    table.AddRowValues("plan cache hits", batch.summary.plan_cache.hits);
+    table.AddRowValues("plan cache misses", batch.summary.plan_cache.misses);
+    table.Print();
+    return batch.summary.succeeded > 0 ? 0 : 1;
+  }
+
   auto outcome = system->Query(parsed->query);
   if (!outcome.ok()) return Fail(outcome.status().ToString());
 
@@ -263,7 +316,8 @@ int Usage() {
       "  anonymize --in FILE --k K [--theta T] [--strategy eff|ran|fsim]\n"
       "            [--baseline 1] [--upload-out FILE]\n"
       "  query     --in FILE --pattern FILE --k K [--theta T]\n"
-      "            [--method eff|ran|fsim|bas] [--threads N]\n"
+      "            [--method eff|ran|fsim|bas] [--cloud-threads N]\n"
+      "            [--repeat N] [--concurrency N] [--deadline-ms MS]\n"
       "observability (any command):\n"
       "  --metrics-out FILE   flat JSON metrics dump\n"
       "  --metrics-prom FILE  Prometheus text metrics dump\n"
