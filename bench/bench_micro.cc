@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "anonymize/grouping.h"
 #include "cloud/cloud_server.h"
@@ -12,6 +14,7 @@
 #include "graph/generators.h"
 #include "graph/query_extractor.h"
 #include "graph/serialize.h"
+#include "match/index.h"
 #include "match/result_join.h"
 #include "match/star_matcher.h"
 #include "match/subgraph_matcher.h"
@@ -114,6 +117,26 @@ void BM_GraphDeserialize(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphDeserialize);
 
+void BM_SnapshotSerialize(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeGraphSnapshot(f.g).size());
+  }
+  state.counters["bytes"] =
+      static_cast<double>(SerializeGraphSnapshot(f.g).size());
+}
+BENCHMARK(BM_SnapshotSerialize);
+
+void BM_SnapshotDeserialize(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const auto bytes = SerializeGraphSnapshot(f.g);
+  for (auto _ : state) {
+    auto g = DeserializeGraphSnapshot(bytes, nullptr);
+    benchmark::DoNotOptimize(g.ok());
+  }
+}
+BENCHMARK(BM_SnapshotDeserialize);
+
 void BM_CloudAnswerQuery(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   size_t i = 0;
@@ -148,6 +171,128 @@ void BM_GenericMatcher(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenericMatcher);
+
+// --- Graph-core microbenchmarks (bench_results/BENCH_graph_core.json) ---
+// Traversal-bound loops over the storage layout: these are the numbers the
+// CSR freeze is accountable to.
+
+void BM_AdjacencyTraversal(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (VertexId v = 0; v < f.g.NumVertices(); ++v) {
+      for (const VertexId u : f.g.Neighbors(v)) sum += u;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(f.g.NumEdges()));
+}
+BENCHMARK(BM_AdjacencyTraversal);
+
+void BM_ForEachEdgeTraversal(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    size_t count = 0;
+    f.g.ForEachEdge([&](VertexId, VertexId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.g.NumEdges()));
+}
+BENCHMARK(BM_ForEachEdgeTraversal);
+
+void BM_VertexDataScan(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (VertexId v = 0; v < f.g.NumVertices(); ++v) {
+      for (const VertexTypeId t : f.g.Types(v)) sum += t;
+      for (const LabelId l : f.g.Labels(v)) sum += l;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_VertexDataScan);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const size_t num_types = f.g.schema()->NumTypes();
+  const size_t num_groups = f.g.schema()->NumLabels();
+  for (auto _ : state) {
+    CloudIndex index =
+        CloudIndex::Build(f.g, f.g.NumVertices(), num_types, num_groups);
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_BuilderBulkLoad(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    GraphBuilder b;
+    b.ReserveVertices(f.g.NumVertices());
+    b.ReserveEdges(f.g.NumEdges());
+    for (VertexId v = 0; v < f.g.NumVertices(); ++v) {
+      b.AddVertex(f.g.PrimaryType(v), {});
+    }
+    f.g.ForEachEdge([&](VertexId u, VertexId v) { b.TryAddEdge(u, v); });
+    auto built = b.Build();
+    benchmark::DoNotOptimize(built.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.g.NumEdges()));
+}
+BENCHMARK(BM_BuilderBulkLoad);
+
+// The dedup probe on a hub-heavy edge stream (every edge touches vertex 0,
+// fed twice). The builder's hash probe is O(1) per edge; the seed's
+// sorted-vector scan — kept here as the reference — is O(degree), which
+// made hub loads quadratic. Arg = hub degree.
+void BM_BuilderHubDedup(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    GraphBuilder b;
+    b.ReserveVertices(n + 1u);
+    b.ReserveEdges(n);
+    for (VertexId v = 0; v <= n; ++v) b.AddVertex(0, {});
+    for (int pass = 0; pass < 2; ++pass) {
+      for (VertexId v = 1; v <= n; ++v) b.TryAddEdge(0, v);
+    }
+    benchmark::DoNotOptimize(b.NumEdges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+BENCHMARK(BM_BuilderHubDedup)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_LinearProbeHubDedup(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::vector<VertexId>> adjacency(n + 1u);
+    auto try_add = [&](VertexId u, VertexId v) {
+      const auto& list = adjacency[u];
+      if (std::find(list.begin(), list.end(), v) != list.end()) return false;
+      adjacency[u].push_back(v);
+      adjacency[v].push_back(u);
+      return true;
+    };
+    for (int pass = 0; pass < 2; ++pass) {
+      for (VertexId v = 1; v <= n; ++v) try_add(0, v);
+    }
+    benchmark::DoNotOptimize(adjacency[0].size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+BENCHMARK(BM_LinearProbeHubDedup)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_GraphMemoryBytes(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  for (auto _ : state) benchmark::DoNotOptimize(f.g.MemoryBytes());
+  state.counters["graph_bytes"] = static_cast<double>(f.g.MemoryBytes());
+}
+BENCHMARK(BM_GraphMemoryBytes);
 
 void BM_LctBuildEff(benchmark::State& state) {
   Fixture& f = Fixture::Get();

@@ -181,7 +181,8 @@ Result<CloudServer> CloudServer::Host(UploadPackage package,
   {
     PPSM_TRACE_SPAN_CAT("cloud.index_build", "setup");
     server.index_ =
-        CloudIndex::Build(server.data_, num_centers, num_types, num_groups);
+        CloudIndex::Build(server.data_, num_centers, num_types, num_groups,
+                          server.config_.num_threads);
   }
   server.index_build_ms_ = timer.ElapsedMillis();
   const CloudMetrics& metrics = CloudMetrics::Get();

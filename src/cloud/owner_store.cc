@@ -11,27 +11,6 @@ namespace {
 
 constexpr uint32_t kMetaMagic = 0x3154454d;  // "MET1"
 
-Status WriteFileBytes(const std::string& path,
-                      const std::vector<uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot open '" + path + "' for write");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::Internal("write failed for '" + path + "'");
-  return Status::OK();
-}
-
-Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) return Status::Internal("read failed for '" + path + "'");
-  return bytes;
-}
-
 }  // namespace
 
 Status SaveDataOwner(const DataOwner& owner, const std::string& directory) {
@@ -44,52 +23,53 @@ Status SaveDataOwner(const DataOwner& owner, const std::string& directory) {
   if (graph.schema() == nullptr) {
     return Status::FailedPrecondition("owner graph has no schema");
   }
-  PPSM_RETURN_IF_ERROR(WriteFileBytes(directory + "/schema.bin",
-                                      SerializeSchema(*graph.schema())));
+  PPSM_RETURN_IF_ERROR(WriteBytesToFile(directory + "/schema.bin",
+                                        SerializeSchema(*graph.schema())));
+  PPSM_RETURN_IF_ERROR(WriteBytesToFile(directory + "/graph.bin",
+                                        SerializeGraphSnapshot(graph)));
   PPSM_RETURN_IF_ERROR(
-      WriteFileBytes(directory + "/graph.bin", SerializeGraph(graph)));
+      WriteBytesToFile(directory + "/lct.bin", owner.lct().Serialize()));
   PPSM_RETURN_IF_ERROR(
-      WriteFileBytes(directory + "/lct.bin", owner.lct().Serialize()));
+      WriteBytesToFile(directory + "/gk.bin",
+                       SerializeGraphSnapshot(owner.kag().gk)));
   PPSM_RETURN_IF_ERROR(
-      WriteFileBytes(directory + "/gk.bin", SerializeGraph(owner.kag().gk)));
-  PPSM_RETURN_IF_ERROR(
-      WriteFileBytes(directory + "/avt.bin", owner.kag().avt.Serialize()));
+      WriteBytesToFile(directory + "/avt.bin", owner.kag().avt.Serialize()));
 
   BinaryWriter meta;
   meta.PutU32(kMetaMagic);
   meta.PutU8(owner.IsBaselineUpload() ? 1 : 0);
   meta.PutVarint(owner.kag().num_original_vertices);
   meta.PutVarint(owner.kag().num_original_edges);
-  return WriteFileBytes(directory + "/meta.bin", meta.TakeBytes());
+  return WriteBytesToFile(directory + "/meta.bin", meta.TakeBytes());
 }
 
 Result<DataOwner> LoadDataOwner(const std::string& directory) {
   PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> schema_bytes,
-                        ReadFileBytes(directory + "/schema.bin"));
+                        ReadBytesFromFile(directory + "/schema.bin"));
   PPSM_ASSIGN_OR_RETURN(Schema schema, DeserializeSchema(schema_bytes));
   auto shared_schema = std::make_shared<const Schema>(std::move(schema));
 
   PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> graph_bytes,
-                        ReadFileBytes(directory + "/graph.bin"));
+                        ReadBytesFromFile(directory + "/graph.bin"));
   PPSM_ASSIGN_OR_RETURN(AttributedGraph graph,
-                        DeserializeGraph(graph_bytes, shared_schema));
+                        DeserializeGraphSnapshot(graph_bytes, shared_schema));
 
   PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> lct_bytes,
-                        ReadFileBytes(directory + "/lct.bin"));
+                        ReadBytesFromFile(directory + "/lct.bin"));
   PPSM_ASSIGN_OR_RETURN(Lct lct,
                         Lct::Deserialize(lct_bytes, *shared_schema));
 
   KAutomorphicGraph kag;
   PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> gk_bytes,
-                        ReadFileBytes(directory + "/gk.bin"));
-  PPSM_ASSIGN_OR_RETURN(kag.gk,
-                        DeserializeGraph(gk_bytes, /*schema=*/nullptr));
+                        ReadBytesFromFile(directory + "/gk.bin"));
+  PPSM_ASSIGN_OR_RETURN(
+      kag.gk, DeserializeGraphSnapshot(gk_bytes, /*schema=*/nullptr));
   PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> avt_bytes,
-                        ReadFileBytes(directory + "/avt.bin"));
+                        ReadBytesFromFile(directory + "/avt.bin"));
   PPSM_ASSIGN_OR_RETURN(kag.avt, Avt::Deserialize(avt_bytes));
 
   PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> meta_bytes,
-                        ReadFileBytes(directory + "/meta.bin"));
+                        ReadBytesFromFile(directory + "/meta.bin"));
   BinaryReader meta(meta_bytes);
   PPSM_ASSIGN_OR_RETURN(const uint32_t magic, meta.GetU32());
   if (magic != kMetaMagic) {

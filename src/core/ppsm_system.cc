@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cloud/owner_store.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -87,14 +88,18 @@ Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
   }
 
   PPSM_TRACE_SPAN_CAT("setup", "setup");
-  PpsmSystem system;
-  system.config_ = config;
-  system.channel_ = SimulatedChannel(config.channel);
-
   PPSM_ASSIGN_OR_RETURN(
       DataOwner owner,
       DataOwner::Create(std::move(graph), std::move(schema), options));
-  system.owner_ = std::make_unique<DataOwner>(std::move(owner));
+  return HostFromOwner(std::make_unique<DataOwner>(std::move(owner)), config);
+}
+
+Result<PpsmSystem> PpsmSystem::HostFromOwner(std::unique_ptr<DataOwner> owner,
+                                             const SystemConfig& config) {
+  PpsmSystem system;
+  system.config_ = config;
+  system.channel_ = SimulatedChannel(config.channel);
+  system.owner_ = std::move(owner);
 
   system.upload_ms_ = system.channel_.Transfer(
       system.owner_->upload_bytes().size(), "upload");
@@ -109,6 +114,21 @@ Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
   }
   system.service_ = std::make_unique<QueryService>(system.cloud_.get());
   return system;
+}
+
+Status PpsmSystem::SaveSnapshot(const std::string& directory) const {
+  return SaveDataOwner(*owner_, directory);
+}
+
+Result<PpsmSystem> PpsmSystem::LoadSnapshot(const std::string& directory,
+                                            const SystemConfig& config) {
+  PPSM_TRACE_SPAN_CAT("setup.load_snapshot", "setup");
+  PPSM_ASSIGN_OR_RETURN(DataOwner owner, LoadDataOwner(directory));
+  SystemConfig effective = config;
+  effective.k = owner.k();
+  if (owner.IsBaselineUpload()) effective.method = Method::kBas;
+  return HostFromOwner(std::make_unique<DataOwner>(std::move(owner)),
+                       effective);
 }
 
 Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) const {

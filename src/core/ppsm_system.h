@@ -92,6 +92,19 @@ class PpsmSystem {
                                   std::shared_ptr<const Schema> schema,
                                   const SystemConfig& config);
 
+  /// Persists the owner-side state (schema, G, LCT, Gk, AVT) to `directory`
+  /// as binary snapshots, so a later LoadSnapshot can skip the offline
+  /// pipeline entirely (k-automorphism + grouping dominate setup time).
+  Status SaveSnapshot(const std::string& directory) const;
+
+  /// Rebuilds a full system from a SaveSnapshot directory: restores the
+  /// owner, re-derives the upload package deterministically, and re-hosts
+  /// the cloud side. `config` supplies the serving/channel knobs; the
+  /// snapshot's own k and baseline-upload flag win over config (method is
+  /// only used for labeling — the grouping it names was already applied).
+  static Result<PpsmSystem> LoadSnapshot(const std::string& directory,
+                                         const SystemConfig& config);
+
   /// One query end to end. Thread-safe.
   Result<QueryOutcome> Query(const AttributedGraph& query) const;
 
@@ -113,6 +126,11 @@ class PpsmSystem {
 
  private:
   PpsmSystem() = default;
+
+  /// Shared tail of Setup/LoadSnapshot: charges the upload transfer, hosts
+  /// the cloud server from the owner's upload bytes, and wires the service.
+  static Result<PpsmSystem> HostFromOwner(std::unique_ptr<DataOwner> owner,
+                                          const SystemConfig& config);
 
   SystemConfig config_;
   std::unique_ptr<DataOwner> owner_;

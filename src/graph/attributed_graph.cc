@@ -1,7 +1,7 @@
 #include "graph/attributed_graph.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 
 namespace ppsm {
 
@@ -18,22 +18,71 @@ bool SortedContains(std::span<const T> haystack, T needle) {
   return std::binary_search(haystack.begin(), haystack.end(), needle);
 }
 
+template <typename T>
+bool StrictlyIncreasing(std::span<const T> values) {
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i - 1] >= values[i]) return false;
+  }
+  return true;
+}
+
+/// Shared by GraphBuilder::Build and AttributedGraph::AdoptCsr: checks one
+/// vertex's (sorted) type and label sets against the vocabulary.
+Status ValidateVertexSchema(const Schema& schema, VertexId v,
+                            std::span<const VertexTypeId> types,
+                            std::span<const LabelId> labels) {
+  for (const VertexTypeId t : types) {
+    if (!schema.IsValidType(t)) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " references unknown type id " +
+                                     std::to_string(t));
+    }
+  }
+  for (const LabelId l : labels) {
+    if (!schema.IsValidLabel(l)) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " references unknown label id " +
+                                     std::to_string(l));
+    }
+    const VertexTypeId owner = schema.TypeOfLabel(l);
+    if (std::find(types.begin(), types.end(), owner) == types.end()) {
+      return Status::InvalidArgument(
+          "vertex " + std::to_string(v) + " carries label '" +
+          schema.LabelName(l) + "' owned by type '" + schema.TypeName(owner) +
+          "' which is not among its types");
+    }
+  }
+  return Status::OK();
+}
+
+/// A CSR offset array must have one entry per vertex plus a terminator,
+/// start at 0, be non-decreasing, and end exactly at the pool size.
+Status ValidateOffsets(const std::vector<uint32_t>& offsets,
+                       size_t num_vertices, size_t pool_size,
+                       const char* what) {
+  if (offsets.size() != num_vertices + 1) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " offset array has wrong length");
+  }
+  if (offsets.front() != 0 || offsets.back() != pool_size) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " offsets do not span the value pool");
+  }
+  for (size_t i = 0; i < num_vertices; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " offsets are not monotonic");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-std::span<const VertexTypeId> AttributedGraph::Types(VertexId v) const {
-  assert(IsValidVertex(v));
-  return types_[v];
-}
-
 VertexTypeId AttributedGraph::PrimaryType(VertexId v) const {
-  assert(IsValidVertex(v));
-  assert(!types_[v].empty());
-  return types_[v].front();
-}
-
-std::span<const LabelId> AttributedGraph::Labels(VertexId v) const {
-  assert(IsValidVertex(v));
-  return labels_[v];
+  const auto types = Types(v);
+  assert(!types.empty());
+  return types.front();
 }
 
 bool AttributedGraph::HasType(VertexId v, VertexTypeId t) const {
@@ -56,11 +105,6 @@ bool AttributedGraph::TypesContainAll(
   return std::includes(mine.begin(), mine.end(), types.begin(), types.end());
 }
 
-std::span<const VertexId> AttributedGraph::Neighbors(VertexId v) const {
-  assert(IsValidVertex(v));
-  return adjacency_[v];
-}
-
 bool AttributedGraph::HasEdge(VertexId u, VertexId v) const {
   if (!IsValidVertex(u) || !IsValidVertex(v)) return false;
   // Search the shorter list.
@@ -76,28 +120,94 @@ double AttributedGraph::AverageDegree() const {
 
 size_t AttributedGraph::MaxDegree() const {
   size_t max_degree = 0;
-  for (const auto& adj : adjacency_) max_degree = std::max(max_degree, adj.size());
+  for (size_t v = 0; v + 1 < csr_.adjacency_offsets.size(); ++v) {
+    max_degree = std::max<size_t>(
+        max_degree, csr_.adjacency_offsets[v + 1] - csr_.adjacency_offsets[v]);
+  }
   return max_degree;
 }
 
-void AttributedGraph::ForEachEdge(
-    const std::function<void(VertexId, VertexId)>& fn) const {
-  for (VertexId u = 0; u < adjacency_.size(); ++u) {
-    for (const VertexId v : adjacency_[u]) {
-      if (u < v) fn(u, v);
-    }
-  }
+size_t AttributedGraph::MemoryBytes() const {
+  return csr_.adjacency_offsets.capacity() * sizeof(uint32_t) +
+         csr_.adjacency.capacity() * sizeof(VertexId) +
+         csr_.type_offsets.capacity() * sizeof(uint32_t) +
+         csr_.types.capacity() * sizeof(VertexTypeId) +
+         csr_.label_offsets.capacity() * sizeof(uint32_t) +
+         csr_.labels.capacity() * sizeof(LabelId);
 }
 
-size_t AttributedGraph::MemoryBytes() const {
-  size_t bytes = 0;
-  for (const auto& v : types_) bytes += v.capacity() * sizeof(VertexTypeId);
-  for (const auto& v : labels_) bytes += v.capacity() * sizeof(LabelId);
-  for (const auto& v : adjacency_) bytes += v.capacity() * sizeof(VertexId);
-  bytes += (types_.capacity() + labels_.capacity()) *
-               sizeof(std::vector<uint32_t>) +
-           adjacency_.capacity() * sizeof(std::vector<VertexId>);
-  return bytes;
+Result<AttributedGraph> AttributedGraph::AdoptCsr(
+    GraphCsr csr, std::shared_ptr<const Schema> schema) {
+  if (csr.adjacency_offsets.empty()) {
+    // Canonicalize the empty graph (all-empty arrays are accepted).
+    if (!csr.adjacency.empty() || !csr.types.empty() || !csr.labels.empty() ||
+        !csr.type_offsets.empty() || !csr.label_offsets.empty()) {
+      return Status::InvalidArgument("CSR offset arrays missing");
+    }
+    csr.adjacency_offsets.assign(1, 0);
+    csr.type_offsets.assign(1, 0);
+    csr.label_offsets.assign(1, 0);
+  }
+  const size_t n = csr.adjacency_offsets.size() - 1;
+  if (n > static_cast<size_t>(kInvalidVertex)) {
+    return Status::InvalidArgument("vertex count overflows VertexId");
+  }
+  PPSM_RETURN_IF_ERROR(
+      ValidateOffsets(csr.adjacency_offsets, n, csr.adjacency.size(),
+                      "adjacency"));
+  PPSM_RETURN_IF_ERROR(
+      ValidateOffsets(csr.type_offsets, n, csr.types.size(), "type"));
+  PPSM_RETURN_IF_ERROR(
+      ValidateOffsets(csr.label_offsets, n, csr.labels.size(), "label"));
+  if (csr.adjacency.size() % 2 != 0) {
+    return Status::InvalidArgument(
+        "adjacency pool holds an odd number of half-edges");
+  }
+
+  AttributedGraph graph;
+  graph.schema_ = std::move(schema);
+  graph.csr_ = std::move(csr);
+  graph.num_edges_ = graph.csr_.adjacency.size() / 2;
+
+  for (VertexId v = 0; v < n; ++v) {
+    const auto types = graph.Types(v);
+    if (types.empty()) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " has no vertex type");
+    }
+    if (!StrictlyIncreasing(types) || !StrictlyIncreasing(graph.Labels(v))) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " has an unsorted type or label set");
+    }
+    const auto neighbors = graph.Neighbors(v);
+    if (!StrictlyIncreasing(neighbors)) {
+      return Status::InvalidArgument("adjacency of vertex " +
+                                     std::to_string(v) +
+                                     " is not sorted and duplicate-free");
+    }
+    for (const VertexId u : neighbors) {
+      if (u >= n) {
+        return Status::InvalidArgument("edge endpoint out of range");
+      }
+      if (u == v) {
+        return Status::InvalidArgument("self-loops are not allowed");
+      }
+    }
+    if (graph.schema_ != nullptr) {
+      PPSM_RETURN_IF_ERROR(ValidateVertexSchema(*graph.schema_, v, types,
+                                                graph.Labels(v)));
+    }
+  }
+  // Every half-edge must have its mirror, or NumEdges() and HasEdge()
+  // disagree with the traversal surface.
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : graph.Neighbors(v)) {
+      if (!SortedContains(graph.Neighbors(u), v)) {
+        return Status::InvalidArgument("adjacency is not symmetric");
+      }
+    }
+  }
+  return graph;
 }
 
 GraphBuilder::GraphBuilder(std::shared_ptr<const Schema> schema)
@@ -106,7 +216,11 @@ GraphBuilder::GraphBuilder(std::shared_ptr<const Schema> schema)
 void GraphBuilder::ReserveVertices(size_t n) {
   types_.reserve(n);
   labels_.reserve(n);
-  adjacency_.reserve(n);
+}
+
+void GraphBuilder::ReserveEdges(size_t m) {
+  edges_.reserve(m);
+  edge_keys_.reserve(m);
 }
 
 VertexId GraphBuilder::AddVertex(VertexTypeId type,
@@ -116,50 +230,45 @@ VertexId GraphBuilder::AddVertex(VertexTypeId type,
 
 VertexId GraphBuilder::AddVertex(std::vector<VertexTypeId> types,
                                  std::vector<LabelId> labels) {
-  const auto id = static_cast<VertexId>(adjacency_.size());
+  const auto id = static_cast<VertexId>(types_.size());
   types_.push_back(std::move(types));
   labels_.push_back(std::move(labels));
-  adjacency_.emplace_back();
   return id;
 }
 
 Status GraphBuilder::AddEdge(VertexId u, VertexId v) {
-  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+  if (u >= types_.size() || v >= types_.size()) {
     return Status::InvalidArgument("edge endpoint out of range");
   }
   if (u == v) return Status::InvalidArgument("self-loops are not allowed");
-  if (HasEdge(u, v)) return Status::AlreadyExists("duplicate edge");
-  adjacency_[u].push_back(v);
-  adjacency_[v].push_back(u);
-  ++num_edges_;
+  if (!edge_keys_.insert(UndirectedEdgeKey(u, v)).second) {
+    return Status::AlreadyExists("duplicate edge");
+  }
+  edges_.emplace_back(u, v);
   return Status::OK();
 }
 
 bool GraphBuilder::TryAddEdge(VertexId u, VertexId v) {
-  assert(u < adjacency_.size() && v < adjacency_.size());
-  if (u == v || HasEdge(u, v)) return false;
-  adjacency_[u].push_back(v);
-  adjacency_[v].push_back(u);
-  ++num_edges_;
+  assert(u < types_.size() && v < types_.size());
+  if (u == v || !edge_keys_.insert(UndirectedEdgeKey(u, v)).second) {
+    return false;
+  }
+  edges_.emplace_back(u, v);
   return true;
 }
 
 void GraphBuilder::AddEdgeUnchecked(VertexId u, VertexId v) {
-  assert(u < adjacency_.size() && v < adjacency_.size());
+  assert(u < types_.size() && v < types_.size());
   assert(u != v);
-  adjacency_[u].push_back(v);
-  adjacency_[v].push_back(u);
-  ++num_edges_;
+  const bool inserted = edge_keys_.insert(UndirectedEdgeKey(u, v)).second;
+  assert(inserted && "AddEdgeUnchecked fed a duplicate edge");
+  (void)inserted;
+  edges_.emplace_back(u, v);
 }
 
 bool GraphBuilder::HasEdge(VertexId u, VertexId v) const {
-  assert(u < adjacency_.size() && v < adjacency_.size());
-  // Probe the shorter of the two (unsorted) lists.
-  const auto& list =
-      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
-                                                   : adjacency_[v];
-  const VertexId other = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
-  return std::find(list.begin(), list.end(), other) != list.end();
+  assert(u < types_.size() && v < types_.size());
+  return edge_keys_.contains(UndirectedEdgeKey(u, v));
 }
 
 void GraphBuilder::SetLabels(VertexId v, std::vector<LabelId> labels) {
@@ -173,51 +282,75 @@ void GraphBuilder::SetTypes(VertexId v, std::vector<VertexTypeId> types) {
 }
 
 Result<AttributedGraph> GraphBuilder::Build() {
-  for (VertexId v = 0; v < adjacency_.size(); ++v) {
+  const size_t n = types_.size();
+  size_t total_types = 0;
+  size_t total_labels = 0;
+  for (VertexId v = 0; v < n; ++v) {
     SortUnique(types_[v]);
     SortUnique(labels_[v]);
-    std::sort(adjacency_[v].begin(), adjacency_[v].end());
     if (types_[v].empty()) {
       return Status::InvalidArgument("vertex " + std::to_string(v) +
                                      " has no vertex type");
     }
     if (schema_ != nullptr) {
-      for (const VertexTypeId t : types_[v]) {
-        if (!schema_->IsValidType(t)) {
-          return Status::InvalidArgument("vertex " + std::to_string(v) +
-                                         " references unknown type id " +
-                                         std::to_string(t));
-        }
-      }
-      for (const LabelId l : labels_[v]) {
-        if (!schema_->IsValidLabel(l)) {
-          return Status::InvalidArgument("vertex " + std::to_string(v) +
-                                         " references unknown label id " +
-                                         std::to_string(l));
-        }
-        const VertexTypeId owner = schema_->TypeOfLabel(l);
-        if (std::find(types_[v].begin(), types_[v].end(), owner) ==
-            types_[v].end()) {
-          return Status::InvalidArgument(
-              "vertex " + std::to_string(v) + " carries label '" +
-              schema_->LabelName(l) + "' owned by type '" +
-              schema_->TypeName(owner) + "' which is not among its types");
-        }
-      }
+      PPSM_RETURN_IF_ERROR(
+          ValidateVertexSchema(*schema_, v, types_[v], labels_[v]));
     }
+    total_types += types_[v].size();
+    total_labels += labels_[v].size();
+  }
+  if (total_types > UINT32_MAX || total_labels > UINT32_MAX ||
+      2 * edges_.size() > UINT32_MAX) {
+    return Status::InvalidArgument("graph overflows 32-bit CSR offsets");
   }
 
   AttributedGraph graph;
+  GraphCsr& csr = graph.csr_;
+
+  // Flatten the per-vertex type and label sets into their pools.
+  csr.type_offsets.reserve(n + 1);
+  csr.type_offsets.push_back(0);
+  csr.types.reserve(total_types);
+  csr.label_offsets.reserve(n + 1);
+  csr.label_offsets.push_back(0);
+  csr.labels.reserve(total_labels);
+  for (VertexId v = 0; v < n; ++v) {
+    csr.types.insert(csr.types.end(), types_[v].begin(), types_[v].end());
+    csr.type_offsets.push_back(static_cast<uint32_t>(csr.types.size()));
+    csr.labels.insert(csr.labels.end(), labels_[v].begin(), labels_[v].end());
+    csr.label_offsets.push_back(static_cast<uint32_t>(csr.labels.size()));
+  }
+
+  // Counting-sort the pending edge list into CSR adjacency: degree count,
+  // prefix sum, scatter, then sort each vertex's range. Edges are already
+  // unique (the hash probe enforced that), so no merge-dedup pass is needed.
+  csr.adjacency_offsets.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++csr.adjacency_offsets[u + 1];
+    ++csr.adjacency_offsets[v + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    csr.adjacency_offsets[i] += csr.adjacency_offsets[i - 1];
+  }
+  csr.adjacency.resize(2 * edges_.size());
+  std::vector<uint32_t> cursor(csr.adjacency_offsets.begin(),
+                               csr.adjacency_offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    csr.adjacency[cursor[u]++] = v;
+    csr.adjacency[cursor[v]++] = u;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(csr.adjacency.begin() + csr.adjacency_offsets[v],
+              csr.adjacency.begin() + csr.adjacency_offsets[v + 1]);
+  }
+
+  graph.num_edges_ = edges_.size();
   graph.schema_ = std::move(schema_);
-  graph.types_ = std::move(types_);
-  graph.labels_ = std::move(labels_);
-  graph.adjacency_ = std::move(adjacency_);
-  graph.num_edges_ = num_edges_;
 
   types_.clear();
   labels_.clear();
-  adjacency_.clear();
-  num_edges_ = 0;
+  edges_.clear();
+  edge_keys_.clear();
   return graph;
 }
 

@@ -1,19 +1,42 @@
 #ifndef PPSM_GRAPH_ATTRIBUTED_GRAPH_H_
 #define PPSM_GRAPH_ATTRIBUTED_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "graph/schema.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace ppsm {
 
 using VertexId = uint32_t;
 inline constexpr VertexId kInvalidVertex = UINT32_MAX;
+
+/// The frozen flat storage of an AttributedGraph: three CSR families, each a
+/// contiguous value pool addressed by a `uint32_t` offset array of size
+/// NumVertices()+1. Vertex v's neighbors live at
+/// adjacency[adjacency_offsets[v] .. adjacency_offsets[v+1]), and likewise
+/// for its type and label sets. Every per-vertex range is sorted and
+/// duplicate-free; the adjacency pool holds both directions of every
+/// undirected edge (2|E| entries).
+///
+/// Exposed read-only through AttributedGraph::csr() so the snapshot
+/// serializer can memcpy the six arrays verbatim; AdoptCsr() is the gated
+/// inverse (it re-validates every structural invariant before accepting).
+struct GraphCsr {
+  std::vector<uint32_t> adjacency_offsets;  // size V+1 ({0} when V == 0).
+  std::vector<VertexId> adjacency;          // size 2|E|.
+  std::vector<uint32_t> type_offsets;       // size V+1.
+  std::vector<VertexTypeId> types;
+  std::vector<uint32_t> label_offsets;      // size V+1.
+  std::vector<LabelId> labels;
+};
 
 /// An immutable undirected attributed graph (paper §2.1 Def. 1). Used for
 /// the original graph G, the k-automorphic graph Gk, the outsourced graph Go
@@ -26,24 +49,37 @@ inline constexpr VertexId kInvalidVertex = UINT32_MAX;
 ///  * a sorted set of labels — raw attribute values in an original graph, or
 ///    label-group ids (from the LCT) in an anonymized graph.
 ///
-/// Adjacency lists are sorted, enabling O(log d) edge tests; instances are
-/// produced by GraphBuilder and never mutated afterwards, so matching code
-/// can hold spans into them safely.
+/// Storage is flat CSR (see GraphCsr): no per-vertex heap allocations, so
+/// whole-graph traversals stream three contiguous arrays instead of chasing
+/// a pointer per vertex. Adjacency lists are sorted, enabling O(log d) edge
+/// tests; instances are produced by GraphBuilder (or AdoptCsr) and never
+/// mutated afterwards, so matching code can hold spans into them safely.
 class AttributedGraph {
  public:
   AttributedGraph() = default;
 
-  size_t NumVertices() const { return adjacency_.size(); }
+  size_t NumVertices() const {
+    return csr_.adjacency_offsets.empty() ? 0
+                                          : csr_.adjacency_offsets.size() - 1;
+  }
   size_t NumEdges() const { return num_edges_; }
 
-  bool IsValidVertex(VertexId v) const { return v < adjacency_.size(); }
+  bool IsValidVertex(VertexId v) const { return v < NumVertices(); }
 
   /// Sorted type set of `v` (singleton for original graphs).
-  std::span<const VertexTypeId> Types(VertexId v) const;
+  std::span<const VertexTypeId> Types(VertexId v) const {
+    assert(IsValidVertex(v));
+    return {csr_.types.data() + csr_.type_offsets[v],
+            csr_.type_offsets[v + 1] - csr_.type_offsets[v]};
+  }
   /// The primary (first) type of `v`. Every vertex has at least one type.
   VertexTypeId PrimaryType(VertexId v) const;
   /// Sorted label set of `v` (raw labels or label-group ids).
-  std::span<const LabelId> Labels(VertexId v) const;
+  std::span<const LabelId> Labels(VertexId v) const {
+    assert(IsValidVertex(v));
+    return {csr_.labels.data() + csr_.label_offsets[v],
+            csr_.label_offsets[v + 1] - csr_.label_offsets[v]};
+  }
 
   bool HasType(VertexId v, VertexTypeId t) const;
   bool HasLabel(VertexId v, LabelId l) const;
@@ -53,7 +89,11 @@ class AttributedGraph {
   bool TypesContainAll(VertexId v, std::span<const VertexTypeId> types) const;
 
   /// Sorted neighbor list of `v`.
-  std::span<const VertexId> Neighbors(VertexId v) const;
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    assert(IsValidVertex(v));
+    return {csr_.adjacency.data() + csr_.adjacency_offsets[v],
+            csr_.adjacency_offsets[v + 1] - csr_.adjacency_offsets[v]};
+  }
   size_t Degree(VertexId v) const { return Neighbors(v).size(); }
   /// O(log d) undirected edge test.
   bool HasEdge(VertexId u, VertexId v) const;
@@ -62,28 +102,54 @@ class AttributedGraph {
   double AverageDegree() const;
   size_t MaxDegree() const;
 
-  /// Invokes `fn(u, v)` once per undirected edge, with u < v.
-  void ForEachEdge(const std::function<void(VertexId, VertexId)>& fn) const;
+  /// Invokes `fn(u, v)` once per undirected edge, with u < v. Templated so
+  /// the visitor inlines into the scan — edge iteration is the inner loop of
+  /// the k-automorphism transform, statistics and partitioning, where a
+  /// std::function indirection per edge used to dominate.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    const size_t n = NumVertices();
+    for (VertexId u = 0; u < n; ++u) {
+      const uint32_t end = csr_.adjacency_offsets[u + 1];
+      for (uint32_t i = csr_.adjacency_offsets[u]; i < end; ++i) {
+        const VertexId v = csr_.adjacency[i];
+        if (u < v) fn(u, v);
+      }
+    }
+  }
 
   /// Shared vocabulary; may be null for schema-less test graphs.
   const std::shared_ptr<const Schema>& schema() const { return schema_; }
 
-  /// Approximate heap footprint in bytes (storage-cost accounting).
+  /// The frozen flat storage (snapshot serialization reads it verbatim).
+  const GraphCsr& csr() const { return csr_; }
+
+  /// Freezes already-flattened storage into a graph, e.g. one memcpy'd back
+  /// from a binary snapshot. Re-validates every structural invariant the
+  /// builder would have enforced — offset shape, sorted/unique pools,
+  /// non-empty type sets, in-range symmetric self-loop-free adjacency, and
+  /// schema membership when `schema` is non-null — so corrupt or forged
+  /// input yields a typed error, never a malformed graph.
+  static Result<AttributedGraph> AdoptCsr(GraphCsr csr,
+                                          std::shared_ptr<const Schema> schema);
+
+  /// Heap footprint in bytes of the flat arrays (storage-cost accounting).
   size_t MemoryBytes() const;
 
  private:
   friend class GraphBuilder;
 
   std::shared_ptr<const Schema> schema_;
-  std::vector<std::vector<VertexTypeId>> types_;   // Sorted per vertex.
-  std::vector<std::vector<LabelId>> labels_;       // Sorted per vertex.
-  std::vector<std::vector<VertexId>> adjacency_;   // Sorted per vertex.
+  GraphCsr csr_;
   size_t num_edges_ = 0;
 };
 
 /// Accumulates vertices and edges, then validates and freezes them into an
 /// AttributedGraph. Self-loops are rejected eagerly; duplicate edges are
 /// rejected by AddEdge but tolerated by TryAddEdge (which generators use).
+/// Duplicate probes go through a hash set of edge keys, so bulk loads are
+/// O(1) expected per edge regardless of degree; the CSR arrays are laid out
+/// in one counting-sort pass at Build() time.
 class GraphBuilder {
  public:
   GraphBuilder() = default;
@@ -93,6 +159,9 @@ class GraphBuilder {
 
   /// Pre-allocates vertex storage.
   void ReserveVertices(size_t n);
+  /// Pre-allocates edge storage (both the pending edge list and the
+  /// duplicate-probe set).
+  void ReserveEdges(size_t m);
 
   /// Adds a vertex with a single type.
   VertexId AddVertex(VertexTypeId type, std::vector<LabelId> labels);
@@ -106,15 +175,17 @@ class GraphBuilder {
   /// Adds an undirected edge if absent; returns true iff it was added.
   /// Self-loops return false. Endpoints must exist.
   bool TryAddEdge(VertexId u, VertexId v);
-  /// Appends an edge without the duplicate probe. For bulk loads whose edge
+  /// Appends an edge without rejecting duplicates. For bulk loads whose edge
   /// list was already deduplicated (the k-automorphism builder sorts edge
-  /// keys first); inserting an actual duplicate corrupts the graph.
+  /// keys first); inserting an actual duplicate corrupts the graph. The edge
+  /// still registers in the duplicate-probe set, so later HasEdge /
+  /// TryAddEdge calls see it.
   void AddEdgeUnchecked(VertexId u, VertexId v);
-  /// O(d) duplicate probe against the under-construction adjacency.
+  /// O(1) expected duplicate probe against the under-construction edge set.
   bool HasEdge(VertexId u, VertexId v) const;
 
-  size_t NumVertices() const { return adjacency_.size(); }
-  size_t NumEdges() const { return num_edges_; }
+  size_t NumVertices() const { return types_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
 
   /// Replaces the label set of an existing vertex (the anonymizer rewrites
   /// labels to group ids in place before freezing).
@@ -122,8 +193,9 @@ class GraphBuilder {
   /// Replaces the type set of an existing vertex.
   void SetTypes(VertexId v, std::vector<VertexTypeId> types);
 
-  /// Validates, sorts and freezes. The builder is left empty afterwards.
-  /// Fails with InvalidArgument if a vertex has no type, or (when a schema is
+  /// Validates, sorts and freezes into flat CSR storage. The builder is left
+  /// empty afterwards. Fails with InvalidArgument if a vertex has no type,
+  /// if the graph overflows the 32-bit CSR offsets, or (when a schema is
   /// attached) references unknown type/label ids or labels whose owning type
   /// is not among the vertex's types.
   Result<AttributedGraph> Build();
@@ -132,8 +204,8 @@ class GraphBuilder {
   std::shared_ptr<const Schema> schema_;
   std::vector<std::vector<VertexTypeId>> types_;
   std::vector<std::vector<LabelId>> labels_;
-  std::vector<std::vector<VertexId>> adjacency_;
-  size_t num_edges_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::unordered_set<uint64_t, EdgeKeyHash> edge_keys_;
 };
 
 }  // namespace ppsm

@@ -26,6 +26,8 @@ class BinaryWriter {
   void PutVarint(uint64_t value);
   /// Varint length prefix + raw bytes.
   void PutString(const std::string& value);
+  /// Raw bytes, no length prefix (snapshot array payloads).
+  void PutBytes(std::span<const uint8_t> bytes);
   /// Varint count + delta-encoded sorted ids (requires ascending input), the
   /// standard inverted-list trick: deltas are small, so varints stay short.
   void PutSortedIds(std::span<const uint32_t> sorted_ids);
@@ -51,6 +53,9 @@ class BinaryReader {
   Result<uint64_t> GetVarint();
   Result<std::string> GetString();
   Result<std::vector<uint32_t>> GetSortedIds();
+  /// A view over the next `count` raw bytes (no copy); advances the cursor.
+  /// The view aliases the reader's buffer.
+  Result<std::span<const uint8_t>> GetBytes(size_t count);
 
   size_t remaining() const { return bytes_.size() - position_; }
   bool AtEnd() const { return remaining() == 0; }
@@ -72,6 +77,38 @@ Result<AttributedGraph> DeserializeGraph(std::span<const uint8_t> bytes,
 /// Encodes the full vocabulary with names.
 std::vector<uint8_t> SerializeSchema(const Schema& schema);
 Result<Schema> DeserializeSchema(std::span<const uint8_t> bytes);
+
+/// --- Binary graph snapshot (flat CSR format, little-endian) ---
+///
+/// The wire format above (SerializeGraph) optimizes for transferred bytes:
+/// delta-encoded varints, forward adjacency only, and a full GraphBuilder
+/// revalidation on ingest. The snapshot format below optimizes for load
+/// speed: it memcpy-serializes the six frozen CSR arrays of a graph
+/// (AttributedGraph::csr()) verbatim behind a fixed header
+///
+///   u32 magic "PSNP" | u32 version | u64 |V| | u64 |E|
+///   u64 element count of each of the 6 arrays | u64 FNV-1a64 checksum
+///
+/// so a load is six contiguous array copies plus an O(V+E) invariant sweep
+/// (AttributedGraph::AdoptCsr) instead of a per-id decode loop. The checksum
+/// covers the payload; corrupt or truncated input yields a typed Status.
+/// Versioning policy: the version bumps on any layout change and loaders
+/// reject versions they do not know — snapshots are cache artifacts, cheap
+/// to regenerate, so no cross-version migration is attempted.
+std::vector<uint8_t> SerializeGraphSnapshot(const AttributedGraph& graph);
+Result<AttributedGraph> DeserializeGraphSnapshot(
+    std::span<const uint8_t> bytes, std::shared_ptr<const Schema> schema);
+
+/// File-level conveniences (whole-file read/write + the snapshot codec).
+Status SaveGraphSnapshot(const AttributedGraph& graph,
+                         const std::string& path);
+Result<AttributedGraph> LoadGraphSnapshot(
+    const std::string& path, std::shared_ptr<const Schema> schema = nullptr);
+
+/// Whole-file byte I/O, shared by the snapshot helpers and owner_store.
+Status WriteBytesToFile(const std::string& path,
+                        std::span<const uint8_t> bytes);
+Result<std::vector<uint8_t>> ReadBytesFromFile(const std::string& path);
 
 }  // namespace ppsm
 

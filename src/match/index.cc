@@ -1,11 +1,15 @@
 #include "match/index.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "util/parallel.h"
 
 namespace ppsm {
 
 CloudIndex CloudIndex::Build(const AttributedGraph& graph, size_t num_centers,
-                             size_t num_types, size_t num_groups) {
+                             size_t num_types, size_t num_groups,
+                             size_t num_threads) {
   assert(num_centers <= graph.NumVertices());
   CloudIndex index;
   index.num_centers_ = num_centers;
@@ -14,22 +18,32 @@ CloudIndex CloudIndex::Build(const AttributedGraph& graph, size_t num_centers,
   index.neighbor_groups_.assign(num_centers, BitVector(num_groups));
   index.neighbor_types_.assign(num_centers, BitVector(num_types));
 
-  for (VertexId v = 0; v < num_centers; ++v) {
-    for (const LabelId g : graph.Labels(v)) {
-      if (g < num_groups) index.group_vbv_[g].Set(v);
-    }
-    for (const VertexTypeId t : graph.Types(v)) {
-      if (t < num_types) index.type_vbv_[t].Set(v);
-    }
-    for (const VertexId u : graph.Neighbors(v)) {
-      for (const LabelId g : graph.Labels(u)) {
-        if (g < num_groups) index.neighbor_groups_[v].Set(g);
+  // Centers are scanned in 64-aligned blocks: bits [64b, 64(b+1)) of every
+  // shared VBV live in one uint64_t word owned exclusively by block b, and
+  // the neighbor LBVs are per-center, so concurrent workers never write the
+  // same word (BitVector::Set is a plain read-modify-write, not atomic).
+  constexpr size_t kBlock = 64;
+  const size_t num_blocks = (num_centers + kBlock - 1) / kBlock;
+  ParallelFor(num_threads, num_blocks, [&](size_t block) {
+    const size_t begin = block * kBlock;
+    const size_t end = std::min(num_centers, begin + kBlock);
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      for (const LabelId g : graph.Labels(v)) {
+        if (g < num_groups) index.group_vbv_[g].Set(v);
       }
-      for (const VertexTypeId t : graph.Types(u)) {
-        if (t < num_types) index.neighbor_types_[v].Set(t);
+      for (const VertexTypeId t : graph.Types(v)) {
+        if (t < num_types) index.type_vbv_[t].Set(v);
+      }
+      for (const VertexId u : graph.Neighbors(v)) {
+        for (const LabelId g : graph.Labels(u)) {
+          if (g < num_groups) index.neighbor_groups_[v].Set(g);
+        }
+        for (const VertexTypeId t : graph.Types(u)) {
+          if (t < num_types) index.neighbor_types_[v].Set(t);
+        }
       }
     }
-  }
+  });
   return index;
 }
 

@@ -33,8 +33,12 @@ class CloudIndex {
 
   /// Builds the index. `num_types` / `num_groups` size the bit spaces;
   /// vertex types and labels (= group ids) beyond those bounds are ignored.
+  /// `num_threads > 1` parallelizes the center scan over 64-center blocks
+  /// (each block owns a disjoint 64-bit word of every shared VBV, so the
+  /// workers never touch the same word).
   static CloudIndex Build(const AttributedGraph& graph, size_t num_centers,
-                          size_t num_types, size_t num_groups);
+                          size_t num_types, size_t num_groups,
+                          size_t num_threads = 1);
 
   size_t num_centers() const { return num_centers_; }
   size_t num_types() const { return type_vbv_.size(); }

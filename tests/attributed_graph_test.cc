@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <set>
+#include <utility>
+
 #include "graph/example_graphs.h"
 #include "graph/serialize.h"
 
@@ -126,6 +131,48 @@ TEST(AttributedGraph, BuilderResetAfterBuild) {
   ASSERT_TRUE(b.Build().ok());
   EXPECT_EQ(b.NumVertices(), 0u);
   EXPECT_EQ(b.NumEdges(), 0u);
+}
+
+TEST(GraphBuilder, HashDedupMatchesReferenceDedup) {
+  // The builder's O(1) hash-probe dedup must accept/reject exactly the
+  // same edge stream as an order-preserving reference dedup, and the
+  // frozen graphs must be identical. Stream includes duplicates in both
+  // orientations and repeated self-loop attempts.
+  const size_t n = 50;
+  std::mt19937_64 rng(123);
+  std::vector<std::pair<VertexId, VertexId>> stream;
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>(rng() % n);
+    const auto v = static_cast<VertexId>(rng() % n);
+    stream.emplace_back(u, v);
+  }
+
+  GraphBuilder fast;
+  for (size_t v = 0; v < n; ++v) fast.AddVertex(0, {});
+  std::set<std::pair<VertexId, VertexId>> reference;
+  size_t reference_accepted = 0;
+  for (const auto& [u, v] : stream) {
+    const bool accepted = fast.TryAddEdge(u, v);
+    const bool reference_accepts =
+        u != v &&
+        reference.insert({std::min(u, v), std::max(u, v)}).second;
+    if (reference_accepts) ++reference_accepted;
+    EXPECT_EQ(accepted, reference_accepts) << u << "-" << v;
+    EXPECT_EQ(fast.HasEdge(u, v), u != v) << u << "-" << v;
+  }
+  EXPECT_EQ(fast.NumEdges(), reference_accepted);
+
+  // Rebuild from the reference set alone; the two graphs must agree.
+  GraphBuilder slow;
+  for (size_t v = 0; v < n; ++v) slow.AddVertex(0, {});
+  for (const auto& [u, v] : reference) slow.AddEdgeUnchecked(u, v);
+  const AttributedGraph a = fast.Build().value();
+  const AttributedGraph b = slow.Build().value();
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_TRUE(std::ranges::equal(a.Neighbors(v), b.Neighbors(v)))
+        << "vertex " << v;
+  }
 }
 
 TEST(Serialize, GraphRoundTrip) {

@@ -43,6 +43,27 @@ grep -q '"traceEvents"' "$DIR/t.json" \
 grep -q 'ppsm_network_bytes_total' "$DIR/m.prom" \
     || { echo "prometheus dump missing network bytes"; exit 1; }
 
+# Snapshot round trip: --save-snapshot persists the owner state, a later
+# --load-snapshot query (no --in, no --k) must serve the identical matches.
+# Only the timing footer line may differ between the two runs.
+"$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
+    --save-snapshot "$DIR/snap" > "$DIR/direct.txt"
+[ -s "$DIR/snap/graph.bin" ] || { echo "snapshot graph.bin missing"; exit 1; }
+"$CLI" query --load-snapshot "$DIR/snap" --pattern "$DIR/q.pat" \
+    > "$DIR/fromsnap.txt"
+grep -v "^cloud " "$DIR/direct.txt" > "$DIR/direct.matches"
+grep -v "^cloud " "$DIR/fromsnap.txt" > "$DIR/fromsnap.matches"
+cmp -s "$DIR/direct.matches" "$DIR/fromsnap.matches" \
+    || { echo "snapshot-served matches differ from direct run"; exit 1; }
+
+# A corrupted snapshot must fail loudly, not serve garbage.
+cp -r "$DIR/snap" "$DIR/snap_bad"
+printf 'XX' | dd of="$DIR/snap_bad/graph.bin" bs=1 seek=32 conv=notrunc 2>/dev/null
+if "$CLI" query --load-snapshot "$DIR/snap_bad" --pattern "$DIR/q.pat" \
+    > /dev/null 2>&1; then
+  echo "expected failure on corrupted snapshot"; exit 1
+fi
+
 # Edge-list import path.
 printf '# comment\n0 1\n1 2\n2 0\n' > "$DIR/edges.txt"
 "$CLI" attach --edges "$DIR/edges.txt" --out "$DIR/attached.graph" \

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "graph/example_graphs.h"
 #include "graph/generators.h"
 #include "graph/query_extractor.h"
@@ -81,6 +83,44 @@ TEST(PpsmSystem, DeterministicResultsForFixedSeed) {
   ASSERT_TRUE(oa.ok());
   ASSERT_TRUE(ob.ok());
   EXPECT_TRUE(oa->results == ob->results);
+}
+
+TEST(PpsmSystem, SnapshotRoundTripServesIdenticalResults) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  SystemConfig config;
+  config.k = 3;
+  config.seed = 17;
+  auto original = PpsmSystem::Setup(*g, g->schema(), config);
+  ASSERT_TRUE(original.ok());
+
+  const std::string dir = ::testing::TempDir() + "/ppsm_system_snapshot";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(original->SaveSnapshot(dir).ok());
+
+  // Load with a deliberately wrong k: the snapshot's own k must win.
+  SystemConfig reload = config;
+  reload.k = 7;
+  auto restored = PpsmSystem::LoadSnapshot(dir, reload);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->config().k, 3u);
+  EXPECT_EQ(restored->owner().upload_bytes(), original->owner().upload_bytes());
+
+  Rng rng(9);
+  auto extracted = ExtractQuery(*g, 5, rng);
+  ASSERT_TRUE(extracted.ok());
+  auto direct = original->Query(extracted->query);
+  auto from_snapshot = restored->Query(extracted->query);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(from_snapshot.ok());
+  EXPECT_TRUE(direct->results == from_snapshot->results);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PpsmSystem, LoadSnapshotRejectsMissingDirectory) {
+  SystemConfig config;
+  EXPECT_FALSE(
+      PpsmSystem::LoadSnapshot("/nonexistent/ppsm_snap", config).ok());
 }
 
 TEST(PpsmSystem, AllMethodsAgreeOnResults) {

@@ -1,0 +1,231 @@
+// Tests for the binary graph snapshot codec (flat CSR + header +
+// checksum) and the AdoptCsr validation gate behind it: lossless round
+// trips on random graphs, typed rejection of corrupt / truncated / forged
+// input, and the file-level save/load helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/generators.h"
+#include "graph/serialize.h"
+#include "util/status.h"
+
+namespace ppsm {
+namespace {
+
+void ExpectGraphsEqual(const AttributedGraph& a, const AttributedGraph& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    EXPECT_TRUE(std::ranges::equal(a.Types(v), b.Types(v))) << "vertex " << v;
+    EXPECT_TRUE(std::ranges::equal(a.Labels(v), b.Labels(v)))
+        << "vertex " << v;
+    EXPECT_TRUE(std::ranges::equal(a.Neighbors(v), b.Neighbors(v)))
+        << "vertex " << v;
+  }
+}
+
+TEST(GraphSnapshot, RoundTripEmptyGraph) {
+  GraphBuilder builder;
+  const AttributedGraph empty = builder.Build().value();
+  const std::vector<uint8_t> bytes = SerializeGraphSnapshot(empty);
+  const auto restored = DeserializeGraphSnapshot(bytes, nullptr);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->NumVertices(), 0u);
+  EXPECT_EQ(restored->NumEdges(), 0u);
+}
+
+TEST(GraphSnapshot, RoundTripRandomGraphsIsLossless) {
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto g = GenerateUniformRandomGraph(120, 400, 8, seed);
+    ASSERT_TRUE(g.ok());
+    const std::vector<uint8_t> bytes = SerializeGraphSnapshot(*g);
+    const auto restored = DeserializeGraphSnapshot(bytes, g->schema());
+    ASSERT_TRUE(restored.ok()) << "seed " << seed << ": "
+                               << restored.status();
+    ExpectGraphsEqual(*g, *restored);
+    EXPECT_EQ(restored->schema(), g->schema());
+  }
+}
+
+TEST(GraphSnapshot, RoundTripPreservesCsrBitForBit) {
+  const auto g = GenerateDataset(DbpediaLike(0.01));
+  ASSERT_TRUE(g.ok());
+  const std::vector<uint8_t> bytes = SerializeGraphSnapshot(*g);
+  const auto restored = DeserializeGraphSnapshot(bytes, g->schema());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const GraphCsr& a = g->csr();
+  const GraphCsr& b = restored->csr();
+  EXPECT_EQ(a.adjacency_offsets, b.adjacency_offsets);
+  EXPECT_EQ(a.adjacency, b.adjacency);
+  EXPECT_EQ(a.type_offsets, b.type_offsets);
+  EXPECT_EQ(a.types, b.types);
+  EXPECT_EQ(a.label_offsets, b.label_offsets);
+  EXPECT_EQ(a.labels, b.labels);
+  // Same graph serializes to the same bytes (snapshots are deterministic).
+  EXPECT_EQ(bytes, SerializeGraphSnapshot(*restored));
+}
+
+TEST(GraphSnapshot, SerializationIsDeterministic) {
+  const auto g = GenerateUniformRandomGraph(50, 120, 4, 99);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(SerializeGraphSnapshot(*g), SerializeGraphSnapshot(*g));
+}
+
+std::vector<uint8_t> SampleSnapshot() {
+  const auto g = GenerateUniformRandomGraph(40, 90, 4, 11);
+  return SerializeGraphSnapshot(*g);
+}
+
+TEST(GraphSnapshot, RejectsBadMagic) {
+  std::vector<uint8_t> bytes = SampleSnapshot();
+  bytes[0] ^= 0xff;
+  const auto restored = DeserializeGraphSnapshot(bytes, nullptr);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphSnapshot, RejectsUnknownVersion) {
+  std::vector<uint8_t> bytes = SampleSnapshot();
+  bytes[4] = 0x7f;  // Version field follows the u32 magic.
+  const auto restored = DeserializeGraphSnapshot(bytes, nullptr);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphSnapshot, RejectsEveryTruncation) {
+  const std::vector<uint8_t> bytes = SampleSnapshot();
+  // Every strict prefix must fail with a typed error, never crash or
+  // produce a graph. Step 7 keeps the sweep fast while still hitting
+  // every header field and payload array boundary region.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    const auto restored = DeserializeGraphSnapshot(
+        std::span<const uint8_t>(bytes.data(), len), nullptr);
+    ASSERT_FALSE(restored.ok()) << "prefix length " << len;
+    const StatusCode code = restored.status().code();
+    EXPECT_TRUE(code == StatusCode::kOutOfRange ||
+                code == StatusCode::kInvalidArgument)
+        << "prefix length " << len << ": " << restored.status();
+  }
+}
+
+TEST(GraphSnapshot, RejectsPayloadBitFlips) {
+  const std::vector<uint8_t> pristine = SampleSnapshot();
+  // Header is magic + version + |V| + |E| + 6 array counts + checksum.
+  const size_t header_size = 4 + 4 + 8 + 8 + 6 * 8 + 8;
+  ASSERT_GT(pristine.size(), header_size);
+  for (const size_t offset :
+       {header_size, header_size + 13, pristine.size() - 1}) {
+    std::vector<uint8_t> bytes = pristine;
+    bytes[offset] ^= 0x01;
+    const auto restored = DeserializeGraphSnapshot(bytes, nullptr);
+    ASSERT_FALSE(restored.ok()) << "flip at " << offset;
+  }
+}
+
+TEST(GraphSnapshot, RejectsTamperedArrayCounts) {
+  std::vector<uint8_t> bytes = SampleSnapshot();
+  // counts[0] (adjacency_offsets element count) starts at byte 24.
+  uint64_t count;
+  std::memcpy(&count, bytes.data() + 24, sizeof(count));
+  ++count;
+  std::memcpy(bytes.data() + 24, &count, sizeof(count));
+  const auto restored = DeserializeGraphSnapshot(bytes, nullptr);
+  ASSERT_FALSE(restored.ok());
+}
+
+TEST(GraphSnapshot, RejectsTrailingGarbage) {
+  std::vector<uint8_t> bytes = SampleSnapshot();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DeserializeGraphSnapshot(bytes, nullptr).ok());
+}
+
+// --- AdoptCsr: the validation gate a snapshot passes through. A forged
+// payload with a valid checksum must still be structurally vetted. ---
+
+GraphCsr TriangleCsr() {
+  GraphCsr csr;
+  csr.adjacency_offsets = {0, 2, 4, 6};
+  csr.adjacency = {1, 2, 0, 2, 0, 1};
+  csr.type_offsets = {0, 1, 2, 3};
+  csr.types = {0, 0, 1};
+  csr.label_offsets = {0, 1, 2, 3};
+  csr.labels = {5, 6, 7};
+  return csr;
+}
+
+TEST(GraphSnapshot, AdoptCsrAcceptsValidTriangle) {
+  const auto g = AttributedGraph::AdoptCsr(TriangleCsr(), nullptr);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_TRUE(g->HasEdge(0, 2));
+}
+
+TEST(GraphSnapshot, AdoptCsrRejectsAsymmetricAdjacency) {
+  GraphCsr csr = TriangleCsr();
+  csr.adjacency = {1, 2, 0, 2, 0, 2};  // 2->1 half-edge replaced by 2->2...
+  EXPECT_FALSE(AttributedGraph::AdoptCsr(std::move(csr), nullptr).ok());
+}
+
+TEST(GraphSnapshot, AdoptCsrRejectsSelfLoop) {
+  GraphCsr csr = TriangleCsr();
+  csr.adjacency_offsets = {0, 2, 4, 5};
+  csr.adjacency = {1, 2, 0, 2, 2};  // Would need symmetric 2-2 self loop.
+  EXPECT_FALSE(AttributedGraph::AdoptCsr(std::move(csr), nullptr).ok());
+}
+
+TEST(GraphSnapshot, AdoptCsrRejectsUnsortedNeighbors) {
+  GraphCsr csr = TriangleCsr();
+  csr.adjacency = {2, 1, 0, 2, 0, 1};
+  EXPECT_FALSE(AttributedGraph::AdoptCsr(std::move(csr), nullptr).ok());
+}
+
+TEST(GraphSnapshot, AdoptCsrRejectsOutOfRangeNeighbor) {
+  GraphCsr csr = TriangleCsr();
+  csr.adjacency = {1, 2, 0, 2, 0, 9};
+  EXPECT_FALSE(AttributedGraph::AdoptCsr(std::move(csr), nullptr).ok());
+}
+
+TEST(GraphSnapshot, AdoptCsrRejectsEmptyTypeSet) {
+  GraphCsr csr = TriangleCsr();
+  csr.type_offsets = {0, 1, 1, 2};  // Vertex 1 has no type.
+  csr.types = {0, 1};
+  EXPECT_FALSE(AttributedGraph::AdoptCsr(std::move(csr), nullptr).ok());
+}
+
+TEST(GraphSnapshot, AdoptCsrRejectsMalformedOffsets) {
+  GraphCsr csr = TriangleCsr();
+  csr.label_offsets = {0, 2, 1, 3};  // Not non-decreasing.
+  EXPECT_FALSE(AttributedGraph::AdoptCsr(std::move(csr), nullptr).ok());
+}
+
+// --- File-level helpers. ---
+
+TEST(GraphSnapshot, SaveLoadFileRoundTrip) {
+  const auto g = GenerateUniformRandomGraph(60, 150, 5, 21);
+  ASSERT_TRUE(g.ok());
+  const std::string path =
+      ::testing::TempDir() + "/ppsm_graph_snapshot_test.bin";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(SaveGraphSnapshot(*g, path).ok());
+  const auto restored = LoadGraphSnapshot(path, g->schema());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectGraphsEqual(*g, *restored);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphSnapshot, LoadMissingFileIsNotFound) {
+  const auto restored = LoadGraphSnapshot("/nonexistent/ppsm.snap");
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ppsm

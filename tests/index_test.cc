@@ -140,6 +140,33 @@ TEST(CloudIndex, CandidatesAgainstBruteForceOnRandomGraphs) {
   }
 }
 
+TEST(CloudIndex, ParallelBuildMatchesSerial) {
+  // Non-multiple-of-64 center count exercises the ragged final block; the
+  // TSan job runs this test to prove the block partitioning is race-free.
+  const auto g = GenerateUniformRandomGraph(300, 1200, 6, 77);
+  ASSERT_TRUE(g.ok());
+  const size_t centers = 250;
+  const CloudIndex serial = CloudIndex::Build(*g, centers, 1, 6);
+  for (const size_t threads : {2, 4, 8}) {
+    const CloudIndex parallel = CloudIndex::Build(*g, centers, 1, 6, threads);
+    ASSERT_EQ(parallel.num_centers(), serial.num_centers());
+    for (LabelId gid = 0; gid < 6; ++gid) {
+      EXPECT_EQ(parallel.GroupVbv(gid).ToIndices(),
+                serial.GroupVbv(gid).ToIndices())
+          << "threads " << threads << " group " << gid;
+    }
+    EXPECT_EQ(parallel.TypeVbv(0).ToIndices(), serial.TypeVbv(0).ToIndices());
+    for (VertexId v = 0; v < centers; ++v) {
+      ASSERT_EQ(parallel.NeighborGroups(v).ToIndices(),
+                serial.NeighborGroups(v).ToIndices())
+          << "threads " << threads << " center " << v;
+      ASSERT_EQ(parallel.NeighborTypes(v).ToIndices(),
+                serial.NeighborTypes(v).ToIndices())
+          << "threads " << threads << " center " << v;
+    }
+  }
+}
+
 TEST(CloudIndex, MemoryAccountingNonZero) {
   const AttributedGraph g = Fig7LikeGraph();
   const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);

@@ -6,10 +6,11 @@
 //   ppsm_cli stats    --in g.graph
 //   ppsm_cli anonymize --in g.graph --k 4 [--theta 2]
 //                      [--strategy eff|ran|fsim] [--baseline]
-//                      [--upload-out pkg.bin]
+//                      [--upload-out pkg.bin] [--save-snapshot DIR]
 //   ppsm_cli query    --in g.graph --pattern q.pat --k 4
 //                     [--method eff|ran|fsim|bas] [--theta 2]
 //                     [--cloud-threads N] [--repeat N] [--concurrency N]
+//                     [--save-snapshot DIR | --load-snapshot DIR]
 //
 // `generate` writes a synthetic dataset in the ppsm text format; `attach`
 // turns a SNAP-style edge list into an attributed graph; `stats` summarizes
@@ -202,24 +203,23 @@ int Anonymize(const Args& args) {
     std::cout << "wrote upload package (" << bytes.size() << " bytes) to "
               << upload_out << "\n";
   }
+  const std::string snapshot_out = args.Get("save-snapshot");
+  if (!snapshot_out.empty()) {
+    const Status saved = system->SaveSnapshot(snapshot_out);
+    if (!saved.ok()) return Fail(saved.ToString());
+    std::cout << "snapshot written to " << snapshot_out << "\n";
+  }
   return 0;
 }
 
 int Query(const Args& args) {
   const std::string in = args.Get("in");
+  const std::string snapshot_in = args.Get("load-snapshot");
   const std::string pattern_path = args.Get("pattern");
-  if (in.empty() || pattern_path.empty()) {
-    return Fail("--in and --pattern are required");
+  if (pattern_path.empty()) return Fail("--pattern is required");
+  if (in.empty() && snapshot_in.empty()) {
+    return Fail("--in or --load-snapshot is required");
   }
-  auto graph = ReadGraphTextFile(in);
-  if (!graph.ok()) return Fail(graph.status().ToString());
-
-  std::ifstream pattern_file(pattern_path);
-  if (!pattern_file) return Fail("cannot open '" + pattern_path + "'");
-  std::string pattern_text((std::istreambuf_iterator<char>(pattern_file)),
-                           std::istreambuf_iterator<char>());
-  auto parsed = ParsePattern(pattern_text, *graph->schema());
-  if (!parsed.ok()) return Fail(parsed.status().ToString());
 
   SystemConfig config;
   config.k = static_cast<uint32_t>(args.GetInt("k", 2));
@@ -240,8 +240,33 @@ int Query(const Args& args) {
     config.cloud.max_inflight = concurrency;
   }
 
-  auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+  // A snapshot restores the whole owner-side state (offline pipeline
+  // already applied: the snapshot's k and baseline flag win over flags).
+  auto system = [&]() -> Result<PpsmSystem> {
+    if (!snapshot_in.empty()) {
+      return PpsmSystem::LoadSnapshot(snapshot_in, config);
+    }
+    auto graph = ReadGraphTextFile(in);
+    if (!graph.ok()) return graph.status();
+    auto schema = graph->schema();
+    return PpsmSystem::Setup(*std::move(graph), std::move(schema), config);
+  }();
   if (!system.ok()) return Fail(system.status().ToString());
+
+  const std::string snapshot_out = args.Get("save-snapshot");
+  if (!snapshot_out.empty()) {
+    const Status saved = system->SaveSnapshot(snapshot_out);
+    if (!saved.ok()) return Fail(saved.ToString());
+    std::cerr << "snapshot written to " << snapshot_out << "\n";
+  }
+
+  std::ifstream pattern_file(pattern_path);
+  if (!pattern_file) return Fail("cannot open '" + pattern_path + "'");
+  std::string pattern_text((std::istreambuf_iterator<char>(pattern_file)),
+                           std::istreambuf_iterator<char>());
+  auto parsed =
+      ParsePattern(pattern_text, *system->owner().graph().schema());
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
 
   // Concurrent replay: the same pattern `repeat` times, `concurrency` in
   // flight. Per-query outcomes are identical by construction, so report the
@@ -314,10 +339,13 @@ int Usage() {
       "            [--labels N] [--seed S]\n"
       "  stats     --in FILE\n"
       "  anonymize --in FILE --k K [--theta T] [--strategy eff|ran|fsim]\n"
-      "            [--baseline 1] [--upload-out FILE]\n"
+      "            [--baseline 1] [--upload-out FILE] [--save-snapshot DIR]\n"
       "  query     --in FILE --pattern FILE --k K [--theta T]\n"
       "            [--method eff|ran|fsim|bas] [--cloud-threads N]\n"
       "            [--repeat N] [--concurrency N] [--deadline-ms MS]\n"
+      "            [--save-snapshot DIR | --load-snapshot DIR]\n"
+      "            (--load-snapshot skips the offline pipeline; --in not\n"
+      "             needed, the snapshot carries graph + schema + k)\n"
       "observability (any command):\n"
       "  --metrics-out FILE   flat JSON metrics dump\n"
       "  --metrics-prom FILE  Prometheus text metrics dump\n"
