@@ -1,7 +1,10 @@
 #include "cloud/channel.h"
 
+#include <cmath>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace ppsm {
 
@@ -34,6 +37,37 @@ struct ChannelMetrics {
 };
 
 }  // namespace
+
+Status ValidateChannelConfig(const ChannelConfig& config) {
+  if (!std::isfinite(config.bandwidth_mbps) || config.bandwidth_mbps <= 0.0) {
+    return Status::InvalidArgument(
+        "channel bandwidth_mbps must be finite and > 0, got " +
+        std::to_string(config.bandwidth_mbps));
+  }
+  if (!std::isfinite(config.latency_ms) || config.latency_ms < 0.0) {
+    return Status::InvalidArgument(
+        "channel latency_ms must be finite and >= 0, got " +
+        std::to_string(config.latency_ms));
+  }
+  return Status::OK();
+}
+
+SimulatedChannel::SimulatedChannel(ChannelConfig config)
+    : config_(config), mu_(std::make_unique<std::mutex>()) {
+  const Status valid = ValidateChannelConfig(config_);
+  if (!valid.ok()) {
+    PPSM_LOG(Warning) << "invalid channel config (" << valid.message()
+                      << "); falling back to the default link";
+    const size_t max_log_records = config_.max_log_records;
+    config_ = ChannelConfig{};
+    config_.max_log_records = max_log_records;
+  }
+}
+
+Result<SimulatedChannel> SimulatedChannel::Create(ChannelConfig config) {
+  PPSM_RETURN_IF_ERROR(ValidateChannelConfig(config));
+  return SimulatedChannel(config);
+}
 
 double SimulatedChannel::Transfer(size_t bytes,
                                   const std::string& description) const {

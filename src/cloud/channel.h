@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 
+#include "util/status.h"
+
 namespace ppsm {
 
 /// Link model for the client <-> cloud connection. The paper's testbed put
@@ -24,6 +26,13 @@ struct ChannelConfig {
   size_t max_log_records = 4096;
 };
 
+/// InvalidArgument unless the config describes a physical link:
+/// bandwidth_mbps must be finite and strictly positive (Transfer divides by
+/// it — zero or negative would turn every transfer into inf/negative
+/// millis and poison the ppsm_network_transfer_ms metrics and bench CSVs),
+/// latency_ms finite and non-negative.
+Status ValidateChannelConfig(const ChannelConfig& config);
+
 /// Byte- and time-accounting channel. Not a transport: callers move the
 /// bytes themselves; the channel just records what a real link would have
 /// cost.
@@ -35,8 +44,14 @@ struct ChannelConfig {
 class SimulatedChannel {
  public:
   SimulatedChannel() : mu_(std::make_unique<std::mutex>()) {}
-  explicit SimulatedChannel(ChannelConfig config)
-      : config_(config), mu_(std::make_unique<std::mutex>()) {}
+  /// Requires a valid config — an invalid one is replaced with the default
+  /// link (and logged) so a channel can never emit inf/negative transfer
+  /// times. Construction sites that can report errors should use Create.
+  explicit SimulatedChannel(ChannelConfig config);
+
+  /// Validated construction: typed InvalidArgument instead of the ctor's
+  /// silent fallback.
+  static Result<SimulatedChannel> Create(ChannelConfig config);
 
   /// Records a message of `bytes` and returns its simulated transfer time in
   /// milliseconds. Thread-safe; const because concurrent accounting must run

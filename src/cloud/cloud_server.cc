@@ -1,6 +1,5 @@
 #include "cloud/cloud_server.h"
 
-#include <atomic>
 #include <mutex>
 #include <numeric>
 #include <optional>
@@ -12,7 +11,6 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/lru_cache.h"
-#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace ppsm {
@@ -81,7 +79,7 @@ struct CloudMetrics {
                                      "Cloud query evaluation time");
       metrics.star_rows =
           r.histogram("ppsm_cloud_star_match_rows", DefaultCountBuckets(),
-                      "Matches per star (recorded by the worker threads)");
+                      "Matches per star");
       metrics.index_memory_bytes = r.gauge("ppsm_cloud_index_memory_bytes",
                                            "VBV/LBV index footprint");
       metrics.index_build_ms =
@@ -277,30 +275,32 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
     return MakeDeadlineExceeded("after decomposition");
   }
 
-  // Phase 2: star matching over the hosted graph (Algorithm 1), bounded by
-  // the row cap so pathological queries fail with ResourceExhausted instead
-  // of exhausting the machine. An expired deadline makes the remaining
-  // workers skip their stars, so the query stops within one star of expiry.
+  // Phase 2: star matching over the hosted graph (Algorithm 1). MatchStars
+  // spreads the stars across the pool workers and MatchStar additionally
+  // chunks each candidate-center loop, all bounded by the row cap so
+  // pathological queries fail with ResourceExhausted instead of exhausting
+  // the machine. An expired deadline cancels the remaining stars and
+  // candidate chunks, so the query stops within one chunk of expiry.
   phase_timer.Restart();
-  std::vector<StarMatches> stars(decomposition.centers.size());
-  std::atomic<bool> expired{false};
-  {
-    PPSM_TRACE_SPAN_CAT("cloud.star_match", "query");
-    ParallelFor(config_.num_threads, decomposition.centers.size(),
-                [&](size_t i) {
-      if (has_deadline && SteadyClock::now() >= deadline) {
-        expired.store(true, std::memory_order_relaxed);
-      }
-      if (expired.load(std::memory_order_relaxed)) return;
-      PPSM_TRACE_SPAN_CAT("cloud.star_match.star", "query");
-      stars[i] = MatchStar(data_, index_, qo, decomposition.centers[i],
-                           kMaxRows);
-      metrics.star_rows.Observe(
-          static_cast<double>(stars[i].matches.NumMatches()));
-    });
+  StarMatchOptions star_options;
+  star_options.max_rows = kMaxRows;
+  star_options.num_threads = config_.num_threads;
+  if (has_deadline) {
+    star_options.cancelled = [deadline] {
+      return SteadyClock::now() >= deadline;
+    };
   }
-  if (expired.load(std::memory_order_relaxed)) {
+  std::vector<StarMatches> stars = [&] {
+    PPSM_TRACE_SPAN_CAT("cloud.star_match", "query");
+    return MatchStars(data_, index_, qo, decomposition.centers,
+                      star_options);
+  }();
+  if (has_deadline && SteadyClock::now() >= deadline) {
     return MakeDeadlineExceeded("during star matching");
+  }
+  for (const StarMatches& star : stars) {
+    metrics.star_rows.Observe(
+        static_cast<double>(star.matches.NumMatches()));
   }
   // Translate to Gk ids so the join can apply the automorphic functions.
   for (StarMatches& star : stars) {
@@ -322,11 +322,16 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
   }
 
   // Phase 3: result join (Algorithm 2) -> Rin (or R(Qo,Gk) for baseline).
+  // Probe-side partitioning across the same worker budget; the cost-model
+  // estimates from the decomposition order the join steps.
   phase_timer.Restart();
+  JoinOptions join_options;
+  join_options.max_rows = kMaxRows;
+  join_options.num_threads = config_.num_threads;
+  join_options.star_cost_estimates = decomposition.estimates;
   Result<MatchSet> rin_or = [&] {
     PPSM_TRACE_SPAN_CAT("cloud.join", "query");
-    return JoinStarMatches(stars, avt_, qo.NumVertices(),
-                           /*diagnostics=*/nullptr, kMaxRows);
+    return JoinStarMatches(stars, avt_, qo.NumVertices(), join_options);
   }();
   PPSM_ASSIGN_OR_RETURN(const MatchSet rin, std::move(rin_or));
   answer.stats.join_ms = phase_timer.ElapsedMillis();

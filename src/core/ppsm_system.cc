@@ -98,7 +98,8 @@ Result<PpsmSystem> PpsmSystem::HostFromOwner(std::unique_ptr<DataOwner> owner,
                                              const SystemConfig& config) {
   PpsmSystem system;
   system.config_ = config;
-  system.channel_ = SimulatedChannel(config.channel);
+  PPSM_ASSIGN_OR_RETURN(system.channel_,
+                        SimulatedChannel::Create(config.channel));
   system.owner_ = std::move(owner);
 
   system.upload_ms_ = system.channel_.Transfer(

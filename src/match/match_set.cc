@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "graph/serialize.h"
+#include "util/parallel.h"
 
 namespace ppsm {
 
@@ -14,6 +15,15 @@ constexpr uint32_t kMatchSetMagic = 0x3153544d;  // "MTS1"
 void MatchSet::Append(std::span<const VertexId> match) {
   assert(match.size() == arity_);
   flat_.insert(flat_.end(), match.begin(), match.end());
+}
+
+void MatchSet::AppendAll(const MatchSet& other) {
+  assert(other.arity_ == arity_);
+  flat_.insert(flat_.end(), other.flat_.begin(), other.flat_.end());
+}
+
+void MatchSet::ReserveAdditional(size_t rows) {
+  flat_.reserve(flat_.size() + rows * arity_);
 }
 
 std::span<const VertexId> MatchSet::Get(size_t row) const {
@@ -45,6 +55,93 @@ void MatchSet::SortDedup() {
     sorted.insert(sorted.end(), flat_.begin() + row * arity_,
                   flat_.begin() + (row + 1) * arity_);
   }
+  flat_ = std::move(sorted);
+}
+
+void MatchSet::SortDedup(size_t num_threads) {
+  // Below this the pool dispatch costs more than the sort saves.
+  constexpr size_t kMinParallelRows = 1 << 13;
+  if (arity_ == 0 || flat_.empty()) return;
+  const size_t rows = NumMatches();
+  if (num_threads <= 1 || rows < kMinParallelRows) {
+    SortDedup();
+    return;
+  }
+
+  // Sorting row indices with a full lexicographic comparator touches two
+  // random rows per compare, which is what makes the serial SortDedup the
+  // hot spot on large joins. Pack the first two columns into a 64-bit key
+  // carried next to the index: the vast majority of comparisons then
+  // resolve on one register compare, and the tie-break only scans the
+  // remaining columns. Ordering by (key, rest) is exactly lexicographic
+  // order of the full row, so the result matches the serial overload.
+  struct KeyedRow {
+    uint64_t key;
+    uint32_t row;
+  };
+  const size_t skip = arity_ < 2 ? arity_ : 2;
+  std::vector<KeyedRow> order(rows);
+  ParallelForChunks(
+      num_threads, rows, kMinParallelRows / 2,
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const VertexId* row = flat_.data() + i * arity_;
+          uint64_t key = static_cast<uint64_t>(row[0]) << 32;
+          if (arity_ > 1) key |= row[1];
+          order[i] = {key, static_cast<uint32_t>(i)};
+        }
+      });
+  const auto row_less = [this, skip](const KeyedRow& a, const KeyedRow& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return std::lexicographical_compare(
+        flat_.begin() + a.row * arity_ + skip,
+        flat_.begin() + (a.row + 1) * arity_,
+        flat_.begin() + b.row * arity_ + skip,
+        flat_.begin() + (b.row + 1) * arity_);
+  };
+  const auto row_equal = [this, skip](const KeyedRow& a, const KeyedRow& b) {
+    if (a.key != b.key) return false;
+    return std::equal(flat_.begin() + a.row * arity_ + skip,
+                      flat_.begin() + (a.row + 1) * arity_,
+                      flat_.begin() + b.row * arity_ + skip);
+  };
+
+  // Merge sort over keyed rows: sort contiguous chunks concurrently, then
+  // merge adjacent pairs level by level (the merges of one level are
+  // disjoint, so they run concurrently too).
+  auto chunks = SplitIntoChunks(rows, num_threads, kMinParallelRows / 2);
+  ParallelFor(num_threads, chunks.size(), [&](size_t c) {
+    std::sort(order.begin() + chunks[c].first,
+              order.begin() + chunks[c].second, row_less);
+  });
+  while (chunks.size() > 1) {
+    const size_t pairs = chunks.size() / 2;
+    std::vector<std::pair<size_t, size_t>> merged;
+    merged.reserve(pairs + chunks.size() % 2);
+    for (size_t p = 0; p < pairs; ++p) {
+      merged.emplace_back(chunks[2 * p].first, chunks[2 * p + 1].second);
+    }
+    if (chunks.size() % 2 != 0) merged.push_back(chunks.back());
+    ParallelFor(num_threads, pairs, [&](size_t p) {
+      std::inplace_merge(order.begin() + chunks[2 * p].first,
+                         order.begin() + chunks[2 * p].second,
+                         order.begin() + chunks[2 * p + 1].second, row_less);
+    });
+    chunks = std::move(merged);
+  }
+  order.erase(std::unique(order.begin(), order.end(), row_equal),
+              order.end());
+
+  // Gather into the final layout; rows land at disjoint offsets.
+  std::vector<VertexId> sorted(order.size() * arity_);
+  ParallelForChunks(
+      num_threads, order.size(), kMinParallelRows / 2,
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          std::copy_n(flat_.begin() + order[i].row * arity_, arity_,
+                      sorted.begin() + i * arity_);
+        }
+      });
   flat_ = std::move(sorted);
 }
 

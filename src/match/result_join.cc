@@ -1,13 +1,18 @@
 #include "match/result_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "util/hash.h"
+#include "util/parallel.h"
 
 namespace ppsm {
 
 namespace {
+
+/// Probe-side chunks below this size are not worth a pool task.
+constexpr size_t kMinProbeChunk = 128;
 
 /// Working state of the incremental join: a column list (query vertex ids)
 /// plus rows over those columns.
@@ -23,14 +28,35 @@ uint64_t KeyOf(std::span<const VertexId> row,
   return key;
 }
 
-/// Joins `current` with one star's Gk-expanded matches on their shared query
-/// vertices.
-/// Sets *overflow when max_rows (non-zero) is exceeded.
+uint64_t KeyOfValues(std::span<const VertexId> values) {
+  uint64_t key = 0x9ae16a3b2f90404fULL;
+  for (const VertexId v : values) key = HashCombine(key, v);
+  return key;
+}
+
+/// Joins `current` with one star's matches on their shared query vertices.
+///
+/// The star side logically contributes its Gk closure ∪_m F_m(star_rows)
+/// for m = 0..probe_k-1, but the closure is never materialized: the
+/// un-expanded rows are hashed once on the shared key, and every current
+/// row probes under each F_m by mapping its shared values through F_m^{-1}
+/// (F_m is a bijection, so `F_m(star_row) agrees with current_row` iff
+/// `star_row agrees with F_m^{-1}(current_row)`). New columns of a hit are
+/// shifted forward with F_m on the fly. Callers that pre-expanded the star
+/// (the eager strategy, and the anchorless baseline where k = 1) pass
+/// probe_k = 1, which skips every Avt lookup.
+///
+/// The probe side is partitioned into contiguous chunks across
+/// options.num_threads workers; each chunk appends into its own buffer and
+/// the buffers concatenate in chunk order, so the output row order — and
+/// therefore the result — is independent of the thread count. All chunks
+/// share one atomic row budget; exceeding options.max_rows (non-zero) sets
+/// *overflow after folding the partial row counts into `diagnostics`.
 Intermediate JoinStep(const Intermediate& current,
                       const std::vector<VertexId>& star_columns,
-                      const MatchSet& star_rows,
-                      JoinDiagnostics* diagnostics, size_t max_rows,
-                      bool* overflow) {
+                      const MatchSet& star_rows, const Avt& avt,
+                      uint32_t probe_k, const JoinOptions& options,
+                      JoinDiagnostics* diagnostics, bool* overflow) {
   // Column bookkeeping: positions of shared columns on both sides, and the
   // star columns that are new.
   std::vector<size_t> shared_current;  // Positions in current.columns.
@@ -60,42 +86,154 @@ Intermediate JoinStep(const Intermediate& current,
     star_index[KeyOf(star_rows.Get(r), shared_star)].push_back(
         static_cast<uint32_t>(r));
   }
+  if (diagnostics != nullptr) {
+    ++diagnostics->join_steps;
+    diagnostics->indexed_rows += star_rows.NumMatches();
+  }
 
-  std::vector<VertexId> combined(next.columns.size());
-  for (size_t cr = 0; cr < current.rows.NumMatches(); ++cr) {
-    const auto current_row = current.rows.Get(cr);
-    const auto it = star_index.find(KeyOf(current_row, shared_current));
-    if (it == star_index.end()) continue;
-    for (const uint32_t sr : it->second) {
-      const auto star_row = star_rows.Get(sr);
-      // Verify shared equality (hash collisions must not fabricate rows).
-      bool consistent = true;
-      for (size_t i = 0; i < shared_star.size(); ++i) {
-        if (star_row[shared_star[i]] != current_row[shared_current[i]]) {
-          consistent = false;
-          break;
+  // Build-side duplicate suppression (probe_k > 1 only). Expanded rows can
+  // coincide: F_m(r) == F_m'(r') iff r' == F_{m-m'}(r), because the AVT's
+  // functions compose cyclically (shift by m, then by m', is shift by
+  // m + m'). So F_m(r) repeats an earlier function's output iff some
+  // F_d(r), d in [1, m], is itself a star row — min_dup_shift[r] is the
+  // smallest such d (probe_k when none), making the probe-time check O(1).
+  // Scanning the output buffer instead would be quadratic in the join
+  // fanout per probe row.
+  std::vector<uint32_t> min_dup_shift;
+  if (probe_k > 1 && star_rows.NumMatches() > 0) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> row_index;
+    row_index.reserve(star_rows.NumMatches() * 2);
+    for (size_t r = 0; r < star_rows.NumMatches(); ++r) {
+      row_index[KeyOfValues(star_rows.Get(r))].push_back(
+          static_cast<uint32_t>(r));
+    }
+    min_dup_shift.assign(star_rows.NumMatches(), probe_k);
+    const size_t arity = star_columns.size();
+    ParallelForChunks(
+        options.num_threads, star_rows.NumMatches(), kMinProbeChunk,
+        [&](size_t /*chunk*/, size_t begin, size_t end) {
+          std::vector<VertexId> shifted(arity);
+          for (size_t r = begin; r < end; ++r) {
+            const auto row = star_rows.Get(r);
+            std::copy(row.begin(), row.end(), shifted.begin());
+            for (uint32_t d = 1; d < probe_k; ++d) {
+              for (size_t i = 0; i < arity; ++i) {
+                shifted[i] = avt.Apply(shifted[i], 1);
+              }
+              const auto it = row_index.find(KeyOfValues(shifted));
+              if (it == row_index.end()) continue;
+              bool found = false;
+              for (const uint32_t cand : it->second) {
+                const auto cand_row = star_rows.Get(cand);
+                if (std::equal(shifted.begin(), shifted.end(),
+                               cand_row.begin())) {
+                  found = true;
+                  break;
+                }
+              }
+              if (found) {
+                min_dup_shift[r] = d;
+                break;
+              }
+            }
+          }
+        });
+  }
+
+  const size_t num_current = current.columns.size();
+  const auto chunks = SplitIntoChunks(current.rows.NumMatches(),
+                                      options.num_threads, kMinProbeChunk);
+  std::vector<MatchSet> chunk_rows(chunks.size(),
+                                   MatchSet(next.columns.size()));
+  std::vector<size_t> chunk_drops(chunks.size(), 0);
+  std::atomic<size_t> budget{0};
+  std::atomic<bool> overflowed{false};
+
+  ParallelFor(options.num_threads, chunks.size(), [&](size_t c) {
+    if (overflowed.load(std::memory_order_relaxed)) return;
+    MatchSet& out = chunk_rows[c];
+    std::vector<VertexId> probe(shared_star.size());
+    std::vector<VertexId> combined(next.columns.size());
+    size_t drops = 0;
+    for (size_t cr = chunks[c].first; cr < chunks[c].second; ++cr) {
+      const auto current_row = current.rows.Get(cr);
+      for (uint32_t m = 0; m < probe_k; ++m) {
+        if (m == 0) {
+          for (size_t i = 0; i < shared_current.size(); ++i) {
+            probe[i] = current_row[shared_current[i]];
+          }
+        } else {
+          const uint32_t inv = avt.InverseShift(m);
+          for (size_t i = 0; i < shared_current.size(); ++i) {
+            probe[i] = avt.Apply(current_row[shared_current[i]], inv);
+          }
+        }
+        const auto it = star_index.find(KeyOfValues(probe));
+        if (it == star_index.end()) continue;
+        for (const uint32_t sr : it->second) {
+          const auto star_row = star_rows.Get(sr);
+          // Verify shared equality (hash collisions must not fabricate
+          // rows).
+          bool consistent = true;
+          for (size_t i = 0; i < shared_star.size(); ++i) {
+            if (star_row[shared_star[i]] != probe[i]) {
+              consistent = false;
+              break;
+            }
+          }
+          if (!consistent) continue;
+          // All hits for one current row agree on the shared columns, so an
+          // expanded row repeating an earlier function's output is exactly
+          // the min_dup_shift condition — the eager strategy removed the
+          // same rows with its global SortDedup over the expansion.
+          if (m > 0 && min_dup_shift[sr] <= m) continue;
+          std::copy(current_row.begin(), current_row.end(),
+                    combined.begin());
+          if (m == 0) {
+            for (size_t i = 0; i < new_star.size(); ++i) {
+              combined[num_current + i] = star_row[new_star[i]];
+            }
+          } else {
+            for (size_t i = 0; i < new_star.size(); ++i) {
+              combined[num_current + i] =
+                  avt.Apply(star_row[new_star[i]], m);
+            }
+          }
+          if (MatchSet::HasDuplicateVertices(combined)) {
+            ++drops;
+            continue;
+          }
+          if (options.max_rows != 0 &&
+              budget.fetch_add(1, std::memory_order_relaxed) >=
+                  options.max_rows) {
+            overflowed.store(true, std::memory_order_relaxed);
+            chunk_drops[c] = drops;
+            return;
+          }
+          out.Append(combined);
         }
       }
-      if (!consistent) continue;
-      std::copy(current_row.begin(), current_row.end(), combined.begin());
-      for (size_t i = 0; i < new_star.size(); ++i) {
-        combined[current_row.size() + i] = star_row[new_star[i]];
-      }
-      if (MatchSet::HasDuplicateVertices(combined)) {
-        if (diagnostics != nullptr) ++diagnostics->injectivity_drops;
-        continue;
-      }
-      if (max_rows != 0 && next.rows.NumMatches() >= max_rows) {
-        *overflow = true;
-        return next;
-      }
-      next.rows.Append(combined);
     }
-  }
+    chunk_drops[c] = drops;
+  });
+
+  size_t total_rows = 0;
+  for (const MatchSet& part : chunk_rows) total_rows += part.NumMatches();
   if (diagnostics != nullptr) {
-    diagnostics->peak_rows =
-        std::max(diagnostics->peak_rows, next.rows.NumMatches());
+    for (const size_t drops : chunk_drops) {
+      diagnostics->injectivity_drops += drops;
+    }
+    // Recorded before the overflow early-return below: the runs that hit
+    // the row cap are exactly the ones whose peak must not be
+    // under-reported.
+    diagnostics->peak_rows = std::max(diagnostics->peak_rows, total_rows);
   }
+  if (overflowed.load(std::memory_order_relaxed)) {
+    *overflow = true;
+    return next;
+  }
+  next.rows.ReserveAdditional(total_rows);
+  for (const MatchSet& part : chunk_rows) next.rows.AppendAll(part);
   return next;
 }
 
@@ -114,8 +252,8 @@ MatchSet ExpandByAutomorphisms(const MatchSet& matches, const Avt& avt) {
 
 Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
                                  const Avt& avt, size_t num_query_vertices,
-                                 JoinDiagnostics* diagnostics,
-                                 size_t max_rows) {
+                                 const JoinOptions& options,
+                                 JoinDiagnostics* diagnostics) {
   if (stars.empty()) {
     return Status::InvalidArgument("join needs at least one star");
   }
@@ -125,9 +263,17 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
           "star match set was truncated; join would be incomplete");
     }
   }
+  const bool use_estimates =
+      options.star_cost_estimates.size() == stars.size();
+  const auto cost_of = [&](size_t i) {
+    return use_estimates
+               ? options.star_cost_estimates[i]
+               : static_cast<double>(stars[i].matches.NumMatches());
+  };
 
-  // Anchor: the star with the fewest matches (Algorithm 2 line 1). Its rows
-  // are NOT expanded — the anchor center staying in B1 is what defines Rin.
+  // Anchor: the star with the fewest matches (Algorithm 2 line 1) — by
+  // actual count, which is exact and free, never by estimate. Its rows are
+  // NOT expanded; the anchor center staying in B1 is what defines Rin.
   size_t anchor = 0;
   for (size_t i = 1; i < stars.size(); ++i) {
     if (stars[i].matches.NumMatches() <
@@ -135,21 +281,27 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
       anchor = i;
     }
   }
+  // An empty anchor empties every join down the line: return before any
+  // other star gets hash-indexed (or, under the eager strategy, expanded
+  // k-fold).
+  if (stars[anchor].matches.NumMatches() == 0) {
+    return MatchSet(num_query_vertices);
+  }
 
   Intermediate current{stars[anchor].columns, stars[anchor].matches};
-  // Drop rows where the star itself repeats a vertex (leaf == leaf cannot
-  // happen within MatchStar, but stay defensive for external callers).
   if (diagnostics != nullptr) {
     diagnostics->peak_rows =
         std::max(diagnostics->peak_rows, current.rows.NumMatches());
   }
 
+  const uint32_t probe_k = std::max<uint32_t>(avt.k(), 1);
   std::vector<bool> joined(stars.size(), false);
   joined[anchor] = true;
   for (size_t step = 1; step < stars.size(); ++step) {
-    // Next star: overlapping with the current columns, fewest matches
-    // (Algorithm 2 line 4); fall back to fewest overall (cross product) for
-    // disconnected queries.
+    // Next star: overlapping with the current columns, cheapest by the
+    // cost model (Algorithm 2 line 4, with estimated instead of raw
+    // cardinalities when the decomposition supplied them); fall back to
+    // cheapest overall (cross product) for disconnected queries.
     size_t next = SIZE_MAX;
     bool next_overlaps = false;
     for (size_t i = 0; i < stars.size(); ++i) {
@@ -164,19 +316,23 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
       }
       const bool better =
           next == SIZE_MAX || (overlaps && !next_overlaps) ||
-          (overlaps == next_overlaps &&
-           stars[i].matches.NumMatches() < stars[next].matches.NumMatches());
+          (overlaps == next_overlaps && cost_of(i) < cost_of(next));
       if (better) {
         next = i;
         next_overlaps = overlaps;
       }
     }
     joined[next] = true;
-    const MatchSet expanded =
-        ExpandByAutomorphisms(stars[next].matches, avt);  // Lines 5-8.
     bool overflow = false;
-    current = JoinStep(current, stars[next].columns, expanded, diagnostics,
-                       max_rows, &overflow);
+    if (options.eager_expansion) {
+      const MatchSet expanded =
+          ExpandByAutomorphisms(stars[next].matches, avt);  // Lines 5-8.
+      current = JoinStep(current, stars[next].columns, expanded, avt,
+                         /*probe_k=*/1, options, diagnostics, &overflow);
+    } else {
+      current = JoinStep(current, stars[next].columns, stars[next].matches,
+                         avt, probe_k, options, diagnostics, &overflow);
+    }
     if (overflow) {
       return Status::ResourceExhausted(
           "join intermediate exceeded the row cap");
@@ -199,15 +355,44 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
     }
     position[current.columns[p]] = p;
   }
+  // Reorder + final sort-dedup both scale with |Rin|, which can dwarf the
+  // join loop itself on high-fanout queries — run them chunked as well.
+  const auto chunks = SplitIntoChunks(current.rows.NumMatches(),
+                                      options.num_threads, kMinProbeChunk);
+  std::vector<MatchSet> parts(chunks.size(), MatchSet(num_query_vertices));
+  ParallelFor(options.num_threads, chunks.size(), [&](size_t c) {
+    MatchSet& part = parts[c];
+    part.ReserveAdditional(chunks[c].second - chunks[c].first);
+    std::vector<VertexId> row(num_query_vertices);
+    for (size_t r = chunks[c].first; r < chunks[c].second; ++r) {
+      const auto source = current.rows.Get(r);
+      for (size_t q = 0; q < num_query_vertices; ++q) {
+        row[q] = source[position[q]];
+      }
+      part.Append(row);
+    }
+  });
   MatchSet canonical(num_query_vertices);
-  std::vector<VertexId> row(num_query_vertices);
-  for (size_t r = 0; r < current.rows.NumMatches(); ++r) {
-    const auto source = current.rows.Get(r);
-    for (size_t q = 0; q < num_query_vertices; ++q) row[q] = source[position[q]];
-    canonical.Append(row);
-  }
-  canonical.SortDedup();
+  canonical.ReserveAdditional(current.rows.NumMatches());
+  for (const MatchSet& part : parts) canonical.AppendAll(part);
+  // No dedup pass: every row is distinct by construction. The anchor rows
+  // are distinct, and each JoinStep preserves that — a joined row pins down
+  // its probe row (the current columns) and the expanded star row F_m(s)
+  // (overlap + new columns), and the min-shift check already keeps exactly
+  // one (s, m) per expanded row. Sorting ~|Rin| distinct rows was the
+  // single most expensive phase of large joins, for presentation only.
+  if (options.sorted_output) canonical.SortDedup(options.num_threads);
   return canonical;
+}
+
+Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
+                                 const Avt& avt, size_t num_query_vertices,
+                                 JoinDiagnostics* diagnostics,
+                                 size_t max_rows) {
+  JoinOptions options;
+  options.max_rows = max_rows;
+  return JoinStarMatches(stars, avt, num_query_vertices, options,
+                         diagnostics);
 }
 
 }  // namespace ppsm

@@ -11,10 +11,48 @@ namespace ppsm {
 
 /// Diagnostics from a join run (the benches report these).
 struct JoinDiagnostics {
-  /// Peak intermediate row count across join steps.
+  /// Peak intermediate row count across join steps. Under an overflow this
+  /// still reflects the rows materialized up to the abort — the runs that
+  /// hit the cap are exactly the ones whose peak matters.
   size_t peak_rows = 0;
   /// Rows discarded by the duplicate-vertex (injectivity) filter.
   size_t injectivity_drops = 0;
+  /// JoinStep invocations (0 when the anchor short-circuited the join).
+  size_t join_steps = 0;
+  /// Total rows hash-indexed across steps. With automorphism-aware probing
+  /// this counts *un-expanded* star rows — independent of k — where the old
+  /// eager expansion indexed k times as many.
+  size_t indexed_rows = 0;
+};
+
+/// Knobs for the result join.
+struct JoinOptions {
+  /// Caps every intermediate row count (0 = unlimited); exceeding it makes
+  /// JoinStarMatches return ResourceExhausted instead of exhausting memory.
+  size_t max_rows = 0;
+  /// Workers for each join step: the probe side (current rows) is
+  /// partitioned across them against the read-only shared hash index, with
+  /// per-worker buffers concatenated in partition order — results are
+  /// identical at any thread count.
+  size_t num_threads = 1;
+  /// Estimated |R(S,Gk)| per star from the §5.1 cost model, aligned with
+  /// the `stars` argument (StarDecomposition::estimates). When present it
+  /// orders the join steps (overlapping stars still take precedence);
+  /// empty falls back to actual match counts. The anchor is always chosen
+  /// by actual count — that minimizes |Rin| exactly and for free.
+  std::vector<double> star_cost_estimates;
+  /// Legacy strategy: materialize R(S,Gk) per star via
+  /// ExpandByAutomorphisms before joining, instead of probing the
+  /// un-expanded R(S,Go) under all k automorphic functions. k times the
+  /// intermediate memory for the same result; kept for A/B benches and the
+  /// equivalence tests.
+  bool eager_expansion = false;
+  /// Sort Rin lexicographically before returning. The join emits distinct
+  /// rows by construction, so this is presentation only — and sorting |Rin|
+  /// rows was the single most expensive phase on high-fanout queries. No
+  /// consumer needs it (the client re-normalizes after expand+filter); kept
+  /// for A/B benches reproducing the pre-optimization pipeline.
+  bool sorted_output = false;
 };
 
 /// Algorithm 2 (result join): combines per-star match sets over Go into Rin,
@@ -22,24 +60,36 @@ struct JoinDiagnostics {
 ///
 ///  * The anchor star — the one with the fewest matches — is used as-is: its
 ///    center column stays inside B1, which is what makes the output "Rin".
-///  * Every other star is first expanded from R(S,Go) to R(S,Gk) by applying
-///    all k automorphic functions (lines 5-8), then natural-joined on the
-///    shared query vertices (line 9), discarding rows that map two query
-///    vertices to one data vertex (lines 10-12).
-///  * Overlapping stars are preferred (smallest first); disconnected query
-///    components fall back to a cross product.
+///    An anchor with zero matches short-circuits to the empty result before
+///    any other star is touched.
+///  * Every other star logically contributes R(S,Gk) = ∪_m F_m(R(S,Go))
+///    (lines 5-8), natural-joined on the shared query vertices (line 9),
+///    discarding rows that map two query vertices to one data vertex (lines
+///    10-12). The expansion is never materialized: the un-expanded rows are
+///    hashed once and each current row probes under all k functions, so the
+///    k-fold intermediate copy never exists.
+///  * Overlapping stars are preferred (cheapest first, by the cost model
+///    when estimates are supplied); disconnected query components fall back
+///    to a cross product.
 ///
-/// Input star matches must already be translated to Gk vertex ids. Output
-/// columns are canonical (query vertex 0..m-1); rows are deduplicated.
-/// `max_rows` (0 = unlimited) caps every intermediate row count; exceeding
-/// it returns ResourceExhausted instead of exhausting memory.
+/// Input star matches must already be translated to Gk vertex ids and be
+/// duplicate-free per star (MatchStars guarantees both). Output columns are
+/// canonical (query vertex 0..m-1); rows are then distinct by construction,
+/// sorted only when `options.sorted_output` asks for it, and identical at
+/// any thread count.
+Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
+                                 const Avt& avt, size_t num_query_vertices,
+                                 const JoinOptions& options,
+                                 JoinDiagnostics* diagnostics = nullptr);
+
+/// Serial convenience overload (`max_rows` as before; 0 = unlimited).
 Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
                                  const Avt& avt, size_t num_query_vertices,
                                  JoinDiagnostics* diagnostics = nullptr,
                                  size_t max_rows = 0);
 
 /// Expands a Go-side match set to its Gk closure: union of F_m(matches) for
-/// m = 0..k-1, deduplicated. Shared by the join (per star) and by the
+/// m = 0..k-1, deduplicated. Shared by the eager join strategy and by the
 /// client's Rout computation (Algorithm 3 lines 1-5).
 MatchSet ExpandByAutomorphisms(const MatchSet& matches, const Avt& avt);
 

@@ -1,10 +1,46 @@
 #include "match/star_matcher.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "obs/trace.h"
+#include "util/parallel.h"
 
 namespace ppsm {
 
 namespace {
+
+/// Candidate chunks below this size are not worth a pool task.
+constexpr size_t kMinCandidateChunk = 32;
+
+/// Versioned-epoch vertex marks: Begin() invalidates every mark in O(1) by
+/// bumping the epoch, so the per-star O(|V|) zeroing of the old
+/// std::vector<bool> — which dwarfed matching time on large fixtures under
+/// the serving workload — happens only on first use per thread (and on the
+/// ~never epoch wraparound). Thread-local: pool workers are persistent, so
+/// the buffer is reused across stars, queries and servers.
+class EpochMarks {
+ public:
+  void Begin(size_t num_vertices) {
+    if (marks_.size() < num_vertices) marks_.resize(num_vertices, 0);
+    if (++epoch_ == 0) {
+      std::fill(marks_.begin(), marks_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+  bool Marked(VertexId v) const { return marks_[v] == epoch_; }
+  void Mark(VertexId v) { marks_[v] = epoch_; }
+  void Unmark(VertexId v) { marks_[v] = 0; }
+
+ private:
+  std::vector<uint32_t> marks_;
+  uint32_t epoch_ = 0;
+};
+
+EpochMarks& ThreadMarks() {
+  thread_local EpochMarks marks;
+  return marks;
+}
 
 /// Leaf-vertex compatibility: type sets and label groups only (Def. 2's
 /// containment conditions; deliberately no degree check — see header).
@@ -15,27 +51,35 @@ bool LeafCompatible(const AttributedGraph& qo, VertexId leaf,
 }
 
 /// Enumerates injective assignments of `leaves[depth..]` to neighbors of the
-/// candidate center, appending complete rows to `out`.
-/// Returns false when the row cap was hit (enumeration aborted).
+/// candidate center, appending complete rows to `out`. `budget` (non-null
+/// iff max_rows != 0) is the row counter shared by every chunk of one star,
+/// so the cap holds across concurrent workers: a slot is claimed with
+/// fetch_add before the append, and a claim at or past the cap aborts.
+/// Returns false when the cap was hit (enumeration aborted).
 bool AssignLeaves(const AttributedGraph& data, const AttributedGraph& qo,
                   const std::vector<VertexId>& leaves, size_t depth,
                   std::span<const VertexId> center_neighbors,
-                  std::vector<VertexId>* row, std::vector<bool>* used,
-                  size_t max_rows, MatchSet* out) {
+                  std::vector<VertexId>* row, EpochMarks* marks,
+                  std::atomic<size_t>* budget, size_t max_rows,
+                  MatchSet* out) {
   if (depth == leaves.size()) {
-    if (max_rows != 0 && out->NumMatches() >= max_rows) return false;
+    if (budget != nullptr &&
+        budget->fetch_add(1, std::memory_order_relaxed) >= max_rows) {
+      return false;
+    }
     out->Append(*row);
     return true;
   }
   const VertexId leaf = leaves[depth];
   for (const VertexId v : center_neighbors) {
-    if ((*used)[v]) continue;
+    if (marks->Marked(v)) continue;
     if (!LeafCompatible(qo, leaf, data, v)) continue;
-    (*used)[v] = true;
+    marks->Mark(v);
     (*row)[depth + 1] = v;
     const bool ok = AssignLeaves(data, qo, leaves, depth + 1,
-                                 center_neighbors, row, used, max_rows, out);
-    (*used)[v] = false;
+                                 center_neighbors, row, marks, budget,
+                                 max_rows, out);
+    marks->Unmark(v);
     if (!ok) return false;
   }
   return true;
@@ -45,7 +89,7 @@ bool AssignLeaves(const AttributedGraph& data, const AttributedGraph& qo,
 
 StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
                       const AttributedGraph& qo, VertexId center,
-                      size_t max_rows) {
+                      const StarMatchOptions& options) {
   StarMatches result;
   result.center = center;
   result.columns.push_back(center);
@@ -62,20 +106,90 @@ StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
   result.columns.insert(result.columns.end(), leaves.begin(), leaves.end());
   result.matches = MatchSet(result.columns.size());
 
-  std::vector<bool> used(data.NumVertices(), false);
-  std::vector<VertexId> row(result.columns.size());
-  for (const VertexId va : index.CandidateCenters(qo, center)) {
-    row[0] = va;
-    used[va] = true;  // The center cannot double as one of its leaves.
-    const bool ok = AssignLeaves(data, qo, leaves, 0, data.Neighbors(va),
-                                 &row, &used, max_rows, &result.matches);
-    used[va] = false;
-    if (!ok) {
-      result.truncated = true;
-      break;
-    }
+  const std::vector<VertexId> candidates = index.CandidateCenters(qo, center);
+  if (candidates.empty()) return result;
+  if (options.cancelled && options.cancelled()) {
+    result.truncated = true;
+    return result;
   }
+
+  // Chunked candidate loop: each chunk appends into its own MatchSet, all
+  // chunks share the atomic row budget, and the per-chunk sets concatenate
+  // in chunk order — so thread count never changes which rows exist (only,
+  // under truncation, which prefix of the enumeration survived).
+  const auto chunks =
+      SplitIntoChunks(candidates.size(), options.num_threads,
+                      kMinCandidateChunk);
+  std::vector<MatchSet> chunk_matches(chunks.size(),
+                                      MatchSet(result.columns.size()));
+  std::atomic<size_t> budget{0};
+  std::atomic<bool> truncated{false};
+  ParallelFor(options.num_threads, chunks.size(), [&](size_t c) {
+    if (truncated.load(std::memory_order_relaxed)) return;
+    if (options.cancelled && options.cancelled()) {
+      truncated.store(true, std::memory_order_relaxed);
+      return;
+    }
+    EpochMarks& marks = ThreadMarks();
+    marks.Begin(data.NumVertices());
+    std::vector<VertexId> row(result.columns.size());
+    MatchSet* out = &chunk_matches[c];
+    std::atomic<size_t>* budget_ptr =
+        options.max_rows == 0 ? nullptr : &budget;
+    for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      const VertexId va = candidates[i];
+      row[0] = va;
+      marks.Mark(va);  // The center cannot double as one of its leaves.
+      const bool ok = AssignLeaves(data, qo, leaves, 0, data.Neighbors(va),
+                                   &row, &marks, budget_ptr,
+                                   options.max_rows, out);
+      marks.Unmark(va);
+      if (!ok) {
+        truncated.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  result.truncated = truncated.load(std::memory_order_relaxed);
+
+  size_t total_rows = 0;
+  for (const MatchSet& part : chunk_matches) total_rows += part.NumMatches();
+  result.matches.ReserveAdditional(total_rows);
+  for (const MatchSet& part : chunk_matches) result.matches.AppendAll(part);
   return result;
+}
+
+StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, VertexId center,
+                      size_t max_rows) {
+  StarMatchOptions options;
+  options.max_rows = max_rows;
+  return MatchStar(data, index, qo, center, options);
+}
+
+std::vector<StarMatches> MatchStars(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<VertexId>& centers,
+                                    const StarMatchOptions& options) {
+  std::vector<StarMatches> all(centers.size());
+  std::atomic<bool> abort{false};
+  ParallelFor(options.num_threads, centers.size(), [&](size_t i) {
+    if (abort.load(std::memory_order_relaxed)) {
+      // A sibling star truncated (or the run was cancelled): this phase can
+      // no longer answer exactly, so skip the remaining stars instead of
+      // matching them into the void. Marking them truncated keeps the skip
+      // visible to the join's completeness check.
+      all[i].center = centers[i];
+      all[i].columns.push_back(centers[i]);
+      all[i].truncated = true;
+      return;
+    }
+    PPSM_TRACE_SPAN_CAT("cloud.star_match.star", "query");
+    all[i] = MatchStar(data, index, qo, centers[i], options);
+    if (all[i].truncated) abort.store(true, std::memory_order_relaxed);
+  });
+  return all;
 }
 
 std::vector<StarMatches> MatchStars(const AttributedGraph& data,
@@ -83,13 +197,9 @@ std::vector<StarMatches> MatchStars(const AttributedGraph& data,
                                     const AttributedGraph& qo,
                                     const std::vector<VertexId>& centers,
                                     size_t max_rows) {
-  std::vector<StarMatches> all;
-  all.reserve(centers.size());
-  for (const VertexId center : centers) {
-    all.push_back(MatchStar(data, index, qo, center, max_rows));
-    if (all.back().truncated) break;  // The caller aborts anyway.
-  }
-  return all;
+  StarMatchOptions options;
+  options.max_rows = max_rows;
+  return MatchStars(data, index, qo, centers, options);
 }
 
 }  // namespace ppsm

@@ -1,6 +1,7 @@
 #ifndef PPSM_MATCH_STAR_MATCHER_H_
 #define PPSM_MATCH_STAR_MATCHER_H_
 
+#include <functional>
 #include <vector>
 
 #include "graph/attributed_graph.h"
@@ -18,9 +19,29 @@ struct StarMatches {
   VertexId center = kInvalidVertex;
   std::vector<VertexId> columns;
   MatchSet matches;
-  /// True when enumeration stopped at the row cap; the match set is then
-  /// incomplete and must not be used for exact answering.
+  /// True when enumeration stopped early — at the row cap, or because the
+  /// run was cancelled. The match set is then incomplete and must not be
+  /// used for exact answering.
   bool truncated = false;
+};
+
+/// Knobs for the star-matching phase.
+struct StarMatchOptions {
+  /// Caps the materialized match count per star (0 = unlimited). Hitting it
+  /// sets StarMatches::truncated — the cloud turns that into a
+  /// ResourceExhausted error instead of exhausting memory on pathological
+  /// queries.
+  size_t max_rows = 0;
+  /// Workers drawn from the shared pool: MatchStars spreads stars across
+  /// them, and MatchStar additionally splits its candidate-center loop into
+  /// chunks (the inner split only engages when the call is not already
+  /// inside a pool task — see util/parallel.h — so a one-star decomposition
+  /// still uses the whole budget).
+  size_t num_threads = 1;
+  /// Polled between stars and candidate chunks; returning true abandons the
+  /// remaining work with the affected stars marked truncated. The cloud
+  /// wires its query deadline here. Must be thread-safe; empty = never.
+  std::function<bool()> cancelled;
 };
 
 /// Algorithm 1 (star matching): finds all matches of the star rooted at
@@ -30,16 +51,29 @@ struct StarMatches {
 /// containment only — a leaf's extra query edges are the join's concern, and
 /// leaf degrees in Go understate their Gk degrees, so no degree pruning
 /// here.
-/// `max_rows` caps the materialized match count (0 = unlimited); hitting it
-/// sets StarMatches::truncated — the cloud turns that into a
-/// ResourceExhausted error instead of exhausting memory on pathological
-/// queries.
+StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, VertexId center,
+                      const StarMatchOptions& options);
+
+/// Serial convenience overload (tests, cost-model probes).
 StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
                       const AttributedGraph& qo, VertexId center,
                       size_t max_rows = 0);
 
 /// Runs MatchStar for every center of a decomposition (the algorithm's S*
-/// loop). Output order follows `centers`.
+/// loop), spreading stars across options.num_threads pool workers — the
+/// stars are independent, so this is the embarrassingly parallel axis of
+/// the paper's §4.2.1 hot path. Output order follows `centers` regardless
+/// of thread count. When one star truncates (or the run is cancelled), the
+/// stars not yet matched are skipped and marked truncated too: no caller
+/// may use a partial phase for exact answering, so finishing it is waste.
+std::vector<StarMatches> MatchStars(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<VertexId>& centers,
+                                    const StarMatchOptions& options);
+
+/// Serial convenience overload.
 std::vector<StarMatches> MatchStars(const AttributedGraph& data,
                                     const CloudIndex& index,
                                     const AttributedGraph& qo,

@@ -1,5 +1,6 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -79,6 +80,34 @@ void ParallelFor(size_t num_threads, size_t num_items,
     state->cv.wait(lock, [&] { return state->completed == helpers; });
     return;
   }
+}
+
+std::vector<std::pair<size_t, size_t>> SplitIntoChunks(size_t num_items,
+                                                       size_t num_threads,
+                                                       size_t min_chunk) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (num_items == 0) return chunks;
+  if (min_chunk == 0) min_chunk = 1;
+  if (num_threads == 0) num_threads = 1;
+  // Four chunks per worker gives the atomic item counter room to balance
+  // uneven chunk costs without shrinking chunks into bookkeeping noise.
+  const size_t target = num_threads * 4;
+  size_t chunk = (num_items + target - 1) / target;
+  if (chunk < min_chunk) chunk = min_chunk;
+  chunks.reserve((num_items + chunk - 1) / chunk);
+  for (size_t begin = 0; begin < num_items; begin += chunk) {
+    chunks.emplace_back(begin, std::min(begin + chunk, num_items));
+  }
+  return chunks;
+}
+
+void ParallelForChunks(
+    size_t num_threads, size_t num_items, size_t min_chunk,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  const auto chunks = SplitIntoChunks(num_items, num_threads, min_chunk);
+  ParallelFor(num_threads, chunks.size(), [&](size_t c) {
+    fn(c, chunks[c].first, chunks[c].second);
+  });
 }
 
 }  // namespace ppsm

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
+#include <vector>
 
 namespace ppsm {
 
@@ -19,6 +21,25 @@ size_t HardwareThreads();
 /// concurrently on distinct indices and must not throw.
 void ParallelFor(size_t num_threads, size_t num_items,
                  const std::function<void(size_t)>& fn);
+
+/// Splits [0, num_items) into contiguous [begin, end) ranges for chunked
+/// parallel loops that want one output buffer per chunk (concatenating the
+/// buffers in chunk order keeps results deterministic). Aims for a few
+/// chunks per worker so uneven chunk costs still balance, but never makes a
+/// chunk smaller than `min_chunk` — below that the per-chunk bookkeeping
+/// outweighs the work. Returns at least one chunk when num_items > 0.
+std::vector<std::pair<size_t, size_t>> SplitIntoChunks(size_t num_items,
+                                                       size_t num_threads,
+                                                       size_t min_chunk);
+
+/// ParallelFor over SplitIntoChunks: fn(chunk_index, begin, end) for each
+/// range. Same degradation and safety contract as ParallelFor. Returns the
+/// chunk list so callers can size per-chunk result buffers beforehand (call
+/// SplitIntoChunks directly for that; this overload is the fire-and-forget
+/// form).
+void ParallelForChunks(
+    size_t num_threads, size_t num_items, size_t min_chunk,
+    const std::function<void(size_t, size_t, size_t)>& fn);
 
 }  // namespace ppsm
 

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "cloud/channel.h"
 #include "cloud/cloud_server.h"
 #include "cloud/data_owner.h"
@@ -37,6 +40,56 @@ TEST(Channel, LogKeepsDescriptions) {
   ASSERT_EQ(channel.log().size(), 2u);
   EXPECT_EQ(channel.log()[0].description, "upload");
   EXPECT_EQ(channel.log()[1].bytes, 20u);
+}
+
+TEST(Channel, ValidateRejectsNonPositiveBandwidth) {
+  ChannelConfig config;
+  config.bandwidth_mbps = 0.0;
+  EXPECT_TRUE(ValidateChannelConfig(config).code() == StatusCode::kInvalidArgument);
+  config.bandwidth_mbps = -10.0;
+  EXPECT_TRUE(ValidateChannelConfig(config).code() == StatusCode::kInvalidArgument);
+  config.bandwidth_mbps = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ValidateChannelConfig(config).code() == StatusCode::kInvalidArgument);
+}
+
+TEST(Channel, ValidateRejectsNegativeLatency) {
+  ChannelConfig config;
+  config.latency_ms = -1.0;
+  EXPECT_TRUE(ValidateChannelConfig(config).code() == StatusCode::kInvalidArgument);
+  config.latency_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(ValidateChannelConfig(config).code() == StatusCode::kInvalidArgument);
+  config.latency_ms = 0.0;  // Zero latency is a valid (ideal) link.
+  EXPECT_TRUE(ValidateChannelConfig(config).ok());
+}
+
+TEST(Channel, CreateReturnsTypedErrorForInvalidConfig) {
+  ChannelConfig config;
+  config.bandwidth_mbps = -5.0;
+  auto channel = SimulatedChannel::Create(config);
+  ASSERT_FALSE(channel.ok());
+  EXPECT_TRUE(channel.status().code() == StatusCode::kInvalidArgument);
+
+  config = ChannelConfig{};
+  config.bandwidth_mbps = 250.0;
+  config.latency_ms = 0.5;
+  auto valid = SimulatedChannel::Create(config);
+  ASSERT_TRUE(valid.ok()) << valid.status();
+  EXPECT_GT(valid->Transfer(1000, "probe"), 0.0);
+}
+
+TEST(Channel, ConstructorFallsBackToFiniteTransferTimes) {
+  // The unchecked constructor must never produce a channel that emits
+  // inf/negative transfer times (they would poison the latency metrics):
+  // an invalid config falls back to the default link.
+  ChannelConfig config;
+  config.bandwidth_mbps = 0.0;
+  config.max_log_records = 7;
+  SimulatedChannel channel(config);
+  const double ms = channel.Transfer(1000000, "blob");
+  EXPECT_TRUE(std::isfinite(ms));
+  EXPECT_GT(ms, 0.0);
+  for (int i = 0; i < 10; ++i) channel.Transfer(1, "x");
+  EXPECT_LE(channel.log().size(), 7u);  // max_log_records is preserved.
 }
 
 DataOwner MakeOwner(bool baseline, uint32_t k = 2) {
