@@ -57,6 +57,40 @@ void Run() {
     Emit(time_table, "fig10_gk_time_" + stem);
     Emit(noise_table, "fig11_noise_edges_" + stem);
   }
+
+  // Offline-pipeline scaling: the same EFF setup at increasing
+  // setup_threads on the largest preset. Byte-identical artifacts at every
+  // thread count (DESIGN.md §11; enforced by setup_determinism_test), so
+  // the only thing that may change down a column is the wall time.
+  const std::vector<BenchDataset> datasets = StandardDatasets(scale);
+  const BenchDataset& largest = datasets.back();
+  auto graph = GenerateDataset(largest.config);
+  if (!graph.ok()) {
+    std::cerr << "dataset " << largest.name << ": " << graph.status() << "\n";
+    return;
+  }
+  Table scaling_table(
+      "Setup scaling: EFF end-to-end setup (s) on " + largest.name +
+          " (|V|=" + std::to_string(graph->NumVertices()) +
+          ", |E|=" + std::to_string(graph->NumEdges()) + ") vs setup_threads",
+      {"threads", "k=2", "k=4", "k=6"});
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    std::vector<std::string> row{std::to_string(threads)};
+    for (const uint32_t k : {2u, 4u, 6u}) {
+      SystemConfig config;
+      config.method = Method::kEff;
+      config.k = k;
+      config.setup_threads = threads;
+      auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
+      if (!system.ok()) {
+        std::cerr << system.status() << "\n";
+        return;
+      }
+      row.push_back(Table::Num(system->setup_stats().total_ms / 1e3, 3));
+    }
+    scaling_table.AddRow(row);
+  }
+  Emit(scaling_table, "setup_scaling");
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace ppsm {
@@ -131,26 +133,33 @@ Result<Lct> BuildLct(GroupingStrategy strategy, const Schema& schema,
     }
     case GroupingStrategy::kFrequencySimilar: {
       const LabelDistribution dist = ComputeGraphDistribution(graph, schema);
-      for (auto& perm : permutations) {
+      ParallelFor(options.num_threads, permutations.size(), [&](size_t at) {
+        auto& perm = permutations[at];
         std::sort(perm.begin(), perm.end(), [&](LabelId x, LabelId y) {
           if (dist.label_freq[x] != dist.label_freq[y]) {
             return dist.label_freq[x] < dist.label_freq[y];
           }
           return x < y;
         });
-      }
+      });
       break;
     }
     case GroupingStrategy::kCostModel: {
       const LabelDistribution graph_dist =
           ComputeGraphDistribution(graph, schema);
       const LabelDistribution star_dist = ComputeAverageStarDistribution(
-          graph, schema, options.star_samples, options.seed ^ 0xabcdef);
-      for (auto& perm : permutations) {
-        rng.Shuffle(perm);  // Random initial combination (§5.2).
-        SwapDescent(&perm, options.theta, graph_dist, star_dist,
+          graph, schema, options.star_samples, options.seed ^ 0xabcdef,
+          options.num_threads);
+      // Draw every random initial combination first (keeping the rng
+      // sequence identical to the serial pipeline), then descend on each
+      // attribute concurrently — SwapDescent only reads its own permutation
+      // and the two shared distributions.
+      for (auto& perm : permutations) rng.Shuffle(perm);  // (§5.2.)
+      PPSM_TRACE_SPAN_CAT("setup.lct.swap_descent", "setup");
+      ParallelFor(options.num_threads, permutations.size(), [&](size_t at) {
+        SwapDescent(&permutations[at], options.theta, graph_dist, star_dist,
                     options.max_passes);
-      }
+      });
       break;
     }
   }

@@ -33,6 +33,11 @@ struct GroupingOptions {
   /// Swap-descent pass cap (EFF only; the paper reports convergence within
   /// ~10 iterations).
   int max_passes = 24;
+  /// Workers for the per-attribute swap descents and the star-workload
+  /// sampling. Deterministic in `seed` at every value (DESIGN.md §11): the
+  /// rng draws happen serially up front, then the independent pieces run
+  /// concurrently.
+  size_t num_threads = 1;
 };
 
 /// Builds an LCT for `graph` under the chosen strategy. `graph` must carry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace ppsm {
@@ -36,44 +37,77 @@ LabelDistribution ComputeGraphDistribution(const AttributedGraph& graph,
 LabelDistribution ComputeAverageStarDistribution(const AttributedGraph& graph,
                                                  const Schema& schema,
                                                  size_t num_samples,
-                                                 uint64_t seed) {
+                                                 uint64_t seed,
+                                                 size_t num_threads) {
   LabelDistribution dist;
   dist.type_freq.assign(schema.NumTypes(), 0.0);
   dist.label_freq.assign(schema.NumLabels(), 0.0);
   if (graph.NumVertices() == 0 || num_samples == 0) return dist;
 
+  // All rng draws happen here, so the sampled centers match the serial
+  // pipeline bit for bit.
   Rng rng(seed);
-  std::vector<size_t> type_count(schema.NumTypes(), 0);
-  std::vector<size_t> label_count(schema.NumLabels(), 0);
-  double degree_sum = 0.0;
-  std::vector<VertexId> star;
+  std::vector<VertexId> centers(num_samples);
+  for (VertexId& center : centers) {
+    center = static_cast<VertexId>(rng.Below(graph.NumVertices()));
+  }
 
-  for (size_t sample = 0; sample < num_samples; ++sample) {
-    const auto center =
-        static_cast<VertexId>(rng.Below(graph.NumVertices()));
-    star.clear();
-    star.push_back(center);
-    const auto neighbors = graph.Neighbors(center);
-    star.insert(star.end(), neighbors.begin(), neighbors.end());
-    degree_sum += static_cast<double>(neighbors.size());
+  // Fixed-size sample blocks — NOT thread-count-sized chunks — so the
+  // partial sums, and therefore the floating-point reduction below, are the
+  // same at any num_threads (1 included: the serial path runs this very
+  // loop). 64 stars per block keeps the per-block distributions small
+  // enough to stay cache-resident while leaving enough blocks to balance.
+  constexpr size_t kSamplesPerBlock = 64;
+  const size_t num_blocks =
+      (num_samples + kSamplesPerBlock - 1) / kSamplesPerBlock;
+  std::vector<LabelDistribution> partial(num_blocks);
+  std::vector<double> partial_degree(num_blocks, 0.0);
+  ParallelFor(num_threads, num_blocks, [&](size_t block) {
+    LabelDistribution& acc = partial[block];
+    acc.type_freq.assign(schema.NumTypes(), 0.0);
+    acc.label_freq.assign(schema.NumLabels(), 0.0);
+    std::vector<size_t> type_count(schema.NumTypes(), 0);
+    std::vector<size_t> label_count(schema.NumLabels(), 0);
+    std::vector<VertexId> star;
+    const size_t begin = block * kSamplesPerBlock;
+    const size_t end = std::min(begin + kSamplesPerBlock, num_samples);
+    for (size_t sample = begin; sample < end; ++sample) {
+      const VertexId center = centers[sample];
+      star.clear();
+      star.push_back(center);
+      const auto neighbors = graph.Neighbors(center);
+      star.insert(star.end(), neighbors.begin(), neighbors.end());
+      partial_degree[block] += static_cast<double>(neighbors.size());
 
-    std::fill(type_count.begin(), type_count.end(), 0);
-    std::fill(label_count.begin(), label_count.end(), 0);
-    for (const VertexId v : star) {
-      for (const VertexTypeId t : graph.Types(v)) ++type_count[t];
-      for (const LabelId l : graph.Labels(v)) ++label_count[l];
-    }
-    for (VertexTypeId t = 0; t < schema.NumTypes(); ++t) {
-      dist.type_freq[t] += static_cast<double>(type_count[t]) /
-                           static_cast<double>(star.size());
-    }
-    for (LabelId l = 0; l < schema.NumLabels(); ++l) {
-      const size_t owner = type_count[schema.TypeOfLabel(l)];
-      if (owner > 0) {
-        dist.label_freq[l] += static_cast<double>(label_count[l]) /
-                              static_cast<double>(owner);
+      std::fill(type_count.begin(), type_count.end(), 0);
+      std::fill(label_count.begin(), label_count.end(), 0);
+      for (const VertexId v : star) {
+        for (const VertexTypeId t : graph.Types(v)) ++type_count[t];
+        for (const LabelId l : graph.Labels(v)) ++label_count[l];
+      }
+      for (VertexTypeId t = 0; t < schema.NumTypes(); ++t) {
+        acc.type_freq[t] += static_cast<double>(type_count[t]) /
+                            static_cast<double>(star.size());
+      }
+      for (LabelId l = 0; l < schema.NumLabels(); ++l) {
+        const size_t owner = type_count[schema.TypeOfLabel(l)];
+        if (owner > 0) {
+          acc.label_freq[l] += static_cast<double>(label_count[l]) /
+                               static_cast<double>(owner);
+        }
       }
     }
+  });
+
+  double degree_sum = 0.0;
+  for (size_t block = 0; block < num_blocks; ++block) {
+    for (VertexTypeId t = 0; t < schema.NumTypes(); ++t) {
+      dist.type_freq[t] += partial[block].type_freq[t];
+    }
+    for (LabelId l = 0; l < schema.NumLabels(); ++l) {
+      dist.label_freq[l] += partial[block].label_freq[l];
+    }
+    degree_sum += partial_degree[block];
   }
 
   const auto denom = static_cast<double>(num_samples);

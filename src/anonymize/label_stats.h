@@ -31,11 +31,15 @@ LabelDistribution ComputeGraphDistribution(const AttributedGraph& graph,
 /// `num_samples` stars — a uniformly random center plus all its neighbors —
 /// and averages each per-star distribution, mirroring §5.2's S_set. A star
 /// without type-j vertices contributes 0 to type j's terms. Deterministic in
-/// `seed`.
+/// `seed` at every `num_threads` value: centers are drawn serially up front
+/// and the per-star terms accumulate into fixed-size sample blocks whose
+/// partials are reduced in block order, so the floating-point summation
+/// order never depends on the thread count.
 LabelDistribution ComputeAverageStarDistribution(const AttributedGraph& graph,
                                                  const Schema& schema,
                                                  size_t num_samples,
-                                                 uint64_t seed);
+                                                 uint64_t seed,
+                                                 size_t num_threads = 1);
 
 }  // namespace ppsm
 

@@ -1,9 +1,13 @@
 #include "cloud/data_owner.h"
 
+#include <condition_variable>
+#include <mutex>
+
 #include "kauto/outsourced_graph.h"
 #include "match/result_join.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ppsm {
@@ -29,6 +33,7 @@ struct OwnerMetrics {
   MetricsRegistry::Gauge upload_bytes;
   MetricsRegistry::Gauge noise_vertices;
   MetricsRegistry::Gauge noise_edges;
+  MetricsRegistry::Gauge setup_threads;
 
   static const OwnerMetrics& Get() {
     static const OwnerMetrics m = [] {
@@ -72,6 +77,8 @@ struct OwnerMetrics {
           r.gauge("ppsm_setup_noise_vertices", "Noise vertices added to Gk");
       metrics.noise_edges =
           r.gauge("ppsm_setup_noise_edges", "Noise edges added to Gk");
+      metrics.setup_threads = r.gauge(
+          "ppsm_setup_threads", "Workers used by the last offline pipeline");
       return metrics;
     }();
     return m;
@@ -93,17 +100,23 @@ Result<DataOwner> DataOwner::Create(AttributedGraph graph,
   owner.schema_ = std::move(schema);
   owner.baseline_ = options.baseline_upload;
 
+  const size_t threads =
+      options.setup_threads == 0 ? 1 : options.setup_threads;
+
   WallTimer total_timer;
   WallTimer phase_timer;
   PPSM_TRACE_SPAN_CAT("setup.data_owner", "setup");
   const OwnerMetrics& metrics = OwnerMetrics::Get();
+  metrics.setup_threads.Set(static_cast<double>(threads));
 
   // Label combination (§5.2) and LCT construction.
   {
     PPSM_TRACE_SPAN_CAT("setup.lct", "setup");
+    GroupingOptions grouping = options.grouping;
+    grouping.num_threads = threads;
     PPSM_ASSIGN_OR_RETURN(owner.lct_,
                           BuildLct(options.strategy, *owner.schema_,
-                                   owner.graph_, options.grouping));
+                                   owner.graph_, grouping));
   }
   owner.setup_stats_.lct_ms = phase_timer.ElapsedMillis();
   metrics.lct_ms.Observe(owner.setup_stats_.lct_ms);
@@ -123,6 +136,7 @@ Result<DataOwner> DataOwner::Create(AttributedGraph graph,
   phase_timer.Restart();
   KAutomorphismOptions kauto = options.kauto;
   kauto.k = options.k;
+  kauto.num_threads = threads;
   {
     PPSM_TRACE_SPAN_CAT("setup.kauto", "setup");
     PPSM_ASSIGN_OR_RETURN(owner.kag_,
@@ -139,7 +153,7 @@ Result<DataOwner> DataOwner::Create(AttributedGraph graph,
   phase_timer.Restart();
   {
     PPSM_TRACE_SPAN_CAT("setup.upload_build", "setup");
-    PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex());
+    PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex(threads));
   }
   owner.setup_stats_.go_ms = phase_timer.ElapsedMillis();
   owner.setup_stats_.total_ms = total_timer.ElapsedMillis();
@@ -187,39 +201,84 @@ Result<DataOwner> DataOwner::Restore(AttributedGraph graph,
   owner.setup_stats_.gk_edges = owner.kag_.gk.NumEdges();
   owner.setup_stats_.noise_vertices = owner.kag_.NumNoiseVertices();
   owner.setup_stats_.noise_edges = owner.kag_.NumNoiseEdges();
-  PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex());
+  PPSM_RETURN_IF_ERROR(owner.BuildUploadAndIndex(/*num_threads=*/1));
   return owner;
 }
 
-Status DataOwner::BuildUploadAndIndex() {
-  UploadPackage package;
-  package.k = kag_.avt.k();
-  package.num_types = static_cast<uint32_t>(schema_->NumTypes());
-  package.type_of_group.reserve(lct_.NumGroups());
-  for (GroupId g = 0; g < lct_.NumGroups(); ++g) {
-    package.type_of_group.push_back(lct_.TypeOfGroup(g));
-  }
-  if (baseline_) {
-    package.full_gk = kag_.gk;
-    setup_stats_.go_vertices = kag_.gk.NumVertices();
-    setup_stats_.go_edges = kag_.gk.NumEdges();
+Status DataOwner::BuildUploadAndIndex(size_t num_threads) {
+  // The upload package and the client-side edge filter read disjoint state
+  // (kag_/lct_ vs graph_) and are built concurrently; upload_bytes_ itself
+  // never depends on the thread count.
+  Status package_status = Status::OK();
+  const auto build_package = [&] {
+    PPSM_TRACE_SPAN_CAT("setup.upload_package", "setup");
+    UploadPackage package;
+    package.k = kag_.avt.k();
+    package.num_types = static_cast<uint32_t>(schema_->NumTypes());
+    package.type_of_group.reserve(lct_.NumGroups());
+    for (GroupId g = 0; g < lct_.NumGroups(); ++g) {
+      package.type_of_group.push_back(lct_.TypeOfGroup(g));
+    }
+    if (baseline_) {
+      package.full_gk = kag_.gk;
+      setup_stats_.go_vertices = kag_.gk.NumVertices();
+      setup_stats_.go_edges = kag_.gk.NumEdges();
+    } else {
+      auto go_or = BuildOutsourcedGraph(kag_, num_threads);
+      if (!go_or.ok()) {
+        package_status = go_or.status();
+        return;
+      }
+      OutsourcedGraph go = std::move(go_or).value();
+      setup_stats_.go_vertices = go.graph.NumVertices();
+      setup_stats_.go_edges = go.graph.NumEdges();
+      package.go = std::move(go);
+      package.avt = kag_.avt;
+    }
+    upload_bytes_ = package.Serialize();
+    setup_stats_.upload_bytes = upload_bytes_.size();
+  };
+  const auto build_index = [&] {
+    // The client-side O(1) edge filter (§4.2.2).
+    PPSM_TRACE_SPAN_CAT("setup.edge_index", "setup");
+    edge_keys_.clear();
+    edge_keys_.reserve(graph_.NumEdges() * 2);
+    graph_.ForEachEdge([this](VertexId u, VertexId v) {
+      edge_keys_.insert(UndirectedEdgeKey(u, v));
+    });
+  };
+  if (num_threads > 1 && !ThreadPool::InWorkerThread()) {
+    // The index goes to the pool; the package stays on this thread so the
+    // nested Go-extraction ParallelFor is not demoted to a worker (where it
+    // would degrade to a serial loop).
+    std::mutex mu;
+    std::condition_variable cv;
+    bool index_done = false;
+    ThreadPool& pool = ThreadPool::Shared();
+    pool.Submit([&] {
+      build_index();
+      // Notify under the lock: cv lives on the caller's stack, and the
+      // caller may destroy it the moment it can observe index_done.
+      std::lock_guard<std::mutex> lock(mu);
+      index_done = true;
+      cv.notify_one();
+    });
+    build_package();
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (index_done) break;
+      }
+      if (pool.TryRunPendingTask()) continue;
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return index_done; });
+      break;
+    }
   } else {
-    PPSM_ASSIGN_OR_RETURN(OutsourcedGraph go, BuildOutsourcedGraph(kag_));
-    setup_stats_.go_vertices = go.graph.NumVertices();
-    setup_stats_.go_edges = go.graph.NumEdges();
-    package.go = std::move(go);
-    package.avt = kag_.avt;
+    build_package();
+    build_index();
   }
-  upload_bytes_ = package.Serialize();
-  setup_stats_.upload_bytes = upload_bytes_.size();
-
-  // The client-side O(1) edge filter (§4.2.2).
-  edge_keys_.clear();
-  edge_keys_.reserve(graph_.NumEdges() * 2);
-  graph_.ForEachEdge([this](VertexId u, VertexId v) {
-    edge_keys_.insert(UndirectedEdgeKey(u, v));
-  });
-  return Status::OK();
+  return package_status;
 }
 
 Result<AttributedGraph> DataOwner::AnonymizeQuery(

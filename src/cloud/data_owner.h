@@ -27,6 +27,11 @@ struct DataOwnerOptions {
   bool baseline_upload = false;
   GroupingOptions grouping;
   KAutomorphismOptions kauto;  // .k is overridden with `k`.
+  /// Workers for the whole offline pipeline; overrides
+  /// `grouping.num_threads` and `kauto.num_threads`. Every value produces
+  /// byte-identical artifacts and upload bytes (DESIGN.md §11); 0 behaves
+  /// like 1.
+  size_t setup_threads = 1;
 };
 
 /// Wall time and size accounting for the offline anonymization pipeline
@@ -105,8 +110,9 @@ class DataOwner {
   DataOwner() = default;
 
   /// Shared tail of Create/Restore: builds the upload package from the
-  /// already-populated members and the client-side edge index.
-  Status BuildUploadAndIndex();
+  /// already-populated members and the client-side edge index. The two are
+  /// independent and run concurrently when `num_threads` > 1.
+  Status BuildUploadAndIndex(size_t num_threads);
 
   AttributedGraph graph_;
   std::shared_ptr<const Schema> schema_;

@@ -2,8 +2,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <iterator>
 
 #include "graph/serialize.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
 
 namespace ppsm {
 
@@ -13,7 +17,9 @@ constexpr uint32_t kMetaMagic = 0x3154454d;  // "MET1"
 
 }  // namespace
 
-Status SaveDataOwner(const DataOwner& owner, const std::string& directory) {
+Status SaveDataOwner(const DataOwner& owner, const std::string& directory,
+                     size_t num_threads) {
+  PPSM_TRACE_SPAN_CAT("setup.snapshot_save", "setup");
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
@@ -23,24 +29,39 @@ Status SaveDataOwner(const DataOwner& owner, const std::string& directory) {
   if (graph.schema() == nullptr) {
     return Status::FailedPrecondition("owner graph has no schema");
   }
-  PPSM_RETURN_IF_ERROR(WriteBytesToFile(directory + "/schema.bin",
-                                        SerializeSchema(*graph.schema())));
-  PPSM_RETURN_IF_ERROR(WriteBytesToFile(directory + "/graph.bin",
-                                        SerializeGraphSnapshot(graph)));
-  PPSM_RETURN_IF_ERROR(
-      WriteBytesToFile(directory + "/lct.bin", owner.lct().Serialize()));
-  PPSM_RETURN_IF_ERROR(
-      WriteBytesToFile(directory + "/gk.bin",
-                       SerializeGraphSnapshot(owner.kag().gk)));
-  PPSM_RETURN_IF_ERROR(
-      WriteBytesToFile(directory + "/avt.bin", owner.kag().avt.Serialize()));
 
-  BinaryWriter meta;
-  meta.PutU32(kMetaMagic);
-  meta.PutU8(owner.IsBaselineUpload() ? 1 : 0);
-  meta.PutVarint(owner.kag().num_original_vertices);
-  meta.PutVarint(owner.kag().num_original_edges);
-  return WriteBytesToFile(directory + "/meta.bin", meta.TakeBytes());
+  // Each artifact's payload is an independent pure function of the owner:
+  // serialize them concurrently, then write in a fixed order so failures
+  // surface deterministically.
+  struct Artifact {
+    const char* file;
+    std::function<std::vector<uint8_t>()> serialize;
+    std::vector<uint8_t> bytes;
+  };
+  Artifact artifacts[] = {
+      {"schema.bin", [&] { return SerializeSchema(*graph.schema()); }, {}},
+      {"graph.bin", [&] { return SerializeGraphSnapshot(graph); }, {}},
+      {"lct.bin", [&] { return owner.lct().Serialize(); }, {}},
+      {"gk.bin", [&] { return SerializeGraphSnapshot(owner.kag().gk); }, {}},
+      {"avt.bin", [&] { return owner.kag().avt.Serialize(); }, {}},
+      {"meta.bin",
+       [&] {
+         BinaryWriter meta;
+         meta.PutU32(kMetaMagic);
+         meta.PutU8(owner.IsBaselineUpload() ? 1 : 0);
+         meta.PutVarint(owner.kag().num_original_vertices);
+         meta.PutVarint(owner.kag().num_original_edges);
+         return meta.TakeBytes();
+       },
+       {}},
+  };
+  ParallelFor(num_threads, std::size(artifacts),
+              [&](size_t i) { artifacts[i].bytes = artifacts[i].serialize(); });
+  for (Artifact& artifact : artifacts) {
+    PPSM_RETURN_IF_ERROR(WriteBytesToFile(directory + "/" + artifact.file,
+                                          std::move(artifact.bytes)));
+  }
+  return Status::OK();
 }
 
 Result<DataOwner> LoadDataOwner(const std::string& directory) {

@@ -26,7 +26,12 @@ namespace ppsm {
 ///
 /// Everything here is OWNER-side secret material; none of it is meant for
 /// the cloud (the cloud only ever receives DataOwner::upload_bytes()).
-Status SaveDataOwner(const DataOwner& owner, const std::string& directory);
+///
+/// `num_threads` workers serialize the artifacts concurrently (each file's
+/// payload is an independent pure function of the owner); the files are
+/// written in a fixed order and their bytes are identical at every value.
+Status SaveDataOwner(const DataOwner& owner, const std::string& directory,
+                     size_t num_threads = 1);
 
 /// Restores a DataOwner saved by SaveDataOwner. Re-derives the outsourced
 /// graph, upload package and client-side hash index deterministically from

@@ -18,6 +18,7 @@ namespace {
 /// metrics in cloud_server.cc / data_owner.cc.
 struct SystemMetrics {
   MetricsRegistry::Counter queries;
+  MetricsRegistry::Counter queries_failed;
   MetricsRegistry::Histogram total_ms;
   MetricsRegistry::Histogram network_ms;
   MetricsRegistry::Histogram anonymize_ms;
@@ -28,7 +29,10 @@ struct SystemMetrics {
       MetricsRegistry& r = MetricsRegistry::Global();
       SystemMetrics metrics;
       metrics.queries =
-          r.counter("ppsm_queries_total", "End-to-end queries answered");
+          r.counter("ppsm_queries_total", "End-to-end queries attempted");
+      metrics.queries_failed =
+          r.counter("ppsm_queries_failed_total",
+                    "Queries refused, expired or errored end to end");
       metrics.total_ms =
           r.histogram("ppsm_query_total_ms", DefaultLatencyBucketsMs(),
                       "End-to-end query time (cloud + network + client)");
@@ -71,6 +75,7 @@ Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
   options.grouping.theta = config.theta;
   options.grouping.seed = config.seed;
   options.kauto = config.kauto;
+  options.setup_threads = config.setup_threads;
   switch (config.method) {
     case Method::kEff:
       options.strategy = GroupingStrategy::kCostModel;
@@ -118,7 +123,7 @@ Result<PpsmSystem> PpsmSystem::HostFromOwner(std::unique_ptr<DataOwner> owner,
 }
 
 Status PpsmSystem::SaveSnapshot(const std::string& directory) const {
-  return SaveDataOwner(*owner_, directory);
+  return SaveDataOwner(*owner_, directory, config_.setup_threads);
 }
 
 Result<PpsmSystem> PpsmSystem::LoadSnapshot(const std::string& directory,
@@ -133,6 +138,17 @@ Result<PpsmSystem> PpsmSystem::LoadSnapshot(const std::string& directory,
 }
 
 Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) const {
+  // Attempts are counted up front so refusals and failures are not
+  // invisible in the exported metrics (a dashboard reading only successes
+  // under-reports load and hides error storms entirely).
+  const SystemMetrics& metrics = SystemMetrics::Get();
+  metrics.queries.Increment();
+  Result<QueryOutcome> outcome = QueryImpl(query);
+  if (!outcome.ok()) metrics.queries_failed.Increment();
+  return outcome;
+}
+
+Result<QueryOutcome> PpsmSystem::QueryImpl(const AttributedGraph& query) const {
   QueryOutcome outcome;
   PPSM_TRACE_SPAN_CAT("query", "query");
   const SystemMetrics& metrics = SystemMetrics::Get();
@@ -166,7 +182,6 @@ Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) const {
       outcome.cloud.total_ms + outcome.network_ms + outcome.client.total_ms;
   metrics.network_ms.Observe(outcome.network_ms);
   metrics.total_ms.Observe(outcome.total_ms);
-  metrics.queries.Increment();
   return outcome;
 }
 

@@ -38,6 +38,10 @@ struct SystemConfig {
   CloudConfig cloud;
   /// Forwarded to the k-automorphism builder (alignment strategy etc.).
   KAutomorphismOptions kauto;
+  /// Workers for the offline pipeline (grouping, k-automorphism, Go
+  /// extraction, snapshot saves). Artifacts and upload bytes are
+  /// byte-identical at every value (DESIGN.md §11); 0 behaves like 1.
+  size_t setup_threads = 1;
 };
 
 /// One privacy-preserving subgraph query, end to end (paper Fig. 22's
@@ -131,6 +135,10 @@ class PpsmSystem {
   /// the cloud server from the owner's upload bytes, and wires the service.
   static Result<PpsmSystem> HostFromOwner(std::unique_ptr<DataOwner> owner,
                                           const SystemConfig& config);
+
+  /// Query() body; the wrapper owns the attempt/failure counters so refused
+  /// and errored queries stay visible in the metrics.
+  Result<QueryOutcome> QueryImpl(const AttributedGraph& query) const;
 
   SystemConfig config_;
   std::unique_ptr<DataOwner> owner_;

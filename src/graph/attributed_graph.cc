@@ -266,6 +266,16 @@ void GraphBuilder::AddEdgeUnchecked(VertexId u, VertexId v) {
   edges_.emplace_back(u, v);
 }
 
+void GraphBuilder::AddDedupedEdges(std::span<const uint64_t> edge_keys) {
+  edges_.reserve(edges_.size() + edge_keys.size());
+  for (const uint64_t key : edge_keys) {
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key);
+    assert(u < types_.size() && v < types_.size() && u != v);
+    edges_.emplace_back(u, v);
+  }
+}
+
 bool GraphBuilder::HasEdge(VertexId u, VertexId v) const {
   assert(u < types_.size() && v < types_.size());
   return edge_keys_.contains(UndirectedEdgeKey(u, v));

@@ -181,7 +181,15 @@ class GraphBuilder {
   /// still registers in the duplicate-probe set, so later HasEdge /
   /// TryAddEdge calls see it.
   void AddEdgeUnchecked(VertexId u, VertexId v);
+  /// Appends a whole edge-key batch (UndirectedEdgeKey packed, already
+  /// sorted + deduplicated + self-loop-free, endpoints in range) without
+  /// touching the duplicate-probe set — the k-automorphism transform feeds
+  /// millions of pre-canonicalized keys, where the per-edge hash insert of
+  /// AddEdgeUnchecked dominates Build() time. Edges added this way are
+  /// invisible to HasEdge/TryAddEdge, so mix with them only before the batch.
+  void AddDedupedEdges(std::span<const uint64_t> edge_keys);
   /// O(1) expected duplicate probe against the under-construction edge set.
+  /// Blind to edges appended via AddDedupedEdges.
   bool HasEdge(VertexId u, VertexId v) const;
 
   size_t NumVertices() const { return types_.size(); }

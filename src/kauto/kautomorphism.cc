@@ -7,6 +7,8 @@
 
 #include "obs/trace.h"
 #include "util/hash.h"
+#include "util/parallel.h"
+#include "util/parallel_sort.h"
 
 namespace ppsm {
 
@@ -94,19 +96,24 @@ Result<KAutomorphicGraph> BuildKAutomorphicGraph(
     blocks[partitioning.part[v]].push_back(v);
   }
 
-  // --- Step 2: order each block and pad with noise vertices. ---
+  // --- Step 2: order each block and pad with noise vertices. Blocks are
+  // disjoint, so their orderings run concurrently; each ordering is a
+  // deterministic function of its block, so the AVT is thread-count
+  // independent. ---
   PPSM_TRACE_SPAN_CAT("setup.kauto.align_and_copy", "setup");
-  for (uint32_t b = 0; b < k; ++b) {
+  const size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
+  ParallelFor(threads, k, [&](size_t b) {
     switch (options.alignment) {
       case AlignmentOrder::kTypeDegree:
         blocks[b] = OrderByTypeDegree(graph, std::move(blocks[b]));
         break;
       case AlignmentOrder::kBfs:
-        blocks[b] = OrderByBfs(graph, partitioning.part, b,
+        blocks[b] = OrderByBfs(graph, partitioning.part,
+                               static_cast<uint32_t>(b),
                                std::move(blocks[b]));
         break;
     }
-  }
+  });
   auto next_noise = static_cast<VertexId>(n);
   for (uint32_t b = 0; b < k; ++b) {
     if (blocks[b].size() > rows) {
@@ -126,53 +133,97 @@ Result<KAutomorphicGraph> BuildKAutomorphicGraph(
   // Intra-block edges become row patterns shared by all blocks; crossing
   // edges are replicated under all k shifts. Both are "close the original
   // edge set under F_1", expressed so each original edge costs O(k) keys.
+  // This k× replication dominates setup for large k, so the edge scan runs
+  // over contiguous vertex chunks into per-worker buffers; the final
+  // sort/unique canonicalizes the key set, which makes the concatenation
+  // order (and therefore the chunking and thread count) unobservable.
   std::vector<uint64_t> intra_patterns;  // (r1 << 32 | r2), r1 < r2.
   std::vector<uint64_t> edge_keys;
-  graph.ForEachEdge([&](VertexId u, VertexId v) {
-    if (partitioning.part[u] == partitioning.part[v]) {
-      const uint32_t r1 = avt.RowOf(u);
-      const uint32_t r2 = avt.RowOf(v);
-      intra_patterns.push_back(UndirectedEdgeKey(std::min(r1, r2),
-                                                 std::max(r1, r2)));
-    } else {
-      for (uint32_t m = 0; m < k; ++m) {
-        edge_keys.push_back(
-            UndirectedEdgeKey(avt.Apply(u, m), avt.Apply(v, m)));
+  {
+    PPSM_TRACE_SPAN_CAT("setup.kauto.edge_closure", "setup");
+    const auto chunks = SplitIntoChunks(n, threads, /*min_chunk=*/512);
+    std::vector<std::vector<uint64_t>> chunk_intra(chunks.size());
+    std::vector<std::vector<uint64_t>> chunk_cross(chunks.size());
+    ParallelFor(threads, chunks.size(), [&](size_t c) {
+      std::vector<uint64_t>& intra = chunk_intra[c];
+      std::vector<uint64_t>& cross = chunk_cross[c];
+      for (VertexId u = static_cast<VertexId>(chunks[c].first);
+           u < chunks[c].second; ++u) {
+        for (const VertexId v : graph.Neighbors(u)) {
+          if (v <= u) continue;  // One direction per undirected edge.
+          if (partitioning.part[u] == partitioning.part[v]) {
+            const uint32_t r1 = avt.RowOf(u);
+            const uint32_t r2 = avt.RowOf(v);
+            intra.push_back(UndirectedEdgeKey(std::min(r1, r2),
+                                              std::max(r1, r2)));
+          } else {
+            for (uint32_t m = 0; m < k; ++m) {
+              cross.push_back(
+                  UndirectedEdgeKey(avt.Apply(u, m), avt.Apply(v, m)));
+            }
+          }
+        }
       }
+    });
+    size_t intra_total = 0;
+    size_t cross_total = 0;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      intra_total += chunk_intra[c].size();
+      cross_total += chunk_cross[c].size();
     }
-  });
-  std::sort(intra_patterns.begin(), intra_patterns.end());
-  intra_patterns.erase(
-      std::unique(intra_patterns.begin(), intra_patterns.end()),
-      intra_patterns.end());
-  for (const uint64_t pattern : intra_patterns) {
-    const auto r1 = static_cast<uint32_t>(pattern >> 32);
-    const auto r2 = static_cast<uint32_t>(pattern);
-    for (uint32_t b = 0; b < k; ++b) {
-      edge_keys.push_back(UndirectedEdgeKey(avt.At(r1, b), avt.At(r2, b)));
+    intra_patterns.reserve(intra_total);
+    edge_keys.reserve(cross_total);  // Resized again for the intra expansion.
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      intra_patterns.insert(intra_patterns.end(), chunk_intra[c].begin(),
+                            chunk_intra[c].end());
+      edge_keys.insert(edge_keys.end(), chunk_cross[c].begin(),
+                       chunk_cross[c].end());
     }
+    ParallelSortUnique(&intra_patterns, threads);
+    // Each surviving pattern expands to exactly k keys, so the expansion
+    // writes straight into a pre-sized tail at disjoint offsets.
+    edge_keys.resize(cross_total + intra_patterns.size() * k);
+    ParallelForChunks(
+        threads, intra_patterns.size(), /*min_chunk=*/512,
+        [&](size_t /*chunk*/, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const auto r1 = static_cast<uint32_t>(intra_patterns[i] >> 32);
+            const auto r2 = static_cast<uint32_t>(intra_patterns[i]);
+            for (uint32_t b = 0; b < k; ++b) {
+              edge_keys[cross_total + i * k + b] =
+                  UndirectedEdgeKey(avt.At(r1, b), avt.At(r2, b));
+            }
+          }
+        });
+    ParallelSortUnique(&edge_keys, threads);
   }
-  std::sort(edge_keys.begin(), edge_keys.end());
-  edge_keys.erase(std::unique(edge_keys.begin(), edge_keys.end()),
-                  edge_keys.end());
 
   // --- Step 5: attribute union per AVT row (noise members contribute
   // nothing; every row has at least one real member since there are at most
-  // k-1 noise vertices in total). ---
+  // k-1 noise vertices in total). Rows are independent, so the unions run
+  // chunked across the pool. ---
   GraphBuilder builder;  // Schema-less: Gk rows mix types, labels may be
                          // group ids after anonymization.
   builder.ReserveVertices(total_vertices);
   std::vector<std::vector<VertexTypeId>> row_types(rows);
   std::vector<std::vector<LabelId>> row_labels(rows);
+  ParallelForChunks(
+      threads, rows, /*min_chunk=*/256,
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          for (uint32_t b = 0; b < k; ++b) {
+            const VertexId v = avt.At(static_cast<uint32_t>(r), b);
+            if (v >= n) continue;  // Noise vertex.
+            const auto types = graph.Types(v);
+            const auto labels = graph.Labels(v);
+            row_types[r].insert(row_types[r].end(), types.begin(),
+                                types.end());
+            row_labels[r].insert(row_labels[r].end(), labels.begin(),
+                                 labels.end());
+          }
+        }
+      });
   for (uint32_t r = 0; r < rows; ++r) {
-    for (uint32_t b = 0; b < k; ++b) {
-      const VertexId v = avt.At(r, b);
-      if (v >= n) continue;  // Noise vertex.
-      const auto types = graph.Types(v);
-      const auto labels = graph.Labels(v);
-      row_types[r].insert(row_types[r].end(), types.begin(), types.end());
-      row_labels[r].insert(row_labels[r].end(), labels.begin(), labels.end());
-    }
     if (row_types[r].empty()) {
       return Status::Internal("AVT row with no original member");
     }
@@ -181,10 +232,7 @@ Result<KAutomorphicGraph> BuildKAutomorphicGraph(
     const uint32_t r = avt.RowOf(v);
     builder.AddVertex(row_types[r], row_labels[r]);  // Build() dedups/sorts.
   }
-  for (const uint64_t key : edge_keys) {
-    builder.AddEdgeUnchecked(static_cast<VertexId>(key >> 32),
-                             static_cast<VertexId>(key));
-  }
+  builder.AddDedupedEdges(edge_keys);
 
   PPSM_ASSIGN_OR_RETURN(AttributedGraph gk, builder.Build());
   KAutomorphicGraph result;

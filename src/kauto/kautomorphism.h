@@ -31,6 +31,10 @@ struct KAutomorphismOptions {
   /// Options for the METIS-substitute partitioner; num_parts is overridden
   /// with k.
   PartitionOptions partition;
+  /// Workers for block ordering, the orbit-closure edge generation and the
+  /// row attribute unions (drawn from ThreadPool::Shared()). The output is
+  /// byte-identical for every value — see DESIGN.md §11.
+  size_t num_threads = 1;
 };
 
 /// The output of the k-automorphism transform: Gk, its AVT, and provenance

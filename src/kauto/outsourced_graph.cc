@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "graph/serialize.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+#include "util/parallel_sort.h"
 
 namespace ppsm {
 
@@ -10,10 +13,12 @@ namespace {
 constexpr uint32_t kGoMagic = 0x316f4750;  // "PGo1"
 }  // namespace
 
-Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag) {
+Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
+                                             size_t num_threads) {
   const AttributedGraph& gk = kag.gk;
   const Avt& avt = kag.avt;
   const uint32_t k = avt.k();
+  const size_t threads = num_threads == 0 ? 1 : num_threads;
 
   OutsourcedGraph go;
   go.k = k;
@@ -27,15 +32,22 @@ Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag) {
   }
   go.num_b1 = go.to_gk.size();
 
-  // One-hop neighbors of B1 outside B1, in ascending Gk id order.
-  std::vector<VertexId> n1;
-  for (size_t local = 0; local < go.num_b1; ++local) {
-    for (const VertexId u : gk.Neighbors(go.to_gk[local])) {
-      if (avt.BlockOf(u) != 0) n1.push_back(u);
+  // One-hop neighbors of B1 outside B1, in ascending Gk id order. Workers
+  // scan disjoint slices of B1 into private buffers; sort+unique erases the
+  // concatenation order, so the set is the same at every thread count.
+  const auto chunks = SplitIntoChunks(go.num_b1, threads, 512);
+  std::vector<std::vector<VertexId>> chunk_n1(chunks.size());
+  ParallelFor(threads, chunks.size(), [&](size_t c) {
+    std::vector<VertexId>& out = chunk_n1[c];
+    for (size_t local = chunks[c].first; local < chunks[c].second; ++local) {
+      for (const VertexId u : gk.Neighbors(go.to_gk[local])) {
+        if (avt.BlockOf(u) != 0) out.push_back(u);
+      }
     }
-  }
-  std::sort(n1.begin(), n1.end());
-  n1.erase(std::unique(n1.begin(), n1.end()), n1.end());
+  });
+  std::vector<VertexId> n1;
+  for (const auto& chunk : chunk_n1) n1.insert(n1.end(), chunk.begin(), chunk.end());
+  ParallelSortUnique(&n1, threads);
   for (const VertexId u : n1) {
     gk_to_local[u] = static_cast<VertexId>(go.to_gk.size());
     go.to_gk.push_back(u);
@@ -50,15 +62,25 @@ Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag) {
         std::vector<VertexTypeId>(types.begin(), types.end()),
         std::vector<LabelId>(labels.begin(), labels.end()));
   }
-  // Edges incident to B1 only. Iterate B1 members; add each edge once.
-  for (size_t local = 0; local < go.num_b1; ++local) {
-    const VertexId v = go.to_gk[local];
-    for (const VertexId u : gk.Neighbors(v)) {
-      const bool u_in_b1 = avt.BlockOf(u) == 0;
-      if (u_in_b1 && u < v) continue;  // B1-B1 edge handled from the lower id.
-      builder.AddEdgeUnchecked(static_cast<VertexId>(local), gk_to_local[u]);
+  // Edges incident to B1 only, each emitted exactly once (B1-B1 from the
+  // lower Gk id, B1-N1 from the B1 endpoint), so the chunk batches are
+  // duplicate-free. Chunk layout and concatenation order are fixed by
+  // SplitIntoChunks, not by the thread count, keeping the edge order — and
+  // the serialized Go — byte-identical at every value.
+  std::vector<std::vector<uint64_t>> chunk_edges(chunks.size());
+  ParallelFor(threads, chunks.size(), [&](size_t c) {
+    std::vector<uint64_t>& out = chunk_edges[c];
+    for (size_t local = chunks[c].first; local < chunks[c].second; ++local) {
+      const VertexId v = go.to_gk[local];
+      for (const VertexId u : gk.Neighbors(v)) {
+        const bool u_in_b1 = avt.BlockOf(u) == 0;
+        if (u_in_b1 && u < v) continue;  // B1-B1 edge handled from lower id.
+        out.push_back(UndirectedEdgeKey(static_cast<VertexId>(local),
+                                        gk_to_local[u]));
+      }
     }
-  }
+  });
+  for (const auto& chunk : chunk_edges) builder.AddDedupedEdges(chunk);
   PPSM_ASSIGN_OR_RETURN(go.graph, builder.Build());
   return go;
 }

@@ -35,8 +35,12 @@ struct OutsourcedGraph {
   static Result<OutsourcedGraph> Deserialize(std::span<const uint8_t> bytes);
 };
 
-/// Extracts Go from a built k-automorphic graph.
-Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag);
+/// Extracts Go from a built k-automorphic graph. `num_threads` workers scan
+/// B1's neighborhoods concurrently; the result is identical for every value
+/// (the N1 set is canonicalized by sort+unique and the edge batch is
+/// assembled from fixed-order chunks — DESIGN.md §11).
+Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
+                                             size_t num_threads = 1);
 
 }  // namespace ppsm
 

@@ -5,6 +5,7 @@
 
 #include "graph/serialize.h"
 #include "util/parallel.h"
+#include "util/parallel_sort.h"
 
 namespace ppsm {
 
@@ -106,29 +107,11 @@ void MatchSet::SortDedup(size_t num_threads) {
                       flat_.begin() + b.row * arity_ + skip);
   };
 
-  // Merge sort over keyed rows: sort contiguous chunks concurrently, then
-  // merge adjacent pairs level by level (the merges of one level are
-  // disjoint, so they run concurrently too).
-  auto chunks = SplitIntoChunks(rows, num_threads, kMinParallelRows / 2);
-  ParallelFor(num_threads, chunks.size(), [&](size_t c) {
-    std::sort(order.begin() + chunks[c].first,
-              order.begin() + chunks[c].second, row_less);
-  });
-  while (chunks.size() > 1) {
-    const size_t pairs = chunks.size() / 2;
-    std::vector<std::pair<size_t, size_t>> merged;
-    merged.reserve(pairs + chunks.size() % 2);
-    for (size_t p = 0; p < pairs; ++p) {
-      merged.emplace_back(chunks[2 * p].first, chunks[2 * p + 1].second);
-    }
-    if (chunks.size() % 2 != 0) merged.push_back(chunks.back());
-    ParallelFor(num_threads, pairs, [&](size_t p) {
-      std::inplace_merge(order.begin() + chunks[2 * p].first,
-                         order.begin() + chunks[2 * p].second,
-                         order.begin() + chunks[2 * p + 1].second, row_less);
-    });
-    chunks = std::move(merged);
-  }
+  // Parallel merge sort over keyed rows; rows with identical content are
+  // interchangeable under row_less, so the result is thread-count
+  // independent once unique() keeps one of each.
+  ParallelSort(order.begin(), order.end(), num_threads, row_less,
+               kMinParallelRows / 2);
   order.erase(std::unique(order.begin(), order.end(), row_equal),
               order.end());
 

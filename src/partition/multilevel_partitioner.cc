@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 #include <numeric>
+#include <queue>
 #include <unordered_map>
 
 #include "util/random.h"
@@ -142,12 +143,22 @@ std::vector<uint32_t> InitialPartition(const LevelGraph& level, uint32_t k,
       }
     }
   }
-  // Everything left goes to the lightest part that can take it.
+  // Everything left goes to the lightest part that still has room under
+  // the cap; only when no part can take the vertex does it spill to the
+  // overall lightest (EnforceHardCap repairs the overflow at the finest
+  // level).
   for (size_t v = 0; v < n; ++v) {
     if (part[v] != kUnassigned) continue;
-    uint32_t best = 0;
-    for (uint32_t p = 1; p < k; ++p) {
-      if (part_weight[p] < part_weight[best]) best = p;
+    uint32_t best = kUnassigned;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (part_weight[p] + level.vertex_weight[v] > cap) continue;
+      if (best == kUnassigned || part_weight[p] < part_weight[best]) best = p;
+    }
+    if (best == kUnassigned) {
+      best = 0;
+      for (uint32_t p = 1; p < k; ++p) {
+        if (part_weight[p] < part_weight[best]) best = p;
+      }
     }
     part[v] = best;
     part_weight[best] += level.vertex_weight[v];
@@ -221,37 +232,83 @@ std::vector<int64_t> ComputePartWeights(const LevelGraph& level,
 
 /// Enforces the hard per-part cap at the finest level (unit weights) by
 /// evicting minimum-cut-damage vertices from over-full parts into
-/// under-full ones.
-void EnforceHardCap(const LevelGraph& level, uint32_t k, int64_t cap,
-                    std::vector<uint32_t>* part) {
+/// under-full ones. Fails with Internal — not an assert, which would
+/// compile out under NDEBUG and leave an unbounded loop writing through a
+/// UINT32_MAX index — if an over-full part has no feasible eviction left.
+Status EnforceHardCap(const LevelGraph& level, uint32_t k, int64_t cap,
+                      std::vector<uint32_t>* part) {
   std::vector<int64_t> weight = ComputePartWeights(level, *part, k);
   std::vector<int64_t> link(k, 0);
-  for (uint32_t from = 0; from < k; ++from) {
-    while (weight[from] > cap) {
-      // Pick the member whose best feasible move damages the cut least.
-      uint32_t best_vertex = UINT32_MAX;
-      uint32_t best_target = UINT32_MAX;
-      int64_t best_gain = INT64_MIN;
-      for (size_t v = 0; v < level.NumVertices(); ++v) {
-        if ((*part)[v] != from) continue;
-        std::fill(link.begin(), link.end(), 0);
-        for (const auto& [u, w] : level.adj[v]) link[(*part)[u]] += w;
-        for (uint32_t p = 0; p < k; ++p) {
-          if (p == from || weight[p] >= cap) continue;
-          const int64_t gain = link[p] - link[from];
-          if (gain > best_gain) {
-            best_gain = gain;
-            best_vertex = static_cast<uint32_t>(v);
-            best_target = p;
-          }
-        }
+  // Best feasible move for `v` out of `from`: highest cut gain, target
+  // ties broken toward the lower part id. Returns false when no other
+  // part has room.
+  const auto best_move = [&](uint32_t v, uint32_t from, int64_t* gain,
+                             uint32_t* target) {
+    std::fill(link.begin(), link.end(), 0);
+    for (const auto& [u, w] : level.adj[v]) link[(*part)[u]] += w;
+    *gain = INT64_MIN;
+    *target = UINT32_MAX;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (p == from || weight[p] >= cap) continue;
+      const int64_t g = link[p] - link[from];
+      if (g > *gain) {
+        *gain = g;
+        *target = p;
       }
-      assert(best_vertex != UINT32_MAX && "cap infeasible");
-      (*part)[best_vertex] = best_target;
-      weight[from] -= level.vertex_weight[best_vertex];
-      weight[best_target] += level.vertex_weight[best_vertex];
+    }
+    return *target != UINT32_MAX;
+  };
+
+  for (uint32_t from = 0; from < k; ++from) {
+    if (weight[from] <= cap) continue;
+    // Lazy-revalidation max-heap over the part's members, keyed by the
+    // best feasible gain at push time. A popped entry is recomputed; a
+    // stale key (an earlier eviction changed the vertex's links or filled
+    // its target) is re-pushed corrected instead of applied, so every
+    // applied move uses current weights. During one part's drain no part
+    // other than `from` ever loses weight, so a vertex with no feasible
+    // target stays infeasible and is dropped rather than re-pushed.
+    std::priority_queue<std::pair<int64_t, uint32_t>> heap;
+    for (size_t v = 0; v < level.NumVertices(); ++v) {
+      if ((*part)[v] != from) continue;
+      int64_t gain;
+      uint32_t target;
+      if (best_move(static_cast<uint32_t>(v), from, &gain, &target)) {
+        heap.emplace(gain, static_cast<uint32_t>(v));
+      }
+    }
+    while (weight[from] > cap) {
+      if (heap.empty()) {
+        return Status::Internal(
+            "partitioner: hard cap infeasible — no part can absorb the "
+            "overflow of part " +
+            std::to_string(from));
+      }
+      const auto [pushed_gain, v] = heap.top();
+      heap.pop();
+      if ((*part)[v] != from) continue;  // Duplicate of an applied move.
+      int64_t gain;
+      uint32_t target;
+      if (!best_move(v, from, &gain, &target)) continue;
+      if (gain != pushed_gain) {
+        heap.emplace(gain, v);
+        continue;
+      }
+      (*part)[v] = target;
+      weight[from] -= level.vertex_weight[v];
+      weight[target] += level.vertex_weight[v];
+      // Refresh the keys of in-part neighbors — their links to `from` and
+      // `target` just changed — so the greedy stays close to exact-best.
+      for (const auto& [u, w] : level.adj[v]) {
+        (void)w;
+        if ((*part)[u] != from) continue;
+        int64_t ugain;
+        uint32_t utarget;
+        if (best_move(u, from, &ugain, &utarget)) heap.emplace(ugain, u);
+      }
     }
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -324,7 +381,7 @@ Result<Partitioning> PartitionGraph(const AttributedGraph& graph,
   }
 
   // Final hard-cap enforcement + one tightening sweep under the hard cap.
-  EnforceHardCap(levels.front(), k, hard_cap, &part);
+  PPSM_RETURN_IF_ERROR(EnforceHardCap(levels.front(), k, hard_cap, &part));
   std::vector<int64_t> weight = ComputePartWeights(levels.front(), part, k);
   for (int pass = 0; pass < options.refinement_passes; ++pass) {
     if (RefinePass(levels.front(), k, hard_cap, &part, &weight, rng) == 0) {

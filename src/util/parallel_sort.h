@@ -1,0 +1,70 @@
+#ifndef PPSM_UTIL_PARALLEL_SORT_H_
+#define PPSM_UTIL_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace ppsm {
+
+/// Parallel merge sort over a contiguous range: contiguous chunks are sorted
+/// concurrently, then adjacent pairs are merged level by level (the merges of
+/// one level are disjoint, so they run concurrently too). The final order is
+/// the total order induced by `less` regardless of thread count or chunking,
+/// except among equivalent elements (std::sort inside a chunk is unstable) —
+/// callers that need byte-identical output across thread counts must either
+/// have no equivalent-but-distinct elements (sorting integer keys) or
+/// tolerate any permutation of equivalents (a following unique() pass).
+/// `min_chunk` bounds chunk size from below so small inputs stay serial.
+template <typename Iter, typename Less>
+void ParallelSort(Iter begin, Iter end, size_t num_threads, Less less,
+                  size_t min_chunk = size_t{1} << 13) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (num_threads <= 1 || n < 2 * min_chunk) {
+    std::sort(begin, end, less);
+    return;
+  }
+  auto chunks = SplitIntoChunks(n, num_threads, min_chunk);
+  ParallelFor(num_threads, chunks.size(), [&](size_t c) {
+    std::sort(begin + chunks[c].first, begin + chunks[c].second, less);
+  });
+  while (chunks.size() > 1) {
+    const size_t pairs = chunks.size() / 2;
+    std::vector<std::pair<size_t, size_t>> merged;
+    merged.reserve(pairs + chunks.size() % 2);
+    for (size_t p = 0; p < pairs; ++p) {
+      merged.emplace_back(chunks[2 * p].first, chunks[2 * p + 1].second);
+    }
+    if (chunks.size() % 2 != 0) merged.push_back(chunks.back());
+    ParallelFor(num_threads, pairs, [&](size_t p) {
+      std::inplace_merge(begin + chunks[2 * p].first,
+                         begin + chunks[2 * p].second,
+                         begin + chunks[2 * p + 1].second, less);
+    });
+    chunks = std::move(merged);
+  }
+}
+
+template <typename Iter>
+void ParallelSort(Iter begin, Iter end, size_t num_threads) {
+  ParallelSort(begin, end, num_threads, std::less<>{});
+}
+
+/// ParallelSort + unique + shrink: canonicalizes a key vector into its sorted
+/// duplicate-free form. Deterministic for any element type whose equivalent
+/// elements are interchangeable (exact duplicates), which is what the
+/// k-automorphism edge closure and the Go neighbor set feed it.
+template <typename T>
+void ParallelSortUnique(std::vector<T>* items, size_t num_threads,
+                        size_t min_chunk = size_t{1} << 13) {
+  ParallelSort(items->begin(), items->end(), num_threads, std::less<>{},
+               min_chunk);
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+}
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_PARALLEL_SORT_H_

@@ -130,6 +130,30 @@ TEST(ObservabilityE2e, QueryPopulatesPipelineMetrics) {
             static_cast<uint64_t>(outcome->cloud.num_stars));
 }
 
+TEST(ObservabilityE2e, FailedQueriesStayVisibleInMetrics) {
+  MetricsRegistry::Global().Reset();
+  const RunningExample ex = MakeRunningExample();
+  SystemConfig config;
+  config.k = 2;
+  auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
+  ASSERT_TRUE(system.ok());
+
+  auto good = system->Query(ex.query);
+  ASSERT_TRUE(good.ok());
+
+  // A query carrying a label id outside the schema fails at Q -> Qo
+  // anonymization; the attempt must still show up in ppsm_queries_total and
+  // land in ppsm_queries_failed_total.
+  GraphBuilder bad_builder;
+  bad_builder.AddVertex(0, {static_cast<LabelId>(100000)});
+  const AttributedGraph bad_query = bad_builder.Build().value();
+  auto bad = system->Query(bad_query);
+  EXPECT_FALSE(bad.ok());
+
+  EXPECT_EQ(CounterValue("ppsm_queries_total"), 2.0);
+  EXPECT_EQ(CounterValue("ppsm_queries_failed_total"), 1.0);
+}
+
 TEST(ObservabilityE2e, ParallelAndSerialRecordIdenticalStarHistograms) {
   const auto g = GenerateDataset(DbpediaLike(0.01));
   ASSERT_TRUE(g.ok());

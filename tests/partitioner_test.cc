@@ -139,6 +139,66 @@ TEST(Partitioner, HandlesDisconnectedGraph) {
   ExpectValidPartition(g, *p, 3);
 }
 
+TEST(Partitioner, HardCapHoldsUnderEvictionPressure) {
+  // A 60-vertex clique loosely tied to a 40-vertex clique, k=2: the cut
+  // optimum keeps the big clique whole, but the hard cap is 50, so
+  // EnforceHardCap must evict ~10 clique vertices. With a generous soft
+  // cap the refiner happily packs the big clique into one part first,
+  // which is exactly the state the old release-mode rescan loop could
+  // mishandle. Sweep seeds so the stress does not depend on one lucky
+  // coarsening order.
+  GraphBuilder b;
+  const int big = 60;
+  const int small = 40;
+  for (int i = 0; i < big + small; ++i) b.AddVertex(0, {});
+  for (int i = 0; i < big; ++i) {
+    for (int j = i + 1; j < big; ++j) b.TryAddEdge(i, j);
+  }
+  for (int i = 0; i < small; ++i) {
+    for (int j = i + 1; j < small; ++j) b.TryAddEdge(big + i, big + j);
+  }
+  b.TryAddEdge(0, big);  // Single bridge.
+  const AttributedGraph g = b.Build().value();
+
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    PartitionOptions options;
+    options.num_parts = 2;
+    options.imbalance = 0.5;  // Soft cap 75 >> hard cap 50.
+    options.seed = seed;
+    const auto p = PartitionGraph(g, options);
+    ASSERT_TRUE(p.ok()) << "seed " << seed << ": " << p.status();
+    ExpectValidPartition(g, *p, 2);
+    const auto sizes = PartSizes(p->part, 2);
+    EXPECT_EQ(sizes[0], 50u) << "seed " << seed;
+    EXPECT_EQ(sizes[1], 50u) << "seed " << seed;
+  }
+}
+
+TEST(Partitioner, LeftoverAssignmentRespectsCap) {
+  // 30 isolated 3-vertex paths: region growing exhausts each seed's
+  // component long before reaching the target weight, so most vertices go
+  // through the leftover fallback. Every part must still respect the hard
+  // cap — the fallback prefers the lightest part *with room* and may only
+  // overflow when no part has any.
+  GraphBuilder b;
+  const int paths = 30;
+  for (int i = 0; i < 3 * paths; ++i) b.AddVertex(0, {});
+  for (int i = 0; i < paths; ++i) {
+    b.TryAddEdge(3 * i, 3 * i + 1);
+    b.TryAddEdge(3 * i + 1, 3 * i + 2);
+  }
+  const AttributedGraph g = b.Build().value();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    PartitionOptions options;
+    options.num_parts = 4;
+    options.imbalance = 0.3;
+    options.seed = seed;
+    const auto p = PartitionGraph(g, options);
+    ASSERT_TRUE(p.ok()) << "seed " << seed << ": " << p.status();
+    ExpectValidPartition(g, *p, 4);
+  }
+}
+
 TEST(Partitioner, StarGraphDoesNotStallCoarsening) {
   // Heavy-edge matching stalls on stars; the partitioner must still finish.
   GraphBuilder b;

@@ -6,10 +6,12 @@
 //   ppsm_cli stats    --in g.graph
 //   ppsm_cli anonymize --in g.graph --k 4 [--theta 2]
 //                      [--strategy eff|ran|fsim] [--baseline]
+//                      [--setup-threads N]
 //                      [--upload-out pkg.bin] [--save-snapshot DIR]
 //   ppsm_cli query    --in g.graph --pattern q.pat --k 4
 //                     [--method eff|ran|fsim|bas] [--theta 2]
-//                     [--cloud-threads N] [--repeat N] [--concurrency N]
+//                     [--cloud-threads N] [--setup-threads N]
+//                     [--repeat N] [--concurrency N]
 //                     [--save-snapshot DIR | --load-snapshot DIR]
 //
 // `generate` writes a synthetic dataset in the ppsm text format; `attach`
@@ -173,6 +175,8 @@ int Anonymize(const Args& args) {
   if (!method.ok()) return Fail(method.status().ToString());
   config.method =
       args.Has("baseline") ? Method::kBas : method.value();
+  config.setup_threads =
+      static_cast<size_t>(std::max(1L, args.GetInt("setup-threads", 1)));
 
   auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
   if (!system.ok()) return Fail(system.status().ToString());
@@ -230,6 +234,8 @@ int Query(const Args& args) {
   // --threads is the deprecated spelling of --cloud-threads.
   config.cloud.num_threads = static_cast<size_t>(std::max(
       1L, args.GetInt("cloud-threads", args.GetInt("threads", 1))));
+  config.setup_threads =
+      static_cast<size_t>(std::max(1L, args.GetInt("setup-threads", 1)));
   config.cloud.query_deadline_ms =
       static_cast<uint64_t>(std::max(0L, args.GetInt("deadline-ms", 0)));
   const size_t repeat =
@@ -339,10 +345,12 @@ int Usage() {
       "            [--labels N] [--seed S]\n"
       "  stats     --in FILE\n"
       "  anonymize --in FILE --k K [--theta T] [--strategy eff|ran|fsim]\n"
-      "            [--baseline 1] [--upload-out FILE] [--save-snapshot DIR]\n"
+      "            [--baseline 1] [--setup-threads N] [--upload-out FILE]\n"
+      "            [--save-snapshot DIR]\n"
       "  query     --in FILE --pattern FILE --k K [--theta T]\n"
       "            [--method eff|ran|fsim|bas] [--cloud-threads N]\n"
-      "            [--repeat N] [--concurrency N] [--deadline-ms MS]\n"
+      "            [--setup-threads N] [--repeat N] [--concurrency N]\n"
+      "            [--deadline-ms MS]\n"
       "            [--save-snapshot DIR | --load-snapshot DIR]\n"
       "            (--load-snapshot skips the offline pipeline; --in not\n"
       "             needed, the snapshot carries graph + schema + k)\n"
