@@ -9,6 +9,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "obs/flight_recorder.h"
 
 namespace ppsm::bench {
 namespace {
@@ -86,6 +87,24 @@ void Run() {
            "fig16_query_time_vs_k_" + stem + "_q" + std::to_string(qsize));
     }
   }
+
+  // §5.1 cost-model accuracy over every query the sweep just ran, from the
+  // flight recorder's per-star / per-join-step estimate-vs-actual pairs.
+  const CostModelCalibration calibration =
+      SummarizeCostModelCalibration(FlightRecorder::Global().Recent());
+  Table cal("Cost-model calibration ((estimate+1)/(actual+1), 1.0 = exact)",
+            {"dimension", "samples", "p50", "p90", "p99", "mean |log2|"});
+  cal.AddRowValues("star cardinality", calibration.star_samples,
+                   Table::Num(calibration.star_ratio_p50, 3),
+                   Table::Num(calibration.star_ratio_p90, 3),
+                   Table::Num(calibration.star_ratio_p99, 3),
+                   Table::Num(calibration.star_mean_abs_log2, 3));
+  cal.AddRowValues("join-step output", calibration.join_samples,
+                   Table::Num(calibration.join_ratio_p50, 3),
+                   Table::Num(calibration.join_ratio_p90, 3),
+                   Table::Num(calibration.join_ratio_p99, 3),
+                   Table::Num(calibration.join_mean_abs_log2, 3));
+  Emit(cal, "query_time_calibration");
 }
 
 }  // namespace

@@ -5,6 +5,13 @@
 // hit rate. The concurrent pass replays queries the serial pass already
 // planned, so its hit rate should approach 100%; speedup needs real cores
 // (on a 1-CPU container the two passes tie).
+//
+// The concurrent pass additionally runs once with the flight recorder
+// disabled ("recorder off" rows): the p50 delta against the recorder-on
+// pass is the per-query profiling overhead (bench_results/
+// BENCH_query_obs.json records the budget: <= 3% on p50). A cost-model
+// calibration table (estimate/actual percentiles from the recorded
+// profiles) and a JSONL query-log dump close the run.
 
 #include <cstdlib>
 #include <iostream>
@@ -12,6 +19,8 @@
 
 #include "bench/bench_common.h"
 #include "graph/query_extractor.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -44,6 +53,7 @@ void Run() {
   Table table("Concurrent serving: batch replay, serial vs concurrent",
               {"dataset", "mode", "queries", "ok", "qps", "p50 ms", "p95 ms",
                "cache hit %", "speedup"});
+  FlightRecorder& recorder = FlightRecorder::Global();
 
   for (const BenchDataset& dataset : StandardDatasets(scale)) {
     auto graph = GenerateDataset(dataset.config);
@@ -81,38 +91,85 @@ void Run() {
     }
 
     double serial_qps = 0.0;
-    for (const size_t mode_concurrency : {size_t{1}, concurrency}) {
+    // Three passes: serial, concurrent (both recorder on, the deployed
+    // configuration), then concurrent with the recorder off — the p50 delta
+    // between the last two is the profiling overhead.
+    struct Mode {
+      size_t mode_concurrency;
+      bool recorder_on;
+    };
+    for (const Mode mode : {Mode{1, true}, Mode{concurrency, true},
+                            Mode{concurrency, false}}) {
+      recorder.SetEnabled(mode.recorder_on);
       const double hits_before =
           CounterValue("ppsm_cloud_plan_cache_hits_total");
       const double misses_before =
           CounterValue("ppsm_cloud_plan_cache_misses_total");
       const BatchOutcome batch =
-          system->QueryBatch(workload, mode_concurrency);
+          system->QueryBatch(workload, mode.mode_concurrency);
       const double hits =
           CounterValue("ppsm_cloud_plan_cache_hits_total") - hits_before;
       const double misses =
           CounterValue("ppsm_cloud_plan_cache_misses_total") - misses_before;
       const double lookups = hits + misses;
-      if (mode_concurrency == 1) {
+      if (mode.mode_concurrency == 1) {
         serial_qps = batch.summary.queries_per_second;
       }
       const double speedup =
           serial_qps > 0.0 ? batch.summary.queries_per_second / serial_qps
                            : 0.0;
-      table.AddRowValues(
-          dataset.name,
-          mode_concurrency == 1
+      std::string label =
+          mode.mode_concurrency == 1
               ? "serial"
-              : "concurrent x" + std::to_string(mode_concurrency),
-          batch.summary.queries, batch.summary.succeeded,
+              : "concurrent x" + std::to_string(mode.mode_concurrency);
+      if (!mode.recorder_on) label += " (recorder off)";
+      table.AddRowValues(
+          dataset.name, label, batch.summary.queries,
+          batch.summary.succeeded,
           Table::Num(batch.summary.queries_per_second, 1),
           Table::Num(batch.summary.p50_ms, 3),
           Table::Num(batch.summary.p95_ms, 3),
           lookups > 0.0 ? Table::Num(100.0 * hits / lookups, 1) : "-",
           Table::Num(speedup, 2));
     }
+    recorder.SetEnabled(true);
   }
   Emit(table, "serving");
+
+  // Cost-model calibration from the profiles the recorder just captured:
+  // (estimate+1)/(actual+1) percentiles per star and per join step. 1.0 is
+  // a perfectly calibrated §5.1 model.
+  const std::vector<QueryProfile> profiles = recorder.Recent();
+  const CostModelCalibration calibration =
+      SummarizeCostModelCalibration(profiles);
+  Table cal("Cost-model calibration ((estimate+1)/(actual+1), 1.0 = exact)",
+            {"dimension", "samples", "p50", "p90", "p99", "mean |log2|"});
+  cal.AddRowValues("star cardinality", calibration.star_samples,
+                   Table::Num(calibration.star_ratio_p50, 3),
+                   Table::Num(calibration.star_ratio_p90, 3),
+                   Table::Num(calibration.star_ratio_p99, 3),
+                   Table::Num(calibration.star_mean_abs_log2, 3));
+  cal.AddRowValues("join-step output", calibration.join_samples,
+                   Table::Num(calibration.join_ratio_p50, 3),
+                   Table::Num(calibration.join_ratio_p90, 3),
+                   Table::Num(calibration.join_ratio_p99, 3),
+                   Table::Num(calibration.join_mean_abs_log2, 3));
+  Emit(cal, "serving_calibration");
+
+  // The flight-recorder query log (slow captures + recent ring) lands next
+  // to the CSVs; CI uploads it as the run's drill-down artifact.
+  const std::string out_dir = OutDir();
+  if (!out_dir.empty()) {
+    const std::string path = out_dir + "/serving.query_log.jsonl";
+    const Status written =
+        WriteStringToFile(path, ExportQueryLogJsonl(recorder));
+    if (written.ok()) {
+      std::cout << "query log written to " << path << " ("
+                << recorder.NumSlow() << " slow captures)\n";
+    } else {
+      std::cerr << written << "\n";
+    }
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@ namespace {
 struct ChannelMetrics {
   MetricsRegistry::Counter messages;
   MetricsRegistry::Counter bytes;
+  MetricsRegistry::Counter log_dropped;
   MetricsRegistry::Histogram message_bytes;
   MetricsRegistry::Histogram transfer_ms;
 
@@ -24,6 +25,9 @@ struct ChannelMetrics {
                                    "Messages over the simulated link");
       metrics.bytes = r.counter("ppsm_network_bytes_total",
                                 "Payload bytes over the simulated link");
+      metrics.log_dropped =
+          r.counter("ppsm_channel_log_dropped_total",
+                    "Channel log records evicted by the max_log_records cap");
       metrics.message_bytes =
           r.histogram("ppsm_network_message_bytes", DefaultSizeBuckets(),
                       "Per-message payload size");
@@ -74,17 +78,23 @@ double SimulatedChannel::Transfer(size_t bytes,
   const double seconds =
       static_cast<double>(bytes) * 8.0 / (config_.bandwidth_mbps * 1e6);
   const double millis = config_.latency_ms + seconds * 1e3;
+  size_t dropped = 0;
   {
     std::lock_guard<std::mutex> lock(*mu_);
     total_bytes_ += bytes;
     total_millis_ += millis;
     ++num_messages_;
     if (config_.max_log_records > 0) {
-      while (log_.size() >= config_.max_log_records) log_.pop_front();
+      while (log_.size() >= config_.max_log_records) {
+        log_.pop_front();
+        ++dropped;
+      }
+      num_dropped_records_ += dropped;
       log_.push_back(Record{description, bytes, millis});
     }
   }
   const ChannelMetrics& metrics = ChannelMetrics::Get();
+  if (dropped > 0) metrics.log_dropped.Increment(dropped);
   metrics.messages.Increment();
   metrics.bytes.Increment(bytes);
   metrics.message_bytes.Observe(static_cast<double>(bytes));
@@ -98,6 +108,7 @@ void SimulatedChannel::Reset() {
   total_bytes_ = 0;
   total_millis_ = 0.0;
   num_messages_ = 0;
+  num_dropped_records_ = 0;
   log_.clear();
 }
 

@@ -63,6 +63,10 @@ class SimulatedChannel {
   double total_millis() const { return Locked(total_millis_); }
   /// Messages ever transferred — exact even after log eviction.
   size_t num_messages() const { return Locked(num_messages_); }
+  /// Records evicted from log() by the max_log_records cap. Non-zero means
+  /// log() is a suffix of the traffic, not the whole of it (the totals
+  /// above stay exact regardless).
+  size_t num_dropped_records() const { return Locked(num_dropped_records_); }
 
   struct Record {
     std::string description;
@@ -87,6 +91,7 @@ class SimulatedChannel {
   mutable size_t total_bytes_ = 0;
   mutable double total_millis_ = 0.0;
   mutable size_t num_messages_ = 0;
+  mutable size_t num_dropped_records_ = 0;
   mutable std::deque<Record> log_;
 };
 

@@ -8,6 +8,7 @@
 #include "match/decomposition.h"
 #include "match/result_join.h"
 #include "match/star_matcher.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/lru_cache.h"
@@ -39,6 +40,7 @@ struct CloudMetrics {
   MetricsRegistry::Histogram join_ms;
   MetricsRegistry::Histogram query_ms;
   MetricsRegistry::Histogram star_rows;
+  MetricsRegistry::Histogram join_estimate_ratio;
   MetricsRegistry::Gauge index_memory_bytes;
   MetricsRegistry::Gauge index_build_ms;
   MetricsRegistry::Gauge hosted_edges;
@@ -80,6 +82,13 @@ struct CloudMetrics {
       metrics.star_rows =
           r.histogram("ppsm_cloud_star_match_rows", DefaultCountBuckets(),
                       "Matches per star");
+      // Estimate/actual join-step ratio buckets: powers of two around 1.0
+      // (1.0 = perfectly calibrated cost model; the tails are the
+      // mis-ordered joins worth staring at).
+      metrics.join_estimate_ratio = r.histogram(
+          "ppsm_cloud_join_step_estimate_ratio",
+          {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0},
+          "Cost-model (estimate+1)/(actual+1) per join step");
       metrics.index_memory_bytes = r.gauge("ppsm_cloud_index_memory_bytes",
                                            "VBV/LBV index footprint");
       metrics.index_build_ms =
@@ -101,6 +110,27 @@ Status MakeDeadlineExceeded(const char* phase) {
                                   phase + ")");
 }
 }  // namespace
+
+QueryProfile ToQueryProfile(const CloudQueryStats& stats) {
+  QueryProfile profile;
+  profile.query_id = stats.query_id;
+  profile.timed_out_phase = stats.timed_out_phase;
+  profile.queue_wait_ms = stats.queue_wait_ms;
+  profile.decomposition_ms = stats.decomposition_ms;
+  profile.star_matching_ms = stats.star_matching_ms;
+  profile.join_ms = stats.join_ms;
+  profile.cloud_ms = stats.total_ms;
+  profile.plan_cache_hit = stats.plan_cache_hit;
+  profile.overflowed = stats.overflowed;
+  profile.num_stars = stats.num_stars;
+  profile.rs_size = stats.rs_size;
+  profile.result_rows = stats.result_rows;
+  profile.peak_join_rows = stats.peak_join_rows;
+  profile.stars = stats.stars;
+  profile.join_steps = stats.join_steps;
+  return profile;
+}
+
 
 /// The decomposition memo: ILP plans keyed by canonical Qo signature. The
 /// only mutable state of a hosted server, guarded by `mu` so AnswerQuery
@@ -216,9 +246,39 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
 Result<CloudServer::Answer> CloudServer::AnswerQuery(
     std::span<const uint8_t> qo_bytes,
     SteadyClock::time_point deadline) const {
+  QueryContext ctx;
+  ctx.deadline = deadline;
+  return AnswerQuery(qo_bytes, ctx);
+}
+
+Result<CloudServer::Answer> CloudServer::AnswerQuery(
+    std::span<const uint8_t> qo_bytes, const QueryContext& ctx) const {
+  // Per-query stats, filled as the phases run and published to ctx.stats on
+  // EVERY return path — failure included — via this scope guard. The
+  // Result<Answer> cannot carry stats on an error, and the failed queries
+  // are exactly the ones the flight recorder needs full accounting for.
+  CloudQueryStats stats;
+  stats.query_id =
+      ctx.query_id != 0 ? ctx.query_id : FlightRecorder::NextQueryId();
+  stats.queue_wait_ms = ctx.queue_wait_ms;
+  struct StatsPublisher {
+    CloudQueryStats* from;
+    CloudQueryStats* to;
+    ~StatsPublisher() {
+      if (to != nullptr) *to = *from;
+    }
+  } publisher{&stats, ctx.stats};
+
+  WallTimer total_timer;
+  const SteadyClock::time_point deadline = ctx.deadline;
   const bool has_deadline = deadline != SteadyClock::time_point::max();
+  const auto timeout = [&](const char* phase) {
+    stats.timed_out_phase = phase;
+    stats.total_ms = total_timer.ElapsedMillis();
+    return MakeDeadlineExceeded(phase);
+  };
   if (has_deadline && SteadyClock::now() >= deadline) {
-    return MakeDeadlineExceeded("on admission");
+    return timeout("on admission");
   }
   PPSM_ASSIGN_OR_RETURN(const AttributedGraph qo,
                         DeserializeQueryRequest(qo_bytes));
@@ -227,8 +287,8 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
   }
 
   Answer answer;
-  WallTimer total_timer;
-  PPSM_TRACE_SPAN_CAT("cloud.answer_query", "query");
+  TraceSpan query_span(Tracer::Global(), "cloud.answer_query", "query");
+  query_span.AddArg("query_id", stats.query_id);
   const CloudMetrics& metrics = CloudMetrics::Get();
 
   // Phase 1: cost-model query decomposition (exact ILP), candidate-aware
@@ -251,7 +311,7 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
   StarDecomposition decomposition;
   if (cached.has_value()) {
     decomposition = *std::move(cached);
-    answer.stats.plan_cache_hit = true;
+    stats.plan_cache_hit = true;
     metrics.plan_cache_hits.Increment();
   } else {
     Result<StarDecomposition> decomposition_or = [&] {
@@ -267,12 +327,12 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
           static_cast<double>(plan_cache_->plans.size()));
     }
   }
-  answer.stats.decomposition_ms = phase_timer.ElapsedMillis();
-  answer.stats.num_stars = decomposition.centers.size();
-  metrics.decomposition_ms.Observe(answer.stats.decomposition_ms);
+  stats.decomposition_ms = phase_timer.ElapsedMillis();
+  stats.num_stars = decomposition.centers.size();
+  metrics.decomposition_ms.Observe(stats.decomposition_ms);
   metrics.stars.Increment(decomposition.centers.size());
   if (has_deadline && SteadyClock::now() >= deadline) {
-    return MakeDeadlineExceeded("after decomposition");
+    return timeout("after decomposition");
   }
 
   // Phase 2: star matching over the hosted graph (Algorithm 1). MatchStars
@@ -291,12 +351,33 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
     };
   }
   std::vector<StarMatches> stars = [&] {
-    PPSM_TRACE_SPAN_CAT("cloud.star_match", "query");
+    TraceSpan span(Tracer::Global(), "cloud.star_match", "query");
+    span.AddArg("query_id", stats.query_id);
+    span.AddArg("num_stars", static_cast<uint64_t>(
+                                 decomposition.centers.size()));
     return MatchStars(data_, index_, qo, decomposition.centers,
                       star_options);
   }();
+  // Per-star profiles (the cost-model calibration inputs) are filled before
+  // any early return below so even a timed-out or truncated query reports
+  // what its stars did.
+  const bool estimates_aligned =
+      decomposition.estimates.size() == stars.size();
+  stats.stars.reserve(stars.size());
+  bool star_truncated = false;
+  for (size_t i = 0; i < stars.size(); ++i) {
+    StarProfile profile;
+    profile.center = static_cast<uint32_t>(stars[i].center);
+    profile.candidates = stars[i].num_candidates;
+    profile.rows = stars[i].matches.NumMatches();
+    profile.estimated_rows =
+        estimates_aligned ? decomposition.estimates[i] : 0.0;
+    profile.truncated = stars[i].truncated;
+    star_truncated = star_truncated || stars[i].truncated;
+    stats.stars.push_back(profile);
+  }
   if (has_deadline && SteadyClock::now() >= deadline) {
-    return MakeDeadlineExceeded("during star matching");
+    return timeout("during star matching");
   }
   for (const StarMatches& star : stars) {
     metrics.star_rows.Observe(
@@ -312,13 +393,23 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
       translated.Append(row);
     }
     star.matches = std::move(translated);
-    answer.stats.rs_size += star.matches.NumMatches();
+    stats.rs_size += star.matches.NumMatches();
   }
-  answer.stats.star_matching_ms = phase_timer.ElapsedMillis();
-  metrics.star_matching_ms.Observe(answer.stats.star_matching_ms);
-  metrics.rs_rows.Increment(answer.stats.rs_size);
+  stats.star_matching_ms = phase_timer.ElapsedMillis();
+  metrics.star_matching_ms.Observe(stats.star_matching_ms);
+  metrics.rs_rows.Increment(stats.rs_size);
+  if (star_truncated) {
+    // Row cap fired during star matching (the deadline case returned
+    // above): the match sets are incomplete, so exact answering is off the
+    // table. Same status the join would produce, but with the overflow
+    // attributed to the phase that caused it.
+    stats.overflowed = true;
+    stats.total_ms = total_timer.ElapsedMillis();
+    return Status::ResourceExhausted(
+        "star match set was truncated; join would be incomplete");
+  }
   if (has_deadline && SteadyClock::now() >= deadline) {
-    return MakeDeadlineExceeded("before join");
+    return timeout("before join");
   }
 
   // Phase 3: result join (Algorithm 2) -> Rin (or R(Qo,Gk) for baseline).
@@ -329,20 +420,44 @@ Result<CloudServer::Answer> CloudServer::AnswerQuery(
   join_options.max_rows = kMaxRows;
   join_options.num_threads = config_.num_threads;
   join_options.star_cost_estimates = decomposition.estimates;
+  JoinDiagnostics join_diag;
   Result<MatchSet> rin_or = [&] {
-    PPSM_TRACE_SPAN_CAT("cloud.join", "query");
-    return JoinStarMatches(stars, avt_, qo.NumVertices(), join_options);
+    TraceSpan span(Tracer::Global(), "cloud.join", "query");
+    span.AddArg("query_id", stats.query_id);
+    span.AddArg("rs_size", static_cast<uint64_t>(stats.rs_size));
+    return JoinStarMatches(stars, avt_, qo.NumVertices(), join_options,
+                           &join_diag);
   }();
-  PPSM_ASSIGN_OR_RETURN(const MatchSet rin, std::move(rin_or));
-  answer.stats.join_ms = phase_timer.ElapsedMillis();
-  metrics.join_ms.Observe(answer.stats.join_ms);
+  stats.join_ms = phase_timer.ElapsedMillis();
+  stats.join_steps = std::move(join_diag.steps);
+  stats.peak_join_rows = join_diag.peak_rows;
+  for (const JoinStepProfile& step : stats.join_steps) {
+    if (step.estimated_rows > 0.0 && !step.overflow) {
+      metrics.join_estimate_ratio.Observe(
+          (step.estimated_rows + 1.0) /
+          (static_cast<double>(step.output_rows) + 1.0));
+    }
+  }
+  if (!rin_or.ok()) {
+    if (rin_or.status().code() == StatusCode::kResourceExhausted) {
+      stats.overflowed = true;  // A join step hit the row cap.
+    }
+    stats.total_ms = total_timer.ElapsedMillis();
+    return rin_or.status();
+  }
+  const MatchSet rin = std::move(rin_or).value();
+  metrics.join_ms.Observe(stats.join_ms);
 
-  answer.stats.result_rows = rin.NumMatches();
+  stats.result_rows = rin.NumMatches();
   answer.response_payload = rin.Serialize();
-  answer.stats.total_ms = total_timer.ElapsedMillis();
-  metrics.result_rows.Increment(answer.stats.result_rows);
-  metrics.query_ms.Observe(answer.stats.total_ms);
+  stats.total_ms = total_timer.ElapsedMillis();
+  metrics.result_rows.Increment(stats.result_rows);
+  metrics.query_ms.Observe(stats.total_ms);
   metrics.queries.Increment();
+  query_span.AddArg("result_rows",
+                    static_cast<uint64_t>(stats.result_rows));
+  query_span.AddArg("total_ms", stats.total_ms);
+  answer.stats = stats;
   return answer;
 }
 

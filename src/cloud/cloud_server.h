@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cloud/messages.h"
@@ -12,6 +13,7 @@
 #include "kauto/avt.h"
 #include "match/index.h"
 #include "match/statistics.h"
+#include "obs/query_profile.h"
 #include "util/status.h"
 
 namespace ppsm {
@@ -37,8 +39,18 @@ struct CloudConfig {
 };
 
 /// Timing/size breakdown of one query evaluation in the cloud (the columns
-/// of the paper's Figs. 18, 19, 22).
+/// of the paper's Figs. 18, 19, 22), plus the per-phase observability the
+/// flight recorder files (DESIGN.md "Query observability"). Filled on
+/// FAILED queries too via QueryContext::stats — a DeadlineExceeded reply
+/// still reports the phases that ran and where the clock expired.
 struct CloudQueryStats {
+  /// Stable id minted at admission (or by AnswerQuery itself for direct
+  /// calls); never 0 on a reply. Joins the reply to span args and the
+  /// flight-recorder record.
+  uint64_t query_id = 0;
+  /// Admission-queue wait, as reported by the QueryService (0 for direct
+  /// AnswerQuery calls).
+  double queue_wait_ms = 0.0;
   double decomposition_ms = 0.0;
   double star_matching_ms = 0.0;
   double join_ms = 0.0;
@@ -48,8 +60,45 @@ struct CloudQueryStats {
   size_t rs_size = 0;
   /// Rows returned (|Rin| for the optimized path, |R(Qo,Gk)| for BAS).
   size_t result_rows = 0;
+  /// Peak intermediate row count across join steps.
+  size_t peak_join_rows = 0;
   /// True when the decomposition came out of the plan cache (ILP skipped).
   bool plan_cache_hit = false;
+  /// True when the per-phase row cap fired (star matching or a join step);
+  /// the query then failed with ResourceExhausted.
+  bool overflowed = false;
+  /// Phase name at which the deadline fired ("on admission", "after
+  /// decomposition", ...); empty when the query did not time out.
+  std::string timed_out_phase;
+  /// Per-star candidate/row counts with the §5.1 estimates (the cost-model
+  /// calibration inputs). Filled once star matching ran.
+  std::vector<StarProfile> stars;
+  /// Per-join-step estimated-vs-actual trace (JoinDiagnostics::steps).
+  std::vector<JoinStepProfile> join_steps;
+};
+
+/// Lifts a reply's stats into the flight-recorder record. Status, byte
+/// counts, and the post-cloud times (network/client/total) are the caller's
+/// to fill — the cloud cannot know them.
+QueryProfile ToQueryProfile(const CloudQueryStats& stats);
+
+/// Query-scoped context threaded from admission (QueryService) through
+/// AnswerQuery. Everything is optional: a default-constructed context means
+/// "direct call, no admission metadata" — AnswerQuery then mints its own
+/// query id and the deadline check is disabled.
+struct QueryContext {
+  /// Id minted at admission; 0 = AnswerQuery mints one itself.
+  uint64_t query_id = 0;
+  /// Time spent in the admission queue, copied into the reply stats.
+  double queue_wait_ms = 0.0;
+  /// Absolute evaluation deadline; time_point::max() disables the check.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// When non-null, receives the query's CloudQueryStats on EVERY return
+  /// path — success and failure alike. Result<Answer> cannot carry stats on
+  /// an error, and the failed queries are exactly the ones the flight
+  /// recorder must capture with their partial phase accounting.
+  CloudQueryStats* stats = nullptr;
 };
 
 /// Point-in-time plan-cache accounting for one server (the global
@@ -103,6 +152,10 @@ class CloudServer {
   Result<Answer> AnswerQuery(
       std::span<const uint8_t> qo_bytes,
       std::chrono::steady_clock::time_point deadline) const;
+  /// Full-context variant: admission metadata in, per-phase stats out on
+  /// every return path (ctx.stats, when set, is filled even on failure).
+  Result<Answer> AnswerQuery(std::span<const uint8_t> qo_bytes,
+                             const QueryContext& ctx) const;
 
   const CloudConfig& config() const { return config_; }
   /// Star-matching workers per query (config().num_threads, clamped >= 1).

@@ -1,6 +1,11 @@
 #include "cloud/query_service.h"
 
+#include <string>
+#include <utility>
+
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -112,21 +117,53 @@ Result<CloudServer::Answer> QueryService::Execute(
     std::span<const uint8_t> qo_bytes,
     SteadyClock::time_point deadline) const {
   const ServiceMetrics& metrics = ServiceMetrics::Get();
+  // The query id is minted at admission — before the gate — so even a
+  // refused query has an identity in the flight recorder and span args.
+  const uint64_t query_id = FlightRecorder::NextQueryId();
+  TraceSpan span(Tracer::Global(), "cloud.query_service.execute", "query");
+  span.AddArg("query_id", query_id);
   WallTimer wait_timer;
   const Status admitted = gate_->Acquire(deadline);
   if (!admitted.ok()) {
     metrics.rejected.Increment();
+    // Refusals never reach the server, so file their profile here: the
+    // queue wait is the whole story of the query.
+    QueryProfile refusal;
+    refusal.query_id = query_id;
+    refusal.status = StatusCodeLabel(admitted.code());
+    refusal.queue_wait_ms = wait_timer.ElapsedMillis();
+    refusal.total_ms = refusal.queue_wait_ms;
+    refusal.request_bytes = qo_bytes.size();
+    if (admitted.code() == StatusCode::kDeadlineExceeded) {
+      refusal.timed_out_phase = "in admission queue";
+    }
+    FlightRecorder::Global().Record(std::move(refusal));
     return admitted;
   }
-  metrics.queue_wait_ms.Observe(wait_timer.ElapsedMillis());
+  const double queue_wait_ms = wait_timer.ElapsedMillis();
+  metrics.queue_wait_ms.Observe(queue_wait_ms);
   metrics.admitted.Increment();
   metrics.pool_queue_depth.Set(
       static_cast<double>(ThreadPool::Shared().QueueDepth()));
+  QueryContext ctx;
+  ctx.query_id = query_id;
+  ctx.queue_wait_ms = queue_wait_ms;
+  ctx.deadline = deadline;
+  CloudQueryStats stats;
+  ctx.stats = &stats;
   Result<CloudServer::Answer> answer = [&] {
     ScopedGaugeDelta inflight(metrics.inflight);
-    return server_->AnswerQuery(qo_bytes, deadline);
+    return server_->AnswerQuery(qo_bytes, ctx);
   }();
   gate_->Release();
+  QueryProfile profile = ToQueryProfile(stats);
+  profile.request_bytes = qo_bytes.size();
+  if (answer.ok()) {
+    profile.response_bytes = answer->response_payload.size();
+  } else {
+    profile.status = StatusCodeLabel(answer.status().code());
+  }
+  FlightRecorder::Global().Record(std::move(profile));
   return answer;
 }
 

@@ -1,8 +1,10 @@
 #include "core/ppsm_system.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "cloud/owner_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -182,7 +184,34 @@ Result<QueryOutcome> PpsmSystem::QueryImpl(const AttributedGraph& query) const {
       outcome.cloud.total_ms + outcome.network_ms + outcome.client.total_ms;
   metrics.network_ms.Observe(outcome.network_ms);
   metrics.total_ms.Observe(outcome.total_ms);
+  // The service filed the profile when the cloud replied; the post-cloud
+  // times only exist now, so stamp them onto the record after the fact.
+  FlightRecorder::Global().Annotate(
+      outcome.cloud.query_id, [&outcome](QueryProfile& profile) {
+        profile.network_ms = outcome.network_ms;
+        profile.client_ms = outcome.client.total_ms;
+        profile.total_ms = outcome.total_ms;
+      });
   return outcome;
+}
+
+std::vector<QueryProfile> PpsmSystem::RecentQueryProfiles() {
+  return FlightRecorder::Global().Recent();
+}
+
+std::vector<QueryProfile> PpsmSystem::SlowQueryProfiles() {
+  return FlightRecorder::Global().SlowQueries();
+}
+
+Status PpsmSystem::DumpQueryLog(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open '" + path + "' for write");
+  }
+  out << ExportQueryLogJsonl(FlightRecorder::Global());
+  out.close();
+  if (!out) return Status::Internal("failed writing query log: " + path);
+  return Status::OK();
 }
 
 BatchOutcome PpsmSystem::QueryBatch(std::span<const AttributedGraph> queries,

@@ -119,6 +119,15 @@ class PpsmSystem {
   BatchOutcome QueryBatch(std::span<const AttributedGraph> queries,
                           size_t concurrency = 0) const;
 
+  /// Flight-recorder views: the process-global recorder's ring of recent
+  /// query profiles and its slow/failed-query captures (every query routed
+  /// through a QueryService lands there, from any system in the process).
+  static std::vector<QueryProfile> RecentQueryProfiles();
+  static std::vector<QueryProfile> SlowQueryProfiles();
+  /// Writes the recorder's query log (slow captures + recent ring) to
+  /// `path` as JSONL, one QueryProfile per line.
+  static Status DumpQueryLog(const std::string& path);
+
   const SetupStats& setup_stats() const { return owner_->setup_stats(); }
   const DataOwner& owner() const { return *owner_; }
   const CloudServer& cloud() const { return *cloud_; }

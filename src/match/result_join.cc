@@ -52,11 +52,14 @@ uint64_t KeyOfValues(std::span<const VertexId> values) {
 /// therefore the result — is independent of the thread count. All chunks
 /// share one atomic row budget; exceeding options.max_rows (non-zero) sets
 /// *overflow after folding the partial row counts into `diagnostics`.
+/// `step` (nullable, like `diagnostics`) receives this invocation's own
+/// build/output/drop counts; the caller stamps the star identity on it.
 Intermediate JoinStep(const Intermediate& current,
                       const std::vector<VertexId>& star_columns,
                       const MatchSet& star_rows, const Avt& avt,
                       uint32_t probe_k, const JoinOptions& options,
-                      JoinDiagnostics* diagnostics, bool* overflow) {
+                      JoinDiagnostics* diagnostics, JoinStepProfile* step,
+                      bool* overflow) {
   // Column bookkeeping: positions of shared columns on both sides, and the
   // star columns that are new.
   std::vector<size_t> shared_current;  // Positions in current.columns.
@@ -90,6 +93,7 @@ Intermediate JoinStep(const Intermediate& current,
     ++diagnostics->join_steps;
     diagnostics->indexed_rows += star_rows.NumMatches();
   }
+  if (step != nullptr) step->build_rows = star_rows.NumMatches();
 
   // Build-side duplicate suppression (probe_k > 1 only). Expanded rows can
   // coincide: F_m(r) == F_m'(r') iff r' == F_{m-m'}(r), because the AVT's
@@ -219,16 +223,21 @@ Intermediate JoinStep(const Intermediate& current,
 
   size_t total_rows = 0;
   for (const MatchSet& part : chunk_rows) total_rows += part.NumMatches();
+  size_t total_drops = 0;
+  for (const size_t drops : chunk_drops) total_drops += drops;
   if (diagnostics != nullptr) {
-    for (const size_t drops : chunk_drops) {
-      diagnostics->injectivity_drops += drops;
-    }
+    diagnostics->injectivity_drops += total_drops;
     // Recorded before the overflow early-return below: the runs that hit
     // the row cap are exactly the ones whose peak must not be
     // under-reported.
     diagnostics->peak_rows = std::max(diagnostics->peak_rows, total_rows);
   }
+  if (step != nullptr) {
+    step->injectivity_drops = total_drops;
+    step->output_rows = total_rows;
+  }
   if (overflowed.load(std::memory_order_relaxed)) {
+    if (step != nullptr) step->overflow = true;
     *overflow = true;
     return next;
   }
@@ -290,6 +299,8 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
 
   Intermediate current{stars[anchor].columns, stars[anchor].matches};
   if (diagnostics != nullptr) {
+    diagnostics->anchor_index = anchor;
+    diagnostics->anchor_rows = current.rows.NumMatches();
     diagnostics->peak_rows =
         std::max(diagnostics->peak_rows, current.rows.NumMatches());
   }
@@ -323,16 +334,25 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
       }
     }
     joined[next] = true;
+    JoinStepProfile profile;
+    profile.step = static_cast<uint32_t>(step);
+    profile.star_index = static_cast<uint32_t>(next);
+    profile.star_center = static_cast<uint32_t>(stars[next].center);
+    profile.estimated_rows = use_estimates ? cost_of(next) : 0.0;
+    profile.eager = options.eager_expansion;
     bool overflow = false;
     if (options.eager_expansion) {
       const MatchSet expanded =
           ExpandByAutomorphisms(stars[next].matches, avt);  // Lines 5-8.
       current = JoinStep(current, stars[next].columns, expanded, avt,
-                         /*probe_k=*/1, options, diagnostics, &overflow);
+                         /*probe_k=*/1, options, diagnostics, &profile,
+                         &overflow);
     } else {
       current = JoinStep(current, stars[next].columns, stars[next].matches,
-                         avt, probe_k, options, diagnostics, &overflow);
+                         avt, probe_k, options, diagnostics, &profile,
+                         &overflow);
     }
+    if (diagnostics != nullptr) diagnostics->steps.push_back(profile);
     if (overflow) {
       return Status::ResourceExhausted(
           "join intermediate exceeded the row cap");

@@ -5,12 +5,25 @@
 
 #include "kauto/avt.h"
 #include "match/star_matcher.h"
+#include "obs/query_profile.h"
 #include "util/status.h"
 
 namespace ppsm {
 
-/// Diagnostics from a join run (the benches report these).
+/// Diagnostics from a join run (the benches report these). `steps` carries
+/// one JoinStepProfile per JoinStep invocation — which star joined in, the
+/// §5.1 estimate for it, the rows actually produced, and which path (probe
+/// vs eager) ran — so a bad matching order is diagnosable per step instead
+/// of only in aggregate. The flat totals below are kept in lockstep with
+/// `steps` (they are derived sums/maxima) so existing consumers stay valid.
 struct JoinDiagnostics {
+  /// Per-step trace, in join order. Empty when the anchor short-circuited.
+  std::vector<JoinStepProfile> steps;
+  /// Index (into the input `stars`) of the chosen anchor star, SIZE_MAX
+  /// when the join never ran (input error).
+  size_t anchor_index = SIZE_MAX;
+  /// Rows of the anchor star (the initial intermediate).
+  size_t anchor_rows = 0;
   /// Peak intermediate row count across join steps. Under an overflow this
   /// still reflects the rows materialized up to the abort — the runs that
   /// hit the cap are exactly the ones whose peak matters.

@@ -107,6 +107,7 @@ StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
   result.matches = MatchSet(result.columns.size());
 
   const std::vector<VertexId> candidates = index.CandidateCenters(qo, center);
+  result.num_candidates = candidates.size();
   if (candidates.empty()) return result;
   if (options.cancelled && options.cancelled()) {
     result.truncated = true;

@@ -19,6 +19,10 @@ struct StarMatches {
   VertexId center = kInvalidVertex;
   std::vector<VertexId> columns;
   MatchSet matches;
+  /// Candidate centers the VBV/LBV index shortlisted for this star — the
+  /// size of the loop MatchStar enumerated (query profiles report it next
+  /// to the materialized row count).
+  size_t num_candidates = 0;
   /// True when enumeration stopped early — at the row cap, or because the
   /// run was cancelled. The match set is then incomplete and must not be
   /// used for exact answering.

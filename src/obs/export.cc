@@ -1,64 +1,13 @@
 #include "obs/export.h"
 
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "obs/json_util.h"
 
 namespace ppsm {
 
 namespace {
-
-/// Shortest round-trip-safe JSON number for a double. %.17g always
-/// round-trips but prints noise like 0.10000000000000001, so try increasing
-/// precision until the value parses back exactly.
-std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "null";  // Metrics never produce these.
-  char buffer[64];
-  for (int precision = 6; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return buffer;
-}
-
-/// JSON string escaping for metric/span names (quotes, backslashes, control
-/// characters; everything else passes through).
-std::string JsonString(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  out.push_back('"');
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
-}
 
 void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
   out->append("{\"count\": ");
@@ -143,6 +92,10 @@ std::string ExportChromeTrace(const Tracer& tracer) {
     out.append(std::to_string(event.thread_id));
     out.append(", \"args\": {\"depth\": ");
     out.append(std::to_string(event.depth));
+    for (const TraceArg& arg : event.args) {
+      out.append(", ").append(JsonString(arg.key)).append(": ");
+      out.append(arg.value);  // Pre-rendered JSON literal.
+    }
     out.append("}}");
   }
   out.append(first ? "]}\n" : "\n]}\n");

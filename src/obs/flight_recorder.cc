@@ -1,0 +1,168 @@
+#include "obs/flight_recorder.h"
+
+#include "obs/metrics.h"
+
+namespace ppsm {
+
+namespace {
+
+std::atomic<uint64_t> g_next_query_id{1};
+
+struct RecorderMetrics {
+  MetricsRegistry::Counter recorded;
+  MetricsRegistry::Counter slow;
+
+  static const RecorderMetrics& Get() {
+    static const RecorderMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      RecorderMetrics metrics;
+      metrics.recorded =
+          r.counter("ppsm_flight_recorder_profiles_total",
+                    "Query profiles filed with the flight recorder");
+      metrics.slow =
+          r.counter("ppsm_flight_recorder_slow_captures_total",
+                    "Profiles captured by the slow/failed-query log");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static auto* recorder = new FlightRecorder();  // Leaked on purpose.
+  return *recorder;
+}
+
+uint64_t FlightRecorder::NextQueryId() {
+  return g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlightRecorder::FlightRecorder(size_t capacity, size_t slow_capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slow_capacity_(slow_capacity == 0 ? 1 : slow_capacity) {}
+
+void FlightRecorder::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void FlightRecorder::SetSlowCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_capacity_ = capacity == 0 ? 1 : capacity;
+  while (slow_log_.size() > slow_capacity_) slow_log_.pop_front();
+}
+
+void FlightRecorder::SetSlowThresholdMs(double threshold_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = threshold_ms;
+}
+
+double FlightRecorder::slow_threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_ms_;
+}
+
+bool FlightRecorder::IsSlow(const QueryProfile& profile,
+                            double threshold) const {
+  if (profile.status != "ok") return true;
+  if (profile.overflowed) return true;
+  return threshold > 0.0 && profile.cloud_ms >= threshold;
+}
+
+void FlightRecorder::Record(QueryProfile profile) {
+  if (!enabled()) return;
+  bool slow;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++recorded_;
+    slow = IsSlow(profile, slow_threshold_ms_);
+    if (slow) {
+      ++slow_;
+      while (slow_log_.size() >= slow_capacity_) slow_log_.pop_front();
+      slow_log_.push_back(profile);
+    }
+    while (ring_.size() >= capacity_) ring_.pop_front();
+    ring_.push_back(std::move(profile));
+  }
+  const RecorderMetrics& metrics = RecorderMetrics::Get();
+  metrics.recorded.Increment();
+  if (slow) metrics.slow.Increment();
+}
+
+bool FlightRecorder::Annotate(
+    uint64_t query_id, const std::function<void(QueryProfile&)>& update) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool found = false;
+  // Newest first: the annotated query almost always just finished.
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->query_id == query_id) {
+      update(*it);
+      found = true;
+      break;
+    }
+  }
+  for (auto it = slow_log_.rbegin(); it != slow_log_.rend(); ++it) {
+    if (it->query_id == query_id) {
+      update(*it);
+      found = true;
+      break;
+    }
+  }
+  return found;
+}
+
+std::vector<QueryProfile> FlightRecorder::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryProfile>(ring_.begin(), ring_.end());
+}
+
+std::vector<QueryProfile> FlightRecorder::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryProfile>(slow_log_.begin(), slow_log_.end());
+}
+
+uint64_t FlightRecorder::NumRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t FlightRecorder::NumSlow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  slow_log_.clear();
+  recorded_ = 0;
+  slow_ = 0;
+}
+
+std::string ExportQueryLogJsonl(const FlightRecorder& recorder) {
+  std::string out;
+  for (const QueryProfile& profile : recorder.SlowQueries()) {
+    std::string line = QueryProfileToJson(profile);
+    line.insert(1, "\"capture\": \"slow\", ");
+    out.append(line);
+    out.push_back('\n');
+  }
+  for (const QueryProfile& profile : recorder.Recent()) {
+    std::string line = QueryProfileToJson(profile);
+    line.insert(1, "\"capture\": \"ring\", ");
+    out.append(line);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace ppsm

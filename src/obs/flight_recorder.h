@@ -1,0 +1,105 @@
+#ifndef PPSM_OBS_FLIGHT_RECORDER_H_
+#define PPSM_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/query_profile.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Per-query flight recorder: a fixed-size ring of the most recently
+/// completed QueryProfiles (every query, successes included) plus an
+/// always-on slow-query log that keeps the full profile of any query that
+///  * exceeded the slow threshold (slow_threshold_ms > 0),
+///  * failed with DeadlineExceeded / ResourceExhausted (any non-"ok"
+///    status), or
+///  * tripped the row cap (profile.overflowed).
+/// The two stores age independently, so a slow capture survives long after
+/// the ring has wrapped past it.
+///
+/// Lock discipline: one short mutex hold per completed query (append +
+/// evict), never on the per-row hot path — queries are milliseconds, so a
+/// recorder append is noise (the measured bench_serving overhead lives in
+/// bench_results/BENCH_query_obs.json). Readers copy under the same lock.
+/// Disabling makes Record a single relaxed load.
+class FlightRecorder {
+ public:
+  /// The process-wide recorder the query service records into. Never
+  /// destroyed (leaked on purpose) so shutdown order is a non-issue.
+  static FlightRecorder& Global();
+
+  /// Process-wide query-id mint: unique, monotonically increasing, never 0.
+  /// Every admission gets one; it travels through span args, the reply
+  /// stats, and the flight-recorder record.
+  static uint64_t NextQueryId();
+
+  explicit FlightRecorder(size_t capacity = 512, size_t slow_capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Resizes the ring; existing entries are kept up to the new capacity
+  /// (newest survive). 0 clamps to 1.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+  void SetSlowCapacity(size_t capacity);
+
+  /// Latency trigger for the slow-query log; <= 0 disables the latency
+  /// trigger (failures and overflows are still always captured).
+  void SetSlowThresholdMs(double threshold_ms);
+  double slow_threshold_ms() const;
+
+  /// Files one completed query. Decides slow capture from the profile's
+  /// status / overflowed flag / cloud_ms against the threshold.
+  void Record(QueryProfile profile);
+
+  /// Post-completion enrichment (network/client/total times land after the
+  /// cloud reply is recorded): runs `update` on the profile with `query_id`
+  /// in the ring and, if captured, in the slow log. False when the profile
+  /// has already aged out.
+  bool Annotate(uint64_t query_id,
+                const std::function<void(QueryProfile&)>& update);
+
+  /// Ring contents, oldest first.
+  std::vector<QueryProfile> Recent() const;
+  /// Slow-query captures, oldest first.
+  std::vector<QueryProfile> SlowQueries() const;
+
+  uint64_t NumRecorded() const;  // Lifetime total, not ring occupancy.
+  uint64_t NumSlow() const;      // Lifetime slow captures.
+  void Clear();
+
+ private:
+  bool IsSlow(const QueryProfile& profile, double threshold) const;
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::deque<QueryProfile> ring_;       // Oldest at front.
+  std::deque<QueryProfile> slow_log_;   // Oldest at front.
+  size_t capacity_;
+  size_t slow_capacity_;
+  double slow_threshold_ms_ = 0.0;
+  uint64_t recorded_ = 0;
+  uint64_t slow_ = 0;
+};
+
+/// JSONL dump of a recorder: every slow capture (tagged "capture":"slow"),
+/// then the recent ring ("capture":"ring"), one record per line. A query can
+/// appear in both sections — consumers key on query_id + capture.
+std::string ExportQueryLogJsonl(const FlightRecorder& recorder);
+
+}  // namespace ppsm
+
+#endif  // PPSM_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,21 @@
+#ifndef PPSM_OBS_JSON_UTIL_H_
+#define PPSM_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace ppsm {
+
+/// Shortest round-trip-safe JSON number for a double. %.17g always
+/// round-trips but prints noise like 0.10000000000000001, so precision is
+/// raised only until the value parses back exactly. Non-finite values render
+/// as null (metrics and profiles never produce them).
+std::string JsonNumber(double value);
+
+/// JSON string literal (quotes included) for metric/span/profile text:
+/// quotes, backslashes and control characters are escaped, everything else
+/// passes through.
+std::string JsonString(const std::string& text);
+
+}  // namespace ppsm
+
+#endif  // PPSM_OBS_JSON_UTIL_H_

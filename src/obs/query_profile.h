@@ -1,0 +1,119 @@
+#ifndef PPSM_OBS_QUERY_PROFILE_H_
+#define PPSM_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Per-star record of one query's star-matching phase: how many candidate
+/// centers the index shortlisted, how many rows materialized, and what the
+/// §5.1 cost model predicted for the star. The estimate/actual pair is the
+/// raw material of the cost-model calibration report.
+struct StarProfile {
+  uint32_t center = 0;         // Query vertex id of the star root.
+  uint64_t candidates = 0;     // Candidate centers from the VBV/LBV index.
+  uint64_t rows = 0;           // |R(S,Go)| materialized (pre-translation).
+  double estimated_rows = 0.0; // Cost-model estimate (0 when unavailable).
+  bool truncated = false;      // Row cap or cancellation cut it short.
+};
+
+/// Per-step record of the result join: which star joined in, what the cost
+/// model expected of it, and what actually came out. `output_rows` across
+/// steps is exactly the per-step cardinality trace that makes a bad matching
+/// order diagnosable (the 811k-row blowups show up as one step's output).
+struct JoinStepProfile {
+  uint32_t step = 0;               // 0-based join-step ordinal.
+  uint32_t star_index = 0;         // Position in the decomposition's stars.
+  uint32_t star_center = 0;        // Query vertex id of the joined star.
+  uint64_t build_rows = 0;         // Star rows hash-indexed (build side).
+  uint64_t output_rows = 0;        // Intermediate rows after this step.
+  uint64_t injectivity_drops = 0;  // Rows dropped by the duplicate filter.
+  double estimated_rows = 0.0;     // §5.1 estimate for the star (0 = none).
+  bool eager = false;              // Eager-expansion path (vs k-probe).
+  bool overflow = false;           // This step hit the row cap.
+};
+
+/// The flight-recorder unit: everything one query did, end to end. Cloud
+/// phases are filled by the server, admission/queue data by the service, and
+/// network/client fields are annotated afterwards by the system facade.
+/// Failed queries carry the phases that did run plus a status string, so a
+/// DeadlineExceeded is never a stats-free error.
+struct QueryProfile {
+  uint64_t query_id = 0;
+  /// "ok", or the lower-cased Status code of the failure
+  /// ("deadline_exceeded", "resource_exhausted", ...).
+  std::string status = "ok";
+  /// Phase name at which the deadline fired; empty otherwise.
+  std::string timed_out_phase;
+
+  // Admission + cloud phase wall times (milliseconds).
+  double queue_wait_ms = 0.0;
+  double decomposition_ms = 0.0;
+  double star_matching_ms = 0.0;
+  double join_ms = 0.0;
+  double cloud_ms = 0.0;    // Cloud evaluation total.
+  double network_ms = 0.0;  // Simulated request + response transfer.
+  double client_ms = 0.0;   // Algorithm 3 post-processing.
+  double total_ms = 0.0;    // End to end (0 until annotated).
+
+  bool plan_cache_hit = false;
+  /// The row cap fired somewhere (star matching or a join step).
+  bool overflowed = false;
+
+  uint64_t num_stars = 0;
+  uint64_t rs_size = 0;       // Total star matches |RS|.
+  uint64_t result_rows = 0;   // |Rin| rows returned.
+  uint64_t peak_join_rows = 0;
+  uint64_t request_bytes = 0;   // Serialized Qo over the channel.
+  uint64_t response_bytes = 0;  // Serialized reply over the channel.
+
+  std::vector<StarProfile> stars;
+  std::vector<JoinStepProfile> join_steps;
+};
+
+/// Lower-snake-case label of a status code ("deadline_exceeded",
+/// "resource_exhausted") — the QueryProfile::status vocabulary.
+std::string StatusCodeLabel(StatusCode code);
+
+/// One-line JSON object for a profile (no trailing newline) — the JSONL
+/// record format of the slow-query log and `ppsm_cli --query-log`.
+std::string QueryProfileToJson(const QueryProfile& profile);
+
+/// Parses a QueryProfileToJson record back. Accepts exactly the schema the
+/// serializer emits (flat keys plus the stars/join_steps object arrays);
+/// unknown keys are ignored so the format can grow. InvalidArgument on
+/// malformed input.
+Result<QueryProfile> QueryProfileFromJson(std::string_view json);
+
+/// Estimate-vs-actual accuracy of the §5.1 cost model over a set of
+/// profiles, separately for star cardinalities and join-step outputs.
+/// Ratios are (estimate + 1) / (actual + 1) so empty stars do not divide by
+/// zero; a perfectly calibrated model sits at 1.0. Percentiles are exact
+/// (computed from the sorted samples).
+struct CostModelCalibration {
+  size_t star_samples = 0;
+  double star_ratio_p50 = 0.0;
+  double star_ratio_p90 = 0.0;
+  double star_ratio_p99 = 0.0;
+  size_t join_samples = 0;
+  double join_ratio_p50 = 0.0;
+  double join_ratio_p90 = 0.0;
+  double join_ratio_p99 = 0.0;
+  /// Mean |log2(ratio)| — 0 means perfectly calibrated, 1 means off by 2x
+  /// on (geometric) average.
+  double star_mean_abs_log2 = 0.0;
+  double join_mean_abs_log2 = 0.0;
+};
+
+CostModelCalibration SummarizeCostModelCalibration(
+    std::span<const QueryProfile> profiles);
+
+}  // namespace ppsm
+
+#endif  // PPSM_OBS_QUERY_PROFILE_H_

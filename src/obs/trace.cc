@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/json_util.h"
+
 namespace ppsm {
 
 namespace {
@@ -120,7 +122,23 @@ TraceSpan::~TraceSpan() {
   event.depth = depth_;
   event.ts_us = tracer_->MicrosSinceEpoch(start_);
   event.dur_us = std::chrono::duration<double, std::micro>(end - start_).count();
+  event.args = std::move(args_);
   tracer_->Record(std::move(event));
+}
+
+void TraceSpan::AddArg(const std::string& key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  args_.push_back(TraceArg{key, std::to_string(value)});
+}
+
+void TraceSpan::AddArg(const std::string& key, double value) {
+  if (tracer_ == nullptr) return;
+  args_.push_back(TraceArg{key, JsonNumber(value)});
+}
+
+void TraceSpan::AddArg(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  args_.push_back(TraceArg{key, JsonString(value)});
 }
 
 }  // namespace ppsm

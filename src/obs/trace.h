@@ -6,9 +6,17 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ppsm {
+
+/// One span argument, pre-rendered: `value` is a complete JSON literal
+/// (quoted string or number) so exporters concatenate without re-escaping.
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
 
 /// One completed span (Chrome trace-event "X" phase) or instant marker
 /// ("i" phase, duration < 0 by convention here means instant).
@@ -20,6 +28,9 @@ struct TraceEvent {
   double ts_us = 0.0;      // Start, microseconds since the tracer's epoch.
   double dur_us = 0.0;     // Duration; instants record 0 and instant=true.
   bool instant = false;
+  /// Per-span arguments (query_id, row counts, ...) — the Chrome trace
+  /// `args` object, which is what makes a trace per-query drillable.
+  std::vector<TraceArg> args;
 };
 
 /// Bounded recorder of pipeline spans. Spans are RAII (see TraceSpan /
@@ -91,12 +102,20 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Attaches an argument, visible in the exported Chrome trace `args`
+  /// object. Callable any time before destruction; no-ops when the tracer
+  /// was disabled at open. Numbers stay numbers in the JSON.
+  void AddArg(const std::string& key, uint64_t value);
+  void AddArg(const std::string& key, double value);
+  void AddArg(const std::string& key, const std::string& value);
+
  private:
   Tracer* tracer_ = nullptr;  // Null when the tracer was disabled at open.
   std::string name_;
   std::string category_;
   uint32_t depth_ = 0;
   std::chrono::steady_clock::time_point start_;
+  std::vector<TraceArg> args_;
 };
 
 /// Stable small integer id for the calling OS thread (0 for the first thread

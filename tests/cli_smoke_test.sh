@@ -43,16 +43,27 @@ grep -q '"traceEvents"' "$DIR/t.json" \
 grep -q 'ppsm_network_bytes_total' "$DIR/m.prom" \
     || { echo "prometheus dump missing network bytes"; exit 1; }
 
+# Flight-recorder query log: --query-log dumps one JSONL profile per query,
+# and --slow-query-ms 0.001 makes (practically) every query a slow capture.
+"$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
+    --query-log="$DIR/q.jsonl" --slow-query-ms 0.001 \
+    --flight-recorder-entries 64 > /dev/null
+grep -q '"query_id"' "$DIR/q.jsonl" \
+    || { echo "query log missing query_id"; exit 1; }
+grep -q '"capture": "slow"' "$DIR/q.jsonl" \
+    || { echo "query log missing slow capture"; exit 1; }
+
 # Snapshot round trip: --save-snapshot persists the owner state, a later
 # --load-snapshot query (no --in, no --k) must serve the identical matches.
-# Only the timing footer line may differ between the two runs.
+# Only the timing footer ("query <id>: cloud ...", with a fresh query id
+# each run) may differ between the two runs.
 "$CLI" query --in "$DIR/g.graph" --pattern "$DIR/q.pat" --k 3 \
     --save-snapshot "$DIR/snap" > "$DIR/direct.txt"
 [ -s "$DIR/snap/graph.bin" ] || { echo "snapshot graph.bin missing"; exit 1; }
 "$CLI" query --load-snapshot "$DIR/snap" --pattern "$DIR/q.pat" \
     > "$DIR/fromsnap.txt"
-grep -v "^cloud " "$DIR/direct.txt" > "$DIR/direct.matches"
-grep -v "^cloud " "$DIR/fromsnap.txt" > "$DIR/fromsnap.matches"
+grep -v "^query [0-9]*: cloud " "$DIR/direct.txt" > "$DIR/direct.matches"
+grep -v "^query [0-9]*: cloud " "$DIR/fromsnap.txt" > "$DIR/fromsnap.matches"
 cmp -s "$DIR/direct.matches" "$DIR/fromsnap.matches" \
     || { echo "snapshot-served matches differ from direct run"; exit 1; }
 

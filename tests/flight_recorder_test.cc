@@ -1,0 +1,364 @@
+// Flight-recorder unit tests: ring wraparound (including under concurrent
+// writers — the TSan CI job runs this binary), slow/failed-query capture
+// triggers, query-id uniqueness, the QueryProfile JSONL round-trip, and the
+// cost-model calibration summary.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/query_profile.h"
+
+namespace ppsm {
+namespace {
+
+QueryProfile MakeProfile(uint64_t id, double cloud_ms = 1.0) {
+  QueryProfile profile;
+  profile.query_id = id;
+  profile.cloud_ms = cloud_ms;
+  return profile;
+}
+
+TEST(FlightRecorder, RingKeepsNewestAndCountsLifetime) {
+  FlightRecorder recorder(/*capacity=*/4, /*slow_capacity=*/4);
+  for (uint64_t id = 1; id <= 10; ++id) recorder.Record(MakeProfile(id));
+  EXPECT_EQ(recorder.NumRecorded(), 10u);
+  const std::vector<QueryProfile> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Oldest first, and the four newest survived the wrap.
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].query_id, 7u + i);
+  }
+}
+
+TEST(FlightRecorder, SetCapacityKeepsNewest) {
+  FlightRecorder recorder(/*capacity=*/8, /*slow_capacity=*/4);
+  for (uint64_t id = 1; id <= 8; ++id) recorder.Record(MakeProfile(id));
+  recorder.SetCapacity(3);
+  const std::vector<QueryProfile> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent.front().query_id, 6u);
+  EXPECT_EQ(recent.back().query_id, 8u);
+}
+
+TEST(FlightRecorder, SlowCaptureTriggers) {
+  FlightRecorder recorder(/*capacity=*/16, /*slow_capacity=*/16);
+  recorder.SetSlowThresholdMs(50.0);
+
+  recorder.Record(MakeProfile(1, /*cloud_ms=*/1.0));  // Fast and ok: ring only.
+  recorder.Record(MakeProfile(2, /*cloud_ms=*/80.0));  // Over the threshold.
+  QueryProfile failed = MakeProfile(3, /*cloud_ms=*/1.0);
+  failed.status = "deadline_exceeded";
+  failed.timed_out_phase = "during star matching";
+  recorder.Record(failed);  // Failed status: always captured.
+  QueryProfile overflowed = MakeProfile(4, /*cloud_ms=*/1.0);
+  overflowed.overflowed = true;
+  overflowed.status = "resource_exhausted";
+  recorder.Record(overflowed);  // Row cap: always captured.
+
+  EXPECT_EQ(recorder.NumRecorded(), 4u);
+  EXPECT_EQ(recorder.NumSlow(), 3u);
+  const std::vector<QueryProfile> slow = recorder.SlowQueries();
+  ASSERT_EQ(slow.size(), 3u);
+  EXPECT_EQ(slow[0].query_id, 2u);
+  EXPECT_EQ(slow[1].query_id, 3u);
+  EXPECT_EQ(slow[1].timed_out_phase, "during star matching");
+  EXPECT_EQ(slow[2].query_id, 4u);
+  EXPECT_TRUE(slow[2].overflowed);
+  // The ring holds everything regardless.
+  EXPECT_EQ(recorder.Recent().size(), 4u);
+}
+
+TEST(FlightRecorder, LatencyTriggerOffByDefault) {
+  FlightRecorder recorder(/*capacity=*/8, /*slow_capacity=*/8);
+  recorder.Record(MakeProfile(1, /*cloud_ms=*/1e6));  // Slow but ok.
+  EXPECT_EQ(recorder.NumSlow(), 0u);
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  FlightRecorder recorder(/*capacity=*/8, /*slow_capacity=*/8);
+  recorder.SetEnabled(false);
+  recorder.Record(MakeProfile(1));
+  EXPECT_EQ(recorder.NumRecorded(), 0u);
+  EXPECT_TRUE(recorder.Recent().empty());
+  recorder.SetEnabled(true);
+  recorder.Record(MakeProfile(2));
+  EXPECT_EQ(recorder.NumRecorded(), 1u);
+}
+
+TEST(FlightRecorder, AnnotateUpdatesRingAndSlowLog) {
+  FlightRecorder recorder(/*capacity=*/8, /*slow_capacity=*/8);
+  QueryProfile failed = MakeProfile(5);
+  failed.status = "resource_exhausted";
+  recorder.Record(failed);
+  ASSERT_TRUE(recorder.Annotate(5, [](QueryProfile& profile) {
+    profile.network_ms = 12.5;
+    profile.total_ms = 20.0;
+  }));
+  EXPECT_EQ(recorder.Recent().back().network_ms, 12.5);
+  EXPECT_EQ(recorder.SlowQueries().back().network_ms, 12.5);
+  EXPECT_FALSE(recorder.Annotate(999, [](QueryProfile&) {}));
+}
+
+TEST(FlightRecorder, NextQueryIdIsUniqueAcrossThreads) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 500;
+  std::vector<std::vector<uint64_t>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&minted, t] {
+      minted[t].reserve(kPerThread);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        minted[t].push_back(FlightRecorder::NextQueryId());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::set<uint64_t> unique;
+  for (const auto& ids : minted) {
+    for (const uint64_t id : ids) {
+      EXPECT_NE(id, 0u);
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(unique.size(), kThreads * kPerThread);
+}
+
+// The TSan acceptance test: many writers wrapping a small ring while readers
+// copy it. Correctness bar: no lost records in the lifetime counters and the
+// ring always holds exactly `capacity` well-formed entries.
+TEST(FlightRecorder, ConcurrentWraparoundKeepsCountsExact) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 400;
+  FlightRecorder recorder(/*capacity=*/16, /*slow_capacity=*/8);
+  recorder.SetSlowThresholdMs(0.0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        QueryProfile profile = MakeProfile(t * kPerThread + i + 1);
+        if (i % 97 == 0) profile.status = "resource_exhausted";
+        recorder.Record(std::move(profile));
+        if (i % 64 == 0) {
+          // Concurrent readers and annotators race the writers.
+          const std::vector<QueryProfile> snapshot = recorder.Recent();
+          EXPECT_LE(snapshot.size(), 16u);
+          recorder.Annotate(t * kPerThread + i + 1,
+                            [](QueryProfile& p) { p.total_ms += 1.0; });
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(recorder.NumRecorded(), kThreads * kPerThread);
+  EXPECT_EQ(recorder.Recent().size(), 16u);
+  // ceil(400/97) = 5 slow captures per thread.
+  EXPECT_EQ(recorder.NumSlow(), kThreads * 5u);
+  EXPECT_EQ(recorder.SlowQueries().size(), 8u);
+}
+
+QueryProfile FullProfile() {
+  QueryProfile profile;
+  profile.query_id = 42;
+  profile.status = "resource_exhausted";
+  profile.timed_out_phase = "before join";
+  profile.queue_wait_ms = 0.25;
+  profile.decomposition_ms = 1.5;
+  profile.star_matching_ms = 2.75;
+  profile.join_ms = 3.125;
+  profile.cloud_ms = 7.625;
+  profile.network_ms = 1.0625;
+  profile.client_ms = 0.5;
+  profile.total_ms = 9.1875;
+  profile.plan_cache_hit = true;
+  profile.overflowed = true;
+  profile.num_stars = 3;
+  profile.rs_size = 1234;
+  profile.result_rows = 99;
+  profile.peak_join_rows = 512;
+  profile.request_bytes = 321;
+  profile.response_bytes = 4567;
+  profile.stars = {{/*center=*/0, /*candidates=*/10, /*rows=*/7,
+                    /*estimated_rows=*/8.5, /*truncated=*/false},
+                   {/*center=*/2, /*candidates=*/20, /*rows=*/14,
+                    /*estimated_rows=*/0.0, /*truncated=*/true}};
+  profile.join_steps = {{/*step=*/1, /*star_index=*/0, /*star_center=*/2,
+                         /*build_rows=*/14, /*output_rows=*/90,
+                         /*injectivity_drops=*/3, /*estimated_rows=*/100.0,
+                         /*eager=*/false, /*overflow=*/true}};
+  return profile;
+}
+
+void ExpectProfilesEqual(const QueryProfile& a, const QueryProfile& b) {
+  EXPECT_EQ(a.query_id, b.query_id);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.timed_out_phase, b.timed_out_phase);
+  EXPECT_EQ(a.queue_wait_ms, b.queue_wait_ms);
+  EXPECT_EQ(a.decomposition_ms, b.decomposition_ms);
+  EXPECT_EQ(a.star_matching_ms, b.star_matching_ms);
+  EXPECT_EQ(a.join_ms, b.join_ms);
+  EXPECT_EQ(a.cloud_ms, b.cloud_ms);
+  EXPECT_EQ(a.network_ms, b.network_ms);
+  EXPECT_EQ(a.client_ms, b.client_ms);
+  EXPECT_EQ(a.total_ms, b.total_ms);
+  EXPECT_EQ(a.plan_cache_hit, b.plan_cache_hit);
+  EXPECT_EQ(a.overflowed, b.overflowed);
+  EXPECT_EQ(a.num_stars, b.num_stars);
+  EXPECT_EQ(a.rs_size, b.rs_size);
+  EXPECT_EQ(a.result_rows, b.result_rows);
+  EXPECT_EQ(a.peak_join_rows, b.peak_join_rows);
+  EXPECT_EQ(a.request_bytes, b.request_bytes);
+  EXPECT_EQ(a.response_bytes, b.response_bytes);
+  ASSERT_EQ(a.stars.size(), b.stars.size());
+  for (size_t i = 0; i < a.stars.size(); ++i) {
+    EXPECT_EQ(a.stars[i].center, b.stars[i].center);
+    EXPECT_EQ(a.stars[i].candidates, b.stars[i].candidates);
+    EXPECT_EQ(a.stars[i].rows, b.stars[i].rows);
+    EXPECT_EQ(a.stars[i].estimated_rows, b.stars[i].estimated_rows);
+    EXPECT_EQ(a.stars[i].truncated, b.stars[i].truncated);
+  }
+  ASSERT_EQ(a.join_steps.size(), b.join_steps.size());
+  for (size_t i = 0; i < a.join_steps.size(); ++i) {
+    EXPECT_EQ(a.join_steps[i].step, b.join_steps[i].step);
+    EXPECT_EQ(a.join_steps[i].star_index, b.join_steps[i].star_index);
+    EXPECT_EQ(a.join_steps[i].star_center, b.join_steps[i].star_center);
+    EXPECT_EQ(a.join_steps[i].build_rows, b.join_steps[i].build_rows);
+    EXPECT_EQ(a.join_steps[i].output_rows, b.join_steps[i].output_rows);
+    EXPECT_EQ(a.join_steps[i].injectivity_drops,
+              b.join_steps[i].injectivity_drops);
+    EXPECT_EQ(a.join_steps[i].estimated_rows, b.join_steps[i].estimated_rows);
+    EXPECT_EQ(a.join_steps[i].eager, b.join_steps[i].eager);
+    EXPECT_EQ(a.join_steps[i].overflow, b.join_steps[i].overflow);
+  }
+}
+
+TEST(QueryProfileJson, RoundTripsEveryField) {
+  const QueryProfile original = FullProfile();
+  const std::string json = QueryProfileToJson(original);
+  auto parsed = QueryProfileFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << json;
+  ExpectProfilesEqual(original, *parsed);
+}
+
+TEST(QueryProfileJson, DefaultProfileRoundTrips) {
+  const QueryProfile original;
+  auto parsed = QueryProfileFromJson(QueryProfileToJson(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectProfilesEqual(original, *parsed);
+}
+
+TEST(QueryProfileJson, UnknownKeysAreIgnored) {
+  auto parsed = QueryProfileFromJson(
+      "{\"query_id\": 7, \"future_field\": [1, {\"x\": true}], "
+      "\"status\": \"ok\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->query_id, 7u);
+}
+
+TEST(QueryProfileJson, MalformedInputIsTypedError) {
+  EXPECT_FALSE(QueryProfileFromJson("").ok());
+  EXPECT_FALSE(QueryProfileFromJson("{\"query_id\": }").ok());
+  EXPECT_FALSE(QueryProfileFromJson("[1,2,3]").ok());
+  EXPECT_FALSE(QueryProfileFromJson("{\"query_id\": 1").ok());
+}
+
+TEST(QueryProfileJson, EscapesStrings) {
+  QueryProfile profile;
+  profile.status = "weird \"quoted\"\nstatus\\";
+  auto parsed = QueryProfileFromJson(QueryProfileToJson(profile));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, profile.status);
+}
+
+TEST(StatusCodeLabelTest, SnakeCasesCodes) {
+  EXPECT_EQ(StatusCodeLabel(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeLabel(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(StatusCodeLabel(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(StatusCodeLabel(StatusCode::kInvalidArgument),
+            "invalid_argument");
+}
+
+TEST(ExportQueryLog, JsonlRoundTripsThroughParser) {
+  FlightRecorder recorder(/*capacity=*/8, /*slow_capacity=*/8);
+  recorder.Record(FullProfile());  // Failed: lands in ring AND slow log.
+  recorder.Record(MakeProfile(43));
+  const std::string jsonl = ExportQueryLogJsonl(recorder);
+
+  std::istringstream lines(jsonl);
+  std::string line;
+  size_t slow_lines = 0;
+  size_t ring_lines = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    auto parsed = QueryProfileFromJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << line;
+    if (line.find("\"capture\": \"slow\"") != std::string::npos) {
+      ++slow_lines;
+      ExpectProfilesEqual(FullProfile(), *parsed);
+    } else {
+      ASSERT_NE(line.find("\"capture\": \"ring\""), std::string::npos);
+      ++ring_lines;
+    }
+  }
+  EXPECT_EQ(slow_lines, 1u);   // The failed profile's slow capture.
+  EXPECT_EQ(ring_lines, 2u);   // Both profiles in the ring.
+}
+
+TEST(Calibration, PercentilesFromKnownRatios) {
+  // Stars with (estimate+1)/(actual+1) = 2.0 and joins with ratio 0.5.
+  std::vector<QueryProfile> profiles;
+  QueryProfile profile;
+  for (int i = 0; i < 4; ++i) {
+    StarProfile star;
+    star.rows = 9;
+    star.estimated_rows = 19.0;  // (19+1)/(9+1) = 2.
+    profile.stars.push_back(star);
+    JoinStepProfile step;
+    step.output_rows = 19;
+    step.estimated_rows = 9.0;  // (9+1)/(19+1) = 0.5.
+    profile.join_steps.push_back(step);
+  }
+  // Excluded samples: no estimate, truncated star, overflowed step.
+  StarProfile no_estimate;
+  no_estimate.rows = 5;
+  profile.stars.push_back(no_estimate);
+  StarProfile truncated;
+  truncated.rows = 1;
+  truncated.estimated_rows = 100.0;
+  truncated.truncated = true;
+  profile.stars.push_back(truncated);
+  JoinStepProfile overflowed;
+  overflowed.output_rows = 1;
+  overflowed.estimated_rows = 100.0;
+  overflowed.overflow = true;
+  profile.join_steps.push_back(overflowed);
+  profiles.push_back(profile);
+
+  const CostModelCalibration calibration =
+      SummarizeCostModelCalibration(profiles);
+  EXPECT_EQ(calibration.star_samples, 4u);
+  EXPECT_DOUBLE_EQ(calibration.star_ratio_p50, 2.0);
+  EXPECT_DOUBLE_EQ(calibration.star_ratio_p99, 2.0);
+  EXPECT_DOUBLE_EQ(calibration.star_mean_abs_log2, 1.0);
+  EXPECT_EQ(calibration.join_samples, 4u);
+  EXPECT_DOUBLE_EQ(calibration.join_ratio_p50, 0.5);
+  EXPECT_DOUBLE_EQ(calibration.join_mean_abs_log2, 1.0);
+}
+
+TEST(Calibration, EmptyInputIsZeroed) {
+  const CostModelCalibration calibration = SummarizeCostModelCalibration({});
+  EXPECT_EQ(calibration.star_samples, 0u);
+  EXPECT_EQ(calibration.join_samples, 0u);
+  EXPECT_EQ(calibration.star_ratio_p50, 0.0);
+}
+
+}  // namespace
+}  // namespace ppsm

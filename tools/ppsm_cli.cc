@@ -34,6 +34,7 @@
 #include "graph/graph_algos.h"
 #include "graph/text_io.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "query/pattern_parser.h"
 #include "util/table.h"
 
@@ -309,6 +310,11 @@ int Query(const Args& args) {
     table.AddRowValues("p95 ms (batch)", Table::Num(batch.summary.p95_ms, 3));
     table.AddRowValues("plan cache hits", batch.summary.plan_cache.hits);
     table.AddRowValues("plan cache misses", batch.summary.plan_cache.misses);
+    table.AddRowValues("channel messages", system->channel().num_messages());
+    table.AddRowValues("channel log dropped",
+                       system->channel().num_dropped_records());
+    table.AddRowValues("slow-query captures",
+                       FlightRecorder::Global().NumSlow());
     table.Print();
     return batch.summary.succeeded > 0 ? 0 : 1;
   }
@@ -330,10 +336,10 @@ int Query(const Args& args) {
     std::cout << "  ... (" << outcome->results.NumMatches() - show
               << " more)\n";
   }
-  std::cout << "cloud " << Table::Num(outcome->cloud.total_ms, 3)
-            << "ms | network " << Table::Num(outcome->network_ms, 3)
-            << "ms | client " << Table::Num(outcome->client.total_ms, 3)
-            << "ms\n";
+  std::cout << "query " << outcome->cloud.query_id << ": cloud "
+            << Table::Num(outcome->cloud.total_ms, 3) << "ms | network "
+            << Table::Num(outcome->network_ms, 3) << "ms | client "
+            << Table::Num(outcome->client.total_ms, 3) << "ms\n";
   return 0;
 }
 
@@ -357,7 +363,12 @@ int Usage() {
       "observability (any command):\n"
       "  --metrics-out FILE   flat JSON metrics dump\n"
       "  --metrics-prom FILE  Prometheus text metrics dump\n"
-      "  --trace-out FILE     Chrome trace-event JSON (chrome://tracing)\n";
+      "  --trace-out FILE     Chrome trace-event JSON (chrome://tracing)\n"
+      "  --query-log FILE     flight-recorder query log (JSONL, slow\n"
+      "                       captures first, then the recent ring)\n"
+      "  --slow-query-ms MS   latency threshold for slow-query capture\n"
+      "                       (failures/overflows are always captured)\n"
+      "  --flight-recorder-entries N  ring capacity (completed queries)\n";
   return 2;
 }
 
@@ -385,7 +396,27 @@ int DumpObservability(const Args& args) {
     if (!written.ok()) return Fail(written.ToString());
     std::cerr << "chrome trace written to " << trace_out << "\n";
   }
+  const std::string query_log = args.Get("query-log");
+  if (!query_log.empty()) {
+    const Status written = WriteStringToFile(
+        query_log, ExportQueryLogJsonl(FlightRecorder::Global()));
+    if (!written.ok()) return Fail(written.ToString());
+    std::cerr << "query log written to " << query_log << "\n";
+  }
   return 0;
+}
+
+/// Applies the flight-recorder flags before the command runs, so the
+/// captures reflect the requested thresholds from the first query on.
+void ConfigureFlightRecorder(const Args& args) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  if (args.Has("slow-query-ms")) {
+    recorder.SetSlowThresholdMs(args.GetDouble("slow-query-ms", 0.0));
+  }
+  if (args.Has("flight-recorder-entries")) {
+    recorder.SetCapacity(static_cast<size_t>(
+        std::max(1L, args.GetInt("flight-recorder-entries", 512))));
+  }
 }
 
 int Dispatch(const std::string& command, const Args& args) {
@@ -402,6 +433,7 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
   if (!args.error().empty()) return Fail(args.error());
+  ConfigureFlightRecorder(args);
   const int code = Dispatch(command, args);
   if (code != 0) return code;
   return DumpObservability(args);
