@@ -71,19 +71,21 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 25; ++i) {
     auto extracted = ExtractQuery(*graph, 8, rng);
     if (!extracted.ok()) continue;
-    auto eff = systems[0]->Query(extracted->query);
-    auto bas = systems[1]->Query(extracted->query);
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse eff = systems[0]->Execute(request);
+    const QueryResponse bas = systems[1]->Execute(request);
     if (!eff.ok() || !bas.ok()) continue;
-    if (!MatchSet::EquivalentUnordered(eff->results, bas->results)) {
+    if (!MatchSet::EquivalentUnordered(eff.matches, bas.matches)) {
       std::cerr << "BUG: EFF and BAS disagree on exact results!\n";
       return 1;
     }
-    cloud_ms[0] += eff->cloud.total_ms;
-    cloud_ms[1] += bas->cloud.total_ms;
-    bytes[0] += static_cast<double>(eff->response_bytes);
-    bytes[1] += static_cast<double>(bas->response_bytes);
-    results[0] += static_cast<double>(eff->results.NumMatches());
-    results[1] += static_cast<double>(bas->results.NumMatches());
+    cloud_ms[0] += eff.cloud.total_ms;
+    cloud_ms[1] += bas.cloud.total_ms;
+    bytes[0] += static_cast<double>(eff.response_bytes);
+    bytes[1] += static_cast<double>(bas.response_bytes);
+    results[0] += static_cast<double>(eff.matches.NumMatches());
+    results[1] += static_cast<double>(bas.matches.NumMatches());
     ++answered;
   }
   const double denom = answered > 0 ? static_cast<double>(answered) : 1.0;

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   auto request = restored->AnonymizeQueryToRequest(parsed->query);
-  auto answer = cloud->AnswerQuery(*request);
+  auto answer = cloud->Serve(*request);
   if (!answer.ok()) {
     std::cerr << answer.status() << "\n";
     return 1;

@@ -44,27 +44,29 @@ int main() {
   // Query: Q is anonymized to Qo (labels -> label groups), evaluated in the
   // cloud over Go via star decomposition + join, and the client filters the
   // returned Rin back to the exact answer R(Q,G).
-  auto outcome = system->Query(ex.query);
-  if (!outcome.ok()) {
-    std::cerr << "query failed: " << outcome.status() << "\n";
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse response = system->Execute(request);
+  if (!response.ok()) {
+    std::cerr << "query failed: " << response.status << "\n";
     return 1;
   }
 
   const char* vertex_names[] = {"Tom",    "Lucy",      "Alice", "David",
                                 "Google", "Microsoft", "UIUC",  "MIT"};
-  std::cout << "Cloud returned " << outcome->cloud.result_rows
+  std::cout << "Cloud returned " << response.cloud.result_rows
             << " candidate rows (Rin); client recovered "
-            << outcome->results.NumMatches() << " exact matches:\n";
-  for (size_t r = 0; r < outcome->results.NumMatches(); ++r) {
-    const auto match = outcome->results.Get(r);
+            << response.matches.NumMatches() << " exact matches:\n";
+  for (size_t r = 0; r < response.matches.NumMatches(); ++r) {
+    const auto match = response.matches.Get(r);
     std::cout << "  match " << r + 1 << ": ";
     for (size_t q = 0; q < match.size(); ++q) {
       std::cout << "q" << q + 1 << "->" << vertex_names[match[q]] << " ";
     }
     std::cout << "\n";
   }
-  std::cout << "\nTimings: cloud=" << outcome->cloud.total_ms
-            << "ms network=" << outcome->network_ms
-            << "ms client=" << outcome->client.total_ms << "ms\n";
+  std::cout << "\nTimings: cloud=" << response.cloud.total_ms
+            << "ms network=" << response.network_ms
+            << "ms client=" << response.client_ms << "ms\n";
   return 0;
 }

@@ -71,14 +71,16 @@ int main(int argc, char** argv) {
     bool exact = true;
     size_t answered = 0;
     for (const AttributedGraph& query : workload) {
-      auto outcome = system->Query(query);
-      if (!outcome.ok()) continue;
-      cloud_ms += outcome->cloud.total_ms;
-      client_ms += outcome->client.total_ms;
+      QueryRequest request;
+      request.pattern = query;
+      const QueryResponse response = system->Execute(request);
+      if (!response.ok()) continue;
+      cloud_ms += response.cloud.total_ms;
+      client_ms += response.client_ms;
       ++answered;
       // Verify exactness against the reference matcher on G.
       const MatchSet truth = FindSubgraphMatches(query, *graph);
-      if (!MatchSet::EquivalentUnordered(outcome->results, truth)) {
+      if (!MatchSet::EquivalentUnordered(response.matches, truth)) {
         exact = false;
       }
     }

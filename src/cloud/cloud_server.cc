@@ -111,26 +111,29 @@ Status MakeDeadlineExceeded(const char* phase) {
 }
 }  // namespace
 
-QueryProfile ToQueryProfile(const CloudQueryStats& stats) {
-  QueryProfile profile;
-  profile.query_id = stats.query_id;
-  profile.timed_out_phase = stats.timed_out_phase;
-  profile.queue_wait_ms = stats.queue_wait_ms;
-  profile.decomposition_ms = stats.decomposition_ms;
-  profile.star_matching_ms = stats.star_matching_ms;
-  profile.join_ms = stats.join_ms;
-  profile.cloud_ms = stats.total_ms;
-  profile.plan_cache_hit = stats.plan_cache_hit;
-  profile.overflowed = stats.overflowed;
-  profile.num_stars = stats.num_stars;
-  profile.rs_size = stats.rs_size;
-  profile.result_rows = stats.result_rows;
-  profile.peak_join_rows = stats.peak_join_rows;
-  profile.stars = stats.stars;
-  profile.join_steps = stats.join_steps;
-  return profile;
+ShardConfig ToShardConfig(const CloudConfig& config) {
+  ShardConfig shard;
+  shard.num_threads = config.num_threads;
+  shard.plan_cache_entries = config.plan_cache_entries;
+  return shard;
 }
 
+ClusterConfig ToClusterConfig(const CloudConfig& config) {
+  ClusterConfig cluster;
+  cluster.max_inflight = config.max_inflight;
+  cluster.query_deadline_ms = config.query_deadline_ms;
+  return cluster;
+}
+
+CloudConfig ToCloudConfig(const ShardConfig& shard,
+                          const ClusterConfig& cluster) {
+  CloudConfig config;
+  config.num_threads = shard.num_threads;
+  config.plan_cache_entries = shard.plan_cache_entries;
+  config.max_inflight = cluster.max_inflight;
+  config.query_deadline_ms = cluster.query_deadline_ms;
+  return config;
+}
 
 /// The decomposition memo: ILP plans keyed by canonical Qo signature. The
 /// only mutable state of a hosted server, guarded by `mu` so AnswerQuery
@@ -158,6 +161,23 @@ Result<CloudServer> CloudServer::Host(std::span<const uint8_t> package_bytes,
 
 Result<CloudServer> CloudServer::Host(UploadPackage package,
                                       const CloudConfig& config) {
+  return HostImpl(std::move(package), config, /*slice=*/false);
+}
+
+Result<CloudServer> CloudServer::HostSlice(UploadPackage package,
+                                           const ShardConfig& config) {
+  if (package.IsBaseline()) {
+    return Status::InvalidArgument("shard slices require the optimized shape");
+  }
+  CloudConfig flat;
+  flat.num_threads = config.num_threads;
+  flat.plan_cache_entries = config.plan_cache_entries;
+  return HostImpl(std::move(package), flat, /*slice=*/true);
+}
+
+Result<CloudServer> CloudServer::HostImpl(UploadPackage package,
+                                          const CloudConfig& config,
+                                          bool slice) {
   CloudServer server;
   server.config_ = config;
   if (server.config_.num_threads == 0) server.config_.num_threads = 1;
@@ -189,7 +209,10 @@ Result<CloudServer> CloudServer::Host(UploadPackage package,
     if (package.avt->k() != package.k) {
       return Status::InvalidArgument("AVT k disagrees with package k");
     }
-    if (package.go->num_b1 != package.avt->num_rows()) {
+    // A shard slice hosts only its part of B1, so its prefix is smaller
+    // than the AVT; the full package must cover every AVT row exactly.
+    if (slice ? package.go->num_b1 > package.avt->num_rows()
+              : package.go->num_b1 != package.avt->num_rows()) {
       return Status::InvalidArgument("Go block size disagrees with AVT rows");
     }
     for (const VertexId gk_id : package.go->to_gk) {
@@ -233,26 +256,33 @@ PlanCacheStats CloudServer::plan_cache_stats() const {
   return stats;
 }
 
-Result<CloudServer::Answer> CloudServer::AnswerQuery(
+Result<WireAnswer> CloudServer::AnswerQuery(
     std::span<const uint8_t> qo_bytes) const {
   const auto deadline =
       config_.query_deadline_ms == 0
           ? SteadyClock::time_point::max()
           : SteadyClock::now() +
                 std::chrono::milliseconds(config_.query_deadline_ms);
-  return AnswerQuery(qo_bytes, deadline);
+  QueryContext ctx;
+  ctx.deadline = deadline;
+  return Serve(qo_bytes, ctx);
 }
 
-Result<CloudServer::Answer> CloudServer::AnswerQuery(
+Result<WireAnswer> CloudServer::AnswerQuery(
     std::span<const uint8_t> qo_bytes,
     SteadyClock::time_point deadline) const {
   QueryContext ctx;
   ctx.deadline = deadline;
-  return AnswerQuery(qo_bytes, ctx);
+  return Serve(qo_bytes, ctx);
 }
 
-Result<CloudServer::Answer> CloudServer::AnswerQuery(
+Result<WireAnswer> CloudServer::AnswerQuery(
     std::span<const uint8_t> qo_bytes, const QueryContext& ctx) const {
+  return Serve(qo_bytes, ctx);
+}
+
+Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
+                                      const QueryContext& ctx) const {
   // Per-query stats, filled as the phases run and published to ctx.stats on
   // EVERY return path — failure included — via this scope guard. The
   // Result<Answer> cannot carry stats on an error, and the failed queries

@@ -14,14 +14,15 @@
 #include "match/index.h"
 #include "match/statistics.h"
 #include "obs/query_profile.h"
+#include "query/query_api.h"
 #include "util/status.h"
 
 namespace ppsm {
 
-/// Serving-side configuration, fixed at Host() time. Replaces the old
-/// mutable SetNumThreads setter so a hosted server is immutable and every
-/// AnswerQuery is safe to run concurrently.
-struct CloudConfig {
+/// Per-shard serving knobs: what one CloudServer (one slice of the hosted
+/// graph) needs to evaluate its share of a query. Deployment-scoped knobs
+/// (shard count, admission, deadlines) live in ClusterConfig.
+struct ShardConfig {
   /// Worker threads for the star-matching phase of one query (paper §4.2.1:
   /// stars are independent). Drawn from the shared ThreadPool; 0 clamps
   /// to 1 (serial).
@@ -29,6 +30,17 @@ struct CloudConfig {
   /// Capacity of the decomposition plan cache (LRU over canonical Qo
   /// signatures; see match/decomposition.h QoSignature). 0 disables caching.
   size_t plan_cache_entries = 128;
+};
+
+/// Deployment-scoped serving knobs: how many shards host the graph and how
+/// the fronting QueryService admits traffic.
+struct ClusterConfig {
+  /// Number of CloudServer shards hosting slices of Go. 1 = the classic
+  /// unsharded deployment (0 clamps to 1).
+  uint32_t num_shards = 1;
+  /// Index of the shard this config addresses in a multi-process deployment;
+  /// the single-process CloudCluster hosts all shards itself and ignores it.
+  uint32_t shard = 0;
   /// QueryService admission bound: queries executing simultaneously. Further
   /// arrivals wait in a queue bounded at 2 * max_inflight, beyond which they
   /// are refused with ResourceExhausted. Must be >= 1 (0 clamps to 1).
@@ -36,70 +48,27 @@ struct CloudConfig {
   /// Per-query wall-clock budget, measured from admission (queue wait
   /// included). Expiry surfaces as Status::DeadlineExceeded. 0 = no deadline.
   uint64_t query_deadline_ms = 0;
+  /// Seed of the partitioner run that assigns B1 vertices to shards
+  /// (deterministic: same seed, same assignment). Ignored when num_shards=1.
+  uint64_t partition_seed = 7;
 };
 
-/// Timing/size breakdown of one query evaluation in the cloud (the columns
-/// of the paper's Figs. 18, 19, 22), plus the per-phase observability the
-/// flight recorder files (DESIGN.md "Query observability"). Filled on
-/// FAILED queries too via QueryContext::stats — a DeadlineExceeded reply
-/// still reports the phases that ran and where the clock expired.
-struct CloudQueryStats {
-  /// Stable id minted at admission (or by AnswerQuery itself for direct
-  /// calls); never 0 on a reply. Joins the reply to span args and the
-  /// flight-recorder record.
-  uint64_t query_id = 0;
-  /// Admission-queue wait, as reported by the QueryService (0 for direct
-  /// AnswerQuery calls).
-  double queue_wait_ms = 0.0;
-  double decomposition_ms = 0.0;
-  double star_matching_ms = 0.0;
-  double join_ms = 0.0;
-  double total_ms = 0.0;
-  size_t num_stars = 0;
-  /// |RS| = total star matches across the decomposition (paper Fig. 19).
-  size_t rs_size = 0;
-  /// Rows returned (|Rin| for the optimized path, |R(Qo,Gk)| for BAS).
-  size_t result_rows = 0;
-  /// Peak intermediate row count across join steps.
-  size_t peak_join_rows = 0;
-  /// True when the decomposition came out of the plan cache (ILP skipped).
-  bool plan_cache_hit = false;
-  /// True when the per-phase row cap fired (star matching or a join step);
-  /// the query then failed with ResourceExhausted.
-  bool overflowed = false;
-  /// Phase name at which the deadline fired ("on admission", "after
-  /// decomposition", ...); empty when the query did not time out.
-  std::string timed_out_phase;
-  /// Per-star candidate/row counts with the §5.1 estimates (the cost-model
-  /// calibration inputs). Filled once star matching ran.
-  std::vector<StarProfile> stars;
-  /// Per-join-step estimated-vs-actual trace (JoinDiagnostics::steps).
-  std::vector<JoinStepProfile> join_steps;
+/// Legacy flat view of (ShardConfig x ClusterConfig), kept so existing
+/// tests/benches compile unchanged: the pre-cluster single-server world
+/// needed no distinction between per-shard and deployment knobs. Convert
+/// with ToShardConfig/ToClusterConfig/ToCloudConfig.
+struct CloudConfig {
+  size_t num_threads = 1;        // -> ShardConfig::num_threads.
+  size_t plan_cache_entries = 128;  // -> ShardConfig::plan_cache_entries.
+  size_t max_inflight = 16;      // -> ClusterConfig::max_inflight.
+  uint64_t query_deadline_ms = 0;  // -> ClusterConfig::query_deadline_ms.
 };
 
-/// Lifts a reply's stats into the flight-recorder record. Status, byte
-/// counts, and the post-cloud times (network/client/total) are the caller's
-/// to fill — the cloud cannot know them.
-QueryProfile ToQueryProfile(const CloudQueryStats& stats);
-
-/// Query-scoped context threaded from admission (QueryService) through
-/// AnswerQuery. Everything is optional: a default-constructed context means
-/// "direct call, no admission metadata" — AnswerQuery then mints its own
-/// query id and the deadline check is disabled.
-struct QueryContext {
-  /// Id minted at admission; 0 = AnswerQuery mints one itself.
-  uint64_t query_id = 0;
-  /// Time spent in the admission queue, copied into the reply stats.
-  double queue_wait_ms = 0.0;
-  /// Absolute evaluation deadline; time_point::max() disables the check.
-  std::chrono::steady_clock::time_point deadline =
-      std::chrono::steady_clock::time_point::max();
-  /// When non-null, receives the query's CloudQueryStats on EVERY return
-  /// path — success and failure alike. Result<Answer> cannot carry stats on
-  /// an error, and the failed queries are exactly the ones the flight
-  /// recorder must capture with their partial phase accounting.
-  CloudQueryStats* stats = nullptr;
-};
+/// Converters between the legacy flat config and the split pair.
+ShardConfig ToShardConfig(const CloudConfig& config);
+ClusterConfig ToClusterConfig(const CloudConfig& config);
+CloudConfig ToCloudConfig(const ShardConfig& shard,
+                          const ClusterConfig& cluster);
 
 /// Point-in-time plan-cache accounting for one server (the global
 /// ppsm_cloud_plan_cache_* metrics aggregate across servers).
@@ -119,14 +88,14 @@ struct PlanCacheStats {
 /// functions and returns Rin; the baseline path hosts all of Gk, joins
 /// without expansion, and returns R(Qo,Gk).
 ///
-/// Thread-safety: a hosted server is immutable — AnswerQuery is const and
-/// any number of threads may call it concurrently (the plan cache is the
-/// only shared mutable state and sits behind its own mutex). Concurrent
+/// Thread-safety: a hosted server is immutable — Serve is const and any
+/// number of threads may call it concurrently (the plan cache is the only
+/// shared mutable state and sits behind its own mutex). Concurrent
 /// admission control and batching live in cloud/query_service.h.
-class CloudServer {
+class CloudServer : public QueryHandler {
  public:
   // Movable, not copyable. Out-of-line because PlanCache is incomplete here.
-  ~CloudServer();
+  ~CloudServer() override;
   CloudServer(CloudServer&&) noexcept;
   CloudServer& operator=(CloudServer&&) noexcept;
 
@@ -136,26 +105,35 @@ class CloudServer {
   /// Same, from an in-memory package (tests).
   static Result<CloudServer> Host(UploadPackage package,
                                   const CloudConfig& config = {});
+  /// Hosts one shard's slice of Go (ShardUpload::package). The slice's B1
+  /// prefix is smaller than the full AVT, so the full-package consistency
+  /// check num_b1 == avt.num_rows is relaxed to num_b1 <= avt.num_rows;
+  /// everything else (index build, query evaluation) is the regular path.
+  static Result<CloudServer> HostSlice(UploadPackage package,
+                                       const ShardConfig& config);
 
-  /// Evaluates a serialized Qo. `response_payload` is the serialized match
-  /// set that would travel back to the client.
-  struct Answer {
-    std::vector<uint8_t> response_payload;
-    CloudQueryStats stats;
-  };
-  /// Thread-safe; applies config().query_deadline_ms from call entry.
-  Result<Answer> AnswerQuery(std::span<const uint8_t> qo_bytes) const;
-  /// Same with an explicit absolute deadline (steady clock). The deadline is
-  /// checked between phases and per star, so an expired query stops within
-  /// one star-match of the expiry instead of running to completion.
-  /// time_point::max() disables the check.
-  Result<Answer> AnswerQuery(
+  /// Legacy alias for the wire-level reply (now query/query_api.h).
+  using Answer = WireAnswer;
+
+  /// The one query entry point (QueryHandler): evaluates a serialized Qo
+  /// under the given context. ctx.stats, when set, is filled on every
+  /// return path — failure included.
+  Result<WireAnswer> Serve(std::span<const uint8_t> qo_bytes,
+                           const QueryContext& ctx = {}) const override;
+  ServiceLimits limits() const override {
+    return {config_.max_inflight, config_.query_deadline_ms};
+  }
+
+  /// Legacy entry points, collapsed onto Serve().
+  [[deprecated("use Serve(qo_bytes) — one entry point for all callers")]]
+  Result<WireAnswer> AnswerQuery(std::span<const uint8_t> qo_bytes) const;
+  [[deprecated("use Serve(qo_bytes, ctx) with QueryContext::deadline")]]
+  Result<WireAnswer> AnswerQuery(
       std::span<const uint8_t> qo_bytes,
       std::chrono::steady_clock::time_point deadline) const;
-  /// Full-context variant: admission metadata in, per-phase stats out on
-  /// every return path (ctx.stats, when set, is filled even on failure).
-  Result<Answer> AnswerQuery(std::span<const uint8_t> qo_bytes,
-                             const QueryContext& ctx) const;
+  [[deprecated("use Serve(qo_bytes, ctx)")]]
+  Result<WireAnswer> AnswerQuery(std::span<const uint8_t> qo_bytes,
+                                 const QueryContext& ctx) const;
 
   const CloudConfig& config() const { return config_; }
   /// Star-matching workers per query (config().num_threads, clamped >= 1).
@@ -173,11 +151,21 @@ class CloudServer {
   /// Number of edges stored in the hosted graph (|E(Go)| or |E(Gk)|).
   size_t HostedEdges() const { return data_.NumEdges(); }
   const GkStatistics& statistics() const { return stats_; }
+  /// Read access for the cluster coordinator (shard-local planning + the
+  /// slice-to-global row translation run outside this server).
+  const AttributedGraph& data() const { return data_; }
+  const CloudIndex& index() const { return index_; }
+  const Avt& avt() const { return avt_; }
+  const std::vector<VertexId>& to_gk() const { return to_gk_; }
 
  private:
   struct PlanCache;  // Mutex + LRU, behind a pointer so the server moves.
 
   CloudServer() = default;
+
+  static Result<CloudServer> HostImpl(UploadPackage package,
+                                      const CloudConfig& config,
+                                      bool slice);
 
   bool baseline_ = false;
   AttributedGraph data_;           // Go (compact ids) or Gk.

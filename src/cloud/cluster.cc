@@ -1,0 +1,597 @@
+#include "cloud/cluster.h"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "cloud/shard_exchange.h"
+#include "match/decomposition.h"
+#include "match/result_join.h"
+#include "match/star_matcher.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/lru_cache.h"
+#include "util/timer.h"
+
+namespace ppsm {
+
+namespace {
+
+/// Per-phase intermediate-row budget, same value as the unsharded server's
+/// (cloud_server.cc kMaxRows). Each shard enforces it locally during star
+/// matching; the coordinator re-checks the merged totals so the sharded
+/// refusal boundary coincides with the unsharded one: a star that would
+/// truncate on one server either truncates on some shard or overflows the
+/// merged stream here.
+constexpr size_t kMaxRows = 2'000'000;
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct ClusterMetrics {
+  MetricsRegistry::Counter queries;
+  MetricsRegistry::Counter exchanged_bytes;
+  MetricsRegistry::Counter deadline_exceeded;
+  MetricsRegistry::Histogram exchange_ms;
+  MetricsRegistry::Histogram shard_rows;
+  MetricsRegistry::Gauge shards;
+
+  static const ClusterMetrics& Get() {
+    static const ClusterMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      ClusterMetrics metrics;
+      metrics.queries = r.counter("ppsm_cluster_queries_total",
+                                  "Queries answered by a sharded cluster");
+      metrics.exchanged_bytes =
+          r.counter("ppsm_cluster_exchanged_bytes_total",
+                    "Star-row bytes shipped shard -> coordinator");
+      metrics.deadline_exceeded =
+          r.counter("ppsm_cluster_deadline_exceeded_total",
+                    "Cluster queries abandoned at their deadline");
+      metrics.exchange_ms =
+          r.histogram("ppsm_cluster_exchange_ms", DefaultLatencyBucketsMs(),
+                      "Per-shard exchange transfer time");
+      metrics.shard_rows =
+          r.histogram("ppsm_cluster_shard_rows", DefaultCountBuckets(),
+                      "Un-expanded rows contributed per shard per query");
+      metrics.shards =
+          r.gauge("ppsm_cluster_shards", "Shards of the last hosted cluster");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+Status MakeDeadlineExceeded(const char* phase) {
+  ClusterMetrics::Get().deadline_exceeded.Increment();
+  return Status::DeadlineExceeded(std::string("query deadline exceeded (") +
+                                  phase + ")");
+}
+
+}  // namespace
+
+Result<ShardingPlan> BuildShardUploads(const UploadPackage& package,
+                                       uint32_t num_shards, uint64_t seed) {
+  if (package.IsBaseline()) {
+    return Status::InvalidArgument(
+        "sharding requires the optimized upload shape");
+  }
+  if (!package.go.has_value() || !package.avt.has_value()) {
+    return Status::InvalidArgument("optimized upload lacks Go or AVT");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const OutsourcedGraph& go = *package.go;
+  const size_t num_b1 = go.num_b1;
+  const size_t num_vertices = go.graph.NumVertices();
+  if (num_b1 == 0) {
+    return Status::InvalidArgument("cannot shard an empty B1 block");
+  }
+
+  // Partition the B1-induced subgraph only: N1 halo vertices follow their
+  // B1 neighbors into whichever slices need them, so assigning them own
+  // parts would just distort the balance objective.
+  GraphBuilder b1_builder;
+  b1_builder.ReserveVertices(num_b1);
+  for (VertexId v = 0; v < num_b1; ++v) {
+    b1_builder.AddVertex(
+        std::vector<VertexTypeId>(go.graph.Types(v).begin(),
+                                  go.graph.Types(v).end()),
+        std::vector<LabelId>(go.graph.Labels(v).begin(),
+                             go.graph.Labels(v).end()));
+  }
+  go.graph.ForEachEdge([&](VertexId u, VertexId v) {
+    if (v < num_b1) b1_builder.AddEdgeUnchecked(u, v);  // u < v always.
+  });
+  PPSM_ASSIGN_OR_RETURN(const AttributedGraph b1_graph, b1_builder.Build());
+
+  PartitionOptions part_options;
+  part_options.num_parts = num_shards;
+  part_options.seed = seed;
+  ShardingPlan plan;
+  PPSM_ASSIGN_OR_RETURN(plan.partitioning,
+                        PartitionGraph(b1_graph, part_options));
+  const std::vector<uint32_t>& part = plan.partitioning.part;
+
+  // Global statistics, computed once and replicated: every shard must plan
+  // against the SAME distribution (a slice's B1 subset is a biased sample).
+  const GkStatistics stats = ComputeGkStatistics(
+      go, package.num_types,
+      std::vector<VertexTypeId>(package.type_of_group));
+
+  plan.shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    // Slice vertex set: owned B1 vertices plus their one-hop halo, in
+    // ascending global id order — so slice-local ids are monotone in global
+    // ids (adjacency order preserved) and the slice's B1 vertices form a
+    // local prefix (B1 globals precede N1 globals by Go's layout).
+    std::vector<uint8_t> in_slice(num_vertices, 0);
+    for (VertexId v = 0; v < num_b1; ++v) {
+      if (part[v] != s) continue;
+      in_slice[v] = 1;
+      for (const VertexId n : go.graph.Neighbors(v)) in_slice[n] = 1;
+    }
+    ShardUpload upload;
+    upload.shard = s;
+    upload.num_shards = num_shards;
+    upload.global_vertices = num_vertices;
+    upload.global_b1 = num_b1;
+    std::vector<VertexId> to_local(num_vertices, kInvalidVertex);
+    for (VertexId g = 0; g < num_vertices; ++g) {
+      if (!in_slice[g]) continue;
+      to_local[g] = static_cast<VertexId>(upload.to_global.size());
+      upload.to_global.push_back(g);
+    }
+
+    GraphBuilder slice_builder;
+    slice_builder.ReserveVertices(upload.to_global.size());
+    OutsourcedGraph slice;
+    slice.k = package.k;
+    for (const VertexId g : upload.to_global) {
+      slice_builder.AddVertex(
+          std::vector<VertexTypeId>(go.graph.Types(g).begin(),
+                                    go.graph.Types(g).end()),
+          std::vector<LabelId>(go.graph.Labels(g).begin(),
+                               go.graph.Labels(g).end()));
+      slice.to_gk.push_back(go.to_gk[g]);
+      const bool owned = g < num_b1 && part[g] == s;
+      upload.owned.push_back(owned ? 1 : 0);
+      if (g < num_b1) ++slice.num_b1;
+    }
+    // Slice edges: every Go edge with at least one OWNED endpoint (both
+    // endpoints are then in the slice by construction). Canonical rule —
+    // emit from the smaller owned endpoint — adds each edge exactly once.
+    for (VertexId u = 0; u < num_b1; ++u) {
+      if (part[u] != s) continue;
+      for (const VertexId v : go.graph.Neighbors(u)) {
+        const bool v_owned = v < num_b1 && part[v] == s;
+        if (v_owned && v < u) continue;  // Emitted from v's side.
+        slice_builder.AddEdgeUnchecked(to_local[u], to_local[v]);
+      }
+    }
+    PPSM_ASSIGN_OR_RETURN(slice.graph, slice_builder.Build());
+
+    upload.package.k = package.k;
+    upload.package.num_types = package.num_types;
+    upload.package.type_of_group = package.type_of_group;
+    upload.package.go = std::move(slice);
+    upload.package.avt = *package.avt;  // Full table on every shard.
+    upload.stats = stats;
+    plan.shards.push_back(std::move(upload));
+  }
+  return plan;
+}
+
+/// Coordinator-side plan memo, same shape as CloudServer::PlanCache.
+struct CloudCluster::PlanCache {
+  explicit PlanCache(size_t capacity) : plans(capacity) {}
+
+  std::mutex mu;
+  LruCache<std::string, StarDecomposition> plans;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+CloudCluster::~CloudCluster() = default;
+CloudCluster::CloudCluster(CloudCluster&&) noexcept = default;
+CloudCluster& CloudCluster::operator=(CloudCluster&&) noexcept = default;
+
+Result<CloudCluster> CloudCluster::Host(
+    std::span<const uint8_t> package_bytes, const ClusterConfig& config,
+    const ShardConfig& shard_config, const ChannelConfig& channel_config) {
+  PPSM_ASSIGN_OR_RETURN(UploadPackage package,
+                        UploadPackage::Deserialize(package_bytes));
+  return Host(std::move(package), config, shard_config, channel_config);
+}
+
+Result<CloudCluster> CloudCluster::Host(UploadPackage package,
+                                        const ClusterConfig& config,
+                                        const ShardConfig& shard_config,
+                                        const ChannelConfig& channel_config) {
+  const uint32_t num_shards = std::max<uint32_t>(config.num_shards, 1);
+  PPSM_ASSIGN_OR_RETURN(
+      ShardingPlan plan,
+      BuildShardUploads(package, num_shards, config.partition_seed));
+  return HostShards(std::move(plan.shards), config, shard_config,
+                    channel_config);
+}
+
+Result<CloudCluster> CloudCluster::HostShards(
+    std::vector<ShardUpload> shard_uploads, const ClusterConfig& config,
+    const ShardConfig& shard_config, const ChannelConfig& channel_config) {
+  if (shard_uploads.empty()) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  const uint32_t num_shards = static_cast<uint32_t>(shard_uploads.size());
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const ShardUpload& upload = shard_uploads[s];
+    if (upload.shard != s || upload.num_shards != num_shards) {
+      return Status::InvalidArgument("shard uploads out of order");
+    }
+    if (upload.package.IsBaseline() || !upload.package.go.has_value() ||
+        !upload.package.avt.has_value()) {
+      return Status::InvalidArgument("shard upload is not a slice package");
+    }
+    if (upload.global_vertices != shard_uploads[0].global_vertices ||
+        upload.global_b1 != shard_uploads[0].global_b1 ||
+        upload.package.k != shard_uploads[0].package.k) {
+      return Status::InvalidArgument("shard uploads disagree on the graph");
+    }
+    if (upload.to_global.size() != upload.package.go->graph.NumVertices() ||
+        upload.owned.size() != upload.to_global.size()) {
+      return Status::InvalidArgument("shard id maps disagree with the slice");
+    }
+  }
+
+  CloudCluster cluster;
+  cluster.config_ = config;
+  cluster.shard_config_ = shard_config;
+  cluster.config_.num_shards = num_shards;
+  if (cluster.config_.max_inflight == 0) cluster.config_.max_inflight = 1;
+  cluster.global_vertices_ = shard_uploads[0].global_vertices;
+  cluster.global_b1_ = shard_uploads[0].global_b1;
+  cluster.avt_ = *shard_uploads[0].package.avt;
+  cluster.stats_ = shard_uploads[0].stats;
+  if (shard_config.plan_cache_entries > 0) {
+    cluster.plan_cache_ =
+        std::make_unique<PlanCache>(shard_config.plan_cache_entries);
+  }
+
+  // Reassemble the global id maps from the slices, validating that halo
+  // overlaps agree and that ownership covers every B1 vertex exactly once.
+  cluster.to_gk_.assign(cluster.global_vertices_, kInvalidVertex);
+  cluster.go_degree_.assign(cluster.global_b1_, SIZE_MAX);
+  for (const ShardUpload& upload : shard_uploads) {
+    const OutsourcedGraph& slice = *upload.package.go;
+    for (size_t l = 0; l < upload.to_global.size(); ++l) {
+      const VertexId g = upload.to_global[l];
+      if (g >= cluster.global_vertices_) {
+        return Status::InvalidArgument("shard id map out of range");
+      }
+      if (cluster.to_gk_[g] != kInvalidVertex &&
+          cluster.to_gk_[g] != slice.to_gk[l]) {
+        return Status::InvalidArgument("shards disagree on a Gk id");
+      }
+      cluster.to_gk_[g] = slice.to_gk[l];
+      if (upload.owned[l] != 0) {
+        if (g >= cluster.global_b1_) {
+          return Status::InvalidArgument("owned vertex outside B1");
+        }
+        if (cluster.go_degree_[g] != SIZE_MAX) {
+          return Status::InvalidArgument("B1 vertex owned by two shards");
+        }
+        cluster.go_degree_[g] = slice.graph.Degree(
+            static_cast<VertexId>(l));
+      }
+    }
+  }
+  for (VertexId g = 0; g < cluster.global_b1_; ++g) {
+    if (cluster.go_degree_[g] == SIZE_MAX) {
+      return Status::InvalidArgument("B1 vertex owned by no shard");
+    }
+  }
+  // N1 vertices of the unsharded Go all neighbor some B1 vertex, so every
+  // global id referenced by any slice is covered; ids no slice mentions
+  // (possible only for N1 vertices that neighbor no owned vertex — which
+  // cannot happen, as ownership covers B1) would be caught at query time.
+
+  cluster.shards_.reserve(num_shards);
+  cluster.channels_.reserve(num_shards);
+  cluster.to_global_.reserve(num_shards);
+  cluster.owned_.reserve(num_shards);
+  for (ShardUpload& upload : shard_uploads) {
+    cluster.to_global_.push_back(std::move(upload.to_global));
+    cluster.owned_.push_back(std::move(upload.owned));
+    PPSM_ASSIGN_OR_RETURN(SimulatedChannel channel,
+                          SimulatedChannel::Create(channel_config));
+    cluster.channels_.push_back(std::move(channel));
+    PPSM_ASSIGN_OR_RETURN(
+        CloudServer server,
+        CloudServer::HostSlice(std::move(upload.package), shard_config));
+    cluster.shards_.push_back(std::move(server));
+  }
+  ClusterMetrics::Get().shards.Set(static_cast<double>(num_shards));
+  return cluster;
+}
+
+PlanCacheStats CloudCluster::plan_cache_stats() const {
+  PlanCacheStats stats;
+  if (plan_cache_ == nullptr) return stats;
+  std::lock_guard<std::mutex> lock(plan_cache_->mu);
+  stats.hits = plan_cache_->hits;
+  stats.misses = plan_cache_->misses;
+  stats.entries = plan_cache_->plans.size();
+  stats.capacity = plan_cache_->plans.capacity();
+  return stats;
+}
+
+size_t CloudCluster::ExchangedBytes() const {
+  size_t total = 0;
+  for (size_t s = 1; s < channels_.size(); ++s) {
+    total += channels_[s].total_bytes();
+  }
+  return total;
+}
+
+Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
+                                       const QueryContext& ctx) const {
+  CloudQueryStats stats;
+  stats.query_id =
+      ctx.query_id != 0 ? ctx.query_id : FlightRecorder::NextQueryId();
+  stats.queue_wait_ms = ctx.queue_wait_ms;
+  struct StatsPublisher {
+    CloudQueryStats* from;
+    CloudQueryStats* to;
+    ~StatsPublisher() {
+      if (to != nullptr) *to = *from;
+    }
+  } publisher{&stats, ctx.stats};
+
+  WallTimer total_timer;
+  const SteadyClock::time_point deadline = ctx.deadline;
+  const bool has_deadline = deadline != SteadyClock::time_point::max();
+  const auto timeout = [&](const char* phase) {
+    stats.timed_out_phase = phase;
+    stats.total_ms = total_timer.ElapsedMillis();
+    return MakeDeadlineExceeded(phase);
+  };
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return timeout("on admission");
+  }
+  PPSM_ASSIGN_OR_RETURN(const AttributedGraph qo,
+                        DeserializeQueryRequest(qo_bytes));
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("empty query");
+  }
+
+  WireAnswer answer;
+  TraceSpan query_span(Tracer::Global(), "cluster.answer_query", "query");
+  query_span.AddArg("query_id", stats.query_id);
+  query_span.AddArg("num_shards", static_cast<uint64_t>(shards_.size()));
+  const ClusterMetrics& metrics = ClusterMetrics::Get();
+
+  // Phase 1: GLOBAL decomposition on the coordinator. Each shard shortlists
+  // its owned candidates (their slice verdicts equal the global ones — an
+  // owned vertex's adjacency is complete in its slice); the coordinator
+  // merges the disjoint lists into ascending global order and evaluates the
+  // candidate-aware estimator itself, reproducing the unsharded cost sums
+  // bit for bit. All shards then match the SAME stars.
+  WallTimer phase_timer;
+  std::optional<StarDecomposition> cached;
+  std::string signature;
+  if (plan_cache_ != nullptr) {
+    signature = QoSignature(qo);
+    std::lock_guard<std::mutex> lock(plan_cache_->mu);
+    cached = plan_cache_->plans.Get(signature);
+    if (cached.has_value()) {
+      ++plan_cache_->hits;
+    } else {
+      ++plan_cache_->misses;
+    }
+  }
+  StarDecomposition decomposition;
+  if (cached.has_value()) {
+    decomposition = *std::move(cached);
+    stats.plan_cache_hit = true;
+  } else {
+    Result<StarDecomposition> decomposition_or = [&] {
+      PPSM_TRACE_SPAN_CAT("cluster.decompose", "query");
+      std::vector<double> costs;
+      costs.reserve(qo.NumVertices());
+      std::vector<VertexId> merged;
+      std::vector<size_t> degrees;
+      for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+        merged.clear();
+        for (size_t s = 0; s < shards_.size(); ++s) {
+          const std::vector<VertexId> local =
+              shards_[s].index().CandidateCenters(qo, v);
+          for (const VertexId l : local) {
+            if (owned_[s][l] != 0) merged.push_back(to_global_[s][l]);
+          }
+        }
+        std::sort(merged.begin(), merged.end());
+        degrees.clear();
+        degrees.reserve(merged.size());
+        for (const VertexId g : merged) degrees.push_back(go_degree_[g]);
+        costs.push_back(EstimateStarCardinalityForCandidates(
+            stats_, qo, v, merged, degrees));
+      }
+      return DecomposeQueryWithCosts(qo, std::move(costs));
+    }();
+    PPSM_ASSIGN_OR_RETURN(decomposition, std::move(decomposition_or));
+    if (plan_cache_ != nullptr) {
+      std::lock_guard<std::mutex> lock(plan_cache_->mu);
+      plan_cache_->plans.Put(std::move(signature), decomposition);
+    }
+  }
+  stats.decomposition_ms = phase_timer.ElapsedMillis();
+  stats.num_stars = decomposition.centers.size();
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return timeout("after decomposition");
+  }
+
+  // Phase 2: shard-local star matching. Every shard matches the same stars
+  // over its slice, restricted to its owned candidate centers; rows come
+  // back in slice-local ids and are translated to global Go-local ids here
+  // (NOT to Gk yet — the merge must run in the monotone global id space;
+  // to_gk follows AVT row order and is not monotone).
+  phase_timer.Restart();
+  std::vector<std::vector<StarMatches>> shard_rows(shards_.size());
+  stats.shards.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    WallTimer shard_timer;
+    StarMatchOptions star_options;
+    star_options.max_rows = kMaxRows;
+    star_options.num_threads = shard_config_.num_threads;
+    if (has_deadline) {
+      star_options.cancelled = [deadline] {
+        return SteadyClock::now() >= deadline;
+      };
+    }
+    const std::vector<uint8_t>& owned = owned_[s];
+    star_options.candidate_filter = [&owned](VertexId v) {
+      return owned[v] != 0;
+    };
+    shard_rows[s] = [&] {
+      TraceSpan span(Tracer::Global(), "cluster.shard_match", "query");
+      span.AddArg("query_id", stats.query_id);
+      span.AddArg("shard", static_cast<uint64_t>(s));
+      return MatchStars(shards_[s].data(), shards_[s].index(), qo,
+                        decomposition.centers, star_options);
+    }();
+    const std::vector<VertexId>& to_global = to_global_[s];
+    ShardProfile& profile = stats.shards[s];
+    profile.shard = static_cast<uint32_t>(s);
+    for (StarMatches& star : shard_rows[s]) {
+      MatchSet translated(star.matches.arity());
+      translated.ReserveAdditional(star.matches.NumMatches());
+      std::vector<VertexId> row(star.matches.arity());
+      for (size_t r = 0; r < star.matches.NumMatches(); ++r) {
+        const auto local = star.matches.Get(r);
+        for (size_t i = 0; i < local.size(); ++i) {
+          row[i] = to_global[local[i]];
+        }
+        translated.Append(row);
+      }
+      star.matches = std::move(translated);
+      profile.candidates += star.num_candidates;
+      profile.rows += star.matches.NumMatches();
+    }
+    profile.match_ms = shard_timer.ElapsedMillis();
+    metrics.shard_rows.Observe(static_cast<double>(profile.rows));
+  }
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return timeout("during star matching");
+  }
+
+  // Phase 2b: BSP exchange — every shard but the coordinator-colocated
+  // shard 0 ships its un-expanded rows over its simulated link. The bytes
+  // go through the real wire codec both ways; by the probe-join design the
+  // payload is independent of k.
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    ExchangeStats exchange;
+    Result<std::vector<StarMatches>> shipped_or = [&] {
+      PPSM_TRACE_SPAN_CAT("cluster.exchange", "query");
+      return ShipStarRows(shard_rows[s], channels_[s],
+                          "shard " + std::to_string(s) + " star rows",
+                          &exchange);
+    }();
+    PPSM_ASSIGN_OR_RETURN(shard_rows[s], std::move(shipped_or));
+    stats.shards[s].exchange_ms = exchange.transfer_ms;
+    stats.shards[s].exchanged_bytes = exchange.bytes;
+    metrics.exchanged_bytes.Increment(exchange.bytes);
+    metrics.exchange_ms.Observe(exchange.transfer_ms);
+  }
+
+  // Phase 2c: k-way merge back into the global enumeration order, then the
+  // merged-total row cap (the unsharded refusal boundary).
+  Result<std::vector<StarMatches>> merged_or =
+      MergeShardStarMatches(shard_rows);
+  PPSM_ASSIGN_OR_RETURN(std::vector<StarMatches> stars,
+                        std::move(merged_or));
+  for (StarMatches& star : stars) {
+    if (star.matches.NumMatches() > kMaxRows) star.truncated = true;
+  }
+
+  const bool estimates_aligned =
+      decomposition.estimates.size() == stars.size();
+  stats.stars.reserve(stars.size());
+  bool star_truncated = false;
+  for (size_t i = 0; i < stars.size(); ++i) {
+    StarProfile profile;
+    profile.center = static_cast<uint32_t>(stars[i].center);
+    profile.candidates = stars[i].num_candidates;
+    profile.rows = stars[i].matches.NumMatches();
+    profile.estimated_rows =
+        estimates_aligned ? decomposition.estimates[i] : 0.0;
+    profile.truncated = stars[i].truncated;
+    star_truncated = star_truncated || stars[i].truncated;
+    stats.stars.push_back(profile);
+  }
+  // Translate the merged global rows to Gk ids for the join.
+  for (StarMatches& star : stars) {
+    MatchSet translated(star.matches.arity());
+    translated.ReserveAdditional(star.matches.NumMatches());
+    std::vector<VertexId> row(star.matches.arity());
+    for (size_t r = 0; r < star.matches.NumMatches(); ++r) {
+      const auto global = star.matches.Get(r);
+      for (size_t i = 0; i < global.size(); ++i) {
+        row[i] = to_gk_[global[i]];
+      }
+      translated.Append(row);
+    }
+    star.matches = std::move(translated);
+    stats.rs_size += star.matches.NumMatches();
+  }
+  stats.star_matching_ms = phase_timer.ElapsedMillis();
+  if (star_truncated) {
+    stats.overflowed = true;
+    stats.total_ms = total_timer.ElapsedMillis();
+    return Status::ResourceExhausted(
+        "star match set was truncated; join would be incomplete");
+  }
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return timeout("before join");
+  }
+
+  // Phase 3: the coordinator's result join, identical to the unsharded one.
+  phase_timer.Restart();
+  JoinOptions join_options;
+  join_options.max_rows = kMaxRows;
+  join_options.num_threads = shard_config_.num_threads;
+  join_options.star_cost_estimates = decomposition.estimates;
+  JoinDiagnostics join_diag;
+  Result<MatchSet> rin_or = [&] {
+    TraceSpan span(Tracer::Global(), "cluster.join", "query");
+    span.AddArg("query_id", stats.query_id);
+    span.AddArg("rs_size", static_cast<uint64_t>(stats.rs_size));
+    return JoinStarMatches(stars, avt_, qo.NumVertices(), join_options,
+                           &join_diag);
+  }();
+  stats.join_ms = phase_timer.ElapsedMillis();
+  stats.join_steps = std::move(join_diag.steps);
+  stats.peak_join_rows = join_diag.peak_rows;
+  if (!rin_or.ok()) {
+    if (rin_or.status().code() == StatusCode::kResourceExhausted) {
+      stats.overflowed = true;
+    }
+    stats.total_ms = total_timer.ElapsedMillis();
+    return rin_or.status();
+  }
+  const MatchSet rin = std::move(rin_or).value();
+
+  stats.result_rows = rin.NumMatches();
+  answer.response_payload = rin.Serialize();
+  stats.total_ms = total_timer.ElapsedMillis();
+  metrics.queries.Increment();
+  query_span.AddArg("result_rows",
+                    static_cast<uint64_t>(stats.result_rows));
+  query_span.AddArg("total_ms", stats.total_ms);
+  answer.stats = stats;
+  return answer;
+}
+
+}  // namespace ppsm

@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "cloud/cluster.h"
 #include "kauto/outsourced_graph.h"
 #include "match/result_join.h"
 #include "obs/metrics.h"
@@ -279,6 +280,18 @@ Status DataOwner::BuildUploadAndIndex(size_t num_threads) {
     build_index();
   }
   return package_status;
+}
+
+Result<ShardingPlan> DataOwner::BuildShardUploads(uint32_t num_shards,
+                                                  uint64_t seed) const {
+  if (baseline_) {
+    return Status::InvalidArgument(
+        "sharding needs the outsourced upload; the BAS baseline has no "
+        "partitionable B1 block");
+  }
+  PPSM_ASSIGN_OR_RETURN(const UploadPackage package,
+                        UploadPackage::Deserialize(upload_bytes_));
+  return ppsm::BuildShardUploads(package, num_shards, seed);
 }
 
 Result<AttributedGraph> DataOwner::AnonymizeQuery(

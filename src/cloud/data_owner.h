@@ -77,6 +77,14 @@ class DataOwner {
   const std::vector<uint8_t>& upload_bytes() const { return upload_bytes_; }
   const SetupStats& setup_stats() const { return setup_stats_; }
 
+  /// Splits the upload into `num_shards` slice uploads for a sharded cloud
+  /// (cloud/cluster.h BuildShardUploads on this owner's package). The plan
+  /// is deterministic in `seed`, so persisting it (owner_store.h
+  /// SaveShardUploads) and rebuilding from scratch agree exactly. Rejects
+  /// baseline uploads — BAS ships all of Gk and has no B1 block to split.
+  Result<ShardingPlan> BuildShardUploads(uint32_t num_shards,
+                                         uint64_t seed) const;
+
   /// Q -> Qo: replaces each query label with its group (§4.2). The result
   /// keeps Q's vertex ids and topology.
   Result<AttributedGraph> AnonymizeQuery(const AttributedGraph& query) const;

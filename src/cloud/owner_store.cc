@@ -13,7 +13,12 @@ namespace ppsm {
 
 namespace {
 
-constexpr uint32_t kMetaMagic = 0x3154454d;  // "MET1"
+constexpr uint32_t kMetaMagic = 0x3154454d;   // "MET1"
+constexpr uint32_t kShardsMagic = 0x314d4853;  // "SHM1"
+
+std::string ShardFileName(const std::string& directory, size_t shard) {
+  return directory + "/shard_" + std::to_string(shard) + ".bin";
+}
 
 }  // namespace
 
@@ -102,6 +107,74 @@ Result<DataOwner> LoadDataOwner(const std::string& directory) {
 
   return DataOwner::Restore(std::move(graph), std::move(shared_schema),
                             std::move(lct), std::move(kag), baseline != 0);
+}
+
+Status SaveShardUploads(const ShardingPlan& plan,
+                        const std::string& directory) {
+  PPSM_TRACE_SPAN_CAT("setup.shard_save", "setup");
+  if (plan.shards.empty()) {
+    return Status::InvalidArgument("sharding plan has no shards");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + directory + "'");
+  }
+
+  BinaryWriter meta;
+  meta.PutU32(kShardsMagic);
+  meta.PutVarint(plan.shards.size());
+  const std::vector<uint8_t> partitioning = plan.partitioning.Serialize();
+  meta.PutVarint(partitioning.size());
+  meta.PutBytes(partitioning);
+  PPSM_RETURN_IF_ERROR(
+      WriteBytesToFile(directory + "/shards_meta.bin", meta.TakeBytes()));
+
+  for (size_t i = 0; i < plan.shards.size(); ++i) {
+    PPSM_RETURN_IF_ERROR(WriteBytesToFile(ShardFileName(directory, i),
+                                          plan.shards[i].Serialize()));
+  }
+  return Status::OK();
+}
+
+Result<ShardingPlan> LoadShardUploads(const std::string& directory) {
+  PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> meta_bytes,
+                        ReadBytesFromFile(directory + "/shards_meta.bin"));
+  BinaryReader meta(meta_bytes);
+  PPSM_ASSIGN_OR_RETURN(const uint32_t magic, meta.GetU32());
+  if (magic != kShardsMagic) {
+    return Status::InvalidArgument("bad shard-store meta magic");
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_shards, meta.GetVarint());
+  if (num_shards == 0) {
+    return Status::InvalidArgument("shard-store manifest lists no shards");
+  }
+  PPSM_ASSIGN_OR_RETURN(const uint64_t partitioning_size, meta.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const std::span<const uint8_t> partitioning_bytes,
+                        meta.GetBytes(partitioning_size));
+
+  ShardingPlan plan;
+  PPSM_ASSIGN_OR_RETURN(plan.partitioning,
+                        Partitioning::Deserialize(partitioning_bytes));
+  if (plan.partitioning.num_parts != num_shards) {
+    return Status::InvalidArgument(
+        "shard-store manifest disagrees with its partitioning on the shard "
+        "count");
+  }
+  plan.shards.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> shard_bytes,
+                          ReadBytesFromFile(ShardFileName(directory, i)));
+    PPSM_ASSIGN_OR_RETURN(ShardUpload shard,
+                          ShardUpload::Deserialize(shard_bytes));
+    if (shard.shard != i || shard.num_shards != num_shards) {
+      return Status::InvalidArgument(
+          "shard file " + std::to_string(i) +
+          " does not belong to this manifest");
+    }
+    plan.shards.push_back(std::move(shard));
+  }
+  return plan;
 }
 
 }  // namespace ppsm

@@ -39,6 +39,22 @@ Status SaveDataOwner(const DataOwner& owner, const std::string& directory,
 /// and identical query post-processing.
 Result<DataOwner> LoadDataOwner(const std::string& directory);
 
+/// Persists a sharding plan (DataOwner::BuildShardUploads) so a cluster can
+/// re-host the EXACT same vertex-to-shard assignment later — re-partitioning
+/// with a different seed would re-slice Go and invalidate any shard-local
+/// caches. Layout under `directory` (created if missing):
+///   shards_meta.bin   magic, shard count, the serialized Partitioning
+///   shard_<i>.bin     ShardUpload::Serialize() of shard i
+/// Unlike the owner artifacts above these are CLOUD-side bytes: each file is
+/// exactly what one shard server would receive over the wire.
+Status SaveShardUploads(const ShardingPlan& plan,
+                        const std::string& directory);
+
+/// Reloads a SaveShardUploads directory. Validates the shard files against
+/// the manifest (count, per-file shard index) and returns a plan that
+/// compares equal to the one saved.
+Result<ShardingPlan> LoadShardUploads(const std::string& directory);
+
 }  // namespace ppsm
 
 #endif  // PPSM_CLOUD_OWNER_STORE_H_

@@ -1,5 +1,6 @@
 #include "cloud/query_service.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -97,15 +98,22 @@ size_t AdmissionGate::Queued() const {
   return waiting_;
 }
 
-QueryService::QueryService(const CloudServer* server)
-    : server_(server),
+QueryService::QueryService(const QueryHandler* handler, ServiceLimits limits)
+    : handler_(handler),
+      limits_(limits),
       gate_(std::make_unique<AdmissionGate>(
-          server->config().max_inflight,
-          /*queue_limit=*/2 * server->config().max_inflight)) {}
+          limits.max_inflight,
+          /*queue_limit=*/2 * std::max<size_t>(limits.max_inflight, 1))) {}
 
-Result<CloudServer::Answer> QueryService::Execute(
+QueryService::QueryService(const QueryHandler* handler)
+    : QueryService(handler, handler->limits()) {}
+
+QueryService::QueryService(const CloudServer* server)
+    : QueryService(static_cast<const QueryHandler*>(server)) {}
+
+Result<WireAnswer> QueryService::Execute(
     std::span<const uint8_t> qo_bytes) const {
-  const uint64_t budget_ms = server_->config().query_deadline_ms;
+  const uint64_t budget_ms = limits_.query_deadline_ms;
   const auto deadline =
       budget_ms == 0 ? SteadyClock::time_point::max()
                      : SteadyClock::now() + std::chrono::milliseconds(
@@ -113,7 +121,7 @@ Result<CloudServer::Answer> QueryService::Execute(
   return Execute(qo_bytes, deadline);
 }
 
-Result<CloudServer::Answer> QueryService::Execute(
+Result<WireAnswer> QueryService::Execute(
     std::span<const uint8_t> qo_bytes,
     SteadyClock::time_point deadline) const {
   const ServiceMetrics& metrics = ServiceMetrics::Get();
@@ -151,9 +159,9 @@ Result<CloudServer::Answer> QueryService::Execute(
   ctx.deadline = deadline;
   CloudQueryStats stats;
   ctx.stats = &stats;
-  Result<CloudServer::Answer> answer = [&] {
+  Result<WireAnswer> answer = [&] {
     ScopedGaugeDelta inflight(metrics.inflight);
-    return server_->AnswerQuery(qo_bytes, ctx);
+    return handler_->Serve(qo_bytes, ctx);
   }();
   gate_->Release();
   QueryProfile profile = ToQueryProfile(stats);

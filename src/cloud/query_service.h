@@ -42,31 +42,39 @@ class AdmissionGate {
   size_t waiting_ = 0;
 };
 
-/// Concurrent front door of one hosted CloudServer: admits up to
-/// config().max_inflight simultaneous AnswerQuery evaluations, queues up to
+/// Concurrent front door of one query handler (a single CloudServer or a
+/// sharded CloudCluster — the service does not care which): admits up to
+/// limits().max_inflight simultaneous Serve evaluations, queues up to
 /// 2 * max_inflight more, refuses the rest (ResourceExhausted), and charges
-/// queue wait against the per-query deadline (config().query_deadline_ms).
+/// queue wait against the per-query deadline (limits().query_deadline_ms).
 /// Thread-safe: any number of threads may call Execute concurrently — the
-/// hosted index is immutable and the server's plan cache carries its own
-/// lock. The service borrows the server, which must outlive it.
+/// hosted index is immutable and plan caches carry their own locks. The
+/// service borrows the handler, which must outlive it.
 class QueryService {
  public:
+  /// Fronts any QueryHandler under the given limits.
+  QueryService(const QueryHandler* handler, ServiceLimits limits);
+  /// Convenience: limits come from the handler itself.
+  explicit QueryService(const QueryHandler* handler);
+  /// Legacy single-server constructor (CloudServer is a QueryHandler now).
+  [[deprecated("construct from a QueryHandler — QueryService(&server)")]]
   explicit QueryService(const CloudServer* server);
 
   /// Evaluates one serialized Qo under admission control, with the deadline
   /// clock started now (queue wait counts against it).
-  Result<CloudServer::Answer> Execute(
-      std::span<const uint8_t> qo_bytes) const;
+  Result<WireAnswer> Execute(std::span<const uint8_t> qo_bytes) const;
   /// Same with an explicit absolute deadline; time_point::max() disables it.
-  Result<CloudServer::Answer> Execute(
+  Result<WireAnswer> Execute(
       std::span<const uint8_t> qo_bytes,
       std::chrono::steady_clock::time_point deadline) const;
 
-  const CloudServer& server() const { return *server_; }
+  const QueryHandler& handler() const { return *handler_; }
+  const ServiceLimits& limits() const { return limits_; }
   const AdmissionGate& gate() const { return *gate_; }
 
  private:
-  const CloudServer* server_;
+  const QueryHandler* handler_;
+  ServiceLimits limits_;
   // Pointer so the service stays movable (the gate holds a mutex).
   std::unique_ptr<AdmissionGate> gate_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <utility>
 
 #include "cloud/owner_store.h"
 #include "obs/flight_recorder.h"
@@ -52,6 +53,25 @@ struct SystemMetrics {
     return m;
   }
 };
+
+/// Refolds a flat QueryResponse into the legacy QueryOutcome shape (the
+/// deprecated shims' return type).
+Result<QueryOutcome> ToQueryOutcome(QueryResponse response) {
+  if (!response.ok()) return response.status;
+  QueryOutcome outcome;
+  outcome.results = std::move(response.matches);
+  outcome.cloud = std::move(response.cloud);
+  outcome.client.expand_ms = response.client_expand_ms;
+  outcome.client.filter_ms = response.client_filter_ms;
+  outcome.client.total_ms = response.client_ms;
+  outcome.client.candidates = response.client_candidates;
+  outcome.client.results = outcome.results.NumMatches();
+  outcome.network_ms = response.network_ms;
+  outcome.total_ms = response.total_ms;
+  outcome.request_bytes = response.request_bytes;
+  outcome.response_bytes = response.response_bytes;
+  return outcome;
+}
 
 }  // namespace
 
@@ -113,6 +133,24 @@ Result<PpsmSystem> PpsmSystem::HostFromOwner(std::unique_ptr<DataOwner> owner,
       system.owner_->upload_bytes().size(), "upload");
   SystemMetrics::Get().upload_ms.Set(system.upload_ms_);
 
+  if (config.num_shards > 1) {
+    if (system.owner_->IsBaselineUpload()) {
+      return Status::InvalidArgument(
+          "sharded hosting needs the outsourced upload; the BAS baseline "
+          "ships all of Gk and has no partitionable B1 block");
+    }
+    PPSM_TRACE_SPAN_CAT("setup.cloud_host", "setup");
+    ClusterConfig cluster_config = ToClusterConfig(config.cloud);
+    cluster_config.num_shards = config.num_shards;
+    PPSM_ASSIGN_OR_RETURN(
+        CloudCluster cluster,
+        CloudCluster::Host(system.owner_->upload_bytes(), cluster_config,
+                           ToShardConfig(config.cloud), config.channel));
+    system.cluster_ = std::make_unique<CloudCluster>(std::move(cluster));
+    system.service_ = std::make_unique<QueryService>(system.cluster_.get());
+    return system;
+  }
+
   {
     PPSM_TRACE_SPAN_CAT("setup.cloud_host", "setup");
     PPSM_ASSIGN_OR_RETURN(
@@ -120,7 +158,8 @@ Result<PpsmSystem> PpsmSystem::HostFromOwner(std::unique_ptr<DataOwner> owner,
         CloudServer::Host(system.owner_->upload_bytes(), config.cloud));
     system.cloud_ = std::make_unique<CloudServer>(std::move(cloud));
   }
-  system.service_ = std::make_unique<QueryService>(system.cloud_.get());
+  system.service_ = std::make_unique<QueryService>(
+      static_cast<const QueryHandler*>(system.cloud_.get()));
   return system;
 }
 
@@ -139,60 +178,159 @@ Result<PpsmSystem> PpsmSystem::LoadSnapshot(const std::string& directory,
                        effective);
 }
 
-Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) const {
+QueryResponse PpsmSystem::Execute(const QueryRequest& request) const {
   // Attempts are counted up front so refusals and failures are not
   // invisible in the exported metrics (a dashboard reading only successes
   // under-reports load and hides error storms entirely).
   const SystemMetrics& metrics = SystemMetrics::Get();
   metrics.queries.Increment();
-  Result<QueryOutcome> outcome = QueryImpl(query);
-  if (!outcome.ok()) metrics.queries_failed.Increment();
-  return outcome;
+  QueryResponse response = ExecuteImpl(request);
+  if (!response.ok()) metrics.queries_failed.Increment();
+  return response;
 }
 
-Result<QueryOutcome> PpsmSystem::QueryImpl(const AttributedGraph& query) const {
-  QueryOutcome outcome;
+QueryResponse PpsmSystem::ExecuteImpl(const QueryRequest& request) const {
+  QueryResponse response;
+  response.tag = request.tag;
   PPSM_TRACE_SPAN_CAT("query", "query");
   const SystemMetrics& metrics = SystemMetrics::Get();
 
   WallTimer anonymize_timer;
   Result<std::vector<uint8_t>> request_or = [&] {
     PPSM_TRACE_SPAN_CAT("query.anonymize", "query");
-    return owner_->AnonymizeQueryToRequest(query);
+    return owner_->AnonymizeQueryToRequest(request.pattern);
   }();
-  PPSM_ASSIGN_OR_RETURN(const std::vector<uint8_t> request,
-                        std::move(request_or));
+  if (!request_or.ok()) {
+    response.status = request_or.status();
+    return response;
+  }
+  const std::vector<uint8_t> request_bytes = std::move(request_or).value();
   metrics.anonymize_ms.Observe(anonymize_timer.ElapsedMillis());
-  outcome.request_bytes = request.size();
-  outcome.network_ms += channel_.Transfer(request.size(), "query request");
+  response.request_bytes = request_bytes.size();
+  response.network_ms +=
+      channel_.Transfer(request_bytes.size(), "query request");
 
   // Admission control, deadline and the plan cache all live behind the
   // service — a single in-process caller takes the same path a loaded
-  // multi-client deployment would.
-  PPSM_ASSIGN_OR_RETURN(const CloudServer::Answer answer,
-                        service_->Execute(request));
-  outcome.cloud = answer.stats;
-  outcome.response_bytes = answer.response_payload.size();
-  outcome.network_ms +=
+  // multi-client deployment would. A per-request deadline overrides the
+  // service-wide one; 0 defers to it.
+  Result<WireAnswer> answer_or =
+      request.deadline_ms == 0
+          ? service_->Execute(request_bytes)
+          : service_->Execute(
+                request_bytes,
+                std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(request.deadline_ms));
+  if (!answer_or.ok()) {
+    response.status = answer_or.status();
+    return response;
+  }
+  const WireAnswer answer = std::move(answer_or).value();
+  response.cloud = answer.stats;
+  response.response_bytes = answer.response_payload.size();
+  response.network_ms +=
       channel_.Transfer(answer.response_payload.size(), "query response");
 
-  PPSM_ASSIGN_OR_RETURN(
-      outcome.results,
-      owner_->ProcessResponse(query, answer.response_payload,
-                              &outcome.client));
-  outcome.total_ms =
-      outcome.cloud.total_ms + outcome.network_ms + outcome.client.total_ms;
-  metrics.network_ms.Observe(outcome.network_ms);
-  metrics.total_ms.Observe(outcome.total_ms);
+  DataOwner::ClientStats client;
+  Result<MatchSet> results = owner_->ProcessResponse(
+      request.pattern, answer.response_payload, &client);
+  if (!results.ok()) {
+    response.status = results.status();
+    return response;
+  }
+  response.matches = std::move(results).value();
+  if (request.options.sorted_matches) {
+    response.matches.SortDedup();
+  }
+  response.client_ms = client.total_ms;
+  response.client_expand_ms = client.expand_ms;
+  response.client_filter_ms = client.filter_ms;
+  response.client_candidates = client.candidates;
+  response.total_ms =
+      response.cloud.total_ms + response.network_ms + response.client_ms;
+  metrics.network_ms.Observe(response.network_ms);
+  metrics.total_ms.Observe(response.total_ms);
   // The service filed the profile when the cloud replied; the post-cloud
   // times only exist now, so stamp them onto the record after the fact.
   FlightRecorder::Global().Annotate(
-      outcome.cloud.query_id, [&outcome](QueryProfile& profile) {
-        profile.network_ms = outcome.network_ms;
-        profile.client_ms = outcome.client.total_ms;
-        profile.total_ms = outcome.total_ms;
+      response.cloud.query_id, [&response](QueryProfile& profile) {
+        profile.network_ms = response.network_ms;
+        profile.client_ms = response.client_ms;
+        profile.total_ms = response.total_ms;
       });
-  return outcome;
+  return response;
+}
+
+BatchResult PpsmSystem::ExecuteBatch(std::span<const QueryRequest> requests,
+                                     size_t concurrency) const {
+  BatchResult batch;
+  batch.summary.queries = requests.size();
+  if (requests.empty()) {
+    batch.summary.plan_cache = CloudPlanCacheStats();
+    return batch;
+  }
+  // Cap at the admission bound: pushing more workers than the gate admits
+  // would only fill the bounded queue and turn surplus queries into
+  // ResourceExhausted refusals.
+  if (concurrency == 0 || concurrency > config_.cloud.max_inflight) {
+    concurrency = config_.cloud.max_inflight;
+  }
+
+  batch.responses.resize(requests.size());
+  std::vector<double> wall_ms(requests.size(), 0.0);
+  WallTimer batch_timer;
+  {
+    PPSM_TRACE_SPAN_CAT("query_batch", "query");
+    ParallelFor(concurrency, requests.size(), [&](size_t i) {
+      WallTimer query_timer;
+      batch.responses[i] = Execute(requests[i]);
+      wall_ms[i] = query_timer.ElapsedMillis();
+    });
+  }
+  batch.summary.wall_ms = batch_timer.ElapsedMillis();
+
+  RunningStats latencies;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (batch.responses[i].ok()) {
+      ++batch.summary.succeeded;
+      latencies.Add(wall_ms[i]);
+    } else {
+      ++batch.summary.failed;
+    }
+  }
+  if (batch.summary.wall_ms > 0.0) {
+    batch.summary.queries_per_second =
+        static_cast<double>(batch.summary.succeeded) /
+        (batch.summary.wall_ms / 1000.0);
+  }
+  if (latencies.count() > 0) {
+    batch.summary.p50_ms = latencies.Percentile(50.0);
+    batch.summary.p95_ms = latencies.Percentile(95.0);
+  }
+  batch.summary.plan_cache = CloudPlanCacheStats();
+  return batch;
+}
+
+Result<QueryOutcome> PpsmSystem::Query(const AttributedGraph& query) const {
+  QueryRequest request;
+  request.pattern = query;
+  return ToQueryOutcome(Execute(request));
+}
+
+BatchOutcome PpsmSystem::QueryBatch(std::span<const AttributedGraph> queries,
+                                    size_t concurrency) const {
+  std::vector<QueryRequest> requests(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    requests[i].pattern = queries[i];
+  }
+  BatchResult result = ExecuteBatch(requests, concurrency);
+  BatchOutcome batch;
+  batch.summary = result.summary;
+  batch.outcomes.reserve(result.responses.size());
+  for (QueryResponse& response : result.responses) {
+    batch.outcomes.push_back(ToQueryOutcome(std::move(response)));
+  }
+  return batch;
 }
 
 std::vector<QueryProfile> PpsmSystem::RecentQueryProfiles() {
@@ -212,60 +350,6 @@ Status PpsmSystem::DumpQueryLog(const std::string& path) {
   out.close();
   if (!out) return Status::Internal("failed writing query log: " + path);
   return Status::OK();
-}
-
-BatchOutcome PpsmSystem::QueryBatch(std::span<const AttributedGraph> queries,
-                                    size_t concurrency) const {
-  BatchOutcome batch;
-  batch.summary.queries = queries.size();
-  if (queries.empty()) {
-    batch.summary.plan_cache = cloud_->plan_cache_stats();
-    return batch;
-  }
-  // Cap at the admission bound: pushing more workers than the gate admits
-  // would only fill the bounded queue and turn surplus queries into
-  // ResourceExhausted refusals.
-  if (concurrency == 0 || concurrency > config_.cloud.max_inflight) {
-    concurrency = config_.cloud.max_inflight;
-  }
-
-  // Result<T> has no default constructor, so the workers fill optional
-  // slots; per-query wall times feed the exact percentile summary.
-  std::vector<std::optional<Result<QueryOutcome>>> slots(queries.size());
-  std::vector<double> wall_ms(queries.size(), 0.0);
-  WallTimer batch_timer;
-  {
-    PPSM_TRACE_SPAN_CAT("query_batch", "query");
-    ParallelFor(concurrency, queries.size(), [&](size_t i) {
-      WallTimer query_timer;
-      slots[i].emplace(Query(queries[i]));
-      wall_ms[i] = query_timer.ElapsedMillis();
-    });
-  }
-  batch.summary.wall_ms = batch_timer.ElapsedMillis();
-
-  RunningStats latencies;
-  batch.outcomes.reserve(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    if (slots[i]->ok()) {
-      ++batch.summary.succeeded;
-      latencies.Add(wall_ms[i]);
-    } else {
-      ++batch.summary.failed;
-    }
-    batch.outcomes.push_back(*std::move(slots[i]));
-  }
-  if (batch.summary.wall_ms > 0.0) {
-    batch.summary.queries_per_second =
-        static_cast<double>(batch.summary.succeeded) /
-        (batch.summary.wall_ms / 1000.0);
-  }
-  if (latencies.count() > 0) {
-    batch.summary.p50_ms = latencies.Percentile(50.0);
-    batch.summary.p95_ms = latencies.Percentile(95.0);
-  }
-  batch.summary.plan_cache = cloud_->plan_cache_stats();
-  return batch;
 }
 
 }  // namespace ppsm

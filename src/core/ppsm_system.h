@@ -9,9 +9,11 @@
 
 #include "cloud/channel.h"
 #include "cloud/cloud_server.h"
+#include "cloud/cluster.h"
 #include "cloud/data_owner.h"
 #include "cloud/query_service.h"
 #include "graph/attributed_graph.h"
+#include "query/query_api.h"
 #include "util/status.h"
 
 namespace ppsm {
@@ -36,6 +38,11 @@ struct SystemConfig {
   /// Serving-side knobs: star-matching threads, plan cache, admission bound,
   /// per-query deadline. Fixed at Setup (the hosted server is immutable).
   CloudConfig cloud;
+  /// Cloud shard count. 1 hosts the classic single CloudServer; >1 hosts a
+  /// CloudCluster of that many slice servers (byte-identical results at any
+  /// value — DESIGN.md §13). Requires an outsourced upload: the BAS method
+  /// is rejected when sharded.
+  uint32_t num_shards = 1;
   /// Forwarded to the k-automorphism builder (alignment strategy etc.).
   KAutomorphismOptions kauto;
   /// Workers for the offline pipeline (grouping, k-automorphism, Go
@@ -45,7 +52,8 @@ struct SystemConfig {
 };
 
 /// One privacy-preserving subgraph query, end to end (paper Fig. 22's
-/// decomposition: cloud time + network time + client time).
+/// decomposition: cloud time + network time + client time). Legacy shape —
+/// new callers receive the flat QueryResponse from Execute() instead.
 struct QueryOutcome {
   MatchSet results;  // Exact R(Q,G).
   CloudQueryStats cloud;
@@ -56,38 +64,46 @@ struct QueryOutcome {
   size_t response_bytes = 0;
 };
 
-/// Aggregate view of one QueryBatch run. Latency percentiles are exact
-/// (computed from the per-query wall times of this batch, not the bucketed
-/// registry histograms); throughput is wall-clock queries per second over
-/// the whole batch.
+/// Aggregate view of one batch run. Latency percentiles are exact (computed
+/// from the per-query wall times of this batch, not the bucketed registry
+/// histograms); throughput is wall-clock queries per second over the whole
+/// batch.
 struct BatchSummary {
   size_t queries = 0;
   size_t succeeded = 0;
-  size_t failed = 0;  // Refused, expired or errored (see outcomes[i]).
+  size_t failed = 0;  // Refused, expired or errored (see responses[i]).
   double wall_ms = 0.0;
   double queries_per_second = 0.0;
   double p50_ms = 0.0;  // Per-query wall latency, successful queries.
   double p95_ms = 0.0;
-  /// Plan-cache counters of the hosted server after the batch (cumulative
-  /// over the server's lifetime, not just this batch).
+  /// Plan-cache counters of the hosted cloud after the batch (cumulative
+  /// over its lifetime, not just this batch; the coordinator cache when
+  /// sharded).
   PlanCacheStats plan_cache;
 };
 
-/// Per-query results plus the aggregate. outcomes[i] corresponds to
-/// queries[i] of the QueryBatch call.
+/// Per-query responses plus the aggregate. responses[i] corresponds to
+/// requests[i] of the ExecuteBatch call.
+struct BatchResult {
+  std::vector<QueryResponse> responses;
+  BatchSummary summary;
+};
+
+/// Legacy batch shape returned by the deprecated QueryBatch shim.
 struct BatchOutcome {
   std::vector<Result<QueryOutcome>> outcomes;
   BatchSummary summary;
 };
 
-/// Facade wiring a DataOwner, a SimulatedChannel and a CloudServer into the
+/// Facade wiring a DataOwner, a SimulatedChannel and a cloud (one
+/// CloudServer, or a CloudCluster when config.num_shards > 1) into the
 /// paper's full workflow: Setup() runs the offline pipeline and "uploads"
-/// (serializing through the channel); Query() anonymizes Q, ships Qo, runs
-/// the cloud evaluation, ships the response, and post-processes to exact
-/// answers.
+/// (serializing through the channel); Execute() anonymizes the pattern,
+/// ships Qo, runs the cloud evaluation, ships the response, and
+/// post-processes to exact answers.
 ///
-/// Thread-safety: after Setup, the system is immutable. Query() and
-/// QueryBatch() are const and safe to call from any number of threads
+/// Thread-safety: after Setup, the system is immutable. Execute() and
+/// ExecuteBatch() are const and safe to call from any number of threads
 /// concurrently; every query passes through the cloud's QueryService, so
 /// SystemConfig::cloud.max_inflight and .query_deadline_ms apply uniformly.
 class PpsmSystem {
@@ -109,13 +125,26 @@ class PpsmSystem {
   static Result<PpsmSystem> LoadSnapshot(const std::string& directory,
                                          const SystemConfig& config);
 
-  /// One query end to end. Thread-safe.
+  /// One query end to end — THE entry point; everything else is a shim.
+  /// Never throws and never loses stats: a refused/expired/failed query
+  /// comes back with response.status set and the phases that ran accounted.
+  /// Thread-safe.
+  QueryResponse Execute(const QueryRequest& request) const;
+
+  /// Runs a workload concurrently: up to `concurrency` requests in flight
+  /// at once (0 = config().cloud.max_inflight), drawing workers from the
+  /// shared ThreadPool. Per-query failures (refusal, deadline, row cap)
+  /// land in the corresponding responses slot; the batch itself always
+  /// completes.
+  BatchResult ExecuteBatch(std::span<const QueryRequest> requests,
+                           size_t concurrency = 0) const;
+
+  /// Legacy single-query entry point.
+  [[deprecated("use Execute(QueryRequest) — one request/response pair")]]
   Result<QueryOutcome> Query(const AttributedGraph& query) const;
 
-  /// Runs a workload concurrently: up to `concurrency` queries in flight at
-  /// once (0 = config().cloud.max_inflight), drawing workers from the shared
-  /// ThreadPool. Per-query failures (refusal, deadline, row cap) land in the
-  /// corresponding outcomes slot; the batch itself always completes.
+  /// Legacy batch entry point.
+  [[deprecated("use ExecuteBatch(std::span<const QueryRequest>)")]]
   BatchOutcome QueryBatch(std::span<const AttributedGraph> queries,
                           size_t concurrency = 0) const;
 
@@ -130,7 +159,12 @@ class PpsmSystem {
 
   const SetupStats& setup_stats() const { return owner_->setup_stats(); }
   const DataOwner& owner() const { return *owner_; }
-  const CloudServer& cloud() const { return *cloud_; }
+  /// The hosted server (shard 0 of the cluster when sharded).
+  const CloudServer& cloud() const {
+    return cluster_ ? cluster_->shard(0) : *cloud_;
+  }
+  /// The hosted cluster; null on the single-server path.
+  const CloudCluster* cluster() const { return cluster_.get(); }
   const QueryService& service() const { return *service_; }
   const SimulatedChannel& channel() const { return channel_; }
   const SystemConfig& config() const { return config_; }
@@ -141,17 +175,25 @@ class PpsmSystem {
   PpsmSystem() = default;
 
   /// Shared tail of Setup/LoadSnapshot: charges the upload transfer, hosts
-  /// the cloud server from the owner's upload bytes, and wires the service.
+  /// the cloud (server or cluster) from the owner's upload bytes, and wires
+  /// the service.
   static Result<PpsmSystem> HostFromOwner(std::unique_ptr<DataOwner> owner,
                                           const SystemConfig& config);
 
-  /// Query() body; the wrapper owns the attempt/failure counters so refused
-  /// and errored queries stay visible in the metrics.
-  Result<QueryOutcome> QueryImpl(const AttributedGraph& query) const;
+  /// Execute() body; the wrapper owns the attempt/failure counters so
+  /// refused and errored queries stay visible in the metrics.
+  QueryResponse ExecuteImpl(const QueryRequest& request) const;
+
+  /// The cumulative plan-cache counters of whichever cloud is hosted.
+  PlanCacheStats CloudPlanCacheStats() const {
+    return cluster_ ? cluster_->plan_cache_stats()
+                    : cloud_->plan_cache_stats();
+  }
 
   SystemConfig config_;
   std::unique_ptr<DataOwner> owner_;
-  std::unique_ptr<CloudServer> cloud_;
+  std::unique_ptr<CloudServer> cloud_;    // Single-server path.
+  std::unique_ptr<CloudCluster> cluster_;  // Sharded path (num_shards > 1).
   std::unique_ptr<QueryService> service_;
   SimulatedChannel channel_;
   double upload_ms_ = 0.0;

@@ -69,6 +69,19 @@ Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
   return DecomposeWithCosts(qo, std::move(model));
 }
 
+Result<StarDecomposition> DecomposeQueryWithCosts(const AttributedGraph& qo,
+                                                  std::vector<double> costs) {
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("query has no vertices");
+  }
+  if (costs.size() != qo.NumVertices()) {
+    return Status::InvalidArgument("cost vector size disagrees with |V(Qo)|");
+  }
+  CoverIlp model;
+  model.cost = std::move(costs);
+  return DecomposeWithCosts(qo, std::move(model));
+}
+
 std::string QoSignature(const AttributedGraph& qo) {
   std::string sig;
   // |V| + per vertex three length-prefixed id lists; ~4 bytes per id.

@@ -42,6 +42,15 @@ Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
                                          const AttributedGraph& data,
                                          const CloudIndex& index);
 
+/// Same ILP with the per-vertex star costs supplied by the caller
+/// (`costs[v]` = estimated |R(S(v))|, size must equal |V(Qo)|). The sharded
+/// cloud's coordinator plans with this: it evaluates the candidate-aware
+/// estimator itself over the shard-merged global candidate lists, then asks
+/// for the cover — making the decomposition identical to the unsharded one
+/// without any shard owning the full hosted graph.
+Result<StarDecomposition> DecomposeQueryWithCosts(const AttributedGraph& qo,
+                                                  std::vector<double> costs);
+
 /// Canonical signature of an outsourced query, the cloud's plan-cache key.
 /// Two queries share a signature iff they have identical vertex ids, type
 /// sets, label(-group) sets and adjacency — exactly the inputs DecomposeQuery

@@ -290,6 +290,25 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
       anchor = i;
     }
   }
+  // Step 0 is the anchor itself — no JoinStep runs for it, but recording it
+  // keeps the anchor's provenance (which star, how many rows seeded the
+  // intermediate) in the flight-recorder trace. Crucially this also covers
+  // the zero-match short-circuit below: without it a served query could log
+  // an empty `steps` array, hiding which star emptied the result.
+  // estimated_rows stays 0.0 so the anchor never feeds the estimate/actual
+  // join-calibration metrics (its "output" is a star cardinality, not a
+  // join-step output).
+  if (diagnostics != nullptr) {
+    diagnostics->anchor_index = anchor;
+    diagnostics->anchor_rows = stars[anchor].matches.NumMatches();
+    JoinStepProfile anchor_profile;
+    anchor_profile.step = 0;
+    anchor_profile.star_index = static_cast<uint32_t>(anchor);
+    anchor_profile.star_center = static_cast<uint32_t>(stars[anchor].center);
+    anchor_profile.output_rows = stars[anchor].matches.NumMatches();
+    anchor_profile.eager = options.eager_expansion;
+    diagnostics->steps.push_back(anchor_profile);
+  }
   // An empty anchor empties every join down the line: return before any
   // other star gets hash-indexed (or, under the eager strategy, expanded
   // k-fold).
@@ -299,8 +318,6 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
 
   Intermediate current{stars[anchor].columns, stars[anchor].matches};
   if (diagnostics != nullptr) {
-    diagnostics->anchor_index = anchor;
-    diagnostics->anchor_rows = current.rows.NumMatches();
     diagnostics->peak_rows =
         std::max(diagnostics->peak_rows, current.rows.NumMatches());
   }

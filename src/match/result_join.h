@@ -11,13 +11,16 @@
 namespace ppsm {
 
 /// Diagnostics from a join run (the benches report these). `steps` carries
-/// one JoinStepProfile per JoinStep invocation — which star joined in, the
-/// §5.1 estimate for it, the rows actually produced, and which path (probe
-/// vs eager) ran — so a bad matching order is diagnosable per step instead
-/// of only in aggregate. The flat totals below are kept in lockstep with
+/// the anchor (step 0) plus one JoinStepProfile per JoinStep invocation —
+/// which star joined in, the §5.1 estimate for it, the rows actually
+/// produced, and which path (probe vs eager) ran — so a bad matching order
+/// is diagnosable per step instead of only in aggregate. The flat totals below are kept in lockstep with
 /// `steps` (they are derived sums/maxima) so existing consumers stay valid.
 struct JoinDiagnostics {
-  /// Per-step trace, in join order. Empty when the anchor short-circuited.
+  /// Per-step trace, in join order. Step 0 is always the anchor star itself
+  /// (no JoinStep runs for it; output_rows = anchor rows, estimated_rows =
+  /// 0) so a served query never logs an empty trace — the zero-match
+  /// short-circuit used to drop the anchor's provenance entirely.
   std::vector<JoinStepProfile> steps;
   /// Index (into the input `stars`) of the chosen anchor star, SIZE_MAX
   /// when the join never ran (input error).

@@ -106,7 +106,12 @@ StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
   result.columns.insert(result.columns.end(), leaves.begin(), leaves.end());
   result.matches = MatchSet(result.columns.size());
 
-  const std::vector<VertexId> candidates = index.CandidateCenters(qo, center);
+  std::vector<VertexId> candidates = index.CandidateCenters(qo, center);
+  if (options.candidate_filter) {
+    std::erase_if(candidates, [&options](VertexId v) {
+      return !options.candidate_filter(v);
+    });
+  }
   result.num_candidates = candidates.size();
   if (candidates.empty()) return result;
   if (options.cancelled && options.cancelled()) {

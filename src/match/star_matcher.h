@@ -46,6 +46,13 @@ struct StarMatchOptions {
   /// remaining work with the affected stars marked truncated. The cloud
   /// wires its query deadline here. Must be thread-safe; empty = never.
   std::function<bool()> cancelled;
+  /// Restricts the index's candidate shortlist to centers for which this
+  /// predicate holds; empty = keep all. A sharded cloud passes its owned-set
+  /// bitmap here: halo vertices carry incomplete adjacency in a slice, so
+  /// their understated bit vectors could qualify them falsely, and their
+  /// matches belong to the owning shard anyway. Filtered-out candidates do
+  /// not count towards StarMatches::num_candidates. Must be thread-safe.
+  std::function<bool(VertexId)> candidate_filter;
 };
 
 /// Algorithm 1 (star matching): finds all matches of the star rooted at

@@ -114,14 +114,14 @@ double EstimateStarCardinality(const GkStatistics& stats,
   return std::max(estimate, 1e-6);
 }
 
-double EstimateStarCardinalityCandidateAware(const GkStatistics& stats,
-                                             const AttributedGraph& data,
-                                             const CloudIndex& index,
-                                             const AttributedGraph& qo,
-                                             VertexId center) {
-  // Per-leaf compatibility probability for a random neighbor: product of
-  // the leaf's type and group frequencies (the paper's independence
-  // assumption, §5.1).
+namespace {
+
+/// Per-leaf compatibility probability for a random neighbor: product of
+/// the leaf's type and group frequencies (the paper's independence
+/// assumption, §5.1).
+std::vector<double> LeafProbabilities(const GkStatistics& stats,
+                                      const AttributedGraph& qo,
+                                      VertexId center) {
   std::vector<double> leaf_prob;
   for (const VertexId leaf : qo.Neighbors(center)) {
     double p = 1.0;
@@ -133,14 +133,18 @@ double EstimateStarCardinalityCandidateAware(const GkStatistics& stats,
     }
     leaf_prob.push_back(p);
   }
+  return leaf_prob;
+}
 
-  // Sum the per-candidate search-space products over the real VBV
-  // shortlist, replacing the paper's D(Gk)^Dc approximation with each
-  // candidate's true degree sequence deg, deg-1, ...
+/// Sum of the per-candidate search-space products, replacing the paper's
+/// D(Gk)^Dc approximation with each candidate's true degree sequence
+/// deg, deg-1, ...
+double SumCandidateProducts(const std::vector<double>& leaf_prob,
+                            const auto& degree_of, size_t num_candidates) {
   double estimate = 0.0;
-  for (const VertexId va : index.CandidateCenters(qo, center)) {
+  for (size_t i = 0; i < num_candidates; ++i) {
     double product = 1.0;
-    const auto degree = static_cast<double>(data.Degree(va));
+    const double degree = degree_of(i);
     for (size_t l = 0; l < leaf_prob.size(); ++l) {
       product *= std::max(degree - static_cast<double>(l), 0.0) *
                  leaf_prob[l];
@@ -148,6 +152,34 @@ double EstimateStarCardinalityCandidateAware(const GkStatistics& stats,
     estimate += product;
   }
   return std::max(estimate, 1e-6);
+}
+
+}  // namespace
+
+double EstimateStarCardinalityCandidateAware(const GkStatistics& stats,
+                                             const AttributedGraph& data,
+                                             const CloudIndex& index,
+                                             const AttributedGraph& qo,
+                                             VertexId center) {
+  const std::vector<double> leaf_prob = LeafProbabilities(stats, qo, center);
+  const std::vector<VertexId> candidates =
+      index.CandidateCenters(qo, center);
+  return SumCandidateProducts(
+      leaf_prob,
+      [&](size_t i) { return static_cast<double>(data.Degree(candidates[i])); },
+      candidates.size());
+}
+
+double EstimateStarCardinalityForCandidates(
+    const GkStatistics& stats, const AttributedGraph& qo, VertexId center,
+    std::span<const VertexId> candidates,
+    std::span<const size_t> candidate_degrees) {
+  (void)candidates;  // Identity carried for symmetry; only degrees matter.
+  const std::vector<double> leaf_prob = LeafProbabilities(stats, qo, center);
+  return SumCandidateProducts(
+      leaf_prob,
+      [&](size_t i) { return static_cast<double>(candidate_degrees[i]); },
+      candidate_degrees.size());
 }
 
 }  // namespace ppsm

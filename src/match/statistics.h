@@ -2,6 +2,7 @@
 #define PPSM_MATCH_STATISTICS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/attributed_graph.h"
@@ -64,6 +65,18 @@ double EstimateStarCardinalityCandidateAware(const GkStatistics& stats,
                                              const CloudIndex& index,
                                              const AttributedGraph& qo,
                                              VertexId center);
+
+/// Same estimator evaluated over an explicit candidate list: element i of
+/// `candidate_degrees` is the (full, Gk) degree of candidate i. The sharded
+/// cloud plans globally with this overload — each shard shortlists its owned
+/// candidates, the coordinator concatenates them in ascending id order and
+/// feeds the merged list here, making the floating-point accumulation order
+/// (and hence the ILP's costs) bit-identical to the unsharded
+/// EstimateStarCardinalityCandidateAware call.
+double EstimateStarCardinalityForCandidates(
+    const GkStatistics& stats, const AttributedGraph& qo, VertexId center,
+    std::span<const VertexId> candidates,
+    std::span<const size_t> candidate_degrees);
 
 }  // namespace ppsm
 

@@ -103,6 +103,19 @@ std::string JoinStepToJson(const JoinStepProfile& step) {
   return out;
 }
 
+std::string ShardToJson(const ShardProfile& shard) {
+  std::string out = "{";
+  bool first = true;
+  AppendField(&out, "shard", static_cast<uint64_t>(shard.shard), &first);
+  AppendField(&out, "candidates", shard.candidates, &first);
+  AppendField(&out, "rows", shard.rows, &first);
+  AppendField(&out, "match_ms", shard.match_ms, &first);
+  AppendField(&out, "exchange_ms", shard.exchange_ms, &first);
+  AppendField(&out, "exchanged_bytes", shard.exchanged_bytes, &first);
+  out.push_back('}');
+  return out;
+}
+
 /// Cursor over one JSON document. The grammar accepted is exactly what the
 /// serializer emits (objects, arrays of objects, strings, numbers, bools,
 /// null) — enough for a lossless round trip without pulling in a JSON
@@ -337,6 +350,28 @@ Status ParseJoinStep(JsonCursor* cursor, JoinStepProfile* step) {
   });
 }
 
+Status ParseShard(JsonCursor* cursor, ShardProfile* shard) {
+  return cursor->ParseObject([&](const std::string& key) -> Status {
+    if (key == "shard") {
+      PPSM_ASSIGN_OR_RETURN(const uint64_t v, ParseU64(cursor));
+      shard->shard = static_cast<uint32_t>(v);
+    } else if (key == "candidates") {
+      PPSM_ASSIGN_OR_RETURN(shard->candidates, ParseU64(cursor));
+    } else if (key == "rows") {
+      PPSM_ASSIGN_OR_RETURN(shard->rows, ParseU64(cursor));
+    } else if (key == "match_ms") {
+      PPSM_ASSIGN_OR_RETURN(shard->match_ms, cursor->ParseNumber());
+    } else if (key == "exchange_ms") {
+      PPSM_ASSIGN_OR_RETURN(shard->exchange_ms, cursor->ParseNumber());
+    } else if (key == "exchanged_bytes") {
+      PPSM_ASSIGN_OR_RETURN(shard->exchanged_bytes, ParseU64(cursor));
+    } else {
+      return cursor->SkipValue();
+    }
+    return Status::OK();
+  });
+}
+
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -380,7 +415,19 @@ std::string QueryProfileToJson(const QueryProfile& profile) {
     if (i > 0) out.append(", ");
     out.append(JoinStepToJson(profile.join_steps[i]));
   }
-  out.append("]}");
+  out.push_back(']');
+  // Omitted when empty (the single-server common case) so the JSONL record
+  // doesn't grow for deployments without a cluster; the parser treats a
+  // missing key as an empty list.
+  if (!profile.shards.empty()) {
+    out.append(", \"shards\": [");
+    for (size_t i = 0; i < profile.shards.size(); ++i) {
+      if (i > 0) out.append(", ");
+      out.append(ShardToJson(profile.shards[i]));
+    }
+    out.push_back(']');
+  }
+  out.push_back('}');
   return out;
 }
 
@@ -442,6 +489,13 @@ Result<QueryProfile> QueryProfileFromJson(std::string_view json) {
             JoinStepProfile step;
             PPSM_RETURN_IF_ERROR(ParseJoinStep(&cursor, &step));
             profile.join_steps.push_back(step);
+            return Status::OK();
+          });
+        } else if (key == "shards") {
+          return cursor.ParseArray([&]() -> Status {
+            ShardProfile shard;
+            PPSM_RETURN_IF_ERROR(ParseShard(&cursor, &shard));
+            profile.shards.push_back(shard);
             return Status::OK();
           });
         } else {

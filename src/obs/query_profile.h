@@ -39,6 +39,20 @@ struct JoinStepProfile {
   bool overflow = false;           // This step hit the row cap.
 };
 
+/// Per-shard record of one query's star-matching phase on a sharded cloud
+/// (cloud/cluster.h): what the shard's slice contributed before the exchange
+/// merged the streams. `exchanged_bytes` is the serialized un-expanded
+/// R(S,Go) row payload the shard shipped to the coordinator — by the PR-4
+/// probe-join design this is independent of the privacy parameter k.
+struct ShardProfile {
+  uint32_t shard = 0;           // Shard index [0, num_shards).
+  uint64_t candidates = 0;      // Owned candidate centers across stars.
+  uint64_t rows = 0;            // Un-expanded rows matched on this shard.
+  double match_ms = 0.0;        // Shard-local star-matching wall time.
+  double exchange_ms = 0.0;     // Simulated transfer time to the coordinator.
+  uint64_t exchanged_bytes = 0; // Serialized row payload (0 for shard 0).
+};
+
 /// The flight-recorder unit: everything one query did, end to end. Cloud
 /// phases are filled by the server, admission/queue data by the service, and
 /// network/client fields are annotated afterwards by the system facade.
@@ -75,6 +89,9 @@ struct QueryProfile {
 
   std::vector<StarProfile> stars;
   std::vector<JoinStepProfile> join_steps;
+  /// Per-shard contributions when the query ran on a sharded cluster;
+  /// empty on the single-server path.
+  std::vector<ShardProfile> shards;
 };
 
 /// Lower-snake-case label of a status code ("deadline_exceeded",

@@ -8,6 +8,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "graph/serialize.h"
 #include "util/random.h"
 
 namespace ppsm {
@@ -408,6 +409,47 @@ std::vector<size_t> PartSizes(const std::vector<uint32_t>& part,
   std::vector<size_t> sizes(num_parts, 0);
   for (const uint32_t p : part) ++sizes[p];
   return sizes;
+}
+
+namespace {
+constexpr uint32_t kPartitioningMagic = 0x31545250;  // "PRT1"
+}  // namespace
+
+std::vector<uint8_t> Partitioning::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(kPartitioningMagic);
+  writer.PutVarint(num_parts);
+  writer.PutVarint(edge_cut);
+  writer.PutVarint(part.size());
+  for (const uint32_t p : part) writer.PutVarint(p);
+  return writer.TakeBytes();
+}
+
+Result<Partitioning> Partitioning::Deserialize(
+    std::span<const uint8_t> bytes) {
+  BinaryReader reader(bytes);
+  PPSM_ASSIGN_OR_RETURN(const uint32_t magic, reader.GetU32());
+  if (magic != kPartitioningMagic) {
+    return Status::InvalidArgument("not a serialized Partitioning");
+  }
+  Partitioning result;
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_parts, reader.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const uint64_t edge_cut, reader.GetVarint());
+  PPSM_ASSIGN_OR_RETURN(const uint64_t num_vertices, reader.GetVarint());
+  if (num_vertices > bytes.size()) {  // >= 1 byte per varint entry.
+    return Status::InvalidArgument("Partitioning vertex count implausible");
+  }
+  result.num_parts = static_cast<uint32_t>(num_parts);
+  result.edge_cut = static_cast<size_t>(edge_cut);
+  result.part.reserve(num_vertices);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    PPSM_ASSIGN_OR_RETURN(const uint64_t p, reader.GetVarint());
+    if (p >= num_parts) {
+      return Status::InvalidArgument("Partitioning entry out of range");
+    }
+    result.part.push_back(static_cast<uint32_t>(p));
+  }
+  return result;
 }
 
 }  // namespace ppsm

@@ -2,6 +2,7 @@
 #define PPSM_PARTITION_MULTILEVEL_PARTITIONER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/attributed_graph.h"
@@ -36,6 +37,15 @@ struct Partitioning {
   uint32_t num_parts = 0;
   /// Number of edges whose endpoints land in different parts.
   size_t edge_cut = 0;
+
+  /// Stable export of the assignment ("PRT1" header + varint-encoded part
+  /// list). Shard snapshots embed this so a reloaded cluster reuses the
+  /// exact vertex-to-shard assignment the upload was built with, instead of
+  /// trusting the partitioner to reproduce it across code versions.
+  std::vector<uint8_t> Serialize() const;
+  static Result<Partitioning> Deserialize(std::span<const uint8_t> bytes);
+
+  friend bool operator==(const Partitioning&, const Partitioning&) = default;
 };
 
 /// Partitions `graph` into `options.num_parts` blocks, each of size at most

@@ -1,0 +1,26 @@
+#include "query/query_api.h"
+
+namespace ppsm {
+
+QueryProfile ToQueryProfile(const CloudQueryStats& stats) {
+  QueryProfile profile;
+  profile.query_id = stats.query_id;
+  profile.timed_out_phase = stats.timed_out_phase;
+  profile.queue_wait_ms = stats.queue_wait_ms;
+  profile.decomposition_ms = stats.decomposition_ms;
+  profile.star_matching_ms = stats.star_matching_ms;
+  profile.join_ms = stats.join_ms;
+  profile.cloud_ms = stats.total_ms;
+  profile.plan_cache_hit = stats.plan_cache_hit;
+  profile.overflowed = stats.overflowed;
+  profile.num_stars = stats.num_stars;
+  profile.rs_size = stats.rs_size;
+  profile.result_rows = stats.result_rows;
+  profile.peak_join_rows = stats.peak_join_rows;
+  profile.stars = stats.stars;
+  profile.join_steps = stats.join_steps;
+  profile.shards = stats.shards;
+  return profile;
+}
+
+}  // namespace ppsm

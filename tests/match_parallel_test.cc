@@ -387,6 +387,14 @@ TEST(MatchParallel, ZeroMatchAnchorSkipsAllJoinWork) {
     EXPECT_EQ(joined->NumMatches(), 0u);
     EXPECT_EQ(diagnostics.join_steps, 0u);
     EXPECT_EQ(diagnostics.indexed_rows, 0u);
+    // Regression: the short-circuit used to return with an empty `steps`
+    // trace, hiding WHICH star emptied the result from the flight recorder.
+    // The anchor must still be on record as a terminal step 0.
+    ASSERT_EQ(diagnostics.steps.size(), 1u);
+    EXPECT_EQ(diagnostics.steps[0].step, 0u);
+    EXPECT_EQ(diagnostics.steps[0].star_index, 0u);
+    EXPECT_EQ(diagnostics.steps[0].output_rows, 0u);
+    EXPECT_EQ(diagnostics.anchor_rows, 0u);
   }
 }
 

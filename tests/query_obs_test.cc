@@ -101,22 +101,24 @@ TEST(QueryObs, ReplyCarriesQueryIdAndPerPhaseProfiles) {
     }
     EXPECT_EQ(rows_across_stars, stats.rs_size);
 
-    // Multi-star queries join: one step per non-anchor star, each with its
-    // cost-model estimate and the actual output cardinality.
-    if (stats.num_stars > 1) {
-      ASSERT_EQ(stats.join_steps.size(), stats.num_stars - 1);
-      std::set<uint32_t> joined_stars;
-      for (const JoinStepProfile& step : stats.join_steps) {
-        EXPECT_TRUE(joined_stars.insert(step.star_index).second);
-        EXPECT_LT(step.star_index, stats.num_stars);
+    // Every served query records the anchor as step 0 (estimate 0.0 — the
+    // anchor is not a JoinStep, so it never feeds calibration), then one
+    // step per non-anchor star with its cost-model estimate and the actual
+    // output cardinality.
+    ASSERT_EQ(stats.join_steps.size(), stats.num_stars);
+    EXPECT_EQ(stats.join_steps.front().step, 0u);
+    EXPECT_EQ(stats.join_steps.front().estimated_rows, 0.0);
+    std::set<uint32_t> joined_stars;
+    for (const JoinStepProfile& step : stats.join_steps) {
+      EXPECT_TRUE(joined_stars.insert(step.star_index).second);
+      EXPECT_LT(step.star_index, stats.num_stars);
+      if (step.step > 0) {
         EXPECT_GT(step.estimated_rows, 0.0)
             << "join steps should carry the section-5.1 estimate";
-        EXPECT_FALSE(step.overflow);
       }
-      EXPECT_EQ(stats.join_steps.back().output_rows, stats.result_rows);
-    } else {
-      EXPECT_TRUE(stats.join_steps.empty());
+      EXPECT_FALSE(step.overflow);
     }
+    EXPECT_EQ(stats.join_steps.back().output_rows, stats.result_rows);
 
     // The service filed the same profile with the recorder.
     QueryProfile recorded;

@@ -11,7 +11,7 @@
 //   ppsm_cli query    --in g.graph --pattern q.pat --k 4
 //                     [--method eff|ran|fsim|bas] [--theta 2]
 //                     [--cloud-threads N] [--setup-threads N]
-//                     [--repeat N] [--concurrency N]
+//                     [--shards S] [--repeat N] [--concurrency N]
 //                     [--save-snapshot DIR | --load-snapshot DIR]
 //
 // `generate` writes a synthetic dataset in the ppsm text format; `attach`
@@ -239,6 +239,10 @@ int Query(const Args& args) {
       static_cast<size_t>(std::max(1L, args.GetInt("setup-threads", 1)));
   config.cloud.query_deadline_ms =
       static_cast<uint64_t>(std::max(0L, args.GetInt("deadline-ms", 0)));
+  // --shards=S hosts a CloudCluster of S slice servers instead of one
+  // CloudServer; results are byte-identical at any value (DESIGN.md §13).
+  config.num_shards =
+      static_cast<uint32_t>(std::max(1L, args.GetInt("shards", 1)));
   const size_t repeat =
       static_cast<size_t>(std::max(1L, args.GetInt("repeat", 1)));
   const size_t concurrency =
@@ -276,14 +280,16 @@ int Query(const Args& args) {
   if (!parsed.ok()) return Fail(parsed.status().ToString());
 
   // Concurrent replay: the same pattern `repeat` times, `concurrency` in
-  // flight. Per-query outcomes are identical by construction, so report the
-  // serving aggregates instead of the match rows.
+  // flight. Per-query responses are identical by construction, so report
+  // the serving aggregates instead of the match rows.
   if (repeat > 1 || concurrency > 1) {
-    const std::vector<AttributedGraph> workload(repeat, parsed->query);
-    const BatchOutcome batch = system->QueryBatch(workload, concurrency);
-    for (const auto& outcome : batch.outcomes) {
-      if (!outcome.ok()) {
-        std::cerr << "query failed: " << outcome.status() << "\n";
+    QueryRequest request;
+    request.pattern = parsed->query;
+    const std::vector<QueryRequest> workload(repeat, request);
+    const BatchResult batch = system->ExecuteBatch(workload, concurrency);
+    for (const auto& response : batch.responses) {
+      if (!response.ok()) {
+        std::cerr << "query failed: " << response.status << "\n";
       }
     }
     Table table("workload replay (repeat=" + std::to_string(repeat) +
@@ -310,6 +316,11 @@ int Query(const Args& args) {
     table.AddRowValues("p95 ms (batch)", Table::Num(batch.summary.p95_ms, 3));
     table.AddRowValues("plan cache hits", batch.summary.plan_cache.hits);
     table.AddRowValues("plan cache misses", batch.summary.plan_cache.misses);
+    if (system->cluster() != nullptr) {
+      table.AddRowValues("shards", system->cluster()->num_shards());
+      table.AddRowValues("exchanged bytes",
+                         system->cluster()->ExchangedBytes());
+    }
     table.AddRowValues("channel messages", system->channel().num_messages());
     table.AddRowValues("channel log dropped",
                        system->channel().num_dropped_records());
@@ -319,27 +330,34 @@ int Query(const Args& args) {
     return batch.summary.succeeded > 0 ? 0 : 1;
   }
 
-  auto outcome = system->Query(parsed->query);
-  if (!outcome.ok()) return Fail(outcome.status().ToString());
+  QueryRequest request;
+  request.pattern = parsed->query;
+  const QueryResponse response = system->Execute(request);
+  if (!response.ok()) return Fail(response.status.ToString());
 
-  std::cout << outcome->results.NumMatches() << " match(es):\n";
-  const size_t show = std::min<size_t>(outcome->results.NumMatches(), 20);
+  std::cout << response.matches.NumMatches() << " match(es):\n";
+  const size_t show = std::min<size_t>(response.matches.NumMatches(), 20);
   for (size_t r = 0; r < show; ++r) {
-    const auto row = outcome->results.Get(r);
+    const auto row = response.matches.Get(r);
     std::cout << "  ";
     for (size_t q = 0; q < row.size(); ++q) {
       std::cout << parsed->variables[q] << "=" << row[q] << " ";
     }
     std::cout << "\n";
   }
-  if (show < outcome->results.NumMatches()) {
-    std::cout << "  ... (" << outcome->results.NumMatches() - show
+  if (show < response.matches.NumMatches()) {
+    std::cout << "  ... (" << response.matches.NumMatches() - show
               << " more)\n";
   }
-  std::cout << "query " << outcome->cloud.query_id << ": cloud "
-            << Table::Num(outcome->cloud.total_ms, 3) << "ms | network "
-            << Table::Num(outcome->network_ms, 3) << "ms | client "
-            << Table::Num(outcome->client.total_ms, 3) << "ms\n";
+  std::cout << "query " << response.cloud.query_id << ": cloud "
+            << Table::Num(response.cloud.total_ms, 3) << "ms | network "
+            << Table::Num(response.network_ms, 3) << "ms | client "
+            << Table::Num(response.client_ms, 3) << "ms\n";
+  if (system->cluster() != nullptr) {
+    std::cout << "cluster: " << system->cluster()->num_shards()
+              << " shard(s), " << system->cluster()->ExchangedBytes()
+              << " exchanged byte(s)\n";
+  }
   return 0;
 }
 
@@ -355,8 +373,10 @@ int Usage() {
       "            [--save-snapshot DIR]\n"
       "  query     --in FILE --pattern FILE --k K [--theta T]\n"
       "            [--method eff|ran|fsim|bas] [--cloud-threads N]\n"
-      "            [--setup-threads N] [--repeat N] [--concurrency N]\n"
-      "            [--deadline-ms MS]\n"
+      "            [--setup-threads N] [--shards S] [--repeat N]\n"
+      "            [--concurrency N] [--deadline-ms MS]\n"
+      "            (--shards S hosts a sharded in-process cloud; results\n"
+      "             are byte-identical to --shards 1)\n"
       "            [--save-snapshot DIR | --load-snapshot DIR]\n"
       "            (--load-snapshot skips the offline pipeline; --in not\n"
       "             needed, the snapshot carries graph + schema + k)\n"
