@@ -66,15 +66,17 @@ void AblateRinTransfer(const BenchDataset& dataset, size_t queries) {
     for (size_t i = 0; i < queries; ++i) {
       auto extracted = ExtractQuery(*graph, 6, rng);
       if (!extracted.ok()) continue;
-      auto outcome = system->Query(extracted->query);
+      QueryRequest exec_request;
+      exec_request.pattern = extracted->query;
+      const QueryResponse outcome = system->Execute(exec_request);
       if (!outcome.ok()) continue;
-      rin_bytes += static_cast<double>(outcome->response_bytes);
+      rin_bytes += static_cast<double>(outcome.response_bytes);
       // Full transfer: expand Rin to R(Qo,Gk) and serialize that instead.
       auto qo = system->owner().AnonymizeQuery(extracted->query);
       if (!qo.ok()) continue;
       auto request = system->owner().AnonymizeQueryToRequest(
           extracted->query);
-      auto answer = system->cloud().AnswerQuery(*request);
+      auto answer = system->cloud().Serve(*request);
       if (!answer.ok()) continue;
       auto rin = MatchSet::Deserialize(answer->response_payload);
       if (!rin.ok()) continue;

@@ -77,28 +77,29 @@ Result<QueryAggregates> RunQueryBatch(PpsmSystem& system,
   for (size_t i = 0; i < count; ++i) {
     PPSM_ASSIGN_OR_RETURN(const ExtractedQuery extracted,
                           ExtractQuery(graph, query_edges, rng));
-    auto outcome_or = system.Query(extracted.query);
-    if (!outcome_or.ok()) {
-      if (outcome_or.status().code() == StatusCode::kResourceExhausted) {
+    QueryRequest request;
+    request.pattern = extracted.query;
+    const QueryResponse outcome = system.Execute(request);
+    if (!outcome.ok()) {
+      if (outcome.status.code() == StatusCode::kResourceExhausted) {
         ++agg.refused;  // Row-cap guard tripped: skip this query.
         continue;
       }
-      return outcome_or.status();
+      return outcome.status;
     }
-    const QueryOutcome& outcome = *outcome_or;
     ++completed;
     agg.cloud_ms += outcome.cloud.total_ms;
     agg.decomposition_ms += outcome.cloud.decomposition_ms;
     agg.star_matching_ms += outcome.cloud.star_matching_ms;
     agg.join_ms += outcome.cloud.join_ms;
-    agg.client_ms += outcome.client.total_ms;
+    agg.client_ms += outcome.client_ms;
     agg.network_ms += outcome.network_ms;
     agg.total_ms += outcome.total_ms;
     agg.rs_size += static_cast<double>(outcome.cloud.rs_size);
     agg.result_rows += static_cast<double>(outcome.cloud.result_rows);
     agg.response_bytes += static_cast<double>(outcome.response_bytes);
-    agg.candidates += static_cast<double>(outcome.client.candidates);
-    agg.final_results += static_cast<double>(outcome.results.NumMatches());
+    agg.candidates += static_cast<double>(outcome.client_candidates);
+    agg.final_results += static_cast<double>(outcome.matches.NumMatches());
   }
   if (completed == 0) {
     agg.queries = 0;

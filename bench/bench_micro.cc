@@ -140,24 +140,24 @@ void BM_SnapshotDeserialize(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotDeserialize);
 
-void BM_CloudAnswerQuery(benchmark::State& state) {
+void BM_CloudServe(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   size_t i = 0;
   for (auto _ : state) {
     const auto request =
         f.owner->AnonymizeQueryToRequest(f.queries[i % f.queries.size()]);
-    auto answer = f.server->AnswerQuery(*request);
+    auto answer = f.server->Serve(*request);
     benchmark::DoNotOptimize(answer.ok());
     ++i;
   }
 }
-BENCHMARK(BM_CloudAnswerQuery);
+BENCHMARK(BM_CloudServe);
 
 void BM_ClientProcessResponse(benchmark::State& state) {
   Fixture& f = Fixture::Get();
   const AttributedGraph& query = f.queries.front();
   const auto request = f.owner->AnonymizeQueryToRequest(query);
-  const auto answer = f.server->AnswerQuery(*request);
+  const auto answer = f.server->Serve(*request);
   for (auto _ : state) {
     auto results = f.owner->ProcessResponse(query, answer->response_payload);
     benchmark::DoNotOptimize(results.ok());

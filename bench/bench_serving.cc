@@ -73,7 +73,7 @@ void Run() {
 
     // distinct queries x repeat copies, interleaved so cache hits spread
     // across the replay instead of clustering at the end.
-    std::vector<AttributedGraph> workload;
+    std::vector<QueryRequest> workload;
     {
       Rng rng(29);
       std::vector<AttributedGraph> base;
@@ -86,7 +86,11 @@ void Run() {
         base.push_back(extracted->query);
       }
       for (size_t r = 0; r < repeat; ++r) {
-        for (const AttributedGraph& q : base) workload.push_back(q);
+        for (const AttributedGraph& q : base) {
+          QueryRequest request;
+          request.pattern = q;
+          workload.push_back(std::move(request));
+        }
       }
     }
 
@@ -105,8 +109,8 @@ void Run() {
           CounterValue("ppsm_cloud_plan_cache_hits_total");
       const double misses_before =
           CounterValue("ppsm_cloud_plan_cache_misses_total");
-      const BatchOutcome batch =
-          system->QueryBatch(workload, mode.mode_concurrency);
+      const BatchResult batch =
+          system->ExecuteBatch(workload, mode.mode_concurrency);
       const double hits =
           CounterValue("ppsm_cloud_plan_cache_hits_total") - hits_before;
       const double misses =

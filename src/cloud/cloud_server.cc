@@ -8,6 +8,7 @@
 #include "match/decomposition.h"
 #include "match/result_join.h"
 #include "match/star_matcher.h"
+#include "match/unit_matcher.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -115,6 +116,7 @@ ShardConfig ToShardConfig(const CloudConfig& config) {
   ShardConfig shard;
   shard.num_threads = config.num_threads;
   shard.plan_cache_entries = config.plan_cache_entries;
+  shard.max_unit_depth = config.max_unit_depth;
   return shard;
 }
 
@@ -132,6 +134,7 @@ CloudConfig ToCloudConfig(const ShardConfig& shard,
   config.plan_cache_entries = shard.plan_cache_entries;
   config.max_inflight = cluster.max_inflight;
   config.query_deadline_ms = cluster.query_deadline_ms;
+  config.max_unit_depth = shard.max_unit_depth;
   return config;
 }
 
@@ -143,7 +146,7 @@ struct CloudServer::PlanCache {
   explicit PlanCache(size_t capacity) : plans(capacity) {}
 
   std::mutex mu;
-  LruCache<std::string, StarDecomposition> plans;
+  LruCache<std::string, UnitDecomposition> plans;
   uint64_t hits = 0;
   uint64_t misses = 0;
 };
@@ -172,6 +175,7 @@ Result<CloudServer> CloudServer::HostSlice(UploadPackage package,
   CloudConfig flat;
   flat.num_threads = config.num_threads;
   flat.plan_cache_entries = config.plan_cache_entries;
+  flat.max_unit_depth = config.max_unit_depth;
   return HostImpl(std::move(package), flat, /*slice=*/true);
 }
 
@@ -222,6 +226,7 @@ Result<CloudServer> CloudServer::HostImpl(UploadPackage package,
     }
     server.stats_ = ComputeGkStatistics(*package.go, num_types,
                                         std::move(package.type_of_group));
+    server.hops_ = package.go->hops;
     num_centers = package.go->num_b1;
     server.to_gk_ = std::move(package.go->to_gk);
     server.data_ = std::move(package.go->graph);
@@ -321,12 +326,15 @@ Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
   query_span.AddArg("query_id", stats.query_id);
   const CloudMetrics& metrics = CloudMetrics::Get();
 
-  // Phase 1: cost-model query decomposition (exact ILP), candidate-aware
-  // so hub-rooted stars with astronomic match sets are avoided. The ILP is
-  // pure in (Qo, hosted index), so repeated workload shapes hit the plan
+  // Phase 1: cost-model query decomposition (exact ILP) over generalized
+  // units — stars always, paths/trees up to the depth the hosted radius
+  // supports — candidate-aware so hub-rooted units with astronomic match
+  // sets are avoided. At depth 1 this is the paper's §4.2.1 star
+  // decomposition, plan for plan. The ILP is pure in (Qo, hosted index,
+  // depth cap — fixed per server), so repeated workload shapes hit the plan
   // cache and skip the solver entirely.
   WallTimer phase_timer;
-  std::optional<StarDecomposition> cached;
+  std::optional<UnitDecomposition> cached;
   std::string signature;
   if (plan_cache_ != nullptr) {
     signature = QoSignature(qo);
@@ -338,15 +346,16 @@ Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
       ++plan_cache_->misses;
     }
   }
-  StarDecomposition decomposition;
+  UnitDecomposition decomposition;
   if (cached.has_value()) {
     decomposition = *std::move(cached);
     stats.plan_cache_hit = true;
     metrics.plan_cache_hits.Increment();
   } else {
-    Result<StarDecomposition> decomposition_or = [&] {
+    Result<UnitDecomposition> decomposition_or = [&] {
       PPSM_TRACE_SPAN_CAT("cloud.decompose", "query");
-      return DecomposeQuery(qo, stats_, data_, index_);
+      return DecomposeQueryUnits(qo, stats_, data_, index_,
+                                 EffectiveUnitDepth());
     }();
     PPSM_ASSIGN_OR_RETURN(decomposition, std::move(decomposition_or));
     if (plan_cache_ != nullptr) {
@@ -358,21 +367,22 @@ Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
     }
   }
   stats.decomposition_ms = phase_timer.ElapsedMillis();
-  stats.num_stars = decomposition.centers.size();
+  stats.num_stars = decomposition.units.size();
   metrics.decomposition_ms.Observe(stats.decomposition_ms);
-  metrics.stars.Increment(decomposition.centers.size());
+  metrics.stars.Increment(decomposition.units.size());
   if (has_deadline && SteadyClock::now() >= deadline) {
     return timeout("after decomposition");
   }
 
-  // Phase 2: star matching over the hosted graph (Algorithm 1). MatchStars
-  // spreads the stars across the pool workers and MatchStar additionally
-  // chunks each candidate-center loop, all bounded by the row cap so
-  // pathological queries fail with ResourceExhausted instead of exhausting
-  // the machine. An expired deadline cancels the remaining stars and
-  // candidate chunks, so the query stops within one chunk of expiry.
+  // Phase 2: unit matching over the hosted graph (Algorithm 1, generalized).
+  // MatchUnits spreads the units across the pool workers — star units run
+  // MatchStar verbatim, deeper units the scoped backtracker — and each
+  // candidate-root loop is additionally chunked, all bounded by the row cap
+  // so pathological queries fail with ResourceExhausted instead of
+  // exhausting the machine. An expired deadline cancels the remaining units
+  // and candidate chunks, so the query stops within one chunk of expiry.
   phase_timer.Restart();
-  StarMatchOptions star_options;
+  UnitMatchOptions star_options;
   star_options.max_rows = kMaxRows;
   star_options.num_threads = config_.num_threads;
   if (has_deadline) {
@@ -380,29 +390,29 @@ Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
       return SteadyClock::now() >= deadline;
     };
   }
-  std::vector<StarMatches> stars = [&] {
+  std::vector<UnitMatches> stars = [&] {
     TraceSpan span(Tracer::Global(), "cloud.star_match", "query");
     span.AddArg("query_id", stats.query_id);
     span.AddArg("num_stars", static_cast<uint64_t>(
-                                 decomposition.centers.size()));
-    return MatchStars(data_, index_, qo, decomposition.centers,
-                      star_options);
+                                 decomposition.units.size()));
+    return MatchUnits(data_, index_, qo, decomposition.units, star_options);
   }();
-  // Per-star profiles (the cost-model calibration inputs) are filled before
+  // Per-unit profiles (the cost-model calibration inputs) are filled before
   // any early return below so even a timed-out or truncated query reports
-  // what its stars did.
+  // what its units did.
   const bool estimates_aligned =
       decomposition.estimates.size() == stars.size();
   stats.stars.reserve(stars.size());
   bool star_truncated = false;
   for (size_t i = 0; i < stars.size(); ++i) {
-    StarProfile profile;
+    UnitProfile profile;
     profile.center = static_cast<uint32_t>(stars[i].center);
     profile.candidates = stars[i].num_candidates;
     profile.rows = stars[i].matches.NumMatches();
     profile.estimated_rows =
         estimates_aligned ? decomposition.estimates[i] : 0.0;
     profile.truncated = stars[i].truncated;
+    profile.kind = UnitKindName(stars[i].kind);
     star_truncated = star_truncated || stars[i].truncated;
     stats.stars.push_back(profile);
   }
@@ -455,7 +465,7 @@ Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
     TraceSpan span(Tracer::Global(), "cloud.join", "query");
     span.AddArg("query_id", stats.query_id);
     span.AddArg("rs_size", static_cast<uint64_t>(stats.rs_size));
-    return JoinStarMatches(stars, avt_, qo.NumVertices(), join_options,
+    return JoinUnitMatches(stars, avt_, qo.NumVertices(), join_options,
                            &join_diag);
   }();
   stats.join_ms = phase_timer.ElapsedMillis();

@@ -30,6 +30,12 @@ struct ShardConfig {
   /// Capacity of the decomposition plan cache (LRU over canonical Qo
   /// signatures; see match/decomposition.h QoSignature). 0 disables caching.
   size_t plan_cache_entries = 128;
+  /// Cap on the BFS depth of decomposition units the planner may pick
+  /// (match/query_unit.h). 0 = use the hosted graph's full hop radius; 1 =
+  /// star-only (the paper's §4.2.1 decomposition, byte-identical plans and
+  /// answers). Values above the hosted radius are clamped to it — deeper
+  /// units could not be matched completely on this slice.
+  uint32_t max_unit_depth = 0;
 };
 
 /// Deployment-scoped serving knobs: how many shards host the graph and how
@@ -62,6 +68,7 @@ struct CloudConfig {
   size_t plan_cache_entries = 128;  // -> ShardConfig::plan_cache_entries.
   size_t max_inflight = 16;      // -> ClusterConfig::max_inflight.
   uint64_t query_deadline_ms = 0;  // -> ClusterConfig::query_deadline_ms.
+  uint32_t max_unit_depth = 0;   // -> ShardConfig::max_unit_depth.
 };
 
 /// Converters between the legacy flat config and the split pair.
@@ -144,6 +151,17 @@ class CloudServer : public QueryHandler {
 
   bool IsBaseline() const { return baseline_; }
   uint32_t k() const { return avt_.k(); }
+  /// Hop radius of the hosted Go (1 for the paper's Go and the baseline).
+  uint32_t hops() const { return hops_; }
+  /// Deepest decomposition unit the planner may pick on this server: the
+  /// hosted radius, tightened by config.max_unit_depth when set.
+  uint32_t EffectiveUnitDepth() const {
+    uint32_t depth = hops_;
+    if (config_.max_unit_depth > 0 && config_.max_unit_depth < depth) {
+      depth = config_.max_unit_depth;
+    }
+    return depth;
+  }
   size_t IndexMemoryBytes() const { return index_.MemoryBytes(); }
   double IndexBuildMillis() const { return index_build_ms_; }
   /// Number of vertices the index treats as candidate star centers.
@@ -168,6 +186,7 @@ class CloudServer : public QueryHandler {
                                       bool slice);
 
   bool baseline_ = false;
+  uint32_t hops_ = 1;              // Hop radius of the hosted Go.
   AttributedGraph data_;           // Go (compact ids) or Gk.
   std::vector<VertexId> to_gk_;    // Identity for baseline.
   Avt avt_;                        // Identity table for baseline.

@@ -10,6 +10,7 @@
 #include "match/decomposition.h"
 #include "match/result_join.h"
 #include "match/star_matcher.h"
+#include "match/unit_matcher.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -122,17 +123,34 @@ Result<ShardingPlan> BuildShardUploads(const UploadPackage& package,
       go, package.num_types,
       std::vector<VertexTypeId>(package.type_of_group));
 
+  const uint32_t hops = std::max<uint32_t>(go.hops, 1);
   plan.shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    // Slice vertex set: owned B1 vertices plus their one-hop halo, in
-    // ascending global id order — so slice-local ids are monotone in global
-    // ids (adjacency order preserved) and the slice's B1 vertices form a
-    // local prefix (B1 globals precede N1 globals by Go's layout).
-    std::vector<uint8_t> in_slice(num_vertices, 0);
+    // Slice vertex set: owned B1 vertices plus everything within `hops` of
+    // them (the one-hop halo at the paper's radius), in ascending global id
+    // order — so slice-local ids are monotone in global ids (adjacency
+    // order preserved) and the slice's B1 vertices form a local prefix (B1
+    // globals precede every deeper ring by Go's layout). The distance-
+    // bounded halo is exactly what owned-rooted units of depth <= hops
+    // touch, mirroring the h-hop Go extraction around B1.
+    std::vector<uint32_t> dist(num_vertices, UINT32_MAX);
+    std::vector<VertexId> frontier;
     for (VertexId v = 0; v < num_b1; ++v) {
       if (part[v] != s) continue;
-      in_slice[v] = 1;
-      for (const VertexId n : go.graph.Neighbors(v)) in_slice[n] = 1;
+      dist[v] = 0;
+      frontier.push_back(v);
+    }
+    for (uint32_t d = 1; d <= hops && !frontier.empty(); ++d) {
+      std::vector<VertexId> next;
+      for (const VertexId u : frontier) {
+        for (const VertexId n : go.graph.Neighbors(u)) {
+          if (dist[n] == UINT32_MAX) {
+            dist[n] = d;
+            next.push_back(n);
+          }
+        }
+      }
+      frontier = std::move(next);
     }
     ShardUpload upload;
     upload.shard = s;
@@ -141,7 +159,7 @@ Result<ShardingPlan> BuildShardUploads(const UploadPackage& package,
     upload.global_b1 = num_b1;
     std::vector<VertexId> to_local(num_vertices, kInvalidVertex);
     for (VertexId g = 0; g < num_vertices; ++g) {
-      if (!in_slice[g]) continue;
+      if (dist[g] == UINT32_MAX) continue;
       to_local[g] = static_cast<VertexId>(upload.to_global.size());
       upload.to_global.push_back(g);
     }
@@ -150,6 +168,7 @@ Result<ShardingPlan> BuildShardUploads(const UploadPackage& package,
     slice_builder.ReserveVertices(upload.to_global.size());
     OutsourcedGraph slice;
     slice.k = package.k;
+    slice.hops = hops;
     for (const VertexId g : upload.to_global) {
       slice_builder.AddVertex(
           std::vector<VertexTypeId>(go.graph.Types(g).begin(),
@@ -161,14 +180,18 @@ Result<ShardingPlan> BuildShardUploads(const UploadPackage& package,
       upload.owned.push_back(owned ? 1 : 0);
       if (g < num_b1) ++slice.num_b1;
     }
-    // Slice edges: every Go edge with at least one OWNED endpoint (both
-    // endpoints are then in the slice by construction). Canonical rule —
-    // emit from the smaller owned endpoint — adds each edge exactly once.
-    for (VertexId u = 0; u < num_b1; ++u) {
-      if (part[u] != s) continue;
+    // Slice edges: every Go edge with an endpoint within hops - 1 of the
+    // owned set (at radius 1: an owned endpoint; both endpoints are then in
+    // the slice by construction). Canonical rule — when both endpoints
+    // qualify, the smaller global id emits — adds each edge exactly once.
+    // This is the full edge set an owned-rooted unit of depth <= hops can
+    // traverse: its depth-j parent vertices sit within j <= hops - 1 of an
+    // owned root.
+    for (VertexId u = 0; u < num_vertices; ++u) {
+      if (dist[u] >= hops) continue;  // Outside the emitting prefix.
       for (const VertexId v : go.graph.Neighbors(u)) {
-        const bool v_owned = v < num_b1 && part[v] == s;
-        if (v_owned && v < u) continue;  // Emitted from v's side.
+        const bool v_emits = dist[v] < hops;
+        if (v_emits && v < u) continue;  // Emitted from v's side.
         slice_builder.AddEdgeUnchecked(to_local[u], to_local[v]);
       }
     }
@@ -190,7 +213,7 @@ struct CloudCluster::PlanCache {
   explicit PlanCache(size_t capacity) : plans(capacity) {}
 
   std::mutex mu;
-  LruCache<std::string, StarDecomposition> plans;
+  LruCache<std::string, UnitDecomposition> plans;
   uint64_t hits = 0;
   uint64_t misses = 0;
 };
@@ -373,14 +396,16 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
   query_span.AddArg("num_shards", static_cast<uint64_t>(shards_.size()));
   const ClusterMetrics& metrics = ClusterMetrics::Get();
 
-  // Phase 1: GLOBAL decomposition on the coordinator. Each shard shortlists
-  // its owned candidates (their slice verdicts equal the global ones — an
-  // owned vertex's adjacency is complete in its slice); the coordinator
-  // merges the disjoint lists into ascending global order and evaluates the
-  // candidate-aware estimator itself, reproducing the unsharded cost sums
-  // bit for bit. All shards then match the SAME stars.
+  // Phase 1: GLOBAL decomposition on the coordinator, over generalized
+  // units (stars always; paths/trees up to the hosted hop radius). Each
+  // shard shortlists its owned root candidates (their slice verdicts equal
+  // the global ones — an owned vertex's adjacency is complete in its
+  // slice); the coordinator merges the disjoint lists into ascending global
+  // order and evaluates the candidate-aware estimator itself, reproducing
+  // the unsharded cost sums bit for bit. All shards then match the SAME
+  // units.
   WallTimer phase_timer;
-  std::optional<StarDecomposition> cached;
+  std::optional<UnitDecomposition> cached;
   std::string signature;
   if (plan_cache_ != nullptr) {
     signature = QoSignature(qo);
@@ -392,34 +417,42 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
       ++plan_cache_->misses;
     }
   }
-  StarDecomposition decomposition;
+  UnitDecomposition decomposition;
   if (cached.has_value()) {
     decomposition = *std::move(cached);
     stats.plan_cache_hit = true;
   } else {
-    Result<StarDecomposition> decomposition_or = [&] {
+    Result<UnitDecomposition> decomposition_or =
+        [&]() -> Result<UnitDecomposition> {
       PPSM_TRACE_SPAN_CAT("cluster.decompose", "query");
-      std::vector<double> costs;
-      costs.reserve(qo.NumVertices());
-      std::vector<VertexId> merged;
-      std::vector<size_t> degrees;
+      std::vector<QueryUnit> units =
+          EnumerateCandidateUnits(qo, shards_[0].EffectiveUnitDepth());
+      // Merged owned candidates (ascending global id) and their full Go
+      // degrees, once per query vertex — shared by every unit rooted there.
+      std::vector<std::vector<VertexId>> merged(qo.NumVertices());
+      std::vector<std::vector<size_t>> degrees(qo.NumVertices());
       for (VertexId v = 0; v < qo.NumVertices(); ++v) {
-        merged.clear();
         for (size_t s = 0; s < shards_.size(); ++s) {
           const std::vector<VertexId> local =
               shards_[s].index().CandidateCenters(qo, v);
           for (const VertexId l : local) {
-            if (owned_[s][l] != 0) merged.push_back(to_global_[s][l]);
+            if (owned_[s][l] != 0) merged[v].push_back(to_global_[s][l]);
           }
         }
-        std::sort(merged.begin(), merged.end());
-        degrees.clear();
-        degrees.reserve(merged.size());
-        for (const VertexId g : merged) degrees.push_back(go_degree_[g]);
-        costs.push_back(EstimateStarCardinalityForCandidates(
-            stats_, qo, v, merged, degrees));
+        std::sort(merged[v].begin(), merged[v].end());
+        degrees[v].reserve(merged[v].size());
+        for (const VertexId g : merged[v]) {
+          degrees[v].push_back(go_degree_[g]);
+        }
       }
-      return DecomposeQueryWithCosts(qo, std::move(costs));
+      std::vector<double> costs;
+      costs.reserve(units.size());
+      for (const QueryUnit& unit : units) {
+        costs.push_back(EstimateUnitCardinalityForCandidates(
+            stats_, qo, unit, merged[unit.root()], degrees[unit.root()]));
+      }
+      return DecomposeQueryUnitsWithCosts(qo, std::move(units),
+                                          std::move(costs));
     }();
     PPSM_ASSIGN_OR_RETURN(decomposition, std::move(decomposition_or));
     if (plan_cache_ != nullptr) {
@@ -428,22 +461,22 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
     }
   }
   stats.decomposition_ms = phase_timer.ElapsedMillis();
-  stats.num_stars = decomposition.centers.size();
+  stats.num_stars = decomposition.units.size();
   if (has_deadline && SteadyClock::now() >= deadline) {
     return timeout("after decomposition");
   }
 
-  // Phase 2: shard-local star matching. Every shard matches the same stars
-  // over its slice, restricted to its owned candidate centers; rows come
+  // Phase 2: shard-local unit matching. Every shard matches the same units
+  // over its slice, restricted to its owned candidate roots; rows come
   // back in slice-local ids and are translated to global Go-local ids here
   // (NOT to Gk yet — the merge must run in the monotone global id space;
   // to_gk follows AVT row order and is not monotone).
   phase_timer.Restart();
-  std::vector<std::vector<StarMatches>> shard_rows(shards_.size());
+  std::vector<std::vector<UnitMatches>> shard_rows(shards_.size());
   stats.shards.resize(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     WallTimer shard_timer;
-    StarMatchOptions star_options;
+    UnitMatchOptions star_options;
     star_options.max_rows = kMaxRows;
     star_options.num_threads = shard_config_.num_threads;
     if (has_deadline) {
@@ -459,8 +492,8 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
       TraceSpan span(Tracer::Global(), "cluster.shard_match", "query");
       span.AddArg("query_id", stats.query_id);
       span.AddArg("shard", static_cast<uint64_t>(s));
-      return MatchStars(shards_[s].data(), shards_[s].index(), qo,
-                        decomposition.centers, star_options);
+      return MatchUnits(shards_[s].data(), shards_[s].index(), qo,
+                        decomposition.units, star_options);
     }();
     const std::vector<VertexId>& to_global = to_global_[s];
     ShardProfile& profile = stats.shards[s];
@@ -516,18 +549,25 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
     if (star.matches.NumMatches() > kMaxRows) star.truncated = true;
   }
 
+  // The wire codec ships rows/columns only, so the unit kind is restored
+  // from the coordinator's plan (shards matched exactly these units).
+  for (size_t i = 0; i < stars.size() && i < decomposition.units.size();
+       ++i) {
+    stars[i].kind = decomposition.units[i].kind;
+  }
   const bool estimates_aligned =
       decomposition.estimates.size() == stars.size();
   stats.stars.reserve(stars.size());
   bool star_truncated = false;
   for (size_t i = 0; i < stars.size(); ++i) {
-    StarProfile profile;
+    UnitProfile profile;
     profile.center = static_cast<uint32_t>(stars[i].center);
     profile.candidates = stars[i].num_candidates;
     profile.rows = stars[i].matches.NumMatches();
     profile.estimated_rows =
         estimates_aligned ? decomposition.estimates[i] : 0.0;
     profile.truncated = stars[i].truncated;
+    profile.kind = UnitKindName(stars[i].kind);
     star_truncated = star_truncated || stars[i].truncated;
     stats.stars.push_back(profile);
   }
@@ -568,7 +608,7 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
     TraceSpan span(Tracer::Global(), "cluster.join", "query");
     span.AddArg("query_id", stats.query_id);
     span.AddArg("rs_size", static_cast<uint64_t>(stats.rs_size));
-    return JoinStarMatches(stars, avt_, qo.NumVertices(), join_options,
+    return JoinUnitMatches(stars, avt_, qo.NumVertices(), join_options,
                            &join_diag);
   }();
   stats.join_ms = phase_timer.ElapsedMillis();

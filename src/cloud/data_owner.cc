@@ -95,11 +95,15 @@ Result<DataOwner> DataOwner::Create(AttributedGraph graph,
     return Status::InvalidArgument("data owner needs the schema");
   }
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.go_hops == 0) {
+    return Status::InvalidArgument("go_hops must be >= 1");
+  }
 
   DataOwner owner;
   owner.graph_ = std::move(graph);
   owner.schema_ = std::move(schema);
   owner.baseline_ = options.baseline_upload;
+  owner.go_hops_ = options.go_hops;
 
   const size_t threads =
       options.setup_threads == 0 ? 1 : options.setup_threads;
@@ -172,10 +176,12 @@ Result<DataOwner> DataOwner::Create(AttributedGraph graph,
 Result<DataOwner> DataOwner::Restore(AttributedGraph graph,
                                      std::shared_ptr<const Schema> schema,
                                      Lct lct, KAutomorphicGraph kag,
-                                     bool baseline_upload) {
+                                     bool baseline_upload,
+                                     uint32_t go_hops) {
   if (schema == nullptr) {
     return Status::InvalidArgument("data owner needs the schema");
   }
+  if (go_hops == 0) return Status::InvalidArgument("go_hops must be >= 1");
   PPSM_RETURN_IF_ERROR(lct.Validate(*schema));
   PPSM_RETURN_IF_ERROR(kag.avt.Validate());
   if (kag.num_original_vertices != graph.NumVertices()) {
@@ -198,6 +204,7 @@ Result<DataOwner> DataOwner::Restore(AttributedGraph graph,
   owner.lct_ = std::move(lct);
   owner.kag_ = std::move(kag);
   owner.baseline_ = baseline_upload;
+  owner.go_hops_ = go_hops;
   owner.setup_stats_.gk_vertices = owner.kag_.gk.NumVertices();
   owner.setup_stats_.gk_edges = owner.kag_.gk.NumEdges();
   owner.setup_stats_.noise_vertices = owner.kag_.NumNoiseVertices();
@@ -225,7 +232,7 @@ Status DataOwner::BuildUploadAndIndex(size_t num_threads) {
       setup_stats_.go_vertices = kag_.gk.NumVertices();
       setup_stats_.go_edges = kag_.gk.NumEdges();
     } else {
-      auto go_or = BuildOutsourcedGraph(kag_, num_threads);
+      auto go_or = BuildOutsourcedGraph(kag_, num_threads, go_hops_);
       if (!go_or.ok()) {
         package_status = go_or.status();
         return;

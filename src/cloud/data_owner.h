@@ -25,6 +25,11 @@ struct DataOwnerOptions {
   GroupingStrategy strategy = GroupingStrategy::kCostModel;
   /// BAS: upload the whole Gk instead of Go (+AVT).
   bool baseline_upload = false;
+  /// Go extraction radius around B1 (>= 1). 1 is the paper's Go — B1 plus
+  /// its one-hop neighborhood — and keeps the upload byte-identical to
+  /// before; radius h lets the cloud match decomposition units of depth up
+  /// to h (kauto/outsourced_graph.h). Ignored by the baseline upload.
+  uint32_t go_hops = 1;
   GroupingOptions grouping;
   KAutomorphismOptions kauto;  // .k is overridden with `k`.
   /// Workers for the whole offline pipeline; overrides
@@ -71,7 +76,8 @@ class DataOwner {
   static Result<DataOwner> Restore(AttributedGraph graph,
                                    std::shared_ptr<const Schema> schema,
                                    Lct lct, KAutomorphicGraph kag,
-                                   bool baseline_upload);
+                                   bool baseline_upload,
+                                   uint32_t go_hops = 1);
 
   /// The serialized upload package destined for the cloud.
   const std::vector<uint8_t>& upload_bytes() const { return upload_bytes_; }
@@ -113,6 +119,8 @@ class DataOwner {
   const KAutomorphicGraph& kag() const { return kag_; }
   bool IsBaselineUpload() const { return baseline_; }
   uint32_t k() const { return kag_.avt.k(); }
+  /// Go extraction radius this owner uploads with (1 = the paper's Go).
+  uint32_t go_hops() const { return go_hops_; }
 
  private:
   DataOwner() = default;
@@ -127,6 +135,7 @@ class DataOwner {
   Lct lct_;
   KAutomorphicGraph kag_;
   bool baseline_ = false;
+  uint32_t go_hops_ = 1;
   std::vector<uint8_t> upload_bytes_;
   SetupStats setup_stats_;
   /// O(1) edge-existence filter over E(G) (§4.2.2's hash index).

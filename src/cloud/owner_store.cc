@@ -56,6 +56,10 @@ Status SaveDataOwner(const DataOwner& owner, const std::string& directory,
          meta.PutU8(owner.IsBaselineUpload() ? 1 : 0);
          meta.PutVarint(owner.kag().num_original_vertices);
          meta.PutVarint(owner.kag().num_original_edges);
+         // Optional trailer: the Go radius, only when it deviates from the
+         // default — radius-1 snapshots stay byte-identical to older ones,
+         // and older snapshots (no trailer) load as radius 1.
+         if (owner.go_hops() > 1) meta.PutVarint(owner.go_hops());
          return meta.TakeBytes();
        },
        {}},
@@ -104,9 +108,18 @@ Result<DataOwner> LoadDataOwner(const std::string& directory) {
   PPSM_ASSIGN_OR_RETURN(const uint8_t baseline, meta.GetU8());
   PPSM_ASSIGN_OR_RETURN(kag.num_original_vertices, meta.GetVarint());
   PPSM_ASSIGN_OR_RETURN(kag.num_original_edges, meta.GetVarint());
+  uint32_t go_hops = 1;  // Radius-1 snapshots carry no trailer.
+  if (meta.remaining() > 0) {
+    PPSM_ASSIGN_OR_RETURN(const uint64_t hops, meta.GetVarint());
+    if (hops < 2 || hops > UINT32_MAX) {
+      return Status::InvalidArgument("bad owner-store Go radius");
+    }
+    go_hops = static_cast<uint32_t>(hops);
+  }
 
   return DataOwner::Restore(std::move(graph), std::move(shared_schema),
-                            std::move(lct), std::move(kag), baseline != 0);
+                            std::move(lct), std::move(kag), baseline != 0,
+                            go_hops);
 }
 
 Status SaveShardUploads(const ShardingPlan& plan,

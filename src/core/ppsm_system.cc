@@ -98,6 +98,7 @@ Result<PpsmSystem> PpsmSystem::Setup(AttributedGraph graph,
   options.grouping.seed = config.seed;
   options.kauto = config.kauto;
   options.setup_threads = config.setup_threads;
+  options.go_hops = config.go_hops;
   switch (config.method) {
     case Method::kEff:
       options.strategy = GroupingStrategy::kCostModel;

@@ -49,6 +49,13 @@ struct SystemConfig {
   /// extraction, snapshot saves). Artifacts and upload bytes are
   /// byte-identical at every value (DESIGN.md §11); 0 behaves like 1.
   size_t setup_threads = 1;
+  /// Go extraction radius around B1 (>= 1). 1 is the paper's Go and keeps
+  /// every artifact byte-identical to before; radius h lets the cloud plan
+  /// and match decomposition units of depth up to h (path/tree units —
+  /// DESIGN.md §14). The planner's unit depth can be tightened further with
+  /// cloud.max_unit_depth (1 = star-only planning at any radius). Ignored
+  /// by the BAS baseline, which ships all of Gk.
+  uint32_t go_hops = 1;
 };
 
 /// One privacy-preserving subgraph query, end to end (paper Fig. 22's

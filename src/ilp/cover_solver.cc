@@ -28,6 +28,43 @@ Status ValidateModel(const CoverIlp& model) {
   return Status::OK();
 }
 
+/// Constraint-dominance preprocessing: if C_i ⊆ C_j (i != j), any selection
+/// satisfying C_i satisfies C_j, so C_j is redundant and is dropped (exact
+/// duplicates keep the first occurrence). Survivors keep their original
+/// order, so models with no dominated constraint — notably the star-only
+/// decomposition, whose edge constraints are distinct two-element sets and
+/// whose singletons involve only isolated vertices absent from every edge —
+/// are returned untouched and the branch-and-bound explores the exact same
+/// tree as before this pass existed. Mixed-unit models routinely produce
+/// dominated constraints (a long unit's tree edges each list the unit), and
+/// shrinking them keeps the exact solve fast.
+std::vector<std::vector<uint32_t>> ReduceConstraints(
+    std::vector<std::vector<uint32_t>> constraints) {
+  const size_t n = constraints.size();
+  std::vector<std::vector<uint32_t>> sorted(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted[i] = constraints[i];
+    std::sort(sorted[i].begin(), sorted[i].end());
+  }
+  std::vector<bool> drop(n, false);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n && !drop[j]; ++i) {
+      if (i == j || drop[i]) continue;
+      if (sorted[i].size() > sorted[j].size()) continue;
+      // Equal-size sets can only dominate by being equal; keep the first.
+      if (sorted[i].size() == sorted[j].size() && i > j) continue;
+      drop[j] = std::includes(sorted[j].begin(), sorted[j].end(),
+                              sorted[i].begin(), sorted[i].end());
+    }
+  }
+  std::vector<std::vector<uint32_t>> kept;
+  kept.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!drop[i]) kept.push_back(std::move(constraints[i]));
+  }
+  return kept;
+}
+
 /// Greedy warm start: repeatedly satisfy uncovered constraints with the
 /// cheapest-per-coverage variable. Gives the B&B a finite incumbent.
 std::vector<bool> GreedyCover(const CoverIlp& model) {
@@ -195,7 +232,19 @@ class BranchAndBound {
 Result<CoverSolution> SolveCoverIlp(const CoverIlp& model,
                                     const CoverSolverOptions& options) {
   PPSM_RETURN_IF_ERROR(ValidateModel(model));
-  BranchAndBound solver(model, options.node_limit);
+  std::vector<std::vector<uint32_t>> reduced =
+      ReduceConstraints(model.constraints);
+  if (reduced.size() == model.constraints.size()) {
+    // Nothing dominated (every star-only model lands here): solve the
+    // caller's model as-is.
+    BranchAndBound solver(model, options.node_limit);
+    PPSM_RETURN_IF_ERROR(solver.Run());
+    return solver.TakeSolution();
+  }
+  CoverIlp slim;
+  slim.cost = model.cost;
+  slim.constraints = std::move(reduced);
+  BranchAndBound solver(slim, options.node_limit);
   PPSM_RETURN_IF_ERROR(solver.Run());
   return solver.TakeSolution();
 }

@@ -42,6 +42,10 @@ struct CoverSolverOptions {
 /// Solves the covering ILP exactly. Fails with InvalidArgument on negative
 /// costs, empty constraints, or out-of-range variable indices;
 /// ResourceExhausted if the node limit is hit before optimality is proven.
+/// Constraints dominated by a subset constraint are eliminated before the
+/// search (the optimum is unchanged); models with no dominated constraint —
+/// in particular every star-only decomposition model — are solved verbatim,
+/// preserving the exact branch-and-bound traversal.
 Result<CoverSolution> SolveCoverIlp(const CoverIlp& model,
                                     const CoverSolverOptions& options = {});
 

@@ -10,11 +10,16 @@
 namespace ppsm {
 
 namespace {
-constexpr uint32_t kGoMagic = 0x316f4750;  // "PGo1"
+constexpr uint32_t kGoMagicV1 = 0x316f4750;  // "PGo1" — hops == 1 layout.
+constexpr uint32_t kGoMagicV2 = 0x326f4750;  // "PGo2" — adds the hop radius.
 }  // namespace
 
 Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
-                                             size_t num_threads) {
+                                             size_t num_threads,
+                                             uint32_t hops) {
+  if (hops == 0) {
+    return Status::InvalidArgument("Go extraction radius must be >= 1");
+  }
   const AttributedGraph& gk = kag.gk;
   const Avt& avt = kag.avt;
   const uint32_t k = avt.k();
@@ -22,6 +27,7 @@ Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
 
   OutsourcedGraph go;
   go.k = k;
+  go.hops = hops;
   std::vector<VertexId> gk_to_local(gk.NumVertices(), kInvalidVertex);
 
   // B1 first, in row order (so VBV bit positions are stable/deterministic).
@@ -32,25 +38,39 @@ Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
   }
   go.num_b1 = go.to_gk.size();
 
-  // One-hop neighbors of B1 outside B1, in ascending Gk id order. Workers
-  // scan disjoint slices of B1 into private buffers; sort+unique erases the
-  // concatenation order, so the set is the same at every thread count.
-  const auto chunks = SplitIntoChunks(go.num_b1, threads, 512);
-  std::vector<std::vector<VertexId>> chunk_n1(chunks.size());
-  ParallelFor(threads, chunks.size(), [&](size_t c) {
-    std::vector<VertexId>& out = chunk_n1[c];
-    for (size_t local = chunks[c].first; local < chunks[c].second; ++local) {
-      for (const VertexId u : gk.Neighbors(go.to_gk[local])) {
-        if (avt.BlockOf(u) != 0) out.push_back(u);
+  // Ring-by-ring BFS: ring h holds the vertices at distance exactly h from
+  // B1, appended in ascending Gk id order — so B1 and ring 1 get the same
+  // local ids at every radius, and hops == 1 lays out exactly the legacy
+  // B1 + N1 graph. Workers scan disjoint slices of the previous ring into
+  // private buffers; sort+unique erases the concatenation order, so the set
+  // is the same at every thread count. Because local ids grow ring by ring,
+  // distance is monotone in local id: dist(local) <= d iff local is below
+  // the ring-d prefix.
+  size_t ring_begin = 0;
+  size_t ring_end = go.to_gk.size();
+  for (uint32_t ring = 1; ring <= hops && ring_begin < ring_end; ++ring) {
+    const auto ring_chunks =
+        SplitIntoChunks(ring_end - ring_begin, threads, 512);
+    std::vector<std::vector<VertexId>> chunk_frontier(ring_chunks.size());
+    ParallelFor(threads, ring_chunks.size(), [&](size_t c) {
+      std::vector<VertexId>& out = chunk_frontier[c];
+      for (size_t i = ring_chunks[c].first; i < ring_chunks[c].second; ++i) {
+        for (const VertexId u : gk.Neighbors(go.to_gk[ring_begin + i])) {
+          if (gk_to_local[u] == kInvalidVertex) out.push_back(u);
+        }
       }
+    });
+    std::vector<VertexId> frontier;
+    for (const auto& chunk : chunk_frontier) {
+      frontier.insert(frontier.end(), chunk.begin(), chunk.end());
     }
-  });
-  std::vector<VertexId> n1;
-  for (const auto& chunk : chunk_n1) n1.insert(n1.end(), chunk.begin(), chunk.end());
-  ParallelSortUnique(&n1, threads);
-  for (const VertexId u : n1) {
-    gk_to_local[u] = static_cast<VertexId>(go.to_gk.size());
-    go.to_gk.push_back(u);
+    ParallelSortUnique(&frontier, threads);
+    ring_begin = ring_end;
+    for (const VertexId u : frontier) {
+      gk_to_local[u] = static_cast<VertexId>(go.to_gk.size());
+      go.to_gk.push_back(u);
+    }
+    ring_end = go.to_gk.size();
   }
 
   GraphBuilder builder;
@@ -62,19 +82,29 @@ Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
         std::vector<VertexTypeId>(types.begin(), types.end()),
         std::vector<LabelId>(labels.begin(), labels.end()));
   }
-  // Edges incident to B1 only, each emitted exactly once (B1-B1 from the
-  // lower Gk id, B1-N1 from the B1 endpoint), so the chunk batches are
-  // duplicate-free. Chunk layout and concatenation order are fixed by
-  // SplitIntoChunks, not by the thread count, keeping the edge order — and
-  // the serialized Go — byte-identical at every value.
+  // Edges with an endpoint within hops - 1 of B1 only (at hops == 1:
+  // incident to B1), each emitted exactly once — when both endpoints are
+  // inside the emitting prefix, from the lower Gk id; otherwise from the
+  // prefix endpoint — so the chunk batches are duplicate-free. Every such
+  // edge's far endpoint is within `hops`, hence in the vertex set. Chunk
+  // layout and concatenation order are fixed by SplitIntoChunks, not by the
+  // thread count, keeping the edge order — and the serialized Go —
+  // byte-identical at every value.
+  size_t emit_prefix = go.num_b1;  // Locals with dist <= hops - 1.
+  if (hops >= 2) {
+    emit_prefix = go.to_gk.size();
+    // The last ring (distance == hops) never emits; everything before does.
+    if (ring_end > ring_begin) emit_prefix = ring_begin;
+  }
+  const auto chunks = SplitIntoChunks(emit_prefix, threads, 512);
   std::vector<std::vector<uint64_t>> chunk_edges(chunks.size());
   ParallelFor(threads, chunks.size(), [&](size_t c) {
     std::vector<uint64_t>& out = chunk_edges[c];
     for (size_t local = chunks[c].first; local < chunks[c].second; ++local) {
       const VertexId v = go.to_gk[local];
       for (const VertexId u : gk.Neighbors(v)) {
-        const bool u_in_b1 = avt.BlockOf(u) == 0;
-        if (u_in_b1 && u < v) continue;  // B1-B1 edge handled from lower id.
+        const bool u_emits = gk_to_local[u] < emit_prefix;
+        if (u_emits && u < v) continue;  // Both emit: lower Gk id handles it.
         out.push_back(UndirectedEdgeKey(static_cast<VertexId>(local),
                                         gk_to_local[u]));
       }
@@ -87,7 +117,14 @@ Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
 
 std::vector<uint8_t> OutsourcedGraph::Serialize() const {
   BinaryWriter writer;
-  writer.PutU32(kGoMagic);
+  // hops == 1 keeps the legacy layout so existing snapshots, uploads and
+  // their checksums stay byte-identical; only deeper radii need the field.
+  if (hops <= 1) {
+    writer.PutU32(kGoMagicV1);
+  } else {
+    writer.PutU32(kGoMagicV2);
+    writer.PutVarint(hops);
+  }
   writer.PutVarint(k);
   writer.PutVarint(num_b1);
   writer.PutVarint(to_gk.size());
@@ -102,8 +139,18 @@ Result<OutsourcedGraph> OutsourcedGraph::Deserialize(
     std::span<const uint8_t> bytes) {
   BinaryReader reader(bytes);
   PPSM_ASSIGN_OR_RETURN(const uint32_t magic, reader.GetU32());
-  if (magic != kGoMagic) return Status::InvalidArgument("bad Go magic");
+  if (magic != kGoMagicV1 && magic != kGoMagicV2) {
+    return Status::InvalidArgument("bad Go magic");
+  }
   OutsourcedGraph go;
+  if (magic == kGoMagicV2) {
+    PPSM_ASSIGN_OR_RETURN(const uint64_t hops, reader.GetVarint());
+    if (hops < 2 || hops > UINT32_MAX) {
+      // v2 exists only for deeper radii; a radius-1 payload must be v1.
+      return Status::InvalidArgument("bad Go hop radius");
+    }
+    go.hops = static_cast<uint32_t>(hops);
+  }
   PPSM_ASSIGN_OR_RETURN(const uint64_t k, reader.GetVarint());
   PPSM_ASSIGN_OR_RETURN(const uint64_t num_b1, reader.GetVarint());
   PPSM_ASSIGN_OR_RETURN(const uint64_t num_vertices, reader.GetVarint());

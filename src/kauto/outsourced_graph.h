@@ -10,37 +10,51 @@
 
 namespace ppsm {
 
-/// The outsourced graph Go (paper §4.1 Def. 5): the first block B1 of Gk
-/// together with the one-hop neighbors of its vertices, carrying exactly the
-/// Gk edges incident to B1 (within B1 or between B1 and N1 — never inside
-/// N1). This is what actually travels to the cloud: roughly a 1/k fraction
-/// of Gk, yet sufficient to recover all of Gk through the automorphic
-/// functions.
+/// The outsourced graph Go, generalized to an h-hop radius around B1. With
+/// hops == 1 this is exactly the paper's §4.1 Def. 5: the first block B1 of
+/// Gk together with the one-hop neighbors of its vertices, carrying exactly
+/// the Gk edges incident to B1 (within B1 or between B1 and N1 — never
+/// inside N1). With hops == h the vertex set extends to everything within h
+/// hops of B1 and the edge set to every Gk edge with an endpoint within
+/// h - 1 hops of B1 — precisely what the generalized unit matcher needs: a
+/// Gk match of a depth-j decomposition unit whose root lies in B1 keeps each
+/// depth-d vertex within d <= h hops of B1 and each tree edge incident to a
+/// vertex within h - 1 hops, so R(U,Go), pulled through the automorphic
+/// functions, is complete for every unit of depth <= hops (DESIGN.md §14).
+/// This is what actually travels to the cloud: roughly a 1/k fraction
+/// of Gk at h = 1, growing with the radius, yet sufficient to recover all of
+/// Gk through the automorphic functions.
 ///
-/// Vertices are stored compactly: local ids [0, num_b1) are the B1 vertices
-/// in AVT row order; N1 vertices follow. `to_gk` maps local ids back to Gk
-/// ids, which the cloud needs to apply the AVT's automorphic functions to
-/// star matches.
+/// Vertices are stored compactly, ring by ring: local ids [0, num_b1) are
+/// the B1 vertices in AVT row order; each subsequent ring (distance 1, 2,
+/// ..., hops) follows in ascending Gk id order — so the B1 and ring-1 layout
+/// (and every VBV bit position) is independent of `hops`. `to_gk` maps local
+/// ids back to Gk ids, which the cloud needs to apply the AVT's automorphic
+/// functions to unit matches.
 struct OutsourcedGraph {
   AttributedGraph graph;        // Compact local ids.
   std::vector<VertexId> to_gk;  // local id -> Gk id.
   size_t num_b1 = 0;            // Local ids < num_b1 are block-B1 vertices.
   uint32_t k = 0;               // The privacy parameter of the source Gk.
+  uint32_t hops = 1;            // Extraction radius around B1 (>= 1).
 
   bool InB1(VertexId local) const { return local < num_b1; }
   VertexId ToGk(VertexId local) const { return to_gk[local]; }
 
-  /// Wire format (graph + id map + metadata).
+  /// Wire format (graph + id map + metadata). hops == 1 emits the legacy
+  /// "PGo1" layout byte for byte; deeper radii emit "PGo2" with the radius.
   std::vector<uint8_t> Serialize() const;
   static Result<OutsourcedGraph> Deserialize(std::span<const uint8_t> bytes);
 };
 
 /// Extracts Go from a built k-automorphic graph. `num_threads` workers scan
-/// B1's neighborhoods concurrently; the result is identical for every value
-/// (the N1 set is canonicalized by sort+unique and the edge batch is
-/// assembled from fixed-order chunks — DESIGN.md §11).
+/// the frontier neighborhoods concurrently; the result is identical for
+/// every value (each ring is canonicalized by sort+unique and the edge batch
+/// is assembled from fixed-order chunks — DESIGN.md §11). `hops` is the
+/// extraction radius; 1 reproduces the paper's Go bit for bit.
 Result<OutsourcedGraph> BuildOutsourcedGraph(const KAutomorphicGraph& kag,
-                                             size_t num_threads = 1);
+                                             size_t num_threads = 1,
+                                             uint32_t hops = 1);
 
 }  // namespace ppsm
 

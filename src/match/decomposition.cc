@@ -1,6 +1,10 @@
 #include "match/decomposition.h"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
 
 #include "ilp/cover_solver.h"
 #include "obs/trace.h"
@@ -8,6 +12,25 @@
 namespace ppsm {
 
 namespace {
+
+/// Typed validation of caller-supplied cost vectors (shared by the star and
+/// unit WithCosts entry points): the documented preconditions are enforced,
+/// not assumed.
+Status ValidateCosts(const std::vector<double>& costs, size_t expected,
+                     const char* expected_what) {
+  if (costs.size() != expected) {
+    return Status::InvalidArgument(std::string("cost vector size disagrees "
+                                               "with ") +
+                                   expected_what);
+  }
+  for (const double c : costs) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      return Status::InvalidArgument(
+          "costs must be finite and non-negative");
+    }
+  }
+  return Status::OK();
+}
 
 /// Shared ILP assembly + solve once per-vertex costs are known.
 Result<StarDecomposition> DecomposeWithCosts(const AttributedGraph& qo,
@@ -74,12 +97,152 @@ Result<StarDecomposition> DecomposeQueryWithCosts(const AttributedGraph& qo,
   if (qo.NumVertices() == 0) {
     return Status::InvalidArgument("query has no vertices");
   }
-  if (costs.size() != qo.NumVertices()) {
-    return Status::InvalidArgument("cost vector size disagrees with |V(Qo)|");
-  }
+  PPSM_RETURN_IF_ERROR(ValidateCosts(costs, qo.NumVertices(), "|V(Qo)|"));
   CoverIlp model;
   model.cost = std::move(costs);
   return DecomposeWithCosts(qo, std::move(model));
+}
+
+namespace {
+
+/// Shared ILP assembly + solve for the generalized unit pipeline: one
+/// variable per candidate unit, one constraint per query edge listing (in
+/// ascending index order) the units that contain it as a *tree* edge, then
+/// singleton constraints for isolated vertices. Because stars are enumerated
+/// first with unit index == root id and ForEachEdge emits u < v, a stars-only
+/// candidate list produces the exact constraint system of the legacy
+/// per-vertex model — same branch-and-bound, same plan.
+Result<UnitDecomposition> DecomposeUnitsWithCosts(
+    const AttributedGraph& qo, std::vector<QueryUnit> candidates,
+    CoverIlp model) {
+  std::map<std::pair<VertexId, VertexId>, std::vector<uint32_t>> edge_units;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].ForEachTreeEdge([&](VertexId u, VertexId v) {
+      edge_units[{std::min(u, v), std::max(u, v)}].push_back(
+          static_cast<uint32_t>(i));
+    });
+  }
+  bool missing_edge = false;
+  qo.ForEachEdge([&](VertexId u, VertexId v) {
+    const auto it = edge_units.find({u, v});
+    if (it == edge_units.end()) {
+      missing_edge = true;
+      return;
+    }
+    model.constraints.push_back(it->second);
+  });
+  if (missing_edge) {
+    return Status::InvalidArgument(
+        "candidate units cover no unit for some query edge");
+  }
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    if (qo.Degree(v) != 0) continue;
+    std::vector<uint32_t> holders;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const auto& vs = candidates[i].vertices;
+      if (std::find(vs.begin(), vs.end(), v) != vs.end()) {
+        holders.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (holders.empty()) {
+      return Status::InvalidArgument(
+          "candidate units miss an isolated query vertex");
+    }
+    model.constraints.push_back(std::move(holders));
+  }
+
+  Result<CoverSolution> solution_or = [&] {
+    PPSM_TRACE_SPAN_CAT("cloud.decompose.ilp", "query");
+    return SolveCoverIlp(model);
+  }();
+  PPSM_ASSIGN_OR_RETURN(const CoverSolution solution,
+                        std::move(solution_or));
+
+  UnitDecomposition decomposition;
+  decomposition.ilp_nodes = solution.nodes_explored;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!solution.selected[i]) continue;
+    decomposition.units.push_back(std::move(candidates[i]));
+    decomposition.estimates.push_back(model.cost[i]);
+    decomposition.total_cost += model.cost[i];
+  }
+  return decomposition;
+}
+
+}  // namespace
+
+Result<UnitDecomposition> DecomposeQueryUnits(const AttributedGraph& qo,
+                                              const GkStatistics& stats,
+                                              uint32_t max_depth) {
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("query has no vertices");
+  }
+  std::vector<QueryUnit> candidates = EnumerateCandidateUnits(qo, max_depth);
+  CoverIlp model;
+  model.cost.reserve(candidates.size());
+  for (const QueryUnit& unit : candidates) {
+    model.cost.push_back(EstimateUnitCardinality(stats, qo, unit));
+  }
+  return DecomposeUnitsWithCosts(qo, std::move(candidates),
+                                 std::move(model));
+}
+
+Result<UnitDecomposition> DecomposeQueryUnits(const AttributedGraph& qo,
+                                              const GkStatistics& stats,
+                                              const AttributedGraph& data,
+                                              const CloudIndex& index,
+                                              uint32_t max_depth) {
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("query has no vertices");
+  }
+  std::vector<QueryUnit> candidates = EnumerateCandidateUnits(qo, max_depth);
+  CoverIlp model;
+  model.cost.reserve(candidates.size());
+  for (const QueryUnit& unit : candidates) {
+    model.cost.push_back(
+        EstimateUnitCardinalityCandidateAware(stats, data, index, qo, unit));
+  }
+  return DecomposeUnitsWithCosts(qo, std::move(candidates),
+                                 std::move(model));
+}
+
+Result<UnitDecomposition> DecomposeQueryUnitsWithCosts(
+    const AttributedGraph& qo, std::vector<QueryUnit> units,
+    std::vector<double> costs) {
+  if (qo.NumVertices() == 0) {
+    return Status::InvalidArgument("query has no vertices");
+  }
+  PPSM_RETURN_IF_ERROR(
+      ValidateCosts(costs, units.size(), "the candidate unit count"));
+  for (const QueryUnit& unit : units) {
+    if (!IsValidUnit(qo, unit)) {
+      return Status::InvalidArgument("malformed candidate unit");
+    }
+  }
+  CoverIlp model;
+  model.cost = std::move(costs);
+  return DecomposeUnitsWithCosts(qo, std::move(units), std::move(model));
+}
+
+bool IsValidUnitDecomposition(const AttributedGraph& qo,
+                              const std::vector<QueryUnit>& units) {
+  std::map<std::pair<VertexId, VertexId>, bool> covered;
+  std::vector<bool> present(qo.NumVertices(), false);
+  for (const QueryUnit& unit : units) {
+    if (!IsValidUnit(qo, unit)) return false;
+    for (const VertexId v : unit.vertices) present[v] = true;
+    unit.ForEachTreeEdge([&](VertexId u, VertexId v) {
+      covered[{std::min(u, v), std::max(u, v)}] = true;
+    });
+  }
+  bool ok = true;
+  qo.ForEachEdge([&](VertexId u, VertexId v) {
+    if (!covered.count({u, v})) ok = false;
+  });
+  for (VertexId v = 0; v < qo.NumVertices(); ++v) {
+    if (qo.Degree(v) == 0 && !present[v]) ok = false;
+  }
+  return ok;
 }
 
 std::string QoSignature(const AttributedGraph& qo) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/attributed_graph.h"
+#include "match/query_unit.h"
 #include "match/statistics.h"
 #include "util/status.h"
 
@@ -43,13 +44,63 @@ Result<StarDecomposition> DecomposeQuery(const AttributedGraph& qo,
                                          const CloudIndex& index);
 
 /// Same ILP with the per-vertex star costs supplied by the caller
-/// (`costs[v]` = estimated |R(S(v))|, size must equal |V(Qo)|). The sharded
+/// (`costs[v]` = estimated |R(S(v))|; the size must equal |V(Qo)| and every
+/// cost must be finite and >= 0, else the call fails with a typed
+/// InvalidArgument). The sharded
 /// cloud's coordinator plans with this: it evaluates the candidate-aware
 /// estimator itself over the shard-merged global candidate lists, then asks
 /// for the cover — making the decomposition identical to the unsharded one
 /// without any shard owning the full hosted graph.
 Result<StarDecomposition> DecomposeQueryWithCosts(const AttributedGraph& qo,
                                                   std::vector<double> costs);
+
+/// A generalized decomposition of Qo into mixed star/path/tree units: a
+/// minimum-estimated-cost set of candidate units whose tree edges cover
+/// every edge of Qo (isolated vertices get singleton coverage). With
+/// max_depth <= 1 only stars are enumerable and the cover ILP degenerates to
+/// the paper's weighted vertex cover — the selected units are then exactly
+/// the legacy StarDecomposition's centers, in the same order, with the same
+/// estimates.
+struct UnitDecomposition {
+  /// Selected units, in candidate enumeration order (stars by root id first,
+  /// then deeper BFS trees by root id).
+  std::vector<QueryUnit> units;
+  /// Estimated |R(U)| per selected unit (aligned with `units`).
+  std::vector<double> estimates;
+  /// Sum of estimates — the generalized Def. 6 decomposition cost.
+  double total_cost = 0.0;
+  /// Branch-and-bound nodes the ILP explored (diagnostics).
+  size_t ilp_nodes = 0;
+};
+
+/// Generalized decomposition with §5.1 statistics-only unit estimates.
+/// `max_depth` caps the BFS depth of enumerated units (<= 1: stars only).
+Result<UnitDecomposition> DecomposeQueryUnits(const AttributedGraph& qo,
+                                              const GkStatistics& stats,
+                                              uint32_t max_depth);
+
+/// Generalized decomposition with candidate-aware unit estimates evaluated
+/// against the hosted graph and its index — the unsharded cloud server's
+/// planner.
+Result<UnitDecomposition> DecomposeQueryUnits(const AttributedGraph& qo,
+                                              const GkStatistics& stats,
+                                              const AttributedGraph& data,
+                                              const CloudIndex& index,
+                                              uint32_t max_depth);
+
+/// Generalized decomposition over an explicit candidate-unit list with
+/// caller-supplied costs (`costs[i]` = estimated |R(units[i])|, size must
+/// equal units.size(); every cost finite and >= 0 or the call fails with
+/// InvalidArgument). The sharded coordinator plans with this after merging
+/// per-shard candidate lists, mirroring DecomposeQueryWithCosts.
+Result<UnitDecomposition> DecomposeQueryUnitsWithCosts(
+    const AttributedGraph& qo, std::vector<QueryUnit> units,
+    std::vector<double> costs);
+
+/// Checks that the units' tree edges cover every edge of `qo` and every
+/// isolated vertex appears in some unit (tests / invariants).
+bool IsValidUnitDecomposition(const AttributedGraph& qo,
+                              const std::vector<QueryUnit>& units);
 
 /// Canonical signature of an outsourced query, the cloud's plan-cache key.
 /// Two queries share a signature iff they have identical vertex ids, type

@@ -1,0 +1,53 @@
+#ifndef PPSM_MATCH_MATCHER_INTERNAL_H_
+#define PPSM_MATCH_MATCHER_INTERNAL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+
+namespace ppsm::matcher_internal {
+
+/// Versioned-epoch vertex marks shared by the star and unit matchers:
+/// Begin() invalidates every mark in O(1) by bumping the epoch, so the
+/// per-unit O(|V|) zeroing of a plain std::vector<bool> — which dwarfed
+/// matching time on large fixtures under the serving workload — happens only
+/// on first use per thread (and on the ~never epoch wraparound).
+/// Thread-local via ThreadMarks(): pool workers are persistent, so the
+/// buffer is reused across units, queries and servers.
+class EpochMarks {
+ public:
+  void Begin(size_t num_vertices) {
+    if (marks_.size() < num_vertices) marks_.resize(num_vertices, 0);
+    if (++epoch_ == 0) {
+      std::fill(marks_.begin(), marks_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+  bool Marked(VertexId v) const { return marks_[v] == epoch_; }
+  void Mark(VertexId v) { marks_[v] = epoch_; }
+  void Unmark(VertexId v) { marks_[v] = 0; }
+
+ private:
+  std::vector<uint32_t> marks_;
+  uint32_t epoch_ = 0;
+};
+
+inline EpochMarks& ThreadMarks() {
+  thread_local EpochMarks marks;
+  return marks;
+}
+
+/// Non-root-vertex compatibility: type sets and label groups only (Def. 2's
+/// containment conditions; deliberately no degree check — non-root degrees
+/// in Go understate their Gk degrees, and extra query edges are the join's
+/// concern).
+inline bool LeafCompatible(const AttributedGraph& qo, VertexId leaf,
+                           const AttributedGraph& data, VertexId v) {
+  return data.TypesContainAll(v, qo.Types(leaf)) &&
+         data.LabelsContainAll(v, qo.Labels(leaf));
+}
+
+}  // namespace ppsm::matcher_internal
+
+#endif  // PPSM_MATCH_MATCHER_INTERNAL_H_

@@ -1,0 +1,82 @@
+#ifndef PPSM_MATCH_QUERY_UNIT_H_
+#define PPSM_MATCH_QUERY_UNIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+
+namespace ppsm {
+
+/// Shape of a decomposition unit. Stars are the paper's §4.2.1 family; paths
+/// and trees are the beyond-star generalization (any connected acyclic
+/// subquery). The kind never changes matching semantics — it is derived from
+/// the unit's tree structure and carried for profiling/calibration.
+enum class UnitKind : uint8_t {
+  kStar = 0,  // depth <= 1: a root and its query neighbors (or a lone vertex)
+  kPath = 1,  // depth >= 2 and every vertex has tree-degree <= 2
+  kTree = 2,  // depth >= 2 with branching
+};
+
+const char* UnitKindName(UnitKind kind);
+
+/// A connected acyclic subquery of Qo, the generalized decomposition unit.
+/// `vertices` lists the unit's query vertices in BFS order from the root
+/// (vertices[0]); `parent[i] < i` names the BFS parent slot of vertices[i]
+/// (parent[0] == 0 by convention). The unit *enforces* only its tree edges
+/// (vertices[parent[i]], vertices[i]); any other Qo edge between unit
+/// vertices must be covered by another unit and is verified by the join /
+/// client filter — exactly the contract star units already had, where a
+/// leaf-leaf query edge is someone else's responsibility.
+struct QueryUnit {
+  UnitKind kind = UnitKind::kStar;
+  std::vector<VertexId> vertices;
+  std::vector<uint32_t> parent;
+  /// Max tree depth: 0 for a lone vertex, 1 for a star, >= 2 for paths/trees.
+  uint32_t depth = 0;
+
+  VertexId root() const { return vertices.front(); }
+  size_t size() const { return vertices.size(); }
+
+  /// BFS depth of slot i (0 for the root). O(depth) chase of parent links.
+  uint32_t DepthOf(size_t i) const;
+
+  /// Visits the unit's tree edges as (parent vertex, child vertex) pairs in
+  /// BFS slot order.
+  template <typename Fn>
+  void ForEachTreeEdge(Fn&& fn) const {
+    for (size_t i = 1; i < vertices.size(); ++i) {
+      fn(vertices[parent[i]], vertices[i]);
+    }
+  }
+};
+
+/// The star unit rooted at `center`: the center plus its query neighbors in
+/// adjacency order. Matches the star family the paper's pipeline enumerates;
+/// a degree-0 center yields a single-vertex unit (depth 0, kind kStar).
+QueryUnit MakeStarUnit(const AttributedGraph& qo, VertexId center);
+
+/// The BFS tree of `qo` rooted at `root`, truncated at `max_depth` levels.
+/// Neighbors are visited in adjacency (ascending id) order, so the layout is
+/// deterministic. With max_depth == 1 this is exactly MakeStarUnit.
+QueryUnit MakeBfsTreeUnit(const AttributedGraph& qo, VertexId root,
+                          uint32_t max_depth);
+
+/// Candidate units offered to the cover ILP. Stars come first, one per query
+/// vertex in vertex order — so with max_depth <= 1 the candidate list (and
+/// hence the ILP model) is structurally identical to the paper's per-vertex
+/// star family and the solve degenerates to the weighted vertex cover.
+/// With max_depth >= 2 each vertex additionally contributes its depth-capped
+/// BFS tree, skipped when it adds no vertex beyond the star (no
+/// grandchildren) — star-shaped queries therefore keep byte-identical plans.
+std::vector<QueryUnit> EnumerateCandidateUnits(const AttributedGraph& qo,
+                                               uint32_t max_depth);
+
+/// True iff the unit is structurally sound w.r.t. `qo`: non-empty, vertex
+/// ids in range and distinct, parent slots BFS-consistent (parent[i] < i),
+/// and every tree edge an actual edge of `qo`.
+bool IsValidUnit(const AttributedGraph& qo, const QueryUnit& unit);
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_QUERY_UNIT_H_

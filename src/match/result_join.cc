@@ -307,6 +307,7 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
     anchor_profile.star_center = static_cast<uint32_t>(stars[anchor].center);
     anchor_profile.output_rows = stars[anchor].matches.NumMatches();
     anchor_profile.eager = options.eager_expansion;
+    anchor_profile.kind = UnitKindName(stars[anchor].kind);
     diagnostics->steps.push_back(anchor_profile);
   }
   // An empty anchor empties every join down the line: return before any
@@ -357,6 +358,7 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
     profile.star_center = static_cast<uint32_t>(stars[next].center);
     profile.estimated_rows = use_estimates ? cost_of(next) : 0.0;
     profile.eager = options.eager_expansion;
+    profile.kind = UnitKindName(stars[next].kind);
     bool overflow = false;
     if (options.eager_expansion) {
       const MatchSet expanded =

@@ -104,6 +104,19 @@ Result<MatchSet> JoinStarMatches(const std::vector<StarMatches>& stars,
                                  JoinDiagnostics* diagnostics = nullptr,
                                  size_t max_rows = 0);
 
+/// The generalized-unit pipeline's name for the same join: UnitMatches is
+/// StarMatches, and the join never depended on the unit being a star — it
+/// derives shared/new columns from the column lists alone, and the
+/// completeness identity R(U,Gk) = ∪_m F_m(R(U,Go)) holds for any unit whose
+/// depth the outsourced graph's hop radius covers (see DESIGN.md §14).
+inline Result<MatchSet> JoinUnitMatches(
+    const std::vector<StarMatches>& units, const Avt& avt,
+    size_t num_query_vertices, const JoinOptions& options,
+    JoinDiagnostics* diagnostics = nullptr) {
+  return JoinStarMatches(units, avt, num_query_vertices, options,
+                         diagnostics);
+}
+
 /// Expands a Go-side match set to its Gk closure: union of F_m(matches) for
 /// m = 0..k-1, deduplicated. Shared by the eager join strategy and by the
 /// client's Rout computation (Algorithm 3 lines 1-5).

@@ -3,52 +3,20 @@
 #include <algorithm>
 #include <atomic>
 
+#include "match/matcher_internal.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace ppsm {
 
+using matcher_internal::EpochMarks;
+using matcher_internal::LeafCompatible;
+using matcher_internal::ThreadMarks;
+
 namespace {
 
 /// Candidate chunks below this size are not worth a pool task.
 constexpr size_t kMinCandidateChunk = 32;
-
-/// Versioned-epoch vertex marks: Begin() invalidates every mark in O(1) by
-/// bumping the epoch, so the per-star O(|V|) zeroing of the old
-/// std::vector<bool> — which dwarfed matching time on large fixtures under
-/// the serving workload — happens only on first use per thread (and on the
-/// ~never epoch wraparound). Thread-local: pool workers are persistent, so
-/// the buffer is reused across stars, queries and servers.
-class EpochMarks {
- public:
-  void Begin(size_t num_vertices) {
-    if (marks_.size() < num_vertices) marks_.resize(num_vertices, 0);
-    if (++epoch_ == 0) {
-      std::fill(marks_.begin(), marks_.end(), 0);
-      epoch_ = 1;
-    }
-  }
-  bool Marked(VertexId v) const { return marks_[v] == epoch_; }
-  void Mark(VertexId v) { marks_[v] = epoch_; }
-  void Unmark(VertexId v) { marks_[v] = 0; }
-
- private:
-  std::vector<uint32_t> marks_;
-  uint32_t epoch_ = 0;
-};
-
-EpochMarks& ThreadMarks() {
-  thread_local EpochMarks marks;
-  return marks;
-}
-
-/// Leaf-vertex compatibility: type sets and label groups only (Def. 2's
-/// containment conditions; deliberately no degree check — see header).
-bool LeafCompatible(const AttributedGraph& qo, VertexId leaf,
-                    const AttributedGraph& data, VertexId v) {
-  return data.TypesContainAll(v, qo.Types(leaf)) &&
-         data.LabelsContainAll(v, qo.Labels(leaf));
-}
 
 /// Enumerates injective assignments of `leaves[depth..]` to neighbors of the
 /// candidate center, appending complete rows to `out`. `budget` (non-null

@@ -7,16 +7,21 @@
 #include "graph/attributed_graph.h"
 #include "match/index.h"
 #include "match/match_set.h"
+#include "match/query_unit.h"
 
 namespace ppsm {
 
-/// Matches of one star of the query decomposition. `columns[i]` names the
-/// query vertex each match column binds: columns[0] is the star's center,
-/// the rest its query neighbors (leaves). Match vertex ids are in whatever
-/// id space `data` uses (Go-local in the cloud; the caller translates to Gk
-/// ids before joining).
+/// Matches of one unit of the query decomposition (historically always a
+/// star; see match/unit_matcher.h for the generalized producer). `columns[i]`
+/// names the query vertex each match column binds: columns[0] is the unit's
+/// root — for stars, the center, with the remaining columns its query
+/// neighbors (leaves). Match vertex ids are in whatever id space `data` uses
+/// (Go-local in the cloud; the caller translates to Gk ids before joining).
 struct StarMatches {
   VertexId center = kInvalidVertex;
+  /// Shape of the producing unit; purely informational (profiling,
+  /// cost-model calibration) — join semantics depend only on `columns`.
+  UnitKind kind = UnitKind::kStar;
   std::vector<VertexId> columns;
   MatchSet matches;
   /// Candidate centers the VBV/LBV index shortlisted for this star — the

@@ -182,4 +182,65 @@ double EstimateStarCardinalityForCandidates(
       candidate_degrees.size());
 }
 
+namespace {
+
+/// Product of the edge-conditional extension factors for every depth>=2
+/// vertex of `unit`, in BFS slot order: max(D(Gk)-1, 0) * p(w) with p(w)
+/// the type/group compatibility probability of w. 1.0 for star units.
+double DeepExtensionFactor(const GkStatistics& stats,
+                           const AttributedGraph& qo, const QueryUnit& unit) {
+  if (unit.depth <= 1) return 1.0;
+  const double branch = std::max(stats.avg_degree - 1.0, 0.0);
+  std::vector<uint32_t> slot_depth(unit.vertices.size(), 0);
+  double factor = 1.0;
+  for (size_t i = 1; i < unit.vertices.size(); ++i) {
+    slot_depth[i] = slot_depth[unit.parent[i]] + 1;
+    if (slot_depth[i] < 2) continue;
+    const VertexId w = unit.vertices[i];
+    double p = 1.0;
+    for (const VertexTypeId t : qo.Types(w)) {
+      p *= t < stats.type_freq.size() ? stats.type_freq[t] : 0.0;
+    }
+    for (const LabelId g : qo.Labels(w)) {
+      p *= g < stats.group_freq.size() ? stats.group_freq[g] : 0.0;
+    }
+    factor *= branch * p;
+  }
+  return factor;
+}
+
+}  // namespace
+
+double EstimateUnitCardinality(const GkStatistics& stats,
+                               const AttributedGraph& qo,
+                               const QueryUnit& unit) {
+  // The root level of a BFS unit is exactly the star rooted there, so star
+  // units delegate bitwise and deeper units scale the same base estimate.
+  const double base = EstimateStarCardinality(stats, qo, unit.root());
+  if (unit.depth <= 1) return base;
+  return std::max(base * DeepExtensionFactor(stats, qo, unit), 1e-6);
+}
+
+double EstimateUnitCardinalityCandidateAware(const GkStatistics& stats,
+                                             const AttributedGraph& data,
+                                             const CloudIndex& index,
+                                             const AttributedGraph& qo,
+                                             const QueryUnit& unit) {
+  const double base =
+      EstimateStarCardinalityCandidateAware(stats, data, index, qo,
+                                            unit.root());
+  if (unit.depth <= 1) return base;
+  return std::max(base * DeepExtensionFactor(stats, qo, unit), 1e-6);
+}
+
+double EstimateUnitCardinalityForCandidates(
+    const GkStatistics& stats, const AttributedGraph& qo,
+    const QueryUnit& unit, std::span<const VertexId> candidates,
+    std::span<const size_t> candidate_degrees) {
+  const double base = EstimateStarCardinalityForCandidates(
+      stats, qo, unit.root(), candidates, candidate_degrees);
+  if (unit.depth <= 1) return base;
+  return std::max(base * DeepExtensionFactor(stats, qo, unit), 1e-6);
+}
+
 }  // namespace ppsm

@@ -8,6 +8,7 @@
 #include "graph/attributed_graph.h"
 #include "kauto/outsourced_graph.h"
 #include "match/index.h"
+#include "match/query_unit.h"
 
 namespace ppsm {
 
@@ -76,6 +77,40 @@ double EstimateStarCardinalityCandidateAware(const GkStatistics& stats,
 double EstimateStarCardinalityForCandidates(
     const GkStatistics& stats, const AttributedGraph& qo, VertexId center,
     std::span<const VertexId> candidates,
+    std::span<const size_t> candidate_degrees);
+
+/// Estimated |R(U)| for a generalized decomposition unit. Star units
+/// delegate to EstimateStarCardinality bitwise (the unit's depth-1 children
+/// are exactly the root's query neighbors, in adjacency order). Deeper units
+/// compose the star estimate of the root's level with one edge-conditional
+/// extension factor per depth>=2 vertex w:
+///   max(D(Gk) - 1, 0) * p(w)
+/// where p(w) multiplies w's type and group frequencies (§5.1 independence)
+/// and the -1 discounts the tree edge already spent reaching w's parent.
+/// Factors multiply in BFS slot order, so the accumulation is deterministic
+/// and reproducible across the unsharded server and the cluster coordinator.
+double EstimateUnitCardinality(const GkStatistics& stats,
+                               const AttributedGraph& qo,
+                               const QueryUnit& unit);
+
+/// Candidate-aware unit estimate: the root level uses the VBV/LBV shortlist
+/// with true candidate degrees (EstimateStarCardinalityCandidateAware,
+/// bitwise for star units); deeper vertices use the same extension factors
+/// as EstimateUnitCardinality — their matched data vertices are unknown at
+/// planning time, so only the average degree is available.
+double EstimateUnitCardinalityCandidateAware(const GkStatistics& stats,
+                                             const AttributedGraph& data,
+                                             const CloudIndex& index,
+                                             const AttributedGraph& qo,
+                                             const QueryUnit& unit);
+
+/// Candidate-list overload, mirroring EstimateStarCardinalityForCandidates:
+/// the sharded coordinator merges each shard's owned root candidates in
+/// ascending global id order and reproduces the unsharded estimate
+/// bit-for-bit.
+double EstimateUnitCardinalityForCandidates(
+    const GkStatistics& stats, const AttributedGraph& qo,
+    const QueryUnit& unit, std::span<const VertexId> candidates,
     std::span<const size_t> candidate_degrees);
 
 }  // namespace ppsm

@@ -1,0 +1,181 @@
+#include "match/unit_matcher.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "match/matcher_internal.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace ppsm {
+
+using matcher_internal::EpochMarks;
+using matcher_internal::LeafCompatible;
+using matcher_internal::ThreadMarks;
+
+namespace {
+
+/// Same chunking threshold as the star matcher's candidate loop.
+constexpr size_t kMinCandidateChunk = 32;
+
+/// Extends the partial row to slot `slot` and beyond: candidates for
+/// vertices[slot] are the data neighbors of the already-bound parent slot,
+/// filtered by type/label containment and row injectivity. Complete rows are
+/// appended under the shared atomic budget (claim-then-append, exactly like
+/// AssignLeaves); returns false when the cap was hit.
+bool ExtendUnit(const AttributedGraph& data, const AttributedGraph& qo,
+                const QueryUnit& unit, size_t slot,
+                std::vector<VertexId>* row, EpochMarks* marks,
+                std::atomic<size_t>* budget, size_t max_rows,
+                MatchSet* out) {
+  if (slot == unit.vertices.size()) {
+    if (budget != nullptr &&
+        budget->fetch_add(1, std::memory_order_relaxed) >= max_rows) {
+      return false;
+    }
+    out->Append(*row);
+    return true;
+  }
+  const VertexId query_vertex = unit.vertices[slot];
+  for (const VertexId v : data.Neighbors((*row)[unit.parent[slot]])) {
+    if (marks->Marked(v)) continue;
+    if (!LeafCompatible(qo, query_vertex, data, v)) continue;
+    marks->Mark(v);
+    (*row)[slot] = v;
+    const bool ok = ExtendUnit(data, qo, unit, slot + 1, row, marks, budget,
+                               max_rows, out);
+    marks->Unmark(v);
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Backtracking matcher for non-star units, structured like MatchStar's
+/// candidate loop: chunked root candidates, per-chunk MatchSets concatenated
+/// in chunk order, one shared row budget.
+UnitMatches MatchTreeUnit(const AttributedGraph& data,
+                          const CloudIndex& index, const AttributedGraph& qo,
+                          const QueryUnit& unit,
+                          const UnitMatchOptions& options) {
+  UnitMatches result;
+  result.center = unit.root();
+  result.kind = unit.kind;
+  result.columns = unit.vertices;
+  result.matches = MatchSet(result.columns.size());
+
+  // The unit root's depth-1 children are exactly its query neighbors, so the
+  // star shortlist (VBV/LBV + neighborhood subset tests) applies unchanged.
+  std::vector<VertexId> candidates = index.CandidateCenters(qo, unit.root());
+  if (options.candidate_filter) {
+    std::erase_if(candidates, [&options](VertexId v) {
+      return !options.candidate_filter(v);
+    });
+  }
+  result.num_candidates = candidates.size();
+  if (candidates.empty()) return result;
+  if (options.cancelled && options.cancelled()) {
+    result.truncated = true;
+    return result;
+  }
+
+  const auto chunks =
+      SplitIntoChunks(candidates.size(), options.num_threads,
+                      kMinCandidateChunk);
+  std::vector<MatchSet> chunk_matches(chunks.size(),
+                                      MatchSet(result.columns.size()));
+  std::atomic<size_t> budget{0};
+  std::atomic<bool> truncated{false};
+  ParallelFor(options.num_threads, chunks.size(), [&](size_t c) {
+    if (truncated.load(std::memory_order_relaxed)) return;
+    if (options.cancelled && options.cancelled()) {
+      truncated.store(true, std::memory_order_relaxed);
+      return;
+    }
+    EpochMarks& marks = ThreadMarks();
+    marks.Begin(data.NumVertices());
+    std::vector<VertexId> row(result.columns.size());
+    MatchSet* out = &chunk_matches[c];
+    std::atomic<size_t>* budget_ptr =
+        options.max_rows == 0 ? nullptr : &budget;
+    for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+      const VertexId va = candidates[i];
+      row[0] = va;
+      marks.Mark(va);
+      const bool ok = ExtendUnit(data, qo, unit, 1, &row, &marks, budget_ptr,
+                                 options.max_rows, out);
+      marks.Unmark(va);
+      if (!ok) {
+        truncated.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  result.truncated = truncated.load(std::memory_order_relaxed);
+
+  size_t total_rows = 0;
+  for (const MatchSet& part : chunk_matches) total_rows += part.NumMatches();
+  result.matches.ReserveAdditional(total_rows);
+  for (const MatchSet& part : chunk_matches) result.matches.AppendAll(part);
+  return result;
+}
+
+}  // namespace
+
+UnitMatches MatchUnit(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, const QueryUnit& unit,
+                      const UnitMatchOptions& options) {
+  if (unit.depth <= 1) {
+    // Star units take the star matcher's exact path (including its
+    // most-constrained-leaf column order), so star-only plans produce
+    // bit-identical rows to the legacy pipeline.
+    UnitMatches result = MatchStar(data, index, qo, unit.root(), options);
+    result.kind = unit.kind;
+    return result;
+  }
+  return MatchTreeUnit(data, index, qo, unit, options);
+}
+
+UnitMatches MatchUnit(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, const QueryUnit& unit,
+                      size_t max_rows) {
+  UnitMatchOptions options;
+  options.max_rows = max_rows;
+  return MatchUnit(data, index, qo, unit, options);
+}
+
+std::vector<UnitMatches> MatchUnits(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<QueryUnit>& units,
+                                    const UnitMatchOptions& options) {
+  std::vector<UnitMatches> all(units.size());
+  std::atomic<bool> abort{false};
+  ParallelFor(options.num_threads, units.size(), [&](size_t i) {
+    if (abort.load(std::memory_order_relaxed)) {
+      // A sibling unit truncated (or the run was cancelled): the phase can
+      // no longer answer exactly, so skip the remaining units and keep the
+      // skip visible to the join's completeness check.
+      all[i].center = units[i].root();
+      all[i].kind = units[i].kind;
+      all[i].columns.push_back(units[i].root());
+      all[i].truncated = true;
+      return;
+    }
+    PPSM_TRACE_SPAN_CAT("cloud.unit_match.unit", "query");
+    all[i] = MatchUnit(data, index, qo, units[i], options);
+    if (all[i].truncated) abort.store(true, std::memory_order_relaxed);
+  });
+  return all;
+}
+
+std::vector<UnitMatches> MatchUnits(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<QueryUnit>& units,
+                                    size_t max_rows) {
+  UnitMatchOptions options;
+  options.max_rows = max_rows;
+  return MatchUnits(data, index, qo, units, options);
+}
+
+}  // namespace ppsm

@@ -1,0 +1,64 @@
+#ifndef PPSM_MATCH_UNIT_MATCHER_H_
+#define PPSM_MATCH_UNIT_MATCHER_H_
+
+#include <vector>
+
+#include "match/query_unit.h"
+#include "match/star_matcher.h"
+
+namespace ppsm {
+
+/// Matches of one generalized unit share the star row container: columns[0]
+/// binds the unit's root, the rest its remaining vertices, and the rows are
+/// un-expanded R(U, Go) exactly like star rows — so result_join.*'s probe
+/// join, the wire codecs and the client pipeline consume them unchanged.
+using UnitMatches = StarMatches;
+
+/// Same knobs as the star phase (row cap, pool threads, cancellation,
+/// candidate filter) — the unit matcher honors every one of them.
+using UnitMatchOptions = StarMatchOptions;
+
+/// Matches one decomposition unit over `data`.
+///
+/// Star units dispatch to MatchStar verbatim, so a star-only decomposition
+/// produces bit-identical rows (and column order) to the legacy pipeline.
+/// Path/tree units run a backtracking search scoped to the unit: root
+/// candidates come from the same VBV/LBV shortlist as star centers, and
+/// deeper vertices extend the partial row along data adjacency in the
+/// unit's BFS slot order (parent[i] < i guarantees the parent is bound
+/// before slot i) with injectivity enforced by the shared epoch marks.
+/// Columns for non-star units are unit.vertices (BFS order). The candidate
+/// loop is chunked exactly like MatchStar's: per-chunk row sets concatenate
+/// in chunk order under a shared atomic row budget, so the output is
+/// independent of thread count and max_rows is exact under concurrency.
+UnitMatches MatchUnit(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, const QueryUnit& unit,
+                      const UnitMatchOptions& options);
+
+/// Serial convenience overload (tests, cost-model probes).
+UnitMatches MatchUnit(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, const QueryUnit& unit,
+                      size_t max_rows = 0);
+
+/// Runs MatchUnit for every unit of a decomposition, spreading units across
+/// options.num_threads pool workers (the units are independent). Output
+/// order follows `units` regardless of thread count. When one unit
+/// truncates (or the run is cancelled), units not yet matched are skipped
+/// and marked truncated — no caller may use a partial phase for exact
+/// answering. Mirrors MatchStars.
+std::vector<UnitMatches> MatchUnits(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<QueryUnit>& units,
+                                    const UnitMatchOptions& options);
+
+/// Serial convenience overload.
+std::vector<UnitMatches> MatchUnits(const AttributedGraph& data,
+                                    const CloudIndex& index,
+                                    const AttributedGraph& qo,
+                                    const std::vector<QueryUnit>& units,
+                                    size_t max_rows = 0);
+
+}  // namespace ppsm
+
+#endif  // PPSM_MATCH_UNIT_MATCHER_H_

@@ -73,10 +73,11 @@ std::string StatusCodeLabel(StatusCode code) {
 
 namespace {
 
-std::string StarToJson(const StarProfile& star) {
+std::string StarToJson(const UnitProfile& star) {
   std::string out = "{";
   bool first = true;
   AppendField(&out, "center", static_cast<uint64_t>(star.center), &first);
+  AppendField(&out, "kind", star.kind, &first);
   AppendField(&out, "candidates", star.candidates, &first);
   AppendField(&out, "rows", star.rows, &first);
   AppendField(&out, "estimated_rows", star.estimated_rows, &first);
@@ -99,6 +100,7 @@ std::string JoinStepToJson(const JoinStepProfile& step) {
   AppendField(&out, "estimated_rows", step.estimated_rows, &first);
   AppendField(&out, "eager", step.eager, &first);
   AppendField(&out, "overflow", step.overflow, &first);
+  AppendField(&out, "kind", step.kind, &first);
   out.push_back('}');
   return out;
 }
@@ -300,11 +302,13 @@ Result<uint64_t> ParseU64(JsonCursor* cursor) {
   return static_cast<uint64_t>(value);
 }
 
-Status ParseStar(JsonCursor* cursor, StarProfile* star) {
+Status ParseStar(JsonCursor* cursor, UnitProfile* star) {
   return cursor->ParseObject([&](const std::string& key) -> Status {
     if (key == "center") {
       PPSM_ASSIGN_OR_RETURN(const uint64_t v, ParseU64(cursor));
       star->center = static_cast<uint32_t>(v);
+    } else if (key == "kind") {
+      PPSM_ASSIGN_OR_RETURN(star->kind, cursor->ParseString());
     } else if (key == "candidates") {
       PPSM_ASSIGN_OR_RETURN(star->candidates, ParseU64(cursor));
     } else if (key == "rows") {
@@ -343,6 +347,8 @@ Status ParseJoinStep(JsonCursor* cursor, JoinStepProfile* step) {
       PPSM_ASSIGN_OR_RETURN(step->eager, cursor->ParseBool());
     } else if (key == "overflow") {
       PPSM_ASSIGN_OR_RETURN(step->overflow, cursor->ParseBool());
+    } else if (key == "kind") {
+      PPSM_ASSIGN_OR_RETURN(step->kind, cursor->ParseString());
     } else {
       return cursor->SkipValue();
     }
@@ -514,11 +520,23 @@ CostModelCalibration SummarizeCostModelCalibration(
   CostModelCalibration calibration;
   std::vector<double> star_ratios;
   std::vector<double> join_ratios;
+  // Per-kind sample buckets in reporting order; unknown kind strings fold
+  // into a trailing bucket so a forward-compatible log never drops samples.
+  const char* kKinds[] = {"star", "path", "tree", "unknown"};
+  std::vector<double> kind_ratios[4];
   for (const QueryProfile& profile : profiles) {
-    for (const StarProfile& star : profile.stars) {
+    for (const UnitProfile& star : profile.stars) {
+      // Truncated units have max_rows-clipped actuals: excluded — the cap,
+      // not the model, decided the row count.
       if (star.truncated || star.estimated_rows <= 0.0) continue;
-      star_ratios.push_back((star.estimated_rows + 1.0) /
-                            (static_cast<double>(star.rows) + 1.0));
+      const double ratio = (star.estimated_rows + 1.0) /
+                           (static_cast<double>(star.rows) + 1.0);
+      star_ratios.push_back(ratio);
+      size_t bucket = 3;
+      for (size_t i = 0; i < 3; ++i) {
+        if (star.kind == kKinds[i]) bucket = i;
+      }
+      kind_ratios[bucket].push_back(ratio);
     }
     for (const JoinStepProfile& step : profile.join_steps) {
       if (step.overflow || step.estimated_rows <= 0.0) continue;
@@ -549,6 +567,20 @@ CostModelCalibration SummarizeCostModelCalibration(
   if (!join_ratios.empty()) {
     calibration.join_mean_abs_log2 /=
         static_cast<double>(join_ratios.size());
+  }
+  for (size_t b = 0; b < 4; ++b) {
+    std::vector<double>& ratios = kind_ratios[b];
+    if (ratios.empty()) continue;
+    std::sort(ratios.begin(), ratios.end());
+    UnitKindCalibration kind;
+    kind.kind = kKinds[b];
+    kind.samples = ratios.size();
+    kind.ratio_p50 = Percentile(ratios, 50.0);
+    kind.ratio_p90 = Percentile(ratios, 90.0);
+    kind.ratio_p99 = Percentile(ratios, 99.0);
+    for (const double r : ratios) kind.mean_abs_log2 += std::abs(std::log2(r));
+    kind.mean_abs_log2 /= static_cast<double>(ratios.size());
+    calibration.per_kind.push_back(std::move(kind));
   }
   return calibration;
 }

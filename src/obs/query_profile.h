@@ -11,32 +11,39 @@
 
 namespace ppsm {
 
-/// Per-star record of one query's star-matching phase: how many candidate
-/// centers the index shortlisted, how many rows materialized, and what the
-/// §5.1 cost model predicted for the star. The estimate/actual pair is the
-/// raw material of the cost-model calibration report.
-struct StarProfile {
-  uint32_t center = 0;         // Query vertex id of the star root.
-  uint64_t candidates = 0;     // Candidate centers from the VBV/LBV index.
-  uint64_t rows = 0;           // |R(S,Go)| materialized (pre-translation).
+/// Per-unit record of one query's unit-matching phase: how many candidate
+/// roots the index shortlisted, how many rows materialized, and what the
+/// §5.1 cost model predicted for the unit. The estimate/actual pair is the
+/// raw material of the cost-model calibration report. Historically every
+/// unit was a star (the legacy StarProfile alias below); `kind` tags the
+/// shape ("star", "path", "tree") so calibration can be reported per family.
+struct UnitProfile {
+  uint32_t center = 0;         // Query vertex id of the unit root.
+  uint64_t candidates = 0;     // Candidate roots from the VBV/LBV index.
+  uint64_t rows = 0;           // |R(U,Go)| materialized (pre-translation).
   double estimated_rows = 0.0; // Cost-model estimate (0 when unavailable).
   bool truncated = false;      // Row cap or cancellation cut it short.
+  std::string kind = "star";   // Unit shape: "star", "path" or "tree".
 };
 
-/// Per-step record of the result join: which star joined in, what the cost
+/// Legacy name from the star-only pipeline.
+using StarProfile = UnitProfile;
+
+/// Per-step record of the result join: which unit joined in, what the cost
 /// model expected of it, and what actually came out. `output_rows` across
 /// steps is exactly the per-step cardinality trace that makes a bad matching
 /// order diagnosable (the 811k-row blowups show up as one step's output).
 struct JoinStepProfile {
   uint32_t step = 0;               // 0-based join-step ordinal.
-  uint32_t star_index = 0;         // Position in the decomposition's stars.
-  uint32_t star_center = 0;        // Query vertex id of the joined star.
-  uint64_t build_rows = 0;         // Star rows hash-indexed (build side).
+  uint32_t star_index = 0;         // Position in the decomposition's units.
+  uint32_t star_center = 0;        // Query vertex id of the joined unit root.
+  uint64_t build_rows = 0;         // Unit rows hash-indexed (build side).
   uint64_t output_rows = 0;        // Intermediate rows after this step.
   uint64_t injectivity_drops = 0;  // Rows dropped by the duplicate filter.
-  double estimated_rows = 0.0;     // §5.1 estimate for the star (0 = none).
+  double estimated_rows = 0.0;     // §5.1 estimate for the unit (0 = none).
   bool eager = false;              // Eager-expansion path (vs k-probe).
   bool overflow = false;           // This step hit the row cap.
+  std::string kind = "star";       // Shape of the joined unit.
 };
 
 /// Per-shard record of one query's star-matching phase on a sharded cloud
@@ -80,14 +87,15 @@ struct QueryProfile {
   /// The row cap fired somewhere (star matching or a join step).
   bool overflowed = false;
 
-  uint64_t num_stars = 0;
-  uint64_t rs_size = 0;       // Total star matches |RS|.
+  uint64_t num_stars = 0;     // Selected decomposition units (any kind).
+  uint64_t rs_size = 0;       // Total unit matches |RS|.
   uint64_t result_rows = 0;   // |Rin| rows returned.
   uint64_t peak_join_rows = 0;
   uint64_t request_bytes = 0;   // Serialized Qo over the channel.
   uint64_t response_bytes = 0;  // Serialized reply over the channel.
 
-  std::vector<StarProfile> stars;
+  /// Per-unit records of the matching phase (stars, paths, trees).
+  std::vector<UnitProfile> stars;
   std::vector<JoinStepProfile> join_steps;
   /// Per-shard contributions when the query ran on a sharded cluster;
   /// empty on the single-server path.
@@ -108,11 +116,26 @@ std::string QueryProfileToJson(const QueryProfile& profile);
 /// malformed input.
 Result<QueryProfile> QueryProfileFromJson(std::string_view json);
 
+/// Calibration of one unit-kind family ("star", "path", "tree"): the same
+/// ratio percentiles as the aggregate report, restricted to units of that
+/// kind. Only kinds with at least one sample are reported.
+struct UnitKindCalibration {
+  std::string kind;
+  size_t samples = 0;
+  double ratio_p50 = 0.0;
+  double ratio_p90 = 0.0;
+  double ratio_p99 = 0.0;
+  double mean_abs_log2 = 0.0;
+};
+
 /// Estimate-vs-actual accuracy of the §5.1 cost model over a set of
-/// profiles, separately for star cardinalities and join-step outputs.
-/// Ratios are (estimate + 1) / (actual + 1) so empty stars do not divide by
+/// profiles, separately for unit cardinalities and join-step outputs.
+/// Ratios are (estimate + 1) / (actual + 1) so empty units do not divide by
 /// zero; a perfectly calibrated model sits at 1.0. Percentiles are exact
-/// (computed from the sorted samples).
+/// (computed from the sorted samples). Truncated units and overflowed join
+/// steps are excluded — a max_rows-clipped actual says nothing about the
+/// model, and including it would pollute the percentiles with artifacts of
+/// the cap.
 struct CostModelCalibration {
   size_t star_samples = 0;
   double star_ratio_p50 = 0.0;
@@ -126,6 +149,10 @@ struct CostModelCalibration {
   /// on (geometric) average.
   double star_mean_abs_log2 = 0.0;
   double join_mean_abs_log2 = 0.0;
+  /// Per-kind breakdown of the unit samples ("star"/"path"/"tree" order,
+  /// kinds without samples omitted). star_samples above remains the
+  /// aggregate over every kind.
+  std::vector<UnitKindCalibration> per_kind;
 };
 
 CostModelCalibration SummarizeCostModelCalibration(

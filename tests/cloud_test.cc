@@ -159,7 +159,7 @@ TEST(CloudServer, HostsOptimizedAndAnswers) {
 
   auto request = owner.AnonymizeQueryToRequest(ex.query);
   ASSERT_TRUE(request.ok());
-  auto answer = server->AnswerQuery(*request);
+  auto answer = server->Serve(*request);
   ASSERT_TRUE(answer.ok()) << answer.status();
   EXPECT_GT(answer->stats.num_stars, 0u);
   EXPECT_GT(answer->stats.rs_size, 0u);
@@ -193,11 +193,11 @@ TEST(CloudServer, RejectsMalformedQueries) {
   const DataOwner owner = MakeOwner(false);
   auto server = CloudServer::Host(owner.upload_bytes());
   ASSERT_TRUE(server.ok());
-  EXPECT_FALSE(server->AnswerQuery(std::vector<uint8_t>{1, 2, 3}).ok());
+  EXPECT_FALSE(server->Serve(std::vector<uint8_t>{1, 2, 3}).ok());
   // An empty query graph is rejected too.
   GraphBuilder b;
   const AttributedGraph empty = b.Build().value();
-  EXPECT_FALSE(server->AnswerQuery(SerializeQueryRequest(empty)).ok());
+  EXPECT_FALSE(server->Serve(SerializeQueryRequest(empty)).ok());
 }
 
 TEST(CloudServer, RejectsInconsistentPackages) {

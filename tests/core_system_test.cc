@@ -33,15 +33,17 @@ TEST(PpsmSystem, ChannelChargesUploadAndQueries) {
             system->owner().upload_bytes().size());
   EXPECT_GT(system->upload_ms(), 0.0);
 
-  auto outcome = system->Query(ex.query);
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse outcome = system->Execute(request);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(system->channel().num_messages(), 3u);  // + request + response.
-  EXPECT_EQ(outcome->request_bytes + outcome->response_bytes +
+  EXPECT_EQ(outcome.request_bytes + outcome.response_bytes +
                 system->owner().upload_bytes().size(),
             system->channel().total_bytes());
-  EXPECT_GT(outcome->network_ms, 0.0);
-  EXPECT_GE(outcome->total_ms,
-            outcome->network_ms);  // Total includes network.
+  EXPECT_GT(outcome.network_ms, 0.0);
+  EXPECT_GE(outcome.total_ms,
+            outcome.network_ms);  // Total includes network.
 }
 
 TEST(PpsmSystem, CustomChannelConfigChangesNetworkTime) {
@@ -57,11 +59,13 @@ TEST(PpsmSystem, CustomChannelConfigChangesNetworkTime) {
   auto slow_system = PpsmSystem::Setup(ex.graph, ex.schema, slow);
   ASSERT_TRUE(fast_system.ok());
   ASSERT_TRUE(slow_system.ok());
-  auto fast_outcome = fast_system->Query(ex.query);
-  auto slow_outcome = slow_system->Query(ex.query);
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse fast_outcome = fast_system->Execute(request);
+  const QueryResponse slow_outcome = slow_system->Execute(request);
   ASSERT_TRUE(fast_outcome.ok());
   ASSERT_TRUE(slow_outcome.ok());
-  EXPECT_GT(slow_outcome->network_ms, 100.0 * fast_outcome->network_ms);
+  EXPECT_GT(slow_outcome.network_ms, 100.0 * fast_outcome.network_ms);
 }
 
 TEST(PpsmSystem, DeterministicResultsForFixedSeed) {
@@ -78,11 +82,13 @@ TEST(PpsmSystem, DeterministicResultsForFixedSeed) {
   Rng rng(5);
   auto extracted = ExtractQuery(*g, 5, rng);
   ASSERT_TRUE(extracted.ok());
-  auto oa = a->Query(extracted->query);
-  auto ob = b->Query(extracted->query);
+  QueryRequest request;
+  request.pattern = extracted->query;
+  const QueryResponse oa = a->Execute(request);
+  const QueryResponse ob = b->Execute(request);
   ASSERT_TRUE(oa.ok());
   ASSERT_TRUE(ob.ok());
-  EXPECT_TRUE(oa->results == ob->results);
+  EXPECT_TRUE(oa.matches == ob.matches);
 }
 
 TEST(PpsmSystem, SnapshotRoundTripServesIdenticalResults) {
@@ -109,11 +115,13 @@ TEST(PpsmSystem, SnapshotRoundTripServesIdenticalResults) {
   Rng rng(9);
   auto extracted = ExtractQuery(*g, 5, rng);
   ASSERT_TRUE(extracted.ok());
-  auto direct = original->Query(extracted->query);
-  auto from_snapshot = restored->Query(extracted->query);
+  QueryRequest request;
+  request.pattern = extracted->query;
+  const QueryResponse direct = original->Execute(request);
+  const QueryResponse from_snapshot = restored->Execute(request);
   ASSERT_TRUE(direct.ok());
   ASSERT_TRUE(from_snapshot.ok());
-  EXPECT_TRUE(direct->results == from_snapshot->results);
+  EXPECT_TRUE(direct.matches == from_snapshot.matches);
   std::filesystem::remove_all(dir);
 }
 
@@ -139,13 +147,15 @@ TEST(PpsmSystem, AllMethodsAgreeOnResults) {
     config.k = 3;
     auto system = PpsmSystem::Setup(*g, g->schema(), config);
     ASSERT_TRUE(system.ok()) << MethodName(method);
-    auto outcome = system->Query(extracted->query);
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse outcome = system->Execute(request);
     ASSERT_TRUE(outcome.ok()) << MethodName(method);
     if (first) {
-      reference = outcome->results;
+      reference = outcome.matches;
       first = false;
     } else {
-      EXPECT_TRUE(MatchSet::EquivalentUnordered(reference, outcome->results))
+      EXPECT_TRUE(MatchSet::EquivalentUnordered(reference, outcome.matches))
           << MethodName(method);
     }
   }
@@ -163,9 +173,11 @@ TEST(PpsmSystem, ThetaVariants) {
     config.theta = theta;
     auto system = PpsmSystem::Setup(*g, g->schema(), config);
     ASSERT_TRUE(system.ok()) << "theta=" << theta;
-    auto outcome = system->Query(extracted->query);
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse outcome = system->Execute(request);
     ASSERT_TRUE(outcome.ok()) << "theta=" << theta;
-    EXPECT_GE(outcome->client.candidates, outcome->results.NumMatches());
+    EXPECT_GE(outcome.client_candidates, outcome.matches.NumMatches());
   }
 }
 
@@ -180,9 +192,11 @@ TEST(PpsmSystem, BfsAlignmentVariant) {
   Rng rng(8);
   auto extracted = ExtractQuery(*g, 4, rng);
   ASSERT_TRUE(extracted.ok());
-  auto outcome = system->Query(extracted->query);
+  QueryRequest request;
+  request.pattern = extracted->query;
+  const QueryResponse outcome = system->Execute(request);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_GE(outcome->results.NumMatches(), 1u);
+  EXPECT_GE(outcome.matches.NumMatches(), 1u);
 }
 
 TEST(PpsmSystem, RejectsDegenerateSetups) {
@@ -205,18 +219,20 @@ TEST(PpsmSystem, CloudStatsAreConsistent) {
   config.k = 2;
   auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
   ASSERT_TRUE(system.ok());
-  auto outcome = system->Query(ex.query);
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse outcome = system->Execute(request);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_GE(outcome->cloud.total_ms, 0.0);
-  EXPECT_GT(outcome->cloud.num_stars, 0u);
-  EXPECT_GE(outcome->cloud.rs_size, outcome->cloud.num_stars == 0 ? 0u : 1u);
-  EXPECT_EQ(outcome->cloud.result_rows * 0 + outcome->results.NumMatches(),
-            outcome->results.NumMatches());
+  EXPECT_GE(outcome.cloud.total_ms, 0.0);
+  EXPECT_GT(outcome.cloud.num_stars, 0u);
+  EXPECT_GE(outcome.cloud.rs_size, outcome.cloud.num_stars == 0 ? 0u : 1u);
+  EXPECT_EQ(outcome.cloud.result_rows * 0 + outcome.matches.NumMatches(),
+            outcome.matches.NumMatches());
   // Candidates seen by the client = k * |Rin| at most (expansion), and at
   // least |Rin|.
-  EXPECT_GE(outcome->client.candidates, outcome->cloud.result_rows);
-  EXPECT_LE(outcome->client.candidates,
-            outcome->cloud.result_rows * config.k);
+  EXPECT_GE(outcome.client_candidates, outcome.cloud.result_rows);
+  EXPECT_LE(outcome.client_candidates,
+            outcome.cloud.result_rows * config.k);
 }
 
 }  // namespace

@@ -154,7 +154,7 @@ TEST(DataOwner, EndToEndAgainstCloudServer) {
 
   auto request = owner->AnonymizeQueryToRequest(query);
   ASSERT_TRUE(request.ok());
-  auto answer = server->AnswerQuery(*request);
+  auto answer = server->Serve(*request);
   ASSERT_TRUE(answer.ok());
   auto results = owner->ProcessResponse(query, answer->response_payload);
   ASSERT_TRUE(results.ok());

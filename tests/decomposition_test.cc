@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "graph/generators.h"
 #include "graph/query_extractor.h"
 #include "ilp/cover_solver.h"
@@ -153,6 +156,143 @@ TEST(IsValidDecomposition, DetectsBadCovers) {
   EXPECT_TRUE(IsValidDecomposition(q, {1, 3}));
   EXPECT_FALSE(IsValidDecomposition(q, {0, 3}));  // Edge 1-2 uncovered.
   EXPECT_FALSE(IsValidDecomposition(q, {9}));     // Out of range.
+}
+
+TEST(DecomposeWithCosts, RejectsWrongSizeAndNonFiniteCosts) {
+  const AttributedGraph q = PathQuery(3);
+
+  auto wrong_size = DecomposeQueryWithCosts(q, {1.0, 2.0});
+  ASSERT_FALSE(wrong_size.ok());
+  EXPECT_EQ(wrong_size.status().code(), StatusCode::kInvalidArgument);
+
+  auto negative = DecomposeQueryWithCosts(q, {1.0, -0.5, 1.0});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  auto nan = DecomposeQueryWithCosts(
+      q, {1.0, std::numeric_limits<double>::quiet_NaN(), 1.0});
+  ASSERT_FALSE(nan.ok());
+  EXPECT_EQ(nan.status().code(), StatusCode::kInvalidArgument);
+
+  auto inf = DecomposeQueryWithCosts(
+      q, {std::numeric_limits<double>::infinity(), 1.0, 1.0});
+  ASSERT_FALSE(inf.ok());
+  EXPECT_EQ(inf.status().code(), StatusCode::kInvalidArgument);
+
+  // A well-formed vector still solves: the cheap middle vertex covers both
+  // edges of the path.
+  auto solved = DecomposeQueryWithCosts(q, {5.0, 1.0, 5.0});
+  ASSERT_TRUE(solved.ok()) << solved.status();
+  ASSERT_EQ(solved->centers.size(), 1u);
+  EXPECT_EQ(solved->centers[0], 1u);
+}
+
+TEST(UnitDecomposition, DepthOneDegeneratesToTheStarCover) {
+  const GkStatistics stats = UniformStats();
+  Rng rng(23);
+  const auto g = GenerateUniformRandomGraph(60, 180, 4, 11);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    auto extracted = ExtractQuery(*g, 3 + trial % 8, rng);
+    ASSERT_TRUE(extracted.ok());
+    auto stars = DecomposeQuery(extracted->query, stats);
+    auto units = DecomposeQueryUnits(extracted->query, stats, 1);
+    ASSERT_TRUE(stars.ok());
+    ASSERT_TRUE(units.ok()) << units.status();
+    ASSERT_EQ(units->units.size(), stars->centers.size());
+    for (size_t i = 0; i < units->units.size(); ++i) {
+      EXPECT_EQ(units->units[i].root(), stars->centers[i]);
+      EXPECT_EQ(units->units[i].kind, UnitKind::kStar);
+      EXPECT_DOUBLE_EQ(units->estimates[i], stars->estimates[i]);
+    }
+    EXPECT_DOUBLE_EQ(units->total_cost, stars->total_cost);
+  }
+}
+
+TEST(UnitDecomposition, DeeperUnitsNeverCostMoreThanStars) {
+  // The star candidates are a subset of the depth-3 candidate family, so the
+  // generalized cover can only match or beat the star-only optimum.
+  const GkStatistics stats = UniformStats();
+  Rng rng(31);
+  const auto g = GenerateUniformRandomGraph(60, 180, 4, 11);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    auto extracted = ExtractQuery(*g, 4 + trial % 6, rng);
+    ASSERT_TRUE(extracted.ok());
+    auto star_only = DecomposeQueryUnits(extracted->query, stats, 1);
+    auto mixed = DecomposeQueryUnits(extracted->query, stats, 3);
+    ASSERT_TRUE(star_only.ok());
+    ASSERT_TRUE(mixed.ok()) << mixed.status();
+    EXPECT_TRUE(IsValidUnitDecomposition(extracted->query, mixed->units));
+    EXPECT_LE(mixed->total_cost, star_only->total_cost + 1e-9);
+  }
+}
+
+TEST(UnitDecomposition, LongPathSelectsADeepUnit) {
+  // On a 5-vertex path with uniform statistics a single depth-capped tree
+  // rooted mid-path covers every edge; the star-only cover needs >= 2 stars.
+  const GkStatistics stats = UniformStats();
+  const AttributedGraph q = PathQuery(5);
+  auto star_only = DecomposeQueryUnits(q, stats, 1);
+  auto mixed = DecomposeQueryUnits(q, stats, 4);
+  ASSERT_TRUE(star_only.ok());
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_GE(star_only->units.size(), 2u);
+  EXPECT_TRUE(IsValidUnitDecomposition(q, mixed->units));
+  EXPECT_LE(mixed->total_cost, star_only->total_cost + 1e-9);
+}
+
+TEST(UnitDecompositionWithCosts, ValidatesCostsAndUnits) {
+  const GkStatistics stats = UniformStats();
+  const AttributedGraph q = PathQuery(4);
+  std::vector<QueryUnit> candidates = EnumerateCandidateUnits(q, 2);
+  ASSERT_GT(candidates.size(), q.NumVertices());
+
+  std::vector<double> short_costs(candidates.size() - 1, 1.0);
+  auto wrong_size =
+      DecomposeQueryUnitsWithCosts(q, candidates, short_costs);
+  ASSERT_FALSE(wrong_size.ok());
+  EXPECT_EQ(wrong_size.status().code(), StatusCode::kInvalidArgument);
+
+  std::vector<double> bad_costs(candidates.size(), 1.0);
+  bad_costs.back() = std::numeric_limits<double>::quiet_NaN();
+  auto nan = DecomposeQueryUnitsWithCosts(q, candidates, bad_costs);
+  ASSERT_FALSE(nan.ok());
+  EXPECT_EQ(nan.status().code(), StatusCode::kInvalidArgument);
+
+  // A malformed unit (vertex out of range) is rejected even with good costs.
+  std::vector<QueryUnit> corrupt = candidates;
+  corrupt.back().vertices.back() = 99;
+  auto malformed = DecomposeQueryUnitsWithCosts(
+      q, corrupt, std::vector<double>(corrupt.size(), 1.0));
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_EQ(malformed.status().code(), StatusCode::kInvalidArgument);
+
+  auto solved = DecomposeQueryUnitsWithCosts(
+      q, candidates, std::vector<double>(candidates.size(), 1.0));
+  ASSERT_TRUE(solved.ok()) << solved.status();
+  EXPECT_TRUE(IsValidUnitDecomposition(q, solved->units));
+}
+
+TEST(IsValidUnitDecomposition, DetectsUncoveredEdgesAndVertices) {
+  const AttributedGraph q = PathQuery(4);
+  // One deep tree from an endpoint covers the whole path.
+  EXPECT_TRUE(IsValidUnitDecomposition(q, {MakeBfsTreeUnit(q, 0, 3)}));
+  // Two endpoint stars leave the middle edge 1-2 uncovered.
+  EXPECT_FALSE(IsValidUnitDecomposition(
+      q, {MakeStarUnit(q, 0), MakeStarUnit(q, 3)}));
+  // An isolated vertex must appear in some unit.
+  GraphBuilder b;
+  b.AddVertex(0, {});
+  b.AddVertex(0, {});
+  b.AddVertex(0, {});
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  const AttributedGraph with_isolated = b.Build().value();
+  EXPECT_FALSE(IsValidUnitDecomposition(with_isolated,
+                                        {MakeStarUnit(with_isolated, 0)}));
+  EXPECT_TRUE(IsValidUnitDecomposition(
+      with_isolated,
+      {MakeStarUnit(with_isolated, 0), MakeStarUnit(with_isolated, 2)}));
 }
 
 }  // namespace

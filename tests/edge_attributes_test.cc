@@ -151,10 +151,12 @@ TEST(EdgeAttributes, FullPrivacyPipelineOnReifiedGraph) {
   config.k = 3;
   auto system = PpsmSystem::Setup(data->graph, f.schema, config);
   ASSERT_TRUE(system.ok()) << system.status();
-  auto outcome = system->Query(query->graph);
-  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  QueryRequest request;
+  request.pattern = query->graph;
+  const QueryResponse outcome = system->Execute(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status;
   const MatchSet truth = FindSubgraphMatches(query->graph, data->graph);
-  EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, truth));
+  EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome.matches, truth));
   EXPECT_GE(truth.NumMatches(), 1u);
 }
 

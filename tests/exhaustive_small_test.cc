@@ -71,21 +71,25 @@ TEST_P(ExhaustiveSmallWorlds, ExactOnEveryTopology) {
         0, std::vector<LabelId>(g.Labels(v).begin(), g.Labels(v).end()));
     ASSERT_TRUE(qb.AddEdge(qa, qc).ok());
     const AttributedGraph query = qb.Build().value();
-    auto outcome = system->Query(query);
+    QueryRequest request;
+    request.pattern = query;
+    const QueryResponse outcome = system->Execute(request);
     ASSERT_TRUE(outcome.ok()) << "mask=" << mask;
     EXPECT_TRUE(MatchSet::EquivalentUnordered(
-        outcome->results, FindSubgraphMatches(query, g)))
+        outcome.matches, FindSubgraphMatches(query, g)))
         << "mask=" << mask << " (edge query)";
   }
 
   // Query (b): the data graph against itself (its automorphisms are the
   // answers; disconnected masks exercise the cross-product join).
   {
-    auto outcome = system->Query(g);
+    QueryRequest request;
+    request.pattern = g;
+    const QueryResponse outcome = system->Execute(request);
     ASSERT_TRUE(outcome.ok()) << "mask=" << mask;
     const MatchSet truth = FindSubgraphMatches(g, g);
     EXPECT_GE(truth.NumMatches(), 1u);  // Identity at least.
-    EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, truth))
+    EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome.matches, truth))
         << "mask=" << mask << " (self query)";
   }
 }

@@ -358,6 +358,50 @@ TEST(Calibration, EmptyInputIsZeroed) {
   EXPECT_EQ(calibration.star_samples, 0u);
   EXPECT_EQ(calibration.join_samples, 0u);
   EXPECT_EQ(calibration.star_ratio_p50, 0.0);
+  EXPECT_TRUE(calibration.per_kind.empty());
+}
+
+TEST(Calibration, PerKindBreakdownSplitsFamilies) {
+  // Two star units at ratio 2.0, one path unit at ratio 4.0, plus a
+  // truncated path that must not pollute the path family's percentiles.
+  std::vector<QueryProfile> profiles;
+  QueryProfile profile;
+  for (int i = 0; i < 2; ++i) {
+    UnitProfile star;
+    star.rows = 9;
+    star.estimated_rows = 19.0;  // (19+1)/(9+1) = 2.
+    star.kind = "star";
+    profile.stars.push_back(star);
+  }
+  UnitProfile path;
+  path.rows = 4;
+  path.estimated_rows = 19.0;  // (19+1)/(4+1) = 4.
+  path.kind = "path";
+  profile.stars.push_back(path);
+  UnitProfile truncated_path;
+  truncated_path.rows = 0;
+  truncated_path.estimated_rows = 1000.0;
+  truncated_path.truncated = true;
+  truncated_path.kind = "path";
+  profile.stars.push_back(truncated_path);
+  profiles.push_back(profile);
+
+  const CostModelCalibration calibration =
+      SummarizeCostModelCalibration(profiles);
+  // Aggregate covers every kind (truncated excluded).
+  EXPECT_EQ(calibration.star_samples, 3u);
+  ASSERT_EQ(calibration.per_kind.size(), 2u);
+  const UnitKindCalibration& stars = calibration.per_kind[0];
+  const UnitKindCalibration& paths = calibration.per_kind[1];
+  EXPECT_EQ(stars.kind, "star");
+  EXPECT_EQ(stars.samples, 2u);
+  EXPECT_DOUBLE_EQ(stars.ratio_p50, 2.0);
+  EXPECT_DOUBLE_EQ(stars.mean_abs_log2, 1.0);
+  EXPECT_EQ(paths.kind, "path");
+  EXPECT_EQ(paths.samples, 1u);
+  EXPECT_DOUBLE_EQ(paths.ratio_p50, 4.0);
+  EXPECT_DOUBLE_EQ(paths.ratio_p99, 4.0);
+  EXPECT_DOUBLE_EQ(paths.mean_abs_log2, 2.0);
 }
 
 }  // namespace

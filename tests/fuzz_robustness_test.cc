@@ -147,7 +147,7 @@ TEST(FuzzRobustness, CloudSurvivesMalformedQueries) {
   ASSERT_TRUE(request.ok());
   FuzzDecoder(*request,
               [&server](std::span<const uint8_t> bytes) {
-                return server->AnswerQuery(bytes).ok();
+                return server->Serve(bytes).ok();
               },
               1008);
 }

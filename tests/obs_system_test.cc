@@ -56,7 +56,9 @@ TEST(ObservabilityE2e, SetupAndQueryEmitExpectedSpanTree) {
   config.k = 2;
   auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
   ASSERT_TRUE(system.ok());
-  auto outcome = system->Query(ex.query);
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse outcome = system->Execute(request);
   ASSERT_TRUE(outcome.ok());
 
   const std::vector<TraceEvent> events = tracer.Events();
@@ -66,7 +68,7 @@ TEST(ObservabilityE2e, SetupAndQueryEmitExpectedSpanTree) {
         "setup.kauto", "setup.kauto.partition", "setup.kauto.align_and_copy",
         "setup.upload_build", "setup.cloud_host", "cloud.index_build", "query",
         "query.anonymize", "cloud.answer_query", "cloud.decompose",
-        "cloud.star_match", "cloud.star_match.star", "cloud.join",
+        "cloud.star_match", "cloud.unit_match.unit", "cloud.join",
         "client.process_response", "client.expand", "client.filter"}) {
     EXPECT_NE(FindSpan(events, name), nullptr) << "missing span " << name;
   }
@@ -108,7 +110,9 @@ TEST(ObservabilityE2e, QueryPopulatesPipelineMetrics) {
   config.k = 2;
   auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
   ASSERT_TRUE(system.ok());
-  auto outcome = system->Query(ex.query);
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse outcome = system->Execute(request);
   ASSERT_TRUE(outcome.ok());
 
   EXPECT_EQ(CounterValue("ppsm_queries_total"), 1.0);
@@ -125,9 +129,9 @@ TEST(ObservabilityE2e, QueryPopulatesPipelineMetrics) {
   }
   // Star counters line up with the reported stats.
   EXPECT_EQ(CounterValue("ppsm_cloud_stars_total"),
-            static_cast<double>(outcome->cloud.num_stars));
+            static_cast<double>(outcome.cloud.num_stars));
   EXPECT_EQ(HistogramCount("ppsm_cloud_star_match_rows"),
-            static_cast<uint64_t>(outcome->cloud.num_stars));
+            static_cast<uint64_t>(outcome.cloud.num_stars));
 }
 
 TEST(ObservabilityE2e, FailedQueriesStayVisibleInMetrics) {
@@ -138,7 +142,9 @@ TEST(ObservabilityE2e, FailedQueriesStayVisibleInMetrics) {
   auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
   ASSERT_TRUE(system.ok());
 
-  auto good = system->Query(ex.query);
+  QueryRequest good_request;
+  good_request.pattern = ex.query;
+  const QueryResponse good = system->Execute(good_request);
   ASSERT_TRUE(good.ok());
 
   // A query carrying a label id outside the schema fails at Q -> Qo
@@ -147,7 +153,9 @@ TEST(ObservabilityE2e, FailedQueriesStayVisibleInMetrics) {
   GraphBuilder bad_builder;
   bad_builder.AddVertex(0, {static_cast<LabelId>(100000)});
   const AttributedGraph bad_query = bad_builder.Build().value();
-  auto bad = system->Query(bad_query);
+  QueryRequest bad_request;
+  bad_request.pattern = bad_query;
+  const QueryResponse bad = system->Execute(bad_request);
   EXPECT_FALSE(bad.ok());
 
   EXPECT_EQ(CounterValue("ppsm_queries_total"), 2.0);
@@ -168,7 +176,9 @@ TEST(ObservabilityE2e, ParallelAndSerialRecordIdenticalStarHistograms) {
     config.cloud.num_threads = threads;
     auto system = PpsmSystem::Setup(*g, g->schema(), config);
     EXPECT_TRUE(system.ok());
-    auto outcome = system->Query(extracted->query);
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse outcome = system->Execute(request);
     EXPECT_TRUE(outcome.ok());
     MetricSnapshot snap;
     EXPECT_TRUE(
@@ -196,7 +206,9 @@ TEST(ObservabilityE2e, DisabledTracerSkipsPipelineSpans) {
   config.k = 2;
   auto system = PpsmSystem::Setup(ex.graph, ex.schema, config);
   ASSERT_TRUE(system.ok());
-  auto outcome = system->Query(ex.query);
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse outcome = system->Execute(request);
   tracer.SetEnabled(true);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(tracer.NumEvents(), 0u);

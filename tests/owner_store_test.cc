@@ -62,7 +62,7 @@ TEST(OwnerStore, RestoredOwnerAnswersQueriesIdentically) {
     ASSERT_TRUE(request_a.ok());
     ASSERT_TRUE(request_b.ok());
     EXPECT_EQ(*request_a, *request_b);  // Same LCT -> same Qo.
-    auto answer = server->AnswerQuery(*request_b);
+    auto answer = server->Serve(*request_b);
     ASSERT_TRUE(answer.ok());
     auto results_a =
         owner->ProcessResponse(extracted->query, answer->response_payload);

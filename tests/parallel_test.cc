@@ -65,8 +65,8 @@ TEST(ParallelCloud, SameAnswersAsSerial) {
     ASSERT_TRUE(extracted.ok());
     auto request = owner->AnonymizeQueryToRequest(extracted->query);
     ASSERT_TRUE(request.ok());
-    auto a = serial->AnswerQuery(*request);
-    auto b = parallel->AnswerQuery(*request);
+    auto a = serial->Serve(*request);
+    auto b = parallel->Serve(*request);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a->response_payload, b->response_payload)
@@ -91,11 +91,13 @@ TEST(ParallelCloud, FacadeConfigThreadsGiveExactAnswers) {
   for (int i = 0; i < 4; ++i) {
     auto extracted = ExtractQuery(*g, 5, rng);
     ASSERT_TRUE(extracted.ok());
-    auto a = serial->Query(extracted->query);
-    auto b = parallel->Query(extracted->query);
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse a = serial->Execute(request);
+    const QueryResponse b = parallel->Execute(request);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
-    EXPECT_TRUE(a->results == b->results);
+    EXPECT_TRUE(a.matches == b.matches);
   }
 }
 

@@ -79,7 +79,7 @@ TEST(QueryObs, ReplyCarriesQueryIdAndPerPhaseProfiles) {
   Fixture fx = MakeFixture(3);
   auto server = CloudServer::Host(fx.owner.upload_bytes());
   ASSERT_TRUE(server.ok());
-  QueryService service(&*server);
+  QueryService service(static_cast<const QueryHandler*>(&*server));
   FlightRecorder::Global().Clear();
 
   std::set<uint64_t> seen_ids;
@@ -138,7 +138,7 @@ TEST(QueryObs, QueryIdPropagatesIntoSpanArgs) {
   Fixture fx = MakeFixture(1);
   auto server = CloudServer::Host(fx.owner.upload_bytes());
   ASSERT_TRUE(server.ok());
-  QueryService service(&*server);
+  QueryService service(static_cast<const QueryHandler*>(&*server));
 
   Tracer::Global().Clear();
   auto answer = service.Execute(fx.requests[0]);
@@ -164,7 +164,7 @@ TEST(QueryObs, ExpiredDeadlineStillProducesACapture) {
   Fixture fx = MakeFixture(1);
   auto server = CloudServer::Host(fx.owner.upload_bytes());
   ASSERT_TRUE(server.ok());
-  QueryService service(&*server);
+  QueryService service(static_cast<const QueryHandler*>(&*server));
   FlightRecorder::Global().Clear();
 
   const auto past =
@@ -186,7 +186,7 @@ TEST(QueryObs, ExpiredDeadlineStillProducesACapture) {
   EXPECT_TRUE(FindProfile(slow[0].query_id, &recorded));
 }
 
-TEST(QueryObs, DirectAnswerQueryFillsStatsOnDeadlineFailure) {
+TEST(QueryObs, DirectServeFillsStatsOnDeadlineFailure) {
   Fixture fx = MakeFixture(1);
   auto server = CloudServer::Host(fx.owner.upload_bytes());
   ASSERT_TRUE(server.ok());
@@ -197,7 +197,7 @@ TEST(QueryObs, DirectAnswerQueryFillsStatsOnDeadlineFailure) {
   ctx.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
   CloudQueryStats stats;
   ctx.stats = &stats;
-  auto answer = server->AnswerQuery(fx.requests[0], ctx);
+  auto answer = server->Serve(fx.requests[0], ctx);
   ASSERT_FALSE(answer.ok());
   EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
   // The out-param carries the partial stats despite the early return...
@@ -220,22 +220,24 @@ TEST(QueryObs, SystemAnnotatesNetworkAndClientTimes) {
   Rng rng(11);
   auto extracted = ExtractQuery(*g, 4, rng);
   ASSERT_TRUE(extracted.ok());
-  auto outcome = system->Query(extracted->query);
-  ASSERT_TRUE(outcome.ok()) << outcome.status();
-  ASSERT_NE(outcome->cloud.query_id, 0u);
+  QueryRequest request;
+  request.pattern = extracted->query;
+  const QueryResponse outcome = system->Execute(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status;
+  ASSERT_NE(outcome.cloud.query_id, 0u);
 
   QueryProfile recorded;
-  ASSERT_TRUE(FindProfile(outcome->cloud.query_id, &recorded));
+  ASSERT_TRUE(FindProfile(outcome.cloud.query_id, &recorded));
   // The facade annotated the post-cloud legs onto the recorded profile.
-  EXPECT_EQ(recorded.network_ms, outcome->network_ms);
+  EXPECT_EQ(recorded.network_ms, outcome.network_ms);
   EXPECT_GT(recorded.network_ms, 0.0);
-  EXPECT_EQ(recorded.total_ms, outcome->total_ms);
+  EXPECT_EQ(recorded.total_ms, outcome.total_ms);
   EXPECT_GE(recorded.total_ms, recorded.cloud_ms);
 
   // Static accessors see the same global recorder.
   ASSERT_EQ(PpsmSystem::RecentQueryProfiles().size(), 1u);
   EXPECT_EQ(PpsmSystem::RecentQueryProfiles()[0].query_id,
-            outcome->cloud.query_id);
+            outcome.cloud.query_id);
 }
 
 TEST(QueryObs, DumpQueryLogWritesParseableJsonl) {
@@ -251,8 +253,10 @@ TEST(QueryObs, DumpQueryLogWritesParseableJsonl) {
   for (int i = 0; i < 3; ++i) {
     auto extracted = ExtractQuery(*g, 3 + i, rng);
     ASSERT_TRUE(extracted.ok());
-    auto outcome = system->Query(extracted->query);
-    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse outcome = system->Execute(request);
+    ASSERT_TRUE(outcome.ok()) << outcome.status;
   }
 
   const std::string path = ::testing::TempDir() + "/query_log.jsonl";
@@ -311,12 +315,16 @@ TEST(QueryObs, ConcurrentBatchMintsDistinctIds) {
     ASSERT_TRUE(extracted.ok());
     workload.push_back(extracted->query);
   }
-  const BatchOutcome batch = system->QueryBatch(workload, 4);
+  std::vector<QueryRequest> requests(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    requests[i].pattern = workload[i];
+  }
+  const BatchResult batch = system->ExecuteBatch(requests, 4);
   std::set<uint64_t> ids;
-  for (const auto& outcome : batch.outcomes) {
-    ASSERT_TRUE(outcome.ok()) << outcome.status();
-    EXPECT_NE(outcome->cloud.query_id, 0u);
-    EXPECT_TRUE(ids.insert(outcome->cloud.query_id).second);
+  for (const QueryResponse& outcome : batch.responses) {
+    ASSERT_TRUE(outcome.ok()) << outcome.status;
+    EXPECT_NE(outcome.cloud.query_id, 0u);
+    EXPECT_TRUE(ids.insert(outcome.cloud.query_id).second);
   }
   EXPECT_EQ(FlightRecorder::Global().NumRecorded(), workload.size());
 }

@@ -69,7 +69,7 @@ TEST(QueryService, EightConcurrentQueriesMatchSerialByteForByte) {
   ASSERT_TRUE(serial.ok());
   std::vector<std::vector<uint8_t>> expected;
   for (const auto& request : fx.requests) {
-    auto answer = serial->AnswerQuery(request);
+    auto answer = serial->Serve(request);
     ASSERT_TRUE(answer.ok());
     expected.push_back(answer->response_payload);
   }
@@ -79,7 +79,7 @@ TEST(QueryService, EightConcurrentQueriesMatchSerialByteForByte) {
   config.max_inflight = kThreads;
   auto server = CloudServer::Host(fx.owner.upload_bytes(), config);
   ASSERT_TRUE(server.ok());
-  QueryService service(&*server);
+  QueryService service(static_cast<const QueryHandler*>(&*server));
 
   std::vector<std::vector<uint8_t>> got(kThreads);
   std::vector<std::atomic<bool>> ok(kThreads);
@@ -111,7 +111,7 @@ TEST(QueryService, PlanCacheHitsOnRepeatAndKeepsAnswersIdentical) {
 
   const double hits_before =
       CounterValue("ppsm_cloud_plan_cache_hits_total");
-  auto first = server->AnswerQuery(fx.requests[0]);
+  auto first = server->Serve(fx.requests[0]);
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->stats.plan_cache_hit);
   PlanCacheStats stats = server->plan_cache_stats();
@@ -120,7 +120,7 @@ TEST(QueryService, PlanCacheHitsOnRepeatAndKeepsAnswersIdentical) {
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_EQ(stats.capacity, 8u);
 
-  auto second = server->AnswerQuery(fx.requests[0]);
+  auto second = server->Serve(fx.requests[0]);
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->stats.plan_cache_hit);
   EXPECT_EQ(second->response_payload, first->response_payload)
@@ -132,7 +132,7 @@ TEST(QueryService, PlanCacheHitsOnRepeatAndKeepsAnswersIdentical) {
   EXPECT_GT(CounterValue("ppsm_cloud_plan_cache_hits_total"), hits_before);
 
   // A different query is a miss, not a false hit.
-  auto third = server->AnswerQuery(fx.requests[1]);
+  auto third = server->Serve(fx.requests[1]);
   ASSERT_TRUE(third.ok());
   EXPECT_FALSE(third->stats.plan_cache_hit);
   EXPECT_EQ(server->plan_cache_stats().misses, 2u);
@@ -145,7 +145,7 @@ TEST(QueryService, PlanCacheDisabledNeverCounts) {
   auto server = CloudServer::Host(fx.owner.upload_bytes(), config);
   ASSERT_TRUE(server.ok());
   for (int i = 0; i < 3; ++i) {
-    auto answer = server->AnswerQuery(fx.requests[0]);
+    auto answer = server->Serve(fx.requests[0]);
     ASSERT_TRUE(answer.ok());
     EXPECT_FALSE(answer->stats.plan_cache_hit);
   }
@@ -159,7 +159,7 @@ TEST(QueryService, ExpiredDeadlineReturnsTypedStatus) {
   Fixture fx = MakeFixture(1);
   auto server = CloudServer::Host(fx.owner.upload_bytes());
   ASSERT_TRUE(server.ok());
-  QueryService service(&*server);
+  QueryService service(static_cast<const QueryHandler*>(&*server));
 
   const auto past =
       std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
@@ -168,8 +168,10 @@ TEST(QueryService, ExpiredDeadlineReturnsTypedStatus) {
   EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded)
       << answer.status();
 
-  // The server-level overload refuses too (no admission involved).
-  auto direct = server->AnswerQuery(fx.requests[0], past);
+  // The server-level entry point refuses too (no admission involved).
+  QueryContext past_ctx;
+  past_ctx.deadline = past;
+  auto direct = server->Serve(fx.requests[0], past_ctx);
   ASSERT_FALSE(direct.ok());
   EXPECT_EQ(direct.status().code(), StatusCode::kDeadlineExceeded);
 
@@ -230,10 +232,10 @@ TEST(AdmissionGate, FullQueueRefusesImmediately) {
   EXPECT_EQ(gate.Queued(), 0u);
 }
 
-// End-to-end batch path through the facade: concurrent QueryBatch answers
+// End-to-end batch path through the facade: concurrent ExecuteBatch answers
 // equal individually issued serial queries, and the summary accounting adds
 // up.
-TEST(QueryBatch, MatchesSerialQueriesAndSummarizes) {
+TEST(ExecuteBatch, MatchesSerialQueriesAndSummarizes) {
   auto g = GenerateDataset(DbpediaLike(0.008));
   ASSERT_TRUE(g.ok());
   SystemConfig config;
@@ -251,23 +253,28 @@ TEST(QueryBatch, MatchesSerialQueriesAndSummarizes) {
     workload.push_back(extracted->query);
   }
 
-  std::vector<MatchSet> expected;
-  for (const AttributedGraph& query : workload) {
-    auto outcome = system->Query(query);
-    ASSERT_TRUE(outcome.ok());
-    expected.push_back(outcome->results);
+  std::vector<QueryRequest> requests(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    requests[i].pattern = workload[i];
   }
 
-  const BatchOutcome batch = system->QueryBatch(workload, 4);
-  ASSERT_EQ(batch.outcomes.size(), workload.size());
+  std::vector<MatchSet> expected;
+  for (const QueryRequest& request : requests) {
+    const QueryResponse outcome = system->Execute(request);
+    ASSERT_TRUE(outcome.ok());
+    expected.push_back(outcome.matches);
+  }
+
+  const BatchResult batch = system->ExecuteBatch(requests, 4);
+  ASSERT_EQ(batch.responses.size(), workload.size());
   EXPECT_EQ(batch.summary.queries, workload.size());
   EXPECT_EQ(batch.summary.succeeded, workload.size());
   EXPECT_EQ(batch.summary.failed, 0u);
   EXPECT_GT(batch.summary.queries_per_second, 0.0);
   EXPECT_GE(batch.summary.p95_ms, batch.summary.p50_ms);
   for (size_t i = 0; i < workload.size(); ++i) {
-    ASSERT_TRUE(batch.outcomes[i].ok()) << "query " << i;
-    EXPECT_TRUE(batch.outcomes[i]->results == expected[i])
+    ASSERT_TRUE(batch.responses[i].ok()) << "query " << i;
+    EXPECT_TRUE(batch.responses[i].matches == expected[i])
         << "batch answer diverged from serial, query " << i;
   }
   // The serial warm-up pass decomposed each distinct query once; the batch
@@ -275,20 +282,20 @@ TEST(QueryBatch, MatchesSerialQueriesAndSummarizes) {
   EXPECT_GE(batch.summary.plan_cache.hits, workload.size());
 }
 
-TEST(QueryBatch, EmptyWorkloadIsWellFormed) {
+TEST(ExecuteBatch, EmptyWorkloadIsWellFormed) {
   auto g = GenerateDataset(DbpediaLike(0.005));
   ASSERT_TRUE(g.ok());
   SystemConfig config;
   config.k = 2;
   auto system = PpsmSystem::Setup(*g, g->schema(), config);
   ASSERT_TRUE(system.ok());
-  const BatchOutcome batch = system->QueryBatch({}, 2);
-  EXPECT_TRUE(batch.outcomes.empty());
+  const BatchResult batch = system->ExecuteBatch({}, 2);
+  EXPECT_TRUE(batch.responses.empty());
   EXPECT_EQ(batch.summary.queries, 0u);
   EXPECT_EQ(batch.summary.succeeded, 0u);
 }
 
-TEST(QueryBatch, DeadlineZeroMeansNoDeadline) {
+TEST(ExecuteBatch, DeadlineZeroMeansNoDeadline) {
   auto g = GenerateDataset(DbpediaLike(0.005));
   ASSERT_TRUE(g.ok());
   SystemConfig config;
@@ -299,8 +306,10 @@ TEST(QueryBatch, DeadlineZeroMeansNoDeadline) {
   Rng rng(5);
   auto extracted = ExtractQuery(*g, 3, rng);
   ASSERT_TRUE(extracted.ok());
-  auto outcome = system->Query(extracted->query);
-  EXPECT_TRUE(outcome.ok()) << outcome.status();
+  QueryRequest request;
+  request.pattern = extracted->query;
+  const QueryResponse outcome = system->Execute(request);
+  EXPECT_TRUE(outcome.ok()) << outcome.status;
 }
 
 }  // namespace

@@ -110,10 +110,12 @@ TEST(ShapedQueries, EndToEndExactnessPerShape) {
         QueryShape::kTree}) {
     auto extracted = ExtractShapedQuery(*g, shape, 3, rng);
     ASSERT_TRUE(extracted.ok()) << QueryShapeName(shape);
-    auto outcome = system->Query(extracted->query);
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse outcome = system->Execute(request);
     ASSERT_TRUE(outcome.ok()) << QueryShapeName(shape);
     const MatchSet truth = FindSubgraphMatches(extracted->query, *g);
-    EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, truth))
+    EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome.matches, truth))
         << QueryShapeName(shape);
   }
 }

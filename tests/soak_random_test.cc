@@ -50,19 +50,21 @@ TEST_P(RandomizedSoak, PipelineEqualsGroundTruth) {
     auto extracted = ExtractQuery(*graph, query_edges, rng);
     ASSERT_TRUE(extracted.ok()) << extracted.status();
 
-    auto outcome = system->Query(extracted->query);
+    QueryRequest request;
+    request.pattern = extracted->query;
+    const QueryResponse outcome = system->Execute(request);
     if (!outcome.ok() &&
-        outcome.status().code() == StatusCode::kResourceExhausted) {
+        outcome.status.code() == StatusCode::kResourceExhausted) {
       continue;  // Row-cap guard: legal refusal, nothing to compare.
     }
-    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    ASSERT_TRUE(outcome.ok()) << outcome.status;
 
     const MatchSet truth = FindSubgraphMatches(extracted->query, *graph);
-    EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, truth))
+    EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome.matches, truth))
         << "seed=" << seed << " method=" << MethodName(config.method)
         << " k=" << config.k << " theta=" << config.theta
         << " |E(Q)|=" << query_edges << " got "
-        << outcome->results.NumMatches() << " want " << truth.NumMatches();
+        << outcome.matches.NumMatches() << " want " << truth.NumMatches();
     EXPECT_GE(truth.NumMatches(), 1u);  // The planted match exists.
   }
 }

@@ -27,9 +27,11 @@ TEST(SystemRunningExample, EffReturnsTheTwoPaperMatches) {
   const MatchSet expected = FindSubgraphMatches(ex.query, ex.graph);
   EXPECT_EQ(expected.NumMatches(), 2u);  // The paper's Figure 1 claim.
 
-  auto outcome = system->Query(ex.query);
-  ASSERT_TRUE(outcome.ok()) << outcome.status();
-  EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, expected));
+  QueryRequest request;
+  request.pattern = ex.query;
+  const QueryResponse outcome = system->Execute(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status;
+  EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome.matches, expected));
 }
 
 struct MethodK {
@@ -66,11 +68,13 @@ TEST_P(SystemExactness, MatchesGroundTruthOnRandomQueries) {
       const MatchSet expected = FindSubgraphMatches(query, *graph);
       ASSERT_GE(expected.NumMatches(), 1u);  // The planted match at least.
 
-      auto outcome = system->Query(query);
-      ASSERT_TRUE(outcome.ok()) << outcome.status();
-      EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome->results, expected))
+      QueryRequest request;
+      request.pattern = query;
+      const QueryResponse outcome = system->Execute(request);
+      ASSERT_TRUE(outcome.ok()) << outcome.status;
+      EXPECT_TRUE(MatchSet::EquivalentUnordered(outcome.matches, expected))
           << MethodName(method) << " k=" << k << " |E(Q)|=" << query_edges
-          << " got " << outcome->results.NumMatches() << " expected "
+          << " got " << outcome.matches.NumMatches() << " expected "
           << expected.NumMatches();
     }
   }

@@ -12,6 +12,7 @@
 //                     [--method eff|ran|fsim|bas] [--theta 2]
 //                     [--cloud-threads N] [--setup-threads N]
 //                     [--shards S] [--repeat N] [--concurrency N]
+//                     [--go-hops H] [--max-unit-depth D]
 //                     [--save-snapshot DIR | --load-snapshot DIR]
 //
 // `generate` writes a synthetic dataset in the ppsm text format; `attach`
@@ -178,6 +179,8 @@ int Anonymize(const Args& args) {
       args.Has("baseline") ? Method::kBas : method.value();
   config.setup_threads =
       static_cast<size_t>(std::max(1L, args.GetInt("setup-threads", 1)));
+  config.go_hops =
+      static_cast<uint32_t>(std::max(1L, args.GetInt("go-hops", 1)));
 
   auto system = PpsmSystem::Setup(*graph, graph->schema(), config);
   if (!system.ok()) return Fail(system.status().ToString());
@@ -243,6 +246,13 @@ int Query(const Args& args) {
   // CloudServer; results are byte-identical at any value (DESIGN.md §13).
   config.num_shards =
       static_cast<uint32_t>(std::max(1L, args.GetInt("shards", 1)));
+  // --go-hops=H uploads the radius-H Go so the planner may pick path/tree
+  // units of depth up to H; --max-unit-depth=1 forces star-only planning
+  // (byte-identical to the pre-unit pipeline at any radius).
+  config.go_hops =
+      static_cast<uint32_t>(std::max(1L, args.GetInt("go-hops", 1)));
+  config.cloud.max_unit_depth =
+      static_cast<uint32_t>(std::max(0L, args.GetInt("max-unit-depth", 0)));
   const size_t repeat =
       static_cast<size_t>(std::max(1L, args.GetInt("repeat", 1)));
   const size_t concurrency =
@@ -369,12 +379,16 @@ int Usage() {
       "            [--labels N] [--seed S]\n"
       "  stats     --in FILE\n"
       "  anonymize --in FILE --k K [--theta T] [--strategy eff|ran|fsim]\n"
-      "            [--baseline 1] [--setup-threads N] [--upload-out FILE]\n"
-      "            [--save-snapshot DIR]\n"
+      "            [--baseline 1] [--setup-threads N] [--go-hops H]\n"
+      "            [--upload-out FILE] [--save-snapshot DIR]\n"
       "  query     --in FILE --pattern FILE --k K [--theta T]\n"
       "            [--method eff|ran|fsim|bas] [--cloud-threads N]\n"
       "            [--setup-threads N] [--shards S] [--repeat N]\n"
       "            [--concurrency N] [--deadline-ms MS]\n"
+      "            [--go-hops H] [--max-unit-depth D]\n"
+      "            (--go-hops H uploads the radius-H Go so the planner may\n"
+      "             pick path/tree units up to depth H; --max-unit-depth 1\n"
+      "             forces the star-only decomposition)\n"
       "            (--shards S hosts a sharded in-process cloud; results\n"
       "             are byte-identical to --shards 1)\n"
       "            [--save-snapshot DIR | --load-snapshot DIR]\n"
