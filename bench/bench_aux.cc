@@ -1,0 +1,279 @@
+// bench_aux — the auxiliary-graph matcher's byte-identity and coverage gate.
+//
+// The aux path (match/aux_graph.h + util/intersect.h) is a pure execution
+// strategy: per-query candidate sets plus set-intersection kernels replacing
+// the filter-while-walking inner loop, with byte-identical rows guaranteed
+// at any kernel, thread count and shard count (DESIGN.md §15). This bench
+// makes the guarantee measurable: a formula-built fixture is matched with
+// the aux path OFF (the reference) and ON under every kernel, asserting
+// row-for-row equality, and a fixed pseudo-random set workload runs every
+// kernel against std::set_intersection.
+//
+// Unlike the timing benches this one is fully deterministic — a counting
+// benchmark, no timers: fixtures are formula-built, seeds fixed, and every
+// emitted leaf (rows, flags, class/candidate counts) reproduces exactly on
+// any host (SIMD availability shifts kernel *dispatch*, never output, and
+// dispatch counts are deliberately not emitted). CI gates it with
+//
+//   tools/bench_diff.py --threshold 0
+//       bench_results/BENCH_aux.json <out>/BENCH_aux.json
+//
+// PPSM_BENCH_SCALE / PPSM_BENCH_QUERIES are deliberately ignored; only
+// PPSM_BENCH_OUT (output directory) is honored.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/attributed_graph.h"
+#include "graph/query_extractor.h"
+#include "match/aux_graph.h"
+#include "match/index.h"
+#include "match/query_unit.h"
+#include "match/unit_matcher.h"
+#include "util/intersect.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace ppsm::bench {
+namespace {
+
+constexpr size_t kVertices = 420;
+constexpr uint32_t kNumTypes = 4;
+constexpr uint32_t kNumGroups = 24;
+constexpr size_t kNumQueries = 8;
+constexpr uint64_t kQuerySeed = 31;
+constexpr IntersectKernel kKernels[] = {
+    IntersectKernel::kAuto, IntersectKernel::kScalar,
+    IntersectKernel::kGalloping, IntersectKernel::kSimd};
+
+/// Ring + chord stencils, formula-built labels: identical on every host.
+AttributedGraph MakeGraph() {
+  GraphBuilder builder;
+  builder.ReserveVertices(kVertices);
+  for (VertexId v = 0; v < kVertices; ++v) {
+    builder.AddVertex(static_cast<VertexTypeId>(v % kNumTypes),
+                      {static_cast<LabelId>(v % kNumGroups),
+                       static_cast<LabelId>((v / 2) % kNumGroups)});
+  }
+  for (VertexId v = 0; v < kVertices; ++v) {
+    builder.TryAddEdge(v, (v + 1) % kVertices);
+    builder.TryAddEdge(v, (v + 7) % kVertices);
+    builder.TryAddEdge(v, (v + 13) % kVertices);
+  }
+  return builder.Build().value();
+}
+
+struct KernelCell {
+  const char* kernel = "";
+  size_t rows = 0;           // Total unit-match rows, aux path ON.
+  bool identical = true;     // Row-for-row equal to the aux-off reference.
+};
+
+struct WorkloadResult {
+  size_t reference_rows = 0;  // Aux-off filter-while-walking rows.
+  size_t units = 0;           // Decomposition units matched per kernel.
+  size_t aux_classes = 0;     // Compat classes of the workload's queries.
+  size_t aux_bytes = 0;       // Sum of per-query aux footprints.
+  std::vector<KernelCell> cells;
+};
+
+WorkloadResult RunMatchWorkload(const AttributedGraph& g) {
+  WorkloadResult result;
+  const CloudIndex index =
+      CloudIndex::Build(g, g.NumVertices(), kNumTypes, kNumGroups).value();
+
+  Rng rng(kQuerySeed);
+  std::vector<AttributedGraph> queries;
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    auto extracted = ExtractQuery(g, 3 + i % 4, rng);
+    PPSM_CHECK_OK(extracted);
+    queries.push_back(std::move(extracted->query));
+  }
+
+  for (const IntersectKernel kernel : kKernels) {
+    result.cells.push_back({IntersectKernelName(kernel), 0, true});
+  }
+  for (const AttributedGraph& qo : queries) {
+    const auto units = EnumerateCandidateUnits(qo, /*max_depth=*/2);
+    const QueryAuxGraph aux = QueryAuxGraph::Build(g, qo);
+    result.aux_classes += aux.NumClasses();
+    result.aux_bytes += aux.MemoryBytes();
+
+    UnitMatchOptions off;
+    off.use_aux_graph = false;
+    const auto reference = MatchUnits(g, index, qo, units, off);
+    result.units += reference.size();
+    for (const UnitMatches& unit : reference) {
+      result.reference_rows += unit.matches.NumMatches();
+    }
+
+    for (size_t c = 0; c < result.cells.size(); ++c) {
+      UnitMatchOptions on;
+      on.use_aux_graph = true;
+      on.intersect_kernel = kKernels[c];
+      const auto got = MatchUnits(g, index, qo, units, on);
+      for (size_t u = 0; u < got.size(); ++u) {
+        result.cells[c].rows += got[u].matches.NumMatches();
+        if (!(got[u].matches == reference[u].matches) ||
+            got[u].columns != reference[u].columns) {
+          result.cells[c].identical = false;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+struct KernelAgreement {
+  const char* kernel = "";
+  size_t pairs = 0;    // Set pairs intersected.
+  size_t matched = 0;  // Total elements across all intersections.
+  bool agrees = true;  // Equal (content and order) to std::set_intersection.
+};
+
+/// Fixed pseudo-random set workload spanning the kernels' regimes: balanced,
+/// >=32x skewed (the galloping crossover) and block-sized (the SIMD sweet
+/// spot). Deterministic: Rng(seed) streams are host-independent.
+std::vector<KernelAgreement> RunKernelWorkload() {
+  Rng rng(57);
+  std::vector<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> pairs;
+  auto make_sorted = [&rng](size_t n, uint64_t universe) {
+    std::set<uint32_t> values;
+    while (values.size() < n) {
+      values.insert(static_cast<uint32_t>(rng.Below(universe)));
+    }
+    return std::vector<uint32_t>(values.begin(), values.end());
+  };
+  for (int i = 0; i < 40; ++i) {
+    const size_t na = 1 + rng.Below(200);
+    const size_t nb = 1 + rng.Below(200);
+    pairs.emplace_back(make_sorted(na, 600), make_sorted(nb, 600));
+  }
+  for (int i = 0; i < 20; ++i) {
+    pairs.emplace_back(make_sorted(1 + rng.Below(6), 4000),
+                       make_sorted(1000 + rng.Below(1000), 4000));
+  }
+
+  std::vector<KernelAgreement> out;
+  for (const IntersectKernel kernel : kKernels) {
+    KernelAgreement agreement;
+    agreement.kernel = IntersectKernelName(kernel);
+    agreement.pairs = pairs.size();
+    std::vector<uint32_t> got, want;
+    for (const auto& [a, b] : pairs) {
+      IntersectInto(a, b, &got, kernel);
+      want.clear();
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(want));
+      agreement.matched += got.size();
+      if (got != want) agreement.agrees = false;
+    }
+    out.push_back(agreement);
+  }
+  return out;
+}
+
+/// Writes the gate snapshot. The committed bench_results/BENCH_aux.json is
+/// this function's verbatim output, so CI can diff at --threshold 0.
+void WriteBenchJson(const std::string& path, const WorkloadResult& match,
+                    const std::vector<KernelAgreement>& kernels) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_aux: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"description\": \"Auxiliary-graph matcher byte-identity gate: "
+         "unit matching with the per-query aux graph ON, under every "
+         "set-intersection kernel, must produce row-for-row identical "
+         "matches to the aux-off filter-while-walking reference; and every "
+         "kernel must agree with std::set_intersection on a fixed set "
+         "workload. Fully deterministic counting benchmark (no timers).\",\n"
+      << "  \"fixture\": \"synthetic graph, " << kVertices << " vertices, "
+      << kNumTypes << " types, " << kNumGroups
+      << " label groups, ring+chord(7,13) edges; " << kNumQueries
+      << " extracted queries of 3-6 edges, seed " << kQuerySeed
+      << "; depth-2 candidate units\",\n"
+      << "  \"command\": \"bench_aux (ignores PPSM_BENCH_SCALE / "
+         "PPSM_BENCH_QUERIES; honors PPSM_BENCH_OUT)\",\n"
+      << "  \"units\": \"rows, bytes, flags (1 = identical / agrees, 0 = "
+         "violated)\",\n"
+      << "  \"host_note\": \"Every leaf is deterministic: SIMD availability "
+         "changes which kernel body runs, never its output, and dispatch "
+         "counts are not emitted — so CI gates this file with "
+         "tools/bench_diff.py --threshold 0 against a fresh run.\",\n"
+      << "  \"reference\": { \"aux\": 0, \"units\": " << match.units
+      << ", \"rows\": " << match.reference_rows << " },\n"
+      << "  \"aux_classes\": " << match.aux_classes << ",\n"
+      << "  \"aux_bytes\": " << match.aux_bytes << ",\n"
+      << "  \"match_results\": [\n";
+  for (size_t i = 0; i < match.cells.size(); ++i) {
+    const KernelCell& c = match.cells[i];
+    out << "    { \"kernel\": \"" << c.kernel << "\", \"aux\": 1, \"rows\": "
+        << c.rows << ", \"identical_rows\": " << (c.identical ? 1 : 0)
+        << " }" << (i + 1 < match.cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"kernel_agreement\": [\n";
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelAgreement& c = kernels[i];
+    out << "    { \"kernel\": \"" << c.kernel << "\", \"pairs\": "
+        << c.pairs << ", \"matched\": " << c.matched
+        << ", \"agrees_with_std\": " << (c.agrees ? 1 : 0) << " }"
+        << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"diff_tool\": \"tools/bench_diff.py compares two of these "
+         "files: numeric leaves as before -> after (delta%), --threshold N "
+         "exits 1 past N percent (0 here: the bench is deterministic)\"\n"
+      << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Run() {
+  const AttributedGraph g = MakeGraph();
+  const WorkloadResult match = RunMatchWorkload(g);
+  const std::vector<KernelAgreement> kernels = RunKernelWorkload();
+
+  Table table("Aux-graph matcher: byte-identity across kernels (rows must "
+              "equal the aux-off reference)",
+              {"kernel", "aux", "units", "rows", "identical"});
+  table.AddRow({"(reference)", "0", std::to_string(match.units),
+                std::to_string(match.reference_rows), "-"});
+  bool ok = true;
+  for (const KernelCell& c : match.cells) {
+    table.AddRow({c.kernel, "1", std::to_string(match.units),
+                  std::to_string(c.rows), c.identical ? "yes" : "NO"});
+    ok = ok && c.identical && c.rows == match.reference_rows;
+  }
+  table.Print();
+
+  Table agreement("Intersection kernels vs std::set_intersection",
+                  {"kernel", "pairs", "matched", "agrees"});
+  for (const KernelAgreement& c : kernels) {
+    agreement.AddRow({c.kernel, std::to_string(c.pairs),
+                      std::to_string(c.matched), c.agrees ? "yes" : "NO"});
+    ok = ok && c.agrees;
+  }
+  agreement.Print();
+
+  const std::string dir = OutDir();
+  if (!dir.empty()) WriteBenchJson(dir + "/BENCH_aux.json", match, kernels);
+  if (!ok) {
+    std::fprintf(stderr, "bench_aux: byte-identity violated\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppsm::bench
+
+int main() { return ppsm::bench::Run(); }

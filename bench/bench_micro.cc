@@ -14,14 +14,19 @@
 #include "cloud/data_owner.h"
 #include "graph/generators.h"
 #include "graph/query_extractor.h"
+#include "graph/query_shapes.h"
 #include "graph/serialize.h"
 #include "kauto/outsourced_graph.h"
+#include "match/aux_graph.h"
 #include "match/decomposition.h"
 #include "match/index.h"
+#include "match/query_unit.h"
 #include "match/result_join.h"
 #include "match/star_matcher.h"
+#include "match/unit_matcher.h"
 #include "match/subgraph_matcher.h"
 #include "util/bitvector.h"
+#include "util/intersect.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/zipf.h"
@@ -224,7 +229,8 @@ void BM_IndexBuild(benchmark::State& state) {
   const size_t num_groups = f.g.schema()->NumLabels();
   for (auto _ : state) {
     CloudIndex index =
-        CloudIndex::Build(f.g, f.g.NumVertices(), num_types, num_groups);
+        CloudIndex::Build(f.g, f.g.NumVertices(), num_types, num_groups)
+            .value();
     benchmark::DoNotOptimize(index.MemoryBytes());
   }
 }
@@ -348,7 +354,8 @@ struct JoinWorkload {
         ComputeGkStatistics(w->go, w->g.schema()->NumTypes(), type_of_group);
     w->index = CloudIndex::Build(w->go.graph, w->go.num_b1,
                                  w->g.schema()->NumTypes(),
-                                 w->lct.NumGroups());
+                                 w->lct.NumGroups())
+                  .value();
 
     // Multi-star queries with non-empty joins, keeping the heaviest by
     // intermediate size: the join benches must measure join work, not
@@ -408,10 +415,15 @@ struct JoinWorkload {
   }
 };
 
+// Args: {threads, use_aux_graph}. The {t, 0} rows are the legacy
+// filter-while-walking inner loop, the {t, 1} rows the aux-graph +
+// intersection-kernel path — same rows byte for byte, so the delta is pure
+// inner-loop speedup.
 void BM_MatchStarsThreads(benchmark::State& state) {
   JoinWorkload& w = JoinWorkload::Get(3);
   StarMatchOptions options;
   options.num_threads = static_cast<size_t>(state.range(0));
+  options.use_aux_graph = state.range(1) != 0;
   for (auto _ : state) {
     size_t rows = 0;
     for (size_t q = 0; q < w.qos.size(); ++q) {
@@ -422,7 +434,109 @@ void BM_MatchStarsThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(rows);
   }
 }
-BENCHMARK(BM_MatchStarsThreads)->Arg(1)->Arg(4)->Arg(8)
+BENCHMARK(BM_MatchStarsThreads)
+    ->ArgsProduct({{1, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Set-intersection kernels (the aux matcher's inner primitive) ---
+
+std::vector<uint32_t> SortedUniverseSample(Rng& rng, size_t n,
+                                           uint64_t universe) {
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  uint32_t v = 0;
+  // Sorted-by-construction sampling: strictly increasing gaps drawn so the
+  // expected max stays inside `universe`.
+  const uint64_t gap = std::max<uint64_t>(1, universe / (n + 1));
+  for (size_t i = 0; i < n; ++i) {
+    v += 1 + static_cast<uint32_t>(rng.Below(2 * gap - 1));
+    out.push_back(v);
+  }
+  return out;
+}
+
+// Args: {kernel, smaller size, size ratio}. Ratio 1 is the balanced regime
+// (SIMD's home), 64 the skewed regime (galloping's home); kAuto should
+// track the best kernel in both.
+void BM_IntersectKernel(benchmark::State& state) {
+  const auto kernel = static_cast<IntersectKernel>(state.range(0));
+  const size_t small_n = static_cast<size_t>(state.range(1));
+  const size_t large_n = small_n * static_cast<size_t>(state.range(2));
+  Rng rng(91);
+  const auto a = SortedUniverseSample(rng, small_n, large_n * 4);
+  const auto b = SortedUniverseSample(rng, large_n, large_n * 4);
+  std::vector<uint32_t> out(small_n + kIntersectSlack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectSorted(a, b, out.data(), kernel));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(small_n + large_n));
+  state.SetLabel(IntersectKernelName(kernel));
+}
+BENCHMARK(BM_IntersectKernel)
+    ->ArgsProduct({{0, 1, 2, 3}, {64, 1024}, {1, 64}});
+
+// Args: {threads, use_index}. use_index = 1 is the serving path: the hosted
+// index's leaf VBVs turn each class into a handful of word-level ANDs.
+// use_index = 0 is the index-less fallback (one pass over the CSR pools).
+void BM_AuxGraphBuild(benchmark::State& state) {
+  JoinWorkload& w = JoinWorkload::Get(3);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const CloudIndex* index = state.range(1) != 0 ? &w.index : nullptr;
+  for (auto _ : state) {
+    size_t bytes = 0;
+    for (const AttributedGraph& qo : w.qos) {
+      bytes +=
+          QueryAuxGraph::Build(w.go.graph, qo, threads, index).MemoryBytes();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.qos.size()));
+}
+BENCHMARK(BM_AuxGraphBuild)
+    ->ArgsProduct({{1, 8}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Args: {shape (0 = long path, 1 = deep tree), use_aux_graph}. Depth-2
+// candidate units over shaped queries — the unit matcher's recursive slot
+// loop, where every slot pays a full adjacency filter on the aux-off path.
+void BM_MatchUnitsShaped(benchmark::State& state) {
+  JoinWorkload& w = JoinWorkload::Get(3);
+  const QueryShape shape =
+      state.range(0) == 0 ? QueryShape::kPath : QueryShape::kTree;
+  const size_t query_edges = state.range(0) == 0 ? 6 : 8;
+  Rng rng(11 + state.range(0));
+  std::vector<AttributedGraph> qos;
+  std::vector<std::vector<QueryUnit>> unit_sets;
+  for (int attempt = 0; attempt < 40 && qos.size() < 4; ++attempt) {
+    auto extracted = ExtractShapedQuery(w.g, shape, query_edges, rng);
+    if (!extracted.ok()) continue;
+    auto qo = w.lct.AnonymizeGraph(extracted->query);
+    PPSM_CHECK_OK(qo);
+    auto units = EnumerateCandidateUnits(*qo, /*max_depth=*/2);
+    if (units.empty()) continue;
+    qos.push_back(std::move(*qo));
+    unit_sets.push_back(std::move(units));
+  }
+  PPSM_CHECK(!qos.empty());
+  UnitMatchOptions options;
+  options.use_aux_graph = state.range(1) != 0;
+  for (auto _ : state) {
+    size_t rows = 0;
+    for (size_t q = 0; q < qos.size(); ++q) {
+      const auto matched =
+          MatchUnits(w.go.graph, w.index, qos[q], unit_sets[q], options);
+      for (const UnitMatches& unit : matched) {
+        rows += unit.matches.NumMatches();
+      }
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetLabel(state.range(0) == 0 ? "long_path" : "deep_tree");
+}
+BENCHMARK(BM_MatchUnitsShaped)
+    ->ArgsProduct({{0, 1}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
 void JoinBench(benchmark::State& state, uint32_t k, bool eager,

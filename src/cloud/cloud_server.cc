@@ -117,6 +117,8 @@ ShardConfig ToShardConfig(const CloudConfig& config) {
   shard.num_threads = config.num_threads;
   shard.plan_cache_entries = config.plan_cache_entries;
   shard.max_unit_depth = config.max_unit_depth;
+  shard.aux_graph = config.aux_graph;
+  shard.intersect_kernel = config.intersect_kernel;
   return shard;
 }
 
@@ -135,6 +137,8 @@ CloudConfig ToCloudConfig(const ShardConfig& shard,
   config.max_inflight = cluster.max_inflight;
   config.query_deadline_ms = cluster.query_deadline_ms;
   config.max_unit_depth = shard.max_unit_depth;
+  config.aux_graph = shard.aux_graph;
+  config.intersect_kernel = shard.intersect_kernel;
   return config;
 }
 
@@ -176,6 +180,8 @@ Result<CloudServer> CloudServer::HostSlice(UploadPackage package,
   flat.num_threads = config.num_threads;
   flat.plan_cache_entries = config.plan_cache_entries;
   flat.max_unit_depth = config.max_unit_depth;
+  flat.aux_graph = config.aux_graph;
+  flat.intersect_kernel = config.intersect_kernel;
   return HostImpl(std::move(package), flat, /*slice=*/true);
 }
 
@@ -236,9 +242,10 @@ Result<CloudServer> CloudServer::HostImpl(UploadPackage package,
   WallTimer timer;
   {
     PPSM_TRACE_SPAN_CAT("cloud.index_build", "setup");
-    server.index_ =
+    PPSM_ASSIGN_OR_RETURN(
+        server.index_,
         CloudIndex::Build(server.data_, num_centers, num_types, num_groups,
-                          server.config_.num_threads);
+                          server.config_.num_threads));
   }
   server.index_build_ms_ = timer.ElapsedMillis();
   const CloudMetrics& metrics = CloudMetrics::Get();
@@ -385,6 +392,10 @@ Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
   UnitMatchOptions star_options;
   star_options.max_rows = kMaxRows;
   star_options.num_threads = config_.num_threads;
+  star_options.use_aux_graph = config_.aux_graph;
+  star_options.intersect_kernel = config_.intersect_kernel;
+  MatchPhaseStats phase_stats;
+  star_options.phase_stats = &phase_stats;
   if (has_deadline) {
     star_options.cancelled = [deadline] {
       return SteadyClock::now() >= deadline;
@@ -412,10 +423,19 @@ Result<WireAnswer> CloudServer::Serve(std::span<const uint8_t> qo_bytes,
     profile.estimated_rows =
         estimates_aligned ? decomposition.estimates[i] : 0.0;
     profile.truncated = stars[i].truncated;
+    profile.skipped = stars[i].skipped;
     profile.kind = UnitKindName(stars[i].kind);
     star_truncated = star_truncated || stars[i].truncated;
     stats.stars.push_back(profile);
   }
+  stats.aux_build_ms = phase_stats.aux_build_ms;
+  stats.aux_bytes = phase_stats.aux_bytes;
+  stats.intersect_scalar =
+      phase_stats.intersect_scalar.load(std::memory_order_relaxed);
+  stats.intersect_galloping =
+      phase_stats.intersect_galloping.load(std::memory_order_relaxed);
+  stats.intersect_simd =
+      phase_stats.intersect_simd.load(std::memory_order_relaxed);
   if (has_deadline && SteadyClock::now() >= deadline) {
     return timeout("during star matching");
   }

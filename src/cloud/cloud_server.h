@@ -15,6 +15,7 @@
 #include "match/statistics.h"
 #include "obs/query_profile.h"
 #include "query/query_api.h"
+#include "util/intersect.h"
 #include "util/status.h"
 
 namespace ppsm {
@@ -36,6 +37,13 @@ struct ShardConfig {
   /// answers). Values above the hosted radius are clamped to it — deeper
   /// units could not be matched completely on this slice.
   uint32_t max_unit_depth = 0;
+  /// Unit matching via the per-query auxiliary graph + set-intersection
+  /// kernels (match/aux_graph.h, util/intersect.h). Rows are byte-identical
+  /// either way; off is the A/B reference path.
+  bool aux_graph = true;
+  /// Intersection kernel for the aux path (kAuto = §5.1 cost model per
+  /// step). Output-neutral; exposed for A/B and calibration runs.
+  IntersectKernel intersect_kernel = IntersectKernel::kAuto;
 };
 
 /// Deployment-scoped serving knobs: how many shards host the graph and how
@@ -69,6 +77,9 @@ struct CloudConfig {
   size_t max_inflight = 16;      // -> ClusterConfig::max_inflight.
   uint64_t query_deadline_ms = 0;  // -> ClusterConfig::query_deadline_ms.
   uint32_t max_unit_depth = 0;   // -> ShardConfig::max_unit_depth.
+  bool aux_graph = true;         // -> ShardConfig::aux_graph.
+  IntersectKernel intersect_kernel =  // -> ShardConfig::intersect_kernel.
+      IntersectKernel::kAuto;
 };
 
 /// Converters between the legacy flat config and the split pair.

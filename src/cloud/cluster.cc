@@ -474,11 +474,22 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
   phase_timer.Restart();
   std::vector<std::vector<UnitMatches>> shard_rows(shards_.size());
   stats.shards.resize(shards_.size());
+  // Aggregated across shards: each shard builds its own slice-local aux
+  // graph, so build time and footprint sum, as do the kernel counters.
+  MatchPhaseStats phase_stats;
+  // The wire codec ships rows/columns only, so the skipped flag (like the
+  // unit kind below) must be captured before the exchange. A unit is
+  // reported skipped when every shard skipped it — a shard that ran it
+  // contributes real rows to the merge.
+  std::vector<uint8_t> unit_skipped(decomposition.units.size(), 1);
   for (size_t s = 0; s < shards_.size(); ++s) {
     WallTimer shard_timer;
     UnitMatchOptions star_options;
     star_options.max_rows = kMaxRows;
     star_options.num_threads = shard_config_.num_threads;
+    star_options.use_aux_graph = shard_config_.aux_graph;
+    star_options.intersect_kernel = shard_config_.intersect_kernel;
+    star_options.phase_stats = &phase_stats;
     if (has_deadline) {
       star_options.cancelled = [deadline] {
         return SteadyClock::now() >= deadline;
@@ -512,6 +523,10 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
       star.matches = std::move(translated);
       profile.candidates += star.num_candidates;
       profile.rows += star.matches.NumMatches();
+    }
+    for (size_t i = 0;
+         i < shard_rows[s].size() && i < unit_skipped.size(); ++i) {
+      if (!shard_rows[s][i].skipped) unit_skipped[i] = 0;
     }
     profile.match_ms = shard_timer.ElapsedMillis();
     metrics.shard_rows.Observe(static_cast<double>(profile.rows));
@@ -567,10 +582,19 @@ Result<WireAnswer> CloudCluster::Serve(std::span<const uint8_t> qo_bytes,
     profile.estimated_rows =
         estimates_aligned ? decomposition.estimates[i] : 0.0;
     profile.truncated = stars[i].truncated;
+    profile.skipped = i < unit_skipped.size() && unit_skipped[i] != 0;
     profile.kind = UnitKindName(stars[i].kind);
     star_truncated = star_truncated || stars[i].truncated;
     stats.stars.push_back(profile);
   }
+  stats.aux_build_ms = phase_stats.aux_build_ms;
+  stats.aux_bytes = phase_stats.aux_bytes;
+  stats.intersect_scalar =
+      phase_stats.intersect_scalar.load(std::memory_order_relaxed);
+  stats.intersect_galloping =
+      phase_stats.intersect_galloping.load(std::memory_order_relaxed);
+  stats.intersect_simd =
+      phase_stats.intersect_simd.load(std::memory_order_relaxed);
   // Translate the merged global rows to Gk ids for the join.
   for (StarMatches& star : stars) {
     MatchSet translated(star.matches.arity());

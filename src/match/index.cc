@@ -1,39 +1,56 @@
 #include "match/index.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 
 #include "util/parallel.h"
 
 namespace ppsm {
 
-CloudIndex CloudIndex::Build(const AttributedGraph& graph, size_t num_centers,
-                             size_t num_types, size_t num_groups,
-                             size_t num_threads) {
-  assert(num_centers <= graph.NumVertices());
+Result<CloudIndex> CloudIndex::Build(const AttributedGraph& graph,
+                                     size_t num_centers, size_t num_types,
+                                     size_t num_groups, size_t num_threads) {
+  if (num_centers > graph.NumVertices()) {
+    return Status::InvalidArgument(
+        "CloudIndex::Build: num_centers (" + std::to_string(num_centers) +
+        ") exceeds graph vertex count (" +
+        std::to_string(graph.NumVertices()) + ")");
+  }
   CloudIndex index;
   index.num_centers_ = num_centers;
+  index.num_leaf_vertices_ = graph.NumVertices();
   index.group_vbv_.assign(num_groups, BitVector(num_centers));
   index.type_vbv_.assign(num_types, BitVector(num_centers));
   index.neighbor_groups_.assign(num_centers, BitVector(num_groups));
   index.neighbor_types_.assign(num_centers, BitVector(num_types));
+  index.leaf_group_vbv_.assign(num_groups,
+                               BitVector(index.num_leaf_vertices_));
+  index.leaf_type_vbv_.assign(num_types, BitVector(index.num_leaf_vertices_));
 
-  // Centers are scanned in 64-aligned blocks: bits [64b, 64(b+1)) of every
+  // Vertices are scanned in 64-aligned blocks: bits [64b, 64(b+1)) of every
   // shared VBV live in one uint64_t word owned exclusively by block b, and
   // the neighbor LBVs are per-center, so concurrent workers never write the
   // same word (BitVector::Set is a plain read-modify-write, not atomic).
+  // Centers are the id prefix [0, num_centers), so one pass covers both the
+  // center VBV/LBV families and the all-vertex leaf VBVs.
   constexpr size_t kBlock = 64;
-  const size_t num_blocks = (num_centers + kBlock - 1) / kBlock;
+  const size_t num_vertices = index.num_leaf_vertices_;
+  const size_t num_blocks = (num_vertices + kBlock - 1) / kBlock;
   ParallelFor(num_threads, num_blocks, [&](size_t block) {
     const size_t begin = block * kBlock;
-    const size_t end = std::min(num_centers, begin + kBlock);
+    const size_t end = std::min(num_vertices, begin + kBlock);
     for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
       for (const LabelId g : graph.Labels(v)) {
-        if (g < num_groups) index.group_vbv_[g].Set(v);
+        if (g >= num_groups) continue;
+        index.leaf_group_vbv_[g].Set(v);
+        if (v < num_centers) index.group_vbv_[g].Set(v);
       }
       for (const VertexTypeId t : graph.Types(v)) {
-        if (t < num_types) index.type_vbv_[t].Set(v);
+        if (t >= num_types) continue;
+        index.leaf_type_vbv_[t].Set(v);
+        if (v < num_centers) index.type_vbv_[t].Set(v);
       }
+      if (v >= num_centers) continue;
       for (const VertexId u : graph.Neighbors(v)) {
         for (const LabelId g : graph.Labels(u)) {
           if (g < num_groups) index.neighbor_groups_[v].Set(g);
@@ -69,8 +86,9 @@ std::vector<VertexId> CloudIndex::CandidateCenters(const AttributedGraph& qo,
     intersect(group_vbv_[g]);
   }
   if (!initialized) {
-    // Unconstrained center (no type? cannot happen, but stay safe): all.
-    for (size_t i = 0; i < num_centers_; ++i) alpha.Set(i);
+    // Unconstrained center (no type? cannot happen, but stay safe): all,
+    // word-at-a-time — the old per-bit loop here was O(n) read-modify-writes.
+    alpha.SetAll();
   }
 
   // Required neighborhood signature of q (line 6's LBV(vi)).
@@ -103,6 +121,8 @@ size_t CloudIndex::MemoryBytes() const {
   for (const auto& bv : type_vbv_) bytes += bv.MemoryBytes();
   for (const auto& bv : neighbor_groups_) bytes += bv.MemoryBytes();
   for (const auto& bv : neighbor_types_) bytes += bv.MemoryBytes();
+  for (const auto& bv : leaf_group_vbv_) bytes += bv.MemoryBytes();
+  for (const auto& bv : leaf_type_vbv_) bytes += bv.MemoryBytes();
   return bytes;
 }
 

@@ -35,10 +35,13 @@ class CloudIndex {
   /// vertex types and labels (= group ids) beyond those bounds are ignored.
   /// `num_threads > 1` parallelizes the center scan over 64-center blocks
   /// (each block owns a disjoint 64-bit word of every shared VBV, so the
-  /// workers never touch the same word).
-  static CloudIndex Build(const AttributedGraph& graph, size_t num_centers,
-                          size_t num_types, size_t num_groups,
-                          size_t num_threads = 1);
+  /// workers never touch the same word). Fails with InvalidArgument when
+  /// `num_centers` exceeds the graph's vertex count — a typed error rather
+  /// than an assert, because the center count comes from snapshot/config
+  /// surfaces that Release builds (NDEBUG) must still validate.
+  static Result<CloudIndex> Build(const AttributedGraph& graph,
+                                  size_t num_centers, size_t num_types,
+                                  size_t num_groups, size_t num_threads = 1);
 
   size_t num_centers() const { return num_centers_; }
   size_t num_types() const { return type_vbv_.size(); }
@@ -48,6 +51,23 @@ class CloudIndex {
   const BitVector& TypeVbv(VertexTypeId type) const {
     return type_vbv_[type];
   }
+
+  /// Leaf-compatibility VBVs: the same per-group / per-type bit vectors
+  /// extended over ALL graph vertices, not just the candidate centers. Star
+  /// and unit leaves can bind any vertex, so the per-query auxiliary graph
+  /// (match/aux_graph.h) builds each compatibility class by ANDing these
+  /// instead of re-scanning the CSR attribute pools — the full-graph scan is
+  /// paid once per hosted graph instead of once per query.
+  const BitVector& LeafGroupVbv(LabelId group) const {
+    return leaf_group_vbv_[group];
+  }
+  const BitVector& LeafTypeVbv(VertexTypeId type) const {
+    return leaf_type_vbv_[type];
+  }
+  /// Vertex count the leaf VBVs span (0 for a default-constructed index) —
+  /// QueryAuxGraph::Build uses it to confirm the index matches its data
+  /// graph before trusting the leaf VBVs.
+  size_t num_leaf_vertices() const { return num_leaf_vertices_; }
   /// Neighbor group/type coverage of center `v`.
   const BitVector& NeighborGroups(VertexId center) const {
     return neighbor_groups_[center];
@@ -67,10 +87,13 @@ class CloudIndex {
 
  private:
   size_t num_centers_ = 0;
+  size_t num_leaf_vertices_ = 0;
   std::vector<BitVector> group_vbv_;        // [group] -> bits over centers.
   std::vector<BitVector> type_vbv_;         // [type]  -> bits over centers.
   std::vector<BitVector> neighbor_groups_;  // [center] -> bits over groups.
   std::vector<BitVector> neighbor_types_;   // [center] -> bits over types.
+  std::vector<BitVector> leaf_group_vbv_;   // [group] -> bits over vertices.
+  std::vector<BitVector> leaf_type_vbv_;    // [type]  -> bits over vertices.
 };
 
 }  // namespace ppsm

@@ -2,9 +2,17 @@
 #define PPSM_MATCH_MATCHER_INTERNAL_H_
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "graph/attributed_graph.h"
+#include "match/query_unit.h"
+#include "match/star_matcher.h"
+#include "util/intersect.h"
+
+namespace ppsm {
+class QueryAuxGraph;
+}
 
 namespace ppsm::matcher_internal {
 
@@ -15,6 +23,16 @@ namespace ppsm::matcher_internal {
 /// on first use per thread (and on the ~never epoch wraparound).
 /// Thread-local via ThreadMarks(): pool workers are persistent, so the
 /// buffer is reused across units, queries and servers.
+///
+/// Invariant: **0 is never an active epoch.** Unmark writes the sentinel 0,
+/// so a slot holding 0 must always read as "unmarked". This holds at every
+/// point in the lifecycle: epoch_ starts at 0 and Begin() pre-increments, so
+/// the first active epoch is 1; and when the increment wraps (++epoch_ ==
+/// 0), Begin() zero-fills the whole buffer AND restarts at epoch 1 — both
+/// halves are required. Skipping the fill would let a slot last written at
+/// the old epoch 1 (4 billion Begins ago) read as marked again; restarting
+/// at 0 would make Unmark's sentinel equal the active epoch, turning every
+/// Unmark into a Mark. epoch_marks_test.cc pins the wraparound behavior.
 class EpochMarks {
  public:
   void Begin(size_t num_vertices) {
@@ -27,6 +45,12 @@ class EpochMarks {
   bool Marked(VertexId v) const { return marks_[v] == epoch_; }
   void Mark(VertexId v) { marks_[v] = epoch_; }
   void Unmark(VertexId v) { marks_[v] = 0; }
+
+  /// Current epoch (0 = Begin never called). Test-only observability.
+  uint32_t epoch() const { return epoch_; }
+  /// Test hook: jump the counter so the next Begin() exercises wraparound
+  /// without 2^32 - 2 warm-up calls.
+  void SetEpochForTest(uint32_t epoch) { epoch_ = epoch; }
 
  private:
   std::vector<uint32_t> marks_;
@@ -41,12 +65,61 @@ inline EpochMarks& ThreadMarks() {
 /// Non-root-vertex compatibility: type sets and label groups only (Def. 2's
 /// containment conditions; deliberately no degree check — non-root degrees
 /// in Go understate their Gk degrees, and extra query edges are the join's
-/// concern).
+/// concern). The aux-graph path precomputes exactly this relation per query
+/// vertex (match/aux_graph.h); this inline form remains the aux-off
+/// reference implementation.
 inline bool LeafCompatible(const AttributedGraph& qo, VertexId leaf,
                            const AttributedGraph& data, VertexId v) {
   return data.TypesContainAll(v, qo.Types(leaf)) &&
          data.LabelsContainAll(v, qo.Labels(leaf));
 }
+
+/// List-vs-walk crossover of SlotCandidates: the kernel path is taken only
+/// when the materialized class list is at least this many times smaller than
+/// the adjacency. At the crossover, galloping costs ~|list|·log|adjacency|
+/// probes and the SIMD merge ~(|list|+|adjacency|)/lanes comparisons — both
+/// comfortably under the walk's |adjacency| bitmap tests; above it the walk
+/// is already optimal at one O(1) test per neighbor.
+constexpr size_t kListWalkCrossover = 4;
+
+/// Fills `out` with the intersection of `adjacency` (a data vertex's
+/// neighbor list) and compatibility class `cls` of `aux` — the slot-candidate
+/// primitive of both aux-graph matchers. Two strategies, one output:
+///  * the set-intersection kernels (util/intersect.h) when the class has a
+///    materialized list small enough to beat an O(degree) scan, and
+///  * a filter-walk of the adjacency testing the class bitmap (O(1) per
+///    neighbor) otherwise.
+/// Both enumerate the ascending common subsequence of two ascending inputs,
+/// so the choice never changes bytes — only speed. A forced (non-auto)
+/// kernel takes the kernel path whenever the list exists, so kernel A/B
+/// tests measure the kernel they asked for; only the kernel path bumps the
+/// intersect counters.
+void SlotCandidates(std::span<const VertexId> adjacency,
+                    const QueryAuxGraph& aux, size_t cls,
+                    IntersectKernel kernel, IntersectCounters* counters,
+                    std::vector<uint32_t>* out);
+
+/// The column layout MatchStar produces for `center`: the center first, then
+/// its query neighbors most-constrained-first (more labels, then ascending
+/// id). Shared between MatchStar and the skip path of MatchStars/MatchUnits
+/// so skipped placeholders carry the same columns (and MatchSet arity) a
+/// real match would have.
+std::vector<VertexId> StarColumns(const AttributedGraph& qo, VertexId center);
+
+/// Column layout MatchUnit produces for `unit`: star units (depth <= 1)
+/// dispatch to MatchStar and inherit its column order, deeper units bind
+/// unit.vertices in BFS slot order.
+std::vector<VertexId> UnitColumns(const AttributedGraph& qo,
+                                  const QueryUnit& unit);
+
+/// MatchStar against a caller-provided auxiliary graph (nullptr = aux-off
+/// filter-while-walking path). MatchStars/MatchUnits build one aux graph per
+/// phase and fan it out through here; the public MatchStar builds its own.
+StarMatches MatchStarWithAux(const AttributedGraph& data,
+                             const CloudIndex& index,
+                             const AttributedGraph& qo, VertexId center,
+                             const StarMatchOptions& options,
+                             const QueryAuxGraph* aux);
 
 }  // namespace ppsm::matcher_internal
 

@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
+#include "match/aux_graph.h"
 #include "match/matcher_internal.h"
 #include "obs/trace.h"
+#include "util/intersect.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace ppsm {
 
 using matcher_internal::EpochMarks;
 using matcher_internal::LeafCompatible;
+using matcher_internal::MatchStarWithAux;
+using matcher_internal::StarColumns;
 using matcher_internal::ThreadMarks;
 
 namespace {
@@ -24,8 +30,11 @@ constexpr size_t kMinCandidateChunk = 32;
 /// so the cap holds across concurrent workers: a slot is claimed with
 /// fetch_add before the append, and a claim at or past the cap aborts.
 /// Returns false when the cap was hit (enumeration aborted).
+///
+/// This is the aux-off reference path; AssignLeavesPruned is the aux-graph
+/// twin. Their enumeration orders are provably identical (DESIGN.md §15).
 bool AssignLeaves(const AttributedGraph& data, const AttributedGraph& qo,
-                  const std::vector<VertexId>& leaves, size_t depth,
+                  std::span<const VertexId> leaves, size_t depth,
                   std::span<const VertexId> center_neighbors,
                   std::vector<VertexId>* row, EpochMarks* marks,
                   std::atomic<size_t>* budget, size_t max_rows,
@@ -53,15 +62,80 @@ bool AssignLeaves(const AttributedGraph& data, const AttributedGraph& qo,
   return true;
 }
 
+/// Aux-graph twin of AssignLeaves: `slot_lists[d]` is
+/// intersect(center adjacency, aux candidates of leaves[d]) — the ascending
+/// subsequence of the center's neighbors that pass LeafCompatible for that
+/// leaf — so the only per-vertex check left is injectivity via the marks.
+/// Enumeration order (and every budget claim point) matches AssignLeaves
+/// exactly.
+bool AssignLeavesPruned(std::span<const std::span<const VertexId>> slot_lists,
+                        size_t depth, std::vector<VertexId>* row,
+                        EpochMarks* marks, std::atomic<size_t>* budget,
+                        size_t max_rows, MatchSet* out) {
+  if (depth == slot_lists.size()) {
+    if (budget != nullptr &&
+        budget->fetch_add(1, std::memory_order_relaxed) >= max_rows) {
+      return false;
+    }
+    out->Append(*row);
+    return true;
+  }
+  for (const VertexId v : slot_lists[depth]) {
+    if (marks->Marked(v)) continue;
+    marks->Mark(v);
+    (*row)[depth + 1] = v;
+    const bool ok = AssignLeavesPruned(slot_lists, depth + 1, row, marks,
+                                       budget, max_rows, out);
+    marks->Unmark(v);
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Builds a phase aux graph and records its cost in the options' stats sink.
+/// The hosted index's leaf VBVs turn the build into word-level ANDs.
+QueryAuxGraph BuildPhaseAux(const AttributedGraph& data,
+                            const CloudIndex& index,
+                            const AttributedGraph& qo,
+                            const StarMatchOptions& options) {
+  WallTimer timer;
+  QueryAuxGraph aux =
+      QueryAuxGraph::Build(data, qo, options.num_threads, &index);
+  if (options.phase_stats != nullptr) {
+    // Accumulating (not assigning) lets a sharded cluster sum its per-slice
+    // aux builds into one phase record. aux_classes is a property of the
+    // query alone, identical across slices, so assignment is correct.
+    options.phase_stats->aux_build_ms += timer.ElapsedMillis();
+    options.phase_stats->aux_bytes += aux.MemoryBytes();
+    options.phase_stats->aux_classes = aux.NumClasses();
+  }
+  return aux;
+}
+
 }  // namespace
 
-StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
-                      const AttributedGraph& qo, VertexId center,
-                      const StarMatchOptions& options) {
-  StarMatches result;
-  result.center = center;
-  result.columns.push_back(center);
+namespace matcher_internal {
 
+void SlotCandidates(std::span<const VertexId> adjacency,
+                    const QueryAuxGraph& aux, size_t cls,
+                    IntersectKernel kernel, IntersectCounters* counters,
+                    std::vector<uint32_t>* out) {
+  if (aux.ClassMaterialized(cls)) {
+    const std::span<const VertexId> list = aux.ClassCandidates(cls);
+    if (kernel != IntersectKernel::kAuto ||
+        list.size() * kListWalkCrossover <= adjacency.size()) {
+      IntersectInto(adjacency, list, out, kernel, counters);
+      return;
+    }
+  }
+  const BitVector& bits = aux.ClassBits(cls);
+  out->clear();
+  for (const VertexId v : adjacency) {
+    if (bits.Test(v)) out->push_back(v);
+  }
+}
+
+std::vector<VertexId> StarColumns(const AttributedGraph& qo, VertexId center) {
   // Most-constrained leaves first: more labels, then rarer placement.
   std::vector<VertexId> leaves(qo.Neighbors(center).begin(),
                                qo.Neighbors(center).end());
@@ -71,8 +145,24 @@ StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
     }
     return a < b;
   });
-  result.columns.insert(result.columns.end(), leaves.begin(), leaves.end());
+  std::vector<VertexId> columns;
+  columns.reserve(leaves.size() + 1);
+  columns.push_back(center);
+  columns.insert(columns.end(), leaves.begin(), leaves.end());
+  return columns;
+}
+
+StarMatches MatchStarWithAux(const AttributedGraph& data,
+                             const CloudIndex& index,
+                             const AttributedGraph& qo, VertexId center,
+                             const StarMatchOptions& options,
+                             const QueryAuxGraph* aux) {
+  StarMatches result;
+  result.center = center;
+  result.columns = StarColumns(qo, center);
   result.matches = MatchSet(result.columns.size());
+  const std::span<const VertexId> leaves{result.columns.data() + 1,
+                                         result.columns.size() - 1};
 
   std::vector<VertexId> candidates = index.CandidateCenters(qo, center);
   if (options.candidate_filter) {
@@ -85,6 +175,23 @@ StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
   if (options.cancelled && options.cancelled()) {
     result.truncated = true;
     return result;
+  }
+
+  // Leaves sharing a compatibility class share one intersection per center:
+  // scratch slot u holds intersect(adjacency(center), class u's candidates),
+  // and leaf_scratch[d] maps leaf depth d to its slot.
+  std::vector<size_t> scratch_class;  // scratch slot -> aux class id.
+  std::vector<size_t> leaf_scratch;   // leaf depth -> scratch slot.
+  if (aux != nullptr) {
+    leaf_scratch.resize(leaves.size());
+    for (size_t d = 0; d < leaves.size(); ++d) {
+      const size_t cls = aux->ClassOf(leaves[d]);
+      size_t slot =
+          std::find(scratch_class.begin(), scratch_class.end(), cls) -
+          scratch_class.begin();
+      if (slot == scratch_class.size()) scratch_class.push_back(cls);
+      leaf_scratch[d] = slot;
+    }
   }
 
   // Chunked candidate loop: each chunk appends into its own MatchSet, all
@@ -110,19 +217,48 @@ StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
     MatchSet* out = &chunk_matches[c];
     std::atomic<size_t>* budget_ptr =
         options.max_rows == 0 ? nullptr : &budget;
+    std::vector<std::vector<uint32_t>> scratch(scratch_class.size());
+    std::vector<std::span<const VertexId>> slot_lists(leaves.size());
+    IntersectCounters counters;
     for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
       const VertexId va = candidates[i];
-      row[0] = va;
-      marks.Mark(va);  // The center cannot double as one of its leaves.
-      const bool ok = AssignLeaves(data, qo, leaves, 0, data.Neighbors(va),
-                                   &row, &marks, budget_ptr,
-                                   options.max_rows, out);
-      marks.Unmark(va);
+      bool ok = true;
+      if (aux != nullptr) {
+        // One intersection per distinct leaf class; an empty list means no
+        // leaf of that class can bind, so the center yields zero rows and
+        // the whole enumeration is skipped (the aux-off path would have
+        // walked the adjacency to discover the same nothing).
+        bool viable = true;
+        for (size_t u = 0; u < scratch_class.size(); ++u) {
+          SlotCandidates(data.Neighbors(va), *aux, scratch_class[u],
+                         options.intersect_kernel, &counters, &scratch[u]);
+          if (scratch[u].empty()) {
+            viable = false;
+            break;
+          }
+        }
+        if (!viable) continue;
+        for (size_t d = 0; d < leaves.size(); ++d) {
+          slot_lists[d] = scratch[leaf_scratch[d]];
+        }
+        row[0] = va;
+        marks.Mark(va);  // The center cannot double as one of its leaves.
+        ok = AssignLeavesPruned(slot_lists, 0, &row, &marks, budget_ptr,
+                                options.max_rows, out);
+        marks.Unmark(va);
+      } else {
+        row[0] = va;
+        marks.Mark(va);
+        ok = AssignLeaves(data, qo, leaves, 0, data.Neighbors(va), &row,
+                          &marks, budget_ptr, options.max_rows, out);
+        marks.Unmark(va);
+      }
       if (!ok) {
         truncated.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
     }
+    if (options.phase_stats != nullptr) options.phase_stats->Merge(counters);
   });
   result.truncated = truncated.load(std::memory_order_relaxed);
 
@@ -131,6 +267,18 @@ StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
   result.matches.ReserveAdditional(total_rows);
   for (const MatchSet& part : chunk_matches) result.matches.AppendAll(part);
   return result;
+}
+
+}  // namespace matcher_internal
+
+StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, VertexId center,
+                      const StarMatchOptions& options) {
+  if (!options.use_aux_graph) {
+    return MatchStarWithAux(data, index, qo, center, options, nullptr);
+  }
+  const QueryAuxGraph aux = BuildPhaseAux(data, index, qo, options);
+  return MatchStarWithAux(data, index, qo, center, options, &aux);
 }
 
 StarMatches MatchStar(const AttributedGraph& data, const CloudIndex& index,
@@ -147,20 +295,32 @@ std::vector<StarMatches> MatchStars(const AttributedGraph& data,
                                     const std::vector<VertexId>& centers,
                                     const StarMatchOptions& options) {
   std::vector<StarMatches> all(centers.size());
+  // One aux graph serves every star of the phase: the compatibility classes
+  // are per query vertex, not per unit, so the build cost amortizes across
+  // the whole decomposition.
+  QueryAuxGraph aux;
+  const QueryAuxGraph* aux_ptr = nullptr;
+  if (options.use_aux_graph && !centers.empty()) {
+    aux = BuildPhaseAux(data, index, qo, options);
+    aux_ptr = &aux;
+  }
   std::atomic<bool> abort{false};
   ParallelFor(options.num_threads, centers.size(), [&](size_t i) {
     if (abort.load(std::memory_order_relaxed)) {
       // A sibling star truncated (or the run was cancelled): this phase can
       // no longer answer exactly, so skip the remaining stars instead of
-      // matching them into the void. Marking them truncated keeps the skip
-      // visible to the join's completeness check.
+      // matching them into the void. The placeholder carries the columns
+      // (and MatchSet arity) a real match would have, plus the skipped flag
+      // so profiles can tell "abandoned" from "index shortlisted nothing".
       all[i].center = centers[i];
-      all[i].columns.push_back(centers[i]);
+      all[i].columns = StarColumns(qo, centers[i]);
+      all[i].matches = MatchSet(all[i].columns.size());
       all[i].truncated = true;
+      all[i].skipped = true;
       return;
     }
     PPSM_TRACE_SPAN_CAT("cloud.star_match.star", "query");
-    all[i] = MatchStar(data, index, qo, centers[i], options);
+    all[i] = MatchStarWithAux(data, index, qo, centers[i], options, aux_ptr);
     if (all[i].truncated) abort.store(true, std::memory_order_relaxed);
   });
   return all;

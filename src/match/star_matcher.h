@@ -1,6 +1,7 @@
 #ifndef PPSM_MATCH_STAR_MATCHER_H_
 #define PPSM_MATCH_STAR_MATCHER_H_
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "match/index.h"
 #include "match/match_set.h"
 #include "match/query_unit.h"
+#include "util/intersect.h"
 
 namespace ppsm {
 
@@ -32,6 +34,39 @@ struct StarMatches {
   /// run was cancelled. The match set is then incomplete and must not be
   /// used for exact answering.
   bool truncated = false;
+  /// True when this unit was never matched at all: a sibling truncated (or
+  /// the run was cancelled) before its turn, so MatchStars/MatchUnits
+  /// skipped it. Skipped units are always also `truncated`; the distinction
+  /// lets profiles separate "abandoned, candidates unknown" from "the index
+  /// shortlisted nothing" (num_candidates is 0 in both cases).
+  bool skipped = false;
+};
+
+/// Mutable per-phase instrumentation sink, shared by every unit/chunk/thread
+/// of one MatchStars/MatchUnits call (hence the atomics — the counters merge
+/// once per chunk, never from the inner loop). Wire one in via
+/// StarMatchOptions::phase_stats to surface aux-graph build cost and kernel
+/// choices in query profiles.
+struct MatchPhaseStats {
+  /// Wall time spent building the QueryAuxGraph (0 when aux is off).
+  double aux_build_ms = 0;
+  /// QueryAuxGraph::MemoryBytes() of the phase's aux graph.
+  size_t aux_bytes = 0;
+  /// Distinct (types, labels) compatibility classes in the aux graph.
+  size_t aux_classes = 0;
+  /// Per-kernel dispatch counts from util/intersect.h (aux path only).
+  std::atomic<uint64_t> intersect_scalar{0};
+  std::atomic<uint64_t> intersect_galloping{0};
+  std::atomic<uint64_t> intersect_simd{0};
+
+  /// Folds one chunk's local counters in (relaxed; these are statistics).
+  void Merge(const IntersectCounters& c) {
+    if (c.scalar) intersect_scalar.fetch_add(c.scalar, std::memory_order_relaxed);
+    if (c.galloping) {
+      intersect_galloping.fetch_add(c.galloping, std::memory_order_relaxed);
+    }
+    if (c.simd) intersect_simd.fetch_add(c.simd, std::memory_order_relaxed);
+  }
 };
 
 /// Knobs for the star-matching phase.
@@ -58,6 +93,19 @@ struct StarMatchOptions {
   /// matches belong to the owning shard anyway. Filtered-out candidates do
   /// not count towards StarMatches::num_candidates. Must be thread-safe.
   std::function<bool(VertexId)> candidate_filter;
+  /// Enumerate leaves/slots by set intersection against a per-query
+  /// auxiliary graph (match/aux_graph.h) instead of filter-while-walking raw
+  /// adjacency. Both paths produce byte-identical rows at any thread count
+  /// (DESIGN.md §15); the off switch exists for A/B comparison and as a
+  /// fallback.
+  bool use_aux_graph = true;
+  /// Intersection kernel for the aux path. kAuto applies the extended §5.1
+  /// cost model per step; a concrete kernel pins every step (A/B and
+  /// calibration runs). Kernel choice never affects output, only speed.
+  IntersectKernel intersect_kernel = IntersectKernel::kAuto;
+  /// Optional instrumentation sink (aux build time/bytes, kernel-choice
+  /// counts). Must outlive the call; may be shared across phases.
+  MatchPhaseStats* phase_stats = nullptr;
 };
 
 /// Algorithm 1 (star matching): finds all matches of the star rooted at

@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
+#include "match/aux_graph.h"
 #include "match/matcher_internal.h"
 #include "obs/trace.h"
+#include "util/intersect.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace ppsm {
 
 using matcher_internal::EpochMarks;
 using matcher_internal::LeafCompatible;
+using matcher_internal::MatchStarWithAux;
+using matcher_internal::StarColumns;
 using matcher_internal::ThreadMarks;
 
 namespace {
@@ -22,7 +28,8 @@ constexpr size_t kMinCandidateChunk = 32;
 /// vertices[slot] are the data neighbors of the already-bound parent slot,
 /// filtered by type/label containment and row injectivity. Complete rows are
 /// appended under the shared atomic budget (claim-then-append, exactly like
-/// AssignLeaves); returns false when the cap was hit.
+/// AssignLeaves); returns false when the cap was hit. Aux-off reference
+/// path; ExtendUnitPruned is the aux-graph twin.
 bool ExtendUnit(const AttributedGraph& data, const AttributedGraph& qo,
                 const QueryUnit& unit, size_t slot,
                 std::vector<VertexId>* row, EpochMarks* marks,
@@ -50,13 +57,56 @@ bool ExtendUnit(const AttributedGraph& data, const AttributedGraph& qo,
   return true;
 }
 
+/// Aux-graph twin of ExtendUnit: slot candidates come from
+/// intersect(parent-binding adjacency, aux candidates of vertices[slot])
+/// instead of a filter-while-walking scan, leaving only the injectivity
+/// check per candidate. `scratch[slot]` is the slot's reusable intersection
+/// buffer — recursion only ever writes deeper slots, so the list being
+/// iterated is never invalidated. The intersection of two ascending
+/// sequences is their ascending common subsequence, so enumeration order
+/// (and every budget claim point) matches ExtendUnit exactly.
+bool ExtendUnitPruned(const AttributedGraph& data, const QueryUnit& unit,
+                      const QueryAuxGraph& aux,
+                      std::span<const size_t> slot_class,
+                      IntersectKernel kernel, IntersectCounters* counters,
+                      size_t slot, std::vector<VertexId>* row,
+                      EpochMarks* marks,
+                      std::vector<std::vector<uint32_t>>* scratch,
+                      std::atomic<size_t>* budget, size_t max_rows,
+                      MatchSet* out) {
+  if (slot == unit.vertices.size()) {
+    if (budget != nullptr &&
+        budget->fetch_add(1, std::memory_order_relaxed) >= max_rows) {
+      return false;
+    }
+    out->Append(*row);
+    return true;
+  }
+  std::vector<uint32_t>& list = (*scratch)[slot];
+  matcher_internal::SlotCandidates(data.Neighbors((*row)[unit.parent[slot]]),
+                                   aux, slot_class[slot], kernel, counters,
+                                   &list);
+  for (const VertexId v : list) {
+    if (marks->Marked(v)) continue;
+    marks->Mark(v);
+    (*row)[slot] = v;
+    const bool ok =
+        ExtendUnitPruned(data, unit, aux, slot_class, kernel, counters,
+                         slot + 1, row, marks, scratch, budget, max_rows, out);
+    marks->Unmark(v);
+    if (!ok) return false;
+  }
+  return true;
+}
+
 /// Backtracking matcher for non-star units, structured like MatchStar's
 /// candidate loop: chunked root candidates, per-chunk MatchSets concatenated
-/// in chunk order, one shared row budget.
+/// in chunk order, one shared row budget. `aux` may be null (aux-off path).
 UnitMatches MatchTreeUnit(const AttributedGraph& data,
                           const CloudIndex& index, const AttributedGraph& qo,
                           const QueryUnit& unit,
-                          const UnitMatchOptions& options) {
+                          const UnitMatchOptions& options,
+                          const QueryAuxGraph* aux) {
   UnitMatches result;
   result.center = unit.root();
   result.kind = unit.kind;
@@ -78,6 +128,14 @@ UnitMatches MatchTreeUnit(const AttributedGraph& data,
     return result;
   }
 
+  std::vector<size_t> slot_class;  // [slot] -> aux class of vertices[slot].
+  if (aux != nullptr) {
+    slot_class.resize(unit.vertices.size());
+    for (size_t s = 0; s < unit.vertices.size(); ++s) {
+      slot_class[s] = aux->ClassOf(unit.vertices[s]);
+    }
+  }
+
   const auto chunks =
       SplitIntoChunks(candidates.size(), options.num_threads,
                       kMinCandidateChunk);
@@ -97,18 +155,27 @@ UnitMatches MatchTreeUnit(const AttributedGraph& data,
     MatchSet* out = &chunk_matches[c];
     std::atomic<size_t>* budget_ptr =
         options.max_rows == 0 ? nullptr : &budget;
+    std::vector<std::vector<uint32_t>> scratch(unit.vertices.size());
+    IntersectCounters counters;
     for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
       const VertexId va = candidates[i];
       row[0] = va;
       marks.Mark(va);
-      const bool ok = ExtendUnit(data, qo, unit, 1, &row, &marks, budget_ptr,
-                                 options.max_rows, out);
+      const bool ok =
+          aux != nullptr
+              ? ExtendUnitPruned(data, unit, *aux, slot_class,
+                                 options.intersect_kernel, &counters, 1, &row,
+                                 &marks, &scratch, budget_ptr,
+                                 options.max_rows, out)
+              : ExtendUnit(data, qo, unit, 1, &row, &marks, budget_ptr,
+                           options.max_rows, out);
       marks.Unmark(va);
       if (!ok) {
         truncated.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
     }
+    if (options.phase_stats != nullptr) options.phase_stats->Merge(counters);
   });
   result.truncated = truncated.load(std::memory_order_relaxed);
 
@@ -119,20 +186,64 @@ UnitMatches MatchTreeUnit(const AttributedGraph& data,
   return result;
 }
 
-}  // namespace
-
-UnitMatches MatchUnit(const AttributedGraph& data, const CloudIndex& index,
-                      const AttributedGraph& qo, const QueryUnit& unit,
-                      const UnitMatchOptions& options) {
+/// MatchUnit against a phase-shared aux graph (nullptr = aux off).
+UnitMatches MatchUnitWithAux(const AttributedGraph& data,
+                             const CloudIndex& index,
+                             const AttributedGraph& qo, const QueryUnit& unit,
+                             const UnitMatchOptions& options,
+                             const QueryAuxGraph* aux) {
   if (unit.depth <= 1) {
     // Star units take the star matcher's exact path (including its
     // most-constrained-leaf column order), so star-only plans produce
     // bit-identical rows to the legacy pipeline.
-    UnitMatches result = MatchStar(data, index, qo, unit.root(), options);
+    UnitMatches result = MatchStarWithAux(data, index, qo, unit.root(),
+                                          options, aux);
     result.kind = unit.kind;
     return result;
   }
-  return MatchTreeUnit(data, index, qo, unit, options);
+  return MatchTreeUnit(data, index, qo, unit, options, aux);
+}
+
+/// Builds a phase aux graph and records its cost in the options' stats sink.
+/// The hosted index's leaf VBVs turn the build into word-level ANDs.
+QueryAuxGraph BuildPhaseAux(const AttributedGraph& data,
+                            const CloudIndex& index,
+                            const AttributedGraph& qo,
+                            const UnitMatchOptions& options) {
+  WallTimer timer;
+  QueryAuxGraph aux =
+      QueryAuxGraph::Build(data, qo, options.num_threads, &index);
+  if (options.phase_stats != nullptr) {
+    // Accumulating (not assigning) lets a sharded cluster sum its per-slice
+    // aux builds into one phase record. aux_classes is a property of the
+    // query alone, identical across slices, so assignment is correct.
+    options.phase_stats->aux_build_ms += timer.ElapsedMillis();
+    options.phase_stats->aux_bytes += aux.MemoryBytes();
+    options.phase_stats->aux_classes = aux.NumClasses();
+  }
+  return aux;
+}
+
+}  // namespace
+
+namespace matcher_internal {
+
+std::vector<VertexId> UnitColumns(const AttributedGraph& qo,
+                                  const QueryUnit& unit) {
+  if (unit.depth <= 1) return StarColumns(qo, unit.root());
+  return unit.vertices;
+}
+
+}  // namespace matcher_internal
+
+UnitMatches MatchUnit(const AttributedGraph& data, const CloudIndex& index,
+                      const AttributedGraph& qo, const QueryUnit& unit,
+                      const UnitMatchOptions& options) {
+  if (!options.use_aux_graph) {
+    return MatchUnitWithAux(data, index, qo, unit, options, nullptr);
+  }
+  const QueryAuxGraph aux = BuildPhaseAux(data, index, qo, options);
+  return MatchUnitWithAux(data, index, qo, unit, options, &aux);
 }
 
 UnitMatches MatchUnit(const AttributedGraph& data, const CloudIndex& index,
@@ -149,20 +260,32 @@ std::vector<UnitMatches> MatchUnits(const AttributedGraph& data,
                                     const std::vector<QueryUnit>& units,
                                     const UnitMatchOptions& options) {
   std::vector<UnitMatches> all(units.size());
+  // One aux graph serves the whole phase: compatibility classes are per
+  // query vertex, shared by every unit that binds the vertex.
+  QueryAuxGraph aux;
+  const QueryAuxGraph* aux_ptr = nullptr;
+  if (options.use_aux_graph && !units.empty()) {
+    aux = BuildPhaseAux(data, index, qo, options);
+    aux_ptr = &aux;
+  }
   std::atomic<bool> abort{false};
   ParallelFor(options.num_threads, units.size(), [&](size_t i) {
     if (abort.load(std::memory_order_relaxed)) {
       // A sibling unit truncated (or the run was cancelled): the phase can
-      // no longer answer exactly, so skip the remaining units and keep the
-      // skip visible to the join's completeness check.
+      // no longer answer exactly, so skip the remaining units. The
+      // placeholder carries the columns (and MatchSet arity) a real match
+      // would have, plus the skipped flag so profiles can tell "abandoned"
+      // from "the index shortlisted nothing".
       all[i].center = units[i].root();
       all[i].kind = units[i].kind;
-      all[i].columns.push_back(units[i].root());
+      all[i].columns = matcher_internal::UnitColumns(qo, units[i]);
+      all[i].matches = MatchSet(all[i].columns.size());
       all[i].truncated = true;
+      all[i].skipped = true;
       return;
     }
     PPSM_TRACE_SPAN_CAT("cloud.unit_match.unit", "query");
-    all[i] = MatchUnit(data, index, qo, units[i], options);
+    all[i] = MatchUnitWithAux(data, index, qo, units[i], options, aux_ptr);
     if (all[i].truncated) abort.store(true, std::memory_order_relaxed);
   });
   return all;

@@ -82,6 +82,7 @@ std::string StarToJson(const UnitProfile& star) {
   AppendField(&out, "rows", star.rows, &first);
   AppendField(&out, "estimated_rows", star.estimated_rows, &first);
   AppendField(&out, "truncated", star.truncated, &first);
+  AppendField(&out, "skipped", star.skipped, &first);
   out.push_back('}');
   return out;
 }
@@ -317,6 +318,8 @@ Status ParseStar(JsonCursor* cursor, UnitProfile* star) {
       PPSM_ASSIGN_OR_RETURN(star->estimated_rows, cursor->ParseNumber());
     } else if (key == "truncated") {
       PPSM_ASSIGN_OR_RETURN(star->truncated, cursor->ParseBool());
+    } else if (key == "skipped") {
+      PPSM_ASSIGN_OR_RETURN(star->skipped, cursor->ParseBool());
     } else {
       return cursor->SkipValue();
     }
@@ -403,6 +406,12 @@ std::string QueryProfileToJson(const QueryProfile& profile) {
   AppendField(&out, "network_ms", profile.network_ms, &first);
   AppendField(&out, "client_ms", profile.client_ms, &first);
   AppendField(&out, "total_ms", profile.total_ms, &first);
+  AppendField(&out, "aux_build_ms", profile.aux_build_ms, &first);
+  AppendField(&out, "aux_bytes", profile.aux_bytes, &first);
+  AppendField(&out, "intersect_scalar", profile.intersect_scalar, &first);
+  AppendField(&out, "intersect_galloping", profile.intersect_galloping,
+              &first);
+  AppendField(&out, "intersect_simd", profile.intersect_simd, &first);
   AppendField(&out, "plan_cache_hit", profile.plan_cache_hit, &first);
   AppendField(&out, "overflowed", profile.overflowed, &first);
   AppendField(&out, "num_stars", profile.num_stars, &first);
@@ -467,6 +476,17 @@ Result<QueryProfile> QueryProfileFromJson(std::string_view json) {
           PPSM_ASSIGN_OR_RETURN(profile.client_ms, cursor.ParseNumber());
         } else if (key == "total_ms") {
           PPSM_ASSIGN_OR_RETURN(profile.total_ms, cursor.ParseNumber());
+        } else if (key == "aux_build_ms") {
+          PPSM_ASSIGN_OR_RETURN(profile.aux_build_ms, cursor.ParseNumber());
+        } else if (key == "aux_bytes") {
+          PPSM_ASSIGN_OR_RETURN(profile.aux_bytes, ParseU64(&cursor));
+        } else if (key == "intersect_scalar") {
+          PPSM_ASSIGN_OR_RETURN(profile.intersect_scalar, ParseU64(&cursor));
+        } else if (key == "intersect_galloping") {
+          PPSM_ASSIGN_OR_RETURN(profile.intersect_galloping,
+                                ParseU64(&cursor));
+        } else if (key == "intersect_simd") {
+          PPSM_ASSIGN_OR_RETURN(profile.intersect_simd, ParseU64(&cursor));
         } else if (key == "plan_cache_hit") {
           PPSM_ASSIGN_OR_RETURN(profile.plan_cache_hit, cursor.ParseBool());
         } else if (key == "overflowed") {

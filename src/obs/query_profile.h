@@ -23,6 +23,7 @@ struct UnitProfile {
   uint64_t rows = 0;           // |R(U,Go)| materialized (pre-translation).
   double estimated_rows = 0.0; // Cost-model estimate (0 when unavailable).
   bool truncated = false;      // Row cap or cancellation cut it short.
+  bool skipped = false;        // Never matched: a sibling truncated first.
   std::string kind = "star";   // Unit shape: "star", "path" or "tree".
 };
 
@@ -82,6 +83,15 @@ struct QueryProfile {
   double network_ms = 0.0;  // Simulated request + response transfer.
   double client_ms = 0.0;   // Algorithm 3 post-processing.
   double total_ms = 0.0;    // End to end (0 until annotated).
+  /// Query-local auxiliary graph (match/aux_graph.h): build wall time and
+  /// footprint, both 0 when the aux path is disabled.
+  double aux_build_ms = 0.0;
+  uint64_t aux_bytes = 0;
+  /// Set-intersection kernel dispatch counts from the matching phase
+  /// (util/intersect.h); all 0 when the aux path is disabled.
+  uint64_t intersect_scalar = 0;
+  uint64_t intersect_galloping = 0;
+  uint64_t intersect_simd = 0;
 
   bool plan_cache_hit = false;
   /// The row cap fired somewhere (star matching or a join step).

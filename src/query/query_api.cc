@@ -11,6 +11,11 @@ QueryProfile ToQueryProfile(const CloudQueryStats& stats) {
   profile.star_matching_ms = stats.star_matching_ms;
   profile.join_ms = stats.join_ms;
   profile.cloud_ms = stats.total_ms;
+  profile.aux_build_ms = stats.aux_build_ms;
+  profile.aux_bytes = stats.aux_bytes;
+  profile.intersect_scalar = stats.intersect_scalar;
+  profile.intersect_galloping = stats.intersect_galloping;
+  profile.intersect_simd = stats.intersect_simd;
   profile.plan_cache_hit = stats.plan_cache_hit;
   profile.overflowed = stats.overflowed;
   profile.num_stars = stats.num_stars;

@@ -64,6 +64,15 @@ struct CloudQueryStats {
   double star_matching_ms = 0.0;
   double join_ms = 0.0;
   double total_ms = 0.0;
+  /// Auxiliary-graph build time / footprint for the matching phase
+  /// (match/aux_graph.h); 0 when the aux path is disabled.
+  double aux_build_ms = 0.0;
+  size_t aux_bytes = 0;
+  /// Set-intersection kernel dispatch counts (util/intersect.h) from the
+  /// matching phase; all 0 when the aux path is disabled.
+  uint64_t intersect_scalar = 0;
+  uint64_t intersect_galloping = 0;
+  uint64_t intersect_simd = 0;
   size_t num_stars = 0;
   /// |RS| = total star matches across the decomposition (paper Fig. 19).
   size_t rs_size = 0;

@@ -27,6 +27,15 @@ void BitVector::Reset() {
   for (auto& w : words_) w = 0;
 }
 
+void BitVector::SetAll() {
+  if (words_.empty()) return;
+  for (auto& w : words_) w = ~uint64_t{0};
+  // Keep the unused high bits of the last word zero so Count(), ==, and
+  // Contains() stay consistent with per-bit Set calls.
+  const size_t tail = num_bits_ % kWordBits;
+  if (tail != 0) words_.back() = (uint64_t{1} << tail) - 1;
+}
+
 size_t BitVector::Count() const {
   size_t count = 0;
   for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));

@@ -27,6 +27,10 @@ class BitVector {
   bool Test(size_t i) const;
   /// Clears all bits.
   void Reset();
+  /// Sets all bits, word-at-a-time (the unconstrained-candidate fallback of
+  /// CloudIndex::CandidateCenters — a per-bit loop there is O(n) pointless
+  /// read-modify-writes).
+  void SetAll();
 
   /// Number of set bits.
   size_t Count() const;

@@ -1,0 +1,343 @@
+#include "util/intersect.h"
+
+#include <algorithm>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PPSM_INTERSECT_X86 1
+#endif
+
+namespace ppsm {
+
+namespace {
+
+/// --------------------------------------------------------------------------
+/// Scalar merge
+/// --------------------------------------------------------------------------
+
+size_t MergeIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb, uint32_t* out) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out[count++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// --------------------------------------------------------------------------
+/// Galloping
+/// --------------------------------------------------------------------------
+
+/// First index >= start with b[index] >= v (or b.size()): exponential probe
+/// doubling from `start`, then binary search inside the final bracket. The
+/// probe is O(log(distance)), so a run of misses in a huge adjacency costs
+/// log, not linear.
+size_t GallopLowerBound(std::span<const uint32_t> b, size_t start,
+                        uint32_t v) {
+  if (start >= b.size() || b[start] >= v) return start;
+  // Invariant from here: b[low] < v.
+  size_t low = start;
+  size_t step = 1;
+  while (low + step < b.size() && b[low + step] < v) {
+    low += step;
+    step <<= 1;
+  }
+  size_t hi = std::min(low + step, b.size());  // hi == size or b[hi] >= v.
+  while (low + 1 < hi) {
+    const size_t mid = low + (hi - low) / 2;
+    if (b[mid] < v) {
+      low = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+size_t GallopIntersect(std::span<const uint32_t> small,
+                       std::span<const uint32_t> large, uint32_t* out) {
+  size_t count = 0;
+  size_t pos = 0;
+  for (const uint32_t v : small) {
+    pos = GallopLowerBound(large, pos, v);
+    if (pos == large.size()) break;
+    if (large[pos] == v) {
+      out[count++] = v;
+      ++pos;
+    }
+  }
+  return count;
+}
+
+/// --------------------------------------------------------------------------
+/// SIMD (x86 only; runtime-dispatched so the default build needs no -march)
+/// --------------------------------------------------------------------------
+
+#ifdef PPSM_INTERSECT_X86
+
+bool DetectSse() {
+  return __builtin_cpu_supports("ssse3") != 0;
+}
+bool DetectAvx2() {
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+/// mask (4 bits, one per 32-bit lane) -> byte shuffle compacting the
+/// selected lanes of an __m128i to the front. Unselected output bytes read
+/// lane 0 — garbage beyond the popcount, which the contract allows.
+struct SseShuffleTable {
+  alignas(16) uint8_t bytes[16][16];
+  SseShuffleTable() {
+    for (int mask = 0; mask < 16; ++mask) {
+      int k = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((mask >> lane) & 1) {
+          for (int byte = 0; byte < 4; ++byte) {
+            bytes[mask][4 * k + byte] = static_cast<uint8_t>(4 * lane + byte);
+          }
+          ++k;
+        }
+      }
+      for (; k < 4; ++k) {
+        for (int byte = 0; byte < 4; ++byte) bytes[mask][4 * k + byte] = 0;
+      }
+    }
+  }
+};
+
+/// mask (8 bits) -> lane permutation for _mm256_permutevar8x32_epi32.
+struct Avx2PermuteTable {
+  alignas(32) uint32_t lanes[256][8];
+  Avx2PermuteTable() {
+    for (int mask = 0; mask < 256; ++mask) {
+      int k = 0;
+      for (int lane = 0; lane < 8; ++lane) {
+        if ((mask >> lane) & 1) lanes[mask][k++] = static_cast<uint32_t>(lane);
+      }
+      for (; k < 8; ++k) lanes[mask][k] = 0;
+    }
+  }
+};
+
+/// 4-wide block intersection (Schlegel/Katsogridakis-style "shuffling"): each
+/// 4-element block of `a` is compared against all cyclic rotations of the
+/// current 4-element block of `b`, matches are compacted with a shuffle
+/// lookup, and the block whose maximum is smaller advances. Stores whole
+/// 16-byte blocks, hence the kIntersectSlack padding in the contract.
+__attribute__((target("ssse3"))) size_t SseIntersect(const uint32_t* a,
+                                                     size_t na,
+                                                     const uint32_t* b,
+                                                     size_t nb,
+                                                     uint32_t* out) {
+  static const SseShuffleTable table;
+  size_t i = 0, j = 0, count = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(cmp));
+    const __m128i shuffle = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(table.bytes[mask]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + count),
+                     _mm_shuffle_epi8(va, shuffle));
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  return count + MergeIntersect(a + i, na - i, b + j, nb - j, out + count);
+}
+
+/// 8-wide AVX2 variant of SseIntersect; rotations go through
+/// _mm256_permutevar8x32_epi32 (cross-lane), compaction through the 256-entry
+/// permute table.
+__attribute__((target("avx2"))) size_t Avx2Intersect(const uint32_t* a,
+                                                     size_t na,
+                                                     const uint32_t* b,
+                                                     size_t nb,
+                                                     uint32_t* out) {
+  static const Avx2PermuteTable table;
+  alignas(32) static const uint32_t kRotations[8][8] = {
+      {0, 1, 2, 3, 4, 5, 6, 7}, {1, 2, 3, 4, 5, 6, 7, 0},
+      {2, 3, 4, 5, 6, 7, 0, 1}, {3, 4, 5, 6, 7, 0, 1, 2},
+      {4, 5, 6, 7, 0, 1, 2, 3}, {5, 6, 7, 0, 1, 2, 3, 4},
+      {6, 7, 0, 1, 2, 3, 4, 5}, {7, 0, 1, 2, 3, 4, 5, 6}};
+  size_t i = 0, j = 0, count = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i cmp = _mm256_cmpeq_epi32(va, vb);
+    for (int r = 1; r < 8; ++r) {
+      const __m256i rot = _mm256_permutevar8x32_epi32(
+          vb, _mm256_load_si256(
+                  reinterpret_cast<const __m256i*>(kRotations[r])));
+      cmp = _mm256_or_si256(cmp, _mm256_cmpeq_epi32(va, rot));
+    }
+    const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(cmp));
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(table.lanes[mask]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + count),
+                        _mm256_permutevar8x32_epi32(va, perm));
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  return count + MergeIntersect(a + i, na - i, b + j, nb - j, out + count);
+}
+
+#endif  // PPSM_INTERSECT_X86
+
+bool Avx2Available() {
+#ifdef PPSM_INTERSECT_X86
+  static const bool available = DetectAvx2();
+  return available;
+#else
+  return false;
+#endif
+}
+
+/// ---------------------------------------------------------------------------
+/// Kernel choice (the §5.1 cost model, extended with per-kernel constants)
+/// ---------------------------------------------------------------------------
+///
+/// Per-element costs measured on the bench_micro kernel sweep (BM_Intersect*,
+/// bench_results/BENCH_aux.json documents the run): the merge touches every
+/// element of both sides (~1 cmp/el), SIMD amortizes that to ~1/4-1/8 once
+/// blocks fill, and galloping pays ~log2(M/m) probes per element of the
+/// smaller side only. Equating m*log2(M) against (m+M)/width puts the
+/// galloping crossover near M/m = 32 for CSR-sized inputs; below it,
+/// balanced inputs of at least two SIMD blocks go vectorized.
+constexpr size_t kGallopSizeRatio = 32;
+constexpr size_t kSimdMinSmaller = 16;
+
+IntersectKernel ChooseKernel(size_t smaller, size_t larger) {
+  if (smaller == 0) return IntersectKernel::kScalar;
+  if (larger / smaller >= kGallopSizeRatio) return IntersectKernel::kGalloping;
+  if (SimdIntersectAvailable() && smaller >= kSimdMinSmaller) {
+    return IntersectKernel::kSimd;
+  }
+  return IntersectKernel::kScalar;
+}
+
+}  // namespace
+
+const char* IntersectKernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto:
+      return "auto";
+    case IntersectKernel::kScalar:
+      return "scalar";
+    case IntersectKernel::kGalloping:
+      return "galloping";
+    case IntersectKernel::kSimd:
+      return "simd";
+  }
+  return "auto";
+}
+
+Result<IntersectKernel> ParseIntersectKernel(std::string_view name) {
+  if (name == "auto") return IntersectKernel::kAuto;
+  if (name == "scalar") return IntersectKernel::kScalar;
+  if (name == "galloping") return IntersectKernel::kGalloping;
+  if (name == "simd") return IntersectKernel::kSimd;
+  return Status::InvalidArgument("unknown intersect kernel '" +
+                                 std::string(name) +
+                                 "' (want auto|scalar|galloping|simd)");
+}
+
+bool SimdIntersectAvailable() {
+#ifdef PPSM_INTERSECT_X86
+  static const bool available = DetectSse();
+  return available;
+#else
+  return false;
+#endif
+}
+
+size_t IntersectScalar(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b, uint32_t* out) {
+  return MergeIntersect(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+size_t IntersectGalloping(std::span<const uint32_t> a,
+                          std::span<const uint32_t> b, uint32_t* out) {
+  if (a.size() <= b.size()) return GallopIntersect(a, b, out);
+  return GallopIntersect(b, a, out);
+}
+
+size_t IntersectSimd(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     uint32_t* out) {
+#ifdef PPSM_INTERSECT_X86
+  if (Avx2Available()) {
+    return Avx2Intersect(a.data(), a.size(), b.data(), b.size(), out);
+  }
+  if (SimdIntersectAvailable()) {
+    return SseIntersect(a.data(), a.size(), b.data(), b.size(), out);
+  }
+#endif
+  return MergeIntersect(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+size_t IntersectSorted(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b, uint32_t* out,
+                       IntersectKernel kernel, IntersectCounters* counters) {
+  if (kernel == IntersectKernel::kAuto) {
+    kernel = ChooseKernel(std::min(a.size(), b.size()),
+                          std::max(a.size(), b.size()));
+  }
+  if (kernel == IntersectKernel::kSimd && !SimdIntersectAvailable()) {
+    kernel = IntersectKernel::kScalar;  // Count what actually ran.
+  }
+  switch (kernel) {
+    case IntersectKernel::kGalloping:
+      if (counters != nullptr) ++counters->galloping;
+      return IntersectGalloping(a, b, out);
+    case IntersectKernel::kSimd:
+      if (counters != nullptr) ++counters->simd;
+      return IntersectSimd(a, b, out);
+    case IntersectKernel::kAuto:  // Unreachable; resolved above.
+    case IntersectKernel::kScalar:
+      break;
+  }
+  if (counters != nullptr) ++counters->scalar;
+  return IntersectScalar(a, b, out);
+}
+
+void IntersectInto(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                   std::vector<uint32_t>* out, IntersectKernel kernel,
+                   IntersectCounters* counters) {
+  out->resize(std::min(a.size(), b.size()) + kIntersectSlack);
+  const size_t count = IntersectSorted(a, b, out->data(), kernel, counters);
+  out->resize(count);
+}
+
+}  // namespace ppsm

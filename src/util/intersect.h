@@ -1,0 +1,99 @@
+#ifndef PPSM_UTIL_INTERSECT_H_
+#define PPSM_UTIL_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Sorted-set intersection kernels over the CSR uint32 pools — the inner
+/// primitive of the auxiliary-graph matcher (match/aux_graph.h): leaf/slot
+/// enumeration is intersect(pruned-adjacency(parent), candidate-set(slot))
+/// instead of filter-while-walking. Inputs are ascending and duplicate-free
+/// (every per-vertex CSR range and every aux candidate set is); the output
+/// is the ascending common subsequence, so swapping kernels can never change
+/// enumeration order — the determinism contract of DESIGN.md §15.
+enum class IntersectKernel : uint8_t {
+  kAuto = 0,       // Cost model picks per call (size ratio + SIMD support).
+  kScalar = 1,     // Two-pointer merge.
+  kGalloping = 2,  // Exponential+binary probe of the larger side.
+  kSimd = 3,       // SSE/AVX2 block compare (scalar fallback off-x86).
+};
+
+/// Lower-case kernel name ("auto", "scalar", "galloping", "simd").
+const char* IntersectKernelName(IntersectKernel kernel);
+
+/// Parses an IntersectKernelName back (CLI flag / A-B override). Typed
+/// InvalidArgument on anything else.
+Result<IntersectKernel> ParseIntersectKernel(std::string_view name);
+
+/// Per-kernel dispatch counts. Plain integers: keep one per thread (or per
+/// chunk task) and merge at the end — the matcher's inner loop is far too
+/// hot for shared atomics.
+struct IntersectCounters {
+  uint64_t scalar = 0;
+  uint64_t galloping = 0;
+  uint64_t simd = 0;
+
+  IntersectCounters& operator+=(const IntersectCounters& other) {
+    scalar += other.scalar;
+    galloping += other.galloping;
+    simd += other.simd;
+    return *this;
+  }
+};
+
+/// True when the CPU supports the vectorized kernel (SSSE3+SSE4.1 at least;
+/// AVX2 upgrades the block width). Queried once at static init; on non-x86
+/// builds this is false and IntersectSimd degrades to the scalar merge.
+bool SimdIntersectAvailable();
+
+/// The SIMD kernels store whole blocks and then advance by the matched
+/// count, so `out` must have room for min(|a|,|b|) + kIntersectSlack
+/// elements (the slack is scratch: elements at and beyond the returned
+/// count are garbage). IntersectInto handles the padding for you.
+inline constexpr size_t kIntersectSlack = 8;
+
+/// Two-pointer merge intersection. out capacity >= min(|a|, |b|).
+size_t IntersectScalar(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b, uint32_t* out);
+
+/// Galloping (exponential probe + binary search) intersection — walks the
+/// smaller input and hunts each value in the larger one, O(m log(M/m)).
+/// The win case is skewed size ratios (a hub adjacency vs a selective
+/// candidate set). out capacity >= min(|a|, |b|).
+size_t IntersectGalloping(std::span<const uint32_t> a,
+                          std::span<const uint32_t> b, uint32_t* out);
+
+/// Branch-free SIMD block intersection (AVX2 when the CPU has it, else
+/// SSE, else the scalar merge). out capacity >= min(|a|, |b|) +
+/// kIntersectSlack.
+size_t IntersectSimd(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     uint32_t* out);
+
+/// Intersects with the requested kernel; kAuto applies the extended §5.1
+/// cost model (see intersect.cc for the calibrated constants): galloping
+/// once the size ratio crosses its log-crossover, SIMD for balanced inputs
+/// big enough to fill blocks, scalar otherwise. Bumps `counters` (when
+/// non-null) for the kernel that actually ran. out capacity >=
+/// min(|a|, |b|) + kIntersectSlack.
+size_t IntersectSorted(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b, uint32_t* out,
+                       IntersectKernel kernel = IntersectKernel::kAuto,
+                       IntersectCounters* counters = nullptr);
+
+/// IntersectSorted into a reused vector: sizes `out` (capacity incl. the
+/// SIMD slack) and shrinks it to the exact result count.
+void IntersectInto(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                   std::vector<uint32_t>* out,
+                   IntersectKernel kernel = IntersectKernel::kAuto,
+                   IntersectCounters* counters = nullptr);
+
+}  // namespace ppsm
+
+#endif  // PPSM_UTIL_INTERSECT_H_

@@ -52,7 +52,8 @@ CloudPieces MakePieces(uint32_t k) {
   p.stats = ComputeGkStatistics(p.go, p.g.schema()->NumTypes(),
                                 type_of_group);
   p.index = CloudIndex::Build(p.go.graph, p.go.num_b1,
-                              p.g.schema()->NumTypes(), p.lct.NumGroups());
+                              p.g.schema()->NumTypes(), p.lct.NumGroups())
+                .value();
   return p;
 }
 

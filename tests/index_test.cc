@@ -29,7 +29,7 @@ AttributedGraph Fig7LikeGraph() {
 
 TEST(CloudIndex, VbvBitsMatchVertexGroups) {
   const AttributedGraph g = Fig7LikeGraph();
-  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6).value();
   EXPECT_EQ(index.num_centers(), 4u);
   // Group C (=2) is carried by centers 0 and 1.
   EXPECT_EQ(index.GroupVbv(2).ToIndices(), (std::vector<size_t>{0, 1}));
@@ -43,7 +43,7 @@ TEST(CloudIndex, VbvBitsMatchVertexGroups) {
 
 TEST(CloudIndex, LbvBitsMatchNeighborCoverage) {
   const AttributedGraph g = Fig7LikeGraph();
-  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6).value();
   // Center 0 (p1) neighbors: c1 {A,B}, p2 {C,D}, s1 {F} -> groups 0,1,2,3,5.
   EXPECT_EQ(index.NeighborGroups(0).ToIndices(),
             (std::vector<size_t>{0, 1, 2, 3, 5}));
@@ -58,7 +58,7 @@ TEST(CloudIndex, LbvBitsMatchNeighborCoverage) {
 
 TEST(CloudIndex, CandidateCentersLine46Semantics) {
   const AttributedGraph g = Fig7LikeGraph();
-  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6).value();
 
   // Query star: center type 0 with group C, neighbors requiring groups
   // {A} (type 1) and {F} (type 2) — the Figure 6 S1 star shape.
@@ -85,7 +85,7 @@ TEST(CloudIndex, CandidateCentersLine46Semantics) {
 
 TEST(CloudIndex, OutOfRangeQueryIdsYieldNoCandidates) {
   const AttributedGraph g = Fig7LikeGraph();
-  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6).value();
   GraphBuilder q;
   q.AddVertex(9, {});  // Unknown type.
   EXPECT_TRUE(index.CandidateCenters(q.Build().value(), 0).empty());
@@ -100,7 +100,7 @@ TEST(CloudIndex, CandidatesAgainstBruteForceOnRandomGraphs) {
     const auto g = GenerateUniformRandomGraph(60, 150, 6, 1000 + trial);
     ASSERT_TRUE(g.ok());
     const size_t centers = 40;
-    const CloudIndex index = CloudIndex::Build(*g, centers, 1, 6);
+    const CloudIndex index = CloudIndex::Build(*g, centers, 1, 6).value();
 
     // Random star query from the data graph itself.
     const auto center =
@@ -146,9 +146,9 @@ TEST(CloudIndex, ParallelBuildMatchesSerial) {
   const auto g = GenerateUniformRandomGraph(300, 1200, 6, 77);
   ASSERT_TRUE(g.ok());
   const size_t centers = 250;
-  const CloudIndex serial = CloudIndex::Build(*g, centers, 1, 6);
+  const CloudIndex serial = CloudIndex::Build(*g, centers, 1, 6).value();
   for (const size_t threads : {2, 4, 8}) {
-    const CloudIndex parallel = CloudIndex::Build(*g, centers, 1, 6, threads);
+    const CloudIndex parallel = CloudIndex::Build(*g, centers, 1, 6, threads).value();
     ASSERT_EQ(parallel.num_centers(), serial.num_centers());
     for (LabelId gid = 0; gid < 6; ++gid) {
       EXPECT_EQ(parallel.GroupVbv(gid).ToIndices(),
@@ -167,12 +167,29 @@ TEST(CloudIndex, ParallelBuildMatchesSerial) {
   }
 }
 
+TEST(CloudIndex, LeafVbvsCoverAllVerticesNotJustCenters) {
+  const AttributedGraph g = Fig7LikeGraph();
+  // 4 centers, 5 vertices: the non-center extra vertex (id 4, groups C,D)
+  // must appear in the leaf VBVs even though the center VBVs exclude it.
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6).value();
+  EXPECT_EQ(index.num_leaf_vertices(), 5u);
+  EXPECT_EQ(index.GroupVbv(2).ToIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(index.LeafGroupVbv(2).ToIndices(),
+            (std::vector<size_t>{0, 1, 4}));
+  EXPECT_EQ(index.LeafGroupVbv(3).ToIndices(), (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(index.LeafTypeVbv(0).ToIndices(), (std::vector<size_t>{0, 1, 4}));
+  EXPECT_EQ(index.LeafTypeVbv(2).ToIndices(), (std::vector<size_t>{3}));
+  // Default-constructed index reports 0 so QueryAuxGraph::Build can tell it
+  // cannot trust the (absent) leaf VBVs.
+  EXPECT_EQ(CloudIndex{}.num_leaf_vertices(), 0u);
+}
+
 TEST(CloudIndex, MemoryAccountingNonZero) {
   const AttributedGraph g = Fig7LikeGraph();
-  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6);
+  const CloudIndex index = CloudIndex::Build(g, 4, 3, 6).value();
   EXPECT_GT(index.MemoryBytes(), 0u);
   // More centers -> larger index.
-  const CloudIndex bigger = CloudIndex::Build(g, 5, 3, 6);
+  const CloudIndex bigger = CloudIndex::Build(g, 5, 3, 6).value();
   EXPECT_GE(bigger.MemoryBytes(), index.MemoryBytes());
 }
 

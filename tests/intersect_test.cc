@@ -1,0 +1,212 @@
+// Correctness of the set-intersection kernel library (util/intersect.h)
+// against std::set_intersection, the reference semantics: every kernel, on
+// every input shape — balanced, skewed, empty, near-UINT32_MAX — must
+// produce the identical ascending common subsequence. The fuzz loops run
+// with exact-capacity buffers (min + kIntersectSlack) so the ASan/UBSan CI
+// jobs double as an out-of-bounds check on the whole-block SIMD stores.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "util/intersect.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+// `n` distinct ascending values drawn from [base, base + universe).
+std::vector<uint32_t> MakeSorted(Rng& rng, size_t n, uint64_t universe,
+                                 uint64_t base = 0) {
+  std::set<uint32_t> values;
+  while (values.size() < n) {
+    values.insert(static_cast<uint32_t>(base + rng.Below(universe)));
+  }
+  return {values.begin(), values.end()};
+}
+
+std::vector<uint32_t> Reference(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Runs one (a, b) pair through every kernel — each direction, plus kAuto and
+// IntersectInto — and checks all of them against std::set_intersection.
+// Output buffers are sized exactly min + kIntersectSlack.
+void CheckAllKernels(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t> want = Reference(a, b);
+  const size_t cap = std::min(a.size(), b.size()) + kIntersectSlack;
+  for (const IntersectKernel kernel :
+       {IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kGalloping, IntersectKernel::kSimd}) {
+    for (const bool swapped : {false, true}) {
+      const auto& lhs = swapped ? b : a;
+      const auto& rhs = swapped ? a : b;
+      std::vector<uint32_t> out(cap);
+      const size_t n = IntersectSorted(lhs, rhs, out.data(), kernel);
+      ASSERT_EQ(n, want.size())
+          << IntersectKernelName(kernel) << " swapped=" << swapped
+          << " |a|=" << lhs.size() << " |b|=" << rhs.size();
+      out.resize(n);
+      EXPECT_EQ(out, want) << IntersectKernelName(kernel);
+
+      std::vector<uint32_t> into;
+      IntersectInto(lhs, rhs, &into, kernel);
+      EXPECT_EQ(into, want) << IntersectKernelName(kernel) << " (Into)";
+    }
+  }
+}
+
+TEST(Intersect, KernelNamesRoundTrip) {
+  for (const IntersectKernel kernel :
+       {IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kGalloping, IntersectKernel::kSimd}) {
+    auto parsed = ParseIntersectKernel(IntersectKernelName(kernel));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kernel);
+  }
+  auto bad = ParseIntersectKernel("avx512");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Intersect, EmptyAndTrivialInputs) {
+  CheckAllKernels({}, {});
+  CheckAllKernels({}, {1, 2, 3});
+  CheckAllKernels({7}, {7});
+  CheckAllKernels({7}, {8});
+  std::vector<uint32_t> run(100);
+  for (uint32_t i = 0; i < 100; ++i) run[i] = i;
+  CheckAllKernels(run, run);  // Identical inputs: everything survives.
+  std::vector<uint32_t> odd, even;
+  for (uint32_t i = 0; i < 100; ++i) (i % 2 ? odd : even).push_back(i);
+  CheckAllKernels(odd, even);  // Perfectly interleaved: nothing survives.
+}
+
+// Values at the top of the uint32 range: the galloping probe doubles its
+// stride and the SIMD compare is unsigned-exact; both must not wrap.
+TEST(Intersect, ValuesNearUint32Max) {
+  const uint32_t max = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> a, b;
+  for (uint32_t i = 0; i < 64; ++i) {
+    a.push_back(max - 2 * i);
+    b.push_back(max - 3 * i);
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  CheckAllKernels(a, b);
+  CheckAllKernels({0, max}, {max});
+}
+
+// Every pair of sizes in [0, 17]^2: the block kernels' scalar tails and the
+// sub-block fallbacks live exactly in this range.
+TEST(Intersect, ExhaustiveSmallSizes) {
+  Rng rng(11);
+  for (size_t na = 0; na <= 17; ++na) {
+    for (size_t nb = 0; nb <= 17; ++nb) {
+      CheckAllKernels(MakeSorted(rng, na, 64), MakeSorted(rng, nb, 64));
+    }
+  }
+}
+
+// Random balanced and mildly skewed inputs across density regimes: dense
+// (universe ~ n, long match runs) through sparse (rare matches).
+TEST(Intersect, FuzzBalancedAgainstStdSetIntersection) {
+  Rng rng(29);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t na = 1 + rng.Below(300);
+    const size_t nb = 1 + rng.Below(300);
+    const uint64_t universe = (na + nb) * (1 + rng.Below(8));
+    CheckAllKernels(MakeSorted(rng, na, universe),
+                    MakeSorted(rng, nb, universe));
+  }
+}
+
+// Adversarial size ratios (up to ~1:4000) with overlapping and disjoint
+// ranges — the galloping kernel's home turf and its worst probes.
+TEST(Intersect, FuzzSkewedAgainstStdSetIntersection) {
+  Rng rng(41);
+  for (int iter = 0; iter < 100; ++iter) {
+    const size_t small = 1 + rng.Below(8);
+    const size_t large = 500 + rng.Below(3500);
+    const uint64_t universe = large * 2;
+    // Alternate overlapping and disjoint value ranges.
+    const uint64_t base = (iter % 2 == 0) ? 0 : universe + 1;
+    CheckAllKernels(MakeSorted(rng, small, universe, base),
+                    MakeSorted(rng, large, universe));
+  }
+}
+
+TEST(Intersect, CountersCountTheKernelThatRan) {
+  Rng rng(53);
+  const std::vector<uint32_t> a = MakeSorted(rng, 64, 256);
+  const std::vector<uint32_t> b = MakeSorted(rng, 64, 256);
+  std::vector<uint32_t> out(64 + kIntersectSlack);
+
+  IntersectCounters counters;
+  IntersectSorted(a, b, out.data(), IntersectKernel::kScalar, &counters);
+  EXPECT_EQ(counters.scalar, 1u);
+  IntersectSorted(a, b, out.data(), IntersectKernel::kGalloping, &counters);
+  EXPECT_EQ(counters.galloping, 1u);
+  // kSimd downgrades to the scalar merge when the CPU lacks the ISA; the
+  // counters record what actually ran.
+  IntersectSorted(a, b, out.data(), IntersectKernel::kSimd, &counters);
+  if (SimdIntersectAvailable()) {
+    EXPECT_EQ(counters.simd, 1u);
+    EXPECT_EQ(counters.scalar, 1u);
+  } else {
+    EXPECT_EQ(counters.simd, 0u);
+    EXPECT_EQ(counters.scalar, 2u);
+  }
+
+  IntersectCounters merged;
+  merged += counters;
+  merged += counters;
+  EXPECT_EQ(merged.galloping, 2u);
+}
+
+// The kAuto cost model: a >=32x size ratio picks galloping; tiny inputs
+// stay scalar. (The SIMD arm depends on the host CPU, so it is only pinned
+// where available.)
+TEST(Intersect, AutoKernelSelection) {
+  Rng rng(67);
+  const std::vector<uint32_t> tiny = MakeSorted(rng, 4, 32);
+  const std::vector<uint32_t> huge = MakeSorted(rng, 4 * 64, 4 * 64 * 2);
+  std::vector<uint32_t> out(tiny.size() + kIntersectSlack);
+
+  IntersectCounters counters;
+  IntersectSorted(tiny, huge, out.data(), IntersectKernel::kAuto, &counters);
+  EXPECT_EQ(counters.galloping, 1u) << "32x ratio should gallop";
+
+  counters = {};
+  IntersectSorted(tiny, tiny, out.data(), IntersectKernel::kAuto, &counters);
+  EXPECT_EQ(counters.scalar, 1u) << "4-element inputs should stay scalar";
+
+  if (SimdIntersectAvailable()) {
+    const std::vector<uint32_t> mid = MakeSorted(rng, 64, 256);
+    std::vector<uint32_t> wide(64 + kIntersectSlack);
+    counters = {};
+    IntersectSorted(mid, mid, wide.data(), IntersectKernel::kAuto, &counters);
+    EXPECT_EQ(counters.simd, 1u) << "balanced 64-element inputs go SIMD";
+  }
+}
+
+TEST(Intersect, IntersectIntoReusesAndShrinks) {
+  std::vector<uint32_t> out(1000, 0xdeadbeef);  // Stale capacity and junk.
+  IntersectInto(std::vector<uint32_t>{1, 2, 3, 4},
+                std::vector<uint32_t>{2, 4, 6}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 4}));
+  IntersectInto(std::vector<uint32_t>{5}, std::vector<uint32_t>{6}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -62,7 +62,8 @@ CloudFixture MakeFixture(uint32_t k, double scale = 0.006, uint64_t seed = 1) {
   }
   f.stats = ComputeGkStatistics(f.go, f.schema->NumTypes(), type_of_group);
   f.index = CloudIndex::Build(f.go.graph, f.go.num_b1, f.schema->NumTypes(),
-                              f.lct.NumGroups());
+                              f.lct.NumGroups())
+                .value();
   return f;
 }
 
@@ -407,7 +408,7 @@ TEST(MatchParallel, StarRowCapIsExactAcrossThreadCounts) {
   for (int i = 0; i < 200; ++i) b.AddVertex(0, {0});
   for (VertexId i = 1; i < 200; ++i) ASSERT_TRUE(b.AddEdge(0, i).ok());
   const AttributedGraph g = b.Build().value();
-  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1);
+  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1).value();
   GraphBuilder q;
   for (int i = 0; i < 3; ++i) q.AddVertex(0, {});
   ASSERT_TRUE(q.AddEdge(0, 1).ok());

@@ -33,7 +33,7 @@ GkStatistics StatsFor(const AttributedGraph& g) {
 
 TEST(CandidateAwareEstimator, ExactForZeroLeafStars) {
   const AttributedGraph g = HubGraph(50);
-  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1);
+  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1).value();
   const GkStatistics stats = StatsFor(g);
   GraphBuilder q;
   q.AddVertex(0, {0});
@@ -45,7 +45,7 @@ TEST(CandidateAwareEstimator, ExactForZeroLeafStars) {
 
 TEST(CandidateAwareEstimator, ExactForOneUnconstrainedLeaf) {
   const AttributedGraph g = HubGraph(40);
-  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1);
+  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1).value();
   const GkStatistics stats = StatsFor(g);
   GraphBuilder q;
   q.AddVertex(0, {});
@@ -65,7 +65,7 @@ TEST(CandidateAwareEstimator, ExactForOneUnconstrainedLeaf) {
 
 TEST(CandidateAwareEstimator, SeesHubBlowupThatExpr4Misses) {
   const AttributedGraph g = HubGraph(200);
-  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1);
+  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1).value();
   const GkStatistics stats = StatsFor(g);
   // A 3-leaf star: rooted anywhere, the hub candidate dominates the true
   // cost with ~199*198*197 assignments.
@@ -85,7 +85,7 @@ TEST(CandidateAwareEstimator, DecompositionAvoidsHubStars) {
   // graph. The candidate-aware ILP must cover the star's edges from the
   // leaf side, never rooting at the (explosive) center.
   const AttributedGraph g = HubGraph(200);
-  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1);
+  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1).value();
   const GkStatistics stats = StatsFor(g);
   GraphBuilder q;
   for (int i = 0; i < 4; ++i) q.AddVertex(0, {});
@@ -101,7 +101,7 @@ TEST(CandidateAwareEstimator, DecompositionAvoidsHubStars) {
 
 TEST(StarMatcherGuard, TruncatesAtRowCap) {
   const AttributedGraph g = HubGraph(100);
-  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1);
+  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1).value();
   GraphBuilder q;
   for (int i = 0; i < 3; ++i) q.AddVertex(0, {});
   for (int i = 1; i < 3; ++i) ASSERT_TRUE(q.AddEdge(0, i).ok());
@@ -116,7 +116,7 @@ TEST(StarMatcherGuard, TruncatesAtRowCap) {
 
 TEST(StarMatcherGuard, CapAboveResultSizeIsHarmless) {
   const AttributedGraph g = HubGraph(30);
-  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1);
+  const CloudIndex index = CloudIndex::Build(g, g.NumVertices(), 1, 1).value();
   GraphBuilder q;
   q.AddVertex(0, {});
   q.AddVertex(0, {});

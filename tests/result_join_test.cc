@@ -55,7 +55,8 @@ CloudFixture MakeFixture(uint32_t k, double scale = 0.006, uint64_t seed = 1) {
   }
   f.stats = ComputeGkStatistics(f.go, f.schema->NumTypes(), type_of_group);
   f.index = CloudIndex::Build(f.go.graph, f.go.num_b1, f.schema->NumTypes(),
-                              f.lct.NumGroups());
+                              f.lct.NumGroups())
+                .value();
   return f;
 }
 

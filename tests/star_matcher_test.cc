@@ -42,7 +42,7 @@ TEST(StarMatcher, AgreesWithGenericMatcherOnRandomStars) {
     const auto g = GenerateUniformRandomGraph(80, 240, 5, 2000 + trial);
     ASSERT_TRUE(g.ok());
     const CloudIndex index =
-        CloudIndex::Build(*g, g->NumVertices(), 1, 5);
+        CloudIndex::Build(*g, g->NumVertices(), 1, 5).value();
 
     auto extracted = ExtractQuery(*g, 4, rng);
     ASSERT_TRUE(extracted.ok());
@@ -63,7 +63,7 @@ TEST(StarMatcher, AgreesWithGenericMatcherOnRandomStars) {
 TEST(StarMatcher, ColumnsStartWithCenter) {
   const auto g = GenerateUniformRandomGraph(30, 60, 3, 5);
   ASSERT_TRUE(g.ok());
-  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 3);
+  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 3).value();
   Rng rng(72);
   auto extracted = ExtractQuery(*g, 3, rng);
   ASSERT_TRUE(extracted.ok());
@@ -79,7 +79,7 @@ TEST(StarMatcher, ColumnsStartWithCenter) {
 TEST(StarMatcher, InjectiveWithinStar) {
   const auto g = GenerateUniformRandomGraph(40, 120, 2, 6);
   ASSERT_TRUE(g.ok());
-  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 2);
+  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 2).value();
   // A 3-leaf star query with identical unconstrained leaves.
   GraphBuilder q;
   for (int i = 0; i < 4; ++i) q.AddVertex(0, {});
@@ -95,7 +95,7 @@ TEST(StarMatcher, CentersRestrictedToIndexPrefix) {
   const auto g = GenerateUniformRandomGraph(50, 150, 2, 7);
   ASSERT_TRUE(g.ok());
   const size_t num_centers = 20;
-  const CloudIndex index = CloudIndex::Build(*g, num_centers, 1, 2);
+  const CloudIndex index = CloudIndex::Build(*g, num_centers, 1, 2).value();
   GraphBuilder q;
   q.AddVertex(0, {});
   q.AddVertex(0, {});
@@ -112,7 +112,7 @@ TEST(StarMatcher, CentersRestrictedToIndexPrefix) {
 TEST(StarMatcher, SingleVertexStar) {
   const auto g = GenerateUniformRandomGraph(20, 40, 2, 8);
   ASSERT_TRUE(g.ok());
-  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 2);
+  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 2).value();
   GraphBuilder q;
   q.AddVertex(0, {0});
   const AttributedGraph qo = q.Build().value();
@@ -128,7 +128,7 @@ TEST(StarMatcher, SingleVertexStar) {
 TEST(StarMatcher, MatchStarsRunsAllCenters) {
   const auto g = GenerateUniformRandomGraph(30, 90, 2, 9);
   ASSERT_TRUE(g.ok());
-  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 2);
+  const CloudIndex index = CloudIndex::Build(*g, g->NumVertices(), 1, 2).value();
   Rng rng(73);
   auto extracted = ExtractQuery(*g, 5, rng);
   ASSERT_TRUE(extracted.ok());

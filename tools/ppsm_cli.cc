@@ -37,6 +37,7 @@
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "query/pattern_parser.h"
+#include "util/intersect.h"
 #include "util/table.h"
 
 namespace ppsm::cli {
@@ -253,6 +254,13 @@ int Query(const Args& args) {
       static_cast<uint32_t>(std::max(1L, args.GetInt("go-hops", 1)));
   config.cloud.max_unit_depth =
       static_cast<uint32_t>(std::max(0L, args.GetInt("max-unit-depth", 0)));
+  // --aux-graph=0 disables the per-query auxiliary graph (A/B reference
+  // path, byte-identical rows); --intersect-kernel pins a set-intersection
+  // kernel instead of the per-step cost-model pick (also output-neutral).
+  config.cloud.aux_graph = args.GetInt("aux-graph", 1) != 0;
+  auto kernel = ParseIntersectKernel(args.Get("intersect-kernel", "auto"));
+  if (!kernel.ok()) return Fail(kernel.status().ToString());
+  config.cloud.intersect_kernel = kernel.value();
   const size_t repeat =
       static_cast<size_t>(std::max(1L, args.GetInt("repeat", 1)));
   const size_t concurrency =
@@ -386,6 +394,11 @@ int Usage() {
       "            [--setup-threads N] [--shards S] [--repeat N]\n"
       "            [--concurrency N] [--deadline-ms MS]\n"
       "            [--go-hops H] [--max-unit-depth D]\n"
+      "            [--aux-graph 0|1] [--intersect-kernel auto|scalar|\n"
+      "             galloping|simd]\n"
+      "            (--aux-graph 0 disables the per-query auxiliary graph;\n"
+      "             --intersect-kernel pins the set-intersection kernel —\n"
+      "             both are output-neutral A/B knobs)\n"
       "            (--go-hops H uploads the radius-H Go so the planner may\n"
       "             pick path/tree units up to depth H; --max-unit-depth 1\n"
       "             forces the star-only decomposition)\n"
