@@ -51,7 +51,14 @@ AdmissionGate::AdmissionGate(size_t max_inflight, size_t queue_limit)
       queue_limit_(queue_limit) {}
 
 Status AdmissionGate::Acquire(SteadyClock::time_point deadline) {
+  const bool has_deadline = deadline != SteadyClock::time_point::max();
   std::unique_lock<std::mutex> lock(mu_);
+  // An already-expired budget is refused up front — the fast path below
+  // used to admit such queries and burn a slot on work whose answer nobody
+  // can use (the handler would only notice the expiry mid-evaluation).
+  if (has_deadline && SteadyClock::now() >= deadline) {
+    return Status::DeadlineExceeded("query expired in the admission queue");
+  }
   if (inflight_ < max_inflight_ && waiting_ == 0) {
     ++inflight_;
     return Status::OK();
@@ -62,7 +69,6 @@ Status AdmissionGate::Acquire(SteadyClock::time_point deadline) {
         std::to_string(max_inflight_) + " in flight)");
   }
   ++waiting_;
-  const bool has_deadline = deadline != SteadyClock::time_point::max();
   bool admitted;
   if (has_deadline) {
     admitted = cv_.wait_until(lock, deadline, [this] {
@@ -73,6 +79,15 @@ Status AdmissionGate::Acquire(SteadyClock::time_point deadline) {
     admitted = true;
   }
   --waiting_;
+  if (admitted && has_deadline && SteadyClock::now() >= deadline) {
+    // wait_until() re-evaluates the predicate at timeout, so a slot that
+    // frees up exactly as the deadline passes still reports "admitted".
+    // Decline it — and pass the baton: this thread may have absorbed the
+    // Release() notification for that free slot, so without the re-notify
+    // another waiter could sleep forever next to an idle slot.
+    admitted = false;
+    cv_.notify_one();
+  }
   if (!admitted) {
     return Status::DeadlineExceeded("query expired in the admission queue");
   }
@@ -143,8 +158,12 @@ Result<WireAnswer> QueryService::Execute(
     refusal.total_ms = refusal.queue_wait_ms;
     refusal.request_bytes = qo_bytes.size();
     if (admitted.code() == StatusCode::kDeadlineExceeded) {
-      refusal.timed_out_phase = "in admission queue";
+      refusal.timed_out_phase = "queue";
     }
+    // Even a refusal costs reply bytes on the wire; account the encoded
+    // error response instead of reporting 0.
+    refusal.response_bytes =
+        EncodedErrorResponseBytes(admitted, FromQueryProfile(refusal));
     FlightRecorder::Global().Record(std::move(refusal));
     return admitted;
   }
@@ -170,6 +189,10 @@ Result<WireAnswer> QueryService::Execute(
     profile.response_bytes = answer->response_payload.size();
   } else {
     profile.status = StatusCodeLabel(answer.status().code());
+    // Error replies are not free: report the bytes of the encoded error
+    // response the client actually receives (was 0 before, which made
+    // failed queries look cheaper than they are in Fig. 22-style sums).
+    profile.response_bytes = EncodedErrorResponseBytes(answer.status(), stats);
   }
   FlightRecorder::Global().Record(std::move(profile));
   return answer;

@@ -16,8 +16,18 @@ namespace ppsm {
 /// Counting admission gate with a bounded wait queue. At most `max_inflight`
 /// holders at a time; up to `queue_limit` further callers block in Acquire;
 /// anyone beyond that is refused immediately with ResourceExhausted, and a
-/// queued caller whose deadline passes gets DeadlineExceeded. Split out of
+/// caller whose deadline has passed gets DeadlineExceeded — checked on
+/// entry, at wait timeout, AND after a nominally successful wait, so an
+/// expired query is never admitted and never burns a slot. Split out of
 /// QueryService so the admission policy is testable without a hosted graph.
+///
+/// Fairness: wakeups are not strictly FIFO (condition_variable makes no
+/// ordering promise), but the gate is starvation-free — every Release()
+/// notifies one waiter, the fast path never barges past a non-empty queue
+/// (`waiting_ == 0` guard), and a waiter that declines its wakeup because
+/// its deadline expired re-notifies before leaving, so a freed slot's
+/// notification is never absorbed and lost. Pinned by the TSan-covered
+/// starvation stress in query_service_test.cc.
 class AdmissionGate {
  public:
   AdmissionGate(size_t max_inflight, size_t queue_limit);

@@ -1,0 +1,199 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "graph/serialize.h"
+#include "util/timer.h"
+
+namespace ppsm {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// The server's status, carried verbatim in a kError frame (or Internal
+/// when even the error payload is mangled).
+Status ErrorFromFrame(const Frame& reply) {
+  return DecodeErrorPayload(reply.payload);
+}
+
+}  // namespace
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      parser_(std::move(other.parser_)),
+      net_messages_(other.net_messages_),
+      net_bytes_(other.net_bytes_),
+      net_message_bytes_(other.net_message_bytes_),
+      net_transfer_ms_(other.net_transfer_ms_) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    parser_ = std::move(other.parser_);
+    net_messages_ = other.net_messages_;
+    net_bytes_ = other.net_bytes_;
+    net_message_bytes_ = other.net_message_bytes_;
+    net_transfer_ms_ = other.net_transfer_ms_;
+  }
+  return *this;
+}
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     uint64_t max_frame_payload) {
+  NetClient client;
+  client.parser_ = FrameParser(max_frame_payload);
+  auto& r = MetricsRegistry::Global();
+  client.net_messages_ = r.counter("ppsm_network_messages_total",
+                                   "Messages transferred over the channel");
+  client.net_bytes_ = r.counter("ppsm_network_bytes_total",
+                                "Bytes transferred over the channel");
+  client.net_message_bytes_ =
+      r.histogram("ppsm_network_message_bytes", DefaultSizeBuckets(),
+                  "Per-message transfer size");
+  client.net_transfer_ms_ =
+      r.histogram("ppsm_network_transfer_ms", DefaultLatencyBucketsMs(),
+                  "Per-message transfer time");
+
+  const std::string address = host == "localhost" ? "127.0.0.1" : host;
+  client.fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (client.fd_ < 0) return Status::Internal(Errno("socket failed"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable server address: " + address);
+  }
+  if (connect(client.fd_, reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    return Status::Internal(Errno("connect " + address + ":" +
+                                  std::to_string(port) + " failed"));
+  }
+  const int one = 1;
+  setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return client;
+}
+
+Status NetClient::WriteAll(std::span<const uint8_t> bytes) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n = send(fd_, bytes.data() + offset, bytes.size() - offset,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(Errno("send failed"));
+  }
+  return Status::OK();
+}
+
+Result<Frame> NetClient::ReadFrame() {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    PPSM_ASSIGN_OR_RETURN(std::optional<Frame> frame, parser_.Next());
+    if (frame.has_value()) return std::move(*frame);
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      net_bytes_.Increment(static_cast<uint64_t>(n));
+      parser_.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      if (parser_.HasPartialFrame()) {
+        return Status::Internal("server closed the connection mid-frame");
+      }
+      return Status::Internal("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("recv failed"));
+  }
+}
+
+Result<Frame> NetClient::RoundTrip(FrameType type,
+                                   std::span<const uint8_t> payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  const std::vector<uint8_t> request = EncodeFrame(type, payload);
+  WallTimer send_timer;
+  PPSM_RETURN_IF_ERROR(WriteAll(request));
+  net_transfer_ms_.Observe(send_timer.ElapsedMillis());
+  net_messages_.Increment();
+  net_bytes_.Increment(request.size());
+  net_message_bytes_.Observe(static_cast<double>(request.size()));
+
+  WallTimer reply_timer;
+  PPSM_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  net_transfer_ms_.Observe(reply_timer.ElapsedMillis());
+  net_messages_.Increment();
+  net_message_bytes_.Observe(
+      static_cast<double>(kFrameHeaderBytes + reply.payload.size()));
+  return reply;
+}
+
+Result<Schema> NetClient::FetchSchema() {
+  PPSM_ASSIGN_OR_RETURN(const Frame reply,
+                        RoundTrip(FrameType::kSchemaRequest, {}));
+  if (reply.type == FrameType::kError) {
+    return ErrorFromFrame(reply);
+  }
+  if (reply.type != FrameType::kSchemaResponse) {
+    return Status::Internal("unexpected reply frame to schema request");
+  }
+  return DeserializeSchema(reply.payload);
+}
+
+Result<QueryResponse> NetClient::Execute(const QueryRequest& request) {
+  PPSM_ASSIGN_OR_RETURN(
+      const Frame reply,
+      RoundTrip(FrameType::kQuery, SerializeQueryRequest(request)));
+  if (reply.type == FrameType::kError) {
+    return ErrorFromFrame(reply);
+  }
+  if (reply.type != FrameType::kResponse) {
+    return Status::Internal("unexpected reply frame to query");
+  }
+  return DeserializeQueryResponse(reply.payload);
+}
+
+Result<uint64_t> NetClient::Reload() {
+  PPSM_ASSIGN_OR_RETURN(const Frame reply, RoundTrip(FrameType::kReload, {}));
+  if (reply.type == FrameType::kError) {
+    return ErrorFromFrame(reply);
+  }
+  if (reply.type != FrameType::kReloadOk) {
+    return Status::Internal("unexpected reply frame to reload");
+  }
+  return DecodeVersionPayload(reply.payload);
+}
+
+Result<uint64_t> NetClient::Ping() {
+  PPSM_ASSIGN_OR_RETURN(const Frame reply, RoundTrip(FrameType::kPing, {}));
+  if (reply.type == FrameType::kError) {
+    return ErrorFromFrame(reply);
+  }
+  if (reply.type != FrameType::kPong) {
+    return Status::Internal("unexpected reply frame to ping");
+  }
+  return DecodeVersionPayload(reply.payload);
+}
+
+}  // namespace ppsm

@@ -1,0 +1,83 @@
+#ifndef PPSM_NET_NET_CLIENT_H_
+#define PPSM_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/attributed_graph.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "query/query_api.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// Blocking client for the PPSM wire protocol: one TCP connection, one
+/// request in flight at a time (send a frame, read frames until the reply).
+/// This is the transport behind `ppsm_cli query --connect` and the live
+/// mode of bench_network.
+///
+/// Every frame sent or received feeds the real byte counts and measured
+/// transfer times into the same ppsm_network_* metrics the
+/// SimulatedChannel models — a live run reports true wire traffic where
+/// the paper-figure benches report the modeled link.
+///
+/// Error contract: socket failures and server kError replies surface as
+/// typed Result statuses (a kError reply carries the server's status code
+/// verbatim). A server that closes mid-frame reports Internal with
+/// "mid-frame". Not thread-safe; one NetClient per thread.
+class NetClient {
+ public:
+  static Result<NetClient> Connect(const std::string& host, uint16_t port,
+                                   uint64_t max_frame_payload =
+                                       kDefaultMaxFramePayload);
+
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  ~NetClient();
+
+  /// Fetches the hosted graph's schema — the client needs it to parse
+  /// pattern text into label ids before building QueryRequests.
+  Result<Schema> FetchSchema();
+
+  /// One query, end to end over the wire. The response is exactly what the
+  /// server's in-process Execute() produced (byte-identical payload).
+  Result<QueryResponse> Execute(const QueryRequest& request);
+
+  /// Asks the server to hot-swap in a freshly rebuilt snapshot; returns
+  /// the published version.
+  Result<uint64_t> Reload();
+
+  /// Liveness probe; returns the server's current snapshot version.
+  Result<uint64_t> Ping();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Raw frame round-trip (send `type`+payload, read one reply frame).
+  /// Public for protocol-robustness tests; normal callers use the typed
+  /// wrappers above.
+  Result<Frame> RoundTrip(FrameType type, std::span<const uint8_t> payload);
+
+ private:
+  NetClient() = default;
+
+  Status WriteAll(std::span<const uint8_t> bytes);
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  FrameParser parser_;
+
+  MetricsRegistry::Counter net_messages_;
+  MetricsRegistry::Counter net_bytes_;
+  MetricsRegistry::Histogram net_message_bytes_;
+  MetricsRegistry::Histogram net_transfer_ms_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_NET_NET_CLIENT_H_

@@ -1,0 +1,474 @@
+#include "net/ppsm_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "graph/serialize.h"
+#include "query/query_api.h"
+
+namespace ppsm {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+/// Per-connection state. The event loop owns fd, parser and want_write;
+/// workers only touch the outbox (under out_mu) and read `dead`.
+struct PpsmServer::Conn {
+  explicit Conn(int fd_in, uint64_t max_payload)
+      : fd(fd_in), parser(max_payload) {}
+
+  const int fd;
+  FrameParser parser;
+  bool want_write = false;  // EPOLLOUT currently armed (loop thread only).
+
+  std::mutex out_mu;
+  std::vector<uint8_t> outbox;
+  size_t out_offset = 0;
+  bool close_after_flush = false;
+
+  /// Set (by the loop) once the socket is closed; workers racing a close
+  /// drop their replies instead of queuing bytes nobody will send.
+  std::atomic<bool> dead{false};
+};
+
+/// One unit of worker work: a frame to act on. conn is null for reloads
+/// triggered by NotifyReload() (SIGHUP) — there is nobody to answer.
+struct PpsmServer::Task {
+  std::shared_ptr<Conn> conn;
+  Frame frame;
+};
+
+PpsmServer::PpsmServer(ServingSystem* serving, PpsmServerOptions options)
+    : serving_(serving), options_(std::move(options)) {
+  auto& r = MetricsRegistry::Global();
+  // Same names the SimulatedChannel registers: the registry returns the
+  // existing metric, so live traffic and modeled traffic accumulate into
+  // one set of ppsm_network_* series.
+  net_messages_ = r.counter("ppsm_network_messages_total",
+                            "Messages transferred over the channel");
+  net_bytes_ =
+      r.counter("ppsm_network_bytes_total", "Bytes transferred over the channel");
+  net_message_bytes_ =
+      r.histogram("ppsm_network_message_bytes", DefaultSizeBuckets(),
+                  "Per-message transfer size");
+  connections_total_ = r.counter("ppsm_server_connections_total",
+                                 "Connections ever accepted by the socket server");
+  active_connections_ = r.gauge("ppsm_server_active_connections",
+                                "Currently open socket-server connections");
+  frames_total_ = r.counter("ppsm_server_frames_total",
+                            "Complete frames received by the socket server");
+  frame_errors_total_ =
+      r.counter("ppsm_server_frame_errors_total",
+                "Streams poisoned by framing errors (magic/version/length/"
+                "checksum)");
+  midframe_disconnects_total_ =
+      r.counter("ppsm_server_midframe_disconnects_total",
+                "Connections that disconnected mid-frame");
+  reloads_total_ = r.counter("ppsm_server_reloads_total",
+                             "Snapshot hot swaps published by the server");
+}
+
+PpsmServer::~PpsmServer() { Stop(); }
+
+Result<std::unique_ptr<PpsmServer>> PpsmServer::Start(
+    ServingSystem* serving, PpsmServerOptions options) {
+  if (serving == nullptr) {
+    return Status::InvalidArgument("PpsmServer needs a ServingSystem");
+  }
+  std::unique_ptr<PpsmServer> server(
+      new PpsmServer(serving, std::move(options)));
+  PPSM_RETURN_IF_ERROR(server->Listen());
+
+  server->epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  server->wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  server->reload_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (server->epoll_fd_ < 0 || server->wake_fd_ < 0 ||
+      server->reload_fd_ < 0) {
+    return Status::Internal(Errno("epoll/eventfd setup failed"));
+  }
+  for (const int fd :
+       {server->listen_fd_, server->wake_fd_, server->reload_fd_}) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Status::Internal(Errno("epoll_ctl(ADD) failed"));
+    }
+  }
+
+  server->loop_thread_ = std::thread([s = server.get()] { s->EventLoop(); });
+  const size_t workers = std::max<size_t>(1, server->options_.worker_threads);
+  server->workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+Status PpsmServer::Listen() {
+  const std::string host =
+      options_.host == "localhost" ? "127.0.0.1" : options_.host;
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::Internal(Errno("socket failed"));
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable listen address: " + host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::Internal(Errno("bind " + host + ":" +
+                                  std::to_string(options_.port) + " failed"));
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    return Status::Internal(Errno("listen failed"));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Status::Internal(Errno("getsockname failed"));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void PpsmServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof(one));
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_, &reload_fd_}) {
+    if (*fd >= 0) close(*fd);
+    *fd = -1;
+  }
+}
+
+void PpsmServer::NotifyReload() {
+  if (reload_fd_ < 0) return;
+  const uint64_t one = 1;
+  // write(2) on an eventfd is async-signal-safe — this is the whole point
+  // of routing SIGHUP through here instead of calling Reload() directly.
+  [[maybe_unused]] const ssize_t n = write(reload_fd_, &one, sizeof(one));
+}
+
+void PpsmServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load()) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            read(wake_fd_, &drained, sizeof(drained));
+        std::vector<std::shared_ptr<Conn>> pending;
+        {
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          pending.swap(pending_);
+        }
+        for (const auto& conn : pending) {
+          if (!conn->dead.load()) FlushConn(conn);
+        }
+        continue;
+      }
+      if (fd == reload_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            read(reload_fd_, &drained, sizeof(drained));
+        // Coalesced on purpose: N pending SIGHUPs collapse into one
+        // rebuild of the freshest state.
+        if (drained > 0) Enqueue({nullptr, Frame{FrameType::kReload, {}}});
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<Conn> conn = it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConn(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+      if (!conn->dead.load() && (events[i].events & EPOLLOUT)) {
+        FlushConn(conn);
+      }
+    }
+  }
+  // Loop exit: close every connection. Workers still running keep their
+  // Conn objects alive through shared_ptrs but never touch the fds.
+  std::vector<std::shared_ptr<Conn>> open;
+  open.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) open.push_back(conn);
+  for (const auto& conn : open) CloseConn(conn);
+}
+
+void PpsmServer::HandleAccept() {
+  for (;;) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: try again next event.
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(fd, options_.max_frame_payload);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    connections_total_.Increment();
+    active_connections_.Add(1);
+  }
+}
+
+void PpsmServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  uint8_t buf[64 * 1024];
+  bool eof = false;
+  for (;;) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      net_bytes_.Increment(static_cast<uint64_t>(n));
+      conn->parser.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+
+  for (;;) {
+    Result<std::optional<Frame>> frame = conn->parser.Next();
+    if (!frame.ok()) {
+      // Stream poisoned: one best-effort kError frame, then close. The
+      // flush path closes once the error frame drains (or immediately if
+      // the peer is already gone).
+      frame_errors_total_.Increment();
+      SendFrame(conn, FrameType::kError, EncodeErrorPayload(frame.status()),
+                /*close_after_flush=*/true);
+      return;
+    }
+    if (!frame->has_value()) break;
+    HandleFrame(conn, std::move(**frame));
+  }
+
+  if (eof) {
+    if (conn->parser.HasPartialFrame()) {
+      midframe_disconnects_total_.Increment();
+    }
+    CloseConn(conn);
+  }
+}
+
+void PpsmServer::HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame) {
+  frames_total_.Increment();
+  net_messages_.Increment();
+  net_message_bytes_.Observe(
+      static_cast<double>(kFrameHeaderBytes + frame.payload.size()));
+  switch (frame.type) {
+    case FrameType::kQuery:
+    case FrameType::kReload:
+      // Blocking work (admission gate, query evaluation, snapshot rebuild)
+      // leaves the event loop.
+      Enqueue({conn, std::move(frame)});
+      return;
+    case FrameType::kSchemaRequest: {
+      const auto snapshot = serving_->Pin();
+      const std::vector<uint8_t> schema =
+          SerializeSchema(*snapshot->system.owner().graph().schema());
+      SendFrame(conn, FrameType::kSchemaResponse, schema);
+      return;
+    }
+    case FrameType::kPing:
+      SendFrame(conn, FrameType::kPong,
+                EncodeVersionPayload(serving_->version()));
+      return;
+    default:
+      // A well-framed message the client has no business sending
+      // (kResponse and friends are server->client). The framing is intact,
+      // so the connection survives.
+      SendFrame(conn, FrameType::kError,
+                EncodeErrorPayload(Status::InvalidArgument(
+                    "unexpected client frame type " +
+                    std::to_string(static_cast<int>(frame.type)))));
+      return;
+  }
+}
+
+void PpsmServer::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) return;  // Stopping and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (task.frame.type == FrameType::kReload) {
+      RunReload(task.conn);
+    } else {
+      RunQuery(task.conn, task.frame);
+    }
+  }
+}
+
+void PpsmServer::RunQuery(const std::shared_ptr<Conn>& conn,
+                          const Frame& frame) {
+  // Pin once, evaluate everything against the pinned snapshot: a reload
+  // published mid-query cannot mix state into this answer, and the old
+  // snapshot stays alive exactly until its last pinned query returns.
+  const std::shared_ptr<const ServingSnapshot> snapshot = serving_->Pin();
+  Result<QueryRequest> request = DeserializeQueryRequest(
+      frame.payload, snapshot->system.owner().graph().schema());
+  if (!request.ok()) {
+    // Payload-level decode failure: the framing was fine, so answer typed
+    // and keep the connection.
+    SendFrame(conn, FrameType::kError, EncodeErrorPayload(request.status()));
+    return;
+  }
+  // Deadlines, admission backpressure (ResourceExhausted) and flight-
+  // recorder profiles all ride inside the response, identical to the
+  // in-process path.
+  const QueryResponse response = snapshot->system.Execute(*request);
+  SendFrame(conn, FrameType::kResponse, SerializeQueryResponse(response));
+}
+
+void PpsmServer::RunReload(const std::shared_ptr<Conn>& conn) {
+  const Result<uint64_t> version = serving_->Reload();
+  if (version.ok()) reloads_total_.Increment();
+  if (conn == nullptr) return;  // SIGHUP-initiated: nobody to answer.
+  if (version.ok()) {
+    SendFrame(conn, FrameType::kReloadOk, EncodeVersionPayload(*version));
+  } else {
+    SendFrame(conn, FrameType::kError, EncodeErrorPayload(version.status()));
+  }
+}
+
+void PpsmServer::Enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void PpsmServer::SendFrame(const std::shared_ptr<Conn>& conn, FrameType type,
+                           std::span<const uint8_t> payload,
+                           bool close_after_flush) {
+  if (conn->dead.load()) return;
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  net_messages_.Increment();
+  net_bytes_.Increment(frame.size());
+  net_message_bytes_.Observe(static_cast<double>(frame.size()));
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->outbox.insert(conn->outbox.end(), frame.begin(), frame.end());
+    conn->close_after_flush |= close_after_flush;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(conn);
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void PpsmServer::FlushConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.load()) return;
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    while (conn->out_offset < conn->outbox.size()) {
+      const ssize_t n =
+          send(conn->fd, conn->outbox.data() + conn->out_offset,
+               conn->outbox.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn->want_write) {
+          epoll_event ev{};
+          ev.events = EPOLLIN | EPOLLOUT;
+          ev.data.fd = conn->fd;
+          epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+          conn->want_write = true;
+        }
+        return;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      close_now = true;  // Peer gone (EPIPE/ECONNRESET/...).
+      break;
+    }
+    if (!close_now) {
+      conn->outbox.clear();
+      conn->out_offset = 0;
+      if (conn->want_write) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = conn->fd;
+        epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+        conn->want_write = false;
+      }
+      close_now = conn->close_after_flush;
+    }
+  }
+  if (close_now) CloseConn(conn);
+}
+
+void PpsmServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.exchange(true)) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  conns_.erase(conn->fd);
+  active_connections_.Add(-1);
+}
+
+}  // namespace ppsm

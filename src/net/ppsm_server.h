@@ -1,0 +1,156 @@
+#ifndef PPSM_NET_PPSM_SERVER_H_
+#define PPSM_NET_PPSM_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/serving_system.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+struct PpsmServerOptions {
+  /// Numeric listen address ("127.0.0.1", "0.0.0.0", ...; "localhost" is
+  /// accepted as an alias for the loopback).
+  std::string host = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; read the bound one back with
+  /// port().
+  uint16_t port = 0;
+  /// Threads running query evaluation. Deliberately NOT the shared
+  /// ThreadPool: Serve() blocks inside the AdmissionGate, and pool tasks
+  /// must never block on other pool tasks (thread_pool.h contract).
+  size_t worker_threads = 4;
+  /// Per-connection frame payload cap (wire.h); larger length prefixes are
+  /// refused before allocation and poison the stream.
+  uint64_t max_frame_payload = kDefaultMaxFramePayload;
+};
+
+/// The socket front end: an epoll event loop accepting PPSM wire-protocol
+/// connections (net/wire.h) and a small worker pool evaluating their
+/// queries against the ServingSystem's current snapshot.
+///
+/// Threading model:
+///   * ONE event-loop thread owns every socket: accept, read, write,
+///     close. No other thread touches an fd, so the loop never races a
+///     worker on connection teardown.
+///   * worker_threads dedicated threads run the blocking work — decode,
+///     AdmissionGate wait, query evaluation, encode. Each query pins the
+///     serving snapshot for exactly its own lifetime (hot-swap safety).
+///   * Workers hand encoded reply frames back through a per-connection
+///     outbox; an eventfd wakes the loop to flush. Replies on one
+///     connection are sent in completion order — pipelined clients
+///     correlate via QueryRequest::tag.
+///
+/// Error discipline (matches wire.h): framing errors (bad magic, version,
+/// oversized length, checksum) get one kError frame and then the
+/// connection closes; per-message payload decode errors get a kError frame
+/// and the connection stays open. The server never crashes on malformed
+/// input. Backpressure and deadlines propagate as typed statuses inside
+/// kResponse payloads, exactly as the in-process Execute() reports them.
+///
+/// Real wire bytes (frames in both directions) feed the same
+/// ppsm_network_* metrics the SimulatedChannel feeds, so a live deployment
+/// reports true transfer volumes where the bench reports modeled ones.
+class PpsmServer {
+ public:
+  /// Binds, listens and starts the loop + worker threads. `serving` must
+  /// outlive the server.
+  static Result<std::unique_ptr<PpsmServer>> Start(
+      ServingSystem* serving, PpsmServerOptions options = {});
+
+  ~PpsmServer();
+  PpsmServer(const PpsmServer&) = delete;
+  PpsmServer& operator=(const PpsmServer&) = delete;
+
+  /// Stops accepting, closes every connection, joins all threads. Queries
+  /// already running complete (their replies are dropped). Idempotent.
+  void Stop();
+
+  /// The bound listen port (the kernel's choice when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Requests a snapshot reload, as if a kReload admin frame arrived.
+  /// Async-signal-safe (one eventfd write) — THE hook for SIGHUP handlers.
+  void NotifyReload();
+
+ private:
+  struct Conn;
+  struct Task;
+
+  PpsmServer(ServingSystem* serving, PpsmServerOptions options);
+
+  Status Listen();
+  void EventLoop();
+  void WorkerLoop();
+
+  void HandleAccept();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleFrame(const std::shared_ptr<Conn>& conn, Frame frame);
+  void RunQuery(const std::shared_ptr<Conn>& conn, const Frame& frame);
+  void RunReload(const std::shared_ptr<Conn>& conn);
+
+  /// Worker -> loop reply path: append the encoded frame to the conn's
+  /// outbox and wake the loop. Safe from any thread.
+  void SendFrame(const std::shared_ptr<Conn>& conn, FrameType type,
+                 std::span<const uint8_t> payload,
+                 bool close_after_flush = false);
+  /// Loop-thread only: drain the outbox into the socket; arms EPOLLOUT
+  /// when the kernel buffer fills, closes once a close_after_flush outbox
+  /// empties.
+  void FlushConn(const std::shared_ptr<Conn>& conn);
+  /// Loop-thread only.
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+
+  void Enqueue(Task task);
+
+  ServingSystem* const serving_;
+  const PpsmServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;    // Workers / Stop() wake the loop.
+  int reload_fd_ = -1;  // NotifyReload (async-signal-safe) wakes the loop.
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Loop-thread only.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  // Connections with freshly queued outbox bytes, handed from workers to
+  // the loop thread.
+  std::mutex pending_mu_;
+  std::vector<std::shared_ptr<Conn>> pending_;
+
+  // Worker task queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+
+  // Real traffic feeds the same metric names the SimulatedChannel feeds.
+  MetricsRegistry::Counter net_messages_;
+  MetricsRegistry::Counter net_bytes_;
+  MetricsRegistry::Histogram net_message_bytes_;
+  MetricsRegistry::Counter connections_total_;
+  MetricsRegistry::Gauge active_connections_;
+  MetricsRegistry::Counter frames_total_;
+  MetricsRegistry::Counter frame_errors_total_;
+  MetricsRegistry::Counter midframe_disconnects_total_;
+  MetricsRegistry::Counter reloads_total_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_NET_PPSM_SERVER_H_

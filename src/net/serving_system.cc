@@ -1,0 +1,42 @@
+#include "net/serving_system.h"
+
+#include <utility>
+
+namespace ppsm {
+
+ServingSystem::ServingSystem(PpsmSystem initial, ReloadFn reload)
+    : current_(std::make_shared<const ServingSnapshot>(std::move(initial),
+                                                       /*version=*/1)),
+      reload_(std::move(reload)) {}
+
+std::shared_ptr<const ServingSnapshot> ServingSystem::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ServingSystem::Publish(PpsmSystem next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t version = next_version_++;
+  // The pointer flip IS the swap: new pins see the new snapshot, existing
+  // pins keep the old one alive until their queries drain.
+  current_ = std::make_shared<const ServingSnapshot>(std::move(next), version);
+  return version;
+}
+
+Result<uint64_t> ServingSystem::Reload() {
+  if (!reload_) {
+    return Status::FailedPrecondition(
+        "no reload recipe configured for this deployment");
+  }
+  // One rebuild at a time; the current snapshot serves throughout.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  PPSM_ASSIGN_OR_RETURN(PpsmSystem next, reload_());
+  return Publish(std::move(next));
+}
+
+uint64_t ServingSystem::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->version;
+}
+
+}  // namespace ppsm

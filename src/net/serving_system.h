@@ -1,0 +1,75 @@
+#ifndef PPSM_NET_SERVING_SYSTEM_H_
+#define PPSM_NET_SERVING_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "core/ppsm_system.h"
+#include "util/status.h"
+
+namespace ppsm {
+
+/// A pinnable, atomically swappable deployment snapshot: one immutable
+/// PpsmSystem (CSR pools + CloudIndex + AVT + the fronting QueryService)
+/// plus the version it was published as.
+struct ServingSnapshot {
+  ServingSnapshot(PpsmSystem system_in, uint64_t version_in)
+      : system(std::move(system_in)), version(version_in) {}
+  PpsmSystem system;
+  uint64_t version;
+};
+
+/// RCU-style snapshot handle behind the socket front end. The current
+/// deployment lives behind one std::shared_ptr that Publish() swaps
+/// atomically; every admitted query copies the pointer first and evaluates
+/// entirely against that copy, so
+///   * queries in flight during a swap finish on the snapshot they started
+///     on (never a mixed-snapshot answer),
+///   * no query is ever dropped by a reload,
+///   * the old snapshot is destroyed exactly when its last pinned query
+///     releases the pointer (classic RCU grace period, expressed with
+///     shared_ptr reference counts instead of epoch bookkeeping).
+///
+/// Thread-safe; Pin() is a mutex-guarded pointer copy (nanoseconds next to
+/// a query evaluation — the mutex, not std::atomic<shared_ptr>, keeps the
+/// implementation portable across the toolchains this repo builds on).
+class ServingSystem {
+ public:
+  /// A rebuild recipe: produces the next deployment (typically re-running
+  /// the offline anonymization pipeline). Runs outside any lock — serving
+  /// continues on the current snapshot for the whole rebuild.
+  using ReloadFn = std::function<Result<PpsmSystem>()>;
+
+  explicit ServingSystem(PpsmSystem initial, ReloadFn reload = nullptr);
+
+  /// Pins the current snapshot for a query's lifetime. Never null.
+  std::shared_ptr<const ServingSnapshot> Pin() const;
+
+  /// Publishes `next` as the new current snapshot and returns its version
+  /// (monotonically increasing from 1). In-flight queries keep their pins.
+  uint64_t Publish(PpsmSystem next);
+
+  /// Runs the reload recipe and publishes the result: the zero-downtime
+  /// hot swap behind SIGHUP / the kReload admin frame. Serialized — a
+  /// reload requested while one is already rebuilding waits its turn (the
+  /// second rebuild still observes the first's publication). Fails typed
+  /// when no recipe was configured or the rebuild itself fails; the
+  /// current snapshot keeps serving in either case.
+  Result<uint64_t> Reload();
+
+  /// Version of the currently published snapshot.
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;          // Guards current_ swaps and pins.
+  std::mutex reload_mu_;           // Serializes Reload() rebuilds.
+  std::shared_ptr<const ServingSnapshot> current_;
+  uint64_t next_version_ = 2;      // The initial snapshot is version 1.
+  ReloadFn reload_;
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_NET_SERVING_SYSTEM_H_

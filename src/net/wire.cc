@@ -1,0 +1,147 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "graph/serialize.h"
+
+namespace ppsm {
+
+namespace {
+
+/// FNV-1a64 — the same corruption check the PSNP snapshot codec uses
+/// (cheap, dependency-free; not an integrity MAC).
+uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+bool KnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kQuery) &&
+         type <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 std::span<const uint8_t> payload) {
+  BinaryWriter writer;
+  writer.PutU32(kWireMagic);
+  writer.PutU32(kWireVersion);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutU64(payload.size());
+  writer.PutU64(Fnv1a64(payload));
+  writer.PutBytes(payload);
+  return writer.TakeBytes();
+}
+
+std::vector<uint8_t> EncodeErrorPayload(const Status& status) {
+  BinaryWriter writer;
+  writer.PutU8(static_cast<uint8_t>(status.code()));
+  writer.PutString(status.message());
+  return writer.TakeBytes();
+}
+
+Status DecodeErrorPayload(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  const Result<uint8_t> code = reader.GetU8();
+  if (!code.ok()) {
+    return Status::Internal("undecodable error frame (empty payload)");
+  }
+  if (*code == static_cast<uint8_t>(StatusCode::kOk) ||
+      *code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Internal("undecodable error frame (unknown status code " +
+                            std::to_string(*code) + ")");
+  }
+  const Result<std::string> message = reader.GetString();
+  if (!message.ok()) {
+    return Status::Internal("undecodable error frame (truncated message)");
+  }
+  return Status(static_cast<StatusCode>(*code), *message);
+}
+
+std::vector<uint8_t> EncodeVersionPayload(uint64_t version) {
+  BinaryWriter writer;
+  writer.PutU64(version);
+  return writer.TakeBytes();
+}
+
+Result<uint64_t> DecodeVersionPayload(std::span<const uint8_t> payload) {
+  BinaryReader reader(payload);
+  PPSM_ASSIGN_OR_RETURN(const uint64_t version, reader.GetU64());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after version payload");
+  }
+  return version;
+}
+
+void FrameParser::Feed(std::span<const uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::optional<Frame>> FrameParser::Next() {
+  if (error_.has_value()) return *error_;  // Sticky: the stream is poisoned.
+  if (buffer_.size() < kFrameHeaderBytes) return std::optional<Frame>();
+
+  const uint8_t* head = buffer_.data();
+  const uint32_t magic = ReadU32(head);
+  if (magic != kWireMagic) {
+    error_ = Status::InvalidArgument("bad frame magic (not a PPSM peer)");
+    return *error_;
+  }
+  const uint32_t version = ReadU32(head + 4);
+  if (version != kWireVersion) {
+    error_ = Status::FailedPrecondition(
+        "unsupported wire version " + std::to_string(version) + " (want " +
+        std::to_string(kWireVersion) + ")");
+    return *error_;
+  }
+  const uint8_t type = head[8];
+  if (!KnownFrameType(type)) {
+    error_ = Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(type));
+    return *error_;
+  }
+  const uint64_t payload_len = ReadU64(head + 9);
+  if (payload_len > max_payload_) {
+    // Refused before any allocation: a corrupt or hostile length prefix
+    // must not let one connection balloon server memory.
+    error_ = Status::ResourceExhausted(
+        "frame payload of " + std::to_string(payload_len) +
+        " bytes exceeds the " + std::to_string(max_payload_) + "-byte cap");
+    return *error_;
+  }
+  const uint64_t checksum = ReadU64(head + 17);
+  if (buffer_.size() < kFrameHeaderBytes + payload_len) {
+    return std::optional<Frame>();  // Mid-payload; wait for more bytes.
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(buffer_.begin() + kFrameHeaderBytes,
+                       buffer_.begin() + kFrameHeaderBytes + payload_len);
+  if (Fnv1a64(frame.payload) != checksum) {
+    error_ = Status::InvalidArgument("frame checksum mismatch");
+    return *error_;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + kFrameHeaderBytes + payload_len);
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace ppsm

@@ -1,0 +1,124 @@
+#ifndef PPSM_NET_WIRE_H_
+#define PPSM_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppsm {
+
+/// ---------------------------------------------------------------------------
+/// The PPSM wire protocol: length-prefixed, versioned, checksummed binary
+/// frames over a byte stream (TCP). Same header discipline as the "PSNP"
+/// graph snapshots (graph/serialize.h): magic + version up front so a
+/// foreign or stale peer fails typed, a length prefix so the reader never
+/// over-reads, and an FNV-1a64 checksum over the payload so corruption is
+/// detected before any payload decode runs.
+///
+///   u32 magic "PNET" | u32 version | u8 frame type | u64 payload length |
+///   u64 FNV-1a64(payload) | payload bytes
+///
+/// Framing errors (bad magic, unknown version, oversized length, checksum
+/// mismatch) poison the stream — the receiver cannot resynchronize reliably
+/// — so the server replies with one kError frame where possible and closes
+/// the connection. Payload-level decode errors keep the connection open:
+/// the framing was intact, only that one message was bad.
+/// ---------------------------------------------------------------------------
+
+/// Frame vocabulary of the serving protocol.
+enum class FrameType : uint8_t {
+  /// client -> server: a serialized QueryRequest (query/query_api.h codec).
+  kQuery = 1,
+  /// server -> client: a serialized QueryResponse (success or typed
+  /// failure; the status rides inside the payload).
+  kResponse = 2,
+  /// server -> client: transport-level error — u8 status code + string
+  /// message. Sent for framing/decode problems that never produced a
+  /// QueryResponse; framing errors additionally close the connection.
+  kError = 3,
+  /// client -> server admin: publish a freshly re-anonymized snapshot
+  /// (zero-downtime hot swap). Empty payload.
+  kReload = 4,
+  /// server -> client: reload done — u64 published snapshot version.
+  kReloadOk = 5,
+  /// client -> server: fetch the hosted graph's schema (clients need it to
+  /// parse pattern text into label ids). Empty payload.
+  kSchemaRequest = 6,
+  /// server -> client: SerializeSchema bytes.
+  kSchemaResponse = 7,
+  /// client -> server: liveness probe. Empty payload.
+  kPing = 8,
+  /// server -> client: u64 current snapshot version.
+  kPong = 9,
+};
+
+/// "PNET" little-endian, next to "PSNP"/"PPSM"/"PSCH" in the magic family.
+inline constexpr uint32_t kWireMagic = 0x54454e50;
+inline constexpr uint32_t kWireVersion = 1;
+/// magic + version + type + payload length + checksum.
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 1 + 8 + 8;
+/// Default refusal threshold for the length prefix. A real Rin payload on
+/// the bench fixtures is a few MB; anything near this cap is a corrupt or
+/// hostile length, and the server must refuse BEFORE allocating.
+inline constexpr uint64_t kDefaultMaxFramePayload = 256ull << 20;  // 256 MiB
+
+/// One decoded frame: the type tag plus the verified payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Encodes one frame (header + payload) ready for the socket.
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 std::span<const uint8_t> payload);
+
+/// Payload codec of kError frames: u8 status code + message. Decoding
+/// returns the carried status verbatim; a mangled payload collapses into
+/// an Internal status describing the mangling (Result<Status> cannot
+/// exist, and every caller wants "the error this frame means" anyway).
+std::vector<uint8_t> EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(std::span<const uint8_t> payload);
+
+/// Payload codec of kReloadOk / kPong frames: u64 snapshot version.
+std::vector<uint8_t> EncodeVersionPayload(uint64_t version);
+Result<uint64_t> DecodeVersionPayload(std::span<const uint8_t> payload);
+
+/// Incremental frame decoder over an arbitrary byte stream: feed whatever
+/// the socket produced, pop complete frames. One parser per connection.
+///
+/// Error contract: Next() returns a non-OK Status exactly when the stream
+/// is poisoned (bad magic, unknown version, length prefix above
+/// max_payload, checksum mismatch) — the error is sticky, every later
+/// Next() repeats it, and the connection owning the parser must close.
+/// Truncation (header or payload not yet complete) is NOT an error: Next()
+/// returns nullopt and waits for more bytes. A mid-frame disconnect
+/// therefore surfaces at the socket layer (EOF with HasPartialFrame()
+/// true), not as a parser state.
+class FrameParser {
+ public:
+  explicit FrameParser(uint64_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw socket bytes to the parse buffer.
+  void Feed(std::span<const uint8_t> bytes);
+
+  /// Pops the next complete, checksum-verified frame; nullopt when the
+  /// buffered bytes end mid-header or mid-payload.
+  Result<std::optional<Frame>> Next();
+
+  /// True while the buffer holds an incomplete frame — an EOF now is a
+  /// mid-frame disconnect, not a clean close.
+  bool HasPartialFrame() const { return !error_ && !buffer_.empty(); }
+
+ private:
+  uint64_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  std::optional<Status> error_;  // Sticky stream poison.
+};
+
+}  // namespace ppsm
+
+#endif  // PPSM_NET_WIRE_H_

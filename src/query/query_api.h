@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -123,6 +124,38 @@ struct QueryResponse {
 /// counts, and the post-cloud times (network/client/total) are the caller's
 /// to fill — the cloud cannot know them.
 QueryProfile ToQueryProfile(const CloudQueryStats& stats);
+
+/// Inverse of ToQueryProfile: rebuilds the cloud stats block from a profile
+/// (the wire decode of a served response — src/net).
+CloudQueryStats FromQueryProfile(const QueryProfile& profile);
+
+/// ---------------------------------------------------------------------------
+/// Wire codecs for the request/response pair. These are the payloads the
+/// socket front end (src/net) frames onto real connections: a QueryRequest
+/// travels client -> server as the serialized pattern plus the request
+/// knobs, a QueryResponse travels back as the match rows plus the stats
+/// block. Deterministic for the deterministic fields: two responses with
+/// equal matches/status/tag encode their match payloads byte-identically
+/// (timing fields are per-run by nature). LEB128/little-endian through
+/// graph/serialize.h BinaryWriter, like every other client <-> cloud codec.
+/// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> SerializeQueryRequest(const QueryRequest& request);
+/// `schema` is attached to the decoded pattern (the server passes the hosted
+/// graph's schema so label/type ids resolve; may be null).
+Result<QueryRequest> DeserializeQueryRequest(
+    std::span<const uint8_t> bytes, std::shared_ptr<const Schema> schema);
+
+std::vector<uint8_t> SerializeQueryResponse(const QueryResponse& response);
+Result<QueryResponse> DeserializeQueryResponse(std::span<const uint8_t> bytes);
+
+/// Size of the canonical encoded reply for a FAILED query (status + the
+/// stats of the phases that ran, no matches). This is what error replies
+/// cost on the wire, and what QueryService accounts as response_bytes on
+/// every non-OK exit path — refusals included — so the flight recorder
+/// never under-counts error traffic as 0 bytes.
+size_t EncodedErrorResponseBytes(const Status& status,
+                                 const CloudQueryStats& stats);
 
 /// Query-scoped context threaded from admission (QueryService) through the
 /// handler. Everything is optional: a default-constructed context means

@@ -1,0 +1,394 @@
+// Socket front-end tests: a loopback PpsmServer must answer byte-identically
+// to the in-process Execute() path (k=8 fixture, shards 1 and 2), survive
+// arbitrarily malformed clients with typed errors, and hot-swap snapshots
+// under concurrent replay with zero dropped or mixed-snapshot queries.
+
+#include "net/ppsm_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/ppsm_system.h"
+#include "graph/generators.h"
+#include "graph/query_extractor.h"
+#include "net/net_client.h"
+#include "net/serving_system.h"
+#include "net/wire.h"
+#include "util/random.h"
+
+namespace ppsm {
+namespace {
+
+struct Fixture {
+  AttributedGraph graph;
+  PpsmSystem system;
+  std::vector<QueryRequest> requests;
+};
+
+Result<Fixture> MakeFixture(double scale, uint32_t k, uint32_t num_shards,
+                            size_t num_queries, uint64_t seed = 11) {
+  PPSM_ASSIGN_OR_RETURN(AttributedGraph graph,
+                        GenerateDataset(DbpediaLike(scale)));
+  SystemConfig config;
+  config.k = k;
+  config.num_shards = num_shards;
+  config.cloud.num_threads = 2;
+  PPSM_ASSIGN_OR_RETURN(PpsmSystem system,
+                        PpsmSystem::Setup(graph, graph.schema(), config));
+  Fixture fx{std::move(graph), std::move(system), {}};
+  Rng rng(seed);
+  for (size_t i = 0; i < num_queries; ++i) {
+    PPSM_ASSIGN_OR_RETURN(auto extracted,
+                          ExtractQuery(fx.graph, 3 + i % 5, rng));
+    QueryRequest request;
+    request.pattern = extracted.query;
+    fx.requests.push_back(std::move(request));
+  }
+  return fx;
+}
+
+/// The deterministic bytes of an answer: the serialized MatchSet. Timing
+/// fields differ between two Execute() calls by nature, so byte-identity is
+/// asserted over the answer payload (exactly what cluster_test does for the
+/// sharded guarantee).
+std::vector<uint8_t> AnswerBytes(const QueryResponse& response) {
+  return response.matches.Serialize();
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers for the malformed-client suite. NetClient refuses to
+// emit broken frames, so hostile bytes go through a bare TCP socket.
+// ---------------------------------------------------------------------------
+
+int RawConnect(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  return fd;
+}
+
+void RawSend(int fd, std::span<const uint8_t> bytes) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n = send(fd, bytes.data() + offset, bytes.size() - offset,
+                           MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    offset += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the peer closes; returns every byte received.
+std::vector<uint8_t> RawDrain(int fd) {
+  std::vector<uint8_t> all;
+  uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    all.insert(all.end(), buf, buf + n);
+  }
+  return all;
+}
+
+/// Expects: exactly one kError frame carrying `code`, then a clean close.
+void ExpectErrorThenClose(int fd, StatusCode code) {
+  const std::vector<uint8_t> bytes = RawDrain(fd);
+  close(fd);
+  FrameParser parser;
+  parser.Feed(bytes);
+  auto frame = parser.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value()) << "no error frame before close";
+  EXPECT_EQ((*frame)->type, FrameType::kError);
+  const Status carried = DecodeErrorPayload((*frame)->payload);
+  EXPECT_EQ(carried.code(), code) << carried;
+  auto rest = parser.Next();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_FALSE(rest->has_value()) << "unexpected extra frame";
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(PpsmServer, LoopbackByteIdenticalToInProcessExecute) {
+  // The acceptance fixture: k=8, mixed workload, shards 1 and 2.
+  for (const uint32_t num_shards : {1u, 2u}) {
+    auto fx = MakeFixture(/*scale=*/0.01, /*k=*/8, num_shards,
+                          /*num_queries=*/6);
+    ASSERT_TRUE(fx.ok()) << fx.status();
+    ServingSystem serving(std::move(fx->system));
+    auto server = PpsmServer::Start(&serving);
+    ASSERT_TRUE(server.ok()) << server.status();
+    ASSERT_NE((*server)->port(), 0);
+
+    auto client = NetClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok()) << client.status();
+
+    // The remote schema is the hosted graph's schema.
+    auto schema = client->FetchSchema();
+    ASSERT_TRUE(schema.ok()) << schema.status();
+    EXPECT_EQ(schema->NumLabels(),
+              serving.Pin()->system.owner().graph().schema()->NumLabels());
+
+    auto version = client->Ping();
+    ASSERT_TRUE(version.ok()) << version.status();
+    EXPECT_EQ(*version, 1u);
+
+    for (size_t i = 0; i < fx->requests.size(); ++i) {
+      const QueryResponse local =
+          serving.Pin()->system.Execute(fx->requests[i]);
+      ASSERT_TRUE(local.ok()) << local.status;
+      auto remote = client->Execute(fx->requests[i]);
+      ASSERT_TRUE(remote.ok()) << remote.status();
+      ASSERT_TRUE(remote->ok()) << remote->status;
+      EXPECT_EQ(AnswerBytes(*remote), AnswerBytes(local))
+          << "wire answer diverged from in-process Execute, query " << i
+          << " shards " << num_shards;
+      EXPECT_EQ(remote->cloud.result_rows, local.cloud.result_rows);
+      EXPECT_EQ(remote->cloud.num_stars, local.cloud.num_stars);
+    }
+    (*server)->Stop();
+  }
+}
+
+TEST(PpsmServer, DeadlineRidesTheWireAsTypedStatus) {
+  auto fx = MakeFixture(/*scale=*/0.005, /*k=*/2, /*num_shards=*/1,
+                        /*num_queries=*/1);
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ServingSystem serving(std::move(fx->system));
+  auto server = PpsmServer::Start(&serving);
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto client = NetClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  QueryRequest tight = fx->requests[0];
+  tight.deadline_ms = 1;  // May or may not expire — but never malform.
+  auto response = client->Execute(tight);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok() ||
+              response->status.code() == StatusCode::kDeadlineExceeded ||
+              response->status.code() == StatusCode::kResourceExhausted)
+      << response->status;
+  // The connection survived either way.
+  auto ping = client->Ping();
+  EXPECT_TRUE(ping.ok()) << ping.status();
+}
+
+TEST(PpsmServer, MalformedClientsGetTypedErrorsAndServerSurvives) {
+  auto fx = MakeFixture(/*scale=*/0.005, /*k=*/2, /*num_shards=*/1,
+                        /*num_queries=*/1);
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  ServingSystem serving(std::move(fx->system));
+  auto server = PpsmServer::Start(&serving);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  {  // A foreign peer (HTTP knocking on the wrong port): bad magic.
+    const int fd = RawConnect(port);
+    const std::string http = "GET / HTTP/1.1\r\nHost: x\r\n\r\npadpadpad";
+    RawSend(fd, std::span<const uint8_t>(
+                    reinterpret_cast<const uint8_t*>(http.data()),
+                    http.size()));
+    ExpectErrorThenClose(fd, StatusCode::kInvalidArgument);
+  }
+  {  // Bit-flipped payload: checksum mismatch.
+    std::vector<uint8_t> frame =
+        EncodeFrame(FrameType::kQuery, std::vector<uint8_t>{1, 2, 3, 4, 5});
+    frame[kFrameHeaderBytes + 2] ^= 0x40;
+    const int fd = RawConnect(port);
+    RawSend(fd, frame);
+    ExpectErrorThenClose(fd, StatusCode::kInvalidArgument);
+  }
+  {  // Hostile length prefix: refused before allocation.
+    std::vector<uint8_t> frame = EncodeFrame(FrameType::kQuery, {});
+    const uint64_t huge = 1ull << 62;
+    std::memcpy(frame.data() + 9, &huge, sizeof(huge));
+    const int fd = RawConnect(port);
+    RawSend(fd, std::span<const uint8_t>(frame.data(), kFrameHeaderBytes));
+    ExpectErrorThenClose(fd, StatusCode::kResourceExhausted);
+  }
+  {  // Stale wire version.
+    std::vector<uint8_t> frame = EncodeFrame(FrameType::kPing, {});
+    const uint32_t future = kWireVersion + 9;
+    std::memcpy(frame.data() + 4, &future, sizeof(future));
+    const int fd = RawConnect(port);
+    RawSend(fd, frame);
+    ExpectErrorThenClose(fd, StatusCode::kFailedPrecondition);
+  }
+  {  // Mid-frame disconnect: half a frame, then gone.
+    const std::vector<uint8_t> frame =
+        EncodeFrame(FrameType::kQuery, std::vector<uint8_t>(64, 7));
+    const int fd = RawConnect(port);
+    RawSend(fd, std::span<const uint8_t>(frame.data(), 10));
+    close(fd);
+  }
+  {  // Well-framed but undecodable query payload: typed error, connection
+     // stays open for the next request.
+    auto client = NetClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status();
+    const std::vector<uint8_t> junk = {0xFF, 0xFE, 0xFD};
+    auto reply = client->RoundTrip(FrameType::kQuery, junk);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->type, FrameType::kError);
+    EXPECT_EQ(DecodeErrorPayload(reply->payload).code(),
+              StatusCode::kInvalidArgument);
+    auto ping = client->Ping();
+    EXPECT_TRUE(ping.ok()) << "connection did not survive a payload error: "
+                           << ping.status();
+  }
+  {  // A frame type only the server may send: typed error, stream intact.
+    auto client = NetClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status();
+    auto reply = client->RoundTrip(FrameType::kResponse, {});
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->type, FrameType::kError);
+    auto ping = client->Ping();
+    EXPECT_TRUE(ping.ok()) << ping.status();
+  }
+
+  // After all that abuse, a legitimate query still answers correctly.
+  auto client = NetClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status();
+  const QueryResponse local = serving.Pin()->system.Execute(fx->requests[0]);
+  ASSERT_TRUE(local.ok()) << local.status;
+  auto remote = client->Execute(fx->requests[0]);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  ASSERT_TRUE(remote->ok()) << remote->status;
+  EXPECT_EQ(AnswerBytes(*remote), AnswerBytes(local));
+}
+
+// Zero-downtime hot swap: concurrent replay clients hammer the server while
+// snapshots are republished. Every response must succeed and carry the
+// correct answer (identical on both snapshots — re-anonymization must not
+// change exact results), and no query may be dropped by a swap.
+TEST(PpsmServer, HotSwapSoakDropsAndMixesNothing) {
+  auto fx = MakeFixture(/*scale=*/0.005, /*k=*/2, /*num_shards=*/1,
+                        /*num_queries=*/3);
+  ASSERT_TRUE(fx.ok()) << fx.status();
+
+  // The reload recipe re-runs the offline pipeline with a different k:
+  // a genuinely different anonymization whose exact answers must agree.
+  const AttributedGraph graph = fx->graph;
+  SystemConfig reload_config;
+  reload_config.k = 3;
+  reload_config.cloud.num_threads = 2;
+  ServingSystem serving(std::move(fx->system),
+                        [graph, reload_config]() -> Result<PpsmSystem> {
+                          return PpsmSystem::Setup(graph, graph.schema(),
+                                                   reload_config);
+                        });
+
+  std::vector<std::vector<uint8_t>> expected;
+  for (const QueryRequest& request : fx->requests) {
+    const QueryResponse local = serving.Pin()->system.Execute(request);
+    ASSERT_TRUE(local.ok()) << local.status;
+    expected.push_back(AnswerBytes(local));
+  }
+
+  PpsmServerOptions options;
+  options.worker_threads = 4;
+  auto server = PpsmServer::Start(&serving, options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  constexpr size_t kReplayThreads = 3;
+  constexpr size_t kItersPerThread = 12;
+  constexpr size_t kReloads = 3;
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> wrong_answers{0};
+  std::vector<std::thread> replayers;
+  replayers.reserve(kReplayThreads);
+  for (size_t t = 0; t < kReplayThreads; ++t) {
+    replayers.emplace_back([&, t] {
+      auto client = NetClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures.fetch_add(kItersPerThread);
+        return;
+      }
+      for (size_t i = 0; i < kItersPerThread; ++i) {
+        const size_t q = (t + i) % fx->requests.size();
+        auto response = client->Execute(fx->requests[q]);
+        if (!response.ok() || !response->ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (AnswerBytes(*response) != expected[q]) wrong_answers.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread reloader([&] {
+    auto admin = NetClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(admin.ok()) << admin.status();
+    for (size_t i = 0; i < kReloads; ++i) {
+      auto version = admin->Reload();
+      ASSERT_TRUE(version.ok()) << version.status();
+      EXPECT_EQ(*version, 2 + i);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  for (std::thread& thread : replayers) thread.join();
+  reloader.join();
+
+  EXPECT_EQ(failures.load(), 0u) << "queries dropped or failed during swaps";
+  EXPECT_EQ(wrong_answers.load(), 0u) << "mixed-snapshot or wrong answers";
+  EXPECT_EQ(serving.version(), 1 + kReloads);
+
+  // The published snapshot really is the k=3 deployment.
+  EXPECT_EQ(serving.Pin()->system.config().k, 3u);
+  (*server)->Stop();
+}
+
+// SIGHUP path: NotifyReload is the async-signal-safe trigger; it must
+// publish a new snapshot without any client involvement.
+TEST(PpsmServer, NotifyReloadPublishesNewSnapshot) {
+  auto fx = MakeFixture(/*scale=*/0.005, /*k=*/2, /*num_shards=*/1,
+                        /*num_queries=*/1);
+  ASSERT_TRUE(fx.ok()) << fx.status();
+  const AttributedGraph graph = fx->graph;
+  SystemConfig reload_config;
+  reload_config.k = 2;
+  ServingSystem serving(std::move(fx->system),
+                        [graph, reload_config]() -> Result<PpsmSystem> {
+                          return PpsmSystem::Setup(graph, graph.schema(),
+                                                   reload_config);
+                        });
+  auto server = PpsmServer::Start(&serving);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  (*server)->NotifyReload();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (serving.version() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(serving.version(), 2u) << "SIGHUP-path reload never published";
+
+  // Reload without a recipe fails typed, and the old snapshot keeps serving.
+  auto fixed_system = PpsmSystem::Setup(graph, graph.schema(), reload_config);
+  ASSERT_TRUE(fixed_system.ok()) << fixed_system.status();
+  ServingSystem fixed(std::move(*fixed_system));
+  auto refused = fixed.Reload();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fixed.version(), 1u);
+}
+
+}  // namespace
+}  // namespace ppsm

@@ -173,14 +173,18 @@ TEST(QueryObs, ExpiredDeadlineStillProducesACapture) {
   ASSERT_FALSE(answer.ok());
   EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
 
-  // The failure was recorded with the id, the failing phase, and the phases
-  // that did run (an expired deadline is not a stats-free error).
+  // The refusal was recorded with the id and the failing phase. An
+  // already-expired budget never passes the gate anymore (it used to be
+  // admitted and burn a slot before failing "on admission"), so the
+  // capture reports the queue as the phase where the clock ran out — and
+  // accounts the encoded error reply instead of 0 response bytes.
   const std::vector<QueryProfile> slow = FlightRecorder::Global().SlowQueries();
   ASSERT_EQ(slow.size(), 1u);
   EXPECT_NE(slow[0].query_id, 0u);
   EXPECT_EQ(slow[0].status, "deadline_exceeded");
-  EXPECT_EQ(slow[0].timed_out_phase, "on admission");
+  EXPECT_EQ(slow[0].timed_out_phase, "queue");
   EXPECT_GT(slow[0].request_bytes, 0u);
+  EXPECT_GT(slow[0].response_bytes, 0u);
   // It is in the ring too.
   QueryProfile recorded;
   EXPECT_TRUE(FindProfile(slow[0].query_id, &recorded));

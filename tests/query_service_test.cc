@@ -17,7 +17,9 @@
 #include "core/ppsm_system.h"
 #include "graph/generators.h"
 #include "graph/query_extractor.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "query/query_api.h"
 #include "util/random.h"
 
 namespace ppsm {
@@ -293,6 +295,101 @@ TEST(ExecuteBatch, EmptyWorkloadIsWellFormed) {
   EXPECT_TRUE(batch.responses.empty());
   EXPECT_EQ(batch.summary.queries, 0u);
   EXPECT_EQ(batch.summary.succeeded, 0u);
+}
+
+// Regression: the idle-gate fast path used to admit a query whose deadline
+// had already passed — no clock check at all before taking a slot.
+TEST(AdmissionGate, AlreadyExpiredDeadlineRefusedOnIdleGate) {
+  AdmissionGate gate(4, 8);
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  const Status status = gate.Acquire(past);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << status;
+  EXPECT_EQ(gate.InFlight(), 0u) << "expired query burned a slot";
+  // The gate is undamaged: a live query still gets in.
+  ASSERT_TRUE(gate.Acquire(kNoDeadline).ok());
+  gate.Release();
+  EXPECT_EQ(gate.InFlight(), 0u);
+}
+
+// Regression: a 0-ms budget against a saturated gate must come back as a
+// queue-phase refusal that leaves no occupancy behind.
+TEST(AdmissionGate, ZeroBudgetUnderSaturatedGateRefusesCleanly) {
+  AdmissionGate gate(1, 4);
+  ASSERT_TRUE(gate.Acquire(kNoDeadline).ok());  // Occupy the only slot.
+  const Status refused = gate.Acquire(std::chrono::steady_clock::now());
+  EXPECT_EQ(refused.code(), StatusCode::kDeadlineExceeded) << refused;
+  EXPECT_EQ(gate.Queued(), 0u);
+  EXPECT_EQ(gate.InFlight(), 1u);  // Only the legitimate holder.
+  gate.Release();
+  EXPECT_EQ(gate.InFlight(), 0u);
+}
+
+// Regression pair for the serving-path fixes: an expired budget surfaces as
+// a refusal stamped timed_out_phase="queue" (pre-fix the query was admitted
+// and timed out somewhere inside the handler instead), and the refusal's
+// profile accounts the encoded error reply instead of 0 response bytes.
+TEST(QueryService, ExpiredBudgetStampsQueuePhaseAndAccountsReplyBytes) {
+  Fixture fx = MakeFixture(1);
+  auto server = CloudServer::Host(fx.owner.upload_bytes());
+  ASSERT_TRUE(server.ok());
+  QueryService service(static_cast<const QueryHandler*>(&*server));
+
+  FlightRecorder::Global().Clear();
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto answer = service.Execute(fx.requests[0], past);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded)
+      << answer.status();
+  EXPECT_EQ(service.gate().InFlight(), 0u) << "refusal leaked a slot";
+
+  const std::vector<QueryProfile> recent = FlightRecorder::Global().Recent();
+  ASSERT_FALSE(recent.empty());
+  const QueryProfile& profile = recent.back();
+  EXPECT_EQ(profile.timed_out_phase, "queue");
+  EXPECT_GT(profile.response_bytes, 0u)
+      << "error reply reported as free on the wire";
+  EXPECT_EQ(profile.response_bytes,
+            EncodedErrorResponseBytes(answer.status(),
+                                      FromQueryProfile(profile)));
+}
+
+// Starvation stress, TSan-covered: 8 threads hammer a 2-slot gate with a
+// mix of unbounded and near-expired budgets. A lost wakeup (e.g. a timed-out
+// waiter absorbing the Release notification without passing it on) hangs
+// this test; clean termination with drained occupancy is the assertion.
+TEST(AdmissionGate, StarvationFreeUnderContention) {
+  AdmissionGate gate(2, 64);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> admitted{0};
+  std::atomic<int> refused{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const bool tight = ((i + t) % 3) == 0;
+        const auto deadline =
+            tight ? std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(100 * ((i + t) % 5))
+                  : kNoDeadline;
+        const Status status = gate.Acquire(deadline);
+        if (status.ok()) {
+          admitted.fetch_add(1);
+          std::this_thread::yield();
+          gate.Release();
+        } else {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gate.InFlight(), 0u);
+  EXPECT_EQ(gate.Queued(), 0u);
+  EXPECT_GT(admitted.load(), 0);
 }
 
 TEST(ExecuteBatch, DeadlineZeroMeansNoDeadline) {

@@ -20,6 +20,11 @@
 // a graph; `anonymize` runs the offline pipeline and reports the paper's
 // setup metrics; `query` deploys an in-process cloud and answers a pattern
 // (see query/pattern_parser.h for the pattern syntax).
+//
+// With `--connect HOST:PORT`, `query` talks to a running ppsm_server over
+// the wire protocol instead of deploying in-process (the pattern is parsed
+// against the schema fetched from the server); `ping` and `reload` probe
+// and hot-swap a running server.
 
 #include <algorithm>
 #include <cstring>
@@ -34,11 +39,13 @@
 #include "graph/generators.h"
 #include "graph/graph_algos.h"
 #include "graph/text_io.h"
+#include "net/net_client.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "query/pattern_parser.h"
 #include "util/intersect.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace ppsm::cli {
 namespace {
@@ -221,7 +228,122 @@ int Anonymize(const Args& args) {
   return 0;
 }
 
+/// Splits a --connect value into host and port ("host:port"; "localhost"
+/// and numeric IPv4 hosts are accepted by NetClient).
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("--connect wants HOST:PORT, got '" + spec +
+                                   "'");
+  }
+  const long port = std::atol(spec.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + spec + "'");
+  }
+  return std::make_pair(spec.substr(0, colon), static_cast<uint16_t>(port));
+}
+
+Result<NetClient> ConnectFromArgs(const Args& args) {
+  PPSM_ASSIGN_OR_RETURN(auto endpoint, ParseHostPort(args.Get("connect")));
+  return NetClient::Connect(endpoint.first, endpoint.second);
+}
+
+/// `query --connect HOST:PORT`: the serving deployment lives in
+/// ppsm_server; this side only parses the pattern (against the schema the
+/// server hands out) and replays it over the wire.
+int RemoteQuery(const Args& args) {
+  const std::string pattern_path = args.Get("pattern");
+  if (pattern_path.empty()) return Fail("--pattern is required");
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status().ToString());
+
+  auto schema = client->FetchSchema();
+  if (!schema.ok()) return Fail(schema.status().ToString());
+
+  std::ifstream pattern_file(pattern_path);
+  if (!pattern_file) return Fail("cannot open '" + pattern_path + "'");
+  std::string pattern_text((std::istreambuf_iterator<char>(pattern_file)),
+                           std::istreambuf_iterator<char>());
+  auto parsed = ParsePattern(pattern_text, *schema);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+
+  QueryRequest request;
+  request.pattern = parsed->query;
+  request.deadline_ms =
+      static_cast<uint64_t>(std::max(0L, args.GetInt("deadline-ms", 0)));
+  const size_t repeat =
+      static_cast<size_t>(std::max(1L, args.GetInt("repeat", 1)));
+
+  QueryResponse response;
+  size_t succeeded = 0;
+  WallTimer wall;
+  for (size_t i = 0; i < repeat; ++i) {
+    auto reply = client->Execute(request);
+    if (!reply.ok()) {
+      std::cerr << "query failed: " << reply.status() << "\n";
+      continue;
+    }
+    ++succeeded;
+    response = *std::move(reply);
+  }
+  const double wall_ms = wall.ElapsedMillis();
+  if (succeeded == 0) return Fail("all " + std::to_string(repeat) +
+                                  " remote queries failed");
+
+  std::cout << response.matches.NumMatches() << " match(es):\n";
+  const size_t show = std::min<size_t>(response.matches.NumMatches(), 20);
+  for (size_t r = 0; r < show; ++r) {
+    const auto row = response.matches.Get(r);
+    std::cout << "  ";
+    for (size_t q = 0; q < row.size(); ++q) {
+      std::cout << parsed->variables[q] << "=" << row[q] << " ";
+    }
+    std::cout << "\n";
+  }
+  if (show < response.matches.NumMatches()) {
+    std::cout << "  ... (" << response.matches.NumMatches() - show
+              << " more)\n";
+  }
+  std::cout << "query " << response.cloud.query_id << ": cloud "
+            << Table::Num(response.cloud.total_ms, 3) << "ms | network "
+            << Table::Num(response.network_ms, 3) << "ms | client "
+            << Table::Num(response.client_ms, 3) << "ms | "
+            << response.request_bytes << " B up, " << response.response_bytes
+            << " B down\n";
+  if (repeat > 1) {
+    std::cout << "replay: " << succeeded << "/" << repeat << " ok in "
+              << Table::Num(wall_ms, 3) << "ms ("
+              << Table::Num(1000.0 * static_cast<double>(succeeded) /
+                                std::max(wall_ms, 1e-9),
+                            1)
+              << " q/s over one connection)\n";
+  }
+  return succeeded == repeat ? 0 : 1;
+}
+
+int Ping(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status().ToString());
+  WallTimer timer;
+  auto version = client->Ping();
+  if (!version.ok()) return Fail(version.status().ToString());
+  std::cout << "pong: snapshot v" << *version << " ("
+            << Table::Num(timer.ElapsedMillis(), 3) << "ms)\n";
+  return 0;
+}
+
+int Reload(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status().ToString());
+  auto version = client->Reload();
+  if (!version.ok()) return Fail(version.status().ToString());
+  std::cout << "reloaded: snapshot v" << *version << "\n";
+  return 0;
+}
+
 int Query(const Args& args) {
+  if (args.Has("connect")) return RemoteQuery(args);
   const std::string in = args.Get("in");
   const std::string snapshot_in = args.Get("load-snapshot");
   const std::string pattern_path = args.Get("pattern");
@@ -407,6 +529,13 @@ int Usage() {
       "            [--save-snapshot DIR | --load-snapshot DIR]\n"
       "            (--load-snapshot skips the offline pipeline; --in not\n"
       "             needed, the snapshot carries graph + schema + k)\n"
+      "            [--connect HOST:PORT]\n"
+      "            (--connect replays against a running ppsm_server over\n"
+      "             the wire protocol instead of deploying in-process;\n"
+      "             only --pattern, --repeat and --deadline-ms apply —\n"
+      "             the serving knobs live on the server)\n"
+      "  ping      --connect HOST:PORT   liveness + snapshot version\n"
+      "  reload    --connect HOST:PORT   zero-downtime snapshot hot-swap\n"
       "observability (any command):\n"
       "  --metrics-out FILE   flat JSON metrics dump\n"
       "  --metrics-prom FILE  Prometheus text metrics dump\n"
@@ -472,6 +601,8 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "stats") return Stats(args);
   if (command == "anonymize") return Anonymize(args);
   if (command == "query") return Query(args);
+  if (command == "ping") return Ping(args);
+  if (command == "reload") return Reload(args);
   return Usage();
 }
 
